@@ -1,0 +1,198 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out.
+//!
+//! Each bench pair runs the same workload with a design feature on and
+//! off; `cargo run --release -p mpquic-harness --bin ablations` prints
+//! the *simulated* outcome comparison (transfer times, handover delays),
+//! while these benches track the computational cost of each variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpquic_core::SchedulerKind;
+use mpquic_harness::{
+    run_file_transfer, run_handover, HandoverConfig, Overrides, Protocol,
+};
+use mpquic_netsim::PathSpec;
+use std::hint::black_box;
+use std::time::Duration;
+
+const SIZE: usize = 512 << 10;
+const CAP: Duration = Duration::from_secs(60);
+
+fn heterogeneous_paths() -> [PathSpec; 2] {
+    [
+        PathSpec::new(12.0, 20, 80, 0.0),
+        PathSpec::new(4.0, 90, 80, 0.0),
+    ]
+}
+
+fn bench_scheduler_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_scheduler");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("lowest_rtt_duplicate", SchedulerKind::LowestRtt),
+        ("lowest_rtt_no_duplicate", SchedulerKind::LowestRttNoDuplicate),
+        ("round_robin", SchedulerKind::RoundRobin),
+    ] {
+        group.bench_function(name, |b| {
+            let overrides = Overrides {
+                scheduler: Some(kind),
+                ..Overrides::default()
+            };
+            b.iter(|| {
+                let outcome = run_file_transfer(
+                    &heterogeneous_paths(),
+                    Protocol::Mpquic,
+                    SIZE,
+                    3,
+                    CAP,
+                    black_box(&overrides),
+                );
+                black_box(outcome.duration_secs)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_window_update_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_wupdate");
+    group.sample_size(10);
+    for (name, dup) in [("duplicated_on_all_paths", true), ("single_path_only", false)] {
+        group.bench_function(name, |b| {
+            let overrides = Overrides {
+                duplicate_window_updates: Some(dup),
+                // Small receive window so WINDOW_UPDATE delivery matters.
+                quic_recv_window: Some(256 << 10),
+                ..Overrides::default()
+            };
+            b.iter(|| {
+                let outcome = run_file_transfer(
+                    &heterogeneous_paths(),
+                    Protocol::Mpquic,
+                    SIZE,
+                    3,
+                    CAP,
+                    black_box(&overrides),
+                );
+                black_box(outcome.duration_secs)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_paths_frame_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_paths_frame");
+    group.sample_size(10);
+    for (name, enabled) in [("with_paths_frame", true), ("without_paths_frame", false)] {
+        group.bench_function(name, |b| {
+            let config = HandoverConfig {
+                overrides: Overrides {
+                    send_paths_frames: Some(enabled),
+                    ..Overrides::default()
+                },
+                ..HandoverConfig::default()
+            };
+            b.iter(|| {
+                let delays = run_handover(black_box(&config), 42);
+                black_box(delays.iter().map(|(_, d)| *d).fold(0.0, f64::max))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cc_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_cc");
+    group.sample_size(10);
+    for (name, cc) in [
+        ("olia", mpquic_cc::CcAlgorithm::Olia),
+        ("lia", mpquic_cc::CcAlgorithm::Lia),
+        ("uncoupled_cubic", mpquic_cc::CcAlgorithm::Cubic),
+        ("uncoupled_bbr_lite", mpquic_cc::CcAlgorithm::BbrLite),
+    ] {
+        group.bench_function(name, |b| {
+            let overrides = Overrides {
+                cc: Some(cc),
+                ..Overrides::default()
+            };
+            b.iter(|| {
+                let outcome = run_file_transfer(
+                    &heterogeneous_paths(),
+                    Protocol::Mpquic,
+                    SIZE,
+                    3,
+                    CAP,
+                    black_box(&overrides),
+                );
+                black_box(outcome.goodput)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_orp_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_orp");
+    group.sample_size(10);
+    for (name, orp) in [("mptcp_with_orp", true), ("mptcp_without_orp", false)] {
+        group.bench_function(name, |b| {
+            let overrides = Overrides {
+                orp: Some(orp),
+                ..Overrides::default()
+            };
+            b.iter(|| {
+                let outcome = run_file_transfer(
+                    &heterogeneous_paths(),
+                    Protocol::Mptcp,
+                    SIZE,
+                    3,
+                    CAP,
+                    black_box(&overrides),
+                );
+                black_box(outcome.duration_secs)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ack_ranges_ablation(c: &mut Criterion) {
+    // The paper: "the ACK frame ... can acknowledge up to 256 packet
+    // number ranges. This is much larger than the 2-3 blocks ... with the
+    // SACK TCP option." Cap QUIC's ACK ranges at 3 and compare recovery
+    // on a lossy path.
+    let mut group = c.benchmark_group("ablate_ack_ranges");
+    group.sample_size(10);
+    for (name, ranges) in [("quic_256_ranges", 256usize), ("quic_3_ranges_like_sack", 3)] {
+        group.bench_function(name, |b| {
+            let overrides = Overrides {
+                quic_ack_ranges: Some(ranges),
+                ..Overrides::default()
+            };
+            let lossy = [PathSpec::new(10.0, 100, 50, 2.5)];
+            b.iter(|| {
+                let outcome = run_file_transfer(
+                    &lossy,
+                    Protocol::Quic,
+                    SIZE,
+                    3,
+                    CAP,
+                    black_box(&overrides),
+                );
+                black_box(outcome.duration_secs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_scheduler_ablation,
+    bench_window_update_ablation,
+    bench_paths_frame_ablation,
+    bench_cc_ablation,
+    bench_orp_ablation,
+    bench_ack_ranges_ablation
+);
+criterion_main!(ablations);

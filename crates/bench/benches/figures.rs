@@ -1,0 +1,87 @@
+//! One bench per paper table/figure.
+//!
+//! Each bench runs a scaled-down version of the corresponding
+//! experiment with identical structure (WSP design → four protocols →
+//! ratio/benefit metrics). Full-scale regeneration is
+//! `cargo run --release -p mpquic-harness --bin figN`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpquic_bench::{bench_sweep, SCALED_LARGE, SHORT};
+use mpquic_expdesign::table1::design_scenarios;
+use mpquic_expdesign::ExperimentClass;
+use mpquic_harness::{run_class_sweep, run_handover, HandoverConfig};
+use std::hint::black_box;
+
+fn bench_table1_design(c: &mut Criterion) {
+    c.bench_function("table1_design/wsp_253_scenarios", |b| {
+        b.iter(|| {
+            let scenarios = design_scenarios(
+                black_box(ExperimentClass::LowBdpNoLoss),
+                mpquic_expdesign::SCENARIOS_PER_CLASS,
+            );
+            black_box(scenarios.len())
+        })
+    });
+}
+
+fn bench_ratio_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_ratio_cdf");
+    group.sample_size(10);
+    for (name, class, size) in [
+        ("fig3_low_bdp_no_loss_20mb", ExperimentClass::LowBdpNoLoss, SCALED_LARGE),
+        ("fig5_low_bdp_losses_20mb", ExperimentClass::LowBdpLosses, SCALED_LARGE),
+        ("fig8_high_bdp_losses_20mb", ExperimentClass::HighBdpLosses, SCALED_LARGE),
+        ("fig9_low_bdp_no_loss_256kb", ExperimentClass::LowBdpNoLoss, SHORT),
+    ] {
+        group.bench_function(name, |b| {
+            let config = bench_sweep(class, size);
+            b.iter(|| {
+                let results = run_class_sweep(black_box(&config));
+                black_box(results.mpquic_win_fraction())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_benefit_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_aggregation_benefit");
+    group.sample_size(10);
+    for (name, class, size) in [
+        ("fig4_low_bdp_no_loss", ExperimentClass::LowBdpNoLoss, SCALED_LARGE),
+        ("fig6_low_bdp_losses", ExperimentClass::LowBdpLosses, SCALED_LARGE),
+        ("fig7_high_bdp_no_loss", ExperimentClass::HighBdpNoLoss, SCALED_LARGE),
+        ("fig10_short_transfers", ExperimentClass::LowBdpNoLoss, SHORT),
+    ] {
+        group.bench_function(name, |b| {
+            let config = bench_sweep(class, size);
+            b.iter(|| {
+                let results = run_class_sweep(black_box(&config));
+                black_box((results.beneficial_fraction(true), results.beneficial_fraction(false)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig11_handover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_handover");
+    group.sample_size(10);
+    group.bench_function("fig11_mpquic_handover", |b| {
+        let config = HandoverConfig::default();
+        b.iter(|| {
+            let delays = run_handover(black_box(&config), 42);
+            black_box(delays.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1_design,
+    bench_ratio_figures,
+    bench_benefit_figures,
+    bench_fig11_handover
+);
+criterion_main!(figures);

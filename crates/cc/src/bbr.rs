@@ -1,0 +1,284 @@
+//! BBR-lite — a simplified model of BBR v1 (Cardwell et al., 2016).
+//!
+//! The paper's footnote 3 notes that "Chromium recently started to use
+//! BBR as its default congestion control"; this controller exists as the
+//! corresponding *extension/ablation*, not as part of the paper's
+//! evaluated configuration (which pairs CUBIC with the single-path
+//! protocols and OLIA with the multipath ones).
+//!
+//! Model (window-limited approximation — the stack has no pacer):
+//!
+//! * **bandwidth estimate** — windowed max of per-ACK delivery-rate
+//!   samples (`acked bytes / time since previous ACK`);
+//! * **min-RTT estimate** — windowed min of RTT samples;
+//! * **Startup** — exponential growth (gain 2.89× BDP) until the
+//!   bandwidth estimate stops growing for three consecutive rounds;
+//! * **Drain** — gain 1/2.89 until the pipe is back to one BDP;
+//! * **ProbeBW** — the classic eight-phase gain cycle
+//!   `[1.25, 0.75, 1, 1, 1, 1, 1, 1]`.
+//!
+//! Loss is ignored (BBR v1 semantics) except for RTOs, which collapse
+//! the window conservatively.
+
+use mpquic_util::SimTime;
+use std::time::Duration;
+
+use crate::{CongestionController, PathSnapshot, INITIAL_WINDOW_SEGMENTS, MIN_WINDOW_SEGMENTS};
+
+/// Startup / Drain gain (2/ln 2).
+const STARTUP_GAIN: f64 = 2.885;
+/// The ProbeBW pacing-gain cycle.
+const PROBE_GAINS: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// Bandwidth filter window (samples).
+const BW_WINDOW: usize = 10;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Startup,
+    Drain,
+    ProbeBw,
+}
+
+/// Simplified BBR controller for one path.
+#[derive(Debug)]
+pub struct Bbr {
+    mss: u64,
+    state: State,
+    /// Recent delivery-rate samples, bytes/sec (ring, newest last).
+    bw_samples: Vec<f64>,
+    /// Smallest RTT seen.
+    min_rtt: Duration,
+    last_ack_at: Option<SimTime>,
+    /// Best bandwidth seen at the last Startup round check.
+    full_bw: f64,
+    /// Consecutive rounds without meaningful bandwidth growth.
+    full_bw_rounds: u32,
+    /// ProbeBW phase index and when it started.
+    probe_phase: usize,
+    phase_started: SimTime,
+    /// In-flight estimate maintained from sent/acked callbacks.
+    inflight: u64,
+    cwnd: u64,
+}
+
+impl Bbr {
+    /// Creates a controller with the standard initial window.
+    pub fn new(mss: u64) -> Bbr {
+        Bbr {
+            mss,
+            state: State::Startup,
+            bw_samples: Vec::with_capacity(BW_WINDOW),
+            min_rtt: Duration::from_millis(100),
+            last_ack_at: None,
+            full_bw: 0.0,
+            full_bw_rounds: 0,
+            probe_phase: 0,
+            phase_started: SimTime::ZERO,
+            inflight: 0,
+            cwnd: INITIAL_WINDOW_SEGMENTS * mss,
+        }
+    }
+
+    fn min_window(&self) -> u64 {
+        MIN_WINDOW_SEGMENTS * self.mss
+    }
+
+    /// Windowed-max bandwidth estimate, bytes/sec.
+    fn bandwidth(&self) -> f64 {
+        self.bw_samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Bandwidth-delay product in bytes.
+    fn bdp(&self) -> f64 {
+        self.bandwidth() * self.min_rtt.as_secs_f64()
+    }
+
+    fn gain(&self) -> f64 {
+        match self.state {
+            State::Startup => STARTUP_GAIN,
+            State::Drain => 1.0 / STARTUP_GAIN,
+            State::ProbeBw => PROBE_GAINS[self.probe_phase],
+        }
+    }
+
+    fn update_cwnd(&mut self) {
+        let bdp = self.bdp();
+        if bdp <= 0.0 {
+            return; // keep the initial window until estimates exist
+        }
+        // Window-limited BBR: cwnd tracks gain × BDP, floored at 4 MSS
+        // so the ack clock never starves.
+        let target = (self.gain() * bdp).max(4.0 * self.mss as f64);
+        self.cwnd = (target as u64).max(self.min_window());
+    }
+}
+
+impl CongestionController for Bbr {
+    fn on_packet_sent(&mut self, _now: SimTime, bytes: u64) {
+        self.inflight = self.inflight.saturating_add(bytes);
+    }
+
+    fn on_ack(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        rtt: Duration,
+        _paths: &[PathSnapshot],
+        _self_index: usize,
+    ) {
+        self.inflight = self.inflight.saturating_sub(bytes);
+        if !rtt.is_zero() {
+            self.min_rtt = self.min_rtt.min(rtt);
+        }
+        if let Some(last) = self.last_ack_at {
+            let dt = now.saturating_duration_since(last).as_secs_f64();
+            if dt > 0.0 {
+                if self.bw_samples.len() == BW_WINDOW {
+                    self.bw_samples.remove(0);
+                }
+                self.bw_samples.push(bytes as f64 / dt);
+            }
+        }
+        self.last_ack_at = Some(now);
+
+        match self.state {
+            State::Startup => {
+                let bw = self.bandwidth();
+                if bw > self.full_bw * 1.25 {
+                    self.full_bw = bw;
+                    self.full_bw_rounds = 0;
+                } else if bw > 0.0 {
+                    self.full_bw_rounds += 1;
+                    if self.full_bw_rounds >= 3 {
+                        self.state = State::Drain;
+                    }
+                }
+            }
+            State::Drain => {
+                if (self.inflight as f64) <= self.bdp() {
+                    self.state = State::ProbeBw;
+                    self.probe_phase = 0;
+                    self.phase_started = now;
+                }
+            }
+            State::ProbeBw => {
+                // Advance the gain cycle once per min-RTT.
+                if now.saturating_duration_since(self.phase_started) >= self.min_rtt {
+                    self.probe_phase = (self.probe_phase + 1) % PROBE_GAINS.len();
+                    self.phase_started = now;
+                }
+            }
+        }
+        self.update_cwnd();
+    }
+
+    fn on_congestion_event(&mut self, _now: SimTime) {
+        // BBR v1 does not react to individual losses; the model-based
+        // window already bounds the queue.
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        // Conservative: restart the model from a minimal window.
+        self.cwnd = self.min_window();
+        self.bw_samples.clear();
+        self.full_bw = 0.0;
+        self.full_bw_rounds = 0;
+        self.state = State::Startup;
+        self.inflight = 0;
+    }
+
+    fn window(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        // BBR has no ssthresh; report "infinite" so in_slow_start() maps
+        // to the Startup state approximation used by callers.
+        if self.state == State::Startup {
+            u64::MAX
+        } else {
+            self.cwnd
+        }
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.state == State::Startup
+    }
+
+    fn name(&self) -> &'static str {
+        "bbr-lite"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u64 = 1250;
+
+    /// Feeds a steady 10 Mbps, 40 ms RTT ack stream.
+    fn steady_acks(cc: &mut Bbr, count: usize) {
+        // 10 Mbps = 1.25 MB/s; acks of 2 MSS every 2 ms.
+        for i in 0..count {
+            let now = SimTime::from_millis(40 + 2 * i as u64);
+            cc.on_packet_sent(now, 2 * MSS);
+            cc.on_ack(now, 2 * MSS, Duration::from_millis(40), &[], 0);
+        }
+    }
+
+    #[test]
+    fn startup_exits_when_bandwidth_plateaus() {
+        let mut cc = Bbr::new(MSS);
+        assert!(cc.in_slow_start());
+        steady_acks(&mut cc, 50);
+        assert!(!cc.in_slow_start(), "steady bandwidth must end Startup");
+    }
+
+    #[test]
+    fn cwnd_tracks_bdp_in_probe_bw() {
+        let mut cc = Bbr::new(MSS);
+        steady_acks(&mut cc, 200);
+        // BDP = 1.25 MB/s × 40 ms = 50 kB; probe gains are 0.75–1.25.
+        let bdp = 1.25e6 * 0.040;
+        let w = cc.window() as f64;
+        assert!(
+            w > bdp * 0.5 && w < bdp * 2.0,
+            "cwnd {w} should be within 2x of BDP {bdp}"
+        );
+    }
+
+    #[test]
+    fn losses_do_not_collapse_window() {
+        let mut cc = Bbr::new(MSS);
+        steady_acks(&mut cc, 100);
+        let before = cc.window();
+        cc.on_congestion_event(SimTime::from_secs(1));
+        assert_eq!(cc.window(), before, "BBR v1 ignores individual losses");
+    }
+
+    #[test]
+    fn rto_restarts_the_model() {
+        let mut cc = Bbr::new(MSS);
+        steady_acks(&mut cc, 100);
+        cc.on_rto(SimTime::from_secs(2));
+        assert_eq!(cc.window(), MIN_WINDOW_SEGMENTS * MSS);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn probe_bw_cycles_gains() {
+        let mut cc = Bbr::new(MSS);
+        steady_acks(&mut cc, 60);
+        assert!(!cc.in_slow_start());
+        // Record windows across several phases; they must not be constant
+        // (the 1.25 / 0.75 probe phases move the target).
+        let mut windows = std::collections::HashSet::new();
+        for i in 0..400usize {
+            let now = SimTime::from_millis(200 + 2 * i as u64);
+            cc.on_packet_sent(now, 2 * MSS);
+            cc.on_ack(now, 2 * MSS, Duration::from_millis(40), &[], 0);
+            windows.insert(cc.window() / MSS);
+        }
+        assert!(windows.len() >= 2, "gain cycling should vary the window: {windows:?}");
+    }
+}

@@ -1,0 +1,293 @@
+//! CUBIC congestion control (RFC 8312).
+//!
+//! CUBIC is the default controller of the Linux TCP stack and of
+//! gQUIC-era quic-go/Chromium — the pairing the paper uses for both
+//! single-path protocols. Window growth in congestion avoidance follows
+//! the cubic function `W(t) = C·(t−K)³ + W_max` with a Reno-friendly
+//! floor, giving the fast-recovery-to-plateau behaviour that matters in
+//! the high-BDP scenarios of Figs. 7–8.
+
+use mpquic_util::SimTime;
+use std::time::Duration;
+
+use crate::{CongestionController, PathSnapshot, INITIAL_WINDOW_SEGMENTS, MIN_WINDOW_SEGMENTS};
+
+/// CUBIC aggressiveness constant (segments/sec³), per RFC 8312.
+const C: f64 = 0.4;
+/// Multiplicative decrease factor.
+const BETA: f64 = 0.7;
+
+/// CUBIC congestion controller for one path.
+#[derive(Debug)]
+pub struct Cubic {
+    mss: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    /// Window size (bytes) just before the last congestion event.
+    w_max: f64,
+    /// Start of the current congestion-avoidance epoch.
+    epoch_start: Option<SimTime>,
+    /// Time (seconds from epoch start) at which W(t) returns to `w_max`.
+    k: f64,
+    /// Reno-friendly companion window estimate, bytes.
+    w_est: f64,
+    /// Bytes acked since the last loss, for the OLIA `ℓ` snapshot.
+    acked_since_loss: u64,
+    prev_loss_interval: u64,
+}
+
+impl Cubic {
+    /// Creates a controller with the standard initial window.
+    pub fn new(mss: u64) -> Cubic {
+        Cubic {
+            mss,
+            cwnd: INITIAL_WINDOW_SEGMENTS * mss,
+            ssthresh: u64::MAX,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            w_est: 0.0,
+            acked_since_loss: 0,
+            prev_loss_interval: 0,
+        }
+    }
+
+    fn min_window(&self) -> u64 {
+        MIN_WINDOW_SEGMENTS * self.mss
+    }
+
+    /// The cubic function in bytes, `t` seconds into the epoch.
+    fn w_cubic(&self, t: f64) -> f64 {
+        let mss = self.mss as f64;
+        C * mss * (t - self.k).powi(3) + self.w_max
+    }
+}
+
+impl CongestionController for Cubic {
+    fn on_packet_sent(&mut self, _now: SimTime, _bytes: u64) {}
+
+    fn on_ack(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        rtt: Duration,
+        _paths: &[PathSnapshot],
+        _self_index: usize,
+    ) {
+        self.acked_since_loss = self.acked_since_loss.saturating_add(bytes);
+        if self.cwnd < self.ssthresh {
+            // Slow start with Appropriate Byte Counting (RFC 3465, L=2).
+            self.cwnd += bytes.min(2 * self.mss);
+            return;
+        }
+        let mss = self.mss as f64;
+        let epoch_start = *self.epoch_start.get_or_insert_with(|| {
+            // New congestion-avoidance epoch: compute K from how far the
+            // current window sits below the last maximum.
+            let cwnd = self.cwnd as f64;
+            if self.w_max <= cwnd {
+                self.w_max = cwnd;
+                self.k = 0.0;
+            } else {
+                self.k = ((self.w_max - cwnd) / (C * mss)).cbrt();
+            }
+            self.w_est = cwnd;
+            now
+        });
+        let t = now.saturating_duration_since(epoch_start).as_secs_f64();
+        let rtt_s = rtt.as_secs_f64().max(1e-4);
+        // Reno-friendly estimate grows like AIMD with CUBIC's beta:
+        // 3(1-β)/(1+β) MSS per RTT-equivalent of acked data.
+        self.w_est += 3.0 * (1.0 - BETA) / (1.0 + BETA) * mss * (bytes as f64 / self.cwnd as f64);
+        // Target one RTT into the future, per RFC 8312 §4.1.
+        let target = self.w_cubic(t + rtt_s);
+        let cwnd = self.cwnd as f64;
+        let next = if target > cwnd {
+            // Concave/convex region: close the gap over one cwnd of ACKs.
+            cwnd + (target - cwnd) * (bytes as f64 / cwnd)
+        } else {
+            // At/over the plateau: probe gently (~1.5% of cwnd per cwnd acked).
+            cwnd + 0.015 * mss * (bytes as f64 / cwnd).max(0.01)
+        };
+        self.cwnd = next.max(self.w_est).max(self.min_window() as f64) as u64;
+    }
+
+    fn on_congestion_event(&mut self, _now: SimTime) {
+        self.prev_loss_interval = self.acked_since_loss;
+        self.acked_since_loss = 0;
+        let cwnd = self.cwnd as f64;
+        // Fast convergence (RFC 8312 §4.6): release bandwidth faster when
+        // the plateau is shrinking.
+        self.w_max = if cwnd < self.w_max {
+            cwnd * (1.0 + BETA) / 2.0
+        } else {
+            cwnd
+        };
+        self.cwnd = ((cwnd * BETA) as u64).max(self.min_window());
+        self.ssthresh = self.cwnd;
+        self.epoch_start = None;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.prev_loss_interval = self.acked_since_loss;
+        self.acked_since_loss = 0;
+        self.w_max = self.cwnd as f64;
+        self.ssthresh = ((self.cwnd as f64 * BETA) as u64).max(self.min_window());
+        self.cwnd = self.min_window();
+        self.epoch_start = None;
+    }
+
+    fn window(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn loss_interval_bytes(&self) -> u64 {
+        self.acked_since_loss.max(self.prev_loss_interval)
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u64 = 1250;
+
+    /// Feeds `bytes` of acknowledgement in MSS-sized chunks (how acks
+    /// really arrive; ABC caps per-ack slow-start growth).
+    fn ack_at(cc: &mut Cubic, now_ms: u64, bytes: u64) {
+        let mut left = bytes;
+        while left > 0 {
+            let chunk = left.min(MSS);
+            cc.on_ack(
+                SimTime::from_millis(now_ms),
+                chunk,
+                Duration::from_millis(40),
+                &[],
+                0,
+            );
+            left -= chunk;
+        }
+    }
+
+    #[test]
+    fn slow_start_grows_exponentially() {
+        let mut cc = Cubic::new(MSS);
+        let w0 = cc.window();
+        ack_at(&mut cc, 10, w0);
+        assert_eq!(cc.window(), 2 * w0);
+        assert!(cc.in_slow_start());
+    }
+
+    #[test]
+    fn loss_applies_beta_decrease() {
+        let mut cc = Cubic::new(MSS);
+        ack_at(&mut cc, 10, 20 * MSS);
+        let before = cc.window();
+        cc.on_congestion_event(SimTime::from_millis(20));
+        let after = cc.window();
+        assert!(
+            (after as f64 - before as f64 * BETA).abs() <= MSS as f64,
+            "expected ~{} got {}",
+            before as f64 * BETA,
+            after
+        );
+        assert!(!cc.in_slow_start());
+    }
+
+    #[test]
+    fn cubic_recovers_toward_w_max() {
+        let mut cc = Cubic::new(MSS);
+        // Grow to a sizeable window, then lose.
+        for i in 0..10 {
+            let w = cc.window();
+            ack_at(&mut cc, 10 + i, w);
+        }
+        let peak = cc.window();
+        cc.on_congestion_event(SimTime::from_millis(50));
+        let floor = cc.window();
+        assert!(floor < peak);
+        // Ack steadily past the epoch's K (~20 s for this drop): the window
+        // must climb back toward and beyond the old maximum.
+        let mut now_ms = 100;
+        for _ in 0..2500 {
+            let w = cc.window();
+            ack_at(&mut cc, now_ms, w / 2);
+            now_ms += 20;
+        }
+        assert!(
+            cc.window() > peak,
+            "cubic should eventually exceed old w_max: {} vs peak {}",
+            cc.window(),
+            peak
+        );
+    }
+
+    #[test]
+    fn growth_is_concave_then_convex() {
+        let mut cc = Cubic::new(MSS);
+        for i in 0..8 {
+            let w = cc.window();
+            ack_at(&mut cc, 10 + i, w);
+        }
+        cc.on_congestion_event(SimTime::from_millis(60));
+        let w_max_after_drop = cc.w_max;
+        // Ack half the window every 10 ms so cwnd tracks the cubic curve,
+        // and record per-step growth.
+        let mut deltas = Vec::new();
+        let mut prev = cc.window();
+        let mut now_ms = 100;
+        for _ in 0..2400 {
+            let w = cc.window();
+            ack_at(&mut cc, now_ms, w / 2);
+            now_ms += 10;
+            deltas.push(cc.window() as i64 - prev as i64);
+            prev = cc.window();
+        }
+        // Concave region: growth right after the drop must exceed growth
+        // near the plateau (K is ~12.4 s in, i.e. around iteration 1240).
+        let early: i64 = deltas[..200].iter().sum();
+        let mid: i64 = deltas[1140..1340].iter().sum();
+        assert!(
+            early > mid,
+            "concave region should outgrow plateau: early={early} mid={mid}"
+        );
+        // Convex region: after passing K, the window exceeds the plateau.
+        assert!(
+            cc.window() as f64 > w_max_after_drop,
+            "window {} should pass the plateau {w_max_after_drop}",
+            cc.window()
+        );
+    }
+
+    #[test]
+    fn fast_convergence_reduces_w_max() {
+        let mut cc = Cubic::new(MSS);
+        for i in 0..10 {
+            let w = cc.window();
+            ack_at(&mut cc, 10 + i, w);
+        }
+        cc.on_congestion_event(SimTime::from_millis(30));
+        let w_max_1 = cc.w_max;
+        // Second loss before recovering: w_max should shrink below cwnd's
+        // plain value (fast convergence).
+        cc.on_congestion_event(SimTime::from_millis(40));
+        assert!(cc.w_max < w_max_1);
+    }
+
+    #[test]
+    fn rto_collapses_window() {
+        let mut cc = Cubic::new(MSS);
+        ack_at(&mut cc, 10, 50 * MSS);
+        cc.on_rto(SimTime::from_millis(30));
+        assert_eq!(cc.window(), MIN_WINDOW_SEGMENTS * MSS);
+        assert!(cc.in_slow_start() || cc.window() <= cc.ssthresh());
+    }
+}

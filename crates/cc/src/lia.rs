@@ -1,0 +1,198 @@
+//! LIA — the Linked-Increases Algorithm (RFC 6356), MPTCP's original
+//! coupled congestion controller.
+//!
+//! Kept as an ablation baseline: the paper chose OLIA over LIA because LIA
+//! is not Pareto-optimal (Khalili et al., CoNEXT'12). The increase on path
+//! `r` per acked MSS is
+//!
+//! ```text
+//!   min( α / w_total , 1 / w_r )
+//! ```
+//!
+//! with the aggressiveness factor
+//!
+//! ```text
+//!   α = w_total · max_p(w_p/rtt_p²) / (Σ_p w_p/rtt_p)²
+//! ```
+
+use mpquic_util::SimTime;
+use std::time::Duration;
+
+use crate::{CongestionController, PathSnapshot, INITIAL_WINDOW_SEGMENTS, MIN_WINDOW_SEGMENTS};
+
+/// LIA (RFC 6356) controller for one path of a coupled connection.
+#[derive(Debug)]
+pub struct Lia {
+    mss: u64,
+    cwnd: f64,
+    ssthresh: u64,
+    acked_since_loss: u64,
+    prev_loss_interval: u64,
+}
+
+impl Lia {
+    /// Creates a controller with the standard initial window.
+    pub fn new(mss: u64) -> Lia {
+        Lia {
+            mss,
+            cwnd: (INITIAL_WINDOW_SEGMENTS * mss) as f64,
+            ssthresh: u64::MAX,
+            acked_since_loss: 0,
+            prev_loss_interval: 0,
+        }
+    }
+
+    fn min_window(&self) -> u64 {
+        MIN_WINDOW_SEGMENTS * self.mss
+    }
+}
+
+impl CongestionController for Lia {
+    fn on_packet_sent(&mut self, _now: SimTime, _bytes: u64) {}
+
+    fn on_ack(
+        &mut self,
+        _now: SimTime,
+        bytes: u64,
+        rtt: Duration,
+        paths: &[PathSnapshot],
+        _self_index: usize,
+    ) {
+        self.acked_since_loss = self.acked_since_loss.saturating_add(bytes);
+        if (self.cwnd as u64) < self.ssthresh {
+            // Slow start with Appropriate Byte Counting (RFC 3465, L=2).
+            self.cwnd += bytes.min(2 * self.mss) as f64;
+            return;
+        }
+        let mss = self.mss as f64;
+        let w_r = (self.cwnd / mss).max(1.0);
+        let acked_mss = bytes as f64 / mss;
+        let (w_total, alpha) = if paths.len() >= 2 {
+            let w_total: f64 = paths.iter().map(|p| (p.cwnd as f64 / mss).max(1.0)).sum();
+            let best: f64 = paths
+                .iter()
+                .map(|p| {
+                    let w = (p.cwnd as f64 / mss).max(1.0);
+                    let r = p.srtt.as_secs_f64().max(1e-4);
+                    w / (r * r)
+                })
+                .fold(0.0, f64::max);
+            let denom: f64 = paths
+                .iter()
+                .map(|p| {
+                    let w = (p.cwnd as f64 / mss).max(1.0);
+                    let r = p.srtt.as_secs_f64().max(1e-4);
+                    w / r
+                })
+                .sum();
+            (w_total, w_total * best / (denom * denom).max(1e-12))
+        } else {
+            // Single path: degenerate to Reno.
+            let _ = rtt;
+            (w_r, 1.0)
+        };
+        let increase_per_mss = (alpha / w_total).min(1.0 / w_r);
+        self.cwnd += increase_per_mss * acked_mss * mss;
+        self.cwnd = self.cwnd.max(self.min_window() as f64);
+    }
+
+    fn on_congestion_event(&mut self, _now: SimTime) {
+        self.prev_loss_interval = self.acked_since_loss;
+        self.acked_since_loss = 0;
+        self.cwnd = (self.cwnd / 2.0).max(self.min_window() as f64);
+        self.ssthresh = self.cwnd as u64;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.prev_loss_interval = self.acked_since_loss;
+        self.acked_since_loss = 0;
+        self.ssthresh = (self.cwnd as u64 / 2).max(self.min_window());
+        self.cwnd = self.min_window() as f64;
+    }
+
+    fn window(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn loss_interval_bytes(&self) -> u64 {
+        self.acked_since_loss.max(self.prev_loss_interval)
+    }
+
+    fn name(&self) -> &'static str {
+        "lia"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u64 = 1250;
+
+    fn snap(cwnd: u64, rtt_ms: u64) -> PathSnapshot {
+        PathSnapshot {
+            cwnd,
+            srtt: Duration::from_millis(rtt_ms),
+            loss_interval_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn single_path_degenerates_to_reno() {
+        let mut cc = Lia::new(MSS);
+        cc.on_congestion_event(SimTime::ZERO);
+        let w = cc.window();
+        cc.on_ack(SimTime::ZERO, w, Duration::from_millis(40), &[snap(w, 40)], 0);
+        let growth = cc.window() - w;
+        assert!(
+            (MSS * 9 / 10..=MSS * 11 / 10).contains(&growth),
+            "expected ~1 MSS growth, got {growth}"
+        );
+    }
+
+    #[test]
+    fn increase_capped_by_uncoupled_reno() {
+        // The min() term: LIA on any path never grows faster than an
+        // independent Reno flow on that path would.
+        let paths = vec![snap(10 * MSS, 10), snap(100 * MSS, 500)];
+        let mut cc = Lia::new(MSS);
+        cc.on_congestion_event(SimTime::ZERO);
+        cc.cwnd = (10 * MSS) as f64;
+        cc.ssthresh = 5 * MSS;
+        let w = cc.window();
+        cc.on_ack(SimTime::ZERO, w, Duration::from_millis(10), &paths, 0);
+        assert!(cc.window() - w <= MSS + MSS / 10);
+    }
+
+    #[test]
+    fn coupled_total_growth_bounded() {
+        let w = 20 * MSS;
+        let paths = vec![snap(w, 40), snap(w, 40)];
+        let mut a = Lia::new(MSS);
+        let mut b = Lia::new(MSS);
+        for cc in [&mut a, &mut b] {
+            cc.on_congestion_event(SimTime::ZERO);
+            cc.cwnd = w as f64;
+            cc.ssthresh = w / 2;
+        }
+        a.on_ack(SimTime::ZERO, w, Duration::from_millis(40), &paths, 0);
+        b.on_ack(SimTime::ZERO, w, Duration::from_millis(40), &paths, 1);
+        let total = (a.window() - w) + (b.window() - w);
+        assert!(total <= MSS + MSS / 10, "coupled total {total} > Reno {MSS}");
+    }
+
+    #[test]
+    fn loss_and_rto_behaviour() {
+        let mut cc = Lia::new(MSS);
+        cc.on_ack(SimTime::ZERO, 20 * MSS, Duration::from_millis(40), &[], 0);
+        let before = cc.window();
+        cc.on_congestion_event(SimTime::ZERO);
+        assert_eq!(cc.window(), before / 2);
+        cc.on_rto(SimTime::ZERO);
+        assert_eq!(cc.window(), MIN_WINDOW_SEGMENTS * MSS);
+    }
+}

@@ -1,0 +1,238 @@
+//! Congestion control for mpquic.
+//!
+//! The paper pairs protocols and controllers deliberately (§4.1): "we use
+//! CUBIC congestion control with the two single path protocols. Since there
+//! is no multipath variant of CUBIC, we use the OLIA congestion control
+//! scheme with Multipath TCP and Multipath QUIC." This crate provides both,
+//! plus NewReno (the classic baseline) and LIA (RFC 6356), behind a single
+//! [`CongestionController`] trait that the QUIC *and* TCP models share.
+//!
+//! Coupled multipath schemes need a view of the sibling paths when an ACK
+//! arrives; the caller passes a slice of [`PathSnapshot`]s (one per
+//! established path, including the ACKed one).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbr;
+mod cubic;
+mod lia;
+mod newreno;
+mod olia;
+
+pub use bbr::Bbr;
+pub use cubic::Cubic;
+pub use lia::Lia;
+pub use newreno::NewReno;
+pub use olia::Olia;
+
+use mpquic_util::SimTime;
+use std::time::Duration;
+
+/// Default maximum segment/payload size assumed by the controllers, bytes.
+pub const DEFAULT_MSS: u64 = 1250;
+
+/// Initial congestion window in segments (RFC 6928; also the Linux default
+/// the paper's kernel used).
+pub const INITIAL_WINDOW_SEGMENTS: u64 = 10;
+
+/// Minimum congestion window in segments.
+pub const MIN_WINDOW_SEGMENTS: u64 = 2;
+
+/// A snapshot of one path's state, used by coupled controllers (OLIA, LIA)
+/// to compute cross-path terms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathSnapshot {
+    /// Congestion window in bytes.
+    pub cwnd: u64,
+    /// Smoothed RTT of the path.
+    pub srtt: Duration,
+    /// OLIA's inter-loss volume estimate `ℓ` for the path, in bytes
+    /// (max of bytes acked since the last loss and bytes acked between the
+    /// previous two losses).
+    pub loss_interval_bytes: u64,
+}
+
+/// A congestion controller for one path.
+///
+/// All quantities are bytes. Controllers are purely reactive state
+/// machines: the connection reports sends, ACKs, loss events and RTOs; the
+/// controller answers "how large is the window".
+pub trait CongestionController: std::fmt::Debug + Send {
+    /// Records that `bytes` were sent (some controllers track epoch volume).
+    fn on_packet_sent(&mut self, now: SimTime, bytes: u64);
+
+    /// Records that `bytes` were newly acknowledged with RTT sample `rtt`.
+    ///
+    /// `paths` contains a snapshot of every established path of the
+    /// connection (coupled schemes need them); `self_index` locates the
+    /// path this controller governs within `paths`. Uncoupled schemes
+    /// ignore both.
+    fn on_ack(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        rtt: Duration,
+        paths: &[PathSnapshot],
+        self_index: usize,
+    );
+
+    /// Records one congestion event (at most one per round trip: callers
+    /// must collapse bursts of losses within the same RTT into one event).
+    fn on_congestion_event(&mut self, now: SimTime);
+
+    /// Records a retransmission timeout: collapse to the minimum window.
+    fn on_rto(&mut self, now: SimTime);
+
+    /// Current congestion window in bytes.
+    fn window(&self) -> u64;
+
+    /// Current slow-start threshold in bytes (`u64::MAX` before the first
+    /// congestion event).
+    fn ssthresh(&self) -> u64;
+
+    /// True while in slow start.
+    fn in_slow_start(&self) -> bool {
+        self.window() < self.ssthresh()
+    }
+
+    /// OLIA's inter-loss volume estimate for this path (bytes); uncoupled
+    /// controllers may return anything sensible (used only for snapshots).
+    fn loss_interval_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Human-readable algorithm name, for experiment logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Selects a congestion control algorithm by name; the factory the
+/// experiment harness uses.
+///
+/// ```
+/// use mpquic_cc::CcAlgorithm;
+/// let mut cc = CcAlgorithm::Olia.build(1350);
+/// assert_eq!(cc.window(), 13_500); // 10 segments initial window
+/// cc.on_congestion_event(mpquic_util::SimTime::ZERO);
+/// assert_eq!(cc.window(), 6_750);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcAlgorithm {
+    /// CUBIC (RFC 8312) — the single-path default of both Linux TCP and
+    /// gQUIC-era quic-go.
+    Cubic,
+    /// NewReno AIMD.
+    NewReno,
+    /// OLIA (Khalili et al., CoNEXT'12) — coupled multipath scheme used by
+    /// the paper for both MPTCP and MPQUIC.
+    Olia,
+    /// LIA (RFC 6356) — the earlier coupled scheme, kept for ablations.
+    Lia,
+    /// BBR-lite (extension; the paper's footnote 3 notes Chromium's move
+    /// to BBR). Not part of the evaluated configuration.
+    BbrLite,
+}
+
+impl CcAlgorithm {
+    /// Instantiates a controller with the given MSS.
+    pub fn build(self, mss: u64) -> Box<dyn CongestionController> {
+        match self {
+            CcAlgorithm::Cubic => Box::new(Cubic::new(mss)),
+            CcAlgorithm::NewReno => Box::new(NewReno::new(mss)),
+            CcAlgorithm::Olia => Box::new(Olia::new(mss)),
+            CcAlgorithm::Lia => Box::new(Lia::new(mss)),
+            CcAlgorithm::BbrLite => Box::new(Bbr::new(mss)),
+        }
+    }
+
+    /// Canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CcAlgorithm::Cubic => "cubic",
+            CcAlgorithm::NewReno => "newreno",
+            CcAlgorithm::Olia => "olia",
+            CcAlgorithm::Lia => "lia",
+            CcAlgorithm::BbrLite => "bbr-lite",
+        }
+    }
+
+    /// True for coupled multipath algorithms.
+    pub fn is_multipath(self) -> bool {
+        matches!(self, CcAlgorithm::Olia | CcAlgorithm::Lia)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshots() -> Vec<PathSnapshot> {
+        vec![PathSnapshot {
+            cwnd: 12_500,
+            srtt: Duration::from_millis(40),
+            loss_interval_bytes: 100_000,
+        }]
+    }
+
+    /// Shared behavioural checks across all four algorithms.
+    fn check_common(algo: CcAlgorithm) {
+        let mss = DEFAULT_MSS;
+        let mut cc = algo.build(mss);
+        assert_eq!(cc.name(), algo.name());
+        let initial = cc.window();
+        assert_eq!(initial, INITIAL_WINDOW_SEGMENTS * mss);
+        assert!(cc.in_slow_start());
+
+        // Slow start roughly doubles per window acked (acks arrive in
+        // MSS-sized chunks; ABC caps growth per ack at 2 MSS).
+        let now = SimTime::from_millis(100);
+        cc.on_packet_sent(now, initial);
+        for _ in 0..(initial / mss) {
+            cc.on_ack(
+                now + Duration::from_millis(40),
+                mss,
+                Duration::from_millis(40),
+                &snapshots(),
+                0,
+            );
+        }
+        assert!(
+            cc.window() >= initial + initial / 2,
+            "{}: slow start should grow fast: {} -> {}",
+            algo.name(),
+            initial,
+            cc.window()
+        );
+
+        // A congestion event shrinks the window and leaves slow start.
+        let before = cc.window();
+        cc.on_congestion_event(now + Duration::from_millis(50));
+        assert!(cc.window() < before, "{}: loss must shrink window", algo.name());
+        assert!(!cc.in_slow_start(), "{}: loss must exit slow start", algo.name());
+        assert!(cc.window() >= MIN_WINDOW_SEGMENTS * mss);
+
+        // RTO collapses to minimum.
+        cc.on_rto(now + Duration::from_millis(60));
+        assert_eq!(cc.window(), MIN_WINDOW_SEGMENTS * mss, "{}", algo.name());
+    }
+
+    #[test]
+    fn all_algorithms_share_basic_dynamics() {
+        for algo in [
+            CcAlgorithm::Cubic,
+            CcAlgorithm::NewReno,
+            CcAlgorithm::Olia,
+            CcAlgorithm::Lia,
+        ] {
+            check_common(algo);
+        }
+    }
+
+    #[test]
+    fn multipath_classification() {
+        assert!(!CcAlgorithm::Cubic.is_multipath());
+        assert!(!CcAlgorithm::NewReno.is_multipath());
+        assert!(CcAlgorithm::Olia.is_multipath());
+        assert!(CcAlgorithm::Lia.is_multipath());
+    }
+}

@@ -1,0 +1,167 @@
+//! NewReno AIMD congestion control (RFC 5681/6582 semantics).
+
+use mpquic_util::SimTime;
+use std::time::Duration;
+
+use crate::{CongestionController, PathSnapshot, INITIAL_WINDOW_SEGMENTS, MIN_WINDOW_SEGMENTS};
+
+/// Classic AIMD: slow start to `ssthresh`, then +1 MSS per RTT; halve on
+/// congestion.
+#[derive(Debug)]
+pub struct NewReno {
+    mss: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    /// Bytes acked since the last loss (also serves as the OLIA `ℓ`
+    /// estimate when NewReno paths are snapshotted).
+    acked_since_loss: u64,
+    prev_loss_interval: u64,
+}
+
+impl NewReno {
+    /// Creates a controller with the standard initial window.
+    pub fn new(mss: u64) -> NewReno {
+        NewReno {
+            mss,
+            cwnd: INITIAL_WINDOW_SEGMENTS * mss,
+            ssthresh: u64::MAX,
+            acked_since_loss: 0,
+            prev_loss_interval: 0,
+        }
+    }
+
+    fn min_window(&self) -> u64 {
+        MIN_WINDOW_SEGMENTS * self.mss
+    }
+}
+
+impl CongestionController for NewReno {
+    fn on_packet_sent(&mut self, _now: SimTime, _bytes: u64) {}
+
+    fn on_ack(
+        &mut self,
+        _now: SimTime,
+        bytes: u64,
+        _rtt: Duration,
+        _paths: &[PathSnapshot],
+        _self_index: usize,
+    ) {
+        self.acked_since_loss = self.acked_since_loss.saturating_add(bytes);
+        if self.cwnd < self.ssthresh {
+            // Slow start with Appropriate Byte Counting (RFC 3465, L=2):
+            // at most 2 MSS of growth per ACK, however much it covers.
+            self.cwnd += bytes.min(2 * self.mss);
+        } else {
+            // Congestion avoidance: +MSS per cwnd of acked data.
+            self.cwnd += (self.mss * bytes) / self.cwnd.max(1);
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: SimTime) {
+        self.prev_loss_interval = self.acked_since_loss;
+        self.acked_since_loss = 0;
+        self.cwnd = (self.cwnd / 2).max(self.min_window());
+        self.ssthresh = self.cwnd;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.prev_loss_interval = self.acked_since_loss;
+        self.acked_since_loss = 0;
+        self.ssthresh = (self.cwnd / 2).max(self.min_window());
+        self.cwnd = self.min_window();
+    }
+
+    fn window(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn loss_interval_bytes(&self) -> u64 {
+        self.acked_since_loss.max(self.prev_loss_interval)
+    }
+
+    fn name(&self) -> &'static str {
+        "newreno"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u64 = 1250;
+
+    /// Acks `bytes` in MSS-sized chunks (ABC caps per-ack growth).
+    fn ack(cc: &mut NewReno, bytes: u64) {
+        let mut left = bytes;
+        while left > 0 {
+            let chunk = left.min(MSS);
+            cc.on_ack(
+                SimTime::from_millis(1),
+                chunk,
+                Duration::from_millis(40),
+                &[],
+                0,
+            );
+            left -= chunk;
+        }
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut cc = NewReno::new(MSS);
+        let w0 = cc.window();
+        ack(&mut cc, w0);
+        assert_eq!(cc.window(), 2 * w0);
+    }
+
+    #[test]
+    fn congestion_avoidance_linear_growth() {
+        let mut cc = NewReno::new(MSS);
+        cc.on_congestion_event(SimTime::ZERO); // force CA
+        let w = cc.window();
+        ack(&mut cc, w); // one full window acked -> ~+1 MSS
+        let growth = cc.window() - w;
+        assert!(
+            (MSS * 9 / 10..=MSS).contains(&growth),
+            "expected ~1 MSS, got {growth}"
+        );
+    }
+
+    #[test]
+    fn loss_halves() {
+        let mut cc = NewReno::new(MSS);
+        ack(&mut cc, 10 * MSS);
+        let before = cc.window();
+        cc.on_congestion_event(SimTime::ZERO);
+        assert_eq!(cc.window(), before / 2);
+        assert_eq!(cc.ssthresh(), before / 2);
+    }
+
+    #[test]
+    fn window_never_below_minimum() {
+        let mut cc = NewReno::new(MSS);
+        for _ in 0..20 {
+            cc.on_congestion_event(SimTime::ZERO);
+        }
+        assert_eq!(cc.window(), MIN_WINDOW_SEGMENTS * MSS);
+        cc.on_rto(SimTime::ZERO);
+        assert_eq!(cc.window(), MIN_WINDOW_SEGMENTS * MSS);
+    }
+
+    #[test]
+    fn loss_interval_tracks_max_of_last_two() {
+        let mut cc = NewReno::new(MSS);
+        ack(&mut cc, 50_000);
+        cc.on_congestion_event(SimTime::ZERO);
+        assert_eq!(cc.loss_interval_bytes(), 50_000);
+        ack(&mut cc, 10_000);
+        // Current epoch (10k) vs previous (50k): max wins.
+        assert_eq!(cc.loss_interval_bytes(), 50_000);
+        ack(&mut cc, 60_000);
+        assert_eq!(cc.loss_interval_bytes(), 70_000);
+    }
+}

@@ -1,0 +1,305 @@
+//! OLIA — the Opportunistic Linked-Increases Algorithm
+//! (Khalili, Gast, Popovic, Upadhyay, Le Boudec — CoNEXT 2012).
+//!
+//! OLIA is the coupled multipath congestion controller the paper uses for
+//! both MPTCP and MPQUIC. Its congestion-avoidance increase on path `r`,
+//! per MSS of acknowledged data, is
+//!
+//! ```text
+//!   w_r/rtt_r²
+//!   ────────────────  +  α_r / w_r        (windows in MSS, rtt in seconds)
+//!   (Σ_p w_p/rtt_p)²
+//! ```
+//!
+//! The first term is the coupled increase that makes the aggregate flow
+//! shift load toward less-congested paths; the α term *opportunistically*
+//! re-balances windows: paths that look best by their inter-loss volume
+//! (`ℓ_p² / rtt_p`) but currently hold small windows receive extra credit,
+//! paid for by the paths holding the largest windows.
+//!
+//! The decrease is standard halving, at most once per round trip.
+
+use mpquic_util::SimTime;
+use std::time::Duration;
+
+use crate::{CongestionController, PathSnapshot, INITIAL_WINDOW_SEGMENTS, MIN_WINDOW_SEGMENTS};
+
+/// OLIA congestion controller for one path of a coupled connection.
+#[derive(Debug)]
+pub struct Olia {
+    mss: u64,
+    /// Window, tracked in f64 bytes so sub-MSS increments accumulate.
+    cwnd: f64,
+    ssthresh: u64,
+    /// Bytes acked in the current inter-loss epoch (`l1` in the OLIA paper).
+    l1: u64,
+    /// Bytes acked in the previous inter-loss epoch (`l2`).
+    l2: u64,
+}
+
+impl Olia {
+    /// Creates a controller with the standard initial window.
+    pub fn new(mss: u64) -> Olia {
+        Olia {
+            mss,
+            cwnd: (INITIAL_WINDOW_SEGMENTS * mss) as f64,
+            ssthresh: u64::MAX,
+            l1: 0,
+            l2: 0,
+        }
+    }
+
+    fn min_window(&self) -> u64 {
+        MIN_WINDOW_SEGMENTS * self.mss
+    }
+
+    /// OLIA's path-quality metric `ℓ_p² / rtt_p` used to pick the "best"
+    /// paths (expected AIMD throughput between losses).
+    fn quality(snapshot: &PathSnapshot) -> f64 {
+        let l = snapshot.loss_interval_bytes.max(1) as f64;
+        l * l / snapshot.srtt.as_secs_f64().max(1e-4)
+    }
+
+    /// Computes `α_r` for the path at `self_index`.
+    ///
+    /// * `M` — paths with the (near-)largest window.
+    /// * `B` — paths with the (near-)best quality metric.
+    /// * collected = `B \ M`: best paths that still run small windows.
+    ///
+    /// If collected is non-empty, each collected path gets
+    /// `+1/(n·|collected|)` and each max-window path pays
+    /// `−1/(n·|M|)`; otherwise every α is zero.
+    fn alpha(paths: &[PathSnapshot], self_index: usize) -> f64 {
+        let n = paths.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let max_cwnd = paths.iter().map(|p| p.cwnd).max().unwrap_or(0);
+        let best_quality = paths
+            .iter()
+            .map(Self::quality)
+            .fold(0.0f64, f64::max);
+        let in_m = |p: &PathSnapshot| p.cwnd >= max_cwnd; // exact max
+        let in_b = |p: &PathSnapshot| Self::quality(p) >= best_quality * 0.999;
+        let collected: Vec<usize> = (0..n)
+            .filter(|&i| in_b(&paths[i]) && !in_m(&paths[i]))
+            .collect();
+        if collected.is_empty() {
+            return 0.0;
+        }
+        let m_count = paths.iter().filter(|p| in_m(p)).count().max(1);
+        if collected.contains(&self_index) {
+            1.0 / (n as f64 * collected.len() as f64)
+        } else if in_m(&paths[self_index]) {
+            -1.0 / (n as f64 * m_count as f64)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl CongestionController for Olia {
+    fn on_packet_sent(&mut self, _now: SimTime, _bytes: u64) {}
+
+    fn on_ack(
+        &mut self,
+        _now: SimTime,
+        bytes: u64,
+        rtt: Duration,
+        paths: &[PathSnapshot],
+        self_index: usize,
+    ) {
+        self.l1 = self.l1.saturating_add(bytes);
+        if (self.cwnd as u64) < self.ssthresh {
+            // Slow start with Appropriate Byte Counting (RFC 3465, L=2).
+            self.cwnd += bytes.min(2 * self.mss) as f64;
+            return;
+        }
+        let mss = self.mss as f64;
+        // Work in MSS units as in the OLIA paper.
+        let w_r = (self.cwnd / mss).max(1.0);
+        let rtt_r = rtt.as_secs_f64().max(1e-4);
+        let denom: f64 = if paths.is_empty() {
+            w_r / rtt_r
+        } else {
+            paths
+                .iter()
+                .map(|p| (p.cwnd as f64 / mss).max(1.0) / p.srtt.as_secs_f64().max(1e-4))
+                .sum()
+        };
+        let coupled = (w_r / (rtt_r * rtt_r)) / (denom * denom).max(1e-12);
+        let alpha = Self::alpha(paths, self_index);
+        let per_mss_increase = coupled + alpha / w_r;
+        let acked_mss = bytes as f64 / mss;
+        self.cwnd += per_mss_increase * acked_mss * mss;
+        self.cwnd = self.cwnd.max(self.min_window() as f64);
+    }
+
+    fn on_congestion_event(&mut self, _now: SimTime) {
+        self.l2 = self.l1;
+        self.l1 = 0;
+        self.cwnd = (self.cwnd / 2.0).max(self.min_window() as f64);
+        self.ssthresh = self.cwnd as u64;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.l2 = self.l1;
+        self.l1 = 0;
+        self.ssthresh = (self.cwnd as u64 / 2).max(self.min_window());
+        self.cwnd = self.min_window() as f64;
+    }
+
+    fn window(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    fn loss_interval_bytes(&self) -> u64 {
+        self.l1.max(self.l2)
+    }
+
+    fn name(&self) -> &'static str {
+        "olia"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u64 = 1250;
+
+    fn snap(cwnd: u64, rtt_ms: u64, loss_interval: u64) -> PathSnapshot {
+        PathSnapshot {
+            cwnd,
+            srtt: Duration::from_millis(rtt_ms),
+            loss_interval_bytes: loss_interval,
+        }
+    }
+
+    fn force_ca(cc: &mut Olia) {
+        cc.on_congestion_event(SimTime::ZERO);
+    }
+
+    #[test]
+    fn slow_start_then_coupled_avoidance() {
+        let mut cc = Olia::new(MSS);
+        let w0 = cc.window();
+        for _ in 0..(w0 / MSS) {
+            cc.on_ack(
+                SimTime::ZERO,
+                MSS,
+                Duration::from_millis(40),
+                &[snap(w0, 40, 0)],
+                0,
+            );
+        }
+        assert_eq!(cc.window(), 2 * w0);
+        force_ca(&mut cc);
+        let w1 = cc.window();
+        cc.on_ack(
+            SimTime::ZERO,
+            w1,
+            Duration::from_millis(40),
+            &[snap(w1, 40, 10_000)],
+            0,
+        );
+        // Single-path OLIA in CA grows like Reno: about +1 MSS per window.
+        let growth = cc.window() - w1;
+        assert!(
+            (MSS / 2..=2 * MSS).contains(&growth),
+            "single-path CA growth should be ~1 MSS, got {growth}"
+        );
+    }
+
+    #[test]
+    fn coupled_increase_favors_lower_rtt_path() {
+        // Two equal-window paths, one with a much lower RTT: the low-RTT
+        // path must grow faster per acked byte (it contributes more to the
+        // aggregate rate).
+        let paths = vec![snap(20 * MSS, 10, 100_000), snap(20 * MSS, 100, 100_000)];
+        let mut fast = Olia::new(MSS);
+        let mut slow = Olia::new(MSS);
+        // Force both into congestion avoidance at the same window.
+        force_ca(&mut fast);
+        force_ca(&mut slow);
+        fast.cwnd = (20 * MSS) as f64;
+        slow.cwnd = (20 * MSS) as f64;
+        fast.ssthresh = 10 * MSS;
+        slow.ssthresh = 10 * MSS;
+        fast.on_ack(SimTime::ZERO, 10 * MSS, Duration::from_millis(10), &paths, 0);
+        slow.on_ack(SimTime::ZERO, 10 * MSS, Duration::from_millis(100), &paths, 1);
+        let fast_growth = fast.window() - 20 * MSS;
+        let slow_growth = slow.window() - 20 * MSS;
+        assert!(
+            fast_growth > slow_growth,
+            "low-RTT path should grow faster: {fast_growth} vs {slow_growth}"
+        );
+    }
+
+    #[test]
+    fn alpha_moves_window_toward_best_underused_path() {
+        // Path 0: best quality (huge inter-loss volume) but small window.
+        // Path 1: max window. α must be positive for 0, negative for 1.
+        let paths = vec![snap(5 * MSS, 20, 1_000_000), snap(50 * MSS, 20, 10_000)];
+        let a0 = Olia::alpha(&paths, 0);
+        let a1 = Olia::alpha(&paths, 1);
+        assert!(a0 > 0.0, "underused best path should get positive alpha: {a0}");
+        assert!(a1 < 0.0, "max-window path should pay: {a1}");
+        // With n=2, |collected|=1, |M|=1: α = ±1/2.
+        assert!((a0 - 0.5).abs() < 1e-9);
+        assert!((a1 + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_zero_when_best_path_has_max_window() {
+        let paths = vec![snap(50 * MSS, 20, 1_000_000), snap(5 * MSS, 20, 10_000)];
+        assert_eq!(Olia::alpha(&paths, 0), 0.0);
+        assert_eq!(Olia::alpha(&paths, 1), 0.0);
+    }
+
+    #[test]
+    fn alpha_zero_for_single_path() {
+        let paths = vec![snap(10 * MSS, 20, 10_000)];
+        assert_eq!(Olia::alpha(&paths, 0), 0.0);
+    }
+
+    #[test]
+    fn total_aggressiveness_bounded_by_reno() {
+        // Sum of coupled increases across two identical paths should not
+        // exceed what a single Reno flow would gain on one of them —
+        // the fairness property coupled CC exists for.
+        let w = 20 * MSS;
+        let paths = vec![snap(w, 40, 50_000), snap(w, 40, 50_000)];
+        let mut a = Olia::new(MSS);
+        let mut b = Olia::new(MSS);
+        for cc in [&mut a, &mut b] {
+            force_ca(cc);
+            cc.cwnd = w as f64;
+            cc.ssthresh = w / 2;
+        }
+        a.on_ack(SimTime::ZERO, w, Duration::from_millis(40), &paths, 0);
+        b.on_ack(SimTime::ZERO, w, Duration::from_millis(40), &paths, 1);
+        let total_growth = (a.window() - w) + (b.window() - w);
+        // A Reno flow acking one window grows by exactly 1 MSS.
+        assert!(
+            total_growth <= MSS + MSS / 10,
+            "coupled growth {total_growth} exceeds Reno's {MSS}"
+        );
+    }
+
+    #[test]
+    fn loss_halves_and_tracks_interloss_epochs() {
+        let mut cc = Olia::new(MSS);
+        cc.on_ack(SimTime::ZERO, 100_000, Duration::from_millis(40), &[], 0);
+        assert_eq!(cc.loss_interval_bytes(), 100_000);
+        let before = cc.window();
+        cc.on_congestion_event(SimTime::ZERO);
+        assert_eq!(cc.window(), before / 2);
+        // l2 now holds the old epoch.
+        assert_eq!(cc.loss_interval_bytes(), 100_000);
+    }
+}

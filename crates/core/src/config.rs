@@ -1,0 +1,170 @@
+//! Connection configuration and application-facing event types.
+
+use mpquic_cc::CcAlgorithm;
+use mpquic_crypto::NonceMode;
+use mpquic_wire::{PathId, MAX_DATAGRAM_SIZE};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use crate::rtt::DEFAULT_INITIAL_RTT;
+use crate::scheduler::SchedulerKind;
+use crate::stream::StreamId;
+
+/// Connection configuration.
+///
+/// The defaults reproduce the paper's experimental setup: OLIA coupled
+/// congestion control, lowest-RTT scheduling with duplication on
+/// unknown-RTT paths, 16 MB receive windows, WINDOW_UPDATE duplication on
+/// all paths, and Path-ID-mixed packet-protection nonces.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Enable the multipath extension. `false` yields plain single-path
+    /// QUIC (the paper's QUIC baseline): one path, no ADD_ADDRESS/PATHS.
+    pub multipath: bool,
+    /// Congestion control algorithm for every path.
+    pub cc: CcAlgorithm,
+    /// Packet scheduler policy.
+    pub scheduler: SchedulerKind,
+    /// Maximum UDP datagram size produced.
+    pub max_datagram_size: usize,
+    /// Connection-level receive window (the paper sets 16 MB).
+    pub conn_recv_window: u64,
+    /// Per-stream receive window.
+    pub stream_recv_window: u64,
+    /// Maximum time an ACK may be delayed.
+    pub max_ack_delay: Duration,
+    /// RTT assumed for a path before its first sample.
+    pub initial_rtt: Duration,
+    /// Packet-protection nonce construction.
+    pub nonce_mode: NonceMode,
+    /// Duplicate WINDOW_UPDATE frames on all active paths (the paper's
+    /// receive-buffer-stall defence; disable for the ablation bench).
+    pub duplicate_window_updates: bool,
+    /// Send a PATHS frame alongside retransmissions after an RTO (the
+    /// paper's handover accelerator, §4.3; disable for the ablation).
+    pub send_paths_frames: bool,
+    /// Close the connection silently after this long without receiving
+    /// any packet (`None` disables the idle timer).
+    pub idle_timeout: Option<Duration>,
+    /// Maximum ACK ranges reported per ACK frame (the paper's 256; set
+    /// to 3 to emulate TCP-SACK-starved acking in the ablation).
+    pub max_ack_ranges: usize,
+    /// Protocol version the client proposes in its CHLO. A server that
+    /// does not support it answers with version negotiation and the
+    /// client retries (one extra round trip), per paper §2.
+    pub quic_version: u32,
+    /// Record a qlog-style structured event log
+    /// ([`crate::Connection::qlog`]).
+    pub enable_qlog: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            multipath: true,
+            cc: CcAlgorithm::Olia,
+            scheduler: SchedulerKind::LowestRtt,
+            max_datagram_size: MAX_DATAGRAM_SIZE,
+            conn_recv_window: 16 << 20,
+            stream_recv_window: 16 << 20,
+            max_ack_delay: Duration::from_millis(25),
+            initial_rtt: DEFAULT_INITIAL_RTT,
+            nonce_mode: NonceMode::PathIdMixed,
+            duplicate_window_updates: true,
+            send_paths_frames: true,
+            idle_timeout: Some(Duration::from_secs(30)),
+            max_ack_ranges: mpquic_wire::MAX_ACK_RANGES,
+            quic_version: mpquic_crypto::handshake::SUPPORTED_VERSION,
+            enable_qlog: false,
+        }
+    }
+}
+
+impl Config {
+    /// The paper's single-path QUIC baseline: CUBIC, no multipath.
+    pub fn single_path() -> Config {
+        Config {
+            multipath: false,
+            cc: CcAlgorithm::Cubic,
+            ..Config::default()
+        }
+    }
+
+    /// The paper's MPQUIC configuration (also the `Default`).
+    pub fn multipath() -> Config {
+        Config::default()
+    }
+}
+
+/// A datagram to hand to the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transmit {
+    /// Source address (selects the local interface / path).
+    pub local: SocketAddr,
+    /// Destination address.
+    pub remote: SocketAddr,
+    /// UDP payload.
+    pub payload: Vec<u8>,
+}
+
+/// Which end of the connection this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Connection initiator.
+    Client,
+    /// Connection acceptor.
+    Server,
+}
+
+/// Application-visible connection events, drained via
+/// [`crate::Connection::poll_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The secure handshake finished; streams may now flow.
+    HandshakeCompleted,
+    /// The peer opened a stream.
+    StreamOpened(StreamId),
+    /// In-order data is available to read.
+    StreamReadable(StreamId),
+    /// All data up to the FIN has been received.
+    StreamComplete(StreamId),
+    /// A new path became active.
+    PathActive(PathId),
+    /// A path was marked potentially failed (RTO with no progress, or the
+    /// peer reported it via a PATHS frame).
+    PathPotentiallyFailed(PathId),
+    /// A path was closed by the local path manager or the peer.
+    PathClosed(PathId),
+    /// The connection was closed (by either side).
+    Closed {
+        /// Error code from the CONNECTION_CLOSE frame (0 = clean).
+        error_code: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// Counters for experiment analysis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Packets sent (all paths).
+    pub packets_sent: u64,
+    /// Packets received and accepted.
+    pub packets_received: u64,
+    /// Wire bytes sent.
+    pub bytes_sent: u64,
+    /// Wire bytes received.
+    pub bytes_received: u64,
+    /// Frames re-queued after loss.
+    pub frames_retransmitted: u64,
+    /// Stream frames duplicated by the unknown-RTT scheduler phase.
+    pub duplicated_stream_frames: u64,
+    /// RTO events across paths.
+    pub rtos: u64,
+    /// Congestion (loss) events across paths.
+    pub congestion_events: u64,
+    /// Packets dropped because they failed decryption.
+    pub decrypt_failures: u64,
+    /// Duplicate packets discarded.
+    pub duplicate_packets: u64,
+}

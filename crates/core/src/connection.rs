@@ -1,0 +1,1930 @@
+//! The Multipath QUIC connection: the paper's design, assembled.
+//!
+//! A [`Connection`] is a sans-IO state machine (see the crate docs): the
+//! caller feeds incoming datagrams ([`Connection::handle_datagram`]) and
+//! the clock ([`Connection::on_timeout`]), and drains outgoing datagrams
+//! ([`Connection::poll_transmit`]) and application events
+//! ([`Connection::poll_event`]).
+//!
+//! The multipath machinery follows §3 of the paper:
+//!
+//! * the handshake runs on the initial path only; once complete, the
+//!   client's path manager opens one path per additional local interface
+//!   (odd Path IDs), pairing local and remote addresses by the address IDs
+//!   the server announced in `ADD_ADDRESS` frames;
+//! * new paths carry data in their very first packet (no per-path
+//!   handshake);
+//! * each packet is placed by the lowest-RTT scheduler, with stream frames
+//!   duplicated onto a known path while the chosen path's RTT is unknown;
+//! * `WINDOW_UPDATE` frames are duplicated on all active paths;
+//! * an RTO marks a path *potentially failed*, moves its frames to the
+//!   retransmission queues (servable by any path), collapses its window
+//!   and — the §4.3 handover accelerator — attaches a `PATHS` frame so the
+//!   peer learns about the failure without waiting for its own RTO.
+
+use bytes::Bytes;
+use mpquic_crypto::{
+    handshake::initial_key, Aead, ClientHandshake, HandshakeEvent, ServerHandshake, SessionKeys,
+};
+use mpquic_crypto::nonce_for;
+use mpquic_util::{DetRng, SimTime};
+use mpquic_wire::{
+    AckFrame, AddressInfo, Frame, Packet, PacketBuilder, PacketType, PathId, PathInfo, PathStatus,
+    PublicHeader, StreamFrame,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::net::SocketAddr;
+
+use crate::config::{Config, ConnStats, Event, Role, Transmit};
+use crate::flow::ConnFlowControl;
+use crate::path::{Path, PathState};
+use crate::qlog::{Qlog, QlogEvent};
+use crate::recovery::SentPacket;
+use crate::scheduler::{PathView, Scheduler};
+use crate::stream::{RecvStream, SendStream, StreamId};
+
+/// Transport-level error codes used in CONNECTION_CLOSE.
+pub mod error_codes {
+    /// Clean application close.
+    pub const NO_ERROR: u64 = 0;
+    /// Peer violated flow control.
+    pub const FLOW_CONTROL_ERROR: u64 = 0x3;
+    /// Peer broke stream semantics (e.g. moved a FIN).
+    pub const STREAM_STATE_ERROR: u64 = 0x5;
+    /// The connection idled out (closed silently, no CONNECTION_CLOSE).
+    pub const IDLE_TIMEOUT: u64 = 0x10;
+}
+
+/// A Multipath QUIC connection endpoint.
+///
+/// ```
+/// use mpquic_core::{Config, Connection};
+/// use mpquic_util::SimTime;
+/// use bytes::Bytes;
+///
+/// // A dual-interface client (e.g. WiFi + LTE) dialing a server.
+/// let mut client = Connection::client(
+///     Config::multipath(),
+///     vec!["10.0.0.1:4000".parse().unwrap(), "10.1.0.1:4000".parse().unwrap()],
+///     0,
+///     "10.0.1.1:443".parse().unwrap(),
+///     42,
+/// );
+/// let stream = client.open_stream();
+/// client.stream_write(stream, Bytes::from_static(b"hello")).unwrap();
+/// client.stream_finish(stream);
+/// // The first transmit is the handshake packet (CHLO on path 0).
+/// let first = client.poll_transmit(SimTime::ZERO).expect("CHLO");
+/// assert_eq!(first.remote, "10.0.1.1:443".parse().unwrap());
+/// ```
+pub struct Connection {
+    role: Role,
+    config: Config,
+    /// Connection ID (chosen by the client; learned by the server).
+    cid: u64,
+
+    // --- crypto ---
+    client_hs: Option<ClientHandshake>,
+    server_hs: Option<ServerHandshake>,
+    session_keys: Option<SessionKeys>,
+    handshake_complete: bool,
+    /// Crypto frames awaiting transmission in Handshake packets.
+    crypto_queue: VecDeque<Frame>,
+
+    // --- paths & addressing ---
+    paths: BTreeMap<PathId, Path>,
+    local_addrs: Vec<SocketAddr>,
+    /// Index (into `local_addrs`) of the interface the connection started on.
+    initial_local_index: usize,
+    /// Remote addresses by the peer's address ID (ADD_ADDRESS).
+    remote_addrs: BTreeMap<u64, SocketAddr>,
+    /// Next client-initiated path ID (odd).
+    next_path_id: u32,
+    /// Most recent PATHS frame received from the peer.
+    peer_paths: Vec<PathInfo>,
+    addresses_advertised: bool,
+    /// Set while processing a packet that contained ADD_ADDRESS frames.
+    addresses_dirty: bool,
+
+    // --- streams & flow control ---
+    send_streams: BTreeMap<StreamId, SendStream>,
+    recv_streams: BTreeMap<StreamId, RecvStream>,
+    next_stream_id: u64,
+    /// Round-robin service cursor so one busy stream cannot starve the
+    /// others within a packet-building loop.
+    stream_cursor: u64,
+    flow: ConnFlowControl,
+
+    // --- scheduling & frame queues ---
+    scheduler: Scheduler,
+    /// Path-agnostic control frames (sendable anywhere).
+    control_queue: VecDeque<Frame>,
+    /// Frames bound to a specific path (WINDOW_UPDATE duplicates, probes).
+    per_path_queue: BTreeMap<PathId, VecDeque<Frame>>,
+    /// Stream frames duplicated toward a specific path by the scheduler's
+    /// unknown-RTT phase.
+    duplicate_queue: BTreeMap<PathId, VecDeque<StreamFrame>>,
+
+    // --- lifecycle ---
+    /// Last time any authenticated packet was received.
+    last_activity: Option<SimTime>,
+    /// Structured event log (enabled via `Config::enable_qlog`).
+    qlog: Qlog,
+    events: VecDeque<Event>,
+    close_pending: Option<(u64, String)>,
+    close_sent: bool,
+    closed: bool,
+    stats: ConnStats,
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("role", &self.role)
+            .field("cid", &self.cid)
+            .field("handshake_complete", &self.handshake_complete)
+            .field("paths", &self.paths.keys().collect::<Vec<_>>())
+            .field("closed", &self.closed)
+            .finish()
+    }
+}
+
+impl Connection {
+    /// Creates a client connection. The initial path runs from
+    /// `local_addrs[initial_local_index]` to `remote_addr`; additional
+    /// paths open automatically after the handshake when multipath is
+    /// enabled and the server advertises matching addresses.
+    pub fn client(
+        config: Config,
+        local_addrs: Vec<SocketAddr>,
+        initial_local_index: usize,
+        remote_addr: SocketAddr,
+        seed: u64,
+    ) -> Connection {
+        assert!(initial_local_index < local_addrs.len());
+        let mut rng = DetRng::new(seed);
+        let cid = rng.next_u64();
+        let mut hs = ClientHandshake::with_version(cid, &mut rng, config.quic_version);
+        let mut crypto_queue = VecDeque::new();
+        if let Some(HandshakeEvent::Send(bytes)) = hs.poll() {
+            crypto_queue.push_back(Frame::Crypto {
+                offset: 0,
+                data: bytes,
+            });
+        }
+        let mut conn = Connection::new_common(Role::Client, config, cid, local_addrs);
+        conn.initial_local_index = initial_local_index;
+        conn.client_hs = Some(hs);
+        conn.crypto_queue = crypto_queue;
+        let local = conn.local_addrs[initial_local_index];
+        conn.create_path(PathId::INITIAL, local, remote_addr);
+        conn
+    }
+
+    /// Creates a server connection that will accept the first incoming
+    /// datagram as its initial path.
+    pub fn server(config: Config, local_addrs: Vec<SocketAddr>, seed: u64) -> Connection {
+        let mut rng = DetRng::new(seed);
+        let hs = ServerHandshake::new(&mut rng);
+        let mut conn = Connection::new_common(Role::Server, config, 0, local_addrs);
+        conn.server_hs = Some(hs);
+        conn
+    }
+
+    fn new_common(
+        role: Role,
+        config: Config,
+        cid: u64,
+        local_addrs: Vec<SocketAddr>,
+    ) -> Connection {
+        assert!(!local_addrs.is_empty(), "at least one local address required");
+        let flow = ConnFlowControl::new(config.conn_recv_window, config.conn_recv_window);
+        let scheduler = Scheduler::new(config.scheduler);
+        let qlog = if config.enable_qlog {
+            Qlog::enabled()
+        } else {
+            Qlog::disabled()
+        };
+        Connection {
+            role,
+            cid,
+            qlog,
+            client_hs: None,
+            server_hs: None,
+            session_keys: None,
+            handshake_complete: false,
+            crypto_queue: VecDeque::new(),
+            paths: BTreeMap::new(),
+            local_addrs,
+            initial_local_index: 0,
+            remote_addrs: BTreeMap::new(),
+            next_path_id: 1,
+            peer_paths: Vec::new(),
+            addresses_advertised: false,
+            addresses_dirty: false,
+            send_streams: BTreeMap::new(),
+            recv_streams: BTreeMap::new(),
+            next_stream_id: match role {
+                Role::Client => 1,
+                Role::Server => 2,
+            },
+            stream_cursor: 0,
+            flow,
+            scheduler,
+            control_queue: VecDeque::new(),
+            per_path_queue: BTreeMap::new(),
+            duplicate_queue: BTreeMap::new(),
+            last_activity: None,
+            events: VecDeque::new(),
+            close_pending: None,
+            close_sent: false,
+            closed: false,
+            stats: ConnStats::default(),
+            config,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// This endpoint's role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The connection ID.
+    pub fn connection_id(&self) -> u64 {
+        self.cid
+    }
+
+    /// True once the secure handshake finished.
+    pub fn is_established(&self) -> bool {
+        self.handshake_complete
+    }
+
+    /// True once the connection is closed (either side).
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> ConnStats {
+        self.stats
+    }
+
+    /// IDs of the currently known paths.
+    pub fn path_ids(&self) -> Vec<PathId> {
+        self.paths.keys().copied().collect()
+    }
+
+    /// Read-only view of a path (tests and experiment instrumentation).
+    pub fn path(&self, id: PathId) -> Option<&Path> {
+        self.paths.get(&id)
+    }
+
+    /// Most recent PATHS frame contents received from the peer.
+    pub fn peer_paths(&self) -> &[PathInfo] {
+        &self.peer_paths
+    }
+
+    /// Pops the next application event.
+    pub fn poll_event(&mut self) -> Option<Event> {
+        self.events.pop_front()
+    }
+
+    /// The structured event log (empty unless `Config::enable_qlog`).
+    pub fn qlog(&self) -> &Qlog {
+        &self.qlog
+    }
+
+    // ------------------------------------------------------------------
+    // Stream API
+    // ------------------------------------------------------------------
+
+    /// Opens a new bidirectional stream and returns its ID.
+    pub fn open_stream(&mut self) -> StreamId {
+        let id = self.next_stream_id;
+        self.next_stream_id += 2;
+        self.send_streams
+            .insert(id, SendStream::new(id, self.config.stream_recv_window));
+        self.recv_streams
+            .insert(id, RecvStream::new(id, self.config.stream_recv_window));
+        id
+    }
+
+    /// Appends data to a stream's send buffer.
+    pub fn stream_write(&mut self, id: StreamId, data: Bytes) -> Result<(), crate::stream::StreamError> {
+        self.send_streams
+            .get_mut(&id)
+            .expect("unknown stream")
+            .write(data)
+    }
+
+    /// Marks a stream finished at its current write offset.
+    pub fn stream_finish(&mut self, id: StreamId) {
+        self.send_streams
+            .get_mut(&id)
+            .expect("unknown stream")
+            .finish();
+    }
+
+    /// Reads up to `max` in-order bytes from a stream.
+    pub fn stream_read(&mut self, id: StreamId, max: usize) -> Option<Bytes> {
+        let stream = self.recv_streams.get_mut(&id)?;
+        let data = stream.read(max)?;
+        self.flow.on_data_consumed(data.len() as u64);
+        Some(data)
+    }
+
+    /// True once the peer's FIN and all stream data have been read.
+    pub fn stream_is_finished(&self, id: StreamId) -> bool {
+        self.recv_streams.get(&id).is_some_and(|s| s.is_finished())
+    }
+
+    /// True once everything written (and the FIN) was acknowledged.
+    pub fn stream_fully_acked(&self, id: StreamId) -> bool {
+        self.send_streams.get(&id).is_some_and(|s| s.is_fully_acked())
+    }
+
+    /// Begins a clean or error close.
+    pub fn close(&mut self, error_code: u64, reason: &str) {
+        if self.close_pending.is_none() && !self.closed {
+            self.close_pending = Some((error_code, reason.to_string()));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ingress
+    // ------------------------------------------------------------------
+
+    /// Processes one incoming UDP datagram.
+    pub fn handle_datagram(
+        &mut self,
+        now: SimTime,
+        local: SocketAddr,
+        remote: SocketAddr,
+        data: &[u8],
+    ) {
+        if self.closed {
+            return;
+        }
+        let mut cursor = data;
+        let Ok(header) = PublicHeader::decode(&mut cursor) else {
+            self.stats.decrypt_failures += 1;
+            return;
+        };
+        let header_len = data.len() - cursor.len();
+        if self.role == Role::Server && self.cid == 0 {
+            self.cid = header.connection_id;
+        }
+        if header.connection_id != self.cid {
+            self.stats.decrypt_failures += 1;
+            return;
+        }
+        // Select keys by packet type and direction.
+        let aead = match header.packet_type {
+            PacketType::Handshake => Aead::new(initial_key(self.cid)),
+            PacketType::OneRtt => {
+                let Some(keys) = self.session_keys else {
+                    // Can't decrypt yet (e.g. 1-RTT data racing the SHLO).
+                    self.stats.decrypt_failures += 1;
+                    return;
+                };
+                match self.role {
+                    Role::Client => Aead::new(keys.server_to_client),
+                    Role::Server => Aead::new(keys.client_to_server),
+                }
+            }
+        };
+        let nonce = nonce_for(self.config.nonce_mode, header.path_id.0, header.packet_number);
+        let Ok(plaintext) = aead.open(&nonce, &data[..header_len], &data[header_len..]) else {
+            self.stats.decrypt_failures += 1;
+            return;
+        };
+        let Ok(packet) = Packet::from_parts(header, &plaintext) else {
+            self.stats.decrypt_failures += 1;
+            return;
+        };
+
+        // Locate or create the path (peer-opened paths carry data in
+        // their first packet; no handshake needed).
+        if !self.paths.contains_key(&header.path_id) {
+            let valid_initiator = match self.role {
+                // Peer is the server: it may create even IDs.
+                Role::Client => header.path_id.server_initiated(),
+                // Peer is the client: ID 0 or odd IDs.
+                Role::Server => header.path_id.client_initiated(),
+            };
+            if !valid_initiator {
+                return;
+            }
+            self.create_path(header.path_id, local, remote);
+            self.events.push_back(Event::PathActive(header.path_id));
+        } else if let Some(path) = self.paths.get_mut(&header.path_id) {
+            // NAT rebinding: the explicit Path ID lets us keep all path
+            // state while updating the remote address (paper §3).
+            if path.remote != remote {
+                path.remote = remote;
+            }
+        }
+
+        let ack_eliciting = packet.is_ack_eliciting();
+        {
+            let path = self.paths.get_mut(&header.path_id).expect("just ensured");
+            if !path.on_packet_received(
+                header.packet_number,
+                now,
+                ack_eliciting,
+                self.config.max_ack_delay,
+            ) {
+                self.stats.duplicate_packets += 1;
+                return;
+            }
+            path.bytes_received += data.len() as u64;
+        }
+        self.stats.packets_received += 1;
+        self.stats.bytes_received += data.len() as u64;
+        self.last_activity = Some(now);
+        self.qlog.push(QlogEvent::PacketReceived {
+            time: now,
+            path: header.path_id,
+            packet_number: header.packet_number,
+            size: data.len(),
+        });
+
+        for frame in packet.frames {
+            self.handle_frame(now, header.path_id, frame);
+            if self.closed {
+                return;
+            }
+        }
+        if self.addresses_dirty {
+            self.addresses_dirty = false;
+            self.maybe_open_paths(now);
+        }
+    }
+
+    fn handle_frame(&mut self, now: SimTime, on_path: PathId, frame: Frame) {
+        match frame {
+            Frame::Padding { .. } | Frame::Ping => {}
+            Frame::Crypto { data, .. } => self.handle_crypto(now, &data),
+            Frame::Ack(ack) => self.handle_ack(now, ack),
+            Frame::Stream(f) => self.handle_stream_frame(now, f),
+            Frame::WindowUpdate { stream_id, max_data } => {
+                if stream_id == 0 {
+                    self.flow.on_max_data(max_data);
+                } else if let Some(s) = self.send_streams.get_mut(&stream_id) {
+                    s.on_max_stream_data(max_data);
+                }
+            }
+            Frame::Blocked { .. } => {}
+            Frame::RstStream { stream_id, .. } => {
+                // Minimal reset handling: drop receive state and surface
+                // completion so readers unblock.
+                if self.recv_streams.remove(&stream_id).is_some() {
+                    self.events.push_back(Event::StreamComplete(stream_id));
+                }
+            }
+            Frame::ConnectionClose { error_code, reason } => {
+                self.closed = true;
+                self.events.push_back(Event::Closed { error_code, reason });
+            }
+            Frame::AddAddress(info) => {
+                self.remote_addrs.insert(info.address_id, info.addr);
+                // Path opening is deferred to the end of the packet so a
+                // multi-address advertisement is seen whole before local
+                // interfaces are paired with remote addresses.
+                self.addresses_dirty = true;
+            }
+            Frame::Paths(infos) => {
+                for info in &infos {
+                    match info.status {
+                        PathStatus::PotentiallyFailed => {
+                            if let Some(path) = self.paths.get_mut(&info.path_id) {
+                                if path.state == PathState::Active {
+                                    path.mark_potentially_failed(now);
+                                    self.events
+                                        .push_back(Event::PathPotentiallyFailed(info.path_id));
+                                }
+                            }
+                        }
+                        PathStatus::Closed => {
+                            if let Some(path) = self.paths.get_mut(&info.path_id) {
+                                if path.state != PathState::Closed {
+                                    path.state = PathState::Closed;
+                                    path.probe_at = None;
+                                    self.events.push_back(Event::PathClosed(info.path_id));
+                                }
+                            }
+                        }
+                        PathStatus::Active => {}
+                    }
+                }
+                self.peer_paths = infos;
+            }
+        }
+        // ACK frames carry their own path id by design; the arrival path
+        // only matters for packet-number accounting, done by the caller.
+        let _ = on_path;
+    }
+
+    fn handle_crypto(&mut self, now: SimTime, data: &[u8]) {
+        match self.role {
+            Role::Client => {
+                let hs = self.client_hs.as_mut().expect("client handshake");
+                match hs.on_crypto_data(data) {
+                    Some(HandshakeEvent::Complete(keys)) => {
+                        self.session_keys = Some(keys);
+                        self.handshake_complete = true;
+                        self.events.push_back(Event::HandshakeCompleted);
+                        self.maybe_open_paths(now);
+                    }
+                    Some(HandshakeEvent::Send(bytes)) => {
+                        // Version negotiation: retry CHLO with the
+                        // mutually supported version.
+                        self.crypto_queue.push_back(Frame::Crypto {
+                            offset: 0,
+                            data: bytes,
+                        });
+                    }
+                    None => {}
+                }
+            }
+            Role::Server => {
+                let hs = self.server_hs.as_mut().expect("server handshake");
+                let completion = hs.on_crypto_data(data);
+                // The server may have queued an SHLO *or* a version
+                // negotiation; either way it goes on the crypto stream.
+                if let Some(HandshakeEvent::Send(bytes)) = hs.poll() {
+                    self.crypto_queue.push_back(Frame::Crypto {
+                        offset: 0,
+                        data: bytes,
+                    });
+                }
+                if let Some(HandshakeEvent::Complete(keys)) = completion {
+                    self.session_keys = Some(keys);
+                    self.handshake_complete = true;
+                    self.events.push_back(Event::HandshakeCompleted);
+                    // Advertise our addresses so the client can open the
+                    // additional paths (paper §3, Path Management).
+                    if self.config.multipath && !self.addresses_advertised {
+                        self.addresses_advertised = true;
+                        for (i, &addr) in self.local_addrs.clone().iter().enumerate() {
+                            self.control_queue.push_back(Frame::AddAddress(AddressInfo {
+                                address_id: i as u64,
+                                addr,
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_ack(&mut self, now: SimTime, ack: AckFrame) {
+        // Coupled congestion control needs a snapshot of every path.
+        let snapshots: Vec<_> = self.paths.values().map(Path::snapshot).collect();
+        let self_index = self
+            .paths
+            .keys()
+            .position(|&id| id == ack.path_id)
+            .unwrap_or(0);
+        let Some(path) = self.paths.get_mut(&ack.path_id) else {
+            return;
+        };
+        let ack_delay = std::time::Duration::from_micros(ack.ack_delay_micros);
+        let outcome = path
+            .recovery
+            .on_ack(now, ack.iter_ranges_ascending(), ack_delay, &mut path.rtt);
+        if outcome.newly_acked_bytes > 0 {
+            let rtt = path.rtt.latest();
+            path.cc
+                .on_ack(now, outcome.newly_acked_bytes, rtt, &snapshots, self_index);
+            let was_pf = path.state == PathState::PotentiallyFailed;
+            path.mark_recovered();
+            if was_pf {
+                self.events.push_back(Event::PathActive(ack.path_id));
+            }
+        }
+        if outcome.congestion_event {
+            path.cc.on_congestion_event(now);
+            self.stats.congestion_events += 1;
+            let window_after = path.cc.window();
+            self.qlog.push(QlogEvent::CongestionEvent {
+                time: now,
+                path: ack.path_id,
+                window_after,
+            });
+        }
+        if outcome.lost_bytes > 0 {
+            self.qlog.push(QlogEvent::PacketsLost {
+                time: now,
+                path: ack.path_id,
+                bytes: outcome.lost_bytes,
+            });
+        }
+        for frame in outcome.acked_frames {
+            if let Frame::Stream(f) = frame {
+                if let Some(s) = self.send_streams.get_mut(&f.stream_id) {
+                    s.on_acked(f.offset, f.data.len() as u64, f.fin);
+                }
+            }
+        }
+        if !outcome.lost_frames.is_empty() {
+            self.requeue_lost_frames(outcome.lost_frames);
+        }
+    }
+
+    fn handle_stream_frame(&mut self, _now: SimTime, frame: StreamFrame) {
+        let id = frame.stream_id;
+        if !self.recv_streams.contains_key(&id) && !self.send_streams.contains_key(&id) {
+            // Peer-opened stream: create both halves.
+            self.recv_streams
+                .insert(id, RecvStream::new(id, self.config.stream_recv_window));
+            self.send_streams
+                .insert(id, SendStream::new(id, self.config.stream_recv_window));
+            self.events.push_back(Event::StreamOpened(id));
+        }
+        let Some(stream) = self.recv_streams.get_mut(&id) else {
+            return;
+        };
+        match stream.on_frame(&frame) {
+            Ok(outcome) => {
+                if self.flow.on_data_received(outcome.conn_window_consumed).is_err() {
+                    self.abort(error_codes::FLOW_CONTROL_ERROR, "connection flow control violated");
+                    return;
+                }
+                if outcome.readable {
+                    self.events.push_back(Event::StreamReadable(id));
+                }
+                if outcome.finished {
+                    self.events.push_back(Event::StreamComplete(id));
+                }
+            }
+            Err(crate::stream::StreamError::FlowControlViolated) => {
+                self.abort(error_codes::FLOW_CONTROL_ERROR, "stream flow control violated");
+            }
+            Err(_) => {
+                self.abort(error_codes::STREAM_STATE_ERROR, "stream state violated");
+            }
+        }
+    }
+
+    fn abort(&mut self, code: u64, reason: &str) {
+        self.close(code, reason);
+    }
+
+    // ------------------------------------------------------------------
+    // Path management
+    // ------------------------------------------------------------------
+
+    fn create_path(&mut self, id: PathId, local: SocketAddr, remote: SocketAddr) {
+        let cc = self.config.cc.build(self.config.max_datagram_size as u64);
+        let path = Path::new(id, local, remote, self.config.initial_rtt, cc);
+        self.paths.insert(id, path);
+    }
+
+    /// Client-side: opens additional paths once the handshake is complete
+    /// and the server's addresses are known. Local interface `i` pairs
+    /// with the server address advertised under address ID `i`; if the
+    /// server advertised a single address, every interface pairs with it.
+    fn maybe_open_paths(&mut self, _now: SimTime) {
+        if self.role != Role::Client || !self.config.multipath || !self.handshake_complete {
+            return;
+        }
+        for i in 0..self.local_addrs.len() {
+            if i == self.initial_local_index {
+                continue;
+            }
+            let local = self.local_addrs[i];
+            if self.paths.values().any(|p| p.local == local) {
+                continue;
+            }
+            let remote = self
+                .remote_addrs
+                .get(&(i as u64))
+                .copied()
+                .or_else(|| {
+                    if self.remote_addrs.len() == 1 {
+                        self.remote_addrs.values().next().copied()
+                    } else {
+                        None
+                    }
+                });
+            let Some(remote) = remote else { continue };
+            let id = PathId(self.next_path_id);
+            self.next_path_id += 2;
+            self.create_path(id, local, remote);
+            // Exercise the path immediately: the first packet tells the
+            // peer the path exists (so *its* scheduler can use it — vital
+            // when the server is the bulk sender) and samples the RTT.
+            self.per_path_queue.entry(id).or_default().push_back(Frame::Ping);
+            self.events.push_back(Event::PathActive(id));
+        }
+    }
+
+    /// Migrates a path to a new local address — QUIC's *connection
+    /// migration*, which the paper's introduction contrasts with
+    /// multipath: "QUIC connection migration allows moving a flow from
+    /// one address to another. This is a form of hard handover."
+    ///
+    /// Path identity (Path ID, packet-number spaces) is preserved, but
+    /// the congestion and RTT state is reset: the new network's
+    /// characteristics are unknown (RFC 9000 §9.4 semantics). The peer
+    /// learns the new address from the packets themselves (its
+    /// NAT-rebinding handling updates the remote address).
+    pub fn migrate_path(&mut self, id: PathId, new_local: SocketAddr, now: SimTime) {
+        let Some(path) = self.paths.get_mut(&id) else {
+            return;
+        };
+        if path.local == new_local || path.state == PathState::Closed {
+            return;
+        }
+        path.local = new_local;
+        path.cc = self.config.cc.build(self.config.max_datagram_size as u64);
+        path.rtt = crate::rtt::RttEstimator::new(self.config.initial_rtt);
+        path.state = PathState::Active;
+        path.probe_at = None;
+        // Everything in flight went out on the old network; surrender it
+        // for retransmission on the new one.
+        let frames = path.recovery.surrender_all();
+        self.requeue_lost_frames(frames);
+        // Probe the new network immediately.
+        self.per_path_queue.entry(id).or_default().push_back(Frame::Ping);
+        self.events.push_back(Event::PathActive(id));
+        let _ = now;
+    }
+
+    /// Closes a path: the paper's path manager controls "the creation
+    /// and deletion of paths". Outstanding frames move to the shared
+    /// retransmission queues (servable by the remaining paths) and the
+    /// peer is told via a PATHS frame carrying `Closed` status.
+    pub fn close_path(&mut self, id: PathId, now: SimTime) {
+        let Some(path) = self.paths.get_mut(&id) else {
+            return;
+        };
+        if path.state == PathState::Closed {
+            return;
+        }
+        path.state = PathState::Closed;
+        path.probe_at = None;
+        // Surrender everything in flight on the dying path.
+        let frames = path.recovery.surrender_all();
+        let _ = now;
+        self.requeue_lost_frames(frames);
+        // Reroute its queued control frames.
+        if let Some(queue) = self.per_path_queue.get_mut(&id) {
+            let frames: Vec<Frame> = queue.drain(..).collect();
+            self.control_queue.extend(frames);
+        }
+        if let Some(dups) = self.duplicate_queue.get_mut(&id) {
+            for frame in dups.drain(..).collect::<Vec<_>>() {
+                if let Some(s) = self.send_streams.get_mut(&frame.stream_id) {
+                    s.on_lost(frame);
+                }
+            }
+        }
+        self.queue_paths_frame();
+        self.events.push_back(Event::PathClosed(id));
+    }
+
+    fn queue_paths_frame(&mut self) {
+        if !self.config.send_paths_frames || !self.config.multipath {
+            return;
+        }
+        let infos: Vec<PathInfo> = self
+            .paths
+            .values()
+            .map(|p| PathInfo {
+                path_id: p.id,
+                status: p.status(),
+                srtt_micros: if p.rtt_known() {
+                    p.rtt.srtt().as_micros() as u64
+                } else {
+                    mpquic_wire::frame::SRTT_UNKNOWN
+                },
+            })
+            .collect();
+        self.control_queue.push_back(Frame::Paths(infos));
+    }
+
+    fn requeue_lost_frames(&mut self, frames: Vec<Frame>) {
+        for frame in frames {
+            self.stats.frames_retransmitted += 1;
+            match frame {
+                Frame::Stream(f) => {
+                    if let Some(s) = self.send_streams.get_mut(&f.stream_id) {
+                        s.on_lost(f);
+                    }
+                }
+                Frame::Crypto { .. } => self.crypto_queue.push_back(frame),
+                Frame::Paths(_) => self.queue_paths_frame(),
+                Frame::Ping => {}
+                Frame::WindowUpdate { .. }
+                | Frame::AddAddress(_)
+                | Frame::Blocked { .. }
+                | Frame::RstStream { .. }
+                | Frame::ConnectionClose { .. } => self.control_queue.push_back(frame),
+                Frame::Ack(_) | Frame::Padding { .. } => {}
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Earliest instant at which [`Connection::on_timeout`] (or a
+    /// transmission) is needed.
+    pub fn next_timeout(&self) -> Option<SimTime> {
+        if self.closed {
+            return None;
+        }
+        let mut earliest = SimTime::FAR_FUTURE;
+        if let (Some(idle), Some(last)) = (self.config.idle_timeout, self.last_activity) {
+            earliest = earliest.min(last + idle);
+        }
+        for path in self.paths.values() {
+            if let Some((when, _)) = path.recovery.next_timeout(&path.rtt) {
+                earliest = earliest.min(when);
+            }
+            if path.ack_pending {
+                if let Some(deadline) = path.ack_deadline {
+                    earliest = earliest.min(deadline);
+                }
+            }
+            if let Some(probe) = path.probe_at {
+                earliest = earliest.min(probe);
+            }
+        }
+        if earliest == SimTime::FAR_FUTURE {
+            None
+        } else {
+            Some(earliest)
+        }
+    }
+
+    /// Fires expired timers: loss detection, RTOs, and probe scheduling.
+    /// Delayed ACKs flush through the next [`Connection::poll_transmit`].
+    pub fn on_timeout(&mut self, now: SimTime) {
+        if self.closed {
+            return;
+        }
+        if let (Some(idle), Some(last)) = (self.config.idle_timeout, self.last_activity) {
+            if now.saturating_duration_since(last) >= idle {
+                // Idle connections close silently (no CONNECTION_CLOSE:
+                // the peer is unreachable or gone anyway).
+                self.closed = true;
+                self.events.push_back(Event::Closed {
+                    error_code: error_codes::IDLE_TIMEOUT,
+                    reason: "idle timeout".to_string(),
+                });
+                return;
+            }
+        }
+        let ids: Vec<PathId> = self.paths.keys().copied().collect();
+        for id in ids {
+            let (outcome, was_active) = {
+                let path = self.paths.get_mut(&id).expect("listed");
+                let due = path
+                    .recovery
+                    .next_timeout(&path.rtt)
+                    .is_some_and(|(when, _)| when <= now);
+                if !due {
+                    continue;
+                }
+                let was_active = path.state == PathState::Active;
+                let outcome = path.recovery.on_timeout(now, &path.rtt);
+                (outcome, was_active)
+            };
+            if outcome.rto_fired {
+                self.stats.rtos += 1;
+                self.qlog.push(QlogEvent::Rto { time: now, path: id });
+                let path = self.paths.get_mut(&id).expect("listed");
+                path.cc.on_rto(now);
+                // The paper's §4.3 behaviour: the path is only *potentially*
+                // failed; the scheduler ignores it until data is acked on it.
+                path.mark_potentially_failed(now);
+                if was_active {
+                    self.events.push_back(Event::PathPotentiallyFailed(id));
+                    self.qlog.push(QlogEvent::PathStateChanged {
+                        time: now,
+                        path: id,
+                        state: crate::qlog::PathStateKind::PotentiallyFailed,
+                    });
+                }
+                // Tell the peer which path failed so it does not have to
+                // discover it through its own RTO (Fig. 11).
+                if self.paths.len() > 1 {
+                    self.queue_paths_frame();
+                }
+            } else if outcome.congestion_event {
+                let path = self.paths.get_mut(&id).expect("listed");
+                path.cc.on_congestion_event(now);
+                self.stats.congestion_events += 1;
+            }
+            if !outcome.lost_frames.is_empty() {
+                self.requeue_lost_frames(outcome.lost_frames);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Egress
+    // ------------------------------------------------------------------
+
+    /// Produces the next outgoing datagram, if any. Call repeatedly until
+    /// it returns `None`.
+    pub fn poll_transmit(&mut self, now: SimTime) -> Option<Transmit> {
+        if self.closed && !self.close_sent {
+            // We process a received close by going silent; nothing to send.
+            return None;
+        }
+        // 0. Pending CONNECTION_CLOSE.
+        if let Some((code, reason)) = self.close_pending.clone() {
+            if !self.close_sent {
+                let transmit = self.emit_close(now, code, reason);
+                self.close_sent = true;
+                self.closed = true;
+                return transmit;
+            }
+            return None;
+        }
+        // 1. Generate window updates (duplicated on all paths).
+        self.flush_window_updates();
+        // 2. Handshake packets (initial path, initial keys).
+        if !self.crypto_queue.is_empty() {
+            if let Some(t) = self.emit_handshake(now) {
+                return Some(t);
+            }
+        }
+        // 3. Path-bound control frames (window-update duplicates, probes).
+        // Frames stranded on a path that is no longer active are rerouted
+        // through the path-agnostic queue — frames are independent of
+        // paths by design.
+        let stranded: Vec<PathId> = self
+            .per_path_queue
+            .iter()
+            .filter(|(id, q)| {
+                !q.is_empty()
+                    && self
+                        .paths
+                        .get(id)
+                        .is_none_or(|p| p.state != PathState::Active)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in stranded {
+            if let Some(queue) = self.per_path_queue.get_mut(&id) {
+                let frames: Vec<Frame> = queue.drain(..).collect();
+                self.control_queue.extend(frames);
+            }
+        }
+        let path_with_control = self
+            .per_path_queue
+            .iter()
+            .find(|(_, q)| !q.is_empty())
+            .map(|(&id, _)| id);
+        if let Some(id) = path_with_control {
+            if let Some(t) = self.emit_control(now, id) {
+                return Some(t);
+            }
+        }
+        // 4. Data packets, scheduled per the paper.
+        if self.session_keys.is_some() {
+            if let Some(t) = self.emit_data(now) {
+                return Some(t);
+            }
+        }
+        // 5. Due ACKs that found no ride. The ACK frame names the path it
+        // acknowledges, so it may travel on any path; prefer the path the
+        // data arrived on (like the paper's implementation), but fall back
+        // to the best active path when that one is potentially failed —
+        // otherwise ACKs for a broken path would be sent into the void.
+        let due: Vec<(PathId, bool)> = self
+            .paths
+            .values()
+            .filter(|p| p.ack_due(now))
+            .map(|p| (p.id, p.state == PathState::Active))
+            .collect();
+        for (due_path, active) in due {
+            let send_on = if active {
+                Some(due_path)
+            } else {
+                // The receiving path is sick: route its ACK over the best
+                // active path (ACK frames carry their own Path ID).
+                self.scheduler
+                    .select_for_control(&self.path_views())
+                    .or(Some(due_path))
+            };
+            if let Some(id) = send_on {
+                if let Some(t) = self.emit_ack_only(now, id) {
+                    return Some(t);
+                }
+            }
+        }
+        // 6. Probes of potentially-failed paths.
+        let probe_path = self
+            .paths
+            .values()
+            .find(|p| p.probe_at.is_some_and(|at| at <= now))
+            .map(|p| p.id);
+        if let Some(id) = probe_path {
+            if let Some(t) = self.emit_probe(now, id) {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn flush_window_updates(&mut self) {
+        let mut updates: Vec<Frame> = Vec::new();
+        if let Some(limit) = self.flow.poll_window_update() {
+            updates.push(Frame::WindowUpdate {
+                stream_id: 0,
+                max_data: limit,
+            });
+        }
+        for (&id, stream) in self.recv_streams.iter_mut() {
+            if let Some(limit) = stream.poll_window_update() {
+                updates.push(Frame::WindowUpdate {
+                    stream_id: id,
+                    max_data: limit,
+                });
+            }
+        }
+        if updates.is_empty() {
+            return;
+        }
+        if self.config.duplicate_window_updates && self.config.multipath {
+            // The paper's rule: WINDOW_UPDATE goes out on *all* paths.
+            let active: Vec<PathId> = self
+                .paths
+                .values()
+                .filter(|p| p.state == PathState::Active)
+                .map(|p| p.id)
+                .collect();
+            for id in active {
+                let queue = self.per_path_queue.entry(id).or_default();
+                queue.extend(updates.iter().cloned());
+            }
+        } else {
+            self.control_queue.extend(updates);
+        }
+    }
+
+    /// Which AEAD protects packets we send of the given type.
+    fn send_aead(&self, packet_type: PacketType) -> Option<Aead> {
+        match packet_type {
+            PacketType::Handshake => Some(Aead::new(initial_key(self.cid))),
+            PacketType::OneRtt => {
+                let keys = self.session_keys?;
+                Some(match self.role {
+                    Role::Client => Aead::new(keys.client_to_server),
+                    Role::Server => Aead::new(keys.server_to_client),
+                })
+            }
+        }
+    }
+
+    fn provisional_header(&self, path_id: PathId, packet_type: PacketType) -> PublicHeader {
+        PublicHeader {
+            connection_id: self.cid,
+            path_id,
+            packet_number: self
+                .paths
+                .get(&path_id)
+                .map(|p| p.recovery.next_pn_peek())
+                .unwrap_or(0),
+            packet_type,
+        }
+    }
+
+    /// Adds pending ACK frames to a packet being built for `packet_path`.
+    ///
+    /// ACK affinity follows the paper: "our implementation returns the ACK
+    /// frame for a given path on the path where the data was received" —
+    /// unless that path is potentially failed, in which case the ACK may
+    /// ride the best active path ("since it contains the Path ID, it is
+    /// possible to send ACK frames over different paths"). Keeping healthy
+    /// paths' ACKs off sick paths prevents a single dead path from
+    /// starving the others of acknowledgements.
+    fn push_acks(&mut self, now: SimTime, builder: &mut PacketBuilder, packet_path: PathId) {
+        let best_active = self
+            .paths
+            .values()
+            .filter(|p| p.state == PathState::Active)
+            .min_by_key(|p| p.rtt.srtt())
+            .map(|p| p.id);
+        let pending: Vec<(PathId, PathId)> = self
+            .paths
+            .values()
+            .filter(|p| p.ack_pending)
+            .map(|p| {
+                let target = if p.state == PathState::Active {
+                    p.id
+                } else {
+                    best_active.unwrap_or(packet_path)
+                };
+                (p.id, target)
+            })
+            .collect();
+        for (id, target) in pending {
+            if target != packet_path {
+                continue;
+            }
+            let frame = {
+                let path = self.paths.get(&id).expect("listed");
+                path.peek_ack_frame(now, self.config.max_ack_ranges)
+                    .map(Frame::Ack)
+            };
+            if let Some(frame) = frame {
+                if builder.try_push(frame) {
+                    self.paths.get_mut(&id).expect("listed").note_ack_sent();
+                }
+            }
+        }
+    }
+
+    /// Seals a finished builder, records it with recovery and congestion
+    /// control, and produces the datagram.
+    fn finalize(
+        &mut self,
+        now: SimTime,
+        builder: PacketBuilder,
+        path_id: PathId,
+        packet_type: PacketType,
+    ) -> Option<Transmit> {
+        let packet = builder.finish()?;
+        let aead = self.send_aead(packet_type)?;
+        let ack_eliciting = packet.is_ack_eliciting();
+        let (header_bytes, payload) = packet.encode_parts();
+        let nonce = nonce_for(
+            self.config.nonce_mode,
+            path_id.0,
+            packet.header.packet_number,
+        );
+        let sealed = aead.seal(&nonce, &header_bytes, &payload);
+        let mut wire = header_bytes;
+        wire.extend_from_slice(&sealed);
+
+        let path = self.paths.get_mut(&path_id).expect("path exists");
+        let pn = path.recovery.next_packet_number();
+        debug_assert_eq!(pn, packet.header.packet_number, "provisional pn must match");
+        if ack_eliciting {
+            path.recovery.on_packet_sent(SentPacket {
+                packet_number: pn,
+                time_sent: now,
+                size: wire.len() as u64,
+                ack_eliciting,
+                frames: packet
+                    .frames
+                    .into_iter()
+                    .filter(Frame::is_retransmittable)
+                    .collect(),
+            });
+            path.cc.on_packet_sent(now, wire.len() as u64);
+        }
+        path.bytes_sent += wire.len() as u64;
+        self.stats.packets_sent += 1;
+        self.stats.bytes_sent += wire.len() as u64;
+        self.qlog.push(QlogEvent::PacketSent {
+            time: now,
+            path: path_id,
+            packet_number: pn,
+            size: wire.len(),
+            ack_eliciting,
+        });
+        Some(Transmit {
+            local: path.local,
+            remote: path.remote,
+            payload: wire,
+        })
+    }
+
+    fn emit_close(&mut self, now: SimTime, code: u64, reason: String) -> Option<Transmit> {
+        let packet_type = if self.session_keys.is_some() {
+            PacketType::OneRtt
+        } else {
+            PacketType::Handshake
+        };
+        let path_id = self
+            .paths
+            .values()
+            .find(|p| p.state == PathState::Active)
+            .or_else(|| self.paths.values().next())
+            .map(|p| p.id)?;
+        let header = self.provisional_header(path_id, packet_type);
+        let mut builder =
+            PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
+        self.push_acks(now, &mut builder, path_id);
+        builder.try_push(Frame::ConnectionClose {
+            error_code: code,
+            reason,
+        });
+        self.finalize(now, builder, path_id, packet_type)
+    }
+
+    fn emit_handshake(&mut self, now: SimTime) -> Option<Transmit> {
+        let path_id = PathId::INITIAL;
+        if !self.paths.contains_key(&path_id) {
+            return None;
+        }
+        let header = self.provisional_header(path_id, PacketType::Handshake);
+        let mut builder =
+            PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
+        self.push_acks(now, &mut builder, path_id);
+        while let Some(frame) = self.crypto_queue.front() {
+            if builder.remaining() < frame.wire_size() {
+                break;
+            }
+            let frame = self.crypto_queue.pop_front().expect("checked");
+            builder.try_push(frame);
+        }
+        self.finalize(now, builder, path_id, PacketType::Handshake)
+    }
+
+    fn emit_control(&mut self, now: SimTime, path_id: PathId) -> Option<Transmit> {
+        let header = self.provisional_header(path_id, PacketType::OneRtt);
+        self.session_keys?;
+        let mut builder =
+            PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
+        self.push_acks(now, &mut builder, path_id);
+        if let Some(queue) = self.per_path_queue.get_mut(&path_id) {
+            while let Some(frame) = queue.front() {
+                if builder.remaining() < frame.wire_size() {
+                    break;
+                }
+                let frame = queue.pop_front().expect("checked");
+                builder.try_push(frame);
+            }
+        }
+        if !builder.has_retransmittable() {
+            // Nothing but ACKs would go out; leave those to emit_ack_only.
+            return None;
+        }
+        self.finalize(now, builder, path_id, PacketType::OneRtt)
+    }
+
+    fn emit_data(&mut self, now: SimTime) -> Option<Transmit> {
+        // Does anyone want to send?
+        let has_dup = self.duplicate_queue.values().any(|q| !q.is_empty());
+        let has_stream_data = self.send_streams.values().any(SendStream::wants_to_send);
+        let has_control = !self.control_queue.is_empty();
+        if !has_dup && !has_stream_data && !has_control {
+            return None;
+        }
+        let views = self.path_views();
+        // Duplicate-queue frames are bound to their target path; if a
+        // target path has queued duplicates and window space, serve it
+        // first so duplicates don't rot.
+        let dup_path = self
+            .duplicate_queue
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&id, _)| id)
+            .find(|id| {
+                views
+                    .iter()
+                    .any(|v| v.id == *id && v.usable && v.cwnd_available >= self.config.max_datagram_size as u64)
+            });
+        let decision = if let Some(id) = dup_path {
+            crate::scheduler::Decision {
+                path: id,
+                duplicate_on: None,
+            }
+        } else {
+            self.scheduler
+                .select_for_data(&views, self.config.max_datagram_size as u64)?
+        };
+        let path_id = decision.path;
+        let header = self.provisional_header(path_id, PacketType::OneRtt);
+        let mut builder =
+            PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
+        self.push_acks(now, &mut builder, path_id);
+        // Path-agnostic control frames ride along.
+        while let Some(frame) = self.control_queue.front() {
+            if builder.remaining() < frame.wire_size() {
+                break;
+            }
+            let frame = self.control_queue.pop_front().expect("checked");
+            builder.try_push(frame);
+        }
+        // Duplicated stream frames targeted at this path.
+        if let Some(queue) = self.duplicate_queue.get_mut(&path_id) {
+            while let Some(frame) = queue.front() {
+                let wrapped_size = Frame::Stream(frame.clone()).wire_size();
+                if builder.remaining() < wrapped_size {
+                    break;
+                }
+                let frame = queue.pop_front().expect("checked");
+                builder.try_push(Frame::Stream(frame));
+            }
+        }
+        // Fresh stream data (and retransmissions), subject to connection
+        // flow control.
+        let mut credit = self.flow.send_credit();
+        // Service streams round-robin, starting after the last stream
+        // served, so concurrent streams share the paths fairly.
+        let mut stream_ids: Vec<StreamId> = self.send_streams.keys().copied().collect();
+        let pivot = stream_ids
+            .iter()
+            .position(|&id| id > self.stream_cursor)
+            .unwrap_or(0);
+        stream_ids.rotate_left(pivot);
+        loop {
+            let mut progressed = false;
+            for &sid in &stream_ids {
+                let stream = self.send_streams.get_mut(&sid).expect("listed");
+                if !stream.wants_to_send() {
+                    if stream.should_report_blocked() {
+                        let f = Frame::Blocked { stream_id: sid };
+                        if builder.remaining() >= f.wire_size() {
+                            builder.try_push(f);
+                        }
+                    }
+                    continue;
+                }
+                let overhead =
+                    StreamFrame::overhead(sid, stream.next_send_offset(), builder.remaining());
+                if builder.remaining() <= overhead {
+                    continue;
+                }
+                let max_payload = builder.remaining() - overhead;
+                if let Some((frame, consumed)) = stream.next_frame(max_payload, credit) {
+                    credit -= consumed;
+                    self.stream_cursor = sid;
+                    self.flow.on_new_data_sent(consumed);
+                    if let Some(dup_target) = decision.duplicate_on {
+                        self.duplicate_queue
+                            .entry(dup_target)
+                            .or_default()
+                            .push_back(frame.clone());
+                        self.stats.duplicated_stream_frames += 1;
+                    }
+                    let ok = builder.try_push(Frame::Stream(frame));
+                    debug_assert!(ok, "frame was sized to fit");
+                    progressed = true;
+                }
+            }
+            if !progressed || builder.remaining() < 16 {
+                break;
+            }
+        }
+        if self.flow.should_report_blocked() {
+            let f = Frame::Blocked { stream_id: 0 };
+            if builder.remaining() >= f.wire_size() {
+                builder.try_push(f);
+            }
+        }
+        if !builder.has_retransmittable() {
+            return None;
+        }
+        self.finalize(now, builder, path_id, PacketType::OneRtt)
+    }
+
+    fn emit_ack_only(&mut self, now: SimTime, path_id: PathId) -> Option<Transmit> {
+        let packet_type = if self.session_keys.is_some() {
+            PacketType::OneRtt
+        } else {
+            PacketType::Handshake
+        };
+        let header = self.provisional_header(path_id, packet_type);
+        let mut builder =
+            PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
+        self.push_acks(now, &mut builder, path_id);
+        if builder.is_empty() {
+            return None;
+        }
+        self.finalize(now, builder, path_id, packet_type)
+    }
+
+    fn emit_probe(&mut self, now: SimTime, path_id: PathId) -> Option<Transmit> {
+        {
+            let path = self.paths.get_mut(&path_id)?;
+            // One probe per backoff period; the probe's own RTO (or its
+            // ACK) schedules what happens next.
+            path.probe_at = None;
+        }
+        let header = self.provisional_header(path_id, PacketType::OneRtt);
+        self.session_keys?;
+        let mut builder =
+            PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
+        self.push_acks(now, &mut builder, path_id);
+        builder.try_push(Frame::Ping);
+        self.finalize(now, builder, path_id, PacketType::OneRtt)
+    }
+
+    fn path_views(&self) -> Vec<PathView> {
+        self.paths
+            .values()
+            .filter(|p| p.state != PathState::Closed)
+            .map(|p| PathView {
+                id: p.id,
+                srtt: p.rtt.srtt(),
+                rtt_known: p.rtt_known(),
+                cwnd_available: p.cwnd_available(),
+                usable: p.usable_for_data()
+                    && (self.handshake_complete || p.id == PathId::INITIAL),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Event;
+
+    const C0: &str = "10.0.0.1:50000";
+    const C1: &str = "10.1.0.1:50000";
+    const S0: &str = "10.0.1.1:4433";
+    const S1: &str = "10.1.1.1:4433";
+
+    fn addr(s: &str) -> SocketAddr {
+        s.parse().unwrap()
+    }
+
+    fn pair() -> (Connection, Connection) {
+        let client = Connection::client(
+            Config::multipath(),
+            vec![addr(C0), addr(C1)],
+            0,
+            addr(S0),
+            1,
+        );
+        let server = Connection::server(Config::multipath(), vec![addr(S0), addr(S1)], 2);
+        (client, server)
+    }
+
+    /// Shuttles all pending datagrams both ways (zero latency) until both
+    /// sides are quiescent at `now`.
+    fn shuttle(client: &mut Connection, server: &mut Connection, now: SimTime) {
+        for _ in 0..64 {
+            let mut any = false;
+            while let Some(t) = client.poll_transmit(now) {
+                server.handle_datagram(now, t.remote, t.local, &t.payload);
+                any = true;
+            }
+            while let Some(t) = server.poll_transmit(now) {
+                client.handle_datagram(now, t.remote, t.local, &t.payload);
+                any = true;
+            }
+            if !any {
+                return;
+            }
+        }
+        panic!("shuttle did not quiesce");
+    }
+
+    fn established_pair(now: SimTime) -> (Connection, Connection) {
+        let (mut client, mut server) = pair();
+        shuttle(&mut client, &mut server, now);
+        assert!(client.is_established() && server.is_established());
+        (client, server)
+    }
+
+    fn drain(conn: &mut Connection) -> Vec<Event> {
+        std::iter::from_fn(|| conn.poll_event()).collect()
+    }
+
+    /// Fires the earliest pending timer of either side and shuttles the
+    /// resulting datagrams. Returns the time it advanced to.
+    fn advance(client: &mut Connection, server: &mut Connection) -> SimTime {
+        let now = [client.next_timeout(), server.next_timeout()]
+            .into_iter()
+            .flatten()
+            .min()
+            .expect("a timer is armed");
+        client.on_timeout(now);
+        server.on_timeout(now);
+        shuttle(client, server, now);
+        now
+    }
+
+    #[test]
+    fn zero_latency_handshake_establishes_both_sides() {
+        let (mut client, mut server) = established_pair(SimTime::from_millis(1));
+        assert!(drain(&mut client).contains(&Event::HandshakeCompleted));
+        assert!(drain(&mut server).contains(&Event::HandshakeCompleted));
+        assert_eq!(client.connection_id(), server.connection_id());
+    }
+
+    #[test]
+    fn client_opens_additional_path_after_add_address() {
+        let (mut client, mut server) = established_pair(SimTime::from_millis(1));
+        shuttle(&mut client, &mut server, SimTime::from_millis(2));
+        assert!(client.path_ids().contains(&PathId(1)));
+        let p1 = client.path(PathId(1)).unwrap();
+        assert_eq!(p1.local, addr(C1));
+        assert_eq!(p1.remote, addr(S1));
+        // Path 1 was probed (PING) so the server learned about it.
+        assert!(server.path_ids().contains(&PathId(1)));
+    }
+
+    #[test]
+    fn stream_ids_allocated_by_role() {
+        let (mut client, mut server) = pair();
+        assert_eq!(client.open_stream(), 1);
+        assert_eq!(client.open_stream(), 3);
+        assert_eq!(server.open_stream(), 2);
+        assert_eq!(server.open_stream(), 4);
+    }
+
+    #[test]
+    fn peer_opened_stream_creates_both_halves_and_event() {
+        let (mut client, mut server) = established_pair(SimTime::from_millis(1));
+        let stream = client.open_stream();
+        client.stream_write(stream, Bytes::from_static(b"hi")).unwrap();
+        shuttle(&mut client, &mut server, SimTime::from_millis(2));
+        let events = drain(&mut server);
+        assert!(events.contains(&Event::StreamOpened(stream)));
+        assert!(events.contains(&Event::StreamReadable(stream)));
+        assert_eq!(&server.stream_read(stream, 10).unwrap()[..], b"hi");
+        // The server can answer on the same stream.
+        server.stream_write(stream, Bytes::from_static(b"yo")).unwrap();
+        shuttle(&mut client, &mut server, SimTime::from_millis(3));
+        assert_eq!(&client.stream_read(stream, 10).unwrap()[..], b"yo");
+    }
+
+    #[test]
+    fn close_is_idempotent_and_propagates_once() {
+        let (mut client, mut server) = established_pair(SimTime::from_millis(1));
+        client.close(0, "bye");
+        client.close(7, "ignored");
+        shuttle(&mut client, &mut server, SimTime::from_millis(2));
+        assert!(client.is_closed());
+        assert!(server.is_closed());
+        let events = drain(&mut server);
+        let closes: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, Event::Closed { .. }))
+            .collect();
+        assert_eq!(closes.len(), 1);
+        assert!(matches!(
+            closes[0],
+            Event::Closed { error_code: 0, reason } if reason == "bye"
+        ));
+        // A closed connection emits nothing further.
+        assert!(client.poll_transmit(SimTime::from_millis(3)).is_none());
+        assert!(client.next_timeout().is_none());
+    }
+
+    #[test]
+    fn datagrams_with_wrong_cid_are_dropped() {
+        let (mut client, mut server) = established_pair(SimTime::from_millis(1));
+        let stream = client.open_stream();
+        client.stream_write(stream, Bytes::from_static(b"x")).unwrap();
+        let t = client.poll_transmit(SimTime::from_millis(2)).unwrap();
+        let mut corrupted = t.payload.clone();
+        corrupted[3] ^= 0xFF; // flip a CID byte in the public header
+        let before = server.stats();
+        server.handle_datagram(SimTime::from_millis(2), t.remote, t.local, &corrupted);
+        let after = server.stats();
+        assert_eq!(after.packets_received, before.packets_received);
+        assert_eq!(after.decrypt_failures, before.decrypt_failures + 1);
+    }
+
+    #[test]
+    fn tampered_payload_fails_authentication() {
+        let (mut client, mut server) = established_pair(SimTime::from_millis(1));
+        let stream = client.open_stream();
+        client.stream_write(stream, Bytes::from_static(b"secret")).unwrap();
+        let t = client.poll_transmit(SimTime::from_millis(2)).unwrap();
+        let mut tampered = t.payload.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 0x01;
+        let before = server.stats().decrypt_failures;
+        server.handle_datagram(SimTime::from_millis(2), t.remote, t.local, &tampered);
+        assert_eq!(server.stats().decrypt_failures, before + 1);
+        assert!(server.stream_read(stream, 10).is_none());
+    }
+
+    #[test]
+    fn duplicate_datagram_discarded() {
+        let (mut client, mut server) = established_pair(SimTime::from_millis(1));
+        let stream = client.open_stream();
+        client.stream_write(stream, Bytes::from_static(b"abc")).unwrap();
+        let t = client.poll_transmit(SimTime::from_millis(2)).unwrap();
+        server.handle_datagram(SimTime::from_millis(2), t.remote, t.local, &t.payload);
+        server.handle_datagram(SimTime::from_millis(2), t.remote, t.local, &t.payload);
+        assert_eq!(server.stats().duplicate_packets, 1);
+        assert_eq!(&server.stream_read(stream, 10).unwrap()[..], b"abc");
+        assert!(server.stream_read(stream, 10).is_none());
+    }
+
+    #[test]
+    fn nat_rebinding_updates_remote_without_losing_state() {
+        let (mut client, mut server) = established_pair(SimTime::from_millis(1));
+        let stream = client.open_stream();
+        client.stream_write(stream, Bytes::from_static(b"before")).unwrap();
+        shuttle(&mut client, &mut server, SimTime::from_millis(2));
+        assert_eq!(&server.stream_read(stream, 100).unwrap()[..], b"before");
+        let srtt_before = server.path(PathId::INITIAL).unwrap().rtt.srtt();
+
+        // The client's NAT rebinds: same path id, new source address.
+        client.stream_write(stream, Bytes::from_static(b"after")).unwrap();
+        let rebound = addr("192.0.2.99:1234");
+        while let Some(t) = client.poll_transmit(SimTime::from_millis(3)) {
+            if t.local == addr(C0) {
+                server.handle_datagram(SimTime::from_millis(3), t.remote, rebound, &t.payload);
+            } else {
+                server.handle_datagram(SimTime::from_millis(3), t.remote, t.local, &t.payload);
+            }
+        }
+        assert_eq!(&server.stream_read(stream, 100).unwrap()[..], b"after");
+        let path = server.path(PathId::INITIAL).unwrap();
+        assert_eq!(path.remote, rebound, "remote address follows the rebinding");
+        assert_eq!(path.rtt.srtt(), srtt_before, "path state survives");
+    }
+
+    #[test]
+    fn single_path_config_never_advertises_addresses() {
+        let mut client = Connection::client(
+            Config::single_path(),
+            vec![addr(C0)],
+            0,
+            addr(S0),
+            1,
+        );
+        let mut server = Connection::server(Config::single_path(), vec![addr(S0), addr(S1)], 2);
+        shuttle(&mut client, &mut server, SimTime::from_millis(1));
+        assert!(client.is_established());
+        assert_eq!(client.path_ids(), vec![PathId::INITIAL]);
+        assert_eq!(server.path_ids(), vec![PathId::INITIAL]);
+    }
+
+    #[test]
+    fn flow_control_violation_closes_connection() {
+        let mut config = Config::multipath();
+        config.stream_recv_window = 64; // tiny window on the receiver
+        config.conn_recv_window = 1 << 20;
+        let mut client = Connection::client(
+            Config::multipath(),
+            vec![addr(C0)],
+            0,
+            addr(S0),
+            1,
+        );
+        let mut server = Connection::server(config, vec![addr(S0)], 2);
+        shuttle(&mut client, &mut server, SimTime::from_millis(1));
+        // The client believes the stream window is its own default (16 MB),
+        // so it overruns the server's tiny 64-byte limit.
+        let stream = client.open_stream();
+        client
+            .stream_write(stream, Bytes::from(vec![1u8; 4096]))
+            .unwrap();
+        shuttle(&mut client, &mut server, SimTime::from_millis(2));
+        assert!(server.is_closed(), "server must abort on flow-control violation");
+        assert!(client.is_closed(), "client learns about the abort");
+        let events = drain(&mut client);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Closed { error_code, .. } if *error_code == error_codes::FLOW_CONTROL_ERROR
+        )));
+    }
+
+    #[test]
+    fn window_updates_are_duplicated_on_all_paths() {
+        let mut config = Config::multipath();
+        config.conn_recv_window = 64 << 10;
+        config.stream_recv_window = 64 << 10;
+        let mut client = Connection::client(
+            config.clone(),
+            vec![addr(C0), addr(C1)],
+            0,
+            addr(S0),
+            1,
+        );
+        let mut server = Connection::server(config, vec![addr(S0), addr(S1)], 2);
+        // Establish + open paths.
+        for step in 1..4 {
+            shuttle(&mut client, &mut server, SimTime::from_millis(step));
+        }
+        assert!(server.path_ids().contains(&PathId(1)));
+        // Push more than half the window and read it, forcing updates.
+        let stream = client.open_stream();
+        client
+            .stream_write(stream, Bytes::from(vec![2u8; 48 << 10]))
+            .unwrap();
+        shuttle(&mut client, &mut server, SimTime::from_millis(5));
+        while server.stream_read(stream, usize::MAX).is_some() {}
+        // Collect the server's outgoing packets and count WINDOW_UPDATE
+        // carriers per path.
+        let mut wu_paths = std::collections::HashSet::new();
+        while let Some(t) = server.poll_transmit(SimTime::from_millis(6)) {
+            let mut cursor = &t.payload[..];
+            let header = PublicHeader::decode(&mut cursor).unwrap();
+            let keys = server.session_keys.unwrap();
+            let aead = Aead::new(keys.server_to_client);
+            let nonce = nonce_for(NonceMode::PathIdMixed, header.path_id.0, header.packet_number);
+            let hdr_len = t.payload.len() - cursor.len();
+            let plain = aead
+                .open(&nonce, &t.payload[..hdr_len], &t.payload[hdr_len..])
+                .unwrap();
+            let frames = Frame::decode_all(&plain).unwrap();
+            if frames.iter().any(|f| matches!(f, Frame::WindowUpdate { .. })) {
+                wu_paths.insert(header.path_id);
+            }
+            client.handle_datagram(SimTime::from_millis(6), t.remote, t.local, &t.payload);
+        }
+        assert!(
+            wu_paths.len() >= 2,
+            "WINDOW_UPDATE should ride every active path, saw {wu_paths:?}"
+        );
+    }
+
+    #[test]
+    fn handshake_packet_loss_recovers_via_rto() {
+        let (mut client, mut server) = pair();
+        // Drop the CHLO.
+        let chlo = client.poll_transmit(SimTime::ZERO).expect("CHLO");
+        assert!(client.poll_transmit(SimTime::ZERO).is_none());
+        drop(chlo);
+        // RTO fires and the CHLO is retransmitted.
+        let rto_at = client.next_timeout().expect("rto armed");
+        client.on_timeout(rto_at);
+        let retx = client.poll_transmit(rto_at).expect("retransmitted CHLO");
+        server.handle_datagram(rto_at, retx.remote, retx.local, &retx.payload);
+        shuttle(&mut client, &mut server, rto_at);
+        assert!(client.is_established());
+        assert!(server.is_established());
+    }
+
+    #[test]
+    fn writes_before_handshake_flow_after_it() {
+        let (mut client, mut server) = pair();
+        let stream = client.open_stream();
+        client
+            .stream_write(stream, Bytes::from_static(b"early data"))
+            .unwrap();
+        client.stream_finish(stream);
+        shuttle(&mut client, &mut server, SimTime::from_millis(1));
+        let mut got = Vec::new();
+        while let Some(chunk) = server.stream_read(stream, usize::MAX) {
+            got.extend_from_slice(&chunk);
+        }
+        assert_eq!(&got, b"early data");
+        assert!(server.stream_is_finished(stream));
+        // The final ACK may ride the delayed-ACK timer.
+        for _ in 0..4 {
+            if client.stream_fully_acked(stream) {
+                break;
+            }
+            advance(&mut client, &mut server);
+        }
+        assert!(client.stream_fully_acked(stream));
+    }
+
+    #[test]
+    fn close_path_reroutes_and_informs_peer() {
+        let (mut client, mut server) = established_pair(SimTime::from_millis(1));
+        shuttle(&mut client, &mut server, SimTime::from_millis(2));
+        assert!(client.path_ids().contains(&PathId(1)));
+        let stream = client.open_stream();
+        client
+            .stream_write(stream, Bytes::from(vec![5u8; 200_000]))
+            .unwrap();
+        client.stream_finish(stream);
+        // Move some data so both paths are warm, then close path 1.
+        shuttle(&mut client, &mut server, SimTime::from_millis(3));
+        client.close_path(PathId(1), SimTime::from_millis(4));
+        assert_eq!(client.path(PathId(1)).unwrap().state, PathState::Closed);
+        assert!(drain(&mut client)
+            .iter()
+            .any(|e| matches!(e, Event::PathClosed(p) if *p == PathId(1))));
+        // Everything still completes, and no packet leaves on path 1.
+        let mut sent_on_path1 = false;
+        for step in 5..40u64 {
+            while let Some(t) = client.poll_transmit(SimTime::from_millis(step)) {
+                sent_on_path1 |= t.local == addr(C1);
+                server.handle_datagram(SimTime::from_millis(step), t.remote, t.local, &t.payload);
+            }
+            while let Some(t) = server.poll_transmit(SimTime::from_millis(step)) {
+                client.handle_datagram(SimTime::from_millis(step), t.remote, t.local, &t.payload);
+            }
+            while server.stream_read(stream, usize::MAX).is_some() {}
+            if server.stream_is_finished(stream) {
+                break;
+            }
+            if client.next_timeout().is_some_and(|t| t <= SimTime::from_millis(step)) {
+                client.on_timeout(SimTime::from_millis(step));
+            }
+        }
+        assert!(server.stream_is_finished(stream));
+        assert!(!sent_on_path1, "closed path must carry nothing");
+        // The peer learned about the closure via the PATHS frame.
+        assert_eq!(
+            server.path(PathId(1)).map(|p| p.state),
+            Some(PathState::Closed)
+        );
+    }
+
+    #[test]
+    fn idle_timeout_closes_silently() {
+        let mut config = Config::multipath();
+        config.idle_timeout = Some(Duration::from_secs(5));
+        let mut client = Connection::client(config, vec![addr(C0)], 0, addr(S0), 1);
+        let mut server = Connection::server(Config::multipath(), vec![addr(S0)], 2);
+        shuttle(&mut client, &mut server, SimTime::from_millis(1));
+        assert!(client.is_established());
+        // Fire timers until the idle deadline passes with no traffic.
+        let mut guard = 0;
+        while !client.is_closed() {
+            let t = client.next_timeout().expect("idle timer armed");
+            client.on_timeout(t);
+            guard += 1;
+            assert!(guard < 64, "idle timer never fired");
+        }
+        let events = drain(&mut client);
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Closed { error_code, .. } if *error_code == error_codes::IDLE_TIMEOUT
+        )));
+        // Silent close: nothing was sent to the peer.
+        assert!(client.poll_transmit(SimTime::from_secs(10)).is_none());
+    }
+
+    #[test]
+    fn connection_migration_is_a_hard_handover() {
+        // Single-path QUIC moves its flow to a new local address: the
+        // Path ID survives, congestion state resets, and the server
+        // follows the address change.
+        let mut client = Connection::client(
+            Config::single_path(),
+            vec![addr(C0), addr(C1)],
+            0,
+            addr(S0),
+            1,
+        );
+        let mut server = Connection::server(Config::single_path(), vec![addr(S0)], 2);
+        shuttle(&mut client, &mut server, SimTime::from_millis(1));
+        let stream = client.open_stream();
+        client.stream_write(stream, Bytes::from(vec![1u8; 50_000])).unwrap();
+        shuttle(&mut client, &mut server, SimTime::from_millis(2));
+        while server.stream_read(stream, usize::MAX).is_some() {}
+        let cwnd_before = client.path(PathId::INITIAL).unwrap().cc.window();
+        assert!(cwnd_before > 20_000, "window grew before migration");
+
+        client.migrate_path(PathId::INITIAL, addr(C1), SimTime::from_millis(3));
+        let path = client.path(PathId::INITIAL).unwrap();
+        assert_eq!(path.local, addr(C1));
+        assert!(path.cc.window() < cwnd_before, "congestion state reset");
+        assert!(!path.rtt_known(), "RTT estimate reset");
+
+        // Traffic continues from the new address; the server follows.
+        client.stream_write(stream, Bytes::from(vec![2u8; 50_000])).unwrap();
+        client.stream_finish(stream);
+        for step in 4..40u64 {
+            shuttle(&mut client, &mut server, SimTime::from_millis(step));
+            while server.stream_read(stream, usize::MAX).is_some() {}
+            if server.stream_is_finished(stream) {
+                break;
+            }
+            if [client.next_timeout(), server.next_timeout()]
+                .into_iter()
+                .flatten()
+                .min()
+                .is_some_and(|t| t <= SimTime::from_millis(step))
+            {
+                client.on_timeout(SimTime::from_millis(step));
+                server.on_timeout(SimTime::from_millis(step));
+            }
+        }
+        assert!(server.stream_is_finished(stream));
+        assert_eq!(server.path(PathId::INITIAL).unwrap().remote, addr(C1));
+    }
+
+    #[test]
+    fn version_negotiation_costs_one_extra_round_trip() {
+        let mut config = Config::multipath();
+        config.quic_version = 99; // a future version the server rejects
+        let mut client = Connection::client(config, vec![addr(C0)], 0, addr(S0), 1);
+        let mut server = Connection::server(Config::multipath(), vec![addr(S0)], 2);
+        // Round 1: CHLO(v99) -> version negotiation.
+        let chlo = client.poll_transmit(SimTime::ZERO).expect("CHLO");
+        server.handle_datagram(SimTime::from_millis(10), chlo.remote, chlo.local, &chlo.payload);
+        assert!(!server.is_established(), "v99 must be rejected");
+        let vneg = server.poll_transmit(SimTime::from_millis(10)).expect("VN packet");
+        client.handle_datagram(SimTime::from_millis(20), vneg.remote, vneg.local, &vneg.payload);
+        assert!(!client.is_established());
+        // Round 2: CHLO(v1) -> SHLO; both complete.
+        shuttle(&mut client, &mut server, SimTime::from_millis(20));
+        assert!(client.is_established());
+        assert!(server.is_established());
+        // And data flows.
+        let stream = client.open_stream();
+        client.stream_write(stream, Bytes::from_static(b"post-negotiation")).unwrap();
+        client.stream_finish(stream);
+        shuttle(&mut client, &mut server, SimTime::from_millis(30));
+        let mut got = Vec::new();
+        while let Some(chunk) = server.stream_read(stream, usize::MAX) {
+            got.extend_from_slice(&chunk);
+        }
+        assert_eq!(&got, b"post-negotiation");
+    }
+
+    use mpquic_crypto::NonceMode;
+    use std::time::Duration;
+}

@@ -1,0 +1,179 @@
+//! Connection-level flow control.
+//!
+//! Both directions of a connection maintain a cumulative byte budget over
+//! all streams (the sum of the highest offsets). The receive side extends
+//! its limit with connection-level WINDOW_UPDATE frames (`stream_id == 0`),
+//! which the MPQUIC scheduler duplicates on **every** path — the paper's
+//! defence against receive-buffer stalls when one path lags
+//! ("the scheduler ensures proper delivery of the WINDOW_UPDATE frames by
+//! sending them on all paths when they are needed").
+
+/// Connection-level flow control state (both directions).
+#[derive(Debug)]
+pub struct ConnFlowControl {
+    // --- send side (peer-imposed) ---
+    /// Peer's cumulative limit on new stream data.
+    max_data_remote: u64,
+    /// New-data bytes sent so far (sum of stream offset high-water marks).
+    bytes_sent: u64,
+    /// Whether BLOCKED was reported for the current limit.
+    blocked_reported: bool,
+    // --- receive side (we impose) ---
+    /// Window size granted beyond consumed data.
+    window: u64,
+    /// Limit currently advertised to the peer.
+    max_data_local: u64,
+    /// Highest cumulative offset received.
+    bytes_received: u64,
+    /// Bytes the application has consumed.
+    bytes_consumed: u64,
+}
+
+/// Receiving more data than the advertised limit is a protocol violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowControlViolated;
+
+impl ConnFlowControl {
+    /// Creates flow control with our receive window and the peer's
+    /// initial limit (symmetric configuration uses the same value).
+    pub fn new(local_window: u64, initial_remote_limit: u64) -> ConnFlowControl {
+        ConnFlowControl {
+            max_data_remote: initial_remote_limit,
+            bytes_sent: 0,
+            blocked_reported: false,
+            window: local_window,
+            max_data_local: local_window,
+            bytes_received: 0,
+            bytes_consumed: 0,
+        }
+    }
+
+    /// Bytes of *new* stream data we may still send.
+    pub fn send_credit(&self) -> u64 {
+        self.max_data_remote.saturating_sub(self.bytes_sent)
+    }
+
+    /// Records `n` bytes of new stream data sent.
+    pub fn on_new_data_sent(&mut self, n: u64) {
+        self.bytes_sent += n;
+        debug_assert!(self.bytes_sent <= self.max_data_remote);
+    }
+
+    /// Processes a connection-level WINDOW_UPDATE from the peer.
+    pub fn on_max_data(&mut self, limit: u64) {
+        if limit > self.max_data_remote {
+            self.max_data_remote = limit;
+            self.blocked_reported = false;
+        }
+    }
+
+    /// True when the peer's limit currently blocks us.
+    pub fn is_blocked(&self) -> bool {
+        self.send_credit() == 0
+    }
+
+    /// Reports blocking once per episode (drives BLOCKED frames).
+    pub fn should_report_blocked(&mut self) -> bool {
+        if self.is_blocked() && !self.blocked_reported {
+            self.blocked_reported = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Accounts `n` new bytes received (the increase in a stream's highest
+    /// offset). Errors if the peer exceeded our advertised limit.
+    pub fn on_data_received(&mut self, n: u64) -> Result<(), FlowControlViolated> {
+        self.bytes_received += n;
+        if self.bytes_received > self.max_data_local {
+            return Err(FlowControlViolated);
+        }
+        Ok(())
+    }
+
+    /// Accounts `n` bytes consumed by the application.
+    pub fn on_data_consumed(&mut self, n: u64) {
+        self.bytes_consumed += n;
+        debug_assert!(self.bytes_consumed <= self.bytes_received);
+    }
+
+    /// Returns the new limit to advertise when at least half the window
+    /// has been consumed since the last advertisement.
+    pub fn poll_window_update(&mut self) -> Option<u64> {
+        let target = self.bytes_consumed + self.window;
+        if target >= self.max_data_local + self.window / 2 {
+            self.max_data_local = target;
+            Some(target)
+        } else {
+            None
+        }
+    }
+
+    /// Limit currently advertised to the peer.
+    pub fn max_data_local(&self) -> u64 {
+        self.max_data_local
+    }
+
+    /// Peer's current limit on us.
+    pub fn max_data_remote(&self) -> u64 {
+        self.max_data_remote
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_credit_tracks_limit() {
+        let mut fc = ConnFlowControl::new(1000, 100);
+        assert_eq!(fc.send_credit(), 100);
+        fc.on_new_data_sent(60);
+        assert_eq!(fc.send_credit(), 40);
+        fc.on_max_data(200);
+        assert_eq!(fc.send_credit(), 140);
+    }
+
+    #[test]
+    fn stale_max_data_ignored() {
+        let mut fc = ConnFlowControl::new(1000, 100);
+        fc.on_max_data(50);
+        assert_eq!(fc.max_data_remote(), 100);
+    }
+
+    #[test]
+    fn blocked_reported_once_per_episode() {
+        let mut fc = ConnFlowControl::new(1000, 10);
+        fc.on_new_data_sent(10);
+        assert!(fc.is_blocked());
+        assert!(fc.should_report_blocked());
+        assert!(!fc.should_report_blocked());
+        fc.on_max_data(20);
+        assert!(!fc.is_blocked());
+        fc.on_new_data_sent(10);
+        assert!(fc.should_report_blocked(), "new episode after limit raise");
+    }
+
+    #[test]
+    fn receive_limit_enforced() {
+        let mut fc = ConnFlowControl::new(100, 1000);
+        assert!(fc.on_data_received(100).is_ok());
+        assert_eq!(fc.on_data_received(1), Err(FlowControlViolated));
+    }
+
+    #[test]
+    fn window_update_after_half_window() {
+        let mut fc = ConnFlowControl::new(100, 1000);
+        fc.on_data_received(80).unwrap();
+        assert!(fc.poll_window_update().is_none(), "not consumed yet");
+        fc.on_data_consumed(50);
+        assert_eq!(fc.poll_window_update(), Some(150));
+        assert!(fc.poll_window_update().is_none());
+        fc.on_data_consumed(30);
+        assert!(fc.poll_window_update().is_none(), "only 30 more consumed");
+        fc.on_data_received(20).unwrap();
+        fc.on_data_consumed(20);
+        assert_eq!(fc.poll_window_update(), Some(200));
+    }
+}

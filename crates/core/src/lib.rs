@@ -1,0 +1,64 @@
+//! # mpquic-core — Multipath QUIC
+//!
+//! A from-scratch Rust implementation of **Multipath QUIC** as designed in
+//! *Multipath QUIC: Design and Evaluation* (De Coninck & Bonaventure,
+//! CoNEXT 2017): a QUIC extension that lets one connection exploit several
+//! network paths simultaneously — WiFi + LTE on a smartphone, IPv4 + IPv6
+//! on a dual-stack host.
+//!
+//! ## Design (paper §3)
+//!
+//! * **Explicit Path IDs** in the public header, one packet-number space
+//!   per path ([`mpquic_wire::PublicHeader`], [`path::Path`]).
+//! * **Frames independent of packets**: stream data and control frames may
+//!   be (re)transmitted on any path ([`stream`], [`Connection`]).
+//! * **Path management**: handshake on the initial path only; new paths
+//!   carry data in their first packet; `ADD_ADDRESS` advertises addresses;
+//!   `PATHS` shares per-path health ([`Connection`]).
+//! * **Lowest-RTT scheduling** with duplication while a path's RTT is
+//!   unknown ([`scheduler::Scheduler`]).
+//! * **OLIA coupled congestion control** (`mpquic-cc`).
+//! * **RTO ⇒ potentially-failed path** handover logic with PATHS-frame
+//!   acceleration ([`recovery`], [`Connection`]) — the Fig. 11 mechanism.
+//!
+//! ## Sans-IO
+//!
+//! [`Connection`] never touches sockets or clocks. Drive it with:
+//!
+//! ```text
+//! conn.handle_datagram(now, local, remote, &bytes);   // network -> conn
+//! while let Some(t) = conn.poll_transmit(now) { ... } // conn -> network
+//! conn.next_timeout() / conn.on_timeout(now)          // timers
+//! conn.poll_event()                                   // conn -> app
+//! ```
+//!
+//! The `mpquic-netsim` crate provides the discrete-event network that the
+//! experiments (and the examples) use as the substrate; a real UDP event
+//! loop could drive the same state machine.
+//!
+//! Single-path QUIC — the paper's baseline — is this same implementation
+//! with [`Config::single_path`] (multipath disabled, CUBIC).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod connection;
+pub mod flow;
+pub mod path;
+pub mod qlog;
+pub mod recovery;
+pub mod rtt;
+pub mod scheduler;
+pub mod stream;
+
+pub use config::{Config, ConnStats, Event, Role, Transmit};
+pub use connection::{error_codes, Connection};
+pub use path::{Path, PathState};
+pub use qlog::{Qlog, QlogEvent};
+pub use scheduler::SchedulerKind;
+pub use stream::StreamId;
+
+// Re-export the pieces callers commonly need alongside the connection.
+pub use mpquic_cc::CcAlgorithm;
+pub use mpquic_wire::PathId;

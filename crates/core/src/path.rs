@@ -1,0 +1,321 @@
+//! Per-path state: addresses, RTT, congestion control, recovery, and the
+//! receive-side acknowledgement machinery.
+//!
+//! A path is the unit the paper adds to QUIC: its own 4-tuple, its own
+//! packet-number space (send and receive), its own RTT estimator and its
+//! own congestion window. Everything else (streams, flow control,
+//! handshake) stays connection-wide.
+
+use mpquic_cc::{CongestionController, PathSnapshot};
+use mpquic_util::{RangeSet, SimTime};
+use mpquic_wire::{AckFrame, PathId, PathStatus};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use crate::recovery::Recovery;
+use crate::rtt::RttEstimator;
+
+/// Liveness state of a path, as the paper's handover logic uses it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathState {
+    /// Usable for scheduling.
+    Active,
+    /// An RTO fired with no traffic acknowledged since: the scheduler
+    /// ignores the path until data is acknowledged on it again (§4.3).
+    PotentiallyFailed,
+    /// Abandoned.
+    Closed,
+}
+
+/// One network path of a connection.
+#[derive(Debug)]
+pub struct Path {
+    /// The explicit path identifier carried in every public header.
+    pub id: PathId,
+    /// Local address the path sends from.
+    pub local: SocketAddr,
+    /// Remote address the path sends to (updated on NAT rebinding).
+    pub remote: SocketAddr,
+    /// Liveness state.
+    pub state: PathState,
+    /// RTT estimator.
+    pub rtt: RttEstimator,
+    /// Loss recovery / packet-number spaces (send side).
+    pub recovery: Recovery,
+    /// Congestion controller.
+    pub cc: Box<dyn CongestionController>,
+    // --- receive side ---
+    /// Packet numbers received on this path.
+    pub received: RangeSet,
+    /// Arrival time of the largest received packet (for the ACK delay
+    /// field).
+    pub largest_recv_time: SimTime,
+    /// True if an ack-eliciting packet arrived since the last ACK we sent.
+    pub ack_pending: bool,
+    /// Deadline by which a pending ACK must be flushed (delayed ACK).
+    pub ack_deadline: Option<SimTime>,
+    /// Ack-eliciting packets received since the last ACK was sent; an ACK
+    /// is forced once this reaches 2 (standard every-other-packet acking).
+    pub unacked_count: u32,
+    /// When to probe a potentially-failed path next (PING with backoff).
+    pub probe_at: Option<SimTime>,
+    /// Bytes of application payload sent on this path (statistics).
+    pub bytes_sent: u64,
+    /// Bytes received on this path (statistics).
+    pub bytes_received: u64,
+}
+
+impl Path {
+    /// Creates an active path.
+    pub fn new(
+        id: PathId,
+        local: SocketAddr,
+        remote: SocketAddr,
+        initial_rtt: Duration,
+        cc: Box<dyn CongestionController>,
+    ) -> Path {
+        Path {
+            id,
+            local,
+            remote,
+            state: PathState::Active,
+            rtt: RttEstimator::new(initial_rtt),
+            recovery: Recovery::new(),
+            cc,
+            received: RangeSet::new(),
+            largest_recv_time: SimTime::ZERO,
+            ack_pending: false,
+            ack_deadline: None,
+            unacked_count: 0,
+            probe_at: None,
+            bytes_sent: 0,
+            bytes_received: 0,
+        }
+    }
+
+    /// Congestion window bytes still available.
+    pub fn cwnd_available(&self) -> u64 {
+        self.cc
+            .window()
+            .saturating_sub(self.recovery.bytes_in_flight())
+    }
+
+    /// True once at least one RTT sample exists (the paper's trigger for
+    /// turning duplication off on this path).
+    pub fn rtt_known(&self) -> bool {
+        self.rtt.has_sample()
+    }
+
+    /// True if the scheduler may place data here.
+    pub fn usable_for_data(&self) -> bool {
+        self.state == PathState::Active
+    }
+
+    /// Records an incoming packet on this path's receive space.
+    ///
+    /// Returns `false` for duplicates (already-received packet numbers),
+    /// which must not be processed again.
+    pub fn on_packet_received(
+        &mut self,
+        pn: u64,
+        now: SimTime,
+        ack_eliciting: bool,
+        max_ack_delay: Duration,
+    ) -> bool {
+        if !self.received.insert(pn) {
+            return false;
+        }
+        if Some(pn) == self.received.max() {
+            self.largest_recv_time = now;
+        }
+        if ack_eliciting {
+            self.ack_pending = true;
+            self.unacked_count += 1;
+            let deadline = now + max_ack_delay;
+            self.ack_deadline = Some(self.ack_deadline.map_or(deadline, |d| d.min(deadline)));
+        }
+        true
+    }
+
+    /// True when a pending ACK must go out now: either two ack-eliciting
+    /// packets have accumulated or the delayed-ACK deadline passed.
+    pub fn ack_due(&self, now: SimTime) -> bool {
+        self.ack_pending
+            && (self.unacked_count >= 2 || self.ack_deadline.is_some_and(|d| d <= now))
+    }
+
+    /// Builds the ACK frame for this path without clearing pending state
+    /// (cleared via [`Path::note_ack_sent`] once the frame actually made
+    /// it into a packet). `max_ranges` caps the reported ranges
+    /// (`Config::max_ack_ranges`).
+    pub fn peek_ack_frame(&self, now: SimTime, max_ranges: usize) -> Option<AckFrame> {
+        let delay = now.saturating_duration_since(self.largest_recv_time);
+        AckFrame::from_range_set_capped(
+            self.id,
+            &self.received,
+            delay.as_micros() as u64,
+            max_ranges,
+        )
+    }
+
+    /// Clears pending-ACK state after an ACK frame was sent.
+    pub fn note_ack_sent(&mut self) {
+        self.ack_pending = false;
+        self.ack_deadline = None;
+        self.unacked_count = 0;
+    }
+
+    /// Builds the ACK frame for this path's receive space and clears the
+    /// pending state. Returns `None` if nothing was received yet.
+    pub fn make_ack_frame(&mut self, now: SimTime) -> Option<AckFrame> {
+        let delay = now.saturating_duration_since(self.largest_recv_time);
+        let ack = AckFrame::from_range_set(self.id, &self.received, delay.as_micros() as u64)?;
+        self.note_ack_sent();
+        Some(ack)
+    }
+
+    /// Snapshot for coupled congestion control.
+    pub fn snapshot(&self) -> PathSnapshot {
+        PathSnapshot {
+            cwnd: self.cc.window(),
+            srtt: self.rtt.srtt(),
+            loss_interval_bytes: self.cc.loss_interval_bytes(),
+        }
+    }
+
+    /// Wire status for PATHS frames.
+    pub fn status(&self) -> PathStatus {
+        match self.state {
+            PathState::Active => PathStatus::Active,
+            PathState::PotentiallyFailed => PathStatus::PotentiallyFailed,
+            PathState::Closed => PathStatus::Closed,
+        }
+    }
+
+    /// Marks the path potentially failed (after an RTO) and schedules the
+    /// next liveness probe.
+    pub fn mark_potentially_failed(&mut self, now: SimTime) {
+        if self.state == PathState::Active {
+            self.state = PathState::PotentiallyFailed;
+        }
+        let backoff = 1u32 << self.recovery.rto_count().min(6);
+        self.probe_at = Some(now + self.rtt.rto() * backoff);
+    }
+
+    /// Restores the path after data was acknowledged on it.
+    pub fn mark_recovered(&mut self) {
+        if self.state == PathState::PotentiallyFailed {
+            self.state = PathState::Active;
+        }
+        self.probe_at = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpquic_cc::CcAlgorithm;
+
+    fn path() -> Path {
+        Path::new(
+            PathId(1),
+            "10.0.0.1:4433".parse().unwrap(),
+            "10.0.1.1:4433".parse().unwrap(),
+            Duration::from_millis(100),
+            CcAlgorithm::Olia.build(1250),
+        )
+    }
+
+    #[test]
+    fn receive_tracks_duplicates() {
+        let mut p = path();
+        assert!(p.on_packet_received(0, SimTime::from_millis(1), true, Duration::from_millis(25)));
+        assert!(!p.on_packet_received(0, SimTime::from_millis(2), true, Duration::from_millis(25)));
+        assert!(p.on_packet_received(2, SimTime::from_millis(3), true, Duration::from_millis(25)));
+    }
+
+    #[test]
+    fn ack_frame_reports_ranges_and_delay() {
+        let mut p = path();
+        p.on_packet_received(0, SimTime::from_millis(10), true, Duration::from_millis(25));
+        p.on_packet_received(2, SimTime::from_millis(20), true, Duration::from_millis(25));
+        let ack = p.make_ack_frame(SimTime::from_millis(23)).unwrap();
+        assert_eq!(ack.path_id, PathId(1));
+        assert_eq!(ack.largest_acked, 2);
+        assert_eq!(ack.ranges, vec![(2, 2), (0, 0)]);
+        assert_eq!(ack.ack_delay_micros, 3_000);
+        assert!(!p.ack_pending);
+        assert!(p.ack_deadline.is_none());
+    }
+
+    #[test]
+    fn non_ack_eliciting_does_not_arm_ack() {
+        let mut p = path();
+        p.on_packet_received(0, SimTime::from_millis(1), false, Duration::from_millis(25));
+        assert!(!p.ack_pending);
+        assert!(p.ack_deadline.is_none());
+    }
+
+    #[test]
+    fn ack_deadline_keeps_earliest() {
+        let mut p = path();
+        p.on_packet_received(0, SimTime::from_millis(10), true, Duration::from_millis(25));
+        let first = p.ack_deadline.unwrap();
+        p.on_packet_received(1, SimTime::from_millis(20), true, Duration::from_millis(25));
+        assert_eq!(p.ack_deadline.unwrap(), first);
+    }
+
+    #[test]
+    fn potentially_failed_lifecycle() {
+        let mut p = path();
+        assert!(p.usable_for_data());
+        p.mark_potentially_failed(SimTime::from_millis(100));
+        assert_eq!(p.state, PathState::PotentiallyFailed);
+        assert!(!p.usable_for_data());
+        assert!(p.probe_at.is_some());
+        p.mark_recovered();
+        assert_eq!(p.state, PathState::Active);
+        assert!(p.probe_at.is_none());
+    }
+
+    #[test]
+    fn cwnd_available_subtracts_in_flight() {
+        let mut p = path();
+        let w = p.cc.window();
+        assert_eq!(p.cwnd_available(), w);
+        let pn = p.recovery.next_packet_number();
+        p.recovery.on_packet_sent(crate::recovery::SentPacket {
+            packet_number: pn,
+            time_sent: SimTime::ZERO,
+            size: 1000,
+            ack_eliciting: true,
+            frames: vec![],
+        });
+        assert_eq!(p.cwnd_available(), w - 1000);
+    }
+
+    #[test]
+    fn ack_frame_respects_range_cap() {
+        let mut p = path();
+        // 10 disjoint singleton ranges.
+        for i in 0..10u64 {
+            p.on_packet_received(i * 3, SimTime::from_millis(i), true, Duration::from_millis(25));
+        }
+        let full = p.peek_ack_frame(SimTime::from_millis(20), 256).unwrap();
+        assert_eq!(full.ranges.len(), 10);
+        // TCP-SACK-like cap: only the 3 newest ranges are reported.
+        let capped = p.peek_ack_frame(SimTime::from_millis(20), 3).unwrap();
+        assert_eq!(capped.ranges.len(), 3);
+        assert_eq!(capped.largest_acked, 27);
+        assert_eq!(capped.smallest_acked(), 21);
+    }
+
+    #[test]
+    fn rtt_known_flips_on_first_sample() {
+        let mut p = path();
+        assert!(!p.rtt_known());
+        p.rtt
+            .on_sample(SimTime::ZERO, SimTime::from_millis(30), Duration::ZERO);
+        assert!(p.rtt_known());
+    }
+}

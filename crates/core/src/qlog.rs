@@ -1,0 +1,220 @@
+//! A qlog-inspired structured event log.
+//!
+//! Real QUIC implementations emit qlog traces for debugging and
+//! analysis; the original mp-quic work likewise relied on per-packet
+//! logs to diagnose scheduler behaviour. When enabled
+//! (`Config::enable_qlog`), the connection records every packet sent and
+//! received, loss-recovery activity and path state changes. The log is a
+//! plain in-memory vector — cheap to query in tests and experiments, and
+//! serializable for external tooling.
+
+use mpquic_util::SimTime;
+use mpquic_wire::PathId;
+use serde::Serialize;
+
+use crate::path::PathState;
+
+/// One logged protocol event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum QlogEvent {
+    /// A packet left the connection.
+    PacketSent {
+        /// When.
+        time: SimTime,
+        /// On which path.
+        path: PathId,
+        /// Its per-path packet number.
+        packet_number: u64,
+        /// Wire size, bytes.
+        size: usize,
+        /// Whether loss recovery tracks it.
+        ack_eliciting: bool,
+    },
+    /// An authenticated packet was accepted.
+    PacketReceived {
+        /// When.
+        time: SimTime,
+        /// On which path.
+        path: PathId,
+        /// Its per-path packet number.
+        packet_number: u64,
+        /// Wire size, bytes.
+        size: usize,
+    },
+    /// Loss recovery declared packets lost on a path.
+    PacketsLost {
+        /// When.
+        time: SimTime,
+        /// On which path.
+        path: PathId,
+        /// How many bytes were declared lost.
+        bytes: u64,
+    },
+    /// The congestion controller applied a decrease.
+    CongestionEvent {
+        /// When.
+        time: SimTime,
+        /// On which path.
+        path: PathId,
+        /// The window after the decrease.
+        window_after: u64,
+    },
+    /// A retransmission timeout fired.
+    Rto {
+        /// When.
+        time: SimTime,
+        /// On which path.
+        path: PathId,
+    },
+    /// A path changed liveness state.
+    PathStateChanged {
+        /// When.
+        time: SimTime,
+        /// The path.
+        path: PathId,
+        /// Its new state.
+        state: PathStateKind,
+    },
+}
+
+/// Serializable mirror of [`PathState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PathStateKind {
+    /// Usable.
+    Active,
+    /// RTO without progress (scheduler avoids it).
+    PotentiallyFailed,
+    /// Abandoned.
+    Closed,
+}
+
+impl From<PathState> for PathStateKind {
+    fn from(s: PathState) -> Self {
+        match s {
+            PathState::Active => PathStateKind::Active,
+            PathState::PotentiallyFailed => PathStateKind::PotentiallyFailed,
+            PathState::Closed => PathStateKind::Closed,
+        }
+    }
+}
+
+/// The event log.
+#[derive(Debug, Default, Clone)]
+pub struct Qlog {
+    events: Vec<QlogEvent>,
+    enabled: bool,
+}
+
+impl Qlog {
+    /// An enabled, empty log.
+    pub fn enabled() -> Qlog {
+        Qlog {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// A disabled log (records nothing).
+    pub fn disabled() -> Qlog {
+        Qlog::default()
+    }
+
+    /// Appends an event if enabled.
+    pub fn push(&mut self, event: QlogEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All events, in order.
+    pub fn events(&self) -> &[QlogEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events on one path.
+    pub fn for_path(&self, path: PathId) -> impl Iterator<Item = &QlogEvent> {
+        self.events.iter().filter(move |e| match e {
+            QlogEvent::PacketSent { path: p, .. }
+            | QlogEvent::PacketReceived { path: p, .. }
+            | QlogEvent::PacketsLost { path: p, .. }
+            | QlogEvent::CongestionEvent { path: p, .. }
+            | QlogEvent::Rto { path: p, .. }
+            | QlogEvent::PathStateChanged { path: p, .. } => *p == path,
+        })
+    }
+
+    /// Bytes sent per path, a common analysis query.
+    pub fn bytes_sent_on(&self, path: PathId) -> u64 {
+        self.for_path(path)
+            .filter_map(|e| match e {
+                QlogEvent::PacketSent { size, .. } => Some(*size as u64),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Serializes the whole log as JSON lines (one event per line).
+    pub fn to_json_lines(&self) -> String {
+        self.events
+            .iter()
+            .map(|e| serde_json::to_string(e).expect("events serialize"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(path: u32, pn: u64) -> QlogEvent {
+        QlogEvent::PacketSent {
+            time: SimTime::from_millis(pn),
+            path: PathId(path),
+            packet_number: pn,
+            size: 100,
+            ack_eliciting: true,
+        }
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = Qlog::disabled();
+        log.push(sent(0, 1));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn enabled_log_records_in_order() {
+        let mut log = Qlog::enabled();
+        log.push(sent(0, 1));
+        log.push(sent(1, 1));
+        log.push(QlogEvent::Rto {
+            time: SimTime::from_millis(5),
+            path: PathId(0),
+        });
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.for_path(PathId(0)).count(), 2);
+        assert_eq!(log.for_path(PathId(1)).count(), 1);
+        assert_eq!(log.bytes_sent_on(PathId(0)), 100);
+    }
+
+    #[test]
+    fn json_lines_output() {
+        let mut log = Qlog::enabled();
+        log.push(sent(0, 7));
+        let json = log.to_json_lines();
+        assert!(json.contains("PacketSent"));
+        assert!(json.contains("\"packet_number\":7"));
+    }
+}

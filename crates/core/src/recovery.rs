@@ -1,0 +1,582 @@
+//! Per-path loss recovery: sent-packet tracking, ACK processing, loss
+//! detection and retransmission timeouts.
+//!
+//! Each path has its own packet-number space (the paper's design), so each
+//! path owns one `Recovery` instance. Because packet numbers are never
+//! reused, ACKs unambiguously identify the transmission being acknowledged
+//! — the property that gives (MP)QUIC its precise RTT samples and effective
+//! early retransmit, which the paper contrasts with TCP's retransmission
+//! ambiguity.
+//!
+//! Loss is declared through the two standard QUIC signals:
+//!
+//! * **packet threshold** — a packet is lost once packets sent ≥3 packet
+//!   numbers after it have been acknowledged (fast retransmit);
+//! * **time threshold** — a packet is lost once it has been outstanding
+//!   for 9/8·max(srtt, latest) *and* something sent after it was acked
+//!   (early retransmit, armed via a loss timer).
+//!
+//! When neither fires and ack-eliciting data is outstanding, the
+//! **RTO** timer backs off exponentially; on expiry the path is reported
+//! to the connection, which (per the paper, §4.3) marks it *potentially
+//! failed* and moves its outstanding frames to any other usable path.
+
+use mpquic_util::SimTime;
+use mpquic_wire::Frame;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::rtt::RttEstimator;
+
+/// Number of newer packets that must be acknowledged before an older
+/// outstanding packet is declared lost (RFC 9002 kPacketThreshold).
+pub const PACKET_THRESHOLD: u64 = 3;
+
+/// A packet handed to loss recovery at send time.
+#[derive(Debug, Clone)]
+pub struct SentPacket {
+    /// Per-path packet number.
+    pub packet_number: u64,
+    /// Send timestamp.
+    pub time_sent: SimTime,
+    /// Full wire size, bytes (counted against the congestion window).
+    pub size: u64,
+    /// True if the packet elicits an acknowledgement (carries anything
+    /// other than ACK/PADDING frames).
+    pub ack_eliciting: bool,
+    /// The retransmittable frames the packet carried; returned to the
+    /// connection if the packet is declared lost.
+    pub frames: Vec<Frame>,
+}
+
+/// What an ACK did to this path's state.
+#[derive(Debug, Default)]
+pub struct AckOutcome {
+    /// Bytes newly removed from flight.
+    pub newly_acked_bytes: u64,
+    /// Largest packet number newly acknowledged, if any.
+    pub largest_newly_acked: Option<u64>,
+    /// Send time of the largest newly acked packet (for the RTT sample).
+    pub rtt_sample_taken: bool,
+    /// Retransmittable frames of the packets newly acknowledged — the
+    /// connection uses these to mark stream ranges as delivered so lost
+    /// duplicates are not retransmitted.
+    pub acked_frames: Vec<Frame>,
+    /// Retransmittable frames of packets now declared lost.
+    pub lost_frames: Vec<Frame>,
+    /// Bytes of packets now declared lost.
+    pub lost_bytes: u64,
+    /// True if this loss constitutes a *new* congestion event (first loss
+    /// in the current congestion epoch) — callers must invoke the
+    /// congestion controller's decrease exactly once per event.
+    pub congestion_event: bool,
+}
+
+/// Which timer fired.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TimeoutKind {
+    /// The early-retransmit loss timer.
+    LossTime,
+    /// The retransmission timeout.
+    Rto,
+}
+
+/// Result of handling a timeout.
+#[derive(Debug, Default)]
+pub struct TimeoutOutcome {
+    /// Frames to retransmit.
+    pub lost_frames: Vec<Frame>,
+    /// Bytes removed from flight.
+    pub lost_bytes: u64,
+    /// True if the congestion controller should apply a loss decrease.
+    pub congestion_event: bool,
+    /// True if this was an RTO (the connection marks the path
+    /// potentially failed and collapses its window).
+    pub rto_fired: bool,
+}
+
+/// Loss-recovery state for one path's packet-number space.
+#[derive(Debug)]
+pub struct Recovery {
+    /// Outstanding packets by packet number.
+    sent: BTreeMap<u64, SentPacket>,
+    /// Next packet number to assign.
+    next_pn: u64,
+    /// Largest packet number the peer has acknowledged.
+    largest_acked: Option<u64>,
+    /// Bytes currently in flight (ack-eliciting packets only).
+    bytes_in_flight: u64,
+    /// Earliest time at which an outstanding packet crosses the time
+    /// threshold (the armed loss timer).
+    loss_time: Option<SimTime>,
+    /// Consecutive RTO count (exponential backoff).
+    rto_count: u32,
+    /// RTO reference point: set at the first outstanding send, restarted
+    /// on every acknowledgement that makes progress (classic retransmit
+    /// timer semantics — arming from the oldest packet's send time fires
+    /// spuriously whenever serialization delays stretch the flight).
+    rto_reference: Option<SimTime>,
+    /// First packet number of the current congestion epoch: losses of
+    /// packets sent before this do not trigger another window reduction.
+    congestion_epoch_start: u64,
+}
+
+impl Recovery {
+    /// Fresh state for a new path.
+    pub fn new() -> Recovery {
+        Recovery {
+            sent: BTreeMap::new(),
+            next_pn: 0,
+            largest_acked: None,
+            bytes_in_flight: 0,
+            loss_time: None,
+            rto_count: 0,
+            rto_reference: None,
+            congestion_epoch_start: 0,
+        }
+    }
+
+    /// Allocates the next packet number (monotonic, never reused).
+    pub fn next_packet_number(&mut self) -> u64 {
+        let pn = self.next_pn;
+        self.next_pn += 1;
+        pn
+    }
+
+    /// Highest packet number allocated so far plus one.
+    pub fn next_pn_peek(&self) -> u64 {
+        self.next_pn
+    }
+
+    /// Bytes currently in flight.
+    pub fn bytes_in_flight(&self) -> u64 {
+        self.bytes_in_flight
+    }
+
+    /// Number of outstanding (tracked) packets.
+    pub fn outstanding_packets(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// True if any ack-eliciting packet is outstanding.
+    pub fn has_ack_eliciting_in_flight(&self) -> bool {
+        self.sent.values().any(|p| p.ack_eliciting)
+    }
+
+    /// Current RTO backoff exponent.
+    pub fn rto_count(&self) -> u32 {
+        self.rto_count
+    }
+
+    /// Records a sent packet.
+    pub fn on_packet_sent(&mut self, packet: SentPacket) {
+        debug_assert!(packet.packet_number < self.next_pn);
+        if packet.ack_eliciting {
+            self.bytes_in_flight += packet.size;
+            if self.rto_reference.is_none() {
+                self.rto_reference = Some(packet.time_sent);
+            }
+        }
+        self.sent.insert(packet.packet_number, packet);
+    }
+
+    /// Processes the ACK ranges `(start, end)` (ascending) for this path.
+    pub fn on_ack(
+        &mut self,
+        now: SimTime,
+        ranges: impl Iterator<Item = (u64, u64)>,
+        ack_delay: Duration,
+        rtt: &mut RttEstimator,
+    ) -> AckOutcome {
+        let mut outcome = AckOutcome::default();
+        let mut largest_newly_acked: Option<(u64, SimTime, bool)> = None;
+        for (start, end) in ranges {
+            if end >= self.next_pn {
+                // Acking packets we never sent: ignore the bogus range.
+                continue;
+            }
+            // Collect outstanding pns within the range.
+            let pns: Vec<u64> = self.sent.range(start..=end).map(|(&pn, _)| pn).collect();
+            for pn in pns {
+                let packet = self.sent.remove(&pn).expect("pn listed");
+                if packet.ack_eliciting {
+                    self.bytes_in_flight = self.bytes_in_flight.saturating_sub(packet.size);
+                    outcome.newly_acked_bytes += packet.size;
+                }
+                let is_new_largest = largest_newly_acked.is_none_or(|(l, _, _)| pn > l);
+                if is_new_largest {
+                    largest_newly_acked = Some((pn, packet.time_sent, packet.ack_eliciting));
+                }
+                outcome.acked_frames.extend(packet.frames);
+            }
+            self.largest_acked = Some(self.largest_acked.map_or(end, |l| l.max(end)));
+        }
+        if let Some((pn, time_sent, ack_eliciting)) = largest_newly_acked {
+            outcome.largest_newly_acked = Some(pn);
+            // Take an RTT sample only when the largest acked packet is
+            // newly acknowledged and was ack-eliciting (RFC 9002 §5.1).
+            if Some(pn) == self.largest_acked && ack_eliciting {
+                rtt.on_sample(time_sent, now, ack_delay);
+                outcome.rtt_sample_taken = true;
+            }
+            // Forward progress: reset the RTO backoff and restart the
+            // retransmission timer.
+            self.rto_count = 0;
+            self.rto_reference = if self.has_ack_eliciting_in_flight() {
+                Some(now)
+            } else {
+                None
+            };
+        }
+        // Loss detection pass.
+        let (lost_frames, lost_bytes, congestion_event) = self.detect_lost(now, rtt);
+        outcome.lost_frames = lost_frames;
+        outcome.lost_bytes = lost_bytes;
+        outcome.congestion_event = congestion_event;
+        outcome
+    }
+
+    /// Declares packets lost by packet threshold or time threshold and
+    /// re-arms the loss timer. Returns `(frames, bytes, congestion_event)`.
+    fn detect_lost(&mut self, now: SimTime, rtt: &RttEstimator) -> (Vec<Frame>, u64, bool) {
+        self.loss_time = None;
+        let Some(largest_acked) = self.largest_acked else {
+            return (Vec::new(), 0, false);
+        };
+        let threshold = rtt.loss_time_threshold();
+        let mut lost_frames = Vec::new();
+        let mut lost_bytes = 0;
+        let mut congestion_event = false;
+        let mut lost_pns = Vec::new();
+        for (&pn, packet) in self.sent.range(..largest_acked) {
+            let by_count = pn + PACKET_THRESHOLD <= largest_acked;
+            let deadline = packet.time_sent + threshold;
+            let by_time = deadline <= now;
+            if by_count || by_time {
+                lost_pns.push(pn);
+            } else {
+                // Earliest still-outstanding candidate arms the timer.
+                self.loss_time = Some(self.loss_time.map_or(deadline, |t| t.min(deadline)));
+            }
+        }
+        for pn in lost_pns {
+            let packet = self.sent.remove(&pn).expect("pn listed");
+            if packet.ack_eliciting {
+                self.bytes_in_flight = self.bytes_in_flight.saturating_sub(packet.size);
+            }
+            lost_bytes += packet.size;
+            if pn >= self.congestion_epoch_start {
+                congestion_event = true;
+            }
+            lost_frames.extend(packet.frames);
+        }
+        if congestion_event {
+            // Start a new epoch: further losses of already-sent packets
+            // belong to this same event.
+            self.congestion_epoch_start = self.next_pn;
+        }
+        (lost_frames, lost_bytes, congestion_event)
+    }
+
+    /// When the next timer fires, and which one.
+    pub fn next_timeout(&self, rtt: &RttEstimator) -> Option<(SimTime, TimeoutKind)> {
+        if let Some(t) = self.loss_time {
+            return Some((t, TimeoutKind::LossTime));
+        }
+        // RTO armed from the last progress point while ack-eliciting
+        // data is outstanding.
+        if !self.has_ack_eliciting_in_flight() {
+            return None;
+        }
+        let reference = self.rto_reference?;
+        let backoff = 1u32 << self.rto_count.min(10);
+        Some((reference + rtt.rto() * backoff, TimeoutKind::Rto))
+    }
+
+    /// Handles an expired timer.
+    ///
+    /// * Loss timer → time-threshold losses are declared.
+    /// * RTO → **all** outstanding packets are surrendered for
+    ///   retransmission (the connection re-schedules them, possibly on
+    ///   another path) and the backoff doubles.
+    pub fn on_timeout(&mut self, now: SimTime, rtt: &RttEstimator) -> TimeoutOutcome {
+        let mut outcome = TimeoutOutcome::default();
+        if let Some((when, kind)) = self.next_timeout(rtt) {
+            if when > now {
+                return outcome;
+            }
+            match kind {
+                TimeoutKind::LossTime => {
+                    let (frames, bytes, event) = self.detect_lost(now, rtt);
+                    outcome.lost_frames = frames;
+                    outcome.lost_bytes = bytes;
+                    outcome.congestion_event = event;
+                }
+                TimeoutKind::Rto => {
+                    self.rto_count += 1;
+                    self.rto_reference = None;
+                    outcome.rto_fired = true;
+                    outcome.congestion_event = true;
+                    self.congestion_epoch_start = self.next_pn;
+                    let pns: Vec<u64> = self.sent.keys().copied().collect();
+                    for pn in pns {
+                        let packet = self.sent.remove(&pn).expect("listed");
+                        if packet.ack_eliciting {
+                            self.bytes_in_flight =
+                                self.bytes_in_flight.saturating_sub(packet.size);
+                        }
+                        outcome.lost_bytes += packet.size;
+                        outcome.lost_frames.extend(packet.frames);
+                    }
+                }
+            }
+        }
+        outcome
+    }
+}
+
+impl Recovery {
+    /// Removes every outstanding packet and returns all retransmittable
+    /// frames — used when a path is closed or migrated and its in-flight
+    /// data must move elsewhere wholesale.
+    pub fn surrender_all(&mut self) -> Vec<Frame> {
+        self.loss_time = None;
+        self.rto_reference = None;
+        self.bytes_in_flight = 0;
+        let mut frames = Vec::new();
+        for (_, packet) in std::mem::take(&mut self.sent) {
+            frames.extend(packet.frames);
+        }
+        frames
+    }
+}
+
+impl Default for Recovery {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtt::DEFAULT_INITIAL_RTT;
+    use mpquic_wire::StreamFrame;
+    use bytes::Bytes;
+
+    fn stream_frame(tag: u8) -> Frame {
+        Frame::Stream(StreamFrame {
+            stream_id: 1,
+            offset: u64::from(tag) * 100,
+            data: Bytes::from(vec![tag; 10]),
+            fin: false,
+        })
+    }
+
+    fn send(r: &mut Recovery, now_ms: u64, size: u64) -> u64 {
+        let pn = r.next_packet_number();
+        r.on_packet_sent(SentPacket {
+            packet_number: pn,
+            time_sent: SimTime::from_millis(now_ms),
+            size,
+            ack_eliciting: true,
+            frames: vec![stream_frame(pn as u8)],
+        });
+        pn
+    }
+
+    fn rtt() -> RttEstimator {
+        RttEstimator::new(DEFAULT_INITIAL_RTT)
+    }
+
+    #[test]
+    fn ack_removes_from_flight_and_samples_rtt() {
+        let mut r = Recovery::new();
+        let mut est = rtt();
+        let pn = send(&mut r, 0, 1000);
+        assert_eq!(r.bytes_in_flight(), 1000);
+        let out = r.on_ack(
+            SimTime::from_millis(40),
+            [(pn, pn)].into_iter(),
+            Duration::ZERO,
+            &mut est,
+        );
+        assert_eq!(out.newly_acked_bytes, 1000);
+        assert_eq!(out.largest_newly_acked, Some(pn));
+        assert!(out.rtt_sample_taken);
+        assert_eq!(est.latest(), Duration::from_millis(40));
+        assert_eq!(r.bytes_in_flight(), 0);
+    }
+
+    #[test]
+    fn duplicate_ack_is_noop() {
+        let mut r = Recovery::new();
+        let mut est = rtt();
+        let pn = send(&mut r, 0, 1000);
+        let _ = r.on_ack(SimTime::from_millis(40), [(pn, pn)].into_iter(), Duration::ZERO, &mut est);
+        let out = r.on_ack(SimTime::from_millis(50), [(pn, pn)].into_iter(), Duration::ZERO, &mut est);
+        assert_eq!(out.newly_acked_bytes, 0);
+        assert!(out.largest_newly_acked.is_none());
+        assert!(!out.rtt_sample_taken);
+    }
+
+    #[test]
+    fn bogus_ack_of_unsent_packet_ignored() {
+        let mut r = Recovery::new();
+        let mut est = rtt();
+        send(&mut r, 0, 1000);
+        let out = r.on_ack(SimTime::from_millis(40), [(5, 9)].into_iter(), Duration::ZERO, &mut est);
+        assert_eq!(out.newly_acked_bytes, 0);
+        assert_eq!(r.bytes_in_flight(), 1000);
+    }
+
+    #[test]
+    fn packet_threshold_loss() {
+        let mut r = Recovery::new();
+        let mut est = rtt();
+        let p0 = send(&mut r, 0, 100);
+        let _p1 = send(&mut r, 1, 100);
+        let _p2 = send(&mut r, 2, 100);
+        let p3 = send(&mut r, 3, 100);
+        // Ack p3 only: p0 is three behind -> lost; p1, p2 not yet.
+        let out = r.on_ack(SimTime::from_millis(40), [(p3, p3)].into_iter(), Duration::ZERO, &mut est);
+        assert_eq!(out.lost_frames, vec![stream_frame(p0 as u8)]);
+        assert!(out.congestion_event);
+        assert_eq!(r.outstanding_packets(), 2);
+    }
+
+    #[test]
+    fn one_congestion_event_per_epoch() {
+        let mut r = Recovery::new();
+        let mut est = rtt();
+        for i in 0..8 {
+            send(&mut r, i, 100);
+        }
+        // Ack pn 4: pns 0 and 1 lost -> one congestion event.
+        let out = r.on_ack(SimTime::from_millis(40), [(4, 4)].into_iter(), Duration::ZERO, &mut est);
+        assert_eq!(out.lost_frames.len(), 2);
+        assert!(out.congestion_event);
+        // Ack pn 6: pns 2 and 3 lost, but they were sent before the epoch
+        // started -> no second congestion event.
+        let out2 = r.on_ack(SimTime::from_millis(50), [(6, 6)].into_iter(), Duration::ZERO, &mut est);
+        assert_eq!(out2.lost_frames.len(), 2);
+        assert!(!out2.congestion_event);
+    }
+
+    #[test]
+    fn time_threshold_arms_loss_timer() {
+        let mut r = Recovery::new();
+        let mut est = rtt();
+        let p0 = send(&mut r, 0, 100);
+        let p1 = send(&mut r, 5, 100);
+        // Ack p1 at t=50: RTT sample = 45 ms, so the time threshold is
+        // 9/8·45 ≈ 50.6 ms. p0 is only 1 behind (below the packet
+        // threshold) and 50 ms old — just under the threshold — so the
+        // loss timer must be armed rather than declaring it lost.
+        let out = r.on_ack(SimTime::from_millis(50), [(p1, p1)].into_iter(), Duration::ZERO, &mut est);
+        assert!(out.lost_frames.is_empty());
+        let (when, kind) = r.next_timeout(&est).expect("timer armed");
+        assert_eq!(kind, TimeoutKind::LossTime);
+        // Firing the timer declares p0 lost.
+        let to = r.on_timeout(when, &est);
+        assert_eq!(to.lost_frames, vec![stream_frame(p0 as u8)]);
+        assert!(to.congestion_event);
+        assert!(!to.rto_fired);
+    }
+
+    #[test]
+    fn rto_surrenders_everything_and_backs_off() {
+        let mut r = Recovery::new();
+        let est = rtt();
+        send(&mut r, 0, 100);
+        send(&mut r, 10, 100);
+        let (when, kind) = r.next_timeout(&est).unwrap();
+        assert_eq!(kind, TimeoutKind::Rto);
+        let out = r.on_timeout(when, &est);
+        assert!(out.rto_fired);
+        assert_eq!(out.lost_frames.len(), 2);
+        assert_eq!(r.bytes_in_flight(), 0);
+        assert_eq!(r.rto_count(), 1);
+        assert_eq!(r.outstanding_packets(), 0);
+        // Next RTO (after retransmission) doubles.
+        send(&mut r, 1000, 100);
+        let (when2, _) = r.next_timeout(&est).unwrap();
+        let expected = SimTime::from_millis(1000) + est.rto() * 2;
+        assert_eq!(when2, expected);
+    }
+
+    #[test]
+    fn ack_resets_rto_backoff() {
+        let mut r = Recovery::new();
+        let mut est = rtt();
+        send(&mut r, 0, 100);
+        let (when, _) = r.next_timeout(&est).unwrap();
+        let _ = r.on_timeout(when, &est);
+        assert_eq!(r.rto_count(), 1);
+        let pn = send(&mut r, 2000, 100);
+        let _ = r.on_ack(
+            SimTime::from_millis(2040),
+            [(pn, pn)].into_iter(),
+            Duration::ZERO,
+            &mut est,
+        );
+        assert_eq!(r.rto_count(), 0);
+    }
+
+    #[test]
+    fn timeout_before_deadline_is_noop() {
+        let mut r = Recovery::new();
+        let est = rtt();
+        send(&mut r, 0, 100);
+        let out = r.on_timeout(SimTime::from_millis(1), &est);
+        assert!(out.lost_frames.is_empty());
+        assert!(!out.rto_fired);
+        assert_eq!(r.outstanding_packets(), 1);
+    }
+
+    #[test]
+    fn no_timer_when_nothing_outstanding() {
+        let r = Recovery::new();
+        assert!(r.next_timeout(&rtt()).is_none());
+    }
+
+    #[test]
+    fn non_ack_eliciting_packets_not_counted_in_flight() {
+        let mut r = Recovery::new();
+        let pn = r.next_packet_number();
+        r.on_packet_sent(SentPacket {
+            packet_number: pn,
+            time_sent: SimTime::ZERO,
+            size: 50,
+            ack_eliciting: false,
+            frames: vec![],
+        });
+        assert_eq!(r.bytes_in_flight(), 0);
+        // And they don't arm the RTO.
+        assert!(r.next_timeout(&rtt()).is_none());
+    }
+
+    #[test]
+    fn surrender_all_empties_state() {
+        let mut r = Recovery::new();
+        let est = rtt();
+        send(&mut r, 0, 100);
+        send(&mut r, 5, 100);
+        let frames = r.surrender_all();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(r.bytes_in_flight(), 0);
+        assert_eq!(r.outstanding_packets(), 0);
+        assert!(r.next_timeout(&est).is_none());
+        // Packet numbers keep increasing afterwards.
+        let pn = r.next_packet_number();
+        assert_eq!(pn, 2);
+    }
+
+    #[test]
+    fn packet_numbers_monotonic() {
+        let mut r = Recovery::new();
+        let a = r.next_packet_number();
+        let b = r.next_packet_number();
+        assert!(b > a);
+    }
+}

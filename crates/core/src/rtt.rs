@@ -1,0 +1,212 @@
+//! Round-trip-time estimation (RFC 6298 smoothing with QUIC's ack-delay
+//! correction).
+//!
+//! The paper repeatedly credits MPQUIC's scheduling quality to its
+//! "precise path latency estimation": monotonically increasing packet
+//! numbers remove retransmission ambiguity (no Karn's algorithm needed) and
+//! the ACK frame's ack-delay field lets the sender subtract the peer's
+//! deliberate delaying of the ACK from the sample.
+
+use mpquic_util::SimTime;
+use std::time::Duration;
+
+/// Default RTT assumed before the first sample (QUIC uses 333 ms as a
+/// conservative initial guess; we match its spirit with 100 ms since the
+/// paper's topologies are at most 400 ms RTT).
+pub const DEFAULT_INITIAL_RTT: Duration = Duration::from_millis(100);
+
+/// Minimum retransmission timeout (matches gQUIC's 200 ms floor).
+pub const MIN_RTO: Duration = Duration::from_millis(200);
+
+/// Maximum retransmission timeout.
+pub const MAX_RTO: Duration = Duration::from_secs(60);
+
+/// Timer granularity used in RTO variance floors.
+const GRANULARITY: Duration = Duration::from_millis(1);
+
+/// Smoothed RTT state for one path.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    /// Smoothed RTT (EWMA, gain 1/8).
+    srtt: Duration,
+    /// Mean deviation (EWMA, gain 1/4).
+    rttvar: Duration,
+    /// Smallest RTT observed (never ack-delay-adjusted, per QUIC).
+    min_rtt: Duration,
+    /// Most recent raw sample.
+    latest: Duration,
+    /// True once at least one sample has been taken.
+    has_sample: bool,
+    /// RTT assumed before the first sample.
+    initial_rtt: Duration,
+}
+
+impl RttEstimator {
+    /// Creates an estimator that reports `initial_rtt` until a sample
+    /// arrives.
+    pub fn new(initial_rtt: Duration) -> RttEstimator {
+        RttEstimator {
+            srtt: initial_rtt,
+            rttvar: initial_rtt / 2,
+            min_rtt: Duration::MAX,
+            latest: initial_rtt,
+            has_sample: false,
+            initial_rtt,
+        }
+    }
+
+    /// Records a sample: `now - time_sent`, minus the peer-reported
+    /// `ack_delay` (only subtracted when doing so would not push the
+    /// sample below the observed minimum, per RFC 9002 §5.3).
+    pub fn on_sample(&mut self, sent: SimTime, now: SimTime, ack_delay: Duration) {
+        let raw = now.saturating_duration_since(sent);
+        if raw.is_zero() {
+            return;
+        }
+        self.min_rtt = self.min_rtt.min(raw);
+        let adjusted = if raw.saturating_sub(ack_delay) >= self.min_rtt {
+            raw - ack_delay
+        } else {
+            raw
+        };
+        self.latest = adjusted;
+        if !self.has_sample {
+            self.srtt = adjusted;
+            self.rttvar = adjusted / 2;
+            self.has_sample = true;
+        } else {
+            let delta = self.srtt.abs_diff(adjusted);
+            self.rttvar = (self.rttvar * 3 + delta) / 4;
+            self.srtt = (self.srtt * 7 + adjusted) / 8;
+        }
+    }
+
+    /// Smoothed RTT (the scheduler's path ranking key).
+    pub fn srtt(&self) -> Duration {
+        self.srtt
+    }
+
+    /// Latest raw sample.
+    pub fn latest(&self) -> Duration {
+        self.latest
+    }
+
+    /// Smallest observed RTT, or the initial RTT before any sample.
+    pub fn min_rtt(&self) -> Duration {
+        if self.min_rtt == Duration::MAX {
+            self.initial_rtt
+        } else {
+            self.min_rtt
+        }
+    }
+
+    /// True once a real sample has been observed — the scheduler's
+    /// "is this path's RTT known?" test that triggers the paper's
+    /// duplicate-while-unknown behaviour.
+    pub fn has_sample(&self) -> bool {
+        self.has_sample
+    }
+
+    /// Retransmission timeout: `srtt + max(4·rttvar, granularity)`,
+    /// clamped to `[MIN_RTO, MAX_RTO]`.
+    pub fn rto(&self) -> Duration {
+        let rto = self.srtt + (self.rttvar * 4).max(GRANULARITY);
+        rto.clamp(MIN_RTO, MAX_RTO)
+    }
+
+    /// Loss-detection time threshold: `9/8 · max(srtt, latest)`
+    /// (RFC 9002's kTimeThreshold).
+    pub fn loss_time_threshold(&self) -> Duration {
+        let base = self.srtt.max(self.latest);
+        base + base / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn reports_initial_rtt_before_samples() {
+        let rtt = RttEstimator::new(ms(100));
+        assert!(!rtt.has_sample());
+        assert_eq!(rtt.srtt(), ms(100));
+        assert_eq!(rtt.min_rtt(), ms(100));
+        assert_eq!(rtt.rto(), ms(300)); // 100 + 4*50
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut rtt = RttEstimator::new(ms(100));
+        rtt.on_sample(SimTime::from_millis(0), SimTime::from_millis(40), ms(0));
+        assert!(rtt.has_sample());
+        assert_eq!(rtt.srtt(), ms(40));
+        assert_eq!(rtt.min_rtt(), ms(40));
+    }
+
+    #[test]
+    fn smoothing_converges() {
+        let mut rtt = RttEstimator::new(ms(100));
+        for i in 0..50u64 {
+            rtt.on_sample(
+                SimTime::from_millis(i * 100),
+                SimTime::from_millis(i * 100 + 30),
+                ms(0),
+            );
+        }
+        let srtt_ms = rtt.srtt().as_millis();
+        assert!((29..=31).contains(&srtt_ms), "srtt {srtt_ms} should converge to 30");
+    }
+
+    #[test]
+    fn ack_delay_subtracted() {
+        let mut rtt = RttEstimator::new(ms(100));
+        // Establish a min_rtt of 20 ms first.
+        rtt.on_sample(SimTime::from_millis(0), SimTime::from_millis(20), ms(0));
+        // 50 ms raw with 25 ms ack delay -> 25 ms sample.
+        rtt.on_sample(SimTime::from_millis(100), SimTime::from_millis(150), ms(25));
+        assert_eq!(rtt.latest(), ms(25));
+    }
+
+    #[test]
+    fn ack_delay_not_subtracted_below_min() {
+        let mut rtt = RttEstimator::new(ms(100));
+        rtt.on_sample(SimTime::from_millis(0), SimTime::from_millis(30), ms(0));
+        // Subtracting 25 from 40 would give 15 < min(30): keep raw 40.
+        rtt.on_sample(SimTime::from_millis(100), SimTime::from_millis(140), ms(25));
+        assert_eq!(rtt.latest(), ms(40));
+    }
+
+    #[test]
+    fn min_rtt_uses_raw_samples() {
+        let mut rtt = RttEstimator::new(ms(100));
+        rtt.on_sample(SimTime::from_millis(0), SimTime::from_millis(50), ms(45));
+        // min_rtt tracks the raw 50, not the adjusted 5.
+        assert_eq!(rtt.min_rtt(), ms(50));
+    }
+
+    #[test]
+    fn rto_clamped() {
+        let mut rtt = RttEstimator::new(ms(1));
+        rtt.on_sample(SimTime::from_millis(0), SimTime::from_millis(1), ms(0));
+        assert_eq!(rtt.rto(), MIN_RTO);
+    }
+
+    #[test]
+    fn zero_duration_sample_ignored() {
+        let mut rtt = RttEstimator::new(ms(100));
+        rtt.on_sample(SimTime::from_millis(5), SimTime::from_millis(5), ms(0));
+        assert!(!rtt.has_sample());
+    }
+
+    #[test]
+    fn loss_threshold_is_nine_eighths() {
+        let mut rtt = RttEstimator::new(ms(100));
+        rtt.on_sample(SimTime::from_millis(0), SimTime::from_millis(80), ms(0));
+        assert_eq!(rtt.loss_time_threshold(), ms(90));
+    }
+}

@@ -1,0 +1,261 @@
+//! Packet scheduling: choosing the path for each outgoing packet.
+//!
+//! The paper's scheduler (§3, *Packet Scheduling*) starts from the Linux
+//! MPTCP default — prefer the lowest-smoothed-RTT path whose congestion
+//! window has room — with two MPQUIC-specific twists:
+//!
+//! 1. frames (including control frames) may ride any path, so the
+//!    scheduler decides per *packet*, not per byte-stream segment; and
+//! 2. while a freshly opened path has **no RTT estimate yet**, traffic
+//!    sent on it is **duplicated** onto another (known) path, so the new
+//!    path is usable immediately without risking head-of-line blocking if
+//!    it turns out slow.
+//!
+//! [`SchedulerKind::RoundRobin`] and
+//! [`SchedulerKind::LowestRttNoDuplicate`] exist for the ablation benches
+//! motivated by the design discussion in the paper (ping-first vs
+//! round-robin vs duplicate).
+
+use mpquic_wire::PathId;
+use std::time::Duration;
+
+/// A compact view of one path, extracted by the connection for the
+/// scheduling decision.
+#[derive(Debug, Clone, Copy)]
+pub struct PathView {
+    /// Path identifier.
+    pub id: PathId,
+    /// Smoothed RTT.
+    pub srtt: Duration,
+    /// True once an RTT sample exists.
+    pub rtt_known: bool,
+    /// Congestion window bytes still available.
+    pub cwnd_available: u64,
+    /// True if the path may carry data (active, not potentially failed).
+    pub usable: bool,
+}
+
+/// The scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedulerKind {
+    /// The paper's scheduler: lowest RTT with available window, with
+    /// duplication while a path's RTT is unknown.
+    #[default]
+    LowestRtt,
+    /// Lowest RTT without the duplication phase (ablation).
+    LowestRttNoDuplicate,
+    /// Round-robin over paths with available window (ablation; the paper
+    /// rejects this because heterogeneous delays cause head-of-line
+    /// blocking).
+    RoundRobin,
+}
+
+/// The chosen path, plus an optional second path that data frames should
+/// be duplicated onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Path to send the packet on.
+    pub path: PathId,
+    /// If set, stream frames in the packet should also be queued for this
+    /// path (the duplicate-while-unknown phase).
+    pub duplicate_on: Option<PathId>,
+}
+
+/// Packet scheduler state.
+#[derive(Debug, Default)]
+pub struct Scheduler {
+    kind: SchedulerKind,
+    /// Rotation cursor for round-robin.
+    rr_cursor: usize,
+}
+
+impl Scheduler {
+    /// Creates a scheduler of the given kind.
+    pub fn new(kind: SchedulerKind) -> Scheduler {
+        Scheduler { kind, rr_cursor: 0 }
+    }
+
+    /// The policy in use.
+    pub fn kind(&self) -> SchedulerKind {
+        self.kind
+    }
+
+    /// Picks a path for a data-bearing packet, or `None` if no usable path
+    /// has congestion window space.
+    pub fn select_for_data(&mut self, paths: &[PathView], min_space: u64) -> Option<Decision> {
+        let mut candidates: Vec<&PathView> = paths
+            .iter()
+            .filter(|p| p.usable && p.cwnd_available >= min_space)
+            .collect();
+        if candidates.is_empty() {
+            // Potentially-failed paths are only *temporarily ignored*: if
+            // no active path remains, fall back to the least-bad option
+            // rather than stalling the connection outright.
+            candidates = paths
+                .iter()
+                .filter(|p| p.cwnd_available >= min_space)
+                .collect();
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.kind {
+            SchedulerKind::RoundRobin => {
+                let pick = candidates[self.rr_cursor % candidates.len()];
+                self.rr_cursor = self.rr_cursor.wrapping_add(1);
+                Some(Decision {
+                    path: pick.id,
+                    duplicate_on: None,
+                })
+            }
+            SchedulerKind::LowestRtt | SchedulerKind::LowestRttNoDuplicate => {
+                let duplicate = self.kind == SchedulerKind::LowestRtt;
+                // Unknown-RTT paths are used eagerly so the connection can
+                // start exploiting them without waiting a probe RTT...
+                if let Some(unknown) = candidates.iter().find(|p| !p.rtt_known) {
+                    // ...while the same data is duplicated on the best
+                    // *known* path to dodge head-of-line blocking.
+                    let backup = candidates
+                        .iter()
+                        .filter(|p| p.rtt_known)
+                        .min_by_key(|p| p.srtt)
+                        .map(|p| p.id);
+                    return Some(Decision {
+                        path: unknown.id,
+                        duplicate_on: if duplicate { backup } else { None },
+                    });
+                }
+                let best = candidates
+                    .iter()
+                    .min_by_key(|p| p.srtt)
+                    .expect("candidates nonempty");
+                Some(Decision {
+                    path: best.id,
+                    duplicate_on: None,
+                })
+            }
+        }
+    }
+
+    /// Picks the best path for control traffic (ACKs for other paths,
+    /// PATHS frames) when a specific path is not required: the lowest-RTT
+    /// usable path, even without congestion window space (control packets
+    /// are small and not congestion-controlled here).
+    pub fn select_for_control(&self, paths: &[PathView]) -> Option<PathId> {
+        paths
+            .iter()
+            .filter(|p| p.usable)
+            .min_by_key(|p| p.srtt)
+            .map(|p| p.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(id: u32, srtt_ms: u64, known: bool, avail: u64, usable: bool) -> PathView {
+        PathView {
+            id: PathId(id),
+            srtt: Duration::from_millis(srtt_ms),
+            rtt_known: known,
+            cwnd_available: avail,
+            usable,
+        }
+    }
+
+    #[test]
+    fn picks_lowest_rtt_with_space() {
+        let mut s = Scheduler::new(SchedulerKind::LowestRtt);
+        let paths = [
+            view(0, 50, true, 10_000, true),
+            view(1, 20, true, 10_000, true),
+        ];
+        let d = s.select_for_data(&paths, 1350).unwrap();
+        assert_eq!(d.path, PathId(1));
+        assert_eq!(d.duplicate_on, None);
+    }
+
+    #[test]
+    fn full_window_path_skipped() {
+        let mut s = Scheduler::new(SchedulerKind::LowestRtt);
+        let paths = [
+            view(0, 50, true, 10_000, true),
+            view(1, 20, true, 100, true), // fast but window-full
+        ];
+        let d = s.select_for_data(&paths, 1350).unwrap();
+        assert_eq!(d.path, PathId(0));
+    }
+
+    #[test]
+    fn nothing_available_returns_none() {
+        let mut s = Scheduler::new(SchedulerKind::LowestRtt);
+        let paths = [view(0, 50, true, 100, true), view(1, 20, true, 0, true)];
+        assert!(s.select_for_data(&paths, 1350).is_none());
+    }
+
+    #[test]
+    fn potentially_failed_paths_ignored() {
+        let mut s = Scheduler::new(SchedulerKind::LowestRtt);
+        let paths = [
+            view(0, 10, true, 10_000, false), // potentially failed
+            view(1, 99, true, 10_000, true),
+        ];
+        let d = s.select_for_data(&paths, 1350).unwrap();
+        assert_eq!(d.path, PathId(1));
+    }
+
+    #[test]
+    fn unknown_rtt_path_used_with_duplication() {
+        let mut s = Scheduler::new(SchedulerKind::LowestRtt);
+        let paths = [
+            view(0, 30, true, 10_000, true),
+            view(1, 100, false, 10_000, true), // fresh path, no RTT yet
+        ];
+        let d = s.select_for_data(&paths, 1350).unwrap();
+        assert_eq!(d.path, PathId(1));
+        assert_eq!(d.duplicate_on, Some(PathId(0)));
+    }
+
+    #[test]
+    fn no_duplicate_variant_still_uses_unknown_path() {
+        let mut s = Scheduler::new(SchedulerKind::LowestRttNoDuplicate);
+        let paths = [
+            view(0, 30, true, 10_000, true),
+            view(1, 100, false, 10_000, true),
+        ];
+        let d = s.select_for_data(&paths, 1350).unwrap();
+        assert_eq!(d.path, PathId(1));
+        assert_eq!(d.duplicate_on, None);
+    }
+
+    #[test]
+    fn unknown_path_without_known_backup_has_no_duplicate() {
+        let mut s = Scheduler::new(SchedulerKind::LowestRtt);
+        let paths = [view(0, 100, false, 10_000, true)];
+        let d = s.select_for_data(&paths, 1350).unwrap();
+        assert_eq!(d.path, PathId(0));
+        assert_eq!(d.duplicate_on, None);
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut s = Scheduler::new(SchedulerKind::RoundRobin);
+        let paths = [
+            view(0, 50, true, 10_000, true),
+            view(1, 20, true, 10_000, true),
+        ];
+        let first = s.select_for_data(&paths, 1350).unwrap().path;
+        let second = s.select_for_data(&paths, 1350).unwrap().path;
+        let third = s.select_for_data(&paths, 1350).unwrap().path;
+        assert_ne!(first, second);
+        assert_eq!(first, third);
+    }
+
+    #[test]
+    fn control_path_ignores_window() {
+        let s = Scheduler::new(SchedulerKind::LowestRtt);
+        let paths = [view(0, 10, true, 0, true), view(1, 99, true, 10_000, true)];
+        assert_eq!(s.select_for_control(&paths), Some(PathId(0)));
+    }
+}

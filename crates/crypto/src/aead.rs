@@ -1,0 +1,242 @@
+//! A toy authenticated cipher.
+//!
+//! **This is not real cryptography** — see the crate docs. Structure is
+//! that of a stream-cipher AEAD: `seal` XORs a key/nonce-derived keystream
+//! into the plaintext and appends a 64-bit MAC computed over the
+//! associated data (the packet's public header), the ciphertext and their
+//! lengths. `open` verifies the MAC before decrypting.
+
+use mpquic_util::DetRng;
+
+/// Symmetric key.
+pub type Key = [u8; 32];
+
+/// MAC tag length in bytes (matches `mpquic_wire::AEAD_TAG_SIZE`).
+pub const TAG_SIZE: usize = 8;
+
+/// Errors from packet protection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CryptoError {
+    /// MAC verification failed: wrong key, wrong nonce, or tampering.
+    AuthenticationFailed,
+    /// Ciphertext shorter than the MAC tag.
+    Truncated,
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => write!(f, "packet authentication failed"),
+            CryptoError::Truncated => write!(f, "ciphertext shorter than tag"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+/// FNV-1a 64-bit over a byte slice, continuing from `state`.
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(0x100_0000_01b3);
+    }
+    state
+}
+
+/// Mixes key material and a nonce into a 64-bit seed for the keystream.
+fn stream_seed(key: &Key, nonce: &[u8; 12], domain: u64) -> u64 {
+    let mut h = fnv1a(0xcbf2_9ce4_8422_2325 ^ domain, key);
+    h = fnv1a(h, nonce);
+    // Final avalanche (splitmix64 finalizer).
+    let mut z = h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An AEAD context bound to one key.
+#[derive(Debug, Clone)]
+pub struct Aead {
+    key: Key,
+}
+
+impl Aead {
+    /// Creates a context for `key`.
+    pub fn new(key: Key) -> Aead {
+        Aead { key }
+    }
+
+    fn keystream_xor(&self, nonce: &[u8; 12], data: &mut [u8]) {
+        let mut rng = DetRng::new(stream_seed(&self.key, nonce, 0x5EA1));
+        let mut ks = vec![0u8; data.len()];
+        rng.fill_bytes(&mut ks);
+        for (d, k) in data.iter_mut().zip(ks) {
+            *d ^= k;
+        }
+    }
+
+    fn mac(&self, nonce: &[u8; 12], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_SIZE] {
+        let mut h = stream_seed(&self.key, nonce, 0x7A6);
+        h = fnv1a(h, aad);
+        h = fnv1a(h, &(aad.len() as u64).to_le_bytes());
+        h = fnv1a(h, ciphertext);
+        h = fnv1a(h, &(ciphertext.len() as u64).to_le_bytes());
+        h.to_le_bytes()
+    }
+
+    /// Encrypts `plaintext`, authenticating it together with `aad`.
+    /// Returns `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        self.keystream_xor(nonce, &mut out);
+        let tag = self.mac(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verifies and decrypts `ciphertext || tag`. Returns the plaintext.
+    pub fn open(
+        &self,
+        nonce: &[u8; 12],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_SIZE {
+            return Err(CryptoError::Truncated);
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_SIZE);
+        let expected = self.mac(nonce, aad, ciphertext);
+        // Branch-free comparison; constant-time in spirit.
+        let mut diff = 0u8;
+        for (a, b) in expected.iter().zip(tag) {
+            diff |= a ^ b;
+        }
+        if diff != 0 {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut out = ciphertext.to_vec();
+        self.keystream_xor(nonce, &mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn key(b: u8) -> Key {
+        [b; 32]
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let aead = Aead::new(key(1));
+        let nonce = [7u8; 12];
+        let sealed = aead.seal(&nonce, b"header", b"secret payload");
+        assert_eq!(sealed.len(), 14 + TAG_SIZE);
+        let opened = aead.open(&nonce, b"header", &sealed).unwrap();
+        assert_eq!(opened, b"secret payload");
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let sealed = Aead::new(key(1)).seal(&[0; 12], b"", b"data");
+        assert_eq!(
+            Aead::new(key(2)).open(&[0; 12], b"", &sealed),
+            Err(CryptoError::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn wrong_nonce_fails() {
+        let aead = Aead::new(key(3));
+        let sealed = aead.seal(&[1; 12], b"", b"data");
+        assert_eq!(
+            aead.open(&[2; 12], b"", &sealed),
+            Err(CryptoError::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn tampered_aad_fails() {
+        let aead = Aead::new(key(4));
+        let sealed = aead.seal(&[0; 12], b"header-v1", b"data");
+        assert_eq!(
+            aead.open(&[0; 12], b"header-v2", &sealed),
+            Err(CryptoError::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn tampered_ciphertext_fails() {
+        let aead = Aead::new(key(5));
+        let mut sealed = aead.seal(&[0; 12], b"h", b"some data here");
+        sealed[3] ^= 0x40;
+        assert_eq!(
+            aead.open(&[0; 12], b"h", &sealed),
+            Err(CryptoError::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let aead = Aead::new(key(6));
+        assert_eq!(aead.open(&[0; 12], b"", &[1, 2, 3]), Err(CryptoError::Truncated));
+    }
+
+    #[test]
+    fn empty_plaintext_works() {
+        let aead = Aead::new(key(7));
+        let sealed = aead.seal(&[9; 12], b"hdr", b"");
+        assert_eq!(sealed.len(), TAG_SIZE);
+        assert_eq!(aead.open(&[9; 12], b"hdr", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn nonce_reuse_leaks_keystream_relation() {
+        // Demonstrates WHY the paper worries about nonce reuse across
+        // paths: two plaintexts sealed under the same (key, nonce) XOR to
+        // the XOR of the plaintexts — a classic two-time pad.
+        let aead = Aead::new(key(8));
+        let nonce = [5u8; 12];
+        let c1 = aead.seal(&nonce, b"", b"AAAAAAAA");
+        let c2 = aead.seal(&nonce, b"", b"BBBBBBBB");
+        let xored: Vec<u8> = c1.iter().zip(&c2).take(8).map(|(a, b)| a ^ b).collect();
+        let expected: Vec<u8> = b"AAAAAAAA".iter().zip(b"BBBBBBBB").map(|(a, b)| a ^ b).collect();
+        assert_eq!(xored, expected);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(
+            k in any::<[u8; 32]>(),
+            nonce in any::<[u8; 12]>(),
+            aad in proptest::collection::vec(any::<u8>(), 0..64),
+            plaintext in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let aead = Aead::new(k);
+            let sealed = aead.seal(&nonce, &aad, &plaintext);
+            prop_assert_eq!(sealed.len(), plaintext.len() + TAG_SIZE);
+            let opened = aead.open(&nonce, &aad, &sealed).unwrap();
+            prop_assert_eq!(opened, plaintext);
+        }
+
+        #[test]
+        fn prop_bit_flip_detected(
+            k in any::<[u8; 32]>(),
+            plaintext in proptest::collection::vec(any::<u8>(), 1..64),
+            flip_byte in 0usize..64,
+            flip_bit in 0u8..8,
+        ) {
+            let aead = Aead::new(k);
+            let mut sealed = aead.seal(&[0; 12], b"aad", &plaintext);
+            let idx = flip_byte % sealed.len();
+            sealed[idx] ^= 1 << flip_bit;
+            prop_assert_eq!(
+                aead.open(&[0; 12], b"aad", &sealed),
+                Err(CryptoError::AuthenticationFailed)
+            );
+        }
+    }
+}

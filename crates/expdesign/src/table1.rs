@@ -1,0 +1,351 @@
+//! Table 1 of the paper: the factor ranges and experiment classes.
+//!
+//! ```text
+//!                         Low-BDP           High-BDP
+//!   Factor              Min.    Max.      Min.    Max.
+//!   Capacity [Mbps]      0.1     100       0.1     100
+//!   Round-Trip-Time [ms]   0      50         0     400
+//!   Queuing Delay [ms]     0     100         0    2000
+//!   Random Loss [%]        0     2.5         0     2.5
+//! ```
+//!
+//! "We group the simulations into four classes: (low-BDP-no-loss),
+//! (low-BDP-losses), (high-BDP-no-loss) and (high-BDP-losses). For each
+//! class, we consider 253 scenarios and vary the path used to start the
+//! connection, leading to 506 simulations."
+
+use mpquic_netsim::PathSpec;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+use crate::wsp::wsp_select;
+
+/// Scenarios per experiment class (the paper's 253).
+pub const SCENARIOS_PER_CLASS: usize = 253;
+
+/// Candidate cloud size for the WSP selection.
+const WSP_CANDIDATES: usize = 2048;
+
+/// The four experiment classes of §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExperimentClass {
+    /// Low bandwidth-delay product, no random losses (Figs. 3, 4, 9, 10).
+    LowBdpNoLoss,
+    /// Low BDP with random losses (Figs. 5, 6).
+    LowBdpLosses,
+    /// High BDP, no random losses (Fig. 7).
+    HighBdpNoLoss,
+    /// High BDP with random losses (Fig. 8).
+    HighBdpLosses,
+}
+
+impl ExperimentClass {
+    /// All four classes.
+    pub const ALL: [ExperimentClass; 4] = [
+        ExperimentClass::LowBdpNoLoss,
+        ExperimentClass::LowBdpLosses,
+        ExperimentClass::HighBdpNoLoss,
+        ExperimentClass::HighBdpLosses,
+    ];
+
+    /// The factor ranges for this class.
+    pub fn ranges(self) -> Table1Ranges {
+        match self {
+            ExperimentClass::LowBdpNoLoss | ExperimentClass::LowBdpLosses => Table1Ranges {
+                capacity_mbps: (0.1, 100.0),
+                rtt_ms: (0.0, 50.0),
+                queue_ms: (0.0, 100.0),
+                loss_pct: (0.0, 2.5),
+            },
+            ExperimentClass::HighBdpNoLoss | ExperimentClass::HighBdpLosses => Table1Ranges {
+                capacity_mbps: (0.1, 100.0),
+                rtt_ms: (0.0, 400.0),
+                queue_ms: (0.0, 2000.0),
+                loss_pct: (0.0, 2.5),
+            },
+        }
+    }
+
+    /// True for the lossy classes.
+    pub fn with_losses(self) -> bool {
+        matches!(
+            self,
+            ExperimentClass::LowBdpLosses | ExperimentClass::HighBdpLosses
+        )
+    }
+
+    /// Stable name for logs and output files.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExperimentClass::LowBdpNoLoss => "low-BDP-no-loss",
+            ExperimentClass::LowBdpLosses => "low-BDP-losses",
+            ExperimentClass::HighBdpNoLoss => "high-BDP-no-loss",
+            ExperimentClass::HighBdpLosses => "high-BDP-losses",
+        }
+    }
+
+    /// Deterministic design seed per class (so every figure regenerates
+    /// the same scenarios).
+    fn design_seed(self) -> u64 {
+        match self {
+            ExperimentClass::LowBdpNoLoss => 0x1001,
+            ExperimentClass::LowBdpLosses => 0x1002,
+            ExperimentClass::HighBdpNoLoss => 0x1003,
+            ExperimentClass::HighBdpLosses => 0x1004,
+        }
+    }
+}
+
+/// The factor ranges of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table1Ranges {
+    /// Path capacity range, Mbps.
+    pub capacity_mbps: (f64, f64),
+    /// Path round-trip-time range, ms.
+    pub rtt_ms: (f64, f64),
+    /// Maximum queuing delay range, ms.
+    pub queue_ms: (f64, f64),
+    /// Random loss range, percent.
+    pub loss_pct: (f64, f64),
+}
+
+/// Which path the connection starts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StartMode {
+    /// Initial path = highest-capacity path.
+    BestFirst,
+    /// Initial path = lowest-capacity path.
+    WorstFirst,
+}
+
+impl StartMode {
+    /// Both start modes, in the order the figures report them.
+    pub const BOTH: [StartMode; 2] = [StartMode::BestFirst, StartMode::WorstFirst];
+
+    /// Stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StartMode::BestFirst => "best-first",
+            StartMode::WorstFirst => "worst-first",
+        }
+    }
+}
+
+/// One evaluated network scenario: two disjoint paths plus the starting
+/// path choice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The experiment class it belongs to.
+    pub class: ExperimentClass,
+    /// Index within the class design (0..253).
+    pub index: usize,
+    /// The two paths (Fig. 2 topology).
+    pub paths: [ScenarioPath; 2],
+    /// Which path the connection starts on.
+    pub start: StartMode,
+}
+
+/// One path's parameters, in the paper's units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioPath {
+    /// Capacity, Mbps.
+    pub capacity_mbps: f64,
+    /// Round-trip-time, ms.
+    pub rtt_ms: f64,
+    /// Maximum queuing delay, ms.
+    pub queue_ms: f64,
+    /// Random loss, percent.
+    pub loss_pct: f64,
+}
+
+impl ScenarioPath {
+    /// Converts to the simulator's path specification.
+    pub fn to_spec(self) -> PathSpec {
+        PathSpec {
+            capacity_mbps: self.capacity_mbps,
+            rtt: Duration::from_secs_f64(self.rtt_ms / 1e3),
+            max_queue_delay: Duration::from_secs_f64(self.queue_ms / 1e3),
+            loss_percent: self.loss_pct,
+        }
+    }
+}
+
+impl Scenario {
+    /// Simulator path specs, ordered so that index 0 is the **initial**
+    /// path per the scenario's start mode.
+    pub fn path_specs(&self) -> [PathSpec; 2] {
+        let (best, worst) = if self.paths[0].capacity_mbps >= self.paths[1].capacity_mbps {
+            (self.paths[0], self.paths[1])
+        } else {
+            (self.paths[1], self.paths[0])
+        };
+        match self.start {
+            StartMode::BestFirst => [best.to_spec(), worst.to_spec()],
+            StartMode::WorstFirst => [worst.to_spec(), best.to_spec()],
+        }
+    }
+
+    /// A deterministic per-scenario seed for the simulation RNG.
+    pub fn seed(&self) -> u64 {
+        let class = match self.class {
+            ExperimentClass::LowBdpNoLoss => 1u64,
+            ExperimentClass::LowBdpLosses => 2,
+            ExperimentClass::HighBdpNoLoss => 3,
+            ExperimentClass::HighBdpLosses => 4,
+        };
+        let start = match self.start {
+            StartMode::BestFirst => 0u64,
+            StartMode::WorstFirst => 1,
+        };
+        (class << 32) | ((self.index as u64) << 1) | start
+    }
+}
+
+/// Maps a unit-interval coordinate onto a range, log-uniformly for
+/// capacity (three decades, 0.1–100 Mbps) so the design does not drown
+/// in high-bandwidth scenarios.
+fn map_capacity(u: f64, (lo, hi): (f64, f64)) -> f64 {
+    (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+}
+
+fn map_linear(u: f64, (lo, hi): (f64, f64)) -> f64 {
+    lo + u * (hi - lo)
+}
+
+/// Generates the `count` WSP-designed scenarios of a class (start mode
+/// fixed to `BestFirst`; use [`all_scenarios`] for the 2×253 expansion).
+pub fn design_scenarios(class: ExperimentClass, count: usize) -> Vec<Scenario> {
+    let ranges = class.ranges();
+    // 8 factors: (capacity, rtt, queue, loss) × 2 paths.
+    let points = wsp_select(8, count, WSP_CANDIDATES.max(count * 4), class.design_seed());
+    points
+        .into_iter()
+        .enumerate()
+        .map(|(index, p)| {
+            let path = |o: usize| ScenarioPath {
+                capacity_mbps: map_capacity(p[o], ranges.capacity_mbps),
+                rtt_ms: map_linear(p[o + 1], ranges.rtt_ms),
+                queue_ms: map_linear(p[o + 2], ranges.queue_ms),
+                loss_pct: if class.with_losses() {
+                    map_linear(p[o + 3], ranges.loss_pct)
+                } else {
+                    0.0
+                },
+            };
+            Scenario {
+                class,
+                index,
+                paths: [path(0), path(4)],
+                start: StartMode::BestFirst,
+            }
+        })
+        .collect()
+}
+
+/// The full per-class simulation list: `count` scenarios × both start
+/// modes (the paper's 506 simulations for 253 scenarios).
+pub fn all_scenarios(class: ExperimentClass, count: usize) -> Vec<Scenario> {
+    let base = design_scenarios(class, count);
+    let mut all = Vec::with_capacity(base.len() * 2);
+    for scenario in base {
+        let mut worst = scenario.clone();
+        worst.start = StartMode::WorstFirst;
+        all.push(scenario);
+        all.push(worst);
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_design_has_253_scenarios() {
+        let s = design_scenarios(ExperimentClass::LowBdpNoLoss, SCENARIOS_PER_CLASS);
+        assert_eq!(s.len(), SCENARIOS_PER_CLASS);
+        let both = all_scenarios(ExperimentClass::LowBdpNoLoss, SCENARIOS_PER_CLASS);
+        assert_eq!(both.len(), 506);
+    }
+
+    #[test]
+    fn parameters_respect_table1_ranges() {
+        for class in ExperimentClass::ALL {
+            let ranges = class.ranges();
+            for s in design_scenarios(class, 60) {
+                for p in &s.paths {
+                    assert!(p.capacity_mbps >= ranges.capacity_mbps.0 - 1e-9);
+                    assert!(p.capacity_mbps <= ranges.capacity_mbps.1 + 1e-9);
+                    assert!(p.rtt_ms >= 0.0 && p.rtt_ms <= ranges.rtt_ms.1 + 1e-9);
+                    assert!(p.queue_ms >= 0.0 && p.queue_ms <= ranges.queue_ms.1 + 1e-9);
+                    if class.with_losses() {
+                        assert!(p.loss_pct <= 2.5 + 1e-9);
+                    } else {
+                        assert_eq!(p.loss_pct, 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn high_bdp_ranges_are_larger() {
+        let low = ExperimentClass::LowBdpNoLoss.ranges();
+        let high = ExperimentClass::HighBdpNoLoss.ranges();
+        assert!(high.rtt_ms.1 > low.rtt_ms.1);
+        assert!(high.queue_ms.1 > low.queue_ms.1);
+    }
+
+    #[test]
+    fn designs_are_deterministic() {
+        let a = design_scenarios(ExperimentClass::LowBdpLosses, 40);
+        let b = design_scenarios(ExperimentClass::LowBdpLosses, 40);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn classes_have_distinct_designs() {
+        let a = design_scenarios(ExperimentClass::LowBdpNoLoss, 20);
+        let b = design_scenarios(ExperimentClass::LowBdpLosses, 20);
+        // Same seed would give identical capacities; different designs.
+        assert_ne!(
+            a[0].paths[0].capacity_mbps,
+            b[0].paths[0].capacity_mbps
+        );
+    }
+
+    #[test]
+    fn start_mode_orders_paths() {
+        let s = design_scenarios(ExperimentClass::LowBdpNoLoss, 5);
+        for scenario in &s {
+            let best_first = scenario.path_specs();
+            assert!(best_first[0].capacity_mbps >= best_first[1].capacity_mbps);
+            let mut worst = scenario.clone();
+            worst.start = StartMode::WorstFirst;
+            let worst_first = worst.path_specs();
+            assert!(worst_first[0].capacity_mbps <= worst_first[1].capacity_mbps);
+        }
+    }
+
+    #[test]
+    fn seeds_unique_across_runs() {
+        let mut seeds = std::collections::HashSet::new();
+        for class in ExperimentClass::ALL {
+            for s in all_scenarios(class, 20) {
+                assert!(seeds.insert(s.seed()), "duplicate seed for {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_is_log_spread() {
+        // With log mapping, a decent fraction of scenarios should land
+        // below 1 Mbps and a decent fraction above 10 Mbps.
+        let s = design_scenarios(ExperimentClass::LowBdpNoLoss, SCENARIOS_PER_CLASS);
+        let caps: Vec<f64> = s.iter().flat_map(|x| x.paths.iter().map(|p| p.capacity_mbps)).collect();
+        let low = caps.iter().filter(|&&c| c < 1.0).count();
+        let high = caps.iter().filter(|&&c| c > 10.0).count();
+        assert!(low > caps.len() / 6, "{low}/{} below 1 Mbps", caps.len());
+        assert!(high > caps.len() / 6, "{high}/{} above 10 Mbps", caps.len());
+    }
+}

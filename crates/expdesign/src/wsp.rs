@@ -1,0 +1,192 @@
+//! The WSP space-filling design algorithm.
+//!
+//! WSP (Santiago, Claeys-Bruno, Sergent — *Construction of space-filling
+//! designs using WSP algorithm for high dimensional spaces*, Chemometrics
+//! 2012) selects a well-spread subset of candidate points:
+//!
+//! 1. generate a large cloud of candidate points in the unit hypercube;
+//! 2. pick a seed point; remove every candidate within distance `d_min`;
+//! 3. move to the candidate closest to the current point, keep it, and
+//!    repeat until no candidates remain;
+//! 4. binary-search `d_min` until the kept set has the desired size.
+//!
+//! The result covers the factor space far more evenly than uniform
+//! sampling — the property the paper relies on to compare protocols
+//! across "a wide range of parameters" instead of a few chosen cases.
+
+use mpquic_util::DetRng;
+
+/// Euclidean distance in the unit hypercube.
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs one WSP pass with the given minimum distance, returning the
+/// indices of the kept points.
+fn wsp_pass(points: &[Vec<f64>], seed_index: usize, d_min: f64) -> Vec<usize> {
+    let d_min2 = d_min * d_min;
+    let mut alive: Vec<bool> = vec![true; points.len()];
+    let mut kept = Vec::new();
+    let mut current = seed_index;
+    loop {
+        kept.push(current);
+        alive[current] = false;
+        // Remove all candidates too close to the chosen point.
+        for (i, flag) in alive.iter_mut().enumerate() {
+            if *flag && dist2(&points[current], &points[i]) < d_min2 {
+                *flag = false;
+            }
+        }
+        // Step to the nearest remaining candidate.
+        let next = alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .min_by(|(i, _), (j, _)| {
+                dist2(&points[current], &points[*i])
+                    .partial_cmp(&dist2(&points[current], &points[*j]))
+                    .expect("distances are finite")
+            })
+            .map(|(i, _)| i);
+        match next {
+            Some(i) => current = i,
+            None => break,
+        }
+    }
+    kept
+}
+
+/// Selects `target` well-spread points from the unit hypercube of
+/// dimension `dims`, deterministically from `seed`.
+///
+/// ```
+/// let points = mpquic_expdesign::wsp_select(4, 50, 500, 7);
+/// assert_eq!(points.len(), 50);
+/// assert!(points.iter().all(|p| p.iter().all(|&x| (0.0..1.0).contains(&x))));
+/// ```
+///
+/// Generates `candidates` uniform points, then binary-searches the WSP
+/// minimum distance until exactly `target` points remain (the final pass
+/// trims or tops up by at most a few points, preferring the most
+/// isolated ones).
+pub fn wsp_select(dims: usize, target: usize, candidates: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert!(dims >= 1);
+    assert!(target >= 1);
+    assert!(candidates >= target, "need at least `target` candidates");
+    let mut rng = DetRng::new(seed);
+    let points: Vec<Vec<f64>> = (0..candidates)
+        .map(|_| (0..dims).map(|_| rng.f64()).collect())
+        .collect();
+    let seed_index = rng.index(candidates);
+
+    // Binary search d_min: larger d_min -> fewer kept points.
+    let mut lo = 0.0f64;
+    let mut hi = (dims as f64).sqrt(); // hypercube diagonal
+    let mut best: Vec<usize> = wsp_pass(&points, seed_index, lo);
+    for _ in 0..40 {
+        let mid = (lo + hi) / 2.0;
+        let kept = wsp_pass(&points, seed_index, mid);
+        if kept.len() >= target {
+            lo = mid;
+            best = kept;
+            if best.len() == target {
+                break;
+            }
+        } else {
+            hi = mid;
+        }
+    }
+    // Exact-size adjustment: drop the points closest to their nearest
+    // kept neighbour (least isolated first).
+    let mut kept = best;
+    while kept.len() > target {
+        let (worst_pos, _) = kept
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let nearest = kept
+                    .iter()
+                    .filter(|&&j| j != i)
+                    .map(|&j| dist2(&points[i], &points[j]))
+                    .fold(f64::INFINITY, f64::min);
+                (pos, nearest)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("nonempty");
+        kept.remove(worst_pos);
+    }
+    kept.into_iter().map(|i| points[i].clone()).collect()
+}
+
+/// A crude discrepancy measure for tests: the largest nearest-neighbour
+/// distance over a probe grid (lower = better coverage).
+pub fn coverage_radius(points: &[Vec<f64>], probes: usize, seed: u64) -> f64 {
+    let dims = points[0].len();
+    let mut rng = DetRng::new(seed);
+    let mut worst: f64 = 0.0;
+    for _ in 0..probes {
+        let probe: Vec<f64> = (0..dims).map(|_| rng.f64()).collect();
+        let nearest = points
+            .iter()
+            .map(|p| dist2(&probe, p).sqrt())
+            .fold(f64::INFINITY, f64::min);
+        worst = worst.max(nearest);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_exactly_target_points() {
+        for target in [10, 50, 253] {
+            let pts = wsp_select(4, target, 1500, 42);
+            assert_eq!(pts.len(), target);
+        }
+    }
+
+    #[test]
+    fn points_in_unit_cube() {
+        let pts = wsp_select(6, 100, 1000, 7);
+        for p in &pts {
+            assert_eq!(p.len(), 6);
+            assert!(p.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(wsp_select(3, 40, 500, 9), wsp_select(3, 40, 500, 9));
+        assert_ne!(wsp_select(3, 40, 500, 9), wsp_select(3, 40, 500, 10));
+    }
+
+    #[test]
+    fn points_are_spread_apart() {
+        let pts = wsp_select(2, 50, 2000, 11);
+        // Minimum pairwise distance should be well above what clumped
+        // uniform sampling would give (~0, since duplicates are likely).
+        let mut min_d = f64::INFINITY;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                min_d = min_d.min(dist2(&pts[i], &pts[j]).sqrt());
+            }
+        }
+        assert!(min_d > 0.03, "min pairwise distance {min_d} too small");
+    }
+
+    #[test]
+    fn better_coverage_than_uniform() {
+        let wsp = wsp_select(2, 64, 3000, 13);
+        // Uniform sample of the same size.
+        let mut rng = mpquic_util::DetRng::new(13);
+        let uniform: Vec<Vec<f64>> = (0..64).map(|_| vec![rng.f64(), rng.f64()]).collect();
+        let wsp_cov = coverage_radius(&wsp, 2000, 99);
+        let uni_cov = coverage_radius(&uniform, 2000, 99);
+        assert!(
+            wsp_cov <= uni_cov,
+            "WSP coverage {wsp_cov} should beat uniform {uni_cov}"
+        );
+    }
+}

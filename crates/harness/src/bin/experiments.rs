@@ -1,0 +1,114 @@
+//! Runs the paper's complete evaluation — one sweep per experiment class,
+//! reused for both the ratio figure and the benefit figure of that class
+//! — plus the handover experiment. This is what generates the data in
+//! EXPERIMENTS.md.
+//!
+//! Scale with `--scenarios N --size BYTES --repeats K --cap SECS`.
+
+use mpquic_expdesign::ExperimentClass;
+use mpquic_harness::report::{maybe_write_json, print_benefit_figure, print_ratio_figure, CliArgs};
+use mpquic_harness::{run_class_sweep, run_handover, HandoverConfig};
+
+fn main() {
+    let args = CliArgs::parse();
+    let t0 = std::time::Instant::now();
+
+    // --- 20 MB classes (Figs. 3-8) ---
+    let large = args.size.unwrap_or(20 << 20);
+    println!("running 4 classes × {} scenarios × 2 start modes, {} B transfers\n", args.scenarios, large);
+
+    let low = run_class_sweep(&args.sweep(ExperimentClass::LowBdpNoLoss, large));
+    maybe_write_json(&args, "low_bdp_no_loss", &low);
+    print_ratio_figure(
+        "Fig. 3 — GET 20 MB, low-BDP-no-loss",
+        "single-path TCP and QUIC similar; MPQUIC faster than MPTCP in 89% of scenarios",
+        &low,
+    );
+    println!();
+    print_benefit_figure(
+        "Fig. 4 — aggregation benefit, low-BDP-no-loss",
+        "higher aggregation for MPQUIC in 77% of scenarios vs 45% for MPTCP; MPQUIC insensitive to the initial path",
+        &low,
+    );
+    println!();
+
+    let low_loss = run_class_sweep(&args.sweep(ExperimentClass::LowBdpLosses, large));
+    maybe_write_json(&args, "low_bdp_losses", &low_loss);
+    print_ratio_figure(
+        "Fig. 5 — GET 20 MB, low-BDP-losses",
+        "(MP)QUIC reacts faster than (MP)TCP to random losses",
+        &low_loss,
+    );
+    println!();
+    print_benefit_figure(
+        "Fig. 6 — aggregation benefit, low-BDP-losses",
+        "multipath still advantageous for QUIC in lossy environments",
+        &low_loss,
+    );
+    println!();
+
+    let high = run_class_sweep(&args.sweep(ExperimentClass::HighBdpNoLoss, large));
+    maybe_write_json(&args, "high_bdp_no_loss", &high);
+    print_benefit_figure(
+        "Fig. 7 — aggregation benefit, high-BDP-no-loss",
+        "multipath beneficial in 58% of scenarios for QUIC vs 20% for TCP",
+        &high,
+    );
+    println!();
+    print_ratio_figure(
+        "(supplement) ratio CDFs, high-BDP-no-loss",
+        "(not a separate paper figure; printed for completeness)",
+        &high,
+    );
+    println!();
+
+    let high_loss = run_class_sweep(&args.sweep(ExperimentClass::HighBdpLosses, large));
+    maybe_write_json(&args, "high_bdp_losses", &high_loss);
+    print_ratio_figure(
+        "Fig. 8 — GET 20 MB, high-BDP-losses",
+        "QUIC performs better than TCP in high-BDP environments with random losses",
+        &high_loss,
+    );
+    println!();
+    print_benefit_figure(
+        "(supplement) aggregation benefit, high-BDP-losses",
+        "(not a separate paper figure; printed for completeness)",
+        &high_loss,
+    );
+    println!();
+
+    // --- 256 kB short transfers (Figs. 9-10) ---
+    // The paper pins this size; `--size` only scales the large transfers.
+    let mut short_cfg = args.sweep(ExperimentClass::LowBdpNoLoss, 256 << 10);
+    short_cfg.response_size = 256 << 10;
+    let short = run_class_sweep(&short_cfg);
+    maybe_write_json(&args, "short_transfers", &short);
+    print_ratio_figure(
+        "Fig. 9 — GET 256 kB, low-BDP-no-loss",
+        "QUIC faster thanks to its 1-RTT handshake (TCP+TLS 1.2: 3 RTTs)",
+        &short,
+    );
+    println!();
+    print_benefit_figure(
+        "Fig. 10 — aggregation benefit, GET 256 kB",
+        "short transfers: QUIC should remain single-path with heterogeneous paths",
+        &short,
+    );
+    println!();
+
+    // --- Fig. 11 handover ---
+    let delays = run_handover(&HandoverConfig::default(), 42);
+    println!("== Fig. 11 — handover ==");
+    let worst = delays.iter().map(|(_, d)| *d).fold(0.0, f64::max);
+    let pre: Vec<f64> = delays.iter().filter(|(t, _)| *t < 2.8).map(|(_, d)| *d).collect();
+    let post: Vec<f64> = delays.iter().filter(|(t, _)| *t > 5.0).map(|(_, d)| *d).collect();
+    println!(
+        "answered {}/37 requests | pre-failure ~{:.1} ms | failover spike {:.1} ms | post-failover ~{:.1} ms",
+        delays.len(),
+        pre.iter().sum::<f64>() / pre.len().max(1) as f64,
+        worst,
+        post.iter().sum::<f64>() / post.len().max(1) as f64,
+    );
+
+    println!("\ntotal wall time: {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,16 @@
+//! Regenerates **Figure 10**: aggregation benefit for short transfers —
+//! multipath is not useful for 256 kB downloads.
+
+use mpquic_expdesign::ExperimentClass;
+use mpquic_harness::report::{print_benefit_figure, CliArgs};
+
+fn main() {
+    let args = CliArgs::parse();
+    let config = args.sweep(ExperimentClass::LowBdpNoLoss, 256 << 10);
+    let results = mpquic_harness::run_class_sweep(&config);
+    print_benefit_figure(
+        "Fig. 10 — aggregation benefit, GET 256 kB, low-BDP-no-loss",
+        "for short transfers QUIC should remain single-path with heterogeneous paths",
+        &results,
+    );
+}

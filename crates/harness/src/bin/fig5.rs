@@ -1,0 +1,15 @@
+//! Regenerates **Figure 5**: ratio CDFs with random losses (low BDP).
+
+use mpquic_expdesign::ExperimentClass;
+use mpquic_harness::report::{print_ratio_figure, CliArgs};
+
+fn main() {
+    let args = CliArgs::parse();
+    let config = args.sweep(ExperimentClass::LowBdpLosses, 20 << 20);
+    let results = mpquic_harness::run_class_sweep(&config);
+    print_ratio_figure(
+        "Fig. 5 — GET 20 MB, low-BDP-losses",
+        "(MP)QUIC reacts faster than (MP)TCP to random losses; QUIC nearly always ahead",
+        &results,
+    );
+}

@@ -1,0 +1,15 @@
+//! Regenerates **Figure 6**: aggregation benefit with random losses.
+
+use mpquic_expdesign::ExperimentClass;
+use mpquic_harness::report::{print_benefit_figure, CliArgs};
+
+fn main() {
+    let args = CliArgs::parse();
+    let config = args.sweep(ExperimentClass::LowBdpLosses, 20 << 20);
+    let results = mpquic_harness::run_class_sweep(&config);
+    print_benefit_figure(
+        "Fig. 6 — aggregation benefit, GET 20 MB, low-BDP-losses",
+        "multipath can still be advantageous for QUIC in lossy environments, with more goodput variance",
+        &results,
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates **Figure 8**: ratio CDFs in high-BDP environments with
+//! random losses.
+
+use mpquic_expdesign::ExperimentClass;
+use mpquic_harness::report::{print_ratio_figure, CliArgs};
+
+fn main() {
+    let args = CliArgs::parse();
+    let config = args.sweep(ExperimentClass::HighBdpLosses, 20 << 20);
+    let results = mpquic_harness::run_class_sweep(&config);
+    print_ratio_figure(
+        "Fig. 8 — GET 20 MB, high-BDP-losses",
+        "QUIC performs better than TCP in high-BDP environments when there are random losses",
+        &results,
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates **Table 1**: the experimental-design parameter ranges and
+//! a sample of the WSP-designed scenarios drawn from them.
+
+use mpquic_expdesign::table1::design_scenarios;
+use mpquic_expdesign::ExperimentClass;
+
+fn main() {
+    println!("== Table 1: Experimental design parameters [37] ==");
+    println!("                        Low-BDP           High-BDP");
+    println!("Factor                Min.    Max.      Min.    Max.");
+    let low = ExperimentClass::LowBdpNoLoss.ranges();
+    let high = ExperimentClass::HighBdpNoLoss.ranges();
+    println!(
+        "Capacity [Mbps]      {:>5}  {:>6}     {:>5}  {:>6}",
+        low.capacity_mbps.0, low.capacity_mbps.1, high.capacity_mbps.0, high.capacity_mbps.1
+    );
+    println!(
+        "Round-Trip-Time [ms] {:>5}  {:>6}     {:>5}  {:>6}",
+        low.rtt_ms.0, low.rtt_ms.1, high.rtt_ms.0, high.rtt_ms.1
+    );
+    println!(
+        "Queuing Delay [ms]   {:>5}  {:>6}     {:>5}  {:>6}",
+        low.queue_ms.0, low.queue_ms.1, high.queue_ms.0, high.queue_ms.1
+    );
+    println!(
+        "Random Loss [%]      {:>5}  {:>6}     {:>5}  {:>6}",
+        low.loss_pct.0, low.loss_pct.1, high.loss_pct.0, high.loss_pct.1
+    );
+    println!();
+    for class in ExperimentClass::ALL {
+        let scenarios = design_scenarios(class, mpquic_expdesign::SCENARIOS_PER_CLASS);
+        println!(
+            "class {:<18} {} WSP scenarios × 2 start modes = {} simulations per protocol",
+            class.name(),
+            scenarios.len(),
+            scenarios.len() * 2
+        );
+        for s in scenarios.iter().take(3) {
+            println!(
+                "  #{:<3} pathA: {:6.2} Mbps {:5.1} ms rtt {:6.1} ms queue {:.2}% loss | pathB: {:6.2} Mbps {:5.1} ms rtt {:6.1} ms queue {:.2}% loss",
+                s.index,
+                s.paths[0].capacity_mbps, s.paths[0].rtt_ms, s.paths[0].queue_ms, s.paths[0].loss_pct,
+                s.paths[1].capacity_mbps, s.paths[1].rtt_ms, s.paths[1].queue_ms, s.paths[1].loss_pct,
+            );
+        }
+        println!("  ...");
+    }
+}

@@ -1,0 +1,45 @@
+//! # mpquic-harness — the evaluation harness
+//!
+//! Glues the protocol stacks (`mpquic-core`, `mpquic-tcp`) to the network
+//! simulator (`mpquic-netsim`) and the experimental design
+//! (`mpquic-expdesign`), and computes the paper's metrics. Each figure of
+//! the paper has a binary in `src/bin/` that regenerates its data:
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `table1` | Table 1 — the experimental design parameters |
+//! | `fig3`   | CDF of download-time ratios, 20 MB, low-BDP-no-loss |
+//! | `fig4`   | aggregation benefit, low-BDP-no-loss |
+//! | `fig5`   | ratio CDF, low-BDP-losses |
+//! | `fig6`   | aggregation benefit, low-BDP-losses |
+//! | `fig7`   | aggregation benefit, high-BDP-no-loss |
+//! | `fig8`   | ratio CDF, high-BDP-losses |
+//! | `fig9`   | ratio CDF, 256 kB, low-BDP-no-loss |
+//! | `fig10`  | aggregation benefit, 256 kB, low-BDP-no-loss |
+//! | `fig11`  | handover request-delay time series |
+//!
+//! Each binary accepts `--scenarios N`, `--size BYTES`, `--repeats K` to
+//! scale the sweep; defaults follow the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod experiments;
+pub mod fairness;
+pub mod metrics;
+pub mod protocol;
+pub mod report;
+pub mod runner;
+pub mod transport;
+
+pub use app::App;
+pub use experiments::{run_class_sweep, ClassResults, SweepConfig};
+pub use fairness::{run_shared_bottleneck, FairnessOutcome};
+pub use metrics::aggregation_benefit;
+pub use protocol::{build_pair, Overrides, ProtoEndpoint, Protocol};
+pub use runner::{
+    run_file_transfer, run_file_transfer_median, run_handover, HandoverConfig, TransferOutcome,
+    REQUEST_SIZE,
+};
+pub use transport::{AnyTransport, QuicTransport, TcpTransport, Transport};

@@ -1,0 +1,224 @@
+//! The four evaluated protocols and their endpoint construction.
+
+use mpquic_core::{CcAlgorithm, Config as QuicConfig, Connection, SchedulerKind};
+use mpquic_netsim::{Datagram, Endpoint as NetEndpoint, NetworkPlan};
+use mpquic_tcp::{TcpConfig, TcpStack};
+use mpquic_util::SimTime;
+use std::net::SocketAddr;
+
+use crate::app::App;
+use crate::transport::{AnyTransport, QuicTransport, TcpTransport, Transport};
+
+/// The protocols compared by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Single-path TCP with TLS 1.2 and CUBIC.
+    Tcp,
+    /// Multipath TCP (Linux v0.91 semantics) with OLIA.
+    Mptcp,
+    /// Single-path QUIC (gQUIC crypto, CUBIC).
+    Quic,
+    /// Multipath QUIC — the paper's contribution (OLIA, lowest-RTT
+    /// scheduler with duplication).
+    Mpquic,
+}
+
+impl Protocol {
+    /// All four, in the paper's enumeration order.
+    pub const ALL: [Protocol; 4] = [
+        Protocol::Tcp,
+        Protocol::Mptcp,
+        Protocol::Quic,
+        Protocol::Mpquic,
+    ];
+
+    /// Stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Tcp => "TCP",
+            Protocol::Mptcp => "MPTCP",
+            Protocol::Quic => "QUIC",
+            Protocol::Mpquic => "MPQUIC",
+        }
+    }
+
+    /// True for the multipath variants.
+    pub fn is_multipath(self) -> bool {
+        matches!(self, Protocol::Mptcp | Protocol::Mpquic)
+    }
+
+    /// True for the QUIC family.
+    pub fn is_quic(self) -> bool {
+        matches!(self, Protocol::Quic | Protocol::Mpquic)
+    }
+}
+
+/// Optional deviations from the paper's default configuration, used by
+/// the ablation benches (DESIGN.md §6).
+#[derive(Debug, Clone, Default)]
+pub struct Overrides {
+    /// Replace the MPQUIC packet scheduler.
+    pub scheduler: Option<SchedulerKind>,
+    /// Toggle WINDOW_UPDATE duplication on all paths.
+    pub duplicate_window_updates: Option<bool>,
+    /// Toggle the PATHS frame on RTO.
+    pub send_paths_frames: Option<bool>,
+    /// Replace the congestion controller.
+    pub cc: Option<CcAlgorithm>,
+    /// Toggle MPTCP's penalization + opportunistic retransmission.
+    pub orp: Option<bool>,
+    /// Shrink QUIC's receive windows (stress flow-control mechanisms).
+    pub quic_recv_window: Option<u64>,
+    /// Cap the ACK ranges QUIC reports (3 emulates TCP-SACK acking).
+    pub quic_ack_ranges: Option<usize>,
+    /// Shrink (MP)TCP's shared meta receive window (stress the coupled
+    /// window / ORP machinery).
+    pub tcp_recv_window: Option<u64>,
+}
+
+/// A protocol endpoint: transport + application, driven by the simulator.
+pub struct ProtoEndpoint {
+    /// The transport stack.
+    pub transport: AnyTransport,
+    /// The application.
+    pub app: App,
+}
+
+impl ProtoEndpoint {
+    fn drive_app(&mut self, now: SimTime) {
+        self.app.drive(&mut self.transport, now);
+    }
+}
+
+impl NetEndpoint for ProtoEndpoint {
+    fn on_datagram(&mut self, now: SimTime, local: SocketAddr, remote: SocketAddr, payload: &[u8]) {
+        self.transport.handle_datagram(now, local, remote, payload);
+        self.drive_app(now);
+    }
+
+    fn poll_transmit(&mut self, now: SimTime) -> Option<Datagram> {
+        self.drive_app(now);
+        self.transport.poll_transmit(now)
+    }
+
+    fn next_timeout(&self) -> Option<SimTime> {
+        match (self.transport.next_timeout(), self.app.next_timeout()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn on_timeout(&mut self, now: SimTime) {
+        self.transport.on_timeout(now);
+        self.drive_app(now);
+    }
+}
+
+fn quic_config(multipath: bool, overrides: &Overrides) -> QuicConfig {
+    let mut config = if multipath {
+        QuicConfig::multipath()
+    } else {
+        QuicConfig::single_path()
+    };
+    if let Some(s) = overrides.scheduler {
+        config.scheduler = s;
+    }
+    if let Some(d) = overrides.duplicate_window_updates {
+        config.duplicate_window_updates = d;
+    }
+    if let Some(p) = overrides.send_paths_frames {
+        config.send_paths_frames = p;
+    }
+    if let Some(cc) = overrides.cc {
+        config.cc = cc;
+    }
+    if let Some(w) = overrides.quic_recv_window {
+        config.conn_recv_window = w;
+        config.stream_recv_window = w;
+    }
+    if let Some(r) = overrides.quic_ack_ranges {
+        config.max_ack_ranges = r;
+    }
+    config
+}
+
+fn tcp_config(multipath: bool, overrides: &Overrides) -> TcpConfig {
+    let mut config = if multipath {
+        TcpConfig::multipath()
+    } else {
+        TcpConfig::single_path()
+    };
+    if let Some(cc) = overrides.cc {
+        config.cc = cc;
+    }
+    if let Some(orp) = overrides.orp {
+        config.orp = orp;
+    }
+    if let Some(w) = overrides.tcp_recv_window {
+        config.recv_window = w;
+    }
+    config
+}
+
+/// Builds the client and server endpoints for `protocol` over `plan`.
+///
+/// The plan's path 0 is the initial path (the scenario's start-mode
+/// ordering is applied before the plan is built). Single-path protocols
+/// must be given a single-path plan.
+pub fn build_pair(
+    protocol: Protocol,
+    plan: &NetworkPlan,
+    seed: u64,
+    client_app: App,
+    server_app: App,
+    overrides: &Overrides,
+) -> (ProtoEndpoint, ProtoEndpoint) {
+    if !protocol.is_multipath() {
+        assert_eq!(
+            plan.path_count(),
+            1,
+            "single-path protocols take a single-path plan"
+        );
+    }
+    let (client_t, server_t) = match protocol {
+        Protocol::Quic | Protocol::Mpquic => {
+            let config = quic_config(protocol.is_multipath(), overrides);
+            let client = Connection::client(
+                config.clone(),
+                plan.client_addrs.clone(),
+                0,
+                plan.server_addrs[0],
+                seed.wrapping_mul(2) + 1,
+            );
+            let server = Connection::server(config, plan.server_addrs.clone(), seed.wrapping_mul(2) + 2);
+            (
+                AnyTransport::Quic(QuicTransport::client(client)),
+                AnyTransport::Quic(QuicTransport::server(server)),
+            )
+        }
+        Protocol::Tcp | Protocol::Mptcp => {
+            let config = tcp_config(protocol.is_multipath(), overrides);
+            let client = TcpStack::client(
+                config.clone(),
+                plan.client_addrs.clone(),
+                0,
+                plan.server_addrs[0],
+            );
+            let server = TcpStack::server(config, plan.server_addrs.clone());
+            (
+                AnyTransport::Tcp(TcpTransport::new(client)),
+                AnyTransport::Tcp(TcpTransport::new(server)),
+            )
+        }
+    };
+    (
+        ProtoEndpoint {
+            transport: client_t,
+            app: client_app,
+        },
+        ProtoEndpoint {
+            transport: server_t,
+            app: server_app,
+        },
+    )
+}

@@ -1,0 +1,159 @@
+//! Text reporting for the figure binaries: headline statistics plus the
+//! machine-readable series each paper figure plots, and a tiny CLI
+//! parser shared by all binaries.
+
+use mpquic_util::stats::{Cdf, FiveNumber};
+use std::time::Duration;
+
+use crate::experiments::{ClassResults, SweepConfig};
+use mpquic_expdesign::ExperimentClass;
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    /// `--scenarios N` — scenario count (default: the paper's 253).
+    pub scenarios: usize,
+    /// `--size BYTES` — response size (default depends on the figure).
+    pub size: Option<usize>,
+    /// `--repeats K` — repetitions per simulation.
+    pub repeats: Option<usize>,
+    /// `--threads N` — worker threads.
+    pub threads: Option<usize>,
+    /// `--cap SECONDS` — simulated time cap per transfer.
+    pub cap_secs: Option<u64>,
+    /// `--json DIR` — also write full per-class results as JSON files.
+    pub json_dir: Option<String>,
+}
+
+impl CliArgs {
+    /// Parses `std::env::args`; unknown flags abort with usage.
+    pub fn parse() -> CliArgs {
+        let mut args = CliArgs {
+            scenarios: mpquic_expdesign::SCENARIOS_PER_CLASS,
+            size: None,
+            repeats: None,
+            threads: None,
+            cap_secs: None,
+            json_dir: None,
+        };
+        let mut iter = std::env::args().skip(1);
+        while let Some(flag) = iter.next() {
+            let mut value = |name: &str| -> String {
+                iter.next().unwrap_or_else(|| {
+                    eprintln!("missing value for {name}");
+                    std::process::exit(2);
+                })
+            };
+            match flag.as_str() {
+                "--scenarios" => args.scenarios = value("--scenarios").parse().expect("number"),
+                "--size" => args.size = Some(value("--size").parse().expect("bytes")),
+                "--repeats" => args.repeats = Some(value("--repeats").parse().expect("count")),
+                "--threads" => args.threads = Some(value("--threads").parse().expect("count")),
+                "--cap" => args.cap_secs = Some(value("--cap").parse().expect("seconds")),
+                "--json" => args.json_dir = Some(value("--json")),
+                "--help" | "-h" => {
+                    println!(
+                        "options: --scenarios N  --size BYTES  --repeats K  --threads N  --cap SECONDS  --json DIR"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+
+    /// Builds the sweep configuration for a figure.
+    pub fn sweep(&self, class: ExperimentClass, default_size: usize) -> SweepConfig {
+        let mut config = SweepConfig::paper(class);
+        config.scenario_count = self.scenarios;
+        config.response_size = self.size.unwrap_or(default_size);
+        if let Some(r) = self.repeats {
+            config.repeats = r;
+        } else if !class.with_losses() {
+            // Loss-free simulations are deterministic; repeats are
+            // redundant work.
+            config.repeats = 1;
+        }
+        if let Some(t) = self.threads {
+            config.threads = t;
+        }
+        if let Some(cap) = self.cap_secs {
+            config.time_cap = Duration::from_secs(cap);
+        }
+        config
+    }
+}
+
+fn print_cdf(name: &str, cdf: &Cdf) {
+    println!("# series: {name} ({} samples)", cdf.len());
+    println!("# ratio\tcdf");
+    for (x, p) in cdf.sampled_points(25) {
+        println!("{x:.4}\t{p:.4}");
+    }
+}
+
+/// Writes a class's full results as JSON when `--json DIR` was given.
+pub fn maybe_write_json(args: &CliArgs, name: &str, results: &ClassResults) {
+    if let Some(dir) = &args.json_dir {
+        let path = std::path::Path::new(dir).join(format!("{name}.json"));
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|_| std::fs::write(&path, results.to_json()))
+        {
+            eprintln!("failed to write {}: {e}", path.display());
+        } else {
+            println!("# wrote {}", path.display());
+        }
+    }
+}
+
+/// Prints a ratio-CDF figure (Figs. 3, 5, 8, 9).
+pub fn print_ratio_figure(title: &str, paper_note: &str, results: &ClassResults) {
+    println!("== {title} ==");
+    println!("class: {}", results.class.name());
+    let tq = results.cdf_tcp_quic();
+    let mm = results.cdf_mptcp_mpquic();
+    println!(
+        "headline: QUIC faster than TCP in {:.1}% of simulations (median ratio {:.3})",
+        tq.fraction_above(1.0) * 100.0,
+        tq.quantile(0.5).unwrap_or(f64::NAN),
+    );
+    println!(
+        "headline: MPQUIC faster than MPTCP in {:.1}% of simulations (median ratio {:.3})",
+        mm.fraction_above(1.0) * 100.0,
+        mm.quantile(0.5).unwrap_or(f64::NAN),
+    );
+    println!("paper:    {paper_note}");
+    print_cdf("Time TCP / QUIC", &tq);
+    print_cdf("Time MPTCP / MPQUIC", &mm);
+}
+
+fn print_box(name: &str, samples: &[f64]) {
+    match FiveNumber::from(samples) {
+        Some(s) => println!(
+            "{name}\tmin {:+.3}\tq1 {:+.3}\tmed {:+.3}\tq3 {:+.3}\tmax {:+.3}\tmean {:+.3}\tn {}",
+            s.min, s.q1, s.median, s.q3, s.max, s.mean, s.count
+        ),
+        None => println!("{name}\t(no samples)"),
+    }
+}
+
+/// Prints an aggregation-benefit figure (Figs. 4, 6, 7, 10).
+pub fn print_benefit_figure(title: &str, paper_note: &str, results: &ClassResults) {
+    println!("== {title} ==");
+    println!("class: {}", results.class.name());
+    println!(
+        "headline: multipath beneficial (EBen > 0.05) for MPQUIC in {:.1}% of runs, MPTCP in {:.1}%",
+        results.beneficial_fraction(true) * 100.0,
+        results.beneficial_fraction(false) * 100.0,
+    );
+    println!("paper:    {paper_note}");
+    println!("# experimental aggregation benefit (box summaries)");
+    print_box("MPTCP vs TCP   [best-first]", &results.eben_mptcp[0]);
+    print_box("MPTCP vs TCP   [worst-first]", &results.eben_mptcp[1]);
+    print_box("MPQUIC vs QUIC [best-first]", &results.eben_mpquic[0]);
+    print_box("MPQUIC vs QUIC [worst-first]", &results.eben_mpquic[1]);
+}

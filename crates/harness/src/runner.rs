@@ -1,0 +1,197 @@
+//! Single-simulation runners: one file transfer or one handover session
+//! over the network simulator.
+
+use mpquic_netsim::{LinkChange, NetworkPlan, PathSpec, Simulation};
+use mpquic_util::{stats::median_run_index, SimTime};
+use std::time::Duration;
+
+use crate::app::App;
+use crate::protocol::{build_pair, Overrides, Protocol};
+
+/// Request size for the file-download workload (a GET line).
+pub const REQUEST_SIZE: usize = 100;
+
+/// Outcome of one file transfer.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TransferOutcome {
+    /// Did the full response arrive within the time cap?
+    pub completed: bool,
+    /// Download time in seconds — measured when completed; extrapolated
+    /// from the achieved goodput otherwise (see below).
+    pub duration_secs: f64,
+    /// Achieved goodput, bytes/sec (over the cap window if incomplete).
+    pub goodput: f64,
+    /// Response bytes received.
+    pub bytes_received: u64,
+}
+
+/// Duration assigned to a transfer that moved no data at all.
+const FAILED_DURATION_SECS: f64 = 1e6;
+
+/// Runs one file transfer of `response_size` bytes over `specs`
+/// (path 0 = initial path), capped at `time_cap` of simulated time.
+///
+/// If the cap is hit, the download time is extrapolated as
+/// `response_size / achieved_goodput` — the goodput of long transfers is
+/// stable well before the cap, so the ratio/benefit metrics keep their
+/// meaning without simulating multi-hour 0.1 Mbps downloads.
+pub fn run_file_transfer(
+    specs: &[PathSpec],
+    protocol: Protocol,
+    response_size: usize,
+    seed: u64,
+    time_cap: Duration,
+    overrides: &Overrides,
+) -> TransferOutcome {
+    let plan = NetworkPlan::two_host(specs);
+    let (client, server) = build_pair(
+        protocol,
+        &plan,
+        seed,
+        App::file_client(REQUEST_SIZE),
+        App::file_server(REQUEST_SIZE, response_size),
+        overrides,
+    );
+    let mut sim = Simulation::new(client, server, plan, seed);
+    let deadline = SimTime::ZERO + time_cap;
+    sim.run_until(deadline, |client, _, _| client.app.done_at().is_some());
+    let done_at = sim.a.app.done_at();
+    let bytes = sim.a.app.bytes_received();
+    match done_at {
+        Some(at) => {
+            let secs = at.as_secs_f64().max(1e-9);
+            TransferOutcome {
+                completed: true,
+                duration_secs: secs,
+                goodput: response_size as f64 / secs,
+                bytes_received: bytes,
+            }
+        }
+        None => {
+            let elapsed = sim.now().as_secs_f64().max(1e-9);
+            let goodput = bytes as f64 / elapsed;
+            let duration = if goodput > 0.0 {
+                response_size as f64 / goodput
+            } else {
+                FAILED_DURATION_SECS
+            };
+            TransferOutcome {
+                completed: false,
+                duration_secs: duration,
+                goodput,
+                bytes_received: bytes,
+            }
+        }
+    }
+}
+
+/// Runs `repeats` transfers with distinct seeds and returns the
+/// median-duration run (the paper: "Each simulation is repeated 3 times
+/// for each protocol ... and we analyze the median run").
+pub fn run_file_transfer_median(
+    specs: &[PathSpec],
+    protocol: Protocol,
+    response_size: usize,
+    base_seed: u64,
+    repeats: usize,
+    time_cap: Duration,
+    overrides: &Overrides,
+) -> TransferOutcome {
+    assert!(repeats >= 1);
+    let runs: Vec<TransferOutcome> = (0..repeats)
+        .map(|r| {
+            run_file_transfer(
+                specs,
+                protocol,
+                response_size,
+                base_seed.wrapping_mul(1_000_003).wrapping_add(r as u64),
+                time_cap,
+                overrides,
+            )
+        })
+        .collect();
+    let durations: Vec<f64> = runs.iter().map(|r| r.duration_secs).collect();
+    let idx = median_run_index(&durations).expect("repeats >= 1");
+    runs[idx]
+}
+
+/// Configuration of the §4.3 handover experiment.
+#[derive(Debug, Clone)]
+pub struct HandoverConfig {
+    /// Protocol under test (the paper shows MPQUIC).
+    pub protocol: Protocol,
+    /// Initial-path RTT (paper: 15 ms).
+    pub initial_rtt: Duration,
+    /// Second-path RTT (paper: 25 ms).
+    pub second_rtt: Duration,
+    /// Path capacities, Mbps.
+    pub capacity_mbps: f64,
+    /// Request interval (paper: 400 ms).
+    pub interval: Duration,
+    /// Number of requests (paper's Fig. 11 spans ~15 s → 37 requests).
+    pub count: usize,
+    /// When the initial path becomes fully lossy (paper: 3 s).
+    pub fail_at: SimTime,
+    /// Configuration deviations for ablations.
+    pub overrides: Overrides,
+}
+
+impl Default for HandoverConfig {
+    fn default() -> Self {
+        HandoverConfig {
+            protocol: Protocol::Mpquic,
+            initial_rtt: Duration::from_millis(15),
+            second_rtt: Duration::from_millis(25),
+            capacity_mbps: 10.0,
+            interval: Duration::from_millis(400),
+            count: 37,
+            fail_at: SimTime::from_secs(3),
+            overrides: Overrides::default(),
+        }
+    }
+}
+
+/// Runs the handover experiment; returns `(request send time [s],
+/// response delay [ms])` per answered request — the Fig. 11 series.
+pub fn run_handover(config: &HandoverConfig, seed: u64) -> Vec<(f64, f64)> {
+    let specs = [
+        PathSpec {
+            capacity_mbps: config.capacity_mbps,
+            rtt: config.initial_rtt,
+            max_queue_delay: Duration::from_millis(100),
+            loss_percent: 0.0,
+        },
+        PathSpec {
+            capacity_mbps: config.capacity_mbps,
+            rtt: config.second_rtt,
+            max_queue_delay: Duration::from_millis(100),
+            loss_percent: 0.0,
+        },
+    ];
+    let plan = NetworkPlan::two_host(&specs);
+    let (client, server) = build_pair(
+        config.protocol,
+        &plan,
+        seed,
+        App::ping_client(config.interval, config.count),
+        App::ping_server(),
+        &config.overrides,
+    );
+    let mut sim = Simulation::new(client, server, plan, seed);
+    sim.schedule_change(LinkChange {
+        at: config.fail_at,
+        path_index: 0,
+        loss: Some(1.0),
+        one_way_delay: None,
+    });
+    let deadline =
+        SimTime::ZERO + config.interval * config.count as u32 + Duration::from_secs(10);
+    let target = config.count;
+    sim.run_until(deadline, |client, _, _| client.app.delays().len() >= target);
+    sim.a
+        .app
+        .delays()
+        .iter()
+        .map(|(sent, delay)| (sent.as_secs_f64(), delay.as_secs_f64() * 1e3))
+        .collect()
+}

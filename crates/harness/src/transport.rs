@@ -1,0 +1,234 @@
+//! A uniform transport interface over the QUIC and TCP stacks.
+//!
+//! The experiments need to run the same applications (file download,
+//! request/response) over four protocols. [`Transport`] exposes the
+//! common surface — a single bidirectional byte stream plus the sans-IO
+//! driving methods — and [`AnyTransport`] dispatches to either stack.
+
+use bytes::Bytes;
+use mpquic_core::{Connection, StreamId};
+use mpquic_netsim::Datagram;
+use mpquic_tcp::TcpStack;
+use mpquic_util::SimTime;
+use std::net::SocketAddr;
+
+/// One bidirectional byte stream over some transport protocol, plus the
+/// sans-IO driving surface.
+pub trait Transport {
+    /// Appends data to the outgoing stream.
+    fn write(&mut self, data: Bytes);
+    /// Ends the outgoing stream.
+    fn finish(&mut self);
+    /// Reads the next chunk of in-order incoming data.
+    fn read_chunk(&mut self) -> Option<Bytes>;
+    /// True once the peer's end-of-stream was received and read.
+    fn recv_finished(&self) -> bool;
+    /// True once the secure handshake completed.
+    fn is_established(&self) -> bool;
+
+    /// Feeds an incoming datagram.
+    fn handle_datagram(&mut self, now: SimTime, local: SocketAddr, remote: SocketAddr, payload: &[u8]);
+    /// Produces the next outgoing datagram.
+    fn poll_transmit(&mut self, now: SimTime) -> Option<Datagram>;
+    /// Earliest pending protocol timer.
+    fn next_timeout(&self) -> Option<SimTime>;
+    /// Fires due protocol timers.
+    fn on_timeout(&mut self, now: SimTime);
+}
+
+/// The (MP)QUIC transport: an `mpquic_core::Connection` with one
+/// application stream (the paper's single-stream transfers).
+pub struct QuicTransport {
+    /// The underlying connection (public for instrumentation).
+    pub conn: Connection,
+    stream: StreamId,
+}
+
+/// The client's first stream ID (client-opened streams are odd).
+const APP_STREAM: StreamId = 1;
+
+impl QuicTransport {
+    /// Wraps a client connection, opening the application stream.
+    pub fn client(mut conn: Connection) -> QuicTransport {
+        let stream = conn.open_stream();
+        debug_assert_eq!(stream, APP_STREAM);
+        QuicTransport { conn, stream }
+    }
+
+    /// Wraps a server connection; the stream is created when the client's
+    /// first STREAM frame arrives.
+    pub fn server(conn: Connection) -> QuicTransport {
+        QuicTransport {
+            conn,
+            stream: APP_STREAM,
+        }
+    }
+}
+
+impl Transport for QuicTransport {
+    fn write(&mut self, data: Bytes) {
+        self.conn
+            .stream_write(self.stream, data)
+            .expect("app writes before finish");
+    }
+
+    fn finish(&mut self) {
+        self.conn.stream_finish(self.stream);
+    }
+
+    fn read_chunk(&mut self) -> Option<Bytes> {
+        self.conn.stream_read(self.stream, usize::MAX)
+    }
+
+    fn recv_finished(&self) -> bool {
+        self.conn.stream_is_finished(self.stream)
+    }
+
+    fn is_established(&self) -> bool {
+        self.conn.is_established()
+    }
+
+    fn handle_datagram(&mut self, now: SimTime, local: SocketAddr, remote: SocketAddr, payload: &[u8]) {
+        self.conn.handle_datagram(now, local, remote, payload);
+        // Drain events; the polling applications don't consume them.
+        while self.conn.poll_event().is_some() {}
+    }
+
+    fn poll_transmit(&mut self, now: SimTime) -> Option<Datagram> {
+        self.conn.poll_transmit(now).map(|t| Datagram {
+            local: t.local,
+            remote: t.remote,
+            payload: t.payload,
+        })
+    }
+
+    fn next_timeout(&self) -> Option<SimTime> {
+        self.conn.next_timeout()
+    }
+
+    fn on_timeout(&mut self, now: SimTime) {
+        self.conn.on_timeout(now);
+        while self.conn.poll_event().is_some() {}
+    }
+}
+
+/// The (MP)TCP transport.
+pub struct TcpTransport {
+    /// The underlying stack (public for instrumentation).
+    pub stack: TcpStack,
+}
+
+impl TcpTransport {
+    /// Wraps a TCP stack.
+    pub fn new(stack: TcpStack) -> TcpTransport {
+        TcpTransport { stack }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn write(&mut self, data: Bytes) {
+        self.stack.write(data);
+    }
+
+    fn finish(&mut self) {
+        self.stack.finish();
+    }
+
+    fn read_chunk(&mut self) -> Option<Bytes> {
+        self.stack.read(usize::MAX)
+    }
+
+    fn recv_finished(&self) -> bool {
+        self.stack.recv_finished()
+    }
+
+    fn is_established(&self) -> bool {
+        self.stack.is_established()
+    }
+
+    fn handle_datagram(&mut self, now: SimTime, local: SocketAddr, remote: SocketAddr, payload: &[u8]) {
+        self.stack.handle_datagram(now, local, remote, payload);
+    }
+
+    fn poll_transmit(&mut self, now: SimTime) -> Option<Datagram> {
+        self.stack.poll_transmit(now).map(|t| Datagram {
+            local: t.local,
+            remote: t.remote,
+            payload: t.payload,
+        })
+    }
+
+    fn next_timeout(&self) -> Option<SimTime> {
+        self.stack.next_timeout()
+    }
+
+    fn on_timeout(&mut self, now: SimTime) {
+        self.stack.on_timeout(now);
+    }
+}
+
+/// Either transport, statically dispatched per call.
+#[allow(clippy::large_enum_variant)] // two long-lived stacks; boxing buys nothing
+pub enum AnyTransport {
+    /// (MP)QUIC.
+    Quic(QuicTransport),
+    /// (MP)TCP.
+    Tcp(TcpTransport),
+}
+
+impl AnyTransport {
+    /// The QUIC connection, when this is a QUIC transport.
+    pub fn quic(&self) -> Option<&Connection> {
+        match self {
+            AnyTransport::Quic(q) => Some(&q.conn),
+            AnyTransport::Tcp(_) => None,
+        }
+    }
+
+    /// The TCP stack, when this is a TCP transport.
+    pub fn tcp(&self) -> Option<&TcpStack> {
+        match self {
+            AnyTransport::Tcp(t) => Some(&t.stack),
+            AnyTransport::Quic(_) => None,
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($self:ident, $t:ident => $body:expr) => {
+        match $self {
+            AnyTransport::Quic($t) => $body,
+            AnyTransport::Tcp($t) => $body,
+        }
+    };
+}
+
+impl Transport for AnyTransport {
+    fn write(&mut self, data: Bytes) {
+        dispatch!(self, t => t.write(data))
+    }
+    fn finish(&mut self) {
+        dispatch!(self, t => t.finish())
+    }
+    fn read_chunk(&mut self) -> Option<Bytes> {
+        dispatch!(self, t => t.read_chunk())
+    }
+    fn recv_finished(&self) -> bool {
+        dispatch!(self, t => t.recv_finished())
+    }
+    fn is_established(&self) -> bool {
+        dispatch!(self, t => t.is_established())
+    }
+    fn handle_datagram(&mut self, now: SimTime, local: SocketAddr, remote: SocketAddr, payload: &[u8]) {
+        dispatch!(self, t => t.handle_datagram(now, local, remote, payload))
+    }
+    fn poll_transmit(&mut self, now: SimTime) -> Option<Datagram> {
+        dispatch!(self, t => t.poll_transmit(now))
+    }
+    fn next_timeout(&self) -> Option<SimTime> {
+        dispatch!(self, t => t.next_timeout())
+    }
+    fn on_timeout(&mut self, now: SimTime) {
+        dispatch!(self, t => t.on_timeout(now))
+    }
+}

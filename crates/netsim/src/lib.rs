@@ -1,0 +1,88 @@
+//! # mpquic-netsim — the network substrate
+//!
+//! The paper evaluates (MP)QUIC against (MP)TCP "on the Mininet emulation
+//! platform", varying per-path **capacity**, **round-trip-time**,
+//! **queuing delay** (bufferbloat) and **random loss** (Table 1). This
+//! crate is the substitution for that testbed (DESIGN.md §2): a
+//! deterministic discrete-event simulator with exactly those link
+//! semantics:
+//!
+//! * [`link::Link`] — a unidirectional link with a serialization rate,
+//!   propagation delay, a droptail queue bounded by a maximum queuing
+//!   delay, and Bernoulli random loss;
+//! * [`topology`] — the Fig. 2 two-host network: a multihomed client and
+//!   server joined by disjoint paths with independent characteristics;
+//! * [`sim::Simulation`] — the event loop driving two sans-IO
+//!   [`Endpoint`]s (QUIC, MPQUIC, TCP or MPTCP stacks wrapped by the
+//!   harness) with datagram delivery and timer callbacks.
+//!
+//! Determinism: all loss randomness comes from one seeded
+//! [`mpquic_util::DetRng`], so a `(scenario, seed)` pair always reproduces
+//! the same packet trace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod multi;
+pub mod sim;
+pub mod topology;
+pub mod trace;
+
+pub use link::{Link, LinkParams};
+pub use multi::{MultiSimulation, Route};
+pub use sim::{Endpoint, NetStats, Simulation};
+pub use topology::{NetworkPlan, PathSpec};
+pub use trace::{PacketFate, PacketRecord, Trace};
+
+use mpquic_util::SimTime;
+use std::net::SocketAddr;
+
+/// A UDP datagram (or an encapsulated TCP segment) handed to the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Source address; selects the outgoing interface/link.
+    pub local: SocketAddr,
+    /// Destination address.
+    pub remote: SocketAddr,
+    /// Payload bytes (what the link bills for, plus [`WIRE_OVERHEAD`]).
+    pub payload: Vec<u8>,
+}
+
+/// Fixed per-packet overhead the links bill in addition to the payload
+/// (IPv4 + UDP headers).
+pub const WIRE_OVERHEAD: usize = 28;
+
+/// The two sides of a point-to-point simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Host A (conventionally the client).
+    A,
+    /// Host B (conventionally the server).
+    B,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::A => Side::B,
+            Side::B => Side::A,
+        }
+    }
+}
+
+/// A scheduled change to a link's parameters mid-simulation (e.g. the
+/// Fig. 11 handover scenario where the initial path becomes fully lossy
+/// at t = 3 s).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkChange {
+    /// When the change takes effect.
+    pub at: SimTime,
+    /// Index of the path whose links change (both directions).
+    pub path_index: usize,
+    /// New random-loss probability, if changing.
+    pub loss: Option<f64>,
+    /// New one-way propagation delay, if changing.
+    pub one_way_delay: Option<std::time::Duration>,
+}

@@ -1,0 +1,541 @@
+//! The discrete-event simulation loop.
+//!
+//! [`Simulation`] owns two [`Endpoint`]s (host A = client side, host B =
+//! server side), the per-path links of a [`NetworkPlan`], and a
+//! time-ordered event queue. Each iteration:
+//!
+//! 1. drains `poll_transmit` from both endpoints, pushing datagrams onto
+//!    their links (loss and droptail applied on entry);
+//! 2. advances the clock to the next delivery or protocol timer;
+//! 3. delivers due datagrams and fires due timers.
+//!
+//! The loop is fully deterministic for a given `(plan, seed)` pair.
+
+use mpquic_util::{DetRng, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::net::SocketAddr;
+
+use crate::link::{Drop, Link};
+use crate::topology::NetworkPlan;
+use crate::trace::{PacketFate, PacketRecord, Trace};
+use crate::{Datagram, LinkChange, Side, WIRE_OVERHEAD};
+
+/// A sans-IO protocol endpoint driven by the simulator.
+///
+/// `mpquic-core`'s `Connection` and `mpquic-tcp`'s stacks are adapted to
+/// this trait by the harness crate.
+pub trait Endpoint {
+    /// A datagram arrived addressed to `local` from `remote`.
+    fn on_datagram(&mut self, now: SimTime, local: SocketAddr, remote: SocketAddr, payload: &[u8]);
+    /// Produce the next outgoing datagram, if any. Called until `None`.
+    fn poll_transmit(&mut self, now: SimTime) -> Option<Datagram>;
+    /// Earliest time `on_timeout` must run.
+    fn next_timeout(&self) -> Option<SimTime>;
+    /// The clock reached a previously announced timeout.
+    fn on_timeout(&mut self, now: SimTime);
+}
+
+/// Network-level statistics for one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Datagrams delivered end-to-end.
+    pub delivered: u64,
+    /// Datagrams lost to random loss.
+    pub lost_random: u64,
+    /// Datagrams lost to droptail queues.
+    pub lost_queue: u64,
+    /// Datagrams with no route (address pair not connected).
+    pub unroutable: u64,
+}
+
+/// The simulation: two endpoints joined by the plan's paths.
+pub struct Simulation<A: Endpoint, B: Endpoint> {
+    /// Host A (client side; owns `plan.client_addrs`).
+    pub a: A,
+    /// Host B (server side; owns `plan.server_addrs`).
+    pub b: B,
+    plan: NetworkPlan,
+    /// Links: `[path][direction]` with direction 0 = A→B, 1 = B→A.
+    links: Vec<[Link; 2]>,
+    in_flight: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    payloads: Vec<Option<(Side, Datagram)>>,
+    pending_changes: Vec<LinkChange>,
+    now: SimTime,
+    seq: u64,
+    rng: DetRng,
+    stats: NetStats,
+    trace: Option<Trace>,
+}
+
+impl<A: Endpoint, B: Endpoint> Simulation<A, B> {
+    /// Creates a simulation over `plan` with all randomness derived from
+    /// `seed`.
+    pub fn new(a: A, b: B, plan: NetworkPlan, seed: u64) -> Simulation<A, B> {
+        let links = plan
+            .paths
+            .iter()
+            .map(|spec| {
+                let params = spec.link_params();
+                [Link::new(params), Link::new(params)]
+            })
+            .collect();
+        Simulation {
+            a,
+            b,
+            plan,
+            links,
+            in_flight: BinaryHeap::new(),
+            payloads: Vec::new(),
+            pending_changes: Vec::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: DetRng::new(seed),
+            stats: NetStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Turns on packet-level tracing (see [`Trace`]).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Trace::default());
+        }
+    }
+
+    /// The packet trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Network statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// The network plan in use.
+    pub fn plan(&self) -> &NetworkPlan {
+        &self.plan
+    }
+
+    /// Per-path delivered/lost counters: `(delivered, lost_random,
+    /// lost_queue)` summing both directions.
+    pub fn path_counters(&self, path: usize) -> (u64, u64, u64) {
+        let [ab, ba] = &self.links[path];
+        (
+            ab.delivered + ba.delivered,
+            ab.lost_random + ba.lost_random,
+            ab.lost_queue + ba.lost_queue,
+        )
+    }
+
+    /// Schedules a mid-run link parameter change (e.g. a path failing).
+    pub fn schedule_change(&mut self, change: LinkChange) {
+        self.pending_changes.push(change);
+        self.pending_changes.sort_by_key(|c| c.at);
+    }
+
+    fn which_side(&self, addr: SocketAddr) -> Option<Side> {
+        if self.plan.client_addrs.contains(&addr) {
+            Some(Side::A)
+        } else if self.plan.server_addrs.contains(&addr) {
+            Some(Side::B)
+        } else {
+            None
+        }
+    }
+
+    fn dispatch(&mut self, from: Side, datagram: Datagram) {
+        let Some(path) = self.plan.route(datagram.local, datagram.remote) else {
+            self.stats.unroutable += 1;
+            if let Some(trace) = &mut self.trace {
+                trace.push(PacketRecord {
+                    sent: self.now,
+                    from,
+                    path: usize::MAX,
+                    size: datagram.payload.len() + WIRE_OVERHEAD,
+                    fate: PacketFate::Unroutable,
+                });
+            }
+            return;
+        };
+        let direction = match from {
+            Side::A => 0,
+            Side::B => 1,
+        };
+        let size = datagram.payload.len() + WIRE_OVERHEAD;
+        let fate = match self.links[path][direction].offer(self.now, size, &mut self.rng) {
+            Ok(arrival) => {
+                let key = self.payloads.len();
+                self.payloads.push(Some((from.other(), datagram)));
+                self.in_flight.push(Reverse((arrival, self.seq, key)));
+                self.seq += 1;
+                PacketFate::Delivered { arrival }
+            }
+            Err(Drop::Random) => {
+                self.stats.lost_random += 1;
+                PacketFate::LostRandom
+            }
+            Err(Drop::QueueFull) => {
+                self.stats.lost_queue += 1;
+                PacketFate::LostQueue
+            }
+        };
+        if let Some(trace) = &mut self.trace {
+            trace.push(PacketRecord {
+                sent: self.now,
+                from,
+                path,
+                size,
+                fate,
+            });
+        }
+    }
+
+    fn pump(&mut self) {
+        loop {
+            let mut any = false;
+            while let Some(d) = self.a.poll_transmit(self.now) {
+                debug_assert_eq!(self.which_side(d.local), Some(Side::A));
+                self.dispatch(Side::A, d);
+                any = true;
+            }
+            while let Some(d) = self.b.poll_transmit(self.now) {
+                debug_assert_eq!(self.which_side(d.local), Some(Side::B));
+                self.dispatch(Side::B, d);
+                any = true;
+            }
+            if !any {
+                break;
+            }
+        }
+    }
+
+    fn apply_due_changes(&mut self) {
+        while let Some(change) = self.pending_changes.first().copied() {
+            if change.at > self.now {
+                break;
+            }
+            self.pending_changes.remove(0);
+            if let Some(pair) = self.links.get_mut(change.path_index) {
+                for link in pair.iter_mut() {
+                    if let Some(loss) = change.loss {
+                        link.params.loss = loss;
+                    }
+                    if let Some(delay) = change.one_way_delay {
+                        link.params.one_way_delay = delay;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one event step. Returns `false` when nothing remains to do.
+    pub fn step(&mut self) -> bool {
+        self.apply_due_changes();
+        self.pump();
+        let next_delivery = self.in_flight.peek().map(|Reverse((t, ..))| *t);
+        let next_timer = [self.a.next_timeout(), self.b.next_timeout()]
+            .into_iter()
+            .flatten()
+            .min();
+        let next_change = self.pending_changes.first().map(|c| c.at);
+        let mut next = SimTime::FAR_FUTURE;
+        for candidate in [next_delivery, next_timer, next_change].into_iter().flatten() {
+            next = next.min(candidate);
+        }
+        if next == SimTime::FAR_FUTURE {
+            return false;
+        }
+        // Endpoints may report timers that are already due (e.g. a loss
+        // deadline computed for the past); never move the clock backwards.
+        self.now = next.max(self.now);
+        self.apply_due_changes();
+        // Deliver everything due.
+        while let Some(&Reverse((t, _, key))) = self.in_flight.peek() {
+            if t > self.now {
+                break;
+            }
+            self.in_flight.pop();
+            let (to, datagram) = self.payloads[key].take().expect("delivered once");
+            self.stats.delivered += 1;
+            match to {
+                Side::A => self.a.on_datagram(
+                    self.now,
+                    datagram.remote,
+                    datagram.local,
+                    &datagram.payload,
+                ),
+                Side::B => self.b.on_datagram(
+                    self.now,
+                    datagram.remote,
+                    datagram.local,
+                    &datagram.payload,
+                ),
+            }
+        }
+        // Fire due timers.
+        if self.a.next_timeout().is_some_and(|t| t <= self.now) {
+            self.a.on_timeout(self.now);
+        }
+        if self.b.next_timeout().is_some_and(|t| t <= self.now) {
+            self.b.on_timeout(self.now);
+        }
+        true
+    }
+
+    /// Runs until `until` returns true or the deadline passes or the
+    /// simulation runs dry. Returns true if the condition was met.
+    pub fn run_until(
+        &mut self,
+        deadline: SimTime,
+        mut until: impl FnMut(&mut A, &mut B, SimTime) -> bool,
+    ) -> bool {
+        loop {
+            if until(&mut self.a, &mut self.b, self.now) {
+                return true;
+            }
+            if self.now >= deadline || !self.step() {
+                return until(&mut self.a, &mut self.b, self.now);
+            }
+        }
+    }
+
+    /// Runs to quiescence or the deadline, whichever comes first.
+    pub fn run_to_quiescence(&mut self, deadline: SimTime) {
+        self.run_until(deadline, |_, _, _| false);
+    }
+}
+
+/// A trivial endpoint for tests: records what it receives and sends a
+/// scripted list of datagrams at given times.
+#[derive(Debug, Default)]
+pub struct ScriptedEndpoint {
+    /// `(send_at, datagram)` entries, consumed in order.
+    pub script: Vec<(SimTime, Datagram)>,
+    /// Everything received: `(when, from, payload_len)`.
+    pub received: Vec<(SimTime, SocketAddr, usize)>,
+    cursor: usize,
+}
+
+impl ScriptedEndpoint {
+    /// An endpoint that sends nothing.
+    pub fn silent() -> ScriptedEndpoint {
+        ScriptedEndpoint::default()
+    }
+
+    /// An endpoint sending the given script.
+    pub fn with_script(script: Vec<(SimTime, Datagram)>) -> ScriptedEndpoint {
+        ScriptedEndpoint {
+            script,
+            ..Default::default()
+        }
+    }
+}
+
+impl Endpoint for ScriptedEndpoint {
+    fn on_datagram(&mut self, now: SimTime, _local: SocketAddr, remote: SocketAddr, payload: &[u8]) {
+        self.received.push((now, remote, payload.len()));
+    }
+
+    fn poll_transmit(&mut self, now: SimTime) -> Option<Datagram> {
+        let (at, _) = self.script.get(self.cursor)?;
+        if *at <= now {
+            let (_, d) = &self.script[self.cursor];
+            self.cursor += 1;
+            Some(d.clone())
+        } else {
+            None
+        }
+    }
+
+    fn next_timeout(&self) -> Option<SimTime> {
+        self.script.get(self.cursor).map(|(at, _)| *at)
+    }
+
+    fn on_timeout(&mut self, _now: SimTime) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::PathSpec;
+
+    fn plan() -> NetworkPlan {
+        NetworkPlan::two_host(&[
+            PathSpec::new(10.0, 20, 100, 0.0),
+            PathSpec::new(1.0, 100, 100, 0.0),
+        ])
+    }
+
+    fn dgram(plan: &NetworkPlan, path: usize, from_client: bool, len: usize) -> Datagram {
+        let (local, remote) = if from_client {
+            (plan.client_addrs[path], plan.server_addrs[path])
+        } else {
+            (plan.server_addrs[path], plan.client_addrs[path])
+        };
+        Datagram {
+            local,
+            remote,
+            payload: vec![0xAA; len],
+        }
+    }
+
+    #[test]
+    fn delivery_respects_path_delay() {
+        let plan = plan();
+        let d0 = dgram(&plan, 0, true, 100);
+        let d1 = dgram(&plan, 1, true, 100);
+        let a = ScriptedEndpoint::with_script(vec![(SimTime::ZERO, d0), (SimTime::ZERO, d1)]);
+        let mut sim = Simulation::new(a, ScriptedEndpoint::silent(), plan, 1);
+        sim.run_to_quiescence(SimTime::from_secs(10));
+        assert_eq!(sim.b.received.len(), 2);
+        // Path 0: ~10 ms one-way (+ serialization). Path 1: ~50 ms.
+        let t0 = sim.b.received[0].0;
+        let t1 = sim.b.received[1].0;
+        assert!(t0 >= SimTime::from_millis(10) && t0 < SimTime::from_millis(12), "{t0:?}");
+        assert!(t1 >= SimTime::from_millis(50) && t1 < SimTime::from_millis(53), "{t1:?}");
+        assert_eq!(sim.stats().delivered, 2);
+    }
+
+    #[test]
+    fn cross_path_addresses_unroutable() {
+        let plan = plan();
+        let bogus = Datagram {
+            local: plan.client_addrs[0],
+            remote: plan.server_addrs[1],
+            payload: vec![0; 10],
+        };
+        let a = ScriptedEndpoint::with_script(vec![(SimTime::ZERO, bogus)]);
+        let mut sim = Simulation::new(a, ScriptedEndpoint::silent(), plan, 1);
+        sim.run_to_quiescence(SimTime::from_secs(1));
+        assert_eq!(sim.b.received.len(), 0);
+        assert_eq!(sim.stats().unroutable, 1);
+    }
+
+    #[test]
+    fn both_directions_work() {
+        let plan = plan();
+        let to_server = dgram(&plan, 0, true, 10);
+        let to_client = dgram(&plan, 0, false, 20);
+        let a = ScriptedEndpoint::with_script(vec![(SimTime::ZERO, to_server)]);
+        let b = ScriptedEndpoint::with_script(vec![(SimTime::ZERO, to_client)]);
+        let mut sim = Simulation::new(a, b, plan, 1);
+        sim.run_to_quiescence(SimTime::from_secs(1));
+        assert_eq!(sim.b.received.len(), 1);
+        assert_eq!(sim.a.received.len(), 1);
+    }
+
+    #[test]
+    fn scheduled_loss_change_kills_path() {
+        let plan = plan();
+        let before = dgram(&plan, 0, true, 10);
+        let after = dgram(&plan, 0, true, 10);
+        let a = ScriptedEndpoint::with_script(vec![
+            (SimTime::ZERO, before),
+            (SimTime::from_secs(4), after),
+        ]);
+        let mut sim = Simulation::new(a, ScriptedEndpoint::silent(), plan, 1);
+        sim.schedule_change(LinkChange {
+            at: SimTime::from_secs(3),
+            path_index: 0,
+            loss: Some(1.0),
+            one_way_delay: None,
+        });
+        sim.run_to_quiescence(SimTime::from_secs(10));
+        assert_eq!(sim.b.received.len(), 1, "only the pre-change datagram arrives");
+        assert_eq!(sim.stats().lost_random, 1);
+    }
+
+    #[test]
+    fn rate_limiting_spaces_deliveries() {
+        // 1 Mbps path: a 1250 B payload (+28 overhead) takes ~10.2 ms to
+        // serialize; back-to-back sends arrive ~10.2 ms apart.
+        let plan = NetworkPlan::two_host(&[PathSpec::new(1.0, 0, 1000, 0.0)]);
+        let script = (0..5)
+            .map(|_| (SimTime::ZERO, dgram(&plan, 0, true, 1250)))
+            .collect();
+        let a = ScriptedEndpoint::with_script(script);
+        let mut sim = Simulation::new(a, ScriptedEndpoint::silent(), plan, 1);
+        sim.run_to_quiescence(SimTime::from_secs(10));
+        assert_eq!(sim.b.received.len(), 5);
+        let times: Vec<u64> = sim.b.received.iter().map(|(t, ..)| t.as_micros()).collect();
+        for w in times.windows(2) {
+            let gap = w[1] - w[0];
+            assert!((10_100..10_300).contains(&gap), "gap {gap} µs");
+        }
+    }
+
+    #[test]
+    fn delay_change_applies_mid_run() {
+        let plan = NetworkPlan::two_host(&[PathSpec::new(10.0, 20, 100, 0.0)]);
+        let early = dgram(&plan, 0, true, 100);
+        let late = dgram(&plan, 0, true, 100);
+        let a = ScriptedEndpoint::with_script(vec![
+            (SimTime::ZERO, early),
+            (SimTime::from_secs(2), late),
+        ]);
+        let mut sim = Simulation::new(a, ScriptedEndpoint::silent(), plan, 1);
+        sim.schedule_change(LinkChange {
+            at: SimTime::from_secs(1),
+            path_index: 0,
+            loss: None,
+            one_way_delay: Some(std::time::Duration::from_millis(200)),
+        });
+        sim.run_to_quiescence(SimTime::from_secs(10));
+        assert_eq!(sim.b.received.len(), 2);
+        let first = sim.b.received[0].0;
+        let second = sim.b.received[1].0;
+        assert!(first < SimTime::from_millis(15), "{first:?}");
+        assert!(
+            second >= SimTime::from_millis(2200),
+            "late datagram should see the 200 ms delay: {second:?}"
+        );
+    }
+
+    #[test]
+    fn path_counters_track_per_path_activity() {
+        let plan = plan();
+        let script = vec![
+            (SimTime::ZERO, dgram(&plan, 0, true, 100)),
+            (SimTime::ZERO, dgram(&plan, 0, true, 100)),
+            (SimTime::ZERO, dgram(&plan, 1, true, 100)),
+        ];
+        let a = ScriptedEndpoint::with_script(script);
+        let mut sim = Simulation::new(a, ScriptedEndpoint::silent(), plan, 1);
+        sim.run_to_quiescence(SimTime::from_secs(2));
+        assert_eq!(sim.path_counters(0), (2, 0, 0));
+        assert_eq!(sim.path_counters(1), (1, 0, 0));
+    }
+
+    #[test]
+    fn wire_overhead_billed_on_links() {
+        // A 1 Mbps link: 972 B payload + 28 B overhead = 1000 B = 8 ms.
+        let plan = NetworkPlan::two_host(&[PathSpec::new(1.0, 0, 1000, 0.0)]);
+        let a = ScriptedEndpoint::with_script(vec![(SimTime::ZERO, dgram(&plan, 0, true, 972))]);
+        let mut sim = Simulation::new(a, ScriptedEndpoint::silent(), plan, 1);
+        sim.run_to_quiescence(SimTime::from_secs(1));
+        assert_eq!(sim.b.received[0].0, SimTime::from_millis(8));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = |seed: u64| {
+            let plan = NetworkPlan::two_host(&[PathSpec::new(5.0, 20, 50, 20.0)]);
+            let script = (0..50)
+                .map(|i| (SimTime::from_millis(i * 5), dgram(&plan, 0, true, 500)))
+                .collect();
+            let a = ScriptedEndpoint::with_script(script);
+            let mut sim = Simulation::new(a, ScriptedEndpoint::silent(), plan, seed);
+            sim.run_to_quiescence(SimTime::from_secs(10));
+            (sim.b.received.len(), sim.stats())
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).0, run(999).0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Topology construction — the paper's Fig. 2 network.
+//!
+//! "We consider a multipath network with two multihomed hosts over
+//! disjoint paths with different characteristics." A [`NetworkPlan`]
+//! allocates one client and one server address per path and one pair of
+//! directional links per path; datagrams route strictly by their
+//! `(source, destination)` addresses, so traffic between interface `i`
+//! endpoints can only use path `i` — the disjointness of Fig. 2.
+
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4};
+use std::time::Duration;
+
+use crate::link::LinkParams;
+
+/// Characteristics of one path, in the paper's Table 1 factor space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathSpec {
+    /// Link capacity in Mbps (Table 1: 0.1 – 100).
+    pub capacity_mbps: f64,
+    /// Path round-trip-time (split evenly across the two directions;
+    /// Table 1: 0 – 50 ms low-BDP, 0 – 400 ms high-BDP).
+    pub rtt: Duration,
+    /// Maximum queuing delay — the bufferbloat knob (Table 1: 0 – 100 ms
+    /// low-BDP, 0 – 2000 ms high-BDP).
+    pub max_queue_delay: Duration,
+    /// Random loss percentage, 0 – 2.5 (%), applied per direction.
+    pub loss_percent: f64,
+}
+
+impl PathSpec {
+    /// A clean, symmetric convenience spec.
+    pub fn new(capacity_mbps: f64, rtt_ms: u64, queue_ms: u64, loss_percent: f64) -> PathSpec {
+        PathSpec {
+            capacity_mbps,
+            rtt: Duration::from_millis(rtt_ms),
+            max_queue_delay: Duration::from_millis(queue_ms),
+            loss_percent,
+        }
+    }
+
+    /// Link parameters for one direction of this path.
+    pub fn link_params(&self) -> LinkParams {
+        LinkParams {
+            rate_bps: self.capacity_mbps * 1e6,
+            one_way_delay: self.rtt / 2,
+            max_queue_delay: self.max_queue_delay,
+            loss: self.loss_percent / 100.0,
+        }
+    }
+
+    /// Bandwidth-delay product in bytes (capacity × RTT).
+    pub fn bdp_bytes(&self) -> f64 {
+        self.capacity_mbps * 1e6 / 8.0 * self.rtt.as_secs_f64()
+    }
+}
+
+/// A fully specified two-host network: addresses plus per-path links.
+#[derive(Debug, Clone)]
+pub struct NetworkPlan {
+    /// One client address per path (host A).
+    pub client_addrs: Vec<SocketAddr>,
+    /// One server address per path (host B).
+    pub server_addrs: Vec<SocketAddr>,
+    /// The path specs, by index.
+    pub paths: Vec<PathSpec>,
+}
+
+impl NetworkPlan {
+    /// Builds the Fig. 2 topology: `specs.len()` disjoint paths between a
+    /// multihomed client and server. Path `i` connects
+    /// `client_addrs[i] ↔ server_addrs[i]`.
+    ///
+    /// ```
+    /// use mpquic_netsim::{NetworkPlan, PathSpec};
+    /// let plan = NetworkPlan::two_host(&[
+    ///     PathSpec::new(20.0, 30, 100, 0.0), // WiFi-ish
+    ///     PathSpec::new(8.0, 60, 100, 1.0),  // LTE-ish
+    /// ]);
+    /// assert_eq!(plan.path_count(), 2);
+    /// assert_eq!(plan.route(plan.client_addrs[0], plan.server_addrs[0]), Some(0));
+    /// assert_eq!(plan.route(plan.client_addrs[0], plan.server_addrs[1]), None);
+    /// ```
+    pub fn two_host(specs: &[PathSpec]) -> NetworkPlan {
+        assert!(!specs.is_empty(), "at least one path required");
+        assert!(specs.len() < 250, "address space allows at most 249 paths");
+        let client_addrs = (0..specs.len())
+            .map(|i| {
+                SocketAddr::V4(SocketAddrV4::new(
+                    Ipv4Addr::new(10, i as u8, 0, 1),
+                    50_000,
+                ))
+            })
+            .collect();
+        let server_addrs = (0..specs.len())
+            .map(|i| {
+                SocketAddr::V4(SocketAddrV4::new(
+                    Ipv4Addr::new(10, i as u8, 1, 1),
+                    4433,
+                ))
+            })
+            .collect();
+        NetworkPlan {
+            client_addrs,
+            server_addrs,
+            paths: specs.to_vec(),
+        }
+    }
+
+    /// Number of paths.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Maps a `(src, dst)` address pair to its path index, if routable.
+    ///
+    /// Only same-index interface pairs are connected (disjoint paths).
+    pub fn route(&self, src: SocketAddr, dst: SocketAddr) -> Option<usize> {
+        for i in 0..self.paths.len() {
+            let c = self.client_addrs[i];
+            let s = self.server_addrs[i];
+            if (src == c && dst == s) || (src == s && dst == c) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Index of the path with the highest capacity (the "best" path by
+    /// the experimental-design convention used for best/worst-first runs;
+    /// ties break toward lower RTT).
+    pub fn best_path_index(&self) -> usize {
+        let mut best = 0;
+        for i in 1..self.paths.len() {
+            let a = &self.paths[i];
+            let b = &self.paths[best];
+            let better = a.capacity_mbps > b.capacity_mbps
+                || (a.capacity_mbps == b.capacity_mbps && a.rtt < b.rtt);
+            if better {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Index of the worst path (see [`NetworkPlan::best_path_index`]).
+    pub fn worst_path_index(&self) -> usize {
+        let mut worst = 0;
+        for i in 1..self.paths.len() {
+            let a = &self.paths[i];
+            let b = &self.paths[worst];
+            let worse = a.capacity_mbps < b.capacity_mbps
+                || (a.capacity_mbps == b.capacity_mbps && a.rtt > b.rtt);
+            if worse {
+                worst = i;
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_paths() -> NetworkPlan {
+        NetworkPlan::two_host(&[
+            PathSpec::new(10.0, 30, 50, 0.0),
+            PathSpec::new(2.0, 80, 50, 1.0),
+        ])
+    }
+
+    #[test]
+    fn addresses_are_distinct() {
+        let plan = two_paths();
+        let mut all = plan.client_addrs.clone();
+        all.extend(&plan.server_addrs);
+        let before = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), before);
+    }
+
+    #[test]
+    fn routing_is_disjoint() {
+        let plan = two_paths();
+        let (c0, c1) = (plan.client_addrs[0], plan.client_addrs[1]);
+        let (s0, s1) = (plan.server_addrs[0], plan.server_addrs[1]);
+        assert_eq!(plan.route(c0, s0), Some(0));
+        assert_eq!(plan.route(s0, c0), Some(0));
+        assert_eq!(plan.route(c1, s1), Some(1));
+        // Cross pairs are unroutable — paths are disjoint.
+        assert_eq!(plan.route(c0, s1), None);
+        assert_eq!(plan.route(c1, s0), None);
+        assert_eq!(plan.route(c0, c1), None);
+    }
+
+    #[test]
+    fn best_and_worst_path_selection() {
+        let plan = two_paths();
+        assert_eq!(plan.best_path_index(), 0);
+        assert_eq!(plan.worst_path_index(), 1);
+        // Tie on capacity: RTT decides.
+        let tied = NetworkPlan::two_host(&[
+            PathSpec::new(5.0, 100, 50, 0.0),
+            PathSpec::new(5.0, 20, 50, 0.0),
+        ]);
+        assert_eq!(tied.best_path_index(), 1);
+        assert_eq!(tied.worst_path_index(), 0);
+    }
+
+    #[test]
+    fn bdp_computation() {
+        let spec = PathSpec::new(8.0, 100, 0, 0.0);
+        // 8 Mbps * 0.1 s = 100 kB.
+        assert!((spec.bdp_bytes() - 100_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn link_params_split_rtt() {
+        let spec = PathSpec::new(10.0, 40, 100, 2.0);
+        let p = spec.link_params();
+        assert_eq!(p.one_way_delay, Duration::from_millis(20));
+        assert!((p.loss - 0.02).abs() < 1e-12);
+        assert_eq!(p.rate_bps, 10e6);
+    }
+}

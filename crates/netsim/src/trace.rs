@@ -1,0 +1,191 @@
+//! Packet-level tracing.
+//!
+//! When enabled on a [`crate::Simulation`], every datagram's fate is
+//! recorded: when it was offered, on which path and direction, its size,
+//! and whether it was delivered or dropped (and why). The paper's
+//! analyses (per-path utilization, who sent what during a handover) come
+//! down to queries over exactly this record.
+
+use mpquic_util::SimTime;
+use std::time::Duration;
+
+use crate::Side;
+
+/// What happened to one datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketFate {
+    /// Accepted by the link; will arrive at the recorded time.
+    Delivered {
+        /// Arrival time at the far end.
+        arrival: SimTime,
+    },
+    /// Dropped by Bernoulli random loss.
+    LostRandom,
+    /// Dropped by the droptail queue.
+    LostQueue,
+    /// No route between the address pair.
+    Unroutable,
+}
+
+/// One traced datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// When the sender offered it to the network.
+    pub sent: SimTime,
+    /// Sending side.
+    pub from: Side,
+    /// Path index (`usize::MAX` when unroutable).
+    pub path: usize,
+    /// Wire size including per-packet overhead.
+    pub size: usize,
+    /// Outcome.
+    pub fate: PacketFate,
+}
+
+/// A recording of every datagram offered to the network.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    records: Vec<PacketRecord>,
+}
+
+impl Trace {
+    /// Appends a record (called by the simulation).
+    pub(crate) fn push(&mut self, record: PacketRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in send order.
+    pub fn records(&self) -> &[PacketRecord] {
+        &self.records
+    }
+
+    /// Number of traced datagrams.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Bytes offered on `path` by `side` within `[from, to)`.
+    pub fn bytes_on_path(&self, path: usize, side: Side, from: SimTime, to: SimTime) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.path == path && r.from == side && r.sent >= from && r.sent < to)
+            .map(|r| r.size as u64)
+            .sum()
+    }
+
+    /// Fraction of offered datagrams dropped on `path` (any reason).
+    pub fn drop_rate(&self, path: usize) -> f64 {
+        let total = self.records.iter().filter(|r| r.path == path).count();
+        if total == 0 {
+            return 0.0;
+        }
+        let dropped = self
+            .records
+            .iter()
+            .filter(|r| r.path == path && !matches!(r.fate, PacketFate::Delivered { .. }))
+            .count();
+        dropped as f64 / total as f64
+    }
+
+    /// Per-path utilization samples: bytes sent by `side` in consecutive
+    /// buckets of `bucket` width, up to `horizon` — ready to plot.
+    pub fn utilization(
+        &self,
+        path: usize,
+        side: Side,
+        bucket: Duration,
+        horizon: SimTime,
+    ) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        while t < horizon {
+            let end = t + bucket;
+            out.push((t.as_secs_f64(), self.bytes_on_path(path, side, t, end)));
+            t = end;
+        }
+        out
+    }
+
+    /// Delivered one-way latency samples `(sent, latency)` for a path.
+    pub fn latencies(&self, path: usize) -> Vec<(SimTime, Duration)> {
+        self.records
+            .iter()
+            .filter(|r| r.path == path)
+            .filter_map(|r| match r.fate {
+                PacketFate::Delivered { arrival } => {
+                    Some((r.sent, arrival.saturating_duration_since(r.sent)))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(sent_ms: u64, path: usize, size: usize, delivered: bool) -> PacketRecord {
+        PacketRecord {
+            sent: SimTime::from_millis(sent_ms),
+            from: Side::A,
+            path,
+            size,
+            fate: if delivered {
+                PacketFate::Delivered {
+                    arrival: SimTime::from_millis(sent_ms + 10),
+                }
+            } else {
+                PacketFate::LostQueue
+            },
+        }
+    }
+
+    fn sample() -> Trace {
+        let mut t = Trace::default();
+        t.push(record(0, 0, 1000, true));
+        t.push(record(5, 0, 1000, false));
+        t.push(record(10, 1, 500, true));
+        t.push(record(1500, 0, 2000, true));
+        t
+    }
+
+    #[test]
+    fn bytes_on_path_windows() {
+        let t = sample();
+        assert_eq!(t.bytes_on_path(0, Side::A, SimTime::ZERO, SimTime::from_secs(1)), 2000);
+        assert_eq!(t.bytes_on_path(0, Side::A, SimTime::ZERO, SimTime::from_secs(2)), 4000);
+        assert_eq!(t.bytes_on_path(1, Side::A, SimTime::ZERO, SimTime::from_secs(1)), 500);
+        assert_eq!(t.bytes_on_path(0, Side::B, SimTime::ZERO, SimTime::from_secs(2)), 0);
+    }
+
+    #[test]
+    fn drop_rate_per_path() {
+        let t = sample();
+        assert!((t.drop_rate(0) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(t.drop_rate(1), 0.0);
+        assert_eq!(t.drop_rate(9), 0.0);
+    }
+
+    #[test]
+    fn utilization_buckets() {
+        let t = sample();
+        let u = t.utilization(0, Side::A, Duration::from_secs(1), SimTime::from_secs(2));
+        assert_eq!(u.len(), 2);
+        assert_eq!(u[0], (0.0, 2000));
+        assert_eq!(u[1], (1.0, 2000));
+    }
+
+    #[test]
+    fn latencies_only_delivered() {
+        let t = sample();
+        let lat = t.latencies(0);
+        assert_eq!(lat.len(), 2);
+        assert!(lat.iter().all(|(_, d)| *d == Duration::from_millis(10)));
+    }
+}

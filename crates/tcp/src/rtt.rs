@@ -1,0 +1,128 @@
+//! TCP round-trip-time estimation with **Karn's algorithm**.
+//!
+//! TCP sequence numbers identify *bytes*, not transmissions, so an ACK
+//! arriving after a retransmission is ambiguous: it may acknowledge the
+//! original or the retransmitted copy. Karn's rule therefore discards RTT
+//! samples from retransmitted segments. The paper blames exactly this for
+//! Linux MPTCP's scheduling trouble ("this might be related to the
+//! ambiguities linked to the estimation of the round-trip-time in the
+//! Linux kernel") — so the model keeps the handicap faithfully: under
+//! loss, TCP's RTT estimate goes stale while QUIC keeps sampling.
+
+use mpquic_util::SimTime;
+use std::time::Duration;
+
+/// Default RTT assumed before the first sample.
+pub const DEFAULT_INITIAL_RTT: Duration = Duration::from_millis(100);
+
+/// Linux's minimum retransmission timeout.
+pub const MIN_RTO: Duration = Duration::from_millis(200);
+
+/// Maximum retransmission timeout.
+pub const MAX_RTO: Duration = Duration::from_secs(60);
+
+/// Initial SYN retransmission timeout (Linux: 1 s).
+pub const SYN_RTO: Duration = Duration::from_secs(1);
+
+/// RFC 6298 estimator with Karn's sampling rule applied by the caller
+/// (samples must only be fed for never-retransmitted segments).
+#[derive(Debug, Clone)]
+pub struct TcpRttEstimator {
+    srtt: Duration,
+    rttvar: Duration,
+    has_sample: bool,
+    initial_rtt: Duration,
+}
+
+impl TcpRttEstimator {
+    /// Creates an estimator that reports `initial_rtt` until a sample
+    /// arrives.
+    pub fn new(initial_rtt: Duration) -> TcpRttEstimator {
+        TcpRttEstimator {
+            srtt: initial_rtt,
+            rttvar: initial_rtt / 2,
+            has_sample: false,
+            initial_rtt,
+        }
+    }
+
+    /// Feeds a sample from a **never-retransmitted** segment (Karn's
+    /// rule is the caller's responsibility; `Subflow` enforces it).
+    pub fn on_sample(&mut self, sent: SimTime, now: SimTime) {
+        let sample = now.saturating_duration_since(sent);
+        if sample.is_zero() {
+            return;
+        }
+        if !self.has_sample {
+            self.srtt = sample;
+            self.rttvar = sample / 2;
+            self.has_sample = true;
+        } else {
+            let delta = self.srtt.abs_diff(sample);
+            self.rttvar = (self.rttvar * 3 + delta) / 4;
+            self.srtt = (self.srtt * 7 + sample) / 8;
+        }
+    }
+
+    /// Smoothed RTT (the MPTCP scheduler's ranking key).
+    pub fn srtt(&self) -> Duration {
+        self.srtt
+    }
+
+    /// True once a sample was accepted.
+    pub fn has_sample(&self) -> bool {
+        self.has_sample
+    }
+
+    /// Initial RTT (reported before samples).
+    pub fn initial_rtt(&self) -> Duration {
+        self.initial_rtt
+    }
+
+    /// RTO per RFC 6298, clamped to Linux's bounds.
+    pub fn rto(&self) -> Duration {
+        let rto = self.srtt + (self.rttvar * 4).max(Duration::from_millis(1));
+        rto.clamp(MIN_RTO, MAX_RTO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_like_rfc6298() {
+        let mut est = TcpRttEstimator::new(DEFAULT_INITIAL_RTT);
+        for i in 0..40u64 {
+            est.on_sample(
+                SimTime::from_millis(i * 100),
+                SimTime::from_millis(i * 100 + 50),
+            );
+        }
+        let srtt = est.srtt().as_millis();
+        assert!((49..=51).contains(&srtt), "srtt {srtt}");
+    }
+
+    #[test]
+    fn min_rto_applies() {
+        let mut est = TcpRttEstimator::new(DEFAULT_INITIAL_RTT);
+        est.on_sample(SimTime::from_millis(0), SimTime::from_millis(2));
+        assert_eq!(est.rto(), MIN_RTO);
+    }
+
+    #[test]
+    fn initial_state() {
+        let est = TcpRttEstimator::new(Duration::from_millis(80));
+        assert!(!est.has_sample());
+        assert_eq!(est.srtt(), Duration::from_millis(80));
+        // 80 + 4*40 = 240 ms.
+        assert_eq!(est.rto(), Duration::from_millis(240));
+    }
+
+    #[test]
+    fn zero_sample_ignored() {
+        let mut est = TcpRttEstimator::new(DEFAULT_INITIAL_RTT);
+        est.on_sample(SimTime::from_millis(5), SimTime::from_millis(5));
+        assert!(!est.has_sample());
+    }
+}

@@ -1,0 +1,381 @@
+//! TCP segment wire format (simplified but size-faithful).
+//!
+//! The model encodes segments into datagrams for the simulator, with
+//! realistic header overheads so link-level throughput comparisons
+//! against QUIC are fair. Simplifications versus RFC 793 are documented
+//! in DESIGN.md §8: 64-bit sequence numbers (no wraparound handling) and
+//! byte-granular windows (no window scaling) — neither affects the
+//! dynamics the paper measures.
+//!
+//! Option set:
+//!
+//! * **SACK** — at most [`MAX_SACK_BLOCKS`] blocks, the constraint the
+//!   paper contrasts with QUIC's 256 ACK ranges ("much larger than the
+//!   2-3 blocks than can be acknowledged with the SACK TCP option
+//!   depending on the space consumed by the other TCP options");
+//! * **MP_CAPABLE / MP_JOIN / DSS / ADD_ADDR** — the MPTCP option suite
+//!   (RFC 6824) in reduced form.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr};
+
+/// Maximum SACK blocks per segment (RFC 2018 with timestamps consuming
+/// option space — the Linux reality the paper refers to).
+pub const MAX_SACK_BLOCKS: usize = 3;
+
+/// Flags bitfield.
+pub mod flags {
+    /// Synchronize (connection / subflow open).
+    pub const SYN: u8 = 0x01;
+    /// Acknowledgement field valid (set on everything after SYN).
+    pub const ACK: u8 = 0x02;
+    /// Sender finished (subflow level).
+    pub const FIN: u8 = 0x04;
+    /// Reset.
+    pub const RST: u8 = 0x08;
+}
+
+/// MPTCP DSS mapping: where this segment's payload sits in the
+/// connection-level (meta) sequence space, plus the cumulative data-level
+/// acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DssOption {
+    /// Data sequence number of the first payload byte.
+    pub dsn: u64,
+    /// Cumulative meta-level acknowledgement.
+    pub data_ack: u64,
+    /// This segment carries the connection-level FIN at `dsn + len`.
+    pub data_fin: bool,
+}
+
+/// MPTCP-related options (reduced RFC 6824 set).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MptcpOptions {
+    /// MP_CAPABLE: present on the initial subflow's SYN/SYN-ACK.
+    pub mp_capable: bool,
+    /// MP_JOIN with the joining subflow's address index (token handling
+    /// elided — the simulator has no off-path attackers).
+    pub mp_join: Option<u8>,
+    /// DSS mapping / data ack.
+    pub dss: Option<DssOption>,
+    /// ADD_ADDR advertisements: `(address id, address)`.
+    pub add_addrs: Vec<(u8, SocketAddr)>,
+}
+
+impl MptcpOptions {
+    /// True if no option is present.
+    pub fn is_empty(&self) -> bool {
+        !self.mp_capable && self.mp_join.is_none() && self.dss.is_none() && self.add_addrs.is_empty()
+    }
+}
+
+/// A TCP segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Subflow-level sequence number of the first payload byte (SYN and
+    /// FIN each occupy one sequence number, per TCP).
+    pub seq: u64,
+    /// Cumulative subflow-level acknowledgement (valid with `ACK`).
+    pub ack: u64,
+    /// Flags bitfield (see [`flags`]).
+    pub flags: u8,
+    /// Receive window in bytes, measured from `data_ack` when MPTCP DSS
+    /// is present (the coupled meta window), else from `ack`.
+    pub window: u64,
+    /// SACK blocks: `(start, end)` exclusive-end ssn ranges, most recent
+    /// first, at most [`MAX_SACK_BLOCKS`].
+    pub sack: Vec<(u64, u64)>,
+    /// MPTCP options.
+    pub mptcp: MptcpOptions,
+    /// Payload.
+    pub payload: Bytes,
+}
+
+impl Segment {
+    /// A bare segment with the given flags.
+    pub fn new(seq: u64, ack: u64, flags: u8) -> Segment {
+        Segment {
+            seq,
+            ack,
+            flags,
+            window: 0,
+            sack: Vec::new(),
+            mptcp: MptcpOptions::default(),
+            payload: Bytes::new(),
+        }
+    }
+
+    /// True if the SYN flag is set.
+    pub fn is_syn(&self) -> bool {
+        self.flags & flags::SYN != 0
+    }
+
+    /// True if the FIN flag is set.
+    pub fn is_fin(&self) -> bool {
+        self.flags & flags::FIN != 0
+    }
+
+    /// Sequence space this segment occupies (payload + SYN/FIN).
+    pub fn seq_len(&self) -> u64 {
+        self.payload.len() as u64
+            + u64::from(self.is_syn())
+            + u64::from(self.is_fin())
+    }
+
+    /// Serializes the segment.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(40 + self.payload.len());
+        buf.put_u8(self.flags);
+        buf.put_u64(self.seq);
+        buf.put_u64(self.ack);
+        buf.put_u32(self.window as u32);
+        // Option block, length-prefixed.
+        let mut opts = BytesMut::new();
+        debug_assert!(self.sack.len() <= MAX_SACK_BLOCKS);
+        for &(start, end) in self.sack.iter().take(MAX_SACK_BLOCKS) {
+            opts.put_u8(OPT_SACK);
+            opts.put_u64(start);
+            opts.put_u64(end);
+        }
+        if self.mptcp.mp_capable {
+            opts.put_u8(OPT_MP_CAPABLE);
+        }
+        if let Some(idx) = self.mptcp.mp_join {
+            opts.put_u8(OPT_MP_JOIN);
+            opts.put_u8(idx);
+        }
+        if let Some(dss) = self.mptcp.dss {
+            opts.put_u8(OPT_DSS);
+            opts.put_u8(u8::from(dss.data_fin));
+            opts.put_u64(dss.dsn);
+            opts.put_u64(dss.data_ack);
+        }
+        for &(id, addr) in &self.mptcp.add_addrs {
+            opts.put_u8(OPT_ADD_ADDR);
+            opts.put_u8(id);
+            match addr.ip() {
+                IpAddr::V4(ip) => {
+                    opts.put_u8(4);
+                    opts.put_slice(&ip.octets());
+                }
+                IpAddr::V6(ip) => {
+                    opts.put_u8(6);
+                    opts.put_slice(&ip.octets());
+                }
+            }
+            opts.put_u16(addr.port());
+        }
+        buf.put_u16(opts.len() as u16);
+        buf.put_slice(&opts);
+        buf.put_slice(&self.payload);
+        buf.to_vec()
+    }
+
+    /// Parses a segment; `None` on malformed input.
+    pub fn decode(data: &[u8]) -> Option<Segment> {
+        let mut buf = data;
+        if buf.remaining() < 1 + 8 + 8 + 4 + 2 {
+            return None;
+        }
+        let flags = buf.get_u8();
+        let seq = buf.get_u64();
+        let ack = buf.get_u64();
+        let window = u64::from(buf.get_u32());
+        let opt_len = buf.get_u16() as usize;
+        if buf.remaining() < opt_len {
+            return None;
+        }
+        let mut opts = &buf[..opt_len];
+        buf.advance(opt_len);
+        let mut segment = Segment {
+            seq,
+            ack,
+            flags,
+            window,
+            sack: Vec::new(),
+            mptcp: MptcpOptions::default(),
+            payload: Bytes::copy_from_slice(buf),
+        };
+        while opts.remaining() > 0 {
+            match opts.get_u8() {
+                OPT_SACK => {
+                    if opts.remaining() < 16 || segment.sack.len() >= MAX_SACK_BLOCKS {
+                        return None;
+                    }
+                    let start = opts.get_u64();
+                    let end = opts.get_u64();
+                    segment.sack.push((start, end));
+                }
+                OPT_MP_CAPABLE => segment.mptcp.mp_capable = true,
+                OPT_MP_JOIN => {
+                    if opts.remaining() < 1 {
+                        return None;
+                    }
+                    segment.mptcp.mp_join = Some(opts.get_u8());
+                }
+                OPT_DSS => {
+                    if opts.remaining() < 17 {
+                        return None;
+                    }
+                    let data_fin = opts.get_u8() != 0;
+                    let dsn = opts.get_u64();
+                    let data_ack = opts.get_u64();
+                    segment.mptcp.dss = Some(DssOption {
+                        dsn,
+                        data_ack,
+                        data_fin,
+                    });
+                }
+                OPT_ADD_ADDR => {
+                    if opts.remaining() < 2 {
+                        return None;
+                    }
+                    let id = opts.get_u8();
+                    let version = opts.get_u8();
+                    let ip: IpAddr = match version {
+                        4 => {
+                            if opts.remaining() < 4 {
+                                return None;
+                            }
+                            let mut octets = [0u8; 4];
+                            opts.copy_to_slice(&mut octets);
+                            IpAddr::V4(Ipv4Addr::from(octets))
+                        }
+                        6 => {
+                            if opts.remaining() < 16 {
+                                return None;
+                            }
+                            let mut octets = [0u8; 16];
+                            opts.copy_to_slice(&mut octets);
+                            IpAddr::V6(std::net::Ipv6Addr::from(octets))
+                        }
+                        _ => return None,
+                    };
+                    if opts.remaining() < 2 {
+                        return None;
+                    }
+                    let port = opts.get_u16();
+                    segment.mptcp.add_addrs.push((id, SocketAddr::new(ip, port)));
+                }
+                _ => return None,
+            }
+        }
+        Some(segment)
+    }
+}
+
+const OPT_SACK: u8 = 1;
+const OPT_MP_CAPABLE: u8 = 2;
+const OPT_MP_JOIN: u8 = 3;
+const OPT_DSS: u8 = 4;
+const OPT_ADD_ADDR: u8 = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(s: &Segment) -> Segment {
+        Segment::decode(&s.encode()).expect("decodes")
+    }
+
+    #[test]
+    fn bare_syn() {
+        let mut s = Segment::new(100, 0, flags::SYN);
+        s.mptcp.mp_capable = true;
+        assert_eq!(round_trip(&s), s);
+        assert_eq!(s.seq_len(), 1);
+    }
+
+    #[test]
+    fn data_segment_with_dss() {
+        let mut s = Segment::new(1000, 500, flags::ACK);
+        s.window = 16 << 20;
+        s.payload = Bytes::from_static(b"hello tcp");
+        s.mptcp.dss = Some(DssOption {
+            dsn: 42_000,
+            data_ack: 10_000,
+            data_fin: false,
+        });
+        assert_eq!(round_trip(&s), s);
+        assert_eq!(s.seq_len(), 9);
+    }
+
+    #[test]
+    fn sack_blocks_capped() {
+        let mut s = Segment::new(0, 100, flags::ACK);
+        s.sack = vec![(200, 300), (400, 500), (600, 700)];
+        assert_eq!(round_trip(&s), s);
+    }
+
+    #[test]
+    fn add_addr_v4_and_v6() {
+        let mut s = Segment::new(0, 0, flags::ACK);
+        s.mptcp.add_addrs = vec![
+            (0, "192.0.2.1:8080".parse().unwrap()),
+            (1, "[2001:db8::5]:443".parse().unwrap()),
+        ];
+        assert_eq!(round_trip(&s), s);
+    }
+
+    #[test]
+    fn mp_join() {
+        let mut s = Segment::new(0, 0, flags::SYN);
+        s.mptcp.mp_join = Some(1);
+        assert_eq!(round_trip(&s), s);
+    }
+
+    #[test]
+    fn fin_occupies_sequence_space() {
+        let mut s = Segment::new(10, 0, flags::FIN | flags::ACK);
+        s.payload = Bytes::from_static(b"xy");
+        assert_eq!(s.seq_len(), 3);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let mut s = Segment::new(1, 2, flags::ACK);
+        s.payload = Bytes::from_static(b"data");
+        s.sack = vec![(5, 10)];
+        let bytes = s.encode();
+        // Cutting inside header or options must fail; cutting inside the
+        // payload silently shortens it (length-prefix free payload), so
+        // only check the structured part.
+        for cut in 0..(bytes.len() - s.payload.len()) {
+            assert!(Segment::decode(&bytes[..cut]).is_none(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn header_overhead_is_realistic() {
+        let s = Segment::new(0, 0, flags::ACK);
+        // Bare header ~23 bytes; with IP (+20) that is in the realistic
+        // 40-60 byte range of real TCP headers with options.
+        assert!(s.encode().len() >= 20 && s.encode().len() <= 30);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+            let _ = Segment::decode(&bytes);
+        }
+
+        #[test]
+        fn prop_round_trip(
+            seq in any::<u64>(),
+            ack in any::<u64>(),
+            fl in 0u8..16,
+            window in any::<u32>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..200),
+            sack in proptest::collection::vec((0u64..1000, 1000u64..2000), 0..=MAX_SACK_BLOCKS),
+            dss in proptest::option::of((any::<u64>(), any::<u64>(), any::<bool>())),
+        ) {
+            let mut s = Segment::new(seq, ack, fl);
+            s.window = u64::from(window);
+            s.payload = Bytes::from(payload);
+            s.sack = sack;
+            s.mptcp.dss = dss.map(|(dsn, data_ack, data_fin)| DssOption { dsn, data_ack, data_fin });
+            prop_assert_eq!(round_trip(&s), s);
+        }
+    }
+}

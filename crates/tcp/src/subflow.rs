@@ -1,0 +1,1145 @@
+//! One TCP subflow: handshake, subflow-sequence send/receive state, SACK
+//! scoreboard, fast retransmit, RTO and Karn-constrained RTT sampling.
+//!
+//! The constraints the paper contrasts with MPQUIC are enforced here:
+//!
+//! * a subflow's sequence space must stay self-contained, so lost data is
+//!   retransmitted **on the same subflow** (middleboxes would otherwise
+//!   see sequence holes) — cross-subflow help only comes from meta-level
+//!   *reinjection* (new ssn on the other subflow, managed by the stack);
+//! * the receiver reports at most 3 SACK blocks;
+//! * RTT samples are discarded for retransmitted segments (Karn), so the
+//!   estimate goes stale exactly when scheduling decisions matter most;
+//! * an RTO marks the subflow *potentially failed* (Linux's `pf` flag,
+//!   which the paper §4.3 mirrors in MPQUIC).
+
+use bytes::Bytes;
+use mpquic_cc::{CongestionController, PathSnapshot};
+use mpquic_util::{RangeSet, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use crate::rtt::{TcpRttEstimator, SYN_RTO};
+use crate::segment::{flags, DssOption, Segment, MAX_SACK_BLOCKS};
+
+/// Subflow connection state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubflowState {
+    /// Created, not yet connecting (server side before SYN).
+    Idle,
+    /// SYN sent, awaiting SYN-ACK.
+    SynSent,
+    /// SYN received, SYN-ACK sent, awaiting final ACK.
+    SynRcvd,
+    /// Three-way handshake complete.
+    Established,
+}
+
+/// A segment in flight (or awaiting same-subflow retransmission).
+#[derive(Debug, Clone)]
+pub struct SentSeg {
+    /// First subflow sequence number.
+    pub ssn: u64,
+    /// Sequence-space length (payload + SYN/FIN).
+    pub len: u64,
+    /// Payload (kept for same-subflow retransmission).
+    pub payload: Bytes,
+    /// Meta-level mapping of the payload.
+    pub dsn: u64,
+    /// Carries the connection-level FIN.
+    pub data_fin: bool,
+    /// Send (or last retransmit) time.
+    pub time_sent: SimTime,
+    /// True once retransmitted (Karn: no RTT samples).
+    pub retransmitted: bool,
+    /// Declared lost and queued for retransmission: excluded from the
+    /// pipe (RFC 6675 `pipe` accounting) until re-sent.
+    pub marked_lost: bool,
+    /// Every byte of this segment has been SACKed (maintained
+    /// incrementally; excluded from the pipe).
+    pub fully_sacked: bool,
+    /// True for the SYN.
+    pub syn: bool,
+}
+
+/// Snapshot of a sent segment's retransmission-relevant fields.
+struct SentView {
+    payload: Bytes,
+    dsn: u64,
+    data_fin: bool,
+    syn: bool,
+}
+
+/// What processing one incoming segment produced.
+#[derive(Debug, Default)]
+pub struct SegmentOutcome {
+    /// Payload delivered with its meta mapping `(dsn, bytes, data_fin)`.
+    pub payload: Option<(u64, Bytes, bool)>,
+    /// Meta-level cumulative acknowledgement seen.
+    pub data_ack: Option<u64>,
+    /// Peer's advertised (meta) receive window.
+    pub window: Option<u64>,
+    /// Subflow just became established.
+    pub established: bool,
+    /// Subflow-level bytes newly acknowledged (cumulative + SACK).
+    pub newly_acked: u64,
+    /// dsn ranges of segments newly acknowledged at the subflow level.
+    pub acked_dsns: Vec<(u64, u64)>,
+    /// ADD_ADDR advertisements seen.
+    pub add_addrs: Vec<(u8, SocketAddr)>,
+    /// Peer requested a join with this address index (SYN+MP_JOIN).
+    pub join_request: Option<u8>,
+    /// Number of same-subflow fast retransmissions triggered.
+    pub fast_retransmits: u32,
+}
+
+/// Counters for one subflow.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SubflowStats {
+    /// Data segments sent (including retransmissions).
+    pub segments_sent: u64,
+    /// Segments received.
+    pub segments_received: u64,
+    /// Same-subflow retransmissions (fast + RTO).
+    pub retransmissions: u64,
+    /// RTO events.
+    pub rtos: u64,
+    /// Wire bytes sent.
+    pub bytes_sent: u64,
+    /// Wire bytes received.
+    pub bytes_received: u64,
+}
+
+/// One TCP subflow.
+pub struct Subflow {
+    /// Stack-local subflow index.
+    pub index: usize,
+    /// Local address.
+    pub local: SocketAddr,
+    /// Remote address.
+    pub remote: SocketAddr,
+    /// Connection state.
+    pub state: SubflowState,
+    /// True if this subflow was opened with MP_JOIN.
+    pub is_join: bool,
+    /// Address index used in MP_JOIN / pairing.
+    pub address_index: u8,
+    /// Congestion controller (CUBIC or a coupled scheme).
+    pub cc: Box<dyn CongestionController>,
+    /// RTT estimator (Karn's rule enforced here).
+    pub rtt: TcpRttEstimator,
+    /// Potentially-failed flag (set on RTO, cleared on forward progress).
+    pub pf: bool,
+    /// Last time this subflow was penalized by ORP (rate limiting).
+    pub last_penalized: Option<SimTime>,
+    /// Statistics.
+    pub stats: SubflowStats,
+
+    // --- send state ---
+    snd_una: u64,
+    snd_nxt: u64,
+    /// Incrementally maintained RFC 6675 `pipe`: bytes of outstanding
+    /// segments that are neither marked lost nor fully SACKed.
+    /// (Recomputing it per call is O(n·ranges) and dominated high-BDP
+    /// runs.)
+    pipe: u64,
+    outstanding: BTreeMap<u64, SentSeg>,
+    /// SACKed ssn ranges (received by peer, above `snd_una`).
+    sacked: RangeSet,
+    /// ssns queued for same-subflow retransmission.
+    rtx_queue: VecDeque<u64>,
+    /// End of the current fast-recovery episode (snd_nxt at entry).
+    recovery_until: Option<u64>,
+    rto_backoff: u32,
+    /// The one segment being RTT-timed (classic Karn sampling: one
+    /// timed segment per RTT; timing discarded if it gets retransmitted).
+    timed: Option<(u64, SimTime)>,
+    /// RTO reference point: restarted on every ACK that advances
+    /// `snd_una` (classic TCP timer semantics, RFC 6298 §5.3).
+    rto_reference: Option<SimTime>,
+    /// Last multiplicative decrease — at most one per smoothed RTT, so
+    /// sustained overflow keeps shrinking the window even inside one
+    /// (long) recovery episode.
+    last_decrease: Option<SimTime>,
+    /// Pending SYN / SYN-ACK / pure-ACK emissions.
+    syn_pending: bool,
+    synack_pending: bool,
+    ack_now: bool,
+
+    // --- receive state ---
+    rcv_nxt: u64,
+    received: RangeSet,
+    /// Recent out-of-order block starts, newest first (SACK generation).
+    ack_deadline: Option<SimTime>,
+    unacked_segments: u32,
+    /// ADD_ADDR advertisements still to attach to outgoing segments
+    /// (repeated on the first few segments for loss robustness).
+    pub add_addr_budget: u32,
+    /// The addresses to advertise while `add_addr_budget > 0`.
+    pub add_addrs_to_send: Vec<(u8, SocketAddr)>,
+}
+
+/// Delayed-ACK timer (Linux's minimum).
+pub const DELACK: Duration = Duration::from_millis(40);
+
+impl std::fmt::Debug for Subflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subflow")
+            .field("index", &self.index)
+            .field("state", &self.state)
+            .field("pf", &self.pf)
+            .field("snd_una", &self.snd_una)
+            .field("snd_nxt", &self.snd_nxt)
+            .field("rcv_nxt", &self.rcv_nxt)
+            .finish()
+    }
+}
+
+impl Subflow {
+    /// Creates a subflow (not yet connecting).
+    pub fn new(
+        index: usize,
+        local: SocketAddr,
+        remote: SocketAddr,
+        cc: Box<dyn CongestionController>,
+        initial_rtt: Duration,
+    ) -> Subflow {
+        Subflow {
+            index,
+            local,
+            remote,
+            state: SubflowState::Idle,
+            is_join: false,
+            address_index: 0,
+            cc,
+            rtt: TcpRttEstimator::new(initial_rtt),
+            pf: false,
+            last_penalized: None,
+            stats: SubflowStats::default(),
+            snd_una: 0,
+            snd_nxt: 0,
+            pipe: 0,
+            outstanding: BTreeMap::new(),
+            sacked: RangeSet::new(),
+            rtx_queue: VecDeque::new(),
+            recovery_until: None,
+            rto_backoff: 0,
+            timed: None,
+            rto_reference: None,
+            last_decrease: None,
+            syn_pending: false,
+            synack_pending: false,
+            ack_now: false,
+            rcv_nxt: 0,
+            received: RangeSet::new(),
+            ack_deadline: None,
+            unacked_segments: 0,
+            add_addr_budget: 0,
+            add_addrs_to_send: Vec::new(),
+        }
+    }
+
+    /// Begins the three-way handshake (client side). `join_index` is set
+    /// for MP_JOIN subflows.
+    pub fn connect(&mut self, join_index: Option<u8>) {
+        debug_assert_eq!(self.state, SubflowState::Idle);
+        self.state = SubflowState::SynSent;
+        self.is_join = join_index.is_some();
+        self.address_index = join_index.unwrap_or(0);
+        self.syn_pending = true;
+    }
+
+    /// Subflow-level bytes in flight (unacked, unsacked, not marked
+    /// lost). Maintained incrementally (recomputing per call is
+    /// O(n·ranges) and dominated high-BDP runs).
+    pub fn bytes_in_flight(&self) -> u64 {
+        self.pipe
+    }
+
+    /// Whether `seg` is excluded from the pipe by SACK coverage.
+    fn is_fully_sacked(&self, seg: &SentSeg) -> bool {
+        seg.fully_sacked
+    }
+
+    /// True while the segment counts toward the pipe.
+    fn counts_in_pipe(seg: &SentSeg) -> bool {
+        !seg.marked_lost && !seg.fully_sacked
+    }
+
+    fn pipe_remove(&mut self, ssn: u64) {
+        if let Some(seg) = self.outstanding.get(&ssn) {
+            if Self::counts_in_pipe(seg) {
+                self.pipe = self.pipe.saturating_sub(seg.len);
+            }
+        }
+    }
+
+    /// Congestion window space for new data.
+    pub fn cwnd_available(&self) -> u64 {
+        self.cc.window().saturating_sub(self.bytes_in_flight())
+    }
+
+    /// True if the scheduler may place new data here.
+    pub fn usable_for_data(&self) -> bool {
+        self.state == SubflowState::Established && !self.pf
+    }
+
+    /// Does this subflow have outstanding data covering the given dsn?
+    pub fn carries_dsn(&self, dsn: u64) -> bool {
+        self.outstanding
+            .values()
+            .any(|seg| !seg.syn && seg.payload.len() as u64 > 0 && dsn >= seg.dsn && dsn < seg.dsn + seg.payload.len() as u64)
+    }
+
+    /// Next subflow sequence number for new data.
+    pub fn snd_nxt(&self) -> u64 {
+        self.snd_nxt
+    }
+
+    /// Cumulative acknowledged subflow sequence.
+    pub fn snd_una(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Receive-side next expected ssn.
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// True if a retransmission is queued.
+    pub fn has_rtx(&self) -> bool {
+        !self.rtx_queue.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Segment construction
+    // ------------------------------------------------------------------
+
+    fn base_segment(&mut self, fl: u8, data_ack: u64, window: u64) -> Segment {
+        let mut seg = Segment::new(self.snd_nxt, self.rcv_nxt, fl);
+        seg.window = window;
+        seg.sack = self.sack_blocks();
+        if self.add_addr_budget > 0 && !self.add_addrs_to_send.is_empty() {
+            self.add_addr_budget -= 1;
+            seg.mptcp.add_addrs = self.add_addrs_to_send.clone();
+        }
+        // Every established-state segment carries the meta data_ack.
+        if self.state == SubflowState::Established {
+            seg.mptcp.dss = Some(DssOption {
+                dsn: 0,
+                data_ack,
+                data_fin: false,
+            });
+        }
+        seg
+    }
+
+    /// Up to [`MAX_SACK_BLOCKS`] out-of-order blocks above `rcv_nxt`,
+    /// highest (most informative) first.
+    fn sack_blocks(&self) -> Vec<(u64, u64)> {
+        self.received
+            .iter_descending()
+            .filter(|r| *r.start() > self.rcv_nxt)
+            .take(MAX_SACK_BLOCKS)
+            .map(|r| (*r.start(), *r.end() + 1))
+            .collect()
+    }
+
+    /// Emits pending handshake / pure-ACK segments.
+    pub fn poll_control(&mut self, now: SimTime, data_ack: u64, window: u64, multipath: bool) -> Option<Segment> {
+        if self.syn_pending {
+            self.syn_pending = false;
+            let mut seg = Segment::new(0, 0, flags::SYN);
+            seg.window = window;
+            if multipath {
+                if self.is_join {
+                    seg.mptcp.mp_join = Some(self.address_index);
+                } else {
+                    seg.mptcp.mp_capable = true;
+                }
+            }
+            self.snd_nxt = 1;
+            self.track(SentSeg {
+                ssn: 0,
+                len: 1,
+                payload: Bytes::new(),
+                dsn: 0,
+                data_fin: false,
+                time_sent: now,
+                retransmitted: false,
+                marked_lost: false,
+                fully_sacked: false,
+                syn: true,
+            });
+            if self.timed.is_none() {
+                self.timed = Some((1, now));
+            }
+            return Some(seg);
+        }
+        if self.synack_pending {
+            self.synack_pending = false;
+            let mut seg = Segment::new(0, self.rcv_nxt, flags::SYN | flags::ACK);
+            seg.window = window;
+            if multipath {
+                if self.is_join {
+                    seg.mptcp.mp_join = Some(self.address_index);
+                } else {
+                    seg.mptcp.mp_capable = true;
+                }
+            }
+            if self.add_addr_budget > 0 && !self.add_addrs_to_send.is_empty() {
+                self.add_addr_budget -= 1;
+                seg.mptcp.add_addrs = self.add_addrs_to_send.clone();
+            }
+            self.snd_nxt = 1;
+            self.track(SentSeg {
+                ssn: 0,
+                len: 1,
+                payload: Bytes::new(),
+                dsn: 0,
+                data_fin: false,
+                time_sent: now,
+                retransmitted: false,
+                marked_lost: false,
+                fully_sacked: false,
+                syn: true,
+            });
+            return Some(seg);
+        }
+        // Retransmissions (same subflow, original mapping). The pipe must
+        // have room (RFC 6675): blasting retransmissions into a full
+        // droptail queue just loses them again.
+        if let Some(&ssn) = self.rtx_queue.front() {
+            let seg_len = self.outstanding.get(&ssn).map_or(0, |s| s.len);
+            let pipe_has_room =
+                self.bytes_in_flight() + seg_len <= self.cc.window() || self.bytes_in_flight() == 0;
+            if pipe_has_room {
+                self.rtx_queue.pop_front();
+                if let Some(seg) = self.retransmit_now(now, ssn, data_ack, window, multipath) {
+                    return Some(seg);
+                }
+            }
+        }
+        // Pure ACK when due.
+        if self.ack_now || self.ack_deadline.is_some_and(|d| d <= now) {
+            self.ack_now = false;
+            self.ack_deadline = None;
+            self.unacked_segments = 0;
+            let seg = self.base_segment(flags::ACK, data_ack, window);
+            return Some(seg);
+        }
+        None
+    }
+
+    fn retransmit_now(
+        &mut self,
+        now: SimTime,
+        ssn: u64,
+        data_ack: u64,
+        window: u64,
+        multipath: bool,
+    ) -> Option<Segment> {
+        let (payload, dsn, data_fin, syn) = {
+            let seg = self.outstanding.get_mut(&ssn)?;
+            seg.retransmitted = true;
+            if seg.marked_lost && !seg.fully_sacked {
+                // Re-enters the pipe as a fresh transmission.
+                self.pipe += seg.len;
+            }
+            seg.marked_lost = false;
+            seg.time_sent = now;
+            (seg.payload.clone(), seg.dsn, seg.data_fin, seg.syn)
+        };
+        // Karn: a retransmission inside the timed range voids the timing.
+        if let Some((end, _)) = self.timed {
+            if ssn < end {
+                self.timed = None;
+            }
+        }
+        self.stats.retransmissions += 1;
+        let seg = SentView {
+            payload,
+            dsn,
+            data_fin,
+            syn,
+        };
+        let mut out = Segment::new(
+            ssn,
+            self.rcv_nxt,
+            if seg.syn { flags::SYN } else { flags::ACK },
+        );
+        out.window = window;
+        out.payload = seg.payload.clone();
+        if seg.syn && multipath {
+            if self.is_join {
+                out.mptcp.mp_join = Some(self.address_index);
+            } else {
+                out.mptcp.mp_capable = true;
+            }
+        }
+        if !seg.syn {
+            out.sack = self.sack_blocks();
+            out.mptcp.dss = Some(DssOption {
+                dsn: seg.dsn,
+                data_ack,
+                data_fin: seg.data_fin,
+            });
+        }
+        Some(out)
+    }
+
+    /// Builds and tracks a fresh data segment at `snd_nxt` carrying the
+    /// meta range starting at `dsn`.
+    pub fn send_data(
+        &mut self,
+        now: SimTime,
+        payload: Bytes,
+        dsn: u64,
+        data_fin: bool,
+        data_ack: u64,
+        window: u64,
+    ) -> Segment {
+        debug_assert_eq!(self.state, SubflowState::Established);
+        let mut seg = self.base_segment(flags::ACK, data_ack, window);
+        seg.mptcp.dss = Some(DssOption {
+            dsn,
+            data_ack,
+            data_fin,
+        });
+        seg.payload = payload.clone();
+        let len = payload.len() as u64;
+        self.track(SentSeg {
+            ssn: self.snd_nxt,
+            len: len.max(u64::from(data_fin && payload.is_empty())),
+            payload,
+            dsn,
+            data_fin,
+            time_sent: now,
+            retransmitted: false,
+            marked_lost: false,
+            fully_sacked: false,
+            syn: false,
+        });
+        let advance = len.max(u64::from(data_fin && seg.payload.is_empty()));
+        if self.timed.is_none() && advance > 0 {
+            self.timed = Some((self.snd_nxt + advance, now));
+        }
+        self.snd_nxt += advance;
+        self.cc.on_packet_sent(now, len);
+        // Sending also acknowledges (piggyback): clear pure-ack state.
+        self.ack_now = false;
+        self.ack_deadline = None;
+        self.unacked_segments = 0;
+        seg
+    }
+
+    fn track(&mut self, seg: SentSeg) {
+        if self.rto_reference.is_none() {
+            self.rto_reference = Some(seg.time_sent);
+        }
+        if Self::counts_in_pipe(&seg) {
+            self.pipe += seg.len;
+        }
+        self.outstanding.insert(seg.ssn, seg);
+    }
+
+    // ------------------------------------------------------------------
+    // Segment processing
+    // ------------------------------------------------------------------
+
+    /// Processes an incoming segment.
+    pub fn on_segment(
+        &mut self,
+        now: SimTime,
+        seg: &Segment,
+        snapshots: &[PathSnapshot],
+        self_index: usize,
+        multipath: bool,
+    ) -> SegmentOutcome {
+        let mut outcome = SegmentOutcome::default();
+        self.stats.segments_received += 1;
+        outcome.add_addrs = seg.mptcp.add_addrs.clone();
+
+        // --- handshake transitions ---
+        if seg.is_syn() && seg.flags & flags::ACK == 0 {
+            // Passive open (stack ensured this subflow matches the SYN).
+            if self.state == SubflowState::Idle {
+                self.state = SubflowState::SynRcvd;
+                self.is_join = seg.mptcp.mp_join.is_some();
+                self.address_index = seg.mptcp.mp_join.unwrap_or(0);
+                outcome.join_request = seg.mptcp.mp_join;
+                self.rcv_nxt = 1; // SYN occupies ssn 0
+                self.synack_pending = true;
+            } else {
+                // Duplicate SYN: re-send the SYN-ACK.
+                self.synack_pending = true;
+            }
+            let _ = multipath;
+            return outcome;
+        }
+        if seg.is_syn() && seg.flags & flags::ACK != 0 {
+            // SYN-ACK (client side).
+            if self.state == SubflowState::SynSent {
+                self.state = SubflowState::Established;
+                self.rcv_nxt = 1;
+                self.process_ack(now, seg, snapshots, self_index, &mut outcome);
+                self.ack_now = true; // complete the handshake
+                outcome.established = true;
+            } else {
+                self.ack_now = true; // duplicate SYN-ACK: re-ack
+            }
+            outcome.window = Some(seg.window);
+            return outcome;
+        }
+
+        // --- regular segment ---
+        if self.state == SubflowState::SynRcvd && seg.flags & flags::ACK != 0 && seg.ack >= 1 {
+            self.state = SubflowState::Established;
+            outcome.established = true;
+        }
+        self.process_ack(now, seg, snapshots, self_index, &mut outcome);
+        outcome.window = Some(seg.window);
+        if let Some(dss) = seg.mptcp.dss {
+            outcome.data_ack = Some(dss.data_ack);
+        }
+
+        // --- payload ---
+        if !seg.payload.is_empty() || seg.mptcp.dss.is_some_and(|d| d.data_fin) {
+            let len = seg.payload.len() as u64;
+            let start = seg.seq;
+            let in_order = start <= self.rcv_nxt;
+            if len > 0 {
+                self.received.insert_range(start, start + len - 1);
+            }
+            // Advance rcv_nxt across newly contiguous data.
+            while let Some(range) = self
+                .received
+                .iter()
+                .find(|r| *r.start() <= self.rcv_nxt && *r.end() >= self.rcv_nxt)
+            {
+                self.rcv_nxt = *range.end() + 1;
+            }
+            // Deliver the payload with its meta mapping (the DSS mapping
+            // makes subflow-level reordering unnecessary for delivery —
+            // the meta layer reorders by dsn).
+            if let Some(dss) = seg.mptcp.dss {
+                outcome.payload = Some((dss.dsn, seg.payload.clone(), dss.data_fin));
+            } else {
+                // Plain TCP: dsn == ssn - 1 (SYN consumed ssn 0).
+                outcome.payload = Some((start - 1, seg.payload.clone(), false));
+            }
+            // ACK policy: immediately on out-of-order (dupack), else
+            // every second segment or after the delayed-ack timer.
+            self.unacked_segments += 1;
+            if !in_order || self.unacked_segments >= 2 {
+                self.ack_now = true;
+            } else {
+                let deadline = now + DELACK;
+                self.ack_deadline = Some(self.ack_deadline.map_or(deadline, |d| d.min(deadline)));
+            }
+        }
+        outcome
+    }
+
+    fn process_ack(
+        &mut self,
+        now: SimTime,
+        seg: &Segment,
+        snapshots: &[PathSnapshot],
+        self_index: usize,
+        outcome: &mut SegmentOutcome,
+    ) {
+        if seg.flags & flags::ACK == 0 {
+            return;
+        }
+        let ack = seg.ack;
+        // Record SACK information and update the per-segment coverage
+        // flags for segments inside the (bounded-size) new blocks.
+        for &(start, end) in &seg.sack {
+            if end > start {
+                self.sacked.insert_range(start, end - 1);
+                let affected: Vec<u64> = self
+                    .outstanding
+                    .range(..end)
+                    .filter(|(_, s)| !s.fully_sacked && s.ssn + s.len <= end && s.ssn >= start)
+                    .map(|(&ssn, _)| ssn)
+                    .collect();
+                for ssn in affected {
+                    self.pipe_remove(ssn);
+                    if let Some(s) = self.outstanding.get_mut(&ssn) {
+                        s.fully_sacked = true;
+                    }
+                }
+            }
+        }
+        let mut newly_acked = 0u64;
+        // Cumulative ack: drop fully acked segments.
+        if ack > self.snd_una {
+            let acked: Vec<u64> = self
+                .outstanding
+                .range(..ack)
+                .filter(|(_, s)| s.ssn + s.len <= ack)
+                .map(|(&ssn, _)| ssn)
+                .collect();
+            for ssn in acked {
+                self.pipe_remove(ssn);
+                let seg_info = self.outstanding.remove(&ssn).expect("listed");
+                newly_acked += seg_info.len;
+                if !seg_info.syn && !seg_info.payload.is_empty() {
+                    outcome
+                        .acked_dsns
+                        .push((seg_info.dsn, seg_info.payload.len() as u64));
+                }
+                if seg_info.data_fin {
+                    outcome.acked_dsns.push((seg_info.dsn, 1));
+                }
+            }
+            self.snd_una = ack;
+            self.sacked.remove_below(ack);
+            self.rto_backoff = 0;
+            // Restart the retransmission timer on forward progress.
+            self.rto_reference = if self.outstanding.is_empty() {
+                None
+            } else {
+                Some(now)
+            };
+            if self.pf {
+                // Forward progress clears potentially-failed (Linux pf).
+                self.pf = false;
+            }
+            // Exit recovery once the episode's data is acked; a *partial*
+            // ACK during recovery means the next hole starts at the new
+            // snd_una — retransmit it immediately (NewReno, RFC 6582).
+            // Without this every hole after an RTO costs a full RTO.
+            match self.recovery_until {
+                Some(r) if ack >= r => self.recovery_until = None,
+                Some(_) => {
+                    let srtt = self.rtt.srtt();
+                    if let Some((&ssn, seg)) = self.outstanding.iter().next() {
+                        // Retransmit the new hole head at most once per
+                        // RTT (it may already be in flight from go-back
+                        // recovery or an earlier partial ack).
+                        let recently_sent = seg.time_sent + srtt > now;
+                        if ssn == self.snd_una
+                            && !self.rtx_queue.contains(&ssn)
+                            && !recently_sent
+                        {
+                            self.pipe_remove(ssn);
+                            if let Some(seg) = self.outstanding.get_mut(&ssn) {
+                                seg.marked_lost = true;
+                            }
+                            self.rtx_queue.push_back(ssn);
+                        }
+                    }
+                }
+                None => {}
+            }
+        }
+        // RTT: sample the one timed segment when the cumulative ack
+        // first covers it (Karn: timing was voided if it or anything
+        // before it was retransmitted).
+        if let Some((end, sent_at)) = self.timed {
+            if ack >= end {
+                self.rtt.on_sample(sent_at, now);
+                self.timed = None;
+            }
+        }
+        // SYN-ACK gives the handshake sample (never retransmitted path).
+        if self.state == SubflowState::SynSent {
+            // handled in the SYN-ACK branch of on_segment via timed SYN
+        }
+        if newly_acked > 0 {
+            outcome.newly_acked = newly_acked;
+            // The window is frozen during loss recovery (standard fast
+            // recovery: cwnd stays at its post-decrease value until the
+            // episode's data is fully acknowledged).
+            if self.recovery_until.is_none() {
+                let rtt = self.rtt.srtt();
+                self.cc.on_ack(now, newly_acked, rtt, snapshots, self_index);
+            }
+        }
+        // SACK-based loss detection (RFC 6675-lite): a segment is lost
+        // when data ≥ 3·MSS beyond it has been SACKed.
+        let highest_sacked = self.sacked.max();
+        if let Some(high) = highest_sacked {
+            let threshold = 3 * 1400u64;
+            // A retransmission that is itself lost becomes re-markable
+            // once it has been outstanding longer than the loss window
+            // (otherwise it could only ever be recovered by an RTO).
+            let stale = self.rtt.srtt() + self.rtt.srtt() / 4;
+            let lost: Vec<u64> = self
+                .outstanding
+                .values()
+                .filter(|s| {
+                    !s.marked_lost
+                        && (!s.retransmitted || s.time_sent + stale <= now)
+                        && s.ssn + s.len <= high.saturating_sub(threshold)
+                        && !self.sacked.contains(s.ssn)
+                })
+                .map(|s| s.ssn)
+                .collect();
+            if !lost.is_empty() {
+                // At most one multiplicative decrease per RTT (losses
+                // detected within the same flight belong to one event,
+                // but persistent overflow across rounds keeps halving).
+                let decrease_due = self
+                    .last_decrease
+                    .is_none_or(|t| t + self.rtt.srtt() <= now);
+                if decrease_due {
+                    self.cc.on_congestion_event(now);
+                    self.last_decrease = Some(now);
+                }
+                if self.recovery_until.is_none() {
+                    self.recovery_until = Some(self.snd_nxt);
+                }
+                for ssn in lost {
+                    if !self.rtx_queue.contains(&ssn) {
+                        self.pipe_remove(ssn);
+                        if let Some(seg) = self.outstanding.get_mut(&ssn) {
+                            seg.marked_lost = true;
+                        }
+                        self.rtx_queue.push_back(ssn);
+                        outcome.fast_retransmits += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Earliest pending timer (RTO or delayed ACK).
+    pub fn next_timeout(&self) -> Option<SimTime> {
+        let mut earliest: Option<SimTime> = None;
+        if let Some(rto_at) = self.rto_deadline() {
+            earliest = Some(rto_at);
+        }
+        if let Some(d) = self.ack_deadline {
+            earliest = Some(earliest.map_or(d, |e| e.min(d)));
+        }
+        earliest
+    }
+
+    fn rto_deadline(&self) -> Option<SimTime> {
+        if !self
+            .outstanding
+            .values()
+            .any(|s| !self.is_fully_sacked(s))
+        {
+            return None;
+        }
+        let reference = self.rto_reference?;
+        let base = if self
+            .outstanding
+            .values()
+            .any(|s| s.syn && !self.is_fully_sacked(s))
+        {
+            SYN_RTO.max(self.rtt.rto())
+        } else {
+            self.rtt.rto()
+        };
+        let backoff = 1u32 << self.rto_backoff.min(10);
+        Some(reference + base * backoff)
+    }
+
+    /// Fires due timers. Returns the dsn ranges of **all** outstanding
+    /// data on this subflow when an RTO fired — the stack reinjects them
+    /// on other subflows (Linux MPTCP empties the failed subflow's queue
+    /// into the meta reinjection queue on RTO).
+    pub fn on_timeout(&mut self, now: SimTime) -> Vec<(u64, u64)> {
+        if self.ack_deadline.is_some_and(|d| d <= now) {
+            self.ack_now = true;
+            self.ack_deadline = None;
+        }
+        let rto_due = self.rto_deadline().is_some_and(|d| d <= now);
+        if !rto_due {
+            return Vec::new();
+        }
+        self.stats.rtos += 1;
+        self.rto_backoff += 1;
+        self.pf = true;
+        self.rto_reference = Some(now);
+        self.cc.on_rto(now);
+        // The RTO opens a recovery episode: partial ACKs retransmit the
+        // next hole immediately instead of waiting out further RTOs.
+        self.recovery_until = Some(self.snd_nxt);
+        // The RTO invalidates the scoreboard: every un-SACKed outstanding
+        // segment is considered lost and queued for (ACK-clocked,
+        // cwnd-gated) retransmission in sequence order — classic go-back
+        // recovery. Marking them lost removes them from the pipe so the
+        // collapsed window can clock the retransmissions out.
+        let lost: Vec<u64> = self
+            .outstanding
+            .values()
+            .filter(|s| !self.is_fully_sacked(s) && !s.marked_lost)
+            .map(|s| s.ssn)
+            .collect();
+        for ssn in lost {
+            self.pipe_remove(ssn);
+            if let Some(seg) = self.outstanding.get_mut(&ssn) {
+                seg.marked_lost = true;
+            }
+            if !self.rtx_queue.contains(&ssn) {
+                self.rtx_queue.push_back(ssn);
+            }
+        }
+        self.rtx_queue.make_contiguous().sort_unstable();
+        // ... and surrender every outstanding mapping for reinjection.
+        self.outstanding
+            .values()
+            .filter(|s| !s.syn && !s.payload.is_empty())
+            .map(|s| (s.dsn, s.payload.len() as u64))
+            .collect()
+    }
+
+    /// Snapshot for coupled congestion control.
+    pub fn snapshot(&self) -> PathSnapshot {
+        PathSnapshot {
+            cwnd: self.cc.window(),
+            srtt: self.rtt.srtt(),
+            loss_interval_bytes: self.cc.loss_interval_bytes(),
+        }
+    }
+
+    /// Applies an ORP penalization: halve the window, at most once per
+    /// smoothed RTT (the Linux rate limit).
+    pub fn penalize(&mut self, now: SimTime) -> bool {
+        let min_gap = self.rtt.srtt();
+        if self
+            .last_penalized
+            .is_some_and(|t| now.saturating_duration_since(t) < min_gap)
+        {
+            return false;
+        }
+        self.last_penalized = Some(now);
+        self.cc.on_congestion_event(now);
+        true
+    }
+
+    /// True when this subflow has nothing left in flight.
+    pub fn is_idle(&self) -> bool {
+        self.outstanding.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpquic_cc::CcAlgorithm;
+
+    const MSS: u64 = 1330;
+
+    fn subflow() -> Subflow {
+        Subflow::new(
+            0,
+            "10.0.0.1:1000".parse().unwrap(),
+            "10.0.1.1:2000".parse().unwrap(),
+            CcAlgorithm::Cubic.build(MSS),
+            Duration::from_millis(100),
+        )
+    }
+
+    fn established_sender() -> Subflow {
+        let mut sf = subflow();
+        sf.state = SubflowState::Established;
+        sf.snd_una = 1;
+        sf.snd_nxt = 1;
+        sf.rcv_nxt = 1;
+        sf
+    }
+
+    fn data_seg(sf: &mut Subflow, now_ms: u64, len: usize, dsn: u64) -> Segment {
+        sf.send_data(
+            SimTime::from_millis(now_ms),
+            Bytes::from(vec![7u8; len]),
+            dsn,
+            false,
+            0,
+            1 << 20,
+        )
+    }
+
+    fn ack_seg(ack: u64, sack: Vec<(u64, u64)>) -> Segment {
+        let mut seg = Segment::new(0, ack, flags::ACK);
+        seg.window = 1 << 20;
+        seg.sack = sack;
+        seg
+    }
+
+    #[test]
+    fn syn_handshake_state_machine() {
+        let mut client = subflow();
+        client.connect(None);
+        assert_eq!(client.state, SubflowState::SynSent);
+        let syn = client
+            .poll_control(SimTime::ZERO, 0, 1 << 20, true)
+            .expect("SYN emitted");
+        assert!(syn.is_syn());
+        assert!(syn.mptcp.mp_capable);
+
+        let mut server = subflow();
+        let out = server.on_segment(SimTime::from_millis(10), &syn, &[], 0, true);
+        assert!(!out.established);
+        assert_eq!(server.state, SubflowState::SynRcvd);
+        let synack = server
+            .poll_control(SimTime::from_millis(10), 0, 1 << 20, true)
+            .expect("SYN-ACK");
+        assert!(synack.is_syn());
+        assert_eq!(synack.ack, 1);
+
+        let out = client.on_segment(SimTime::from_millis(20), &synack, &[], 0, true);
+        assert!(out.established);
+        assert_eq!(client.state, SubflowState::Established);
+        // Client completes with a pure ACK.
+        let ack = client
+            .poll_control(SimTime::from_millis(20), 0, 1 << 20, true)
+            .expect("final ACK");
+        assert_eq!(ack.flags & flags::ACK, flags::ACK);
+        let out = server.on_segment(SimTime::from_millis(30), &ack, &[], 0, true);
+        assert!(out.established);
+    }
+
+    #[test]
+    fn syn_retransmits_after_syn_rto() {
+        let mut client = subflow();
+        client.connect(None);
+        let _syn = client.poll_control(SimTime::ZERO, 0, 1 << 20, true).unwrap();
+        let deadline = client.next_timeout().expect("SYN RTO armed");
+        assert!(deadline >= SimTime::from_millis(1000), "Linux SYN RTO is 1 s");
+        client.on_timeout(deadline);
+        let retx = client
+            .poll_control(deadline, 0, 1 << 20, true)
+            .expect("SYN retransmission");
+        assert!(retx.is_syn());
+        assert!(retx.mptcp.mp_capable, "options preserved on retransmit");
+    }
+
+    #[test]
+    fn sack_blocks_report_three_newest_ooo_ranges() {
+        let mut sf = established_sender();
+        // Receive 5 disjoint out-of-order blocks above rcv_nxt = 1.
+        for i in 0..5u64 {
+            let mut seg = Segment::new(100 + i * 100, 0, flags::ACK);
+            seg.payload = Bytes::from(vec![1u8; 10]);
+            seg.mptcp.dss = Some(DssOption { dsn: 0, data_ack: 0, data_fin: false });
+            sf.on_segment(SimTime::from_millis(i), &seg, &[], 0, true);
+        }
+        let ack = sf
+            .poll_control(SimTime::from_millis(10), 0, 1 << 20, true)
+            .expect("dupack due");
+        assert_eq!(ack.sack.len(), MAX_SACK_BLOCKS);
+        // Highest blocks reported first.
+        assert_eq!(ack.sack[0], (500, 510));
+        assert_eq!(ack.sack[1], (400, 410));
+        assert_eq!(ack.sack[2], (300, 310));
+    }
+
+    #[test]
+    fn fast_retransmit_on_sack_hole() {
+        let mut sf = established_sender();
+        // Send 6 segments; the first is "lost".
+        for i in 0..6 {
+            data_seg(&mut sf, i, MSS as usize, i * MSS);
+        }
+        assert_eq!(sf.bytes_in_flight(), 6 * MSS);
+        // Peer SACKs segments 2..6 (ssn 1+MSS .. 1+6*MSS) but not the first.
+        let out = sf.on_segment(
+            SimTime::from_millis(50),
+            &ack_seg(1, vec![(1 + MSS, 1 + 6 * MSS)]),
+            &[],
+            0,
+            true,
+        );
+        assert!(out.fast_retransmits > 0, "hole must be marked lost");
+        assert!(sf.has_rtx());
+        // The marked segment left the pipe.
+        assert!(sf.bytes_in_flight() < 6 * MSS);
+        let retx = sf
+            .poll_control(SimTime::from_millis(50), 0, 1 << 20, true)
+            .expect("retransmission");
+        assert_eq!(retx.seq, 1);
+        assert_eq!(retx.payload.len(), MSS as usize);
+    }
+
+    #[test]
+    fn karn_discards_timing_of_retransmitted_range() {
+        let mut sf = established_sender();
+        data_seg(&mut sf, 0, 100, 0);
+        assert!(!sf.rtt.has_sample());
+        // Force an RTO and retransmit.
+        let deadline = sf.next_timeout().unwrap();
+        let _ = sf.on_timeout(deadline);
+        let _ = sf.poll_control(deadline, 0, 1 << 20, true);
+        // The (late) cumulative ack must NOT produce an RTT sample.
+        sf.on_segment(
+            deadline + Duration::from_millis(400),
+            &ack_seg(101, vec![]),
+            &[],
+            0,
+            true,
+        );
+        assert!(!sf.rtt.has_sample(), "Karn: no samples from retransmitted data");
+    }
+
+    #[test]
+    fn rto_marks_pf_and_surrenders_mappings() {
+        let mut sf = established_sender();
+        data_seg(&mut sf, 0, 500, 1000);
+        data_seg(&mut sf, 1, 500, 1500);
+        let deadline = sf.next_timeout().unwrap();
+        let stalled = sf.on_timeout(deadline);
+        assert!(sf.pf);
+        assert_eq!(stalled, vec![(1000, 500), (1500, 500)]);
+        assert_eq!(sf.stats.rtos, 1);
+        // Progress clears pf.
+        sf.on_segment(deadline + Duration::from_millis(10), &ack_seg(501, vec![]), &[], 0, true);
+        assert!(!sf.pf);
+    }
+
+    #[test]
+    fn penalize_rate_limited_to_once_per_rtt() {
+        let mut sf = established_sender();
+        sf.rtt.on_sample(SimTime::ZERO, SimTime::from_millis(50));
+        let w0 = sf.cc.window();
+        assert!(sf.penalize(SimTime::from_millis(100)));
+        assert!(sf.cc.window() < w0);
+        let w1 = sf.cc.window();
+        // Within one srtt: refused.
+        assert!(!sf.penalize(SimTime::from_millis(120)));
+        assert_eq!(sf.cc.window(), w1);
+        // After an srtt: allowed again.
+        assert!(sf.penalize(SimTime::from_millis(160)));
+    }
+
+    #[test]
+    fn carries_dsn_checks_outstanding_mappings() {
+        let mut sf = established_sender();
+        data_seg(&mut sf, 0, 500, 7000);
+        assert!(sf.carries_dsn(7000));
+        assert!(sf.carries_dsn(7499));
+        assert!(!sf.carries_dsn(7500));
+        assert!(!sf.carries_dsn(6999));
+        sf.on_segment(SimTime::from_millis(10), &ack_seg(501, vec![]), &[], 0, true);
+        assert!(!sf.carries_dsn(7000), "acked segments leave the map");
+    }
+
+    #[test]
+    fn delayed_ack_timer_forces_pure_ack() {
+        let mut sf = established_sender();
+        let mut seg = Segment::new(1, 0, flags::ACK);
+        seg.payload = Bytes::from(vec![1u8; 10]);
+        seg.mptcp.dss = Some(DssOption { dsn: 0, data_ack: 0, data_fin: false });
+        sf.on_segment(SimTime::ZERO, &seg, &[], 0, true);
+        // One in-order segment: no immediate ack, timer armed at +40 ms.
+        assert!(sf.poll_control(SimTime::from_millis(1), 0, 1 << 20, true).is_none());
+        let deadline = sf.next_timeout().expect("delack armed");
+        assert_eq!(deadline, SimTime::ZERO + DELACK);
+        sf.on_timeout(deadline);
+        let ack = sf.poll_control(deadline, 0, 1 << 20, true).expect("pure ack");
+        assert_eq!(ack.ack, 11);
+        assert!(ack.payload.is_empty());
+    }
+}

@@ -1,0 +1,30 @@
+//! Shared utilities for the mpquic workspace.
+//!
+//! This crate hosts the small, dependency-free building blocks that every
+//! other crate in the workspace relies on:
+//!
+//! * [`time`] — a simulated clock ([`time::SimTime`]) with nanosecond
+//!   resolution. All protocol state machines in this workspace are sans-IO
+//!   and never read a wall clock; time is always passed in.
+//! * [`rng`] — a deterministic, seedable random number generator
+//!   ([`rng::DetRng`], xoshiro256**). Every experiment derives all its
+//!   randomness from one seed, making simulations bit-for-bit reproducible.
+//! * [`varint`] — QUIC-style variable-length integer encoding used by the
+//!   wire format.
+//! * [`ranges`] — a compact set of `u64` ranges, used for ACK ranges and
+//!   stream reassembly bookkeeping.
+//! * [`stats`] — the statistics the paper's figures report: CDFs, medians,
+//!   percentiles and box-plot five-number summaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ranges;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod varint;
+
+pub use ranges::RangeSet;
+pub use rng::DetRng;
+pub use time::SimTime;

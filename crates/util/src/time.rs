@@ -1,0 +1,185 @@
+//! Simulated time.
+//!
+//! The whole workspace is driven by a discrete-event simulator, so protocol
+//! code never consults a wall clock. [`SimTime`] is an absolute instant on
+//! the simulated time line (nanoseconds since simulation start) and
+//! `std::time::Duration` is used for spans, mirroring the
+//! `Instant`/`Duration` idiom of real-time Rust networking code.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// An absolute instant of simulated time, in nanoseconds since the start of
+/// the simulation.
+///
+/// `SimTime` is `Copy`, totally ordered and cheap to compare, like
+/// `std::time::Instant`, but it can also be formatted and serialized since
+/// simulations must be reproducible and debuggable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation origin (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time later than any time a simulation will reach; used as the
+    /// "no timeout armed" sentinel in `min()` reductions.
+    pub const FAR_FUTURE: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw nanoseconds since the simulation origin.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Creates a time from microseconds since the simulation origin.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros * 1_000)
+    }
+
+    /// Creates a time from milliseconds since the simulation origin.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Creates a time from whole seconds since the simulation origin.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the simulation origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds since the simulation origin (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds since the simulation origin (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds since the simulation origin, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is
+    /// actually later (which can happen when comparing events scheduled
+    /// at the same instant).
+    pub fn saturating_duration_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// `self + d`, saturating at [`SimTime::FAR_FUTURE`].
+    pub fn saturating_add(self, d: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(duration_to_nanos(d)))
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+/// Converts a `Duration` to nanoseconds, saturating at `u64::MAX` (a span of
+/// ~584 years, far beyond any simulation horizon).
+fn duration_to_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.saturating_duration_since(rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == SimTime::FAR_FUTURE {
+            return write!(f, "t=∞");
+        }
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_millis(1500).as_micros(), 1_500_000);
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2000);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(20);
+        assert!(a < b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(SimTime::FAR_FUTURE.min(b), b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(10);
+        let b = a + Duration::from_millis(5);
+        assert_eq!(b.as_millis(), 15);
+        assert_eq!(b - a, Duration::from_millis(5));
+        // Saturating subtraction: earlier - later == 0.
+        assert_eq!(a - b, Duration::ZERO);
+    }
+
+    #[test]
+    fn far_future_saturates() {
+        let t = SimTime::FAR_FUTURE + Duration::from_secs(1);
+        assert_eq!(t, SimTime::FAR_FUTURE);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", SimTime::from_millis(1500)), "t=1.500000s");
+        assert_eq!(format!("{:?}", SimTime::FAR_FUTURE), "t=∞");
+    }
+}

@@ -1,0 +1,174 @@
+//! QUIC variable-length integer encoding (RFC 9000 §16).
+//!
+//! The two most significant bits of the first byte select the length of the
+//! encoding (1, 2, 4 or 8 bytes); the remaining bits carry the value in
+//! network byte order. The largest representable value is `2^62 - 1`.
+
+use bytes::{Buf, BufMut};
+
+/// Largest value representable as a QUIC varint (`2^62 - 1`).
+pub const MAX_VARINT: u64 = (1 << 62) - 1;
+
+/// Error returned when decoding fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarintError {
+    /// The buffer ended before the full encoding was available.
+    UnexpectedEnd,
+    /// A value too large to encode was passed to [`encode_varint`].
+    ValueTooLarge,
+}
+
+impl std::fmt::Display for VarintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VarintError::UnexpectedEnd => write!(f, "buffer ended inside a varint"),
+            VarintError::ValueTooLarge => write!(f, "value exceeds 2^62 - 1"),
+        }
+    }
+}
+
+impl std::error::Error for VarintError {}
+
+/// Number of bytes the varint encoding of `value` occupies (1, 2, 4 or 8).
+///
+/// Panics if `value > MAX_VARINT`.
+pub fn varint_size(value: u64) -> usize {
+    if value < (1 << 6) {
+        1
+    } else if value < (1 << 14) {
+        2
+    } else if value < (1 << 30) {
+        4
+    } else if value <= MAX_VARINT {
+        8
+    } else {
+        panic!("varint value out of range: {value}")
+    }
+}
+
+/// Encodes `value` into `buf` using the minimal-length encoding.
+pub fn encode_varint<B: BufMut>(buf: &mut B, value: u64) -> Result<(), VarintError> {
+    if value < (1 << 6) {
+        buf.put_u8(value as u8);
+    } else if value < (1 << 14) {
+        buf.put_u16(0b01 << 14 | value as u16);
+    } else if value < (1 << 30) {
+        buf.put_u32(0b10 << 30 | value as u32);
+    } else if value <= MAX_VARINT {
+        buf.put_u64(0b11 << 62 | value);
+    } else {
+        return Err(VarintError::ValueTooLarge);
+    }
+    Ok(())
+}
+
+/// Decodes a varint from the front of `buf`, advancing it.
+pub fn decode_varint<B: Buf>(buf: &mut B) -> Result<u64, VarintError> {
+    if buf.remaining() < 1 {
+        return Err(VarintError::UnexpectedEnd);
+    }
+    let first = buf.chunk()[0];
+    let len = 1usize << (first >> 6);
+    if buf.remaining() < len {
+        return Err(VarintError::UnexpectedEnd);
+    }
+    Ok(match len {
+        1 => u64::from(buf.get_u8()),
+        2 => u64::from(buf.get_u16() & 0x3FFF),
+        4 => u64::from(buf.get_u32() & 0x3FFF_FFFF),
+        8 => buf.get_u64() & 0x3FFF_FFFF_FFFF_FFFF,
+        _ => unreachable!(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use proptest::prelude::*;
+
+    fn round_trip(value: u64) -> (u64, usize) {
+        let mut buf = BytesMut::new();
+        encode_varint(&mut buf, value).unwrap();
+        let written = buf.len();
+        let mut read = buf.freeze();
+        let decoded = decode_varint(&mut read).unwrap();
+        assert_eq!(read.remaining(), 0);
+        (decoded, written)
+    }
+
+    #[test]
+    fn rfc9000_appendix_a_examples() {
+        // Examples from RFC 9000 Appendix A.1.
+        let cases: &[(&[u8], u64)] = &[
+            (&[0xc2, 0x19, 0x7c, 0x5e, 0xff, 0x14, 0xe8, 0x8c], 151_288_809_941_952_652),
+            (&[0x9d, 0x7f, 0x3e, 0x7d], 494_878_333),
+            (&[0x7b, 0xbd], 15_293),
+            (&[0x25], 37),
+        ];
+        for (bytes, expected) in cases {
+            let mut buf = *bytes;
+            assert_eq!(decode_varint(&mut buf).unwrap(), *expected);
+        }
+    }
+
+    #[test]
+    fn boundary_sizes() {
+        assert_eq!(round_trip(0), (0, 1));
+        assert_eq!(round_trip(63), (63, 1));
+        assert_eq!(round_trip(64), (64, 2));
+        assert_eq!(round_trip(16_383), (16_383, 2));
+        assert_eq!(round_trip(16_384), (16_384, 4));
+        assert_eq!(round_trip((1 << 30) - 1), ((1 << 30) - 1, 4));
+        assert_eq!(round_trip(1 << 30), (1 << 30, 8));
+        assert_eq!(round_trip(MAX_VARINT), (MAX_VARINT, 8));
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let mut buf = BytesMut::new();
+        assert_eq!(
+            encode_varint(&mut buf, MAX_VARINT + 1),
+            Err(VarintError::ValueTooLarge)
+        );
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        // 4-byte encoding with only 2 bytes present.
+        let mut buf: &[u8] = &[0x9d, 0x7f];
+        assert_eq!(decode_varint(&mut buf), Err(VarintError::UnexpectedEnd));
+        let mut empty: &[u8] = &[];
+        assert_eq!(decode_varint(&mut empty), Err(VarintError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn size_matches_encoding() {
+        for v in [0, 1, 63, 64, 1000, 16_383, 16_384, 1 << 29, 1 << 30, MAX_VARINT] {
+            let mut buf = BytesMut::new();
+            encode_varint(&mut buf, v).unwrap();
+            assert_eq!(buf.len(), varint_size(v), "value {v}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(value in 0u64..=MAX_VARINT) {
+            let (decoded, _) = round_trip(value);
+            prop_assert_eq!(decoded, value);
+        }
+
+        #[test]
+        fn prop_decoding_consumes_exactly_declared_length(value in 0u64..=MAX_VARINT, trailer in proptest::collection::vec(any::<u8>(), 0..8)) {
+            let mut buf = BytesMut::new();
+            encode_varint(&mut buf, value).unwrap();
+            let encoded_len = buf.len();
+            buf.extend_from_slice(&trailer);
+            let mut read = buf.freeze();
+            let before = read.remaining();
+            let decoded = decode_varint(&mut read).unwrap();
+            prop_assert_eq!(decoded, value);
+            prop_assert_eq!(before - read.remaining(), encoded_len);
+        }
+    }
+}

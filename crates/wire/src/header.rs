@@ -1,0 +1,271 @@
+//! The unencrypted public header.
+//!
+//! Every MPQUIC packet starts with a public header that middleboxes can
+//! observe: flags, the Connection ID, the explicit Path ID and the per-path
+//! packet number. The paper's design makes the Path ID *explicit* here
+//! (rather than inferring paths from packet-number ranges) so that
+//! middleboxes that drop "old" packet numbers cannot break the slower path,
+//! and so that per-path state survives NAT rebinding.
+
+use bytes::{Buf, BufMut};
+use mpquic_util::varint::{decode_varint, encode_varint, varint_size};
+
+use crate::WireError;
+
+/// Identifier of one path within a connection.
+///
+/// Path 0 is the initial path (where the cryptographic handshake runs).
+/// Client-initiated paths are odd, server-initiated paths are even, so the
+/// two hosts can open paths without colliding (paper §3, *Path
+/// Management*).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+    serde::Serialize, serde::Deserialize,
+)]
+pub struct PathId(pub u32);
+
+impl PathId {
+    /// The initial path, created implicitly by the handshake.
+    pub const INITIAL: PathId = PathId(0);
+
+    /// True if this path may be initiated by the client (odd IDs and 0).
+    pub fn client_initiated(self) -> bool {
+        self == PathId::INITIAL || self.0 % 2 == 1
+    }
+
+    /// True if this path may be initiated by the server (even IDs except 0).
+    pub fn server_initiated(self) -> bool {
+        self != PathId::INITIAL && self.0.is_multiple_of(2)
+    }
+}
+
+impl std::fmt::Display for PathId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "path#{}", self.0)
+    }
+}
+
+/// Coarse packet type carried in the flags byte.
+///
+/// gQUIC ran the handshake over a dedicated crypto stream in regular-looking
+/// packets; we distinguish handshake from application packets with a flag so
+/// the receiving endpoint knows which keys to try, mirroring how real QUIC
+/// separates Initial/Handshake/1-RTT spaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PacketType {
+    /// Carries handshake (crypto) frames; protected with initial keys.
+    Handshake,
+    /// Carries application data; protected with the 1-RTT keys.
+    OneRtt,
+}
+
+/// Flag bit: packet type (0 = Handshake, 1 = OneRtt).
+const FLAG_ONE_RTT: u8 = 0b0000_0001;
+/// Flag bit: a non-zero Path ID field follows the CID (multipath packet).
+const FLAG_HAS_PATH_ID: u8 = 0b0000_0010;
+/// Fixed bit that must always be set (detects garbage early).
+const FLAG_FIXED: u8 = 0b0100_0000;
+/// Mask of bits that must be zero.
+const FLAG_RESERVED_MASK: u8 = 0b1011_1100;
+
+/// The unencrypted public header of an MPQUIC packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublicHeader {
+    /// Connection ID: identifies the connection regardless of 4-tuple, so
+    /// paths can be added or rebound without losing connection state.
+    pub connection_id: u64,
+    /// The path this packet was sent on.
+    pub path_id: PathId,
+    /// Per-path monotonically increasing packet number.
+    pub packet_number: u64,
+    /// Handshake or application packet.
+    pub packet_type: PacketType,
+}
+
+impl PublicHeader {
+    /// Encodes the header into `buf`.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        let mut flags = FLAG_FIXED;
+        if self.packet_type == PacketType::OneRtt {
+            flags |= FLAG_ONE_RTT;
+        }
+        if self.path_id != PathId::INITIAL {
+            flags |= FLAG_HAS_PATH_ID;
+        }
+        buf.put_u8(flags);
+        buf.put_u64(self.connection_id);
+        if self.path_id != PathId::INITIAL {
+            encode_varint(buf, u64::from(self.path_id.0)).expect("path id fits varint");
+        }
+        encode_varint(buf, self.packet_number).expect("packet number fits varint");
+    }
+
+    /// Decodes a header from the front of `buf`.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<PublicHeader, WireError> {
+        if buf.remaining() < 1 {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let flags = buf.get_u8();
+        if flags & FLAG_FIXED == 0 || flags & FLAG_RESERVED_MASK != 0 {
+            return Err(WireError::UnknownPacketType(flags));
+        }
+        if buf.remaining() < 8 {
+            return Err(WireError::UnexpectedEnd);
+        }
+        let connection_id = buf.get_u64();
+        let path_id = if flags & FLAG_HAS_PATH_ID != 0 {
+            let raw = decode_varint(buf)?;
+            let id = u32::try_from(raw).map_err(|_| WireError::LimitExceeded("path id"))?;
+            if id == 0 {
+                return Err(WireError::Invalid("explicit path id 0"));
+            }
+            PathId(id)
+        } else {
+            PathId::INITIAL
+        };
+        let packet_number = decode_varint(buf)?;
+        let packet_type = if flags & FLAG_ONE_RTT != 0 {
+            PacketType::OneRtt
+        } else {
+            PacketType::Handshake
+        };
+        Ok(PublicHeader {
+            connection_id,
+            path_id,
+            packet_number,
+            packet_type,
+        })
+    }
+
+    /// Number of bytes [`PublicHeader::encode`] will write.
+    pub fn wire_size(&self) -> usize {
+        let mut size = 1 + 8 + varint_size(self.packet_number);
+        if self.path_id != PathId::INITIAL {
+            size += varint_size(u64::from(self.path_id.0));
+        }
+        size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+    use proptest::prelude::*;
+
+    fn round_trip(h: PublicHeader) -> PublicHeader {
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert_eq!(buf.len(), h.wire_size());
+        let mut read = buf.freeze();
+        let decoded = PublicHeader::decode(&mut read).unwrap();
+        assert_eq!(read.remaining(), 0);
+        decoded
+    }
+
+    #[test]
+    fn initial_path_omits_path_id() {
+        let h = PublicHeader {
+            connection_id: 0xDEAD_BEEF,
+            path_id: PathId::INITIAL,
+            packet_number: 1,
+            packet_type: PacketType::Handshake,
+        };
+        assert_eq!(round_trip(h), h);
+        // 1 flag + 8 cid + 1 pn
+        assert_eq!(h.wire_size(), 10);
+    }
+
+    #[test]
+    fn non_initial_path_includes_path_id() {
+        let h = PublicHeader {
+            connection_id: 7,
+            path_id: PathId(3),
+            packet_number: 100_000,
+            packet_type: PacketType::OneRtt,
+        };
+        assert_eq!(round_trip(h), h);
+        assert!(h.wire_size() > 10);
+    }
+
+    #[test]
+    fn odd_even_path_id_convention() {
+        assert!(PathId::INITIAL.client_initiated());
+        assert!(!PathId::INITIAL.server_initiated());
+        assert!(PathId(1).client_initiated());
+        assert!(PathId(3).client_initiated());
+        assert!(PathId(2).server_initiated());
+        assert!(!PathId(2).client_initiated());
+    }
+
+    #[test]
+    fn garbage_flags_rejected() {
+        // Missing fixed bit.
+        let mut buf: &[u8] = &[0x00, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert!(matches!(
+            PublicHeader::decode(&mut buf),
+            Err(WireError::UnknownPacketType(_))
+        ));
+        // Reserved bit set.
+        let mut buf2: &[u8] = &[0xC0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        assert!(matches!(
+            PublicHeader::decode(&mut buf2),
+            Err(WireError::UnknownPacketType(_))
+        ));
+    }
+
+    #[test]
+    fn explicit_zero_path_id_rejected() {
+        // Manually craft flags with HAS_PATH_ID and a zero varint path id.
+        let mut buf = BytesMut::new();
+        buf.put_u8(FLAG_FIXED | FLAG_HAS_PATH_ID | FLAG_ONE_RTT);
+        buf.put_u64(1);
+        buf.put_u8(0); // path id 0
+        buf.put_u8(5); // pn
+        let mut read = buf.freeze();
+        assert_eq!(
+            PublicHeader::decode(&mut read),
+            Err(WireError::Invalid("explicit path id 0"))
+        );
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let h = PublicHeader {
+            connection_id: 42,
+            path_id: PathId(5),
+            packet_number: 77,
+            packet_type: PacketType::OneRtt,
+        };
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut partial = &buf[..cut];
+            assert!(PublicHeader::decode(&mut partial).is_err(), "cut={cut}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_header_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let mut read = &bytes[..];
+            let _ = PublicHeader::decode(&mut read);
+        }
+
+        #[test]
+        fn prop_round_trip(
+            cid in any::<u64>(),
+            path in 0u32..10_000,
+            pn in 0u64..(1 << 62),
+            one_rtt in any::<bool>(),
+        ) {
+            let h = PublicHeader {
+                connection_id: cid,
+                path_id: PathId(path),
+                packet_number: pn,
+                packet_type: if one_rtt { PacketType::OneRtt } else { PacketType::Handshake },
+            };
+            prop_assert_eq!(round_trip(h), h);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Dual-stack (IPv4 + IPv6) aggregation — the paper's second motivating
+//! use case: "a growing fraction of hosts are dual-stack and the IPv4 and
+//! IPv6 paths between them often differ and have different performance."
+//!
+//! The connection starts over IPv4; the server advertises its IPv6
+//! address in an encrypted ADD_ADDRESS frame (no MPTCP-style cleartext
+//! ADD_ADDR security concerns), and the client opens a second path over
+//! IPv6 with data in its very first packet.
+//!
+//! Run with: `cargo run --release --example dualstack`
+
+use bytes::Bytes;
+use mpquic_core::{Config, Connection, Transmit};
+use mpquic_netsim::{Datagram, Endpoint, NetworkPlan, PathSpec, Simulation};
+use mpquic_util::SimTime;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+struct QuicEndpoint {
+    conn: Connection,
+}
+
+impl Endpoint for QuicEndpoint {
+    fn on_datagram(&mut self, now: SimTime, local: SocketAddr, remote: SocketAddr, payload: &[u8]) {
+        self.conn.handle_datagram(now, local, remote, payload);
+    }
+    fn poll_transmit(&mut self, now: SimTime) -> Option<Datagram> {
+        self.conn.poll_transmit(now).map(|t: Transmit| Datagram {
+            local: t.local,
+            remote: t.remote,
+            payload: t.payload,
+        })
+    }
+    fn next_timeout(&self) -> Option<SimTime> {
+        self.conn.next_timeout()
+    }
+    fn on_timeout(&mut self, now: SimTime) {
+        self.conn.on_timeout(now);
+    }
+}
+
+fn main() {
+    // Hand-built plan: path 0 is the IPv4 route, path 1 the IPv6 route
+    // (here: lower latency — e.g. native v6 vs a detouring v4 route).
+    let plan = NetworkPlan {
+        client_addrs: vec![
+            "203.0.113.7:40000".parse().unwrap(),
+            "[2001:db8:cafe::7]:40000".parse().unwrap(),
+        ],
+        server_addrs: vec![
+            "198.51.100.1:443".parse().unwrap(),
+            "[2001:db8:beef::1]:443".parse().unwrap(),
+        ],
+        paths: vec![
+            PathSpec::new(10.0, 70, 100, 0.0), // IPv4: 10 Mbps, 70 ms
+            PathSpec::new(10.0, 25, 100, 0.0), // IPv6: 10 Mbps, 25 ms
+        ],
+    };
+
+    let mut client = Connection::client(
+        Config::multipath(),
+        plan.client_addrs.clone(),
+        0, // dial over IPv4
+        plan.server_addrs[0],
+        0xD0A1,
+    );
+    let server = Connection::server(Config::multipath(), plan.server_addrs.clone(), 0xD0A2);
+
+    let stream = client.open_stream();
+    client
+        .stream_write(stream, Bytes::from(vec![6u8; 3 << 20]))
+        .expect("write");
+    client.stream_finish(stream);
+
+    let mut sim = Simulation::new(
+        QuicEndpoint { conn: client },
+        QuicEndpoint { conn: server },
+        plan,
+        3,
+    );
+    let done = sim.run_until(SimTime::ZERO + Duration::from_secs(60), |_c, s, _| {
+        while s.conn.stream_read(stream, usize::MAX).is_some() {}
+        s.conn.stream_is_finished(stream)
+    });
+    assert!(done);
+
+    println!("3 MB uploaded in {:.3}s over IPv4 + IPv6 simultaneously", sim.now().as_secs_f64());
+    for id in sim.a.conn.path_ids() {
+        let p = sim.a.conn.path(id).expect("listed");
+        let family = if p.local.is_ipv4() { "IPv4" } else { "IPv6" };
+        println!(
+            "  {id} ({family}): {} -> {} | {} bytes sent | srtt {:.1} ms",
+            p.local,
+            p.remote,
+            p.bytes_sent,
+            p.rtt.srtt().as_secs_f64() * 1e3
+        );
+    }
+    println!();
+    println!("the IPv6 path was advertised in an encrypted ADD_ADDRESS frame and came up");
+    println!("mid-connection — no second handshake, data in its first packet.");
+}

@@ -1,0 +1,84 @@
+//! Compare all four protocols on the same two-path network — the §4.1
+//! experiment for one hand-picked scenario.
+//!
+//! Usage:
+//! `cargo run --release --example file_transfer -- [size_mb] [cap0] [rtt0] [cap1] [rtt1] [loss_pct]`
+//!
+//! Defaults: 20 MB over a 15 Mbps/30 ms path and a 5 Mbps/80 ms path,
+//! no random loss.
+
+use mpquic_harness::{aggregation_benefit, run_file_transfer, Overrides, Protocol};
+use mpquic_netsim::PathSpec;
+use std::time::Duration;
+
+fn arg(n: usize, default: f64) -> f64 {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let size = (arg(1, 20.0) * 1024.0 * 1024.0) as usize;
+    let specs = [
+        PathSpec::new(arg(2, 15.0), arg(3, 30.0) as u64, 100, arg(6, 0.0)),
+        PathSpec::new(arg(4, 5.0), arg(5, 80.0) as u64, 100, arg(6, 0.0)),
+    ];
+    println!(
+        "downloading {:.1} MB over pathA {{{} Mbps, {} ms}} + pathB {{{} Mbps, {} ms}}, loss {:.1}%",
+        size as f64 / 1048576.0,
+        specs[0].capacity_mbps,
+        specs[0].rtt.as_millis(),
+        specs[1].capacity_mbps,
+        specs[1].rtt.as_millis(),
+        specs[0].loss_percent,
+    );
+    println!();
+    println!("{:<8} {:>12} {:>14} {:>10}", "protocol", "time [s]", "goodput [Mbps]", "complete");
+
+    let cap = Duration::from_secs(600);
+    let overrides = Overrides::default();
+    let mut singles = Vec::new();
+    let mut multis = Vec::new();
+    for protocol in Protocol::ALL {
+        let path_slice: &[PathSpec] = if protocol.is_multipath() {
+            &specs
+        } else {
+            &specs[..1]
+        };
+        let outcome = run_file_transfer(path_slice, protocol, size, 1, cap, &overrides);
+        println!(
+            "{:<8} {:>12.3} {:>14.2} {:>10}",
+            protocol.name(),
+            outcome.duration_secs,
+            outcome.goodput * 8.0 / 1e6,
+            outcome.completed,
+        );
+        if protocol.is_multipath() {
+            multis.push((protocol, outcome));
+        } else {
+            singles.push((protocol, outcome));
+        }
+    }
+
+    // Aggregation benefit needs the single-path goodput on *each* path.
+    println!();
+    for (multi_proto, single_proto) in [(Protocol::Mpquic, Protocol::Quic), (Protocol::Mptcp, Protocol::Tcp)] {
+        let g0 = run_file_transfer(&specs[..1], single_proto, size, 1, cap, &overrides).goodput;
+        let g1 = run_file_transfer(&specs[1..], single_proto, size, 1, cap, &overrides).goodput;
+        let gm = multis
+            .iter()
+            .find(|(p, _)| *p == multi_proto)
+            .map(|(_, o)| o.goodput)
+            .expect("ran above");
+        println!(
+            "experimental aggregation benefit {} vs {}: {:+.3}  (multi {:.2} Mbps, singles {:.2} / {:.2})",
+            multi_proto.name(),
+            single_proto.name(),
+            aggregation_benefit(gm, &[g0, g1]),
+            gm * 8.0 / 1e6,
+            g0 * 8.0 / 1e6,
+            g1 * 8.0 / 1e6,
+        );
+    }
+}
