@@ -7,9 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mpquic_core::SchedulerKind;
-use mpquic_harness::{
-    run_file_transfer, run_handover, HandoverConfig, Overrides, Protocol,
-};
+use mpquic_harness::{run_file_transfer, run_handover, HandoverConfig, Overrides, Protocol};
 use mpquic_netsim::PathSpec;
 use std::hint::black_box;
 use std::time::Duration;
@@ -29,7 +27,10 @@ fn bench_scheduler_ablation(c: &mut Criterion) {
     group.sample_size(10);
     for (name, kind) in [
         ("lowest_rtt_duplicate", SchedulerKind::LowestRtt),
-        ("lowest_rtt_no_duplicate", SchedulerKind::LowestRttNoDuplicate),
+        (
+            "lowest_rtt_no_duplicate",
+            SchedulerKind::LowestRttNoDuplicate,
+        ),
         ("round_robin", SchedulerKind::RoundRobin),
     ] {
         group.bench_function(name, |b| {
@@ -56,7 +57,10 @@ fn bench_scheduler_ablation(c: &mut Criterion) {
 fn bench_window_update_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablate_wupdate");
     group.sample_size(10);
-    for (name, dup) in [("duplicated_on_all_paths", true), ("single_path_only", false)] {
+    for (name, dup) in [
+        ("duplicated_on_all_paths", true),
+        ("single_path_only", false),
+    ] {
         group.bench_function(name, |b| {
             let overrides = Overrides {
                 duplicate_window_updates: Some(dup),
@@ -163,7 +167,10 @@ fn bench_ack_ranges_ablation(c: &mut Criterion) {
     // on a lossy path.
     let mut group = c.benchmark_group("ablate_ack_ranges");
     group.sample_size(10);
-    for (name, ranges) in [("quic_256_ranges", 256usize), ("quic_3_ranges_like_sack", 3)] {
+    for (name, ranges) in [
+        ("quic_256_ranges", 256usize),
+        ("quic_3_ranges_like_sack", 3),
+    ] {
         group.bench_function(name, |b| {
             let overrides = Overrides {
                 quic_ack_ranges: Some(ranges),
@@ -171,14 +178,8 @@ fn bench_ack_ranges_ablation(c: &mut Criterion) {
             };
             let lossy = [PathSpec::new(10.0, 100, 50, 2.5)];
             b.iter(|| {
-                let outcome = run_file_transfer(
-                    &lossy,
-                    Protocol::Quic,
-                    SIZE,
-                    3,
-                    CAP,
-                    black_box(&overrides),
-                );
+                let outcome =
+                    run_file_transfer(&lossy, Protocol::Quic, SIZE, 3, CAP, black_box(&overrides));
                 black_box(outcome.duration_secs)
             })
         });

@@ -28,10 +28,26 @@ fn bench_ratio_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures_ratio_cdf");
     group.sample_size(10);
     for (name, class, size) in [
-        ("fig3_low_bdp_no_loss_20mb", ExperimentClass::LowBdpNoLoss, SCALED_LARGE),
-        ("fig5_low_bdp_losses_20mb", ExperimentClass::LowBdpLosses, SCALED_LARGE),
-        ("fig8_high_bdp_losses_20mb", ExperimentClass::HighBdpLosses, SCALED_LARGE),
-        ("fig9_low_bdp_no_loss_256kb", ExperimentClass::LowBdpNoLoss, SHORT),
+        (
+            "fig3_low_bdp_no_loss_20mb",
+            ExperimentClass::LowBdpNoLoss,
+            SCALED_LARGE,
+        ),
+        (
+            "fig5_low_bdp_losses_20mb",
+            ExperimentClass::LowBdpLosses,
+            SCALED_LARGE,
+        ),
+        (
+            "fig8_high_bdp_losses_20mb",
+            ExperimentClass::HighBdpLosses,
+            SCALED_LARGE,
+        ),
+        (
+            "fig9_low_bdp_no_loss_256kb",
+            ExperimentClass::LowBdpNoLoss,
+            SHORT,
+        ),
     ] {
         group.bench_function(name, |b| {
             let config = bench_sweep(class, size);
@@ -48,16 +64,35 @@ fn bench_benefit_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures_aggregation_benefit");
     group.sample_size(10);
     for (name, class, size) in [
-        ("fig4_low_bdp_no_loss", ExperimentClass::LowBdpNoLoss, SCALED_LARGE),
-        ("fig6_low_bdp_losses", ExperimentClass::LowBdpLosses, SCALED_LARGE),
-        ("fig7_high_bdp_no_loss", ExperimentClass::HighBdpNoLoss, SCALED_LARGE),
-        ("fig10_short_transfers", ExperimentClass::LowBdpNoLoss, SHORT),
+        (
+            "fig4_low_bdp_no_loss",
+            ExperimentClass::LowBdpNoLoss,
+            SCALED_LARGE,
+        ),
+        (
+            "fig6_low_bdp_losses",
+            ExperimentClass::LowBdpLosses,
+            SCALED_LARGE,
+        ),
+        (
+            "fig7_high_bdp_no_loss",
+            ExperimentClass::HighBdpNoLoss,
+            SCALED_LARGE,
+        ),
+        (
+            "fig10_short_transfers",
+            ExperimentClass::LowBdpNoLoss,
+            SHORT,
+        ),
     ] {
         group.bench_function(name, |b| {
             let config = bench_sweep(class, size);
             b.iter(|| {
                 let results = run_class_sweep(black_box(&config));
-                black_box((results.beneficial_fraction(true), results.beneficial_fraction(false)))
+                black_box((
+                    results.beneficial_fraction(true),
+                    results.beneficial_fraction(false),
+                ))
             })
         });
     }

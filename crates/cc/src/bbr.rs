@@ -279,6 +279,9 @@ mod tests {
             cc.on_ack(now, 2 * MSS, Duration::from_millis(40), &[], 0);
             windows.insert(cc.window() / MSS);
         }
-        assert!(windows.len() >= 2, "gain cycling should vary the window: {windows:?}");
+        assert!(
+            windows.len() >= 2,
+            "gain cycling should vary the window: {windows:?}"
+        );
     }
 }

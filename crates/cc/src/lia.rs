@@ -146,7 +146,13 @@ mod tests {
         let mut cc = Lia::new(MSS);
         cc.on_congestion_event(SimTime::ZERO);
         let w = cc.window();
-        cc.on_ack(SimTime::ZERO, w, Duration::from_millis(40), &[snap(w, 40)], 0);
+        cc.on_ack(
+            SimTime::ZERO,
+            w,
+            Duration::from_millis(40),
+            &[snap(w, 40)],
+            0,
+        );
         let growth = cc.window() - w;
         assert!(
             (MSS * 9 / 10..=MSS * 11 / 10).contains(&growth),
@@ -182,7 +188,10 @@ mod tests {
         a.on_ack(SimTime::ZERO, w, Duration::from_millis(40), &paths, 0);
         b.on_ack(SimTime::ZERO, w, Duration::from_millis(40), &paths, 1);
         let total = (a.window() - w) + (b.window() - w);
-        assert!(total <= MSS + MSS / 10, "coupled total {total} > Reno {MSS}");
+        assert!(
+            total <= MSS + MSS / 10,
+            "coupled total {total} > Reno {MSS}"
+        );
     }
 
     #[test]

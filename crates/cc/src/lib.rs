@@ -207,8 +207,16 @@ mod tests {
         // A congestion event shrinks the window and leaves slow start.
         let before = cc.window();
         cc.on_congestion_event(now + Duration::from_millis(50));
-        assert!(cc.window() < before, "{}: loss must shrink window", algo.name());
-        assert!(!cc.in_slow_start(), "{}: loss must exit slow start", algo.name());
+        assert!(
+            cc.window() < before,
+            "{}: loss must shrink window",
+            algo.name()
+        );
+        assert!(
+            !cc.in_slow_start(),
+            "{}: loss must exit slow start",
+            algo.name()
+        );
         assert!(cc.window() >= MIN_WINDOW_SEGMENTS * mss);
 
         // RTO collapses to minimum.

@@ -75,10 +75,7 @@ impl Olia {
             return 0.0;
         }
         let max_cwnd = paths.iter().map(|p| p.cwnd).max().unwrap_or(0);
-        let best_quality = paths
-            .iter()
-            .map(Self::quality)
-            .fold(0.0f64, f64::max);
+        let best_quality = paths.iter().map(Self::quality).fold(0.0f64, f64::max);
         let in_m = |p: &PathSnapshot| p.cwnd >= max_cwnd; // exact max
         let in_b = |p: &PathSnapshot| Self::quality(p) >= best_quality * 0.999;
         let collected: Vec<usize> = (0..n)
@@ -230,8 +227,20 @@ mod tests {
         slow.cwnd = (20 * MSS) as f64;
         fast.ssthresh = 10 * MSS;
         slow.ssthresh = 10 * MSS;
-        fast.on_ack(SimTime::ZERO, 10 * MSS, Duration::from_millis(10), &paths, 0);
-        slow.on_ack(SimTime::ZERO, 10 * MSS, Duration::from_millis(100), &paths, 1);
+        fast.on_ack(
+            SimTime::ZERO,
+            10 * MSS,
+            Duration::from_millis(10),
+            &paths,
+            0,
+        );
+        slow.on_ack(
+            SimTime::ZERO,
+            10 * MSS,
+            Duration::from_millis(100),
+            &paths,
+            1,
+        );
         let fast_growth = fast.window() - 20 * MSS;
         let slow_growth = slow.window() - 20 * MSS;
         assert!(
@@ -247,7 +256,10 @@ mod tests {
         let paths = vec![snap(5 * MSS, 20, 1_000_000), snap(50 * MSS, 20, 10_000)];
         let a0 = Olia::alpha(&paths, 0);
         let a1 = Olia::alpha(&paths, 1);
-        assert!(a0 > 0.0, "underused best path should get positive alpha: {a0}");
+        assert!(
+            a0 > 0.0,
+            "underused best path should get positive alpha: {a0}"
+        );
         assert!(a1 < 0.0, "max-window path should pay: {a1}");
         // With n=2, |collected|=1, |M|=1: α = ±1/2.
         assert!((a0 - 0.5).abs() < 1e-9);

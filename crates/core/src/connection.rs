@@ -23,10 +23,10 @@
 //!   peer learns about the failure without waiting for its own RTO.
 
 use bytes::Bytes;
+use mpquic_crypto::nonce_for;
 use mpquic_crypto::{
     handshake::initial_key, Aead, ClientHandshake, HandshakeEvent, ServerHandshake, SessionKeys,
 };
-use mpquic_crypto::nonce_for;
 use mpquic_util::{DetRng, SimTime};
 use mpquic_wire::{
     AckFrame, AddressInfo, Frame, Packet, PacketBuilder, PacketType, PathId, PathInfo, PathStatus,
@@ -197,7 +197,10 @@ impl Connection {
         cid: u64,
         local_addrs: Vec<SocketAddr>,
     ) -> Connection {
-        assert!(!local_addrs.is_empty(), "at least one local address required");
+        assert!(
+            !local_addrs.is_empty(),
+            "at least one local address required"
+        );
         let flow = ConnFlowControl::new(config.conn_recv_window, config.conn_recv_window);
         let scheduler = Scheduler::new(config.scheduler);
         let qlog = if config.enable_qlog {
@@ -273,6 +276,12 @@ impl Connection {
         self.stats
     }
 
+    /// The local addresses this connection may send from (one per
+    /// interface). A real-socket driver binds one socket per entry.
+    pub fn local_addrs(&self) -> &[SocketAddr] {
+        &self.local_addrs
+    }
+
     /// IDs of the currently known paths.
     pub fn path_ids(&self) -> Vec<PathId> {
         self.paths.keys().copied().collect()
@@ -314,7 +323,11 @@ impl Connection {
     }
 
     /// Appends data to a stream's send buffer.
-    pub fn stream_write(&mut self, id: StreamId, data: Bytes) -> Result<(), crate::stream::StreamError> {
+    pub fn stream_write(
+        &mut self,
+        id: StreamId,
+        data: Bytes,
+    ) -> Result<(), crate::stream::StreamError> {
         self.send_streams
             .get_mut(&id)
             .expect("unknown stream")
@@ -344,7 +357,9 @@ impl Connection {
 
     /// True once everything written (and the FIN) was acknowledged.
     pub fn stream_fully_acked(&self, id: StreamId) -> bool {
-        self.send_streams.get(&id).is_some_and(|s| s.is_fully_acked())
+        self.send_streams
+            .get(&id)
+            .is_some_and(|s| s.is_fully_acked())
     }
 
     /// Begins a clean or error close.
@@ -397,7 +412,11 @@ impl Connection {
                 }
             }
         };
-        let nonce = nonce_for(self.config.nonce_mode, header.path_id.0, header.packet_number);
+        let nonce = nonce_for(
+            self.config.nonce_mode,
+            header.path_id.0,
+            header.packet_number,
+        );
         let Ok(plaintext) = aead.open(&nonce, &data[..header_len], &data[header_len..]) else {
             self.stats.decrypt_failures += 1;
             return;
@@ -471,7 +490,10 @@ impl Connection {
             Frame::Crypto { data, .. } => self.handle_crypto(now, &data),
             Frame::Ack(ack) => self.handle_ack(now, ack),
             Frame::Stream(f) => self.handle_stream_frame(now, f),
-            Frame::WindowUpdate { stream_id, max_data } => {
+            Frame::WindowUpdate {
+                stream_id,
+                max_data,
+            } => {
                 if stream_id == 0 {
                     self.flow.on_max_data(max_data);
                 } else if let Some(s) = self.send_streams.get_mut(&stream_id) {
@@ -594,9 +616,9 @@ impl Connection {
             return;
         };
         let ack_delay = std::time::Duration::from_micros(ack.ack_delay_micros);
-        let outcome = path
-            .recovery
-            .on_ack(now, ack.iter_ranges_ascending(), ack_delay, &mut path.rtt);
+        let outcome =
+            path.recovery
+                .on_ack(now, ack.iter_ranges_ascending(), ack_delay, &mut path.rtt);
         if outcome.newly_acked_bytes > 0 {
             let rtt = path.rtt.latest();
             path.cc
@@ -651,8 +673,15 @@ impl Connection {
         };
         match stream.on_frame(&frame) {
             Ok(outcome) => {
-                if self.flow.on_data_received(outcome.conn_window_consumed).is_err() {
-                    self.abort(error_codes::FLOW_CONTROL_ERROR, "connection flow control violated");
+                if self
+                    .flow
+                    .on_data_received(outcome.conn_window_consumed)
+                    .is_err()
+                {
+                    self.abort(
+                        error_codes::FLOW_CONTROL_ERROR,
+                        "connection flow control violated",
+                    );
                     return;
                 }
                 if outcome.readable {
@@ -663,7 +692,10 @@ impl Connection {
                 }
             }
             Err(crate::stream::StreamError::FlowControlViolated) => {
-                self.abort(error_codes::FLOW_CONTROL_ERROR, "stream flow control violated");
+                self.abort(
+                    error_codes::FLOW_CONTROL_ERROR,
+                    "stream flow control violated",
+                );
             }
             Err(_) => {
                 self.abort(error_codes::STREAM_STATE_ERROR, "stream state violated");
@@ -701,17 +733,13 @@ impl Connection {
             if self.paths.values().any(|p| p.local == local) {
                 continue;
             }
-            let remote = self
-                .remote_addrs
-                .get(&(i as u64))
-                .copied()
-                .or_else(|| {
-                    if self.remote_addrs.len() == 1 {
-                        self.remote_addrs.values().next().copied()
-                    } else {
-                        None
-                    }
-                });
+            let remote = self.remote_addrs.get(&(i as u64)).copied().or_else(|| {
+                if self.remote_addrs.len() == 1 {
+                    self.remote_addrs.values().next().copied()
+                } else {
+                    None
+                }
+            });
             let Some(remote) = remote else { continue };
             let id = PathId(self.next_path_id);
             self.next_path_id += 2;
@@ -719,7 +747,10 @@ impl Connection {
             // Exercise the path immediately: the first packet tells the
             // peer the path exists (so *its* scheduler can use it — vital
             // when the server is the bulk sender) and samples the RTT.
-            self.per_path_queue.entry(id).or_default().push_back(Frame::Ping);
+            self.per_path_queue
+                .entry(id)
+                .or_default()
+                .push_back(Frame::Ping);
             self.events.push_back(Event::PathActive(id));
         }
     }
@@ -751,7 +782,10 @@ impl Connection {
         let frames = path.recovery.surrender_all();
         self.requeue_lost_frames(frames);
         // Probe the new network immediately.
-        self.per_path_queue.entry(id).or_default().push_back(Frame::Ping);
+        self.per_path_queue
+            .entry(id)
+            .or_default()
+            .push_back(Frame::Ping);
         self.events.push_back(Event::PathActive(id));
         let _ = now;
     }
@@ -900,7 +934,10 @@ impl Connection {
             };
             if outcome.rto_fired {
                 self.stats.rtos += 1;
-                self.qlog.push(QlogEvent::Rto { time: now, path: id });
+                self.qlog.push(QlogEvent::Rto {
+                    time: now,
+                    path: id,
+                });
                 let path = self.paths.get_mut(&id).expect("listed");
                 path.cc.on_rto(now);
                 // The paper's §4.3 behaviour: the path is only *potentially*
@@ -1216,8 +1253,7 @@ impl Connection {
             .or_else(|| self.paths.values().next())
             .map(|p| p.id)?;
         let header = self.provisional_header(path_id, packet_type);
-        let mut builder =
-            PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
+        let mut builder = PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
         self.push_acks(now, &mut builder, path_id);
         builder.try_push(Frame::ConnectionClose {
             error_code: code,
@@ -1232,8 +1268,7 @@ impl Connection {
             return None;
         }
         let header = self.provisional_header(path_id, PacketType::Handshake);
-        let mut builder =
-            PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
+        let mut builder = PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
         self.push_acks(now, &mut builder, path_id);
         while let Some(frame) = self.crypto_queue.front() {
             if builder.remaining() < frame.wire_size() {
@@ -1248,8 +1283,7 @@ impl Connection {
     fn emit_control(&mut self, now: SimTime, path_id: PathId) -> Option<Transmit> {
         let header = self.provisional_header(path_id, PacketType::OneRtt);
         self.session_keys?;
-        let mut builder =
-            PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
+        let mut builder = PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
         self.push_acks(now, &mut builder, path_id);
         if let Some(queue) = self.per_path_queue.get_mut(&path_id) {
             while let Some(frame) = queue.front() {
@@ -1285,9 +1319,11 @@ impl Connection {
             .filter(|(_, q)| !q.is_empty())
             .map(|(&id, _)| id)
             .find(|id| {
-                views
-                    .iter()
-                    .any(|v| v.id == *id && v.usable && v.cwnd_available >= self.config.max_datagram_size as u64)
+                views.iter().any(|v| {
+                    v.id == *id
+                        && v.usable
+                        && v.cwnd_available >= self.config.max_datagram_size as u64
+                })
             });
         let decision = if let Some(id) = dup_path {
             crate::scheduler::Decision {
@@ -1300,8 +1336,7 @@ impl Connection {
         };
         let path_id = decision.path;
         let header = self.provisional_header(path_id, PacketType::OneRtt);
-        let mut builder =
-            PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
+        let mut builder = PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
         self.push_acks(now, &mut builder, path_id);
         // Path-agnostic control frames ride along.
         while let Some(frame) = self.control_queue.front() {
@@ -1391,8 +1426,7 @@ impl Connection {
             PacketType::Handshake
         };
         let header = self.provisional_header(path_id, packet_type);
-        let mut builder =
-            PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
+        let mut builder = PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
         self.push_acks(now, &mut builder, path_id);
         if builder.is_empty() {
             return None;
@@ -1409,8 +1443,7 @@ impl Connection {
         }
         let header = self.provisional_header(path_id, PacketType::OneRtt);
         self.session_keys?;
-        let mut builder =
-            PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
+        let mut builder = PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
         self.push_acks(now, &mut builder, path_id);
         builder.try_push(Frame::Ping);
         self.finalize(now, builder, path_id, PacketType::OneRtt)
@@ -1425,8 +1458,7 @@ impl Connection {
                 srtt: p.rtt.srtt(),
                 rtt_known: p.rtt_known(),
                 cwnd_available: p.cwnd_available(),
-                usable: p.usable_for_data()
-                    && (self.handshake_complete || p.id == PathId::INITIAL),
+                usable: p.usable_for_data() && (self.handshake_complete || p.id == PathId::INITIAL),
             })
             .collect()
     }
@@ -1536,14 +1568,18 @@ mod tests {
     fn peer_opened_stream_creates_both_halves_and_event() {
         let (mut client, mut server) = established_pair(SimTime::from_millis(1));
         let stream = client.open_stream();
-        client.stream_write(stream, Bytes::from_static(b"hi")).unwrap();
+        client
+            .stream_write(stream, Bytes::from_static(b"hi"))
+            .unwrap();
         shuttle(&mut client, &mut server, SimTime::from_millis(2));
         let events = drain(&mut server);
         assert!(events.contains(&Event::StreamOpened(stream)));
         assert!(events.contains(&Event::StreamReadable(stream)));
         assert_eq!(&server.stream_read(stream, 10).unwrap()[..], b"hi");
         // The server can answer on the same stream.
-        server.stream_write(stream, Bytes::from_static(b"yo")).unwrap();
+        server
+            .stream_write(stream, Bytes::from_static(b"yo"))
+            .unwrap();
         shuttle(&mut client, &mut server, SimTime::from_millis(3));
         assert_eq!(&client.stream_read(stream, 10).unwrap()[..], b"yo");
     }
@@ -1575,7 +1611,9 @@ mod tests {
     fn datagrams_with_wrong_cid_are_dropped() {
         let (mut client, mut server) = established_pair(SimTime::from_millis(1));
         let stream = client.open_stream();
-        client.stream_write(stream, Bytes::from_static(b"x")).unwrap();
+        client
+            .stream_write(stream, Bytes::from_static(b"x"))
+            .unwrap();
         let t = client.poll_transmit(SimTime::from_millis(2)).unwrap();
         let mut corrupted = t.payload.clone();
         corrupted[3] ^= 0xFF; // flip a CID byte in the public header
@@ -1590,7 +1628,9 @@ mod tests {
     fn tampered_payload_fails_authentication() {
         let (mut client, mut server) = established_pair(SimTime::from_millis(1));
         let stream = client.open_stream();
-        client.stream_write(stream, Bytes::from_static(b"secret")).unwrap();
+        client
+            .stream_write(stream, Bytes::from_static(b"secret"))
+            .unwrap();
         let t = client.poll_transmit(SimTime::from_millis(2)).unwrap();
         let mut tampered = t.payload.clone();
         let last = tampered.len() - 1;
@@ -1605,7 +1645,9 @@ mod tests {
     fn duplicate_datagram_discarded() {
         let (mut client, mut server) = established_pair(SimTime::from_millis(1));
         let stream = client.open_stream();
-        client.stream_write(stream, Bytes::from_static(b"abc")).unwrap();
+        client
+            .stream_write(stream, Bytes::from_static(b"abc"))
+            .unwrap();
         let t = client.poll_transmit(SimTime::from_millis(2)).unwrap();
         server.handle_datagram(SimTime::from_millis(2), t.remote, t.local, &t.payload);
         server.handle_datagram(SimTime::from_millis(2), t.remote, t.local, &t.payload);
@@ -1618,13 +1660,17 @@ mod tests {
     fn nat_rebinding_updates_remote_without_losing_state() {
         let (mut client, mut server) = established_pair(SimTime::from_millis(1));
         let stream = client.open_stream();
-        client.stream_write(stream, Bytes::from_static(b"before")).unwrap();
+        client
+            .stream_write(stream, Bytes::from_static(b"before"))
+            .unwrap();
         shuttle(&mut client, &mut server, SimTime::from_millis(2));
         assert_eq!(&server.stream_read(stream, 100).unwrap()[..], b"before");
         let srtt_before = server.path(PathId::INITIAL).unwrap().rtt.srtt();
 
         // The client's NAT rebinds: same path id, new source address.
-        client.stream_write(stream, Bytes::from_static(b"after")).unwrap();
+        client
+            .stream_write(stream, Bytes::from_static(b"after"))
+            .unwrap();
         let rebound = addr("192.0.2.99:1234");
         while let Some(t) = client.poll_transmit(SimTime::from_millis(3)) {
             if t.local == addr(C0) {
@@ -1641,13 +1687,7 @@ mod tests {
 
     #[test]
     fn single_path_config_never_advertises_addresses() {
-        let mut client = Connection::client(
-            Config::single_path(),
-            vec![addr(C0)],
-            0,
-            addr(S0),
-            1,
-        );
+        let mut client = Connection::client(Config::single_path(), vec![addr(C0)], 0, addr(S0), 1);
         let mut server = Connection::server(Config::single_path(), vec![addr(S0), addr(S1)], 2);
         shuttle(&mut client, &mut server, SimTime::from_millis(1));
         assert!(client.is_established());
@@ -1660,13 +1700,7 @@ mod tests {
         let mut config = Config::multipath();
         config.stream_recv_window = 64; // tiny window on the receiver
         config.conn_recv_window = 1 << 20;
-        let mut client = Connection::client(
-            Config::multipath(),
-            vec![addr(C0)],
-            0,
-            addr(S0),
-            1,
-        );
+        let mut client = Connection::client(Config::multipath(), vec![addr(C0)], 0, addr(S0), 1);
         let mut server = Connection::server(config, vec![addr(S0)], 2);
         shuttle(&mut client, &mut server, SimTime::from_millis(1));
         // The client believes the stream window is its own default (16 MB),
@@ -1676,7 +1710,10 @@ mod tests {
             .stream_write(stream, Bytes::from(vec![1u8; 4096]))
             .unwrap();
         shuttle(&mut client, &mut server, SimTime::from_millis(2));
-        assert!(server.is_closed(), "server must abort on flow-control violation");
+        assert!(
+            server.is_closed(),
+            "server must abort on flow-control violation"
+        );
         assert!(client.is_closed(), "client learns about the abort");
         let events = drain(&mut client);
         assert!(events.iter().any(|e| matches!(
@@ -1690,13 +1727,8 @@ mod tests {
         let mut config = Config::multipath();
         config.conn_recv_window = 64 << 10;
         config.stream_recv_window = 64 << 10;
-        let mut client = Connection::client(
-            config.clone(),
-            vec![addr(C0), addr(C1)],
-            0,
-            addr(S0),
-            1,
-        );
+        let mut client =
+            Connection::client(config.clone(), vec![addr(C0), addr(C1)], 0, addr(S0), 1);
         let mut server = Connection::server(config, vec![addr(S0), addr(S1)], 2);
         // Establish + open paths.
         for step in 1..4 {
@@ -1718,13 +1750,20 @@ mod tests {
             let header = PublicHeader::decode(&mut cursor).unwrap();
             let keys = server.session_keys.unwrap();
             let aead = Aead::new(keys.server_to_client);
-            let nonce = nonce_for(NonceMode::PathIdMixed, header.path_id.0, header.packet_number);
+            let nonce = nonce_for(
+                NonceMode::PathIdMixed,
+                header.path_id.0,
+                header.packet_number,
+            );
             let hdr_len = t.payload.len() - cursor.len();
             let plain = aead
                 .open(&nonce, &t.payload[..hdr_len], &t.payload[hdr_len..])
                 .unwrap();
             let frames = Frame::decode_all(&plain).unwrap();
-            if frames.iter().any(|f| matches!(f, Frame::WindowUpdate { .. })) {
+            if frames
+                .iter()
+                .any(|f| matches!(f, Frame::WindowUpdate { .. }))
+            {
                 wu_paths.insert(header.path_id);
             }
             client.handle_datagram(SimTime::from_millis(6), t.remote, t.local, &t.payload);
@@ -1808,7 +1847,10 @@ mod tests {
             if server.stream_is_finished(stream) {
                 break;
             }
-            if client.next_timeout().is_some_and(|t| t <= SimTime::from_millis(step)) {
+            if client
+                .next_timeout()
+                .is_some_and(|t| t <= SimTime::from_millis(step))
+            {
                 client.on_timeout(SimTime::from_millis(step));
             }
         }
@@ -1861,7 +1903,9 @@ mod tests {
         let mut server = Connection::server(Config::single_path(), vec![addr(S0)], 2);
         shuttle(&mut client, &mut server, SimTime::from_millis(1));
         let stream = client.open_stream();
-        client.stream_write(stream, Bytes::from(vec![1u8; 50_000])).unwrap();
+        client
+            .stream_write(stream, Bytes::from(vec![1u8; 50_000]))
+            .unwrap();
         shuttle(&mut client, &mut server, SimTime::from_millis(2));
         while server.stream_read(stream, usize::MAX).is_some() {}
         let cwnd_before = client.path(PathId::INITIAL).unwrap().cc.window();
@@ -1874,7 +1918,9 @@ mod tests {
         assert!(!path.rtt_known(), "RTT estimate reset");
 
         // Traffic continues from the new address; the server follows.
-        client.stream_write(stream, Bytes::from(vec![2u8; 50_000])).unwrap();
+        client
+            .stream_write(stream, Bytes::from(vec![2u8; 50_000]))
+            .unwrap();
         client.stream_finish(stream);
         for step in 4..40u64 {
             shuttle(&mut client, &mut server, SimTime::from_millis(step));
@@ -1904,10 +1950,22 @@ mod tests {
         let mut server = Connection::server(Config::multipath(), vec![addr(S0)], 2);
         // Round 1: CHLO(v99) -> version negotiation.
         let chlo = client.poll_transmit(SimTime::ZERO).expect("CHLO");
-        server.handle_datagram(SimTime::from_millis(10), chlo.remote, chlo.local, &chlo.payload);
+        server.handle_datagram(
+            SimTime::from_millis(10),
+            chlo.remote,
+            chlo.local,
+            &chlo.payload,
+        );
         assert!(!server.is_established(), "v99 must be rejected");
-        let vneg = server.poll_transmit(SimTime::from_millis(10)).expect("VN packet");
-        client.handle_datagram(SimTime::from_millis(20), vneg.remote, vneg.local, &vneg.payload);
+        let vneg = server
+            .poll_transmit(SimTime::from_millis(10))
+            .expect("VN packet");
+        client.handle_datagram(
+            SimTime::from_millis(20),
+            vneg.remote,
+            vneg.local,
+            &vneg.payload,
+        );
         assert!(!client.is_established());
         // Round 2: CHLO(v1) -> SHLO; both complete.
         shuttle(&mut client, &mut server, SimTime::from_millis(20));
@@ -1915,7 +1973,9 @@ mod tests {
         assert!(server.is_established());
         // And data flows.
         let stream = client.open_stream();
-        client.stream_write(stream, Bytes::from_static(b"post-negotiation")).unwrap();
+        client
+            .stream_write(stream, Bytes::from_static(b"post-negotiation"))
+            .unwrap();
         client.stream_finish(stream);
         shuttle(&mut client, &mut server, SimTime::from_millis(30));
         let mut got = Vec::new();

@@ -140,8 +140,7 @@ impl Path {
     /// True when a pending ACK must go out now: either two ack-eliciting
     /// packets have accumulated or the delayed-ACK deadline passed.
     pub fn ack_due(&self, now: SimTime) -> bool {
-        self.ack_pending
-            && (self.unacked_count >= 2 || self.ack_deadline.is_some_and(|d| d <= now))
+        self.ack_pending && (self.unacked_count >= 2 || self.ack_deadline.is_some_and(|d| d <= now))
     }
 
     /// Builds the ACK frame for this path without clearing pending state
@@ -299,7 +298,12 @@ mod tests {
         let mut p = path();
         // 10 disjoint singleton ranges.
         for i in 0..10u64 {
-            p.on_packet_received(i * 3, SimTime::from_millis(i), true, Duration::from_millis(25));
+            p.on_packet_received(
+                i * 3,
+                SimTime::from_millis(i),
+                true,
+                Duration::from_millis(25),
+            );
         }
         let full = p.peek_ack_frame(SimTime::from_millis(20), 256).unwrap();
         assert_eq!(full.ranges.len(), 10);

@@ -171,6 +171,22 @@ impl Qlog {
             .collect::<Vec<_>>()
             .join("\n")
     }
+
+    /// Serializes the whole log as one JSON array.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.events).expect("events serialize")
+    }
+
+    /// Writes the log to `path` as JSON lines — the format the
+    /// `mpq-server`/`mpq-client` binaries emit for their `--qlog` flag,
+    /// consumable line-by-line by external tooling.
+    pub fn write_json<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        let mut out = self.to_json_lines();
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        std::fs::write(path, out)
+    }
 }
 
 #[cfg(test)]
@@ -216,5 +232,18 @@ mod tests {
         let json = log.to_json_lines();
         assert!(json.contains("PacketSent"));
         assert!(json.contains("\"packet_number\":7"));
+    }
+
+    #[test]
+    fn write_json_round_trips_through_a_file() {
+        let mut log = Qlog::enabled();
+        log.push(sent(0, 1));
+        log.push(sent(1, 2));
+        let path = std::env::temp_dir().join("mpquic_qlog_write_test.jsonl");
+        log.write_json(&path).expect("write qlog");
+        let written = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(written.lines().count(), 2);
+        assert_eq!(written, format!("{}\n", log.to_json_lines()));
+        let _ = std::fs::remove_file(&path);
     }
 }

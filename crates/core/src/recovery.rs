@@ -322,8 +322,7 @@ impl Recovery {
                     for pn in pns {
                         let packet = self.sent.remove(&pn).expect("listed");
                         if packet.ack_eliciting {
-                            self.bytes_in_flight =
-                                self.bytes_in_flight.saturating_sub(packet.size);
+                            self.bytes_in_flight = self.bytes_in_flight.saturating_sub(packet.size);
                         }
                         outcome.lost_bytes += packet.size;
                         outcome.lost_frames.extend(packet.frames);
@@ -361,8 +360,8 @@ impl Default for Recovery {
 mod tests {
     use super::*;
     use crate::rtt::DEFAULT_INITIAL_RTT;
-    use mpquic_wire::StreamFrame;
     use bytes::Bytes;
+    use mpquic_wire::StreamFrame;
 
     fn stream_frame(tag: u8) -> Frame {
         Frame::Stream(StreamFrame {
@@ -413,8 +412,18 @@ mod tests {
         let mut r = Recovery::new();
         let mut est = rtt();
         let pn = send(&mut r, 0, 1000);
-        let _ = r.on_ack(SimTime::from_millis(40), [(pn, pn)].into_iter(), Duration::ZERO, &mut est);
-        let out = r.on_ack(SimTime::from_millis(50), [(pn, pn)].into_iter(), Duration::ZERO, &mut est);
+        let _ = r.on_ack(
+            SimTime::from_millis(40),
+            [(pn, pn)].into_iter(),
+            Duration::ZERO,
+            &mut est,
+        );
+        let out = r.on_ack(
+            SimTime::from_millis(50),
+            [(pn, pn)].into_iter(),
+            Duration::ZERO,
+            &mut est,
+        );
         assert_eq!(out.newly_acked_bytes, 0);
         assert!(out.largest_newly_acked.is_none());
         assert!(!out.rtt_sample_taken);
@@ -425,7 +434,12 @@ mod tests {
         let mut r = Recovery::new();
         let mut est = rtt();
         send(&mut r, 0, 1000);
-        let out = r.on_ack(SimTime::from_millis(40), [(5, 9)].into_iter(), Duration::ZERO, &mut est);
+        let out = r.on_ack(
+            SimTime::from_millis(40),
+            [(5, 9)].into_iter(),
+            Duration::ZERO,
+            &mut est,
+        );
         assert_eq!(out.newly_acked_bytes, 0);
         assert_eq!(r.bytes_in_flight(), 1000);
     }
@@ -439,7 +453,12 @@ mod tests {
         let _p2 = send(&mut r, 2, 100);
         let p3 = send(&mut r, 3, 100);
         // Ack p3 only: p0 is three behind -> lost; p1, p2 not yet.
-        let out = r.on_ack(SimTime::from_millis(40), [(p3, p3)].into_iter(), Duration::ZERO, &mut est);
+        let out = r.on_ack(
+            SimTime::from_millis(40),
+            [(p3, p3)].into_iter(),
+            Duration::ZERO,
+            &mut est,
+        );
         assert_eq!(out.lost_frames, vec![stream_frame(p0 as u8)]);
         assert!(out.congestion_event);
         assert_eq!(r.outstanding_packets(), 2);
@@ -453,12 +472,22 @@ mod tests {
             send(&mut r, i, 100);
         }
         // Ack pn 4: pns 0 and 1 lost -> one congestion event.
-        let out = r.on_ack(SimTime::from_millis(40), [(4, 4)].into_iter(), Duration::ZERO, &mut est);
+        let out = r.on_ack(
+            SimTime::from_millis(40),
+            [(4, 4)].into_iter(),
+            Duration::ZERO,
+            &mut est,
+        );
         assert_eq!(out.lost_frames.len(), 2);
         assert!(out.congestion_event);
         // Ack pn 6: pns 2 and 3 lost, but they were sent before the epoch
         // started -> no second congestion event.
-        let out2 = r.on_ack(SimTime::from_millis(50), [(6, 6)].into_iter(), Duration::ZERO, &mut est);
+        let out2 = r.on_ack(
+            SimTime::from_millis(50),
+            [(6, 6)].into_iter(),
+            Duration::ZERO,
+            &mut est,
+        );
         assert_eq!(out2.lost_frames.len(), 2);
         assert!(!out2.congestion_event);
     }
@@ -473,7 +502,12 @@ mod tests {
         // 9/8·45 ≈ 50.6 ms. p0 is only 1 behind (below the packet
         // threshold) and 50 ms old — just under the threshold — so the
         // loss timer must be armed rather than declaring it lost.
-        let out = r.on_ack(SimTime::from_millis(50), [(p1, p1)].into_iter(), Duration::ZERO, &mut est);
+        let out = r.on_ack(
+            SimTime::from_millis(50),
+            [(p1, p1)].into_iter(),
+            Duration::ZERO,
+            &mut est,
+        );
         assert!(out.lost_frames.is_empty());
         let (when, kind) = r.next_timeout(&est).expect("timer armed");
         assert_eq!(kind, TimeoutKind::LossTime);

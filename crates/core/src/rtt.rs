@@ -159,7 +159,10 @@ mod tests {
             );
         }
         let srtt_ms = rtt.srtt().as_millis();
-        assert!((29..=31).contains(&srtt_ms), "srtt {srtt_ms} should converge to 30");
+        assert!(
+            (29..=31).contains(&srtt_ms),
+            "srtt {srtt_ms} should converge to 30"
+        );
     }
 
     #[test]

@@ -172,7 +172,11 @@ impl SendStream {
     /// Retransmissions are preferred and do not consume new connection
     /// credit (their offsets were already counted when first sent).
     /// Returns the frame and how many new-data bytes it consumed.
-    pub fn next_frame(&mut self, max_payload: usize, conn_credit: u64) -> Option<(StreamFrame, u64)> {
+    pub fn next_frame(
+        &mut self,
+        max_payload: usize,
+        conn_credit: u64,
+    ) -> Option<(StreamFrame, u64)> {
         // 1. Retransmissions first.
         if let Some(mut frame) = self.retransmit.pop_front() {
             if frame.data.len() > max_payload && max_payload > 0 {
@@ -196,10 +200,9 @@ impl SendStream {
             return Some((frame, 0));
         }
         // 2. New data within stream and connection limits.
-        let fc_limit = self.max_data_remote.min(
-            self.next_send_offset
-                .saturating_add(conn_credit),
-        );
+        let fc_limit = self
+            .max_data_remote
+            .min(self.next_send_offset.saturating_add(conn_credit));
         let sendable = self
             .write_offset
             .min(fc_limit)
@@ -262,7 +265,8 @@ impl SendStream {
         }
         let fin_needed = frame.fin && !self.fin_acked;
         let mut fin_attached = false;
-        let sub_ranges: Vec<(u64, u64)> = remaining.iter().map(|r| (*r.start(), *r.end())).collect();
+        let sub_ranges: Vec<(u64, u64)> =
+            remaining.iter().map(|r| (*r.start(), *r.end())).collect();
         for (start, end) in &sub_ranges {
             let rel = (start - frame.offset) as usize;
             let len = (end - start + 1) as usize;
@@ -379,7 +383,8 @@ impl RecvStream {
             for have in self.received.iter() {
                 fresh.remove_range(*have.start(), *have.end());
             }
-            let new_ranges: Vec<(u64, u64)> = fresh.iter().map(|r| (*r.start(), *r.end())).collect();
+            let new_ranges: Vec<(u64, u64)> =
+                fresh.iter().map(|r| (*r.start(), *r.end())).collect();
             for (start, stop) in new_ranges {
                 let rel = (start - frame.offset) as usize;
                 let len = (stop - start + 1) as usize;
@@ -485,7 +490,10 @@ mod tests {
             let mut s = SendStream::new(1, 1 << 20);
             s.write(Bytes::from_static(b"hello world")).unwrap();
             let (f, new_bytes) = s.next_frame(5, u64::MAX).unwrap();
-            assert_eq!((f.offset, &f.data[..], f.fin, new_bytes), (0, &b"hello"[..], false, 5));
+            assert_eq!(
+                (f.offset, &f.data[..], f.fin, new_bytes),
+                (0, &b"hello"[..], false, 5)
+            );
             let (f2, _) = s.next_frame(100, u64::MAX).unwrap();
             assert_eq!((f2.offset, &f2.data[..]), (5, &b" world"[..]));
             assert!(s.next_frame(100, u64::MAX).is_none());
@@ -560,7 +568,8 @@ mod tests {
         #[test]
         fn lost_frame_trimmed_by_acks() {
             let mut s = SendStream::new(1, 1 << 20);
-            s.write(Bytes::from((0u8..20).collect::<Vec<u8>>())).unwrap();
+            s.write(Bytes::from((0u8..20).collect::<Vec<u8>>()))
+                .unwrap();
             let (f, _) = s.next_frame(20, u64::MAX).unwrap();
             // Bytes 5..=14 acked via a duplicate on another path.
             s.on_acked(5, 10, false);

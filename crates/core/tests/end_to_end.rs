@@ -8,8 +8,8 @@
 use bytes::Bytes;
 use mpquic_core::{Config, Connection, Event, PathId, PathState, Transmit};
 use mpquic_util::SimTime;
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::net::SocketAddr;
 use std::time::Duration;
 
@@ -178,13 +178,7 @@ impl Net {
 }
 
 fn single_path_pair() -> Net {
-    let client = Connection::client(
-        Config::single_path(),
-        vec![addr(C0)],
-        0,
-        addr(S0),
-        1,
-    );
+    let client = Connection::client(Config::single_path(), vec![addr(C0)], 0, addr(S0), 1);
     let server = Connection::server(Config::single_path(), vec![addr(S0)], 2);
     Net::new(client, server)
 }
@@ -241,7 +235,9 @@ fn request_response_over_single_path() {
                         req.extend_from_slice(&chunk);
                     }
                     assert_eq!(&req, b"GET /file");
-                    n.server.stream_write(stream, Bytes::from(resp.clone())).unwrap();
+                    n.server
+                        .stream_write(stream, Bytes::from(resp.clone()))
+                        .unwrap();
                     n.server.stream_finish(stream);
                     responded = true;
                 }
@@ -253,7 +249,11 @@ fn request_response_over_single_path() {
         },
         SimTime::from_secs(30),
     ));
-    assert_eq!(net.client.path_ids(), vec![PathId::INITIAL], "single path stays single");
+    assert_eq!(
+        net.client.path_ids(),
+        vec![PathId::INITIAL],
+        "single path stays single"
+    );
 }
 
 #[test]
@@ -273,7 +273,10 @@ fn multipath_opens_second_path_and_uses_it() {
         SimTime::from_secs(60),
     ));
     let ids = net.client.path_ids();
-    assert!(ids.contains(&PathId(1)), "client should open path 1: {ids:?}");
+    assert!(
+        ids.contains(&PathId(1)),
+        "client should open path 1: {ids:?}"
+    );
     let p1 = net.client.path(PathId(1)).unwrap();
     assert!(p1.bytes_sent > 0, "path 1 should carry data");
     let p0 = net.client.path(PathId::INITIAL).unwrap();
@@ -338,7 +341,10 @@ fn handover_marks_path_potentially_failed_and_continues() {
 
     // Let both paths come up and move some data.
     assert!(net.run_until(
-        |n| n.client.path(PathId(1)).is_some_and(|p| p.bytes_sent > 10_000),
+        |n| n
+            .client
+            .path(PathId(1))
+            .is_some_and(|p| p.bytes_sent > 10_000),
         SimTime::from_secs(30),
     ));
     // Kill path 0 (the "bad WiFi").
@@ -348,13 +354,16 @@ fn handover_marks_path_potentially_failed_and_continues() {
         .stream_write(stream, Bytes::from(vec![2u8; 500_000]))
         .unwrap();
     net.client.stream_finish(stream);
-    assert!(net.run_until(
-        |n| {
-            while n.server.stream_read(stream, usize::MAX).is_some() {}
-            n.server.stream_is_finished(stream)
-        },
-        SimTime::from_secs(120),
-    ), "transfer must complete over the surviving path");
+    assert!(
+        net.run_until(
+            |n| {
+                while n.server.stream_read(stream, usize::MAX).is_some() {}
+                n.server.stream_is_finished(stream)
+            },
+            SimTime::from_secs(120),
+        ),
+        "transfer must complete over the surviving path"
+    );
     // The client noticed the failure.
     let p0 = net.client.path(PathId::INITIAL).unwrap();
     assert_eq!(p0.state, PathState::PotentiallyFailed);
@@ -385,11 +394,10 @@ fn paths_frame_informs_peer_of_failure() {
     // frame without waiting for its own RTO on path 0.
     assert!(net.run_until(
         |n| {
-            n.server
-                .peer_paths()
-                .iter()
-                .any(|info| info.path_id == PathId::INITIAL
-                    && info.status == mpquic_wire::PathStatus::PotentiallyFailed)
+            n.server.peer_paths().iter().any(|info| {
+                info.path_id == PathId::INITIAL
+                    && info.status == mpquic_wire::PathStatus::PotentiallyFailed
+            })
         },
         SimTime::from_secs(60),
     ));
@@ -413,7 +421,13 @@ fn close_propagates() {
 fn single_path_config_ignores_advertised_addresses() {
     // Client is single-path but server is multipath: the ADD_ADDRESS
     // frames must not cause extra paths.
-    let client = Connection::client(Config::single_path(), vec![addr(C0), addr(C1)], 0, addr(S0), 1);
+    let client = Connection::client(
+        Config::single_path(),
+        vec![addr(C0), addr(C1)],
+        0,
+        addr(S0),
+        1,
+    );
     let server = Connection::server(Config::multipath(), vec![addr(S0), addr(S1)], 2);
     let mut net = Net::new(client, server);
     let stream = net.client.open_stream();
@@ -435,7 +449,13 @@ fn single_path_config_ignores_advertised_addresses() {
 fn worst_path_first_still_aggregates() {
     // Start the connection on the slower interface (index 1), as the
     // paper's experimental design varies.
-    let client = Connection::client(Config::multipath(), vec![addr(C0), addr(C1)], 1, addr(S1), 1);
+    let client = Connection::client(
+        Config::multipath(),
+        vec![addr(C0), addr(C1)],
+        1,
+        addr(S1),
+        1,
+    );
     let server = Connection::server(Config::multipath(), vec![addr(S0), addr(S1)], 2);
     let mut net = Net::new(client, server);
     net.path1_delay = Duration::from_millis(80); // initial path slow
@@ -454,7 +474,11 @@ fn worst_path_first_still_aggregates() {
     // The second (fast) path must have been opened and used.
     let ids = net.client.path_ids();
     assert_eq!(ids.len(), 2, "paths: {ids:?}");
-    let secondary = ids.iter().find(|&&id| id != PathId::INITIAL).copied().unwrap();
+    let secondary = ids
+        .iter()
+        .find(|&&id| id != PathId::INITIAL)
+        .copied()
+        .unwrap();
     assert!(net.client.path(secondary).unwrap().bytes_sent > 0);
 }
 
@@ -491,7 +515,9 @@ fn lost_frames_are_retransmitted_on_the_other_path() {
     assert!(net.run_until(
         |n| {
             n.client.path(PathId(1)).is_some_and(|p| p.rtt_known())
-                && n.client.path(PathId::INITIAL).is_some_and(|p| p.rtt_known())
+                && n.client
+                    .path(PathId::INITIAL)
+                    .is_some_and(|p| p.rtt_known())
         },
         SimTime::from_secs(30),
     ));
@@ -590,18 +616,15 @@ fn tight_connection_window_still_completes_via_window_updates() {
     let mut config = Config::multipath();
     config.conn_recv_window = 64 << 10;
     config.stream_recv_window = 64 << 10;
-    let client = Connection::client(
-        config.clone(),
-        vec![addr(C0), addr(C1)],
-        0,
-        addr(S0),
-        1,
-    );
+    let client = Connection::client(config.clone(), vec![addr(C0), addr(C1)], 0, addr(S0), 1);
     let server = Connection::server(config, vec![addr(S0), addr(S1)], 2);
     let mut net = Net::new(client, server);
     let stream = net.client.open_stream();
     net.client
-        .stream_write(stream, Bytes::from((0..1_000_000u32).map(|i| i as u8).collect::<Vec<u8>>()))
+        .stream_write(
+            stream,
+            Bytes::from((0..1_000_000u32).map(|i| i as u8).collect::<Vec<u8>>()),
+        )
         .unwrap();
     net.client.stream_finish(stream);
     let mut received = Vec::new();
@@ -615,10 +638,10 @@ fn tight_connection_window_still_completes_via_window_updates() {
         SimTime::from_secs(120),
     ));
     assert_eq!(received.len(), 1_000_000);
-    assert!(received
-        .iter()
-        .enumerate()
-        .all(|(i, &b)| b == i as u8), "content integrity under window churn");
+    assert!(
+        received.iter().enumerate().all(|(i, &b)| b == i as u8),
+        "content integrity under window churn"
+    );
 }
 
 #[test]
@@ -642,7 +665,10 @@ fn paths_frame_shares_rtt_estimates() {
     ));
     let infos = net.server.peer_paths();
     // The client's srtt estimates travelled to the server.
-    let p1 = infos.iter().find(|i| i.path_id == PathId(1)).expect("path 1 entry");
+    let p1 = infos
+        .iter()
+        .find(|i| i.path_id == PathId(1))
+        .expect("path 1 entry");
     let reported_ms = p1.srtt_micros as f64 / 1000.0;
     assert!(
         (90.0..200.0).contains(&reported_ms),
@@ -674,12 +700,22 @@ fn qlog_records_the_connection_story() {
     let qlog = net.client.qlog();
     assert!(!qlog.is_empty());
     use mpquic_core::QlogEvent;
-    let sent = qlog.events().iter().filter(|e| matches!(e, QlogEvent::PacketSent { .. })).count();
-    let received = qlog.events().iter().filter(|e| matches!(e, QlogEvent::PacketReceived { .. })).count();
+    let sent = qlog
+        .events()
+        .iter()
+        .filter(|e| matches!(e, QlogEvent::PacketSent { .. }))
+        .count();
+    let received = qlog
+        .events()
+        .iter()
+        .filter(|e| matches!(e, QlogEvent::PacketReceived { .. }))
+        .count();
     assert_eq!(sent as u64, net.client.stats().packets_sent);
     assert_eq!(received as u64, net.client.stats().packets_received);
     assert!(
-        qlog.events().iter().any(|e| matches!(e, QlogEvent::PacketsLost { .. })),
+        qlog.events()
+            .iter()
+            .any(|e| matches!(e, QlogEvent::PacketsLost { .. })),
         "drops must surface as loss events"
     );
     assert!(qlog.bytes_sent_on(PathId::INITIAL) > 0);

@@ -182,7 +182,10 @@ mod tests {
     #[test]
     fn truncated_rejected() {
         let aead = Aead::new(key(6));
-        assert_eq!(aead.open(&[0; 12], b"", &[1, 2, 3]), Err(CryptoError::Truncated));
+        assert_eq!(
+            aead.open(&[0; 12], b"", &[1, 2, 3]),
+            Err(CryptoError::Truncated)
+        );
     }
 
     #[test]
@@ -203,7 +206,11 @@ mod tests {
         let c1 = aead.seal(&nonce, b"", b"AAAAAAAA");
         let c2 = aead.seal(&nonce, b"", b"BBBBBBBB");
         let xored: Vec<u8> = c1.iter().zip(&c2).take(8).map(|(a, b)| a ^ b).collect();
-        let expected: Vec<u8> = b"AAAAAAAA".iter().zip(b"BBBBBBBB").map(|(a, b)| a ^ b).collect();
+        let expected: Vec<u8> = b"AAAAAAAA"
+            .iter()
+            .zip(b"BBBBBBBB")
+            .map(|(a, b)| a ^ b)
+            .collect();
         assert_eq!(xored, expected);
     }
 

@@ -27,7 +27,7 @@ pub mod aead;
 pub mod handshake;
 pub mod nonce;
 
-pub use aead::{Aead, Key, CryptoError, TAG_SIZE};
+pub use aead::{Aead, CryptoError, Key, TAG_SIZE};
 pub use handshake::{
     ClientHandshake, HandshakeEvent, HandshakeMessage, ServerHandshake, SessionKeys,
 };

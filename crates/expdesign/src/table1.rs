@@ -308,10 +308,7 @@ mod tests {
         let a = design_scenarios(ExperimentClass::LowBdpNoLoss, 20);
         let b = design_scenarios(ExperimentClass::LowBdpLosses, 20);
         // Same seed would give identical capacities; different designs.
-        assert_ne!(
-            a[0].paths[0].capacity_mbps,
-            b[0].paths[0].capacity_mbps
-        );
+        assert_ne!(a[0].paths[0].capacity_mbps, b[0].paths[0].capacity_mbps);
     }
 
     #[test]
@@ -342,7 +339,10 @@ mod tests {
         // With log mapping, a decent fraction of scenarios should land
         // below 1 Mbps and a decent fraction above 10 Mbps.
         let s = design_scenarios(ExperimentClass::LowBdpNoLoss, SCENARIOS_PER_CLASS);
-        let caps: Vec<f64> = s.iter().flat_map(|x| x.paths.iter().map(|p| p.capacity_mbps)).collect();
+        let caps: Vec<f64> = s
+            .iter()
+            .flat_map(|x| x.paths.iter().map(|p| p.capacity_mbps))
+            .collect();
         let low = caps.iter().filter(|&&c| c < 1.0).count();
         let high = caps.iter().filter(|&&c| c > 10.0).count();
         assert!(low > caps.len() / 6, "{low}/{} below 1 Mbps", caps.len());

@@ -344,6 +344,10 @@ mod tests {
         assert!(t.written.is_empty(), "half a request: no response");
         t.deliver(&[0u8; PING_SIZE / 2 + PING_SIZE], false);
         app.drive(&mut t, SimTime::from_millis(1));
-        assert_eq!(t.written.len(), 2 * PING_SIZE, "two complete requests echoed");
+        assert_eq!(
+            t.written.len(),
+            2 * PING_SIZE,
+            "two complete requests echoed"
+        );
     }
 }

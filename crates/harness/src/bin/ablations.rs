@@ -4,9 +4,7 @@
 //! computational cost of the same variants.)
 
 use mpquic_core::SchedulerKind;
-use mpquic_harness::{
-    run_file_transfer, run_handover, HandoverConfig, Overrides, Protocol,
-};
+use mpquic_harness::{run_file_transfer, run_handover, HandoverConfig, Overrides, Protocol};
 use mpquic_netsim::PathSpec;
 use std::time::Duration;
 
@@ -32,7 +30,10 @@ fn main() {
     println!("-- packet scheduler (paper §3: duplicate on unknown-RTT paths) --");
     for (name, kind) in [
         ("lowest-RTT + duplicate (paper)", SchedulerKind::LowestRtt),
-        ("lowest-RTT, no duplication", SchedulerKind::LowestRttNoDuplicate),
+        (
+            "lowest-RTT, no duplication",
+            SchedulerKind::LowestRttNoDuplicate,
+        ),
         ("round-robin", SchedulerKind::RoundRobin),
     ] {
         let overrides = Overrides {
@@ -41,7 +42,11 @@ fn main() {
             ..Overrides::default()
         };
         let o = run_file_transfer(&heterogeneous(), Protocol::Mpquic, SIZE, 3, CAP, &overrides);
-        println!("  {name:<32} {:.3}s  ({:.2} Mbps)", o.duration_secs, o.goodput * 8.0 / 1e6);
+        println!(
+            "  {name:<32} {:.3}s  ({:.2} Mbps)",
+            o.duration_secs,
+            o.goodput * 8.0 / 1e6
+        );
     }
 
     // 2. WINDOW_UPDATE duplication under a tight receive window.
@@ -54,7 +59,11 @@ fn main() {
             ..Overrides::default()
         };
         let o = run_file_transfer(&heterogeneous(), Protocol::Mpquic, SIZE, 3, CAP, &overrides);
-        println!("  {name:<32} {:.3}s  ({:.2} Mbps)", o.duration_secs, o.goodput * 8.0 / 1e6);
+        println!(
+            "  {name:<32} {:.3}s  ({:.2} Mbps)",
+            o.duration_secs,
+            o.goodput * 8.0 / 1e6
+        );
     }
 
     // 3. PATHS frame during handover.
@@ -85,7 +94,11 @@ fn main() {
             ..Overrides::default()
         };
         let o = run_file_transfer(&heterogeneous(), Protocol::Mpquic, SIZE, 3, CAP, &overrides);
-        println!("  {name:<32} {:.3}s  ({:.2} Mbps)", o.duration_secs, o.goodput * 8.0 / 1e6);
+        println!(
+            "  {name:<32} {:.3}s  ({:.2} Mbps)",
+            o.duration_secs,
+            o.goodput * 8.0 / 1e6
+        );
     }
 
     // 5. MPTCP's ORP, in the regime it exists for: a shared receive
@@ -98,7 +111,11 @@ fn main() {
             ..Overrides::default()
         };
         let o = run_file_transfer(&heterogeneous(), Protocol::Mptcp, SIZE, 3, CAP, &overrides);
-        println!("  {name:<32} {:.3}s  ({:.2} Mbps)", o.duration_secs, o.goodput * 8.0 / 1e6);
+        println!(
+            "  {name:<32} {:.3}s  ({:.2} Mbps)",
+            o.duration_secs,
+            o.goodput * 8.0 / 1e6
+        );
     }
 
     // 6. ACK-range richness: the paper credits QUIC's 256 ACK ranges
@@ -106,7 +123,10 @@ fn main() {
     // ranges and compare on a lossy path, alongside real TCP.
     println!("\n-- ACK-range richness (2.5% loss, 100 ms RTT, 1 MB) --");
     let lossy = [PathSpec::new(10.0, 100, 50, 2.5)];
-    for (name, ranges) in [("QUIC, 256 ACK ranges (paper)", 256usize), ("QUIC capped to 3 ranges", 3)] {
+    for (name, ranges) in [
+        ("QUIC, 256 ACK ranges (paper)", 256usize),
+        ("QUIC capped to 3 ranges", 3),
+    ] {
         let overrides = Overrides {
             quic_ack_ranges: Some(ranges),
             ..Overrides::default()
@@ -114,7 +134,14 @@ fn main() {
         let o = run_file_transfer(&lossy, Protocol::Quic, 1 << 20, 3, CAP, &overrides);
         println!("  {name:<32} {:.3}s", o.duration_secs);
     }
-    let o = run_file_transfer(&lossy, Protocol::Tcp, 1 << 20, 3, CAP, &Overrides::default());
+    let o = run_file_transfer(
+        &lossy,
+        Protocol::Tcp,
+        1 << 20,
+        3,
+        CAP,
+        &Overrides::default(),
+    );
     println!("  {:<32} {:.3}s", "TCP (3 SACK blocks)", o.duration_secs);
 
     // 7. Shared-bottleneck fairness — the §3 argument for OLIA: a 2-path

@@ -15,7 +15,10 @@ fn main() {
 
     // --- 20 MB classes (Figs. 3-8) ---
     let large = args.size.unwrap_or(20 << 20);
-    println!("running 4 classes × {} scenarios × 2 start modes, {} B transfers\n", args.scenarios, large);
+    println!(
+        "running 4 classes × {} scenarios × 2 start modes, {} B transfers\n",
+        args.scenarios, large
+    );
 
     let low = run_class_sweep(&args.sweep(ExperimentClass::LowBdpNoLoss, large));
     maybe_write_json(&args, "low_bdp_no_loss", &low);
@@ -100,8 +103,16 @@ fn main() {
     let delays = run_handover(&HandoverConfig::default(), 42);
     println!("== Fig. 11 — handover ==");
     let worst = delays.iter().map(|(_, d)| *d).fold(0.0, f64::max);
-    let pre: Vec<f64> = delays.iter().filter(|(t, _)| *t < 2.8).map(|(_, d)| *d).collect();
-    let post: Vec<f64> = delays.iter().filter(|(t, _)| *t > 5.0).map(|(_, d)| *d).collect();
+    let pre: Vec<f64> = delays
+        .iter()
+        .filter(|(t, _)| *t < 2.8)
+        .map(|(_, d)| *d)
+        .collect();
+    let post: Vec<f64> = delays
+        .iter()
+        .filter(|(t, _)| *t > 5.0)
+        .map(|(_, d)| *d)
+        .collect();
     println!(
         "answered {}/37 requests | pre-failure ~{:.1} ms | failover spike {:.1} ms | post-failover ~{:.1} ms",
         delays.len(),

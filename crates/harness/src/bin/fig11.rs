@@ -28,5 +28,7 @@ fn main() {
         .collect();
     let post_avg = post.iter().sum::<f64>() / post.len().max(1) as f64;
     println!("# headline: worst delay {max_delay:.1} ms at failover; post-failover average {post_avg:.1} ms");
-    println!("# paper:    one request sees the RTO spike; connection continues on the functional path");
+    println!(
+        "# paper:    one request sees the RTO spike; connection continues on the functional path"
+    );
 }

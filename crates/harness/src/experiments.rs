@@ -243,8 +243,7 @@ pub fn reduce_outcomes(class: ExperimentClass, outcomes: Vec<ScenarioOutcome>) -
                 .push(mptcp.duration_secs / mpquic.duration_secs);
             results.eben_mpquic[start_idx]
                 .push(aggregation_benefit(mpquic.goodput, &quic_goodputs));
-            results.eben_mptcp[start_idx]
-                .push(aggregation_benefit(mptcp.goodput, &tcp_goodputs));
+            results.eben_mptcp[start_idx].push(aggregation_benefit(mptcp.goodput, &tcp_goodputs));
         }
     }
     results.outcomes = outcomes;
@@ -275,5 +274,8 @@ fn parallel_map<T: Sync, R: Send>(
         }
     });
     drop(slots);
-    results.into_iter().map(|r| r.expect("all filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("all filled"))
+        .collect()
 }

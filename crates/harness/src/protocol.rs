@@ -190,7 +190,8 @@ pub fn build_pair(
                 plan.server_addrs[0],
                 seed.wrapping_mul(2) + 1,
             );
-            let server = Connection::server(config, plan.server_addrs.clone(), seed.wrapping_mul(2) + 2);
+            let server =
+                Connection::server(config, plan.server_addrs.clone(), seed.wrapping_mul(2) + 2);
             (
                 AnyTransport::Quic(QuicTransport::client(client)),
                 AnyTransport::Quic(QuicTransport::server(server)),

@@ -100,8 +100,8 @@ fn print_cdf(name: &str, cdf: &Cdf) {
 pub fn maybe_write_json(args: &CliArgs, name: &str, results: &ClassResults) {
     if let Some(dir) = &args.json_dir {
         let path = std::path::Path::new(dir).join(format!("{name}.json"));
-        if let Err(e) = std::fs::create_dir_all(dir)
-            .and_then(|_| std::fs::write(&path, results.to_json()))
+        if let Err(e) =
+            std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, results.to_json()))
         {
             eprintln!("failed to write {}: {e}", path.display());
         } else {

@@ -184,8 +184,7 @@ pub fn run_handover(config: &HandoverConfig, seed: u64) -> Vec<(f64, f64)> {
         loss: Some(1.0),
         one_way_delay: None,
     });
-    let deadline =
-        SimTime::ZERO + config.interval * config.count as u32 + Duration::from_secs(10);
+    let deadline = SimTime::ZERO + config.interval * config.count as u32 + Duration::from_secs(10);
     let target = config.count;
     sim.run_until(deadline, |client, _, _| client.app.delays().len() >= target);
     sim.a

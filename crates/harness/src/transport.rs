@@ -4,12 +4,15 @@
 //! request/response) over four protocols. [`Transport`] exposes the
 //! common surface — a single bidirectional byte stream plus the sans-IO
 //! driving methods — and [`AnyTransport`] dispatches to either stack.
+//!
+//! The trait is substrate-agnostic: it speaks [`mpquic_util::Datagram`],
+//! so the same transport can be driven by the discrete-event simulator
+//! (`mpquic-netsim`) or by real UDP sockets (`mpquic-io`).
 
 use bytes::Bytes;
 use mpquic_core::{Connection, StreamId};
-use mpquic_netsim::Datagram;
 use mpquic_tcp::TcpStack;
-use mpquic_util::SimTime;
+use mpquic_util::{Datagram, SimTime};
 use std::net::SocketAddr;
 
 /// One bidirectional byte stream over some transport protocol, plus the
@@ -27,7 +30,13 @@ pub trait Transport {
     fn is_established(&self) -> bool;
 
     /// Feeds an incoming datagram.
-    fn handle_datagram(&mut self, now: SimTime, local: SocketAddr, remote: SocketAddr, payload: &[u8]);
+    fn handle_datagram(
+        &mut self,
+        now: SimTime,
+        local: SocketAddr,
+        remote: SocketAddr,
+        payload: &[u8],
+    );
     /// Produces the next outgoing datagram.
     fn poll_transmit(&mut self, now: SimTime) -> Option<Datagram>;
     /// Earliest pending protocol timer.
@@ -88,7 +97,13 @@ impl Transport for QuicTransport {
         self.conn.is_established()
     }
 
-    fn handle_datagram(&mut self, now: SimTime, local: SocketAddr, remote: SocketAddr, payload: &[u8]) {
+    fn handle_datagram(
+        &mut self,
+        now: SimTime,
+        local: SocketAddr,
+        remote: SocketAddr,
+        payload: &[u8],
+    ) {
         self.conn.handle_datagram(now, local, remote, payload);
         // Drain events; the polling applications don't consume them.
         while self.conn.poll_event().is_some() {}
@@ -146,7 +161,13 @@ impl Transport for TcpTransport {
         self.stack.is_established()
     }
 
-    fn handle_datagram(&mut self, now: SimTime, local: SocketAddr, remote: SocketAddr, payload: &[u8]) {
+    fn handle_datagram(
+        &mut self,
+        now: SimTime,
+        local: SocketAddr,
+        remote: SocketAddr,
+        payload: &[u8],
+    ) {
         self.stack.handle_datagram(now, local, remote, payload);
     }
 
@@ -219,7 +240,13 @@ impl Transport for AnyTransport {
     fn is_established(&self) -> bool {
         dispatch!(self, t => t.is_established())
     }
-    fn handle_datagram(&mut self, now: SimTime, local: SocketAddr, remote: SocketAddr, payload: &[u8]) {
+    fn handle_datagram(
+        &mut self,
+        now: SimTime,
+        local: SocketAddr,
+        remote: SocketAddr,
+        payload: &[u8],
+    ) {
         dispatch!(self, t => t.handle_datagram(now, local, remote, payload))
     }
     fn poll_transmit(&mut self, now: SimTime) -> Option<Datagram> {

@@ -21,7 +21,11 @@ const MB: usize = 1 << 20;
 fn every_protocol_completes_a_transfer() {
     let duo = [spec(8.0, 30, 50, 0.0), spec(4.0, 50, 50, 0.0)];
     for protocol in Protocol::ALL {
-        let specs: &[PathSpec] = if protocol.is_multipath() { &duo } else { &duo[..1] };
+        let specs: &[PathSpec] = if protocol.is_multipath() {
+            &duo
+        } else {
+            &duo[..1]
+        };
         let outcome = run_file_transfer(
             specs,
             protocol,
@@ -30,23 +34,37 @@ fn every_protocol_completes_a_transfer() {
             Duration::from_secs(120),
             &Overrides::default(),
         );
-        assert!(
-            outcome.completed,
-            "{} failed: {outcome:?}",
-            protocol.name()
-        );
+        assert!(outcome.completed, "{} failed: {outcome:?}", protocol.name());
         assert_eq!(outcome.bytes_received, 2 * MB as u64);
         // Sanity: the transfer should take at least the no-overhead
         // serialization time and less than the cap.
-        assert!(outcome.duration_secs > 1.0, "{}: {outcome:?}", protocol.name());
+        assert!(
+            outcome.duration_secs > 1.0,
+            "{}: {outcome:?}",
+            protocol.name()
+        );
     }
 }
 
 #[test]
 fn transfers_are_deterministic() {
     let specs = [spec(5.0, 40, 60, 1.0), spec(3.0, 60, 60, 1.0)];
-    let a = run_file_transfer(&specs, Protocol::Mpquic, MB, 99, Duration::from_secs(120), &Overrides::default());
-    let b = run_file_transfer(&specs, Protocol::Mpquic, MB, 99, Duration::from_secs(120), &Overrides::default());
+    let a = run_file_transfer(
+        &specs,
+        Protocol::Mpquic,
+        MB,
+        99,
+        Duration::from_secs(120),
+        &Overrides::default(),
+    );
+    let b = run_file_transfer(
+        &specs,
+        Protocol::Mpquic,
+        MB,
+        99,
+        Duration::from_secs(120),
+        &Overrides::default(),
+    );
     assert_eq!(a, b);
 }
 
@@ -55,8 +73,22 @@ fn quic_wins_short_transfers_thanks_to_handshake() {
     // 256 kB over a clean path: TCP pays 3 RTTs of handshake, QUIC 1.
     // With a 100 ms RTT the gap must be visible.
     let one = [spec(20.0, 100, 50, 0.0)];
-    let quic = run_file_transfer(&one, Protocol::Quic, 256 << 10, 3, Duration::from_secs(60), &Overrides::default());
-    let tcp = run_file_transfer(&one, Protocol::Tcp, 256 << 10, 3, Duration::from_secs(60), &Overrides::default());
+    let quic = run_file_transfer(
+        &one,
+        Protocol::Quic,
+        256 << 10,
+        3,
+        Duration::from_secs(60),
+        &Overrides::default(),
+    );
+    let tcp = run_file_transfer(
+        &one,
+        Protocol::Tcp,
+        256 << 10,
+        3,
+        Duration::from_secs(60),
+        &Overrides::default(),
+    );
     assert!(quic.completed && tcp.completed);
     assert!(
         tcp.duration_secs > quic.duration_secs + 0.15,
@@ -76,8 +108,22 @@ fn quic_handles_random_loss_better_than_tcp() {
     let mut quic_total = 0.0;
     let mut tcp_total = 0.0;
     for seed in 0..4 {
-        let quic = run_file_transfer(&lossy, Protocol::Quic, MB, seed, Duration::from_secs(300), &Overrides::default());
-        let tcp = run_file_transfer(&lossy, Protocol::Tcp, MB, seed, Duration::from_secs(300), &Overrides::default());
+        let quic = run_file_transfer(
+            &lossy,
+            Protocol::Quic,
+            MB,
+            seed,
+            Duration::from_secs(300),
+            &Overrides::default(),
+        );
+        let tcp = run_file_transfer(
+            &lossy,
+            Protocol::Tcp,
+            MB,
+            seed,
+            Duration::from_secs(300),
+            &Overrides::default(),
+        );
         assert!(quic.completed, "{quic:?}");
         quic_total += quic.duration_secs;
         tcp_total += tcp.duration_secs;
@@ -93,9 +139,30 @@ fn mpquic_aggregates_two_good_paths() {
     // Two similar clean paths: MPQUIC should get close to the sum of the
     // single-path QUIC goodputs (EBen near 1).
     let duo = [spec(8.0, 30, 100, 0.0), spec(8.0, 40, 100, 0.0)];
-    let multi = run_file_transfer(&duo, Protocol::Mpquic, 8 * MB, 5, Duration::from_secs(120), &Overrides::default());
-    let s0 = run_file_transfer(&duo[..1], Protocol::Quic, 8 * MB, 5, Duration::from_secs(120), &Overrides::default());
-    let s1 = run_file_transfer(&duo[1..], Protocol::Quic, 8 * MB, 5, Duration::from_secs(120), &Overrides::default());
+    let multi = run_file_transfer(
+        &duo,
+        Protocol::Mpquic,
+        8 * MB,
+        5,
+        Duration::from_secs(120),
+        &Overrides::default(),
+    );
+    let s0 = run_file_transfer(
+        &duo[..1],
+        Protocol::Quic,
+        8 * MB,
+        5,
+        Duration::from_secs(120),
+        &Overrides::default(),
+    );
+    let s1 = run_file_transfer(
+        &duo[1..],
+        Protocol::Quic,
+        8 * MB,
+        5,
+        Duration::from_secs(120),
+        &Overrides::default(),
+    );
     let eben = aggregation_benefit(multi.goodput, &[s0.goodput, s1.goodput]);
     assert!(
         eben > 0.6,
@@ -109,9 +176,30 @@ fn mpquic_aggregates_two_good_paths() {
 #[test]
 fn mptcp_also_aggregates_but_needs_join_time() {
     let duo = [spec(8.0, 30, 100, 0.0), spec(8.0, 40, 100, 0.0)];
-    let multi = run_file_transfer(&duo, Protocol::Mptcp, 8 * MB, 5, Duration::from_secs(120), &Overrides::default());
-    let s0 = run_file_transfer(&duo[..1], Protocol::Tcp, 8 * MB, 5, Duration::from_secs(120), &Overrides::default());
-    let s1 = run_file_transfer(&duo[1..], Protocol::Tcp, 8 * MB, 5, Duration::from_secs(120), &Overrides::default());
+    let multi = run_file_transfer(
+        &duo,
+        Protocol::Mptcp,
+        8 * MB,
+        5,
+        Duration::from_secs(120),
+        &Overrides::default(),
+    );
+    let s0 = run_file_transfer(
+        &duo[..1],
+        Protocol::Tcp,
+        8 * MB,
+        5,
+        Duration::from_secs(120),
+        &Overrides::default(),
+    );
+    let s1 = run_file_transfer(
+        &duo[1..],
+        Protocol::Tcp,
+        8 * MB,
+        5,
+        Duration::from_secs(120),
+        &Overrides::default(),
+    );
     let eben = aggregation_benefit(multi.goodput, &[s0.goodput, s1.goodput]);
     assert!(
         eben > 0.3,
@@ -155,7 +243,10 @@ fn handover_recovers_after_path_failure() {
         .filter(|(t, _)| *t > 6.0)
         .map(|(_, d)| *d)
         .collect();
-    assert!(!after.is_empty(), "requests must keep flowing after failover");
+    assert!(
+        !after.is_empty(),
+        "requests must keep flowing after failover"
+    );
     let after_median = {
         let mut sorted = after.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -226,29 +317,109 @@ fn scenario_runner_uses_initial_path_correctly() {
 #[ignore]
 fn probe_numbers() {
     // loss comparison across seeds and sizes
-    for (size, loss, rtt) in [(4*MB, 2.0, 40u64), (MB, 2.5, 40), (MB, 2.5, 100), (20*MB, 1.0, 40)] {
-        let mut q_sum = 0.0; let mut t_sum = 0.0;
+    for (size, loss, rtt) in [
+        (4 * MB, 2.0, 40u64),
+        (MB, 2.5, 40),
+        (MB, 2.5, 100),
+        (20 * MB, 1.0, 40),
+    ] {
+        let mut q_sum = 0.0;
+        let mut t_sum = 0.0;
         for seed in 0..5u64 {
             let lossy = [spec(10.0, rtt, 50, loss)];
-            let q = run_file_transfer(&lossy, Protocol::Quic, size, seed, Duration::from_secs(600), &Overrides::default());
-            let t = run_file_transfer(&lossy, Protocol::Tcp, size, seed, Duration::from_secs(600), &Overrides::default());
-            q_sum += q.duration_secs; t_sum += t.duration_secs;
+            let q = run_file_transfer(
+                &lossy,
+                Protocol::Quic,
+                size,
+                seed,
+                Duration::from_secs(600),
+                &Overrides::default(),
+            );
+            let t = run_file_transfer(
+                &lossy,
+                Protocol::Tcp,
+                size,
+                seed,
+                Duration::from_secs(600),
+                &Overrides::default(),
+            );
+            q_sum += q.duration_secs;
+            t_sum += t.duration_secs;
         }
-        eprintln!("size={}MB loss={loss}% rtt={rtt}: avg QUIC {:.2}s TCP {:.2}s ratio {:.3}", size/MB, q_sum/5.0, t_sum/5.0, t_sum/q_sum);
+        eprintln!(
+            "size={}MB loss={loss}% rtt={rtt}: avg QUIC {:.2}s TCP {:.2}s ratio {:.3}",
+            size / MB,
+            q_sum / 5.0,
+            t_sum / 5.0,
+            t_sum / q_sum
+        );
     }
     // aggregation probe
     let duo = [spec(8.0, 30, 100, 0.0), spec(8.0, 40, 100, 0.0)];
-    let multi = run_file_transfer(&duo, Protocol::Mpquic, 8*MB, 5, Duration::from_secs(120), &Overrides::default());
-    let s0 = run_file_transfer(&duo[..1], Protocol::Quic, 8*MB, 5, Duration::from_secs(120), &Overrides::default());
-    let s1 = run_file_transfer(&duo[1..], Protocol::Quic, 8*MB, 5, Duration::from_secs(120), &Overrides::default());
-    eprintln!("agg: multi {:.0}B/s singles {:.0}/{:.0} eben {:.3} multi_dur={:.2} s0_dur={:.2}",
-        multi.goodput, s0.goodput, s1.goodput,
-        aggregation_benefit(multi.goodput, &[s0.goodput, s1.goodput]), multi.duration_secs, s0.duration_secs);
-    let mt = run_file_transfer(&duo, Protocol::Mptcp, 8*MB, 5, Duration::from_secs(120), &Overrides::default());
-    let t0 = run_file_transfer(&duo[..1], Protocol::Tcp, 8*MB, 5, Duration::from_secs(120), &Overrides::default());
-    let t1 = run_file_transfer(&duo[1..], Protocol::Tcp, 8*MB, 5, Duration::from_secs(120), &Overrides::default());
-    eprintln!("agg tcp: multi {:.0} singles {:.0}/{:.0} eben {:.3}", mt.goodput, t0.goodput, t1.goodput,
-        aggregation_benefit(mt.goodput, &[t0.goodput, t1.goodput]));
+    let multi = run_file_transfer(
+        &duo,
+        Protocol::Mpquic,
+        8 * MB,
+        5,
+        Duration::from_secs(120),
+        &Overrides::default(),
+    );
+    let s0 = run_file_transfer(
+        &duo[..1],
+        Protocol::Quic,
+        8 * MB,
+        5,
+        Duration::from_secs(120),
+        &Overrides::default(),
+    );
+    let s1 = run_file_transfer(
+        &duo[1..],
+        Protocol::Quic,
+        8 * MB,
+        5,
+        Duration::from_secs(120),
+        &Overrides::default(),
+    );
+    eprintln!(
+        "agg: multi {:.0}B/s singles {:.0}/{:.0} eben {:.3} multi_dur={:.2} s0_dur={:.2}",
+        multi.goodput,
+        s0.goodput,
+        s1.goodput,
+        aggregation_benefit(multi.goodput, &[s0.goodput, s1.goodput]),
+        multi.duration_secs,
+        s0.duration_secs
+    );
+    let mt = run_file_transfer(
+        &duo,
+        Protocol::Mptcp,
+        8 * MB,
+        5,
+        Duration::from_secs(120),
+        &Overrides::default(),
+    );
+    let t0 = run_file_transfer(
+        &duo[..1],
+        Protocol::Tcp,
+        8 * MB,
+        5,
+        Duration::from_secs(120),
+        &Overrides::default(),
+    );
+    let t1 = run_file_transfer(
+        &duo[1..],
+        Protocol::Tcp,
+        8 * MB,
+        5,
+        Duration::from_secs(120),
+        &Overrides::default(),
+    );
+    eprintln!(
+        "agg tcp: multi {:.0} singles {:.0}/{:.0} eben {:.3}",
+        mt.goodput,
+        t0.goodput,
+        t1.goodput,
+        aggregation_benefit(mt.goodput, &[t0.goodput, t1.goodput])
+    );
 }
 
 #[test]
@@ -259,15 +430,30 @@ fn probe_mpquic_paths() {
     use mpquic_util::SimTime;
     let duo = [spec(8.0, 30, 100, 0.0), spec(8.0, 40, 100, 0.0)];
     let plan = NetworkPlan::two_host(&duo);
-    eprintln!("plan client={:?} server={:?}", plan.client_addrs, plan.server_addrs);
-    let (c, s) = build_pair(Protocol::Mpquic, &plan, 5, App::file_client(100), App::file_server(100, 8*MB), &Overrides::default());
+    eprintln!(
+        "plan client={:?} server={:?}",
+        plan.client_addrs, plan.server_addrs
+    );
+    let (c, s) = build_pair(
+        Protocol::Mpquic,
+        &plan,
+        5,
+        App::file_client(100),
+        App::file_server(100, 8 * MB),
+        &Overrides::default(),
+    );
     let mut sim = Simulation::new(c, s, plan, 5);
-    sim.run_until(SimTime::ZERO + Duration::from_secs(120), |a, _, _| a.app.done_at().is_some());
+    sim.run_until(SimTime::ZERO + Duration::from_secs(120), |a, _, _| {
+        a.app.done_at().is_some()
+    });
     let conn = sim.a.transport.quic().unwrap();
     eprintln!("client paths: {:?}", conn.path_ids());
     for id in conn.path_ids() {
         let p = conn.path(id).unwrap();
-        eprintln!("  {:?}: local={} remote={} sent={} recv={} state={:?}", id, p.local, p.remote, p.bytes_sent, p.bytes_received, p.state);
+        eprintln!(
+            "  {:?}: local={} remote={} sent={} recv={} state={:?}",
+            id, p.local, p.remote, p.bytes_sent, p.bytes_received, p.state
+        );
     }
     eprintln!("stats: {:?}", conn.stats());
     eprintln!("net: {:?}", sim.stats());
@@ -282,7 +468,14 @@ fn probe_tcp_clean() {
     use mpquic_util::SimTime;
     let one = [spec(8.0, 30, 100, 0.0)];
     let plan = NetworkPlan::two_host(&one);
-    let (c, s) = build_pair(Protocol::Tcp, &plan, 5, App::file_client(100), App::file_server(100, 8*MB), &Overrides::default());
+    let (c, s) = build_pair(
+        Protocol::Tcp,
+        &plan,
+        5,
+        App::file_client(100),
+        App::file_server(100, 8 * MB),
+        &Overrides::default(),
+    );
     let mut sim = Simulation::new(c, s, plan, 5);
     let mut last_print = 0u64;
     sim.run_until(SimTime::ZERO + Duration::from_secs(120), |a, b, now| {
@@ -295,7 +488,11 @@ fn probe_tcp_clean() {
         }
         a.app.done_at().is_some()
     });
-    eprintln!("done at {:?} bytes {}", sim.a.app.done_at(), sim.a.app.bytes_received());
+    eprintln!(
+        "done at {:?} bytes {}",
+        sim.a.app.done_at(),
+        sim.a.app.bytes_received()
+    );
     eprintln!("server stats: {:?}", sim.b.transport.tcp().unwrap().stats());
     eprintln!("client stats: {:?}", sim.a.transport.tcp().unwrap().stats());
     eprintln!("net: {:?}", sim.stats());
@@ -309,8 +506,22 @@ fn probe_tcp_pathologies() {
     for sc in &scenarios {
         let specs = sc.path_specs();
         for (i, sp) in specs.iter().enumerate() {
-            let q = run_file_transfer(&specs[i..i+1], Protocol::Quic, 2*MB, 1, Duration::from_secs(120), &Overrides::default());
-            let t = run_file_transfer(&specs[i..i+1], Protocol::Tcp, 2*MB, 1, Duration::from_secs(120), &Overrides::default());
+            let q = run_file_transfer(
+                &specs[i..i + 1],
+                Protocol::Quic,
+                2 * MB,
+                1,
+                Duration::from_secs(120),
+                &Overrides::default(),
+            );
+            let t = run_file_transfer(
+                &specs[i..i + 1],
+                Protocol::Tcp,
+                2 * MB,
+                1,
+                Duration::from_secs(120),
+                &Overrides::default(),
+            );
             let ratio = t.duration_secs / q.duration_secs;
             if !(0.5..=2.0).contains(&ratio) {
                 eprintln!("#{} path{}: cap={:.2}Mbps rtt={:.1}ms queue={:.1}ms -> TCP {:.1}s QUIC {:.1}s ratio {:.2} (tcp complete={} bytes={})",
@@ -329,11 +540,23 @@ fn probe_low_capacity_quic() {
     use mpquic_util::SimTime;
     let one = [spec(0.25, 35, 20, 0.0)];
     let plan = NetworkPlan::two_host(&one);
-    let (c, s) = build_pair(Protocol::Quic, &plan, 1, App::file_client(100), App::file_server(100, 2*MB), &Overrides::default());
+    let (c, s) = build_pair(
+        Protocol::Quic,
+        &plan,
+        1,
+        App::file_client(100),
+        App::file_server(100, 2 * MB),
+        &Overrides::default(),
+    );
     let mut sim = Simulation::new(c, s, plan, 1);
-    sim.run_until(SimTime::ZERO + Duration::from_secs(400), |a, _, _| a.app.done_at().is_some());
+    sim.run_until(SimTime::ZERO + Duration::from_secs(400), |a, _, _| {
+        a.app.done_at().is_some()
+    });
     eprintln!("QUIC done at {:?}", sim.a.app.done_at());
-    eprintln!("server conn stats: {:?}", sim.b.transport.quic().unwrap().stats());
+    eprintln!(
+        "server conn stats: {:?}",
+        sim.b.transport.quic().unwrap().stats()
+    );
     eprintln!("net: {:?}", sim.stats());
 }
 
@@ -347,8 +570,19 @@ fn bbr_lite_extension_completes_transfers() {
     };
     let duo = [spec(10.0, 40, 100, 0.0), spec(5.0, 60, 100, 0.0)];
     for protocol in [Protocol::Quic, Protocol::Mpquic] {
-        let specs: &[PathSpec] = if protocol.is_multipath() { &duo } else { &duo[..1] };
-        let outcome = run_file_transfer(specs, protocol, 2 * MB, 4, Duration::from_secs(120), &overrides);
+        let specs: &[PathSpec] = if protocol.is_multipath() {
+            &duo
+        } else {
+            &duo[..1]
+        };
+        let outcome = run_file_transfer(
+            specs,
+            protocol,
+            2 * MB,
+            4,
+            Duration::from_secs(120),
+            &overrides,
+        );
         assert!(outcome.completed, "{}: {outcome:?}", protocol.name());
         // Throughput sanity: at least half the bottleneck link.
         assert!(

@@ -1,0 +1,144 @@
+//! `mpq-server` — accept one authenticated file transfer over real UDP.
+//!
+//! ```text
+//! mpq-server [--listen ADDR]... [--single-path | --multipath]
+//!            [--qlog FILE] [--out DIR] [--seed N] [--timeout SECS]
+//! ```
+//!
+//! Binds one UDP socket per `--listen` address (default `127.0.0.1:4433`),
+//! waits for an `mpq-client`, receives one file, verifies its checksum,
+//! reports the verdict to the client, prints per-path transfer statistics
+//! and exits. With `--multipath` (the default) every listen address is
+//! advertised to the client via ADD_ADDRESS so it can open one path per
+//! local interface.
+
+use mpquic_core::Config;
+use mpquic_io::cli::{entropy_seed, print_report, Args};
+use mpquic_io::{quic_server, transfer, BlockingStream};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("mpq-server: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = Args::parse();
+    if args.has("help") {
+        println!(
+            "usage: mpq-server [--listen ADDR]... [--single-path|--multipath] \
+             [--qlog FILE] [--out DIR] [--seed N] [--timeout SECS]"
+        );
+        return Ok(());
+    }
+
+    let mut listen = args.addrs("listen")?;
+    if listen.is_empty() {
+        listen.push("127.0.0.1:4433".parse::<SocketAddr>().unwrap());
+    }
+    let single_path = args.has("single-path");
+    let qlog_path = args.value("qlog").map(str::to_string);
+    let out_dir = args.value("out").map(str::to_string);
+    let seed = match args.value("seed") {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| "--seed: not a number".to_string())?,
+        None => entropy_seed(),
+    };
+    let timeout = Duration::from_secs(match args.value("timeout") {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| "--timeout: not a number".to_string())?,
+        None => 600,
+    });
+
+    let mut config = if single_path {
+        Config::single_path()
+    } else {
+        Config::multipath()
+    };
+    config.enable_qlog = qlog_path.is_some();
+
+    let driver = quic_server(config, &listen, seed).map_err(|e| format!("bind: {e}"))?;
+    println!(
+        "listening on {:?} ({})",
+        driver.local_addrs(),
+        if single_path {
+            "single-path"
+        } else {
+            "multipath"
+        }
+    );
+
+    let mut stream = BlockingStream::with_timeout(driver, timeout);
+    stream
+        .wait_established()
+        .map_err(|e| format!("handshake: {e}"))?;
+    let started = Instant::now();
+
+    let received = transfer::recv_request(&mut stream);
+    let (verdict, checksum, saved) = match &received {
+        Ok((header, payload)) => {
+            println!(
+                "received {:?}: {} bytes, checksum {:#018x} verified",
+                header.name, header.size, header.checksum
+            );
+            let saved = match &out_dir {
+                Some(dir) => save_upload(dir, &header.name, payload).map(Some)?,
+                None => None,
+            };
+            (true, header.checksum, saved)
+        }
+        Err(e) => {
+            eprintln!("transfer failed verification: {e}");
+            (false, 0, None)
+        }
+    };
+    if let Some(path) = saved {
+        println!("saved to {path}");
+    }
+
+    transfer::send_response(&mut stream, verdict, checksum)
+        .map_err(|e| format!("response: {e}"))?;
+    stream.finish().map_err(|e| format!("finish: {e}"))?;
+
+    // Linger until the client has acknowledged the response (stream 1 is
+    // the single application stream) or a short grace period passes.
+    let driver = stream.driver_mut();
+    let _ = driver.run_until(Duration::from_secs(2), |t| {
+        t.conn.stream_fully_acked(1) || t.conn.is_closed()
+    });
+
+    let elapsed = started.elapsed().as_secs_f64();
+    print_report("mpq-server", driver.connection(), &driver.stats(), elapsed);
+    if let Some(path) = qlog_path {
+        driver
+            .connection()
+            .qlog()
+            .write_json(&path)
+            .map_err(|e| format!("qlog: {e}"))?;
+        println!("qlog written to {path}");
+    }
+    if !verdict {
+        return Err("upload did not verify".into());
+    }
+    Ok(())
+}
+
+/// Stores an upload under `dir`, keeping only the name's final component
+/// so a client cannot traverse outside the directory.
+fn save_upload(dir: &str, name: &str, payload: &[u8]) -> Result<String, String> {
+    let base = Path::new(name)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .filter(|n| n != "..")
+        .unwrap_or_else(|| "upload.bin".to_string());
+    std::fs::create_dir_all(dir).map_err(|e| format!("--out: {e}"))?;
+    let path = Path::new(dir).join(base);
+    std::fs::write(&path, payload).map_err(|e| format!("--out: {e}"))?;
+    Ok(path.display().to_string())
+}

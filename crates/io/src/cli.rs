@@ -1,0 +1,169 @@
+//! Minimal flag parsing and reporting shared by `mpq-server` and
+//! `mpq-client` (std-only; no argument-parsing dependency).
+
+use mpquic_core::Connection;
+use std::net::SocketAddr;
+
+use crate::driver::IoStats;
+
+/// A parsed command line: flags with optional values, in order.
+#[derive(Debug, Default)]
+pub struct Args {
+    items: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parses `std::env::args` (skipping the program name). Flags start
+    /// with `--`; a flag's value is the following argument unless that
+    /// also starts with `--`.
+    pub fn parse() -> Args {
+        Args::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (used by tests).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Args {
+        let mut items = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(flag) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next(),
+                    _ => None,
+                };
+                items.push((flag.to_string(), value));
+            } else {
+                // Bare positional: keep under an empty flag name.
+                items.push((String::new(), Some(arg)));
+            }
+        }
+        Args { items }
+    }
+
+    /// True if `flag` appeared.
+    pub fn has(&self, flag: &str) -> bool {
+        self.items.iter().any(|(name, _)| name == flag)
+    }
+
+    /// The last value given for `flag`.
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.items
+            .iter()
+            .rev()
+            .find(|(name, _)| name == flag)
+            .and_then(|(_, value)| value.as_deref())
+    }
+
+    /// Every value given for a repeatable `flag`, in order.
+    pub fn values(&self, flag: &str) -> Vec<&str> {
+        self.items
+            .iter()
+            .filter(|(name, _)| name == flag)
+            .filter_map(|(_, value)| value.as_deref())
+            .collect()
+    }
+
+    /// Parses every value of a repeatable address flag.
+    pub fn addrs(&self, flag: &str) -> Result<Vec<SocketAddr>, String> {
+        self.values(flag)
+            .into_iter()
+            .map(|value| {
+                value
+                    .parse()
+                    .map_err(|_| format!("--{flag}: invalid address {value:?}"))
+            })
+            .collect()
+    }
+}
+
+/// A process-unique RNG seed for connection IDs (the protocol needs
+/// unpredictability only across invocations, not cryptographic strength —
+/// packet protection supplies that).
+pub fn entropy_seed() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    nanos ^ (std::process::id() as u64).rotate_left(32)
+}
+
+/// Prints the end-of-run report both binaries share: per-path byte
+/// counts and smoothed RTTs, connection totals, and socket-level counters.
+pub fn print_report(label: &str, conn: &Connection, io: &IoStats, elapsed_secs: f64) {
+    let stats = conn.stats();
+    println!("--- {label} ---");
+    for id in conn.path_ids() {
+        let Some(path) = conn.path(id) else { continue };
+        println!(
+            "path {}: {} -> {}  sent {} B, received {} B, srtt {:.2} ms",
+            id.0,
+            path.local,
+            path.remote,
+            path.bytes_sent,
+            path.bytes_received,
+            path.rtt.srtt().as_secs_f64() * 1e3,
+        );
+    }
+    println!(
+        "totals: {} pkts / {} B sent, {} pkts / {} B received, {} retransmitted frames, {} RTOs",
+        stats.packets_sent,
+        stats.bytes_sent,
+        stats.packets_received,
+        stats.bytes_received,
+        stats.frames_retransmitted,
+        stats.rtos,
+    );
+    println!(
+        "sockets: {} datagrams out ({} dropped at socket), {} in, {} timer fires",
+        io.datagrams_sent, io.send_drops, io.datagrams_received, io.timer_fires,
+    );
+    if elapsed_secs > 0.0 {
+        let goodput = stats.bytes_sent.max(stats.bytes_received) as f64 * 8.0 / elapsed_secs / 1e6;
+        println!("elapsed: {elapsed_secs:.3} s ({goodput:.2} Mbit/s on the busier direction)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::from_args(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn flags_values_and_repeats() {
+        let a = args(&[
+            "--listen",
+            "127.0.0.1:4433",
+            "--local",
+            "1.2.3.4:0",
+            "--local",
+            "5.6.7.8:0",
+            "--single-path",
+            "--qlog",
+            "out.jsonl",
+        ]);
+        assert!(a.has("single-path"));
+        assert!(!a.has("multipath"));
+        assert_eq!(a.value("listen"), Some("127.0.0.1:4433"));
+        assert_eq!(a.value("qlog"), Some("out.jsonl"));
+        assert_eq!(a.values("local").len(), 2);
+        assert_eq!(a.addrs("local").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn flag_followed_by_flag_has_no_value() {
+        let a = args(&["--multipath", "--qlog", "q.jsonl"]);
+        assert!(a.has("multipath"));
+        assert_eq!(a.value("multipath"), None);
+        assert_eq!(a.value("qlog"), Some("q.jsonl"));
+    }
+
+    #[test]
+    fn bad_address_reports_the_flag() {
+        let a = args(&["--local", "not-an-addr"]);
+        let err = a.addrs("local").unwrap_err();
+        assert!(err.contains("--local"));
+    }
+}

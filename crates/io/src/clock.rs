@@ -1,0 +1,60 @@
+//! Mapping the wall clock onto the protocol's time line.
+//!
+//! Every state machine in this workspace is sans-IO and consumes
+//! [`SimTime`] — nanoseconds since an arbitrary origin. In the simulator
+//! the origin is the start of the simulation; here it is the moment the
+//! [`Clock`] was created. The mapping is monotonic (`std::time::Instant`
+//! underneath), so suspend/resume or NTP slews cannot run protocol timers
+//! backwards.
+
+use mpquic_util::SimTime;
+use std::time::Instant;
+
+/// A monotonic wall clock expressed on the [`SimTime`] time line.
+#[derive(Debug, Clone, Copy)]
+pub struct Clock {
+    start: Instant,
+}
+
+impl Clock {
+    /// Creates a clock whose origin (`SimTime::ZERO`) is *now*.
+    pub fn new() -> Clock {
+        Clock {
+            start: Instant::now(),
+        }
+    }
+
+    /// The current instant on the protocol time line.
+    pub fn now(&self) -> SimTime {
+        let nanos = self.start.elapsed().as_nanos();
+        SimTime::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let clock = Clock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn clock_advances() {
+        let clock = Clock::new();
+        let a = clock.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = clock.now();
+        assert!(b.saturating_duration_since(a) >= std::time::Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,241 @@
+//! The connection driver: a deadline-driven event loop over real sockets.
+//!
+//! [`Driver`] owns the three things a sans-IO transport needs to touch the
+//! real world — a [`SocketRegistry`] (one non-blocking UDP socket per
+//! local interface), a [`Clock`], and a [`Timer`] — and pumps any
+//! [`Transport`] implementation through the canonical sans-IO cycle:
+//!
+//! ```text
+//! ingress:  socket.recv  ─→ transport.handle_datagram(now, ...)
+//! timers:   next_timeout ─→ transport.on_timeout(now) when due
+//! egress:   transport.poll_transmit(now) ─→ socket.send (by local addr)
+//! ```
+//!
+//! The same cycle drives the discrete-event simulator
+//! (`mpquic_netsim::Simulation`); this module is its real-network twin, so
+//! every protocol feature exercised in the paper's experiments — the
+//! lowest-RTT scheduler, per-path packet-number spaces, PATHS-frame
+//! handover — runs unchanged over the OS network stack.
+
+use mpquic_core::{Config, Connection};
+use mpquic_harness::{QuicTransport, Transport};
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use crate::clock::Clock;
+use crate::socket::{RecvMeta, SocketRegistry, MAX_DATAGRAM};
+use crate::timer::Timer;
+
+/// Per-step caps so a flood on one side of the cycle cannot starve the
+/// other (or the timers) indefinitely.
+const MAX_RECV_PER_STEP: usize = 256;
+const MAX_SEND_PER_STEP: usize = 256;
+
+/// Counters describing what the event loop did (socket-level view; the
+/// transport's own `ConnStats` counts the protocol-level view).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Datagrams handed to the OS.
+    pub datagrams_sent: u64,
+    /// Datagrams received from the OS and fed to the transport.
+    pub datagrams_received: u64,
+    /// UDP payload bytes sent.
+    pub bytes_sent: u64,
+    /// UDP payload bytes received.
+    pub bytes_received: u64,
+    /// Datagrams dropped locally because the socket buffer stayed full.
+    pub send_drops: u64,
+    /// Times a due protocol deadline was fired.
+    pub timer_fires: u64,
+}
+
+/// Drives one sans-IO [`Transport`] over real UDP sockets.
+#[derive(Debug)]
+pub struct Driver<T: Transport> {
+    transport: T,
+    sockets: SocketRegistry,
+    clock: Clock,
+    timer: Timer,
+    buf: Vec<u8>,
+    stats: IoStats,
+}
+
+impl<T: Transport> Driver<T> {
+    /// Builds a driver from an already-constructed transport and registry.
+    /// The transport's local addresses must match the registry's bound
+    /// addresses (the convenience constructors [`quic_client`] and
+    /// [`quic_server`] guarantee this).
+    pub fn new(transport: T, sockets: SocketRegistry) -> Driver<T> {
+        Driver {
+            transport,
+            sockets,
+            clock: Clock::new(),
+            timer: Timer::new(),
+            buf: vec![0u8; MAX_DATAGRAM],
+            stats: IoStats::default(),
+        }
+    }
+
+    /// The transport being driven.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Mutable access to the transport (write application data, read
+    /// chunks, inspect the connection).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Consumes the driver, returning the transport (sockets close).
+    pub fn into_transport(self) -> T {
+        self.transport
+    }
+
+    /// The bound local addresses, in bind order.
+    pub fn local_addrs(&self) -> Vec<SocketAddr> {
+        self.sockets.local_addrs()
+    }
+
+    /// The current instant on the transport's time line.
+    pub fn now(&self) -> mpquic_util::SimTime {
+        self.clock.now()
+    }
+
+    /// Socket-level counters.
+    pub fn stats(&self) -> IoStats {
+        let mut stats = self.stats;
+        stats.send_drops = self.sockets.send_drops();
+        stats
+    }
+
+    /// Runs one non-sleeping iteration of the event loop: fires due
+    /// timers, drains ingress into the transport, drains the transport's
+    /// egress to the sockets. Returns `true` if anything happened —
+    /// callers sleep (see [`Timer::sleep_for`]) only when it returns
+    /// `false`.
+    pub fn step(&mut self) -> io::Result<bool> {
+        let mut progressed = false;
+
+        // 1. Protocol timers.
+        let now = self.clock.now();
+        if self.timer.is_due(now, self.transport.next_timeout()) {
+            self.transport.on_timeout(now);
+            self.stats.timer_fires += 1;
+            progressed = true;
+        }
+
+        // 2. Ingress first: ACKs open congestion window that egress below
+        //    can immediately use.
+        for _ in 0..MAX_RECV_PER_STEP {
+            let Some(RecvMeta { local, remote, len }) = self.sockets.poll_recv(&mut self.buf)?
+            else {
+                break;
+            };
+            let now = self.clock.now();
+            self.transport
+                .handle_datagram(now, local, remote, &self.buf[..len]);
+            self.stats.datagrams_received += 1;
+            self.stats.bytes_received += len as u64;
+            progressed = true;
+        }
+
+        // 3. Egress: each datagram goes out the socket bound to the local
+        //    address the scheduler chose — that *is* the path selection.
+        for _ in 0..MAX_SEND_PER_STEP {
+            let Some(datagram) = self.transport.poll_transmit(self.clock.now()) else {
+                break;
+            };
+            let sent =
+                self.sockets
+                    .send_from(datagram.local, datagram.remote, &datagram.payload)?;
+            if sent {
+                self.stats.datagrams_sent += 1;
+                self.stats.bytes_sent += datagram.payload.len() as u64;
+            }
+            progressed = true;
+        }
+
+        Ok(progressed)
+    }
+
+    /// Pumps the loop until `done(transport)` returns `true` or `timeout`
+    /// of wall time elapses. Returns whether `done` was reached. Between
+    /// idle iterations the loop sleeps until the transport's next
+    /// deadline, clamped to the polling granularity.
+    pub fn run_until(
+        &mut self,
+        timeout: Duration,
+        mut done: impl FnMut(&mut T) -> bool,
+    ) -> io::Result<bool> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if done(&mut self.transport) {
+                return Ok(true);
+            }
+            if Instant::now() >= deadline {
+                return Ok(false);
+            }
+            if !self.step()? {
+                let sleep = self
+                    .timer
+                    .sleep_for(self.clock.now(), self.transport.next_timeout());
+                if !sleep.is_zero() {
+                    std::thread::sleep(sleep);
+                }
+            }
+        }
+    }
+
+    /// Pumps the loop for (at least) `duration` of wall time — useful to
+    /// flush final packets (a CONNECTION_CLOSE, the last ACKs) before
+    /// dropping the driver.
+    pub fn run_for(&mut self, duration: Duration) -> io::Result<()> {
+        self.run_until(duration, |_| false).map(|_| ())
+    }
+}
+
+impl Driver<QuicTransport> {
+    /// The underlying (MP)QUIC connection.
+    pub fn connection(&self) -> &Connection {
+        &self.transport().conn
+    }
+
+    /// Mutable access to the underlying connection.
+    pub fn connection_mut(&mut self) -> &mut Connection {
+        &mut self.transport_mut().conn
+    }
+}
+
+/// Binds `local_addrs` (port 0 allowed) and dials `remote` from the first
+/// of them: the real-socket equivalent of `Connection::client`. With
+/// multipath enabled and several local addresses, the path manager opens
+/// one additional path per extra address once the handshake completes,
+/// exactly as in the simulator.
+pub fn quic_client(
+    config: Config,
+    local_addrs: &[SocketAddr],
+    remote: SocketAddr,
+    seed: u64,
+) -> io::Result<Driver<QuicTransport>> {
+    let sockets = SocketRegistry::bind(local_addrs)?;
+    let bound = sockets.local_addrs();
+    let conn = Connection::client(config, bound, 0, remote, seed);
+    Ok(Driver::new(QuicTransport::client(conn), sockets))
+}
+
+/// Binds `local_addrs` and waits for a client: the real-socket equivalent
+/// of `Connection::server`. The first authenticated datagram creates the
+/// initial path; with multipath enabled the server advertises every bound
+/// address via ADD_ADDRESS so the client can open the additional paths.
+pub fn quic_server(
+    config: Config,
+    local_addrs: &[SocketAddr],
+    seed: u64,
+) -> io::Result<Driver<QuicTransport>> {
+    let sockets = SocketRegistry::bind(local_addrs)?;
+    let bound = sockets.local_addrs();
+    let conn = Connection::server(config, bound, seed);
+    Ok(Driver::new(QuicTransport::server(conn), sockets))
+}

@@ -1,0 +1,68 @@
+//! # mpquic-io — the real-socket runtime
+//!
+//! Everything in `mpquic-core` is sans-IO: a [`mpquic_core::Connection`]
+//! only ever sees datagrams, instants and timer callbacks. The simulator
+//! (`mpquic-netsim`) feeds it a modelled network; this crate feeds it the
+//! *real* one, through `std::net::UdpSocket` — no async runtime, no
+//! platform pollers, no new dependencies.
+//!
+//! The pieces, mirroring how deployed stacks split platform IO from
+//! transport logic:
+//!
+//! * [`socket::SocketRegistry`] — one non-blocking UDP socket per local
+//!   interface address; outgoing datagrams are routed to the socket bound
+//!   to their source address, which is how the scheduler's path choice
+//!   reaches the OS.
+//! * [`clock::Clock`] — maps the monotonic wall clock onto the
+//!   `SimTime` time line the protocol speaks.
+//! * [`timer::Timer`] — deadline arithmetic: sleep exactly until the
+//!   transport's next RTO/ACK/probe deadline, never past it.
+//! * [`driver::Driver`] — the event loop pumping any
+//!   [`mpquic_harness::Transport`] (QUIC, and equally the TCP stack)
+//!   through the ingress → timers → egress cycle.
+//! * [`stream::BlockingStream`] — `std::io::Read`/`Write` over the
+//!   transport's byte stream, for ordinary blocking application code.
+//! * [`transfer`] — the tiny authenticated file-transfer protocol the
+//!   `mpq-server` / `mpq-client` binaries speak.
+//!
+//! ## A multipath transfer over real sockets
+//!
+//! ```no_run
+//! use mpquic_core::Config;
+//! use mpquic_io::{quic_client, BlockingStream};
+//! use std::io::Write;
+//!
+//! // Two local interfaces (here: two loopback ports) — the path manager
+//! // opens the second path automatically after the handshake.
+//! let driver = quic_client(
+//!     Config::multipath(),
+//!     &["127.0.0.1:0".parse().unwrap(), "127.0.0.1:0".parse().unwrap()],
+//!     "127.0.0.1:4433".parse().unwrap(),
+//!     7,
+//! ).unwrap();
+//! let mut stream = BlockingStream::new(driver);
+//! stream.wait_established().unwrap();
+//! stream.write_all(b"over two real UDP sockets").unwrap();
+//! stream.finish().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod clock;
+pub mod driver;
+pub mod socket;
+pub mod stream;
+pub mod timer;
+pub mod transfer;
+
+pub use clock::Clock;
+pub use driver::{quic_client, quic_server, Driver, IoStats};
+pub use socket::SocketRegistry;
+pub use stream::BlockingStream;
+pub use timer::Timer;
+
+// The abstractions this runtime plugs into, re-exported for convenience.
+pub use mpquic_harness::{QuicTransport, Transport};
+pub use mpquic_util::Datagram;

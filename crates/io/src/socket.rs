@@ -1,0 +1,217 @@
+//! The socket registry: one non-blocking UDP socket per local address.
+//!
+//! A multipath endpoint is multihomed by definition — the client in the
+//! paper's Fig. 2 owns a WiFi and an LTE interface. The registry binds one
+//! `std::net::UdpSocket` per local address, keeps them all in non-blocking
+//! mode, and routes each outgoing [`mpquic_util::Datagram`] to the socket
+//! bound to the datagram's source address (that is how a `Transmit`
+//! selects its path at the OS level).
+//!
+//! Receive is poll-based: [`SocketRegistry::poll_recv`] round-robins over
+//! the sockets so a busy path cannot starve a quiet one. The event loop in
+//! [`crate::driver`] owns the cadence (it sleeps until the next protocol
+//! deadline between polls).
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+
+/// Largest datagram the registry can receive (UDP's theoretical maximum;
+/// the connection itself never sends more than its configured MTU).
+pub const MAX_DATAGRAM: usize = 65_535;
+
+/// How many times a send that hit a full socket buffer is retried before
+/// the datagram is treated as dropped (loss recovery retransmits it).
+const SEND_RETRIES: u32 = 3;
+
+/// One received datagram's addressing, paired with a caller buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvMeta {
+    /// The local address the datagram arrived on (identifies the path's
+    /// local end).
+    pub local: SocketAddr,
+    /// The sender's address.
+    pub remote: SocketAddr,
+    /// Payload length within the caller's buffer.
+    pub len: usize,
+}
+
+/// A set of non-blocking UDP sockets, one per local interface address.
+#[derive(Debug)]
+pub struct SocketRegistry {
+    sockets: Vec<(SocketAddr, UdpSocket)>,
+    /// Round-robin cursor so `poll_recv` serves interfaces fairly.
+    cursor: usize,
+    /// Datagrams abandoned after repeated `WouldBlock` on send.
+    send_drops: u64,
+}
+
+impl SocketRegistry {
+    /// Binds one non-blocking socket per address. Addresses may use port 0
+    /// (the OS assigns an ephemeral port); [`SocketRegistry::local_addrs`]
+    /// reports the addresses actually bound — those are what must be
+    /// handed to `Connection::client`/`Connection::server`.
+    pub fn bind(addrs: &[SocketAddr]) -> io::Result<SocketRegistry> {
+        assert!(!addrs.is_empty(), "at least one local address required");
+        let mut sockets = Vec::with_capacity(addrs.len());
+        for &addr in addrs {
+            let socket = UdpSocket::bind(addr)?;
+            socket.set_nonblocking(true)?;
+            let local = socket.local_addr()?;
+            sockets.push((local, socket));
+        }
+        Ok(SocketRegistry {
+            sockets,
+            cursor: 0,
+            send_drops: 0,
+        })
+    }
+
+    /// The bound local addresses, in bind order.
+    pub fn local_addrs(&self) -> Vec<SocketAddr> {
+        self.sockets.iter().map(|(addr, _)| *addr).collect()
+    }
+
+    /// Number of sockets in the registry.
+    pub fn len(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// True if the registry holds no sockets (never, post-`bind`).
+    pub fn is_empty(&self) -> bool {
+        self.sockets.is_empty()
+    }
+
+    /// Datagrams abandoned because the socket buffer stayed full.
+    pub fn send_drops(&self) -> u64 {
+        self.send_drops
+    }
+
+    /// Sends `payload` from the socket bound to `local` to `remote`.
+    ///
+    /// Returns `Ok(true)` if handed to the OS, `Ok(false)` if the socket
+    /// buffer stayed full and the datagram was dropped — which to the
+    /// transport is indistinguishable from network loss, and is recovered
+    /// the same way.
+    pub fn send_from(
+        &mut self,
+        local: SocketAddr,
+        remote: SocketAddr,
+        payload: &[u8],
+    ) -> io::Result<bool> {
+        let socket = self
+            .sockets
+            .iter()
+            .find(|(addr, _)| *addr == local)
+            .map(|(_, socket)| socket)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no socket bound to {local}"),
+                )
+            })?;
+        for attempt in 0..=SEND_RETRIES {
+            match socket.send_to(payload, remote) {
+                Ok(_) => return Ok(true),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if attempt < SEND_RETRIES {
+                        // Give the kernel a moment to drain the buffer.
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.send_drops += 1;
+        Ok(false)
+    }
+
+    /// Polls every socket once (starting after the last one served) and
+    /// returns the first datagram found, or `None` when all sockets are
+    /// dry. `buf` must be at least [`MAX_DATAGRAM`] bytes.
+    pub fn poll_recv(&mut self, buf: &mut [u8]) -> io::Result<Option<RecvMeta>> {
+        let n = self.sockets.len();
+        for i in 0..n {
+            let index = (self.cursor + i) % n;
+            let (local, socket) = &self.sockets[index];
+            match socket.recv_from(buf) {
+                Ok((len, remote)) => {
+                    self.cursor = (index + 1) % n;
+                    return Ok(Some(RecvMeta {
+                        local: *local,
+                        remote,
+                        len,
+                    }));
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                    ) => {}
+                // A previous send to an unreachable port surfaces here on
+                // some platforms (Linux ICMP errors); treat as no-data,
+                // the transport's own timers handle the unreachable peer.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loopback(port: u16) -> SocketAddr {
+        SocketAddr::from(([127, 0, 0, 1], port))
+    }
+
+    #[test]
+    fn bind_assigns_ephemeral_ports() {
+        let registry = SocketRegistry::bind(&[loopback(0), loopback(0)]).unwrap();
+        let addrs = registry.local_addrs();
+        assert_eq!(addrs.len(), 2);
+        assert_ne!(addrs[0].port(), 0);
+        assert_ne!(addrs[1].port(), 0);
+        assert_ne!(addrs[0], addrs[1]);
+    }
+
+    #[test]
+    fn send_routes_by_local_address_and_recv_reports_it() {
+        let mut a = SocketRegistry::bind(&[loopback(0), loopback(0)]).unwrap();
+        let mut b = SocketRegistry::bind(&[loopback(0)]).unwrap();
+        let a_addrs = a.local_addrs();
+        let b_addr = b.local_addrs()[0];
+
+        // Send one datagram from each of A's interfaces.
+        assert!(a.send_from(a_addrs[0], b_addr, b"first").unwrap());
+        assert!(a.send_from(a_addrs[1], b_addr, b"second").unwrap());
+
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        let mut seen = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while seen.len() < 2 && std::time::Instant::now() < deadline {
+            if let Some(meta) = b.poll_recv(&mut buf).unwrap() {
+                assert_eq!(meta.local, b_addr);
+                seen.push((meta.remote, buf[..meta.len].to_vec()));
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        seen.sort_by_key(|(_, payload)| payload.clone());
+        assert_eq!(seen.len(), 2, "both datagrams arrive");
+        assert_eq!(seen[0].0, a_addrs[0], "source address identifies the path");
+        assert_eq!(seen[1].0, a_addrs[1]);
+        assert_eq!(seen[0].1, b"first");
+        assert_eq!(seen[1].1, b"second");
+    }
+
+    #[test]
+    fn send_from_unknown_local_address_errors() {
+        let mut a = SocketRegistry::bind(&[loopback(0)]).unwrap();
+        let bogus = loopback(9); // not bound by us
+        let err = a.send_from(bogus, loopback(10), b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

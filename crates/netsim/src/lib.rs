@@ -36,18 +36,11 @@ pub use topology::{NetworkPlan, PathSpec};
 pub use trace::{PacketFate, PacketRecord, Trace};
 
 use mpquic_util::SimTime;
-use std::net::SocketAddr;
 
-/// A UDP datagram (or an encapsulated TCP segment) handed to the network.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Datagram {
-    /// Source address; selects the outgoing interface/link.
-    pub local: SocketAddr,
-    /// Destination address.
-    pub remote: SocketAddr,
-    /// Payload bytes (what the link bills for, plus [`WIRE_OVERHEAD`]).
-    pub payload: Vec<u8>,
-}
+// The datagram type lives in `mpquic-util` so transports that know nothing
+// about the simulator (e.g. the real-socket runtime in `mpquic-io`) can
+// speak it too; re-exported here so simulator users are unaffected.
+pub use mpquic_util::Datagram;
 
 /// Fixed per-packet overhead the links bill in addition to the payload
 /// (IPv4 + UDP headers).

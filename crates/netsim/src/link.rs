@@ -176,7 +176,9 @@ mod tests {
         let mut rng = DetRng::new(1);
         while link.offer(SimTime::ZERO, 1000, &mut rng).is_ok() {}
         // After the queue has drained, offers succeed again.
-        assert!(link.offer(SimTime::from_millis(100), 1000, &mut rng).is_ok());
+        assert!(link
+            .offer(SimTime::from_millis(100), 1000, &mut rng)
+            .is_ok());
     }
 
     #[test]

@@ -162,11 +162,7 @@ impl MultiSimulation {
     pub fn step(&mut self) -> bool {
         self.pump();
         let next_event = self.queue.peek().map(|Reverse((t, ..))| *t);
-        let next_timer = self
-            .endpoints
-            .iter()
-            .filter_map(|e| e.next_timeout())
-            .min();
+        let next_timer = self.endpoints.iter().filter_map(|e| e.next_timeout()).min();
         let next = match (next_event, next_timer) {
             (Some(a), Some(b)) => a.min(b),
             (Some(a), None) => a,

@@ -246,7 +246,10 @@ impl<A: Endpoint, B: Endpoint> Simulation<A, B> {
             .min();
         let next_change = self.pending_changes.first().map(|c| c.at);
         let mut next = SimTime::FAR_FUTURE;
-        for candidate in [next_delivery, next_timer, next_change].into_iter().flatten() {
+        for candidate in [next_delivery, next_timer, next_change]
+            .into_iter()
+            .flatten()
+        {
             next = next.min(candidate);
         }
         if next == SimTime::FAR_FUTURE {
@@ -265,18 +268,14 @@ impl<A: Endpoint, B: Endpoint> Simulation<A, B> {
             let (to, datagram) = self.payloads[key].take().expect("delivered once");
             self.stats.delivered += 1;
             match to {
-                Side::A => self.a.on_datagram(
-                    self.now,
-                    datagram.remote,
-                    datagram.local,
-                    &datagram.payload,
-                ),
-                Side::B => self.b.on_datagram(
-                    self.now,
-                    datagram.remote,
-                    datagram.local,
-                    &datagram.payload,
-                ),
+                Side::A => {
+                    self.a
+                        .on_datagram(self.now, datagram.remote, datagram.local, &datagram.payload)
+                }
+                Side::B => {
+                    self.b
+                        .on_datagram(self.now, datagram.remote, datagram.local, &datagram.payload)
+                }
             }
         }
         // Fire due timers.
@@ -339,7 +338,13 @@ impl ScriptedEndpoint {
 }
 
 impl Endpoint for ScriptedEndpoint {
-    fn on_datagram(&mut self, now: SimTime, _local: SocketAddr, remote: SocketAddr, payload: &[u8]) {
+    fn on_datagram(
+        &mut self,
+        now: SimTime,
+        _local: SocketAddr,
+        remote: SocketAddr,
+        payload: &[u8],
+    ) {
         self.received.push((now, remote, payload.len()));
     }
 
@@ -398,8 +403,14 @@ mod tests {
         // Path 0: ~10 ms one-way (+ serialization). Path 1: ~50 ms.
         let t0 = sim.b.received[0].0;
         let t1 = sim.b.received[1].0;
-        assert!(t0 >= SimTime::from_millis(10) && t0 < SimTime::from_millis(12), "{t0:?}");
-        assert!(t1 >= SimTime::from_millis(50) && t1 < SimTime::from_millis(53), "{t1:?}");
+        assert!(
+            t0 >= SimTime::from_millis(10) && t0 < SimTime::from_millis(12),
+            "{t0:?}"
+        );
+        assert!(
+            t1 >= SimTime::from_millis(50) && t1 < SimTime::from_millis(53),
+            "{t1:?}"
+        );
         assert_eq!(sim.stats().delivered, 2);
     }
 
@@ -448,7 +459,11 @@ mod tests {
             one_way_delay: None,
         });
         sim.run_to_quiescence(SimTime::from_secs(10));
-        assert_eq!(sim.b.received.len(), 1, "only the pre-change datagram arrives");
+        assert_eq!(
+            sim.b.received.len(),
+            1,
+            "only the pre-change datagram arrives"
+        );
         assert_eq!(sim.stats().lost_random, 1);
     }
 

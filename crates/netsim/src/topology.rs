@@ -84,20 +84,10 @@ impl NetworkPlan {
         assert!(!specs.is_empty(), "at least one path required");
         assert!(specs.len() < 250, "address space allows at most 249 paths");
         let client_addrs = (0..specs.len())
-            .map(|i| {
-                SocketAddr::V4(SocketAddrV4::new(
-                    Ipv4Addr::new(10, i as u8, 0, 1),
-                    50_000,
-                ))
-            })
+            .map(|i| SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::new(10, i as u8, 0, 1), 50_000)))
             .collect();
         let server_addrs = (0..specs.len())
-            .map(|i| {
-                SocketAddr::V4(SocketAddrV4::new(
-                    Ipv4Addr::new(10, i as u8, 1, 1),
-                    4433,
-                ))
-            })
+            .map(|i| SocketAddr::V4(SocketAddrV4::new(Ipv4Addr::new(10, i as u8, 1, 1), 4433)))
             .collect();
         NetworkPlan {
             client_addrs,

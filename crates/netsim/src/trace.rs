@@ -158,10 +158,22 @@ mod tests {
     #[test]
     fn bytes_on_path_windows() {
         let t = sample();
-        assert_eq!(t.bytes_on_path(0, Side::A, SimTime::ZERO, SimTime::from_secs(1)), 2000);
-        assert_eq!(t.bytes_on_path(0, Side::A, SimTime::ZERO, SimTime::from_secs(2)), 4000);
-        assert_eq!(t.bytes_on_path(1, Side::A, SimTime::ZERO, SimTime::from_secs(1)), 500);
-        assert_eq!(t.bytes_on_path(0, Side::B, SimTime::ZERO, SimTime::from_secs(2)), 0);
+        assert_eq!(
+            t.bytes_on_path(0, Side::A, SimTime::ZERO, SimTime::from_secs(1)),
+            2000
+        );
+        assert_eq!(
+            t.bytes_on_path(0, Side::A, SimTime::ZERO, SimTime::from_secs(2)),
+            4000
+        );
+        assert_eq!(
+            t.bytes_on_path(1, Side::A, SimTime::ZERO, SimTime::from_secs(1)),
+            500
+        );
+        assert_eq!(
+            t.bytes_on_path(0, Side::B, SimTime::ZERO, SimTime::from_secs(2)),
+            0
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ pub struct MptcpOptions {
 impl MptcpOptions {
     /// True if no option is present.
     pub fn is_empty(&self) -> bool {
-        !self.mp_capable && self.mp_join.is_none() && self.dss.is_none() && self.add_addrs.is_empty()
+        !self.mp_capable
+            && self.mp_join.is_none()
+            && self.dss.is_none()
+            && self.add_addrs.is_empty()
     }
 }
 
@@ -117,9 +120,7 @@ impl Segment {
 
     /// Sequence space this segment occupies (payload + SYN/FIN).
     pub fn seq_len(&self) -> u64 {
-        self.payload.len() as u64
-            + u64::from(self.is_syn())
-            + u64::from(self.is_fin())
+        self.payload.len() as u64 + u64::from(self.is_syn()) + u64::from(self.is_fin())
     }
 
     /// Serializes the segment.
@@ -255,7 +256,10 @@ impl Segment {
                         return None;
                     }
                     let port = opts.get_u16();
-                    segment.mptcp.add_addrs.push((id, SocketAddr::new(ip, port)));
+                    segment
+                        .mptcp
+                        .add_addrs
+                        .push((id, SocketAddr::new(ip, port)));
                 }
                 _ => return None,
             }

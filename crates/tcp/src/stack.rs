@@ -380,8 +380,7 @@ impl TcpStack {
 
     /// True once everything written (including the FIN) was data-acked.
     pub fn send_complete(&self) -> bool {
-        self.fin_dsn
-            .is_some_and(|fin| self.data_ack_remote > fin)
+        self.fin_dsn.is_some_and(|fin| self.data_ack_remote > fin)
     }
 
     /// Statistics (aggregated over subflows).
@@ -592,7 +591,13 @@ impl TcpStack {
             .count();
         let sf = &mut self.subflows[idx];
         sf.stats.bytes_received += payload.len() as u64;
-        let outcome = sf.on_segment(now, &segment, &snapshots, est_index.min(snapshots.len().saturating_sub(1)), self.config.multipath);
+        let outcome = sf.on_segment(
+            now,
+            &segment,
+            &snapshots,
+            est_index.min(snapshots.len().saturating_sub(1)),
+            self.config.multipath,
+        );
 
         if outcome.established && idx == 0 {
             self.on_transport_established(now);
@@ -638,17 +643,13 @@ impl TcpStack {
             if self.subflows.iter().any(|sf| sf.local == local) {
                 continue;
             }
-            let remote = self
-                .remote_addrs
-                .get(&(i as u8))
-                .copied()
-                .or_else(|| {
-                    if self.remote_addrs.len() == 1 {
-                        self.remote_addrs.values().next().copied()
-                    } else {
-                        None
-                    }
-                });
+            let remote = self.remote_addrs.get(&(i as u8)).copied().or_else(|| {
+                if self.remote_addrs.len() == 1 {
+                    self.remote_addrs.values().next().copied()
+                } else {
+                    None
+                }
+            });
             let Some(remote) = remote else { continue };
             let index = self.subflows.len();
             let mut sf = self.make_subflow(index, local, remote);
@@ -773,11 +774,7 @@ impl TcpStack {
         self.reinjected.insert_range(blocking, blocking + len - 1);
         self.stats.reinjections += 1;
         // Penalize the subflow that carried the blocking data.
-        if let Some(slow) = self
-            .subflows
-            .iter_mut()
-            .find(|sf| sf.carries_dsn(blocking))
-        {
+        if let Some(slow) = self.subflows.iter_mut().find(|sf| sf.carries_dsn(blocking)) {
             if slow.penalize(now) {
                 self.stats.penalizations += 1;
             }
@@ -799,8 +796,7 @@ impl TcpStack {
                 .fin_dsn
                 .is_some_and(|fin| fin >= dsn && fin < dsn + len.max(1));
             let window = self.advertised_window();
-            let seg =
-                self.subflows[idx].send_data(now, payload, dsn, data_fin, data_ack, window);
+            let seg = self.subflows[idx].send_data(now, payload, dsn, data_fin, data_ack, window);
             return Some(self.wrap(idx, seg));
         }
         None
@@ -815,7 +811,9 @@ impl TcpStack {
         let len = (self.config.mss as u64).min(sendable_end - self.snd_nxt);
         let dsn = self.snd_nxt;
         let payload = self.meta_slice(dsn, len)?;
-        let data_fin = self.fin_dsn.is_some_and(|fin| fin >= dsn && fin < dsn + len);
+        let data_fin = self
+            .fin_dsn
+            .is_some_and(|fin| fin >= dsn && fin < dsn + len);
         self.snd_nxt += len;
         let window = self.advertised_window();
         let seg = self.subflows[idx].send_data(now, payload, dsn, data_fin, data_ack, window);
@@ -834,9 +832,7 @@ impl TcpStack {
     /// Fires due timers; subflow RTOs feed the reinjection queue.
     pub fn on_timeout(&mut self, now: SimTime) {
         for i in 0..self.subflows.len() {
-            let due = self.subflows[i]
-                .next_timeout()
-                .is_some_and(|t| t <= now);
+            let due = self.subflows[i].next_timeout().is_some_and(|t| t <= now);
             if !due {
                 continue;
             }
@@ -853,7 +849,11 @@ impl TcpStack {
                 if dsn + len <= acked {
                     continue;
                 }
-                if self.reinject_queue.iter().any(|&(d, l)| d == dsn && l == len) {
+                if self
+                    .reinject_queue
+                    .iter()
+                    .any(|&(d, l)| d == dsn && l == len)
+                {
                     continue;
                 }
                 self.reinject_queue.push_back((dsn, len));
@@ -914,12 +914,7 @@ mod tests {
         } else {
             TcpConfig::single_path()
         };
-        let client = TcpStack::client(
-            config.clone(),
-            vec![addr(C0), addr(C1)],
-            0,
-            addr(S0),
-        );
+        let client = TcpStack::client(config.clone(), vec![addr(C0), addr(C1)], 0, addr(S0));
         let server = TcpStack::server(config, vec![addr(S0), addr(S1)]);
         (client, server)
     }
@@ -1015,7 +1010,18 @@ mod tests {
         let (mut c, mut s) = established(false);
         // Forge a second SYN from a new address without MP_JOIN.
         let syn = Segment::new(0, 0, crate::segment::flags::SYN).encode();
-        s.handle_datagram(SimTime::from_millis(3), addr(S0), addr("203.0.113.9:999".parse::<SocketAddr>().unwrap().to_string().as_str()), &syn);
+        s.handle_datagram(
+            SimTime::from_millis(3),
+            addr(S0),
+            addr(
+                "203.0.113.9:999"
+                    .parse::<SocketAddr>()
+                    .unwrap()
+                    .to_string()
+                    .as_str(),
+            ),
+            &syn,
+        );
         assert_eq!(s.subflow_count(), 1);
         let _ = &mut c;
     }

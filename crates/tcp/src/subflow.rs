@@ -287,9 +287,12 @@ impl Subflow {
 
     /// Does this subflow have outstanding data covering the given dsn?
     pub fn carries_dsn(&self, dsn: u64) -> bool {
-        self.outstanding
-            .values()
-            .any(|seg| !seg.syn && seg.payload.len() as u64 > 0 && dsn >= seg.dsn && dsn < seg.dsn + seg.payload.len() as u64)
+        self.outstanding.values().any(|seg| {
+            !seg.syn
+                && seg.payload.len() as u64 > 0
+                && dsn >= seg.dsn
+                && dsn < seg.dsn + seg.payload.len() as u64
+        })
     }
 
     /// Next subflow sequence number for new data.
@@ -347,7 +350,13 @@ impl Subflow {
     }
 
     /// Emits pending handshake / pure-ACK segments.
-    pub fn poll_control(&mut self, now: SimTime, data_ack: u64, window: u64, multipath: bool) -> Option<Segment> {
+    pub fn poll_control(
+        &mut self,
+        now: SimTime,
+        data_ack: u64,
+        window: u64,
+        multipath: bool,
+    ) -> Option<Segment> {
         if self.syn_pending {
             self.syn_pending = false;
             let mut seg = Segment::new(0, 0, flags::SYN);
@@ -721,10 +730,7 @@ impl Subflow {
                         // RTT (it may already be in flight from go-back
                         // recovery or an earlier partial ack).
                         let recently_sent = seg.time_sent + srtt > now;
-                        if ssn == self.snd_una
-                            && !self.rtx_queue.contains(&ssn)
-                            && !recently_sent
-                        {
+                        if ssn == self.snd_una && !self.rtx_queue.contains(&ssn) && !recently_sent {
                             self.pipe_remove(ssn);
                             if let Some(seg) = self.outstanding.get_mut(&ssn) {
                                 seg.marked_lost = true;
@@ -824,11 +830,7 @@ impl Subflow {
     }
 
     fn rto_deadline(&self) -> Option<SimTime> {
-        if !self
-            .outstanding
-            .values()
-            .any(|s| !self.is_fully_sacked(s))
-        {
+        if !self.outstanding.values().any(|s| !self.is_fully_sacked(s)) {
             return None;
         }
         let reference = self.rto_reference?;
@@ -1006,9 +1008,14 @@ mod tests {
     fn syn_retransmits_after_syn_rto() {
         let mut client = subflow();
         client.connect(None);
-        let _syn = client.poll_control(SimTime::ZERO, 0, 1 << 20, true).unwrap();
+        let _syn = client
+            .poll_control(SimTime::ZERO, 0, 1 << 20, true)
+            .unwrap();
         let deadline = client.next_timeout().expect("SYN RTO armed");
-        assert!(deadline >= SimTime::from_millis(1000), "Linux SYN RTO is 1 s");
+        assert!(
+            deadline >= SimTime::from_millis(1000),
+            "Linux SYN RTO is 1 s"
+        );
         client.on_timeout(deadline);
         let retx = client
             .poll_control(deadline, 0, 1 << 20, true)
@@ -1024,7 +1031,11 @@ mod tests {
         for i in 0..5u64 {
             let mut seg = Segment::new(100 + i * 100, 0, flags::ACK);
             seg.payload = Bytes::from(vec![1u8; 10]);
-            seg.mptcp.dss = Some(DssOption { dsn: 0, data_ack: 0, data_fin: false });
+            seg.mptcp.dss = Some(DssOption {
+                dsn: 0,
+                data_ack: 0,
+                data_fin: false,
+            });
             sf.on_segment(SimTime::from_millis(i), &seg, &[], 0, true);
         }
         let ack = sf
@@ -1081,7 +1092,10 @@ mod tests {
             0,
             true,
         );
-        assert!(!sf.rtt.has_sample(), "Karn: no samples from retransmitted data");
+        assert!(
+            !sf.rtt.has_sample(),
+            "Karn: no samples from retransmitted data"
+        );
     }
 
     #[test]
@@ -1095,7 +1109,13 @@ mod tests {
         assert_eq!(stalled, vec![(1000, 500), (1500, 500)]);
         assert_eq!(sf.stats.rtos, 1);
         // Progress clears pf.
-        sf.on_segment(deadline + Duration::from_millis(10), &ack_seg(501, vec![]), &[], 0, true);
+        sf.on_segment(
+            deadline + Duration::from_millis(10),
+            &ack_seg(501, vec![]),
+            &[],
+            0,
+            true,
+        );
         assert!(!sf.pf);
     }
 
@@ -1122,7 +1142,13 @@ mod tests {
         assert!(sf.carries_dsn(7499));
         assert!(!sf.carries_dsn(7500));
         assert!(!sf.carries_dsn(6999));
-        sf.on_segment(SimTime::from_millis(10), &ack_seg(501, vec![]), &[], 0, true);
+        sf.on_segment(
+            SimTime::from_millis(10),
+            &ack_seg(501, vec![]),
+            &[],
+            0,
+            true,
+        );
         assert!(!sf.carries_dsn(7000), "acked segments leave the map");
     }
 
@@ -1131,14 +1157,22 @@ mod tests {
         let mut sf = established_sender();
         let mut seg = Segment::new(1, 0, flags::ACK);
         seg.payload = Bytes::from(vec![1u8; 10]);
-        seg.mptcp.dss = Some(DssOption { dsn: 0, data_ack: 0, data_fin: false });
+        seg.mptcp.dss = Some(DssOption {
+            dsn: 0,
+            data_ack: 0,
+            data_fin: false,
+        });
         sf.on_segment(SimTime::ZERO, &seg, &[], 0, true);
         // One in-order segment: no immediate ack, timer armed at +40 ms.
-        assert!(sf.poll_control(SimTime::from_millis(1), 0, 1 << 20, true).is_none());
+        assert!(sf
+            .poll_control(SimTime::from_millis(1), 0, 1 << 20, true)
+            .is_none());
         let deadline = sf.next_timeout().expect("delack armed");
         assert_eq!(deadline, SimTime::ZERO + DELACK);
         sf.on_timeout(deadline);
-        let ack = sf.poll_control(deadline, 0, 1 << 20, true).expect("pure ack");
+        let ack = sf
+            .poll_control(deadline, 0, 1 << 20, true)
+            .expect("pure ack");
         assert_eq!(ack.ack, 11);
         assert!(ack.payload.is_empty());
     }

@@ -69,7 +69,8 @@ impl Net {
         };
         let key = self.payloads.len();
         self.payloads.push(Some(t));
-        self.in_flight.push(Reverse((self.now + delay, seq, dir, key)));
+        self.in_flight
+            .push(Reverse((self.now + delay, seq, dir, key)));
     }
 
     fn step(&mut self) -> bool {
@@ -113,12 +114,18 @@ impl Net {
                 continue;
             }
             match dir {
-                0 => self
-                    .server
-                    .handle_datagram(self.now, transmit.remote, transmit.local, &transmit.payload),
-                _ => self
-                    .client
-                    .handle_datagram(self.now, transmit.remote, transmit.local, &transmit.payload),
+                0 => self.server.handle_datagram(
+                    self.now,
+                    transmit.remote,
+                    transmit.local,
+                    &transmit.payload,
+                ),
+                _ => self.client.handle_datagram(
+                    self.now,
+                    transmit.remote,
+                    transmit.local,
+                    &transmit.payload,
+                ),
             }
         }
         if self.client.next_timeout().is_some_and(|t| t <= self.now) {
@@ -170,10 +177,7 @@ fn drain(stack: &mut TcpStack) -> usize {
 #[test]
 fn tls_over_tcp_takes_three_rtts() {
     let mut net = single_pair();
-    assert!(net.run_until(
-        |n| n.client.is_established(),
-        SimTime::from_secs(5),
-    ));
+    assert!(net.run_until(|n| n.client.is_established(), SimTime::from_secs(5),));
     // One-way 20 ms → RTT 40 ms. SYN(0.5 RTT) + SYNACK(1) + CH(1.5)
     // + SH(2) + CKE(2.5) + FIN(3): client app-ready at 3 RTT = 120 ms.
     let established = net.client.established_at().unwrap();

@@ -1,0 +1,40 @@
+//! The UDP datagram exchanged between a transport state machine and
+//! whatever carries its packets.
+//!
+//! Both network substrates in this workspace speak this type: the
+//! discrete-event simulator (`mpquic-netsim`) routes them over modelled
+//! links, and the real-socket runtime (`mpquic-io`) writes them to the
+//! operating system's UDP stack. Keeping the type here — in the
+//! dependency-free utility crate — lets the `Transport` abstraction in
+//! `mpquic-harness` stay agnostic about which substrate is underneath.
+
+use std::net::SocketAddr;
+
+/// A UDP datagram (or an encapsulated TCP segment) handed to the network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Source address; selects the outgoing interface/link.
+    pub local: SocketAddr,
+    /// Destination address.
+    pub remote: SocketAddr,
+    /// Payload bytes (what a link bills for, plus any fixed overhead the
+    /// substrate accounts separately).
+    pub payload: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        let a = Datagram {
+            local: "10.0.0.1:1000".parse().unwrap(),
+            remote: "10.0.1.1:2000".parse().unwrap(),
+            payload: vec![1, 2, 3],
+        };
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a.payload.len(), 3);
+    }
+}

@@ -3,6 +3,9 @@
 //! This crate hosts the small, dependency-free building blocks that every
 //! other crate in the workspace relies on:
 //!
+//! * [`datagram`] — the UDP datagram type ([`datagram::Datagram`]) shared
+//!   by every network substrate (the discrete-event simulator and the
+//!   real-socket runtime alike).
 //! * [`time`] — a simulated clock ([`time::SimTime`]) with nanosecond
 //!   resolution. All protocol state machines in this workspace are sans-IO
 //!   and never read a wall clock; time is always passed in.
@@ -19,12 +22,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod datagram;
 pub mod ranges;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod varint;
 
+pub use datagram::Datagram;
 pub use ranges::RangeSet;
 pub use rng::DetRng;
 pub use time::SimTime;

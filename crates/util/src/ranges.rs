@@ -79,7 +79,9 @@ impl RangeSet {
         let lo = self
             .ranges
             .partition_point(|&(_, e)| e.checked_add(1).is_some_and(|e1| e1 < start));
-        let hi = self.ranges.partition_point(|&(s, _)| s <= end.saturating_add(1));
+        let hi = self
+            .ranges
+            .partition_point(|&(s, _)| s <= end.saturating_add(1));
         if lo >= hi {
             // No overlap: plain insertion.
             self.ranges.insert(lo, (start, end));

@@ -172,7 +172,10 @@ impl AckFrame {
 
     /// Smallest acknowledged packet number.
     pub fn smallest_acked(&self) -> u64 {
-        self.ranges.last().map(|&(s, _)| s).unwrap_or(self.largest_acked)
+        self.ranges
+            .last()
+            .map(|&(s, _)| s)
+            .unwrap_or(self.largest_acked)
     }
 
     /// Encoded size including the type byte.
@@ -203,7 +206,10 @@ impl AckFrame {
         encode_varint(buf, self.ranges[0].1 - self.ranges[0].0).unwrap();
         let mut prev_start = self.ranges[0].0;
         for &(start, end) in &self.ranges[1..] {
-            debug_assert!(end < prev_start.saturating_sub(1), "ranges must be disjoint, descending");
+            debug_assert!(
+                end < prev_start.saturating_sub(1),
+                "ranges must be disjoint, descending"
+            );
             // Gap: unacked packets between ranges, minus one (RFC 9000 style).
             encode_varint(buf, prev_start - end - 2).unwrap();
             encode_varint(buf, end - start).unwrap();
@@ -213,9 +219,8 @@ impl AckFrame {
 
     fn decode<B: Buf>(buf: &mut B) -> Result<AckFrame, WireError> {
         let raw_path = decode_varint(buf)?;
-        let path_id = PathId(
-            u32::try_from(raw_path).map_err(|_| WireError::LimitExceeded("ack path id"))?,
-        );
+        let path_id =
+            PathId(u32::try_from(raw_path).map_err(|_| WireError::LimitExceeded("ack path id"))?);
         let largest_acked = decode_varint(buf)?;
         let ack_delay_micros = decode_varint(buf)?;
         let extra_ranges = decode_varint(buf)?;
@@ -397,15 +402,18 @@ impl Frame {
             Frame::Ping => 1,
             Frame::Ack(ack) => ack.wire_size(),
             Frame::Stream(s) => s.wire_size(),
-            Frame::WindowUpdate { stream_id, max_data } => {
-                1 + varint_size(*stream_id) + varint_size(*max_data)
-            }
+            Frame::WindowUpdate {
+                stream_id,
+                max_data,
+            } => 1 + varint_size(*stream_id) + varint_size(*max_data),
             Frame::Blocked { stream_id } => 1 + varint_size(*stream_id),
             Frame::RstStream {
                 stream_id,
                 error_code,
                 final_offset,
-            } => 1 + varint_size(*stream_id) + varint_size(*error_code) + varint_size(*final_offset),
+            } => {
+                1 + varint_size(*stream_id) + varint_size(*error_code) + varint_size(*final_offset)
+            }
             Frame::ConnectionClose { error_code, reason } => {
                 1 + varint_size(*error_code) + varint_size(reason.len() as u64) + reason.len()
             }
@@ -423,7 +431,9 @@ impl Frame {
                 1 + varint_size(paths.len() as u64)
                     + paths
                         .iter()
-                        .map(|p| varint_size(u64::from(p.path_id.0)) + 1 + varint_size(p.srtt_micros))
+                        .map(|p| {
+                            varint_size(u64::from(p.path_id.0)) + 1 + varint_size(p.srtt_micros)
+                        })
                         .sum::<usize>()
             }
         }
@@ -450,7 +460,10 @@ impl Frame {
                 encode_varint(buf, s.data.len() as u64).unwrap();
                 buf.put_slice(&s.data);
             }
-            Frame::WindowUpdate { stream_id, max_data } => {
+            Frame::WindowUpdate {
+                stream_id,
+                max_data,
+            } => {
                 buf.put_u8(FrameType::WindowUpdate as u8);
                 encode_varint(buf, *stream_id).unwrap();
                 encode_varint(buf, *max_data).unwrap();
@@ -516,7 +529,8 @@ impl Frame {
             return Err(WireError::UnexpectedEnd);
         }
         let type_byte = u64::from(buf.chunk()[0]);
-        let frame_type = FrameType::from_u64(type_byte).ok_or(WireError::UnknownFrame(type_byte))?;
+        let frame_type =
+            FrameType::from_u64(type_byte).ok_or(WireError::UnknownFrame(type_byte))?;
         buf.advance(1);
         Ok(match frame_type {
             FrameType::Padding => {
@@ -662,7 +676,11 @@ mod tests {
     fn round_trip(frame: &Frame) -> Frame {
         let mut buf = BytesMut::new();
         frame.encode(&mut buf);
-        assert_eq!(buf.len(), frame.wire_size(), "wire_size mismatch for {frame:?}");
+        assert_eq!(
+            buf.len(),
+            frame.wire_size(),
+            "wire_size mismatch for {frame:?}"
+        );
         let mut read = buf.freeze();
         let decoded = Frame::decode(&mut read).unwrap();
         assert_eq!(read.remaining(), 0, "leftover bytes for {frame:?}");
@@ -810,7 +828,11 @@ mod tests {
         })
         .is_retransmittable());
         assert!(Frame::Ping.is_retransmittable());
-        assert!(Frame::WindowUpdate { stream_id: 0, max_data: 1 }.is_retransmittable());
+        assert!(Frame::WindowUpdate {
+            stream_id: 0,
+            max_data: 1
+        }
+        .is_retransmittable());
     }
 
     #[test]
@@ -828,7 +850,11 @@ mod tests {
         let frames = Frame::decode_all(&buf).unwrap();
         assert_eq!(
             frames,
-            vec![Frame::Ping, Frame::Padding { len: 3 }, Frame::Blocked { stream_id: 1 }]
+            vec![
+                Frame::Ping,
+                Frame::Padding { len: 3 },
+                Frame::Blocked { stream_id: 1 }
+            ]
         );
     }
 
@@ -871,7 +897,12 @@ mod tests {
     }
 
     fn arb_frame() -> impl Strategy<Value = Frame> {
-        let stream = (any::<u64>(), 0u64..(1 << 40), proptest::collection::vec(any::<u8>(), 0..100), any::<bool>())
+        let stream = (
+            any::<u64>(),
+            0u64..(1 << 40),
+            proptest::collection::vec(any::<u8>(), 0..100),
+            any::<bool>(),
+        )
             .prop_map(|(id, offset, data, fin)| {
                 Frame::Stream(StreamFrame {
                     stream_id: id & 0x3FFF_FFFF,
@@ -880,36 +911,34 @@ mod tests {
                     fin,
                 })
             });
-        let ack = (0u32..1000, proptest::collection::btree_set(0u64..10_000, 1..64), 0u64..1_000_000)
+        let ack = (
+            0u32..1000,
+            proptest::collection::btree_set(0u64..10_000, 1..64),
+            0u64..1_000_000,
+        )
             .prop_map(|(path, acked, delay)| {
                 let set: RangeSet = acked.into_iter().collect();
                 Frame::Ack(AckFrame::from_range_set(PathId(path), &set, delay).unwrap())
             });
-        let wu = (0u64..100, 0u64..(1 << 50))
-            .prop_map(|(s, m)| Frame::WindowUpdate { stream_id: s, max_data: m });
-        let paths = proptest::collection::vec(
-            (0u32..100, 0u8..3, 0u64..(1 << 40)),
-            0..MAX_PATHS_ENTRIES,
-        )
-        .prop_map(|entries| {
-            Frame::Paths(
-                entries
-                    .into_iter()
-                    .map(|(id, st, srtt)| PathInfo {
-                        path_id: PathId(id),
-                        status: PathStatus::from_u8(st).unwrap(),
-                        srtt_micros: srtt,
-                    })
-                    .collect(),
-            )
+        let wu = (0u64..100, 0u64..(1 << 50)).prop_map(|(s, m)| Frame::WindowUpdate {
+            stream_id: s,
+            max_data: m,
         });
-        prop_oneof![
-            Just(Frame::Ping),
-            stream,
-            ack,
-            wu,
-            paths,
-        ]
+        let paths =
+            proptest::collection::vec((0u32..100, 0u8..3, 0u64..(1 << 40)), 0..MAX_PATHS_ENTRIES)
+                .prop_map(|entries| {
+                    Frame::Paths(
+                        entries
+                            .into_iter()
+                            .map(|(id, st, srtt)| PathInfo {
+                                path_id: PathId(id),
+                                status: PathStatus::from_u8(st).unwrap(),
+                                srtt_micros: srtt,
+                            })
+                            .collect(),
+                    )
+                });
+        prop_oneof![Just(Frame::Ping), stream, ack, wu, paths,]
     }
 
     proptest! {

@@ -84,7 +84,10 @@ fn main() {
     });
     assert!(done);
 
-    println!("3 MB uploaded in {:.3}s over IPv4 + IPv6 simultaneously", sim.now().as_secs_f64());
+    println!(
+        "3 MB uploaded in {:.3}s over IPv4 + IPv6 simultaneously",
+        sim.now().as_secs_f64()
+    );
     for id in sim.a.conn.path_ids() {
         let p = sim.a.conn.path(id).expect("listed");
         let family = if p.local.is_ipv4() { "IPv4" } else { "IPv6" };

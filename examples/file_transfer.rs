@@ -34,7 +34,10 @@ fn main() {
         specs[0].loss_percent,
     );
     println!();
-    println!("{:<8} {:>12} {:>14} {:>10}", "protocol", "time [s]", "goodput [Mbps]", "complete");
+    println!(
+        "{:<8} {:>12} {:>14} {:>10}",
+        "protocol", "time [s]", "goodput [Mbps]", "complete"
+    );
 
     let cap = Duration::from_secs(600);
     let overrides = Overrides::default();
@@ -63,7 +66,10 @@ fn main() {
 
     // Aggregation benefit needs the single-path goodput on *each* path.
     println!();
-    for (multi_proto, single_proto) in [(Protocol::Mpquic, Protocol::Quic), (Protocol::Mptcp, Protocol::Tcp)] {
+    for (multi_proto, single_proto) in [
+        (Protocol::Mpquic, Protocol::Quic),
+        (Protocol::Mptcp, Protocol::Tcp),
+    ] {
         let g0 = run_file_transfer(&specs[..1], single_proto, size, 1, cap, &overrides).goodput;
         let g1 = run_file_transfer(&specs[1..], single_proto, size, 1, cap, &overrides).goodput;
         let gm = multis

@@ -21,7 +21,11 @@ fn sparkline(delays: &[(f64, f64)]) -> String {
 
 fn report(label: &str, delays: &[(f64, f64)]) {
     let worst = delays.iter().map(|(_, d)| *d).fold(0.0, f64::max);
-    let after: Vec<f64> = delays.iter().filter(|(t, _)| *t > 5.0).map(|(_, d)| *d).collect();
+    let after: Vec<f64> = delays
+        .iter()
+        .filter(|(t, _)| *t > 5.0)
+        .map(|(_, d)| *d)
+        .collect();
     let post = after.iter().sum::<f64>() / after.len().max(1) as f64;
     println!("{label}");
     println!("  {}", sparkline(delays));
@@ -48,7 +52,10 @@ fn main() {
         ..HandoverConfig::default()
     };
     let ablated = run_handover(&no_paths_frame, 42);
-    report("MPQUIC without the PATHS frame (ablation — server must discover the failure itself):", &ablated);
+    report(
+        "MPQUIC without the PATHS frame (ablation — server must discover the failure itself):",
+        &ablated,
+    );
 
     println!();
     let mptcp = HandoverConfig {

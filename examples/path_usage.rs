@@ -89,13 +89,20 @@ fn main() {
         "6 MB downloaded in {:.2}s — server-side bytes offered per 250 ms bucket:",
         horizon.as_secs_f64()
     );
-    println!("{:>6}  {:<32} {:<32}", "t[s]", "path 0 (16 Mbps / 30 ms)", "path 1 (6 Mbps / 90 ms)");
+    println!(
+        "{:>6}  {:<32} {:<32}",
+        "t[s]", "path 0 (16 Mbps / 30 ms)", "path 1 (6 Mbps / 90 ms)"
+    );
     let bucket = Duration::from_millis(250);
     let u0 = trace.utilization(0, Side::B, bucket, horizon);
     let u1 = trace.utilization(1, Side::B, bucket, horizon);
     // One █ per 20 kB.
     for ((t, b0), (_, b1)) in u0.iter().zip(&u1) {
-        println!("{t:>6.2}  {:<32} {:<32}", bar(*b0, 20_000), bar(*b1, 20_000));
+        println!(
+            "{t:>6.2}  {:<32} {:<32}",
+            bar(*b0, 20_000),
+            bar(*b1, 20_000)
+        );
     }
     println!();
     println!(

@@ -82,7 +82,11 @@ fn main() {
     });
     assert!(done, "transfer should complete");
 
-    println!("transferred {} bytes in {:.3}s of simulated time", received, sim.now().as_secs_f64());
+    println!(
+        "transferred {} bytes in {:.3}s of simulated time",
+        received,
+        sim.now().as_secs_f64()
+    );
     println!();
     println!("client paths:");
     for id in sim.a.conn.path_ids() {

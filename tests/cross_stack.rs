@@ -61,11 +61,19 @@ fn run_recorded_transfer(size: usize) -> (RecordingEndpoint, RecordingEndpoint) 
     );
     let server = Connection::server(Config::multipath(), plan.server_addrs.clone(), 12);
     let stream = client.open_stream();
-    client.stream_write(stream, Bytes::from(vec![9u8; size])).unwrap();
+    client
+        .stream_write(stream, Bytes::from(vec![9u8; size]))
+        .unwrap();
     client.stream_finish(stream);
     let mut sim = Simulation::new(
-        RecordingEndpoint { conn: client, headers: Vec::new() },
-        RecordingEndpoint { conn: server, headers: Vec::new() },
+        RecordingEndpoint {
+            conn: client,
+            headers: Vec::new(),
+        },
+        RecordingEndpoint {
+            conn: server,
+            headers: Vec::new(),
+        },
         plan,
         13,
     );
@@ -104,17 +112,21 @@ fn nonces_never_repeat_across_the_whole_connection() {
     for endpoint in [&client, &server] {
         let mut nonces = HashSet::new();
         for header in &endpoint.headers {
-            let nonce = nonce_for(NonceMode::PathIdMixed, header.path_id.0, header.packet_number);
-            assert!(
-                nonces.insert(nonce),
-                "nonce reuse at {header:?}"
+            let nonce = nonce_for(
+                NonceMode::PathIdMixed,
+                header.path_id.0,
+                header.packet_number,
             );
+            assert!(nonces.insert(nonce), "nonce reuse at {header:?}");
         }
     }
     // Sanity: both paths actually carried packets (the invariant is
     // about cross-path collisions).
     let paths_used: HashSet<PathId> = client.headers.iter().map(|h| h.path_id).collect();
-    assert!(paths_used.len() >= 2, "expected multipath traffic: {paths_used:?}");
+    assert!(
+        paths_used.len() >= 2,
+        "expected multipath traffic: {paths_used:?}"
+    );
 }
 
 #[test]
@@ -126,9 +138,20 @@ fn full_pipeline_is_deterministic_end_to_end() {
     let specs = scenario.path_specs();
     let run = || {
         Protocol::ALL.map(|p| {
-            let s: &[PathSpec] = if p.is_multipath() { &specs } else { &specs[..1] };
-            run_file_transfer(s, p, 256 << 10, scenario.seed(), Duration::from_secs(60), &Overrides::default())
-                .duration_secs
+            let s: &[PathSpec] = if p.is_multipath() {
+                &specs
+            } else {
+                &specs[..1]
+            };
+            run_file_transfer(
+                s,
+                p,
+                256 << 10,
+                scenario.seed(),
+                Duration::from_secs(60),
+                &Overrides::default(),
+            )
+            .duration_secs
         })
     };
     assert_eq!(run(), run());
@@ -142,7 +165,11 @@ fn all_protocols_complete_across_design_space_sample() {
         for scenario in design_scenarios(class, 3) {
             let specs = scenario.path_specs();
             for protocol in Protocol::ALL {
-                let s: &[PathSpec] = if protocol.is_multipath() { &specs } else { &specs[..1] };
+                let s: &[PathSpec] = if protocol.is_multipath() {
+                    &specs
+                } else {
+                    &specs[..1]
+                };
                 let outcome = run_file_transfer(
                     s,
                     protocol,
@@ -168,8 +195,22 @@ fn handshake_latency_ordering_quic_vs_tcp() {
     // 1-RTT QUIC vs 3-RTT TCP+TLS: on a high-latency clean path, the
     // difference for a tiny transfer must be ≈ 2 RTTs.
     let one = [PathSpec::new(50.0, 200, 100, 0.0)];
-    let quic = run_file_transfer(&one, Protocol::Quic, 10_000, 5, Duration::from_secs(30), &Overrides::default());
-    let tcp = run_file_transfer(&one, Protocol::Tcp, 10_000, 5, Duration::from_secs(30), &Overrides::default());
+    let quic = run_file_transfer(
+        &one,
+        Protocol::Quic,
+        10_000,
+        5,
+        Duration::from_secs(30),
+        &Overrides::default(),
+    );
+    let tcp = run_file_transfer(
+        &one,
+        Protocol::Tcp,
+        10_000,
+        5,
+        Duration::from_secs(30),
+        &Overrides::default(),
+    );
     let gap = tcp.duration_secs - quic.duration_secs;
     assert!(
         (0.3..0.6).contains(&gap),
