@@ -37,6 +37,7 @@ use std::net::SocketAddr;
 
 use crate::config::{Config, ConnStats, Event, Role, Transmit};
 use crate::flow::ConnFlowControl;
+use crate::invariant::InvariantChecker;
 use crate::path::{Path, PathState};
 use crate::qlog::{Qlog, QlogEvent};
 use crate::recovery::SentPacket;
@@ -135,6 +136,9 @@ pub struct Connection {
     close_sent: bool,
     closed: bool,
     stats: ConnStats,
+    /// Runtime protocol invariants (zero-sized no-op in plain release
+    /// builds; see [`crate::invariant`]).
+    invariants: InvariantChecker,
 }
 
 impl std::fmt::Debug for Connection {
@@ -177,7 +181,7 @@ impl Connection {
         conn.client_hs = Some(hs);
         conn.crypto_queue = crypto_queue;
         let local = conn.local_addrs[initial_local_index];
-        conn.create_path(PathId::INITIAL, local, remote_addr);
+        conn.create_path(PathId::INITIAL, local, remote_addr, true);
         conn
     }
 
@@ -243,6 +247,7 @@ impl Connection {
             close_sent: false,
             closed: false,
             stats: ConnStats::default(),
+            invariants: InvariantChecker::new(),
             config,
         }
     }
@@ -438,7 +443,7 @@ impl Connection {
             if !valid_initiator {
                 return;
             }
-            self.create_path(header.path_id, local, remote);
+            self.create_path(header.path_id, local, remote, false);
             self.events.push_back(Event::PathActive(header.path_id));
         } else if let Some(path) = self.paths.get_mut(&header.path_id) {
             // NAT rebinding: the explicit Path ID lets us keep all path
@@ -488,7 +493,12 @@ impl Connection {
         match frame {
             Frame::Padding { .. } | Frame::Ping => {}
             Frame::Crypto { data, .. } => self.handle_crypto(now, &data),
-            Frame::Ack(ack) => self.handle_ack(now, ack),
+            Frame::Ack(ack) => {
+                // Decode enforces the cap/layout; this asserts that
+                // postcondition actually held (paper: ≤256 ranges).
+                self.invariants.check_ack_frame(&ack, "received");
+                self.handle_ack(now, ack);
+            }
             Frame::Stream(f) => self.handle_stream_frame(now, f),
             Frame::WindowUpdate {
                 stream_id,
@@ -647,14 +657,42 @@ impl Connection {
             });
         }
         for frame in outcome.acked_frames {
-            if let Frame::Stream(f) = frame {
+            self.on_frame_acked(frame);
+        }
+        if !outcome.lost_frames.is_empty() {
+            self.requeue_lost_frames(outcome.lost_frames);
+        }
+    }
+
+    /// Delivery confirmation for one retransmittable frame (the on-ack
+    /// twin of [`Connection::requeue_lost_frames`]). Deliberately an
+    /// exhaustive match — `cargo xtask lint` checks every [`Frame`]
+    /// variant appears here so a new frame type cannot silently skip its
+    /// acked bookkeeping.
+    fn on_frame_acked(&mut self, frame: Frame) {
+        match frame {
+            Frame::Stream(f) => {
+                // Mark the range delivered so a lost duplicate of the same
+                // bytes is not retransmitted.
                 if let Some(s) = self.send_streams.get_mut(&f.stream_id) {
                     s.on_acked(f.offset, f.data.len() as u64, f.fin);
                 }
             }
-        }
-        if !outcome.lost_frames.is_empty() {
-            self.requeue_lost_frames(outcome.lost_frames);
+            // Handshake delivery is confirmed by the crypto state machine
+            // itself (completion), not per-frame.
+            Frame::Crypto { .. } => {}
+            // Control frames are idempotent advertisements: once acked
+            // there is nothing to clean up, and a newer copy may already
+            // be queued.
+            Frame::WindowUpdate { .. }
+            | Frame::Blocked { .. }
+            | Frame::RstStream { .. }
+            | Frame::ConnectionClose { .. }
+            | Frame::AddAddress(_)
+            | Frame::Paths(_)
+            | Frame::Ping => {}
+            // Never tracked by recovery (not retransmittable).
+            Frame::Ack(_) | Frame::Padding { .. } => {}
         }
     }
 
@@ -711,7 +749,15 @@ impl Connection {
     // Path management
     // ------------------------------------------------------------------
 
-    fn create_path(&mut self, id: PathId, local: SocketAddr, remote: SocketAddr) {
+    fn create_path(
+        &mut self,
+        id: PathId,
+        local: SocketAddr,
+        remote: SocketAddr,
+        locally_initiated: bool,
+    ) {
+        self.invariants
+            .check_path_ownership(self.role, id, locally_initiated);
         let cc = self.config.cc.build(self.config.max_datagram_size as u64);
         let path = Path::new(id, local, remote, self.config.initial_rtt, cc);
         self.paths.insert(id, path);
@@ -743,7 +789,7 @@ impl Connection {
             let Some(remote) = remote else { continue };
             let id = PathId(self.next_path_id);
             self.next_path_id += 2;
-            self.create_path(id, local, remote);
+            self.create_path(id, local, remote, true);
             // Exercise the path immediately: the first packet tells the
             // peer the path exists (so *its* scheduler can use it — vital
             // when the server is the bulk sender) and samples the RTT.
@@ -1177,6 +1223,9 @@ impl Connection {
                     .map(Frame::Ack)
             };
             if let Some(frame) = frame {
+                if let Frame::Ack(ack) = &frame {
+                    self.invariants.check_ack_frame(ack, "built");
+                }
                 if builder.try_push(frame) {
                     self.paths.get_mut(&id).expect("listed").note_ack_sent();
                 }
@@ -1223,6 +1272,7 @@ impl Connection {
             });
             path.cc.on_packet_sent(now, wire.len() as u64);
         }
+        self.invariants.on_packet_sent(path_id, pn, &path.recovery);
         path.bytes_sent += wire.len() as u64;
         self.stats.packets_sent += 1;
         self.stats.bytes_sent += wire.len() as u64;

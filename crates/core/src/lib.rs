@@ -45,6 +45,7 @@
 pub mod config;
 pub mod connection;
 pub mod flow;
+pub mod invariant;
 pub mod path;
 pub mod qlog;
 pub mod recovery;

@@ -335,6 +335,23 @@ impl Recovery {
 }
 
 impl Recovery {
+    /// True if `bytes_in_flight` equals the sum of outstanding
+    /// ack-eliciting packet sizes — the accounting identity the congestion
+    /// controller depends on. Only compiled for invariant-checking builds
+    /// (it walks the whole sent map).
+    #[cfg(any(debug_assertions, feature = "invariants"))]
+    pub fn flight_accounting_consistent(&self) -> bool {
+        let sum: u64 = self
+            .sent
+            .values()
+            .filter(|p| p.ack_eliciting)
+            .map(|p| p.size)
+            .sum();
+        sum == self.bytes_in_flight
+    }
+}
+
+impl Recovery {
     /// Removes every outstanding packet and returns all retransmittable
     /// frames — used when a path is closed or migrated and its in-flight
     /// data must move elsewhere wholesale.

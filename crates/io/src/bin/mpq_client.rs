@@ -46,7 +46,7 @@ fn run() -> Result<(), String> {
     let single_path = args.has("single-path");
     let mut locals = args.addrs("local")?;
     if locals.is_empty() {
-        let loopback: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let loopback = SocketAddr::from(([127, 0, 0, 1], 0));
         locals.push(loopback);
         if !single_path {
             locals.push(loopback);
@@ -142,13 +142,14 @@ fn run() -> Result<(), String> {
 /// Parses a byte count with an optional `k`/`m`/`g` (binary) suffix.
 fn parse_size(raw: &str) -> Result<usize, String> {
     let raw = raw.trim().to_ascii_lowercase();
-    let (digits, shift) = match raw.strip_suffix(['k', 'm', 'g']) {
-        Some(prefix) => match raw.as_bytes()[raw.len() - 1] {
-            b'k' => (prefix, 10),
-            b'm' => (prefix, 20),
-            _ => (prefix, 30),
-        },
-        None => (raw.as_str(), 0),
+    let (digits, shift) = if let Some(prefix) = raw.strip_suffix('k') {
+        (prefix, 10)
+    } else if let Some(prefix) = raw.strip_suffix('m') {
+        (prefix, 20)
+    } else if let Some(prefix) = raw.strip_suffix('g') {
+        (prefix, 30)
+    } else {
+        (raw.as_str(), 0)
     };
     let base: usize = digits
         .parse()

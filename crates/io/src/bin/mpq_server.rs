@@ -38,7 +38,7 @@ fn run() -> Result<(), String> {
 
     let mut listen = args.addrs("listen")?;
     if listen.is_empty() {
-        listen.push("127.0.0.1:4433".parse::<SocketAddr>().unwrap());
+        listen.push(SocketAddr::from(([127, 0, 0, 1], 4433)));
     }
     let single_path = args.has("single-path");
     let qlog_path = args.value("qlog").map(str::to_string);

@@ -133,7 +133,9 @@ impl SocketRegistry {
         let n = self.sockets.len();
         for i in 0..n {
             let index = (self.cursor + i) % n;
-            let (local, socket) = &self.sockets[index];
+            let Some((local, socket)) = self.sockets.get(index) else {
+                continue;
+            };
             match socket.recv_from(buf) {
                 Ok((len, remote)) => {
                     self.cursor = (index + 1) % n;

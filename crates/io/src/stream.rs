@@ -134,8 +134,9 @@ impl<T: Transport> io::Read for BlockingStream<T> {
         loop {
             // 1. Staged bytes from an earlier oversized chunk.
             if self.cursor < self.pending.len() {
-                let n = (self.pending.len() - self.cursor).min(buf.len());
-                buf[..n].copy_from_slice(&self.pending[self.cursor..self.cursor + n]);
+                let src = self.pending.get(self.cursor..).unwrap_or(&[]);
+                let n = src.len().min(buf.len());
+                buf.iter_mut().zip(src).for_each(|(d, s)| *d = *s);
                 self.cursor += n;
                 if self.cursor == self.pending.len() {
                     self.pending.clear();

@@ -151,7 +151,7 @@ pub fn recv_response<R: Read>(reader: &mut R) -> io::Result<(bool, u64)> {
     reader.read_exact(&mut status)?;
     let mut checksum = [0u8; 8];
     reader.read_exact(&mut checksum)?;
-    Ok((status[0] == STATUS_OK, u64::from_be_bytes(checksum)))
+    Ok((status == [STATUS_OK], u64::from_be_bytes(checksum)))
 }
 
 /// Deterministic synthetic payload for `--size`-mode transfers and tests:

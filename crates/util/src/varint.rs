@@ -31,18 +31,20 @@ impl std::error::Error for VarintError {}
 
 /// Number of bytes the varint encoding of `value` occupies (1, 2, 4 or 8).
 ///
-/// Panics if `value > MAX_VARINT`.
+/// Values above [`MAX_VARINT`] are not encodable; this function reports the
+/// 8-byte size they would clamp to (debug builds assert instead), matching
+/// [`encode_varint`]'s caller contract that values are range-checked before
+/// sizing. Protocol paths must never panic on attacker-influenced input.
 pub fn varint_size(value: u64) -> usize {
+    debug_assert!(value <= MAX_VARINT, "varint value out of range: {value}");
     if value < (1 << 6) {
         1
     } else if value < (1 << 14) {
         2
     } else if value < (1 << 30) {
         4
-    } else if value <= MAX_VARINT {
-        8
     } else {
-        panic!("varint value out of range: {value}")
+        8
     }
 }
 
@@ -64,20 +66,19 @@ pub fn encode_varint<B: BufMut>(buf: &mut B, value: u64) -> Result<(), VarintErr
 
 /// Decodes a varint from the front of `buf`, advancing it.
 pub fn decode_varint<B: Buf>(buf: &mut B) -> Result<u64, VarintError> {
-    if buf.remaining() < 1 {
+    let Some(&first) = buf.chunk().first() else {
         return Err(VarintError::UnexpectedEnd);
-    }
-    let first = buf.chunk()[0];
-    let len = 1usize << (first >> 6);
+    };
+    let tag = first >> 6;
+    let len = 1usize << tag;
     if buf.remaining() < len {
         return Err(VarintError::UnexpectedEnd);
     }
-    Ok(match len {
-        1 => u64::from(buf.get_u8()),
-        2 => u64::from(buf.get_u16() & 0x3FFF),
-        4 => u64::from(buf.get_u32() & 0x3FFF_FFFF),
-        8 => buf.get_u64() & 0x3FFF_FFFF_FFFF_FFFF,
-        _ => unreachable!(),
+    Ok(match tag {
+        0 => u64::from(buf.get_u8()),
+        1 => u64::from(buf.get_u16() & 0x3FFF),
+        2 => u64::from(buf.get_u32() & 0x3FFF_FFFF),
+        _ => buf.get_u64() & 0x3FFF_FFFF_FFFF_FFFF,
     })
 }
 

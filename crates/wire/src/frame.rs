@@ -18,12 +18,12 @@
 //!   underperforming or broken paths; used to accelerate handover (§4.3).
 
 use bytes::{Buf, BufMut, Bytes};
-use mpquic_util::varint::{decode_varint, encode_varint, varint_size};
+use mpquic_util::varint::{decode_varint, varint_size};
 use mpquic_util::RangeSet;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
 
 use crate::header::PathId;
-use crate::{WireError, MAX_ACK_RANGES};
+use crate::{put_varint, DecodeError, MAX_ACK_RANGES};
 
 /// Frame type identifiers on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -157,9 +157,10 @@ impl AckFrame {
             .map(|r| (*r.start(), *r.end()))
             .collect();
         ranges.shrink_to_fit();
+        let largest_acked = ranges.first()?.1;
         Some(AckFrame {
             path_id,
-            largest_acked: ranges[0].1,
+            largest_acked,
             ack_delay_micros,
             ranges,
         })
@@ -179,15 +180,22 @@ impl AckFrame {
     }
 
     /// Encoded size including the type byte.
+    ///
+    /// A structurally empty ACK (no ranges — unreachable through
+    /// [`AckFrame::from_range_set`]) has size 0, matching the zero bytes
+    /// [`AckFrame::encode`] emits for it.
     pub fn wire_size(&self) -> usize {
+        let Some(&(first_start, first_end)) = self.ranges.first() else {
+            return 0;
+        };
         let mut size = 1
             + varint_size(u64::from(self.path_id.0))
             + varint_size(self.largest_acked)
             + varint_size(self.ack_delay_micros)
             + varint_size(self.ranges.len() as u64 - 1)
-            + varint_size(self.ranges[0].1 - self.ranges[0].0);
-        let mut prev_start = self.ranges[0].0;
-        for &(start, end) in &self.ranges[1..] {
+            + varint_size(first_end - first_start);
+        let mut prev_start = first_start;
+        for &(start, end) in self.ranges.iter().skip(1) {
             size += varint_size(prev_start - end - 2) + varint_size(end - start);
             prev_start = start;
         }
@@ -195,41 +203,44 @@ impl AckFrame {
     }
 
     fn encode<B: BufMut>(&self, buf: &mut B) {
-        debug_assert!(!self.ranges.is_empty());
-        debug_assert_eq!(self.ranges[0].1, self.largest_acked);
+        let Some(&(first_start, first_end)) = self.ranges.first() else {
+            debug_assert!(false, "encoding an ACK frame with no ranges");
+            return;
+        };
+        debug_assert_eq!(first_end, self.largest_acked);
         buf.put_u8(FrameType::Ack as u8);
-        encode_varint(buf, u64::from(self.path_id.0)).unwrap();
-        encode_varint(buf, self.largest_acked).unwrap();
-        encode_varint(buf, self.ack_delay_micros).unwrap();
-        encode_varint(buf, self.ranges.len() as u64 - 1).unwrap();
+        put_varint(buf, u64::from(self.path_id.0));
+        put_varint(buf, self.largest_acked);
+        put_varint(buf, self.ack_delay_micros);
+        put_varint(buf, self.ranges.len() as u64 - 1);
         // First range length.
-        encode_varint(buf, self.ranges[0].1 - self.ranges[0].0).unwrap();
-        let mut prev_start = self.ranges[0].0;
-        for &(start, end) in &self.ranges[1..] {
+        put_varint(buf, first_end - first_start);
+        let mut prev_start = first_start;
+        for &(start, end) in self.ranges.iter().skip(1) {
             debug_assert!(
                 end < prev_start.saturating_sub(1),
                 "ranges must be disjoint, descending"
             );
             // Gap: unacked packets between ranges, minus one (RFC 9000 style).
-            encode_varint(buf, prev_start - end - 2).unwrap();
-            encode_varint(buf, end - start).unwrap();
+            put_varint(buf, prev_start - end - 2);
+            put_varint(buf, end - start);
             prev_start = start;
         }
     }
 
-    fn decode<B: Buf>(buf: &mut B) -> Result<AckFrame, WireError> {
+    fn decode<B: Buf>(buf: &mut B) -> Result<AckFrame, DecodeError> {
         let raw_path = decode_varint(buf)?;
         let path_id =
-            PathId(u32::try_from(raw_path).map_err(|_| WireError::LimitExceeded("ack path id"))?);
+            PathId(u32::try_from(raw_path).map_err(|_| DecodeError::LimitExceeded("ack path id"))?);
         let largest_acked = decode_varint(buf)?;
         let ack_delay_micros = decode_varint(buf)?;
         let extra_ranges = decode_varint(buf)?;
         if extra_ranges as usize >= MAX_ACK_RANGES {
-            return Err(WireError::LimitExceeded("ack range count"));
+            return Err(DecodeError::LimitExceeded("ack range count"));
         }
         let first_len = decode_varint(buf)?;
         if first_len > largest_acked {
-            return Err(WireError::Invalid("ack first range underflow"));
+            return Err(DecodeError::Invalid("ack first range underflow"));
         }
         let mut ranges = Vec::with_capacity(extra_ranges as usize + 1);
         ranges.push((largest_acked - first_len, largest_acked));
@@ -239,10 +250,10 @@ impl AckFrame {
             let len = decode_varint(buf)?;
             let end = prev_start
                 .checked_sub(gap + 2)
-                .ok_or(WireError::Invalid("ack gap underflow"))?;
+                .ok_or(DecodeError::Invalid("ack gap underflow"))?;
             let start = end
                 .checked_sub(len)
-                .ok_or(WireError::Invalid("ack range underflow"))?;
+                .ok_or(DecodeError::Invalid("ack range underflow"))?;
             ranges.push((start, end));
             prev_start = start;
         }
@@ -455,9 +466,9 @@ impl Frame {
                 } else {
                     FrameType::Stream as u8
                 });
-                encode_varint(buf, s.stream_id).unwrap();
-                encode_varint(buf, s.offset).unwrap();
-                encode_varint(buf, s.data.len() as u64).unwrap();
+                put_varint(buf, s.stream_id);
+                put_varint(buf, s.offset);
+                put_varint(buf, s.data.len() as u64);
                 buf.put_slice(&s.data);
             }
             Frame::WindowUpdate {
@@ -465,12 +476,12 @@ impl Frame {
                 max_data,
             } => {
                 buf.put_u8(FrameType::WindowUpdate as u8);
-                encode_varint(buf, *stream_id).unwrap();
-                encode_varint(buf, *max_data).unwrap();
+                put_varint(buf, *stream_id);
+                put_varint(buf, *max_data);
             }
             Frame::Blocked { stream_id } => {
                 buf.put_u8(FrameType::Blocked as u8);
-                encode_varint(buf, *stream_id).unwrap();
+                put_varint(buf, *stream_id);
             }
             Frame::RstStream {
                 stream_id,
@@ -478,25 +489,25 @@ impl Frame {
                 final_offset,
             } => {
                 buf.put_u8(FrameType::RstStream as u8);
-                encode_varint(buf, *stream_id).unwrap();
-                encode_varint(buf, *error_code).unwrap();
-                encode_varint(buf, *final_offset).unwrap();
+                put_varint(buf, *stream_id);
+                put_varint(buf, *error_code);
+                put_varint(buf, *final_offset);
             }
             Frame::ConnectionClose { error_code, reason } => {
                 buf.put_u8(FrameType::ConnectionClose as u8);
-                encode_varint(buf, *error_code).unwrap();
-                encode_varint(buf, reason.len() as u64).unwrap();
+                put_varint(buf, *error_code);
+                put_varint(buf, reason.len() as u64);
                 buf.put_slice(reason.as_bytes());
             }
             Frame::Crypto { offset, data } => {
                 buf.put_u8(FrameType::Crypto as u8);
-                encode_varint(buf, *offset).unwrap();
-                encode_varint(buf, data.len() as u64).unwrap();
+                put_varint(buf, *offset);
+                put_varint(buf, data.len() as u64);
                 buf.put_slice(data);
             }
             Frame::AddAddress(info) => {
                 buf.put_u8(FrameType::AddAddress as u8);
-                encode_varint(buf, info.address_id).unwrap();
+                put_varint(buf, info.address_id);
                 match info.addr.ip() {
                     IpAddr::V4(ip) => {
                         buf.put_u8(4);
@@ -512,11 +523,11 @@ impl Frame {
             Frame::Paths(paths) => {
                 debug_assert!(paths.len() <= MAX_PATHS_ENTRIES);
                 buf.put_u8(FrameType::Paths as u8);
-                encode_varint(buf, paths.len() as u64).unwrap();
+                put_varint(buf, paths.len() as u64);
                 for p in paths {
-                    encode_varint(buf, u64::from(p.path_id.0)).unwrap();
+                    put_varint(buf, u64::from(p.path_id.0));
                     buf.put_u8(p.status as u8);
-                    encode_varint(buf, p.srtt_micros).unwrap();
+                    put_varint(buf, p.srtt_micros);
                 }
             }
         }
@@ -524,18 +535,18 @@ impl Frame {
 
     /// Decodes one frame from the front of `buf` (consecutive padding bytes
     /// collapse into a single `Padding` frame).
-    pub fn decode<B: Buf>(buf: &mut B) -> Result<Frame, WireError> {
-        if buf.remaining() == 0 {
-            return Err(WireError::UnexpectedEnd);
-        }
-        let type_byte = u64::from(buf.chunk()[0]);
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Frame, DecodeError> {
+        let Some(&first) = buf.chunk().first() else {
+            return Err(DecodeError::UnexpectedEnd);
+        };
+        let type_byte = u64::from(first);
         let frame_type =
-            FrameType::from_u64(type_byte).ok_or(WireError::UnknownFrame(type_byte))?;
+            FrameType::from_u64(type_byte).ok_or(DecodeError::UnknownFrame(type_byte))?;
         buf.advance(1);
         Ok(match frame_type {
             FrameType::Padding => {
                 let mut len = 1;
-                while buf.remaining() > 0 && buf.chunk()[0] == FrameType::Padding as u8 {
+                while buf.chunk().first() == Some(&(FrameType::Padding as u8)) {
                     buf.advance(1);
                     len += 1;
                 }
@@ -548,7 +559,7 @@ impl Frame {
                 let offset = decode_varint(buf)?;
                 let len = decode_varint(buf)? as usize;
                 if buf.remaining() < len {
-                    return Err(WireError::UnexpectedEnd);
+                    return Err(DecodeError::UnexpectedEnd);
                 }
                 let data = buf.copy_to_bytes(len);
                 Frame::Stream(StreamFrame {
@@ -574,21 +585,21 @@ impl Frame {
                 let error_code = decode_varint(buf)?;
                 let len = decode_varint(buf)? as usize;
                 if len > MAX_REASON_LEN {
-                    return Err(WireError::LimitExceeded("close reason length"));
+                    return Err(DecodeError::LimitExceeded("close reason length"));
                 }
                 if buf.remaining() < len {
-                    return Err(WireError::UnexpectedEnd);
+                    return Err(DecodeError::UnexpectedEnd);
                 }
                 let bytes = buf.copy_to_bytes(len);
                 let reason = String::from_utf8(bytes.to_vec())
-                    .map_err(|_| WireError::Invalid("close reason utf-8"))?;
+                    .map_err(|_| DecodeError::Invalid("close reason utf-8"))?;
                 Frame::ConnectionClose { error_code, reason }
             }
             FrameType::Crypto => {
                 let offset = decode_varint(buf)?;
                 let len = decode_varint(buf)? as usize;
                 if buf.remaining() < len {
-                    return Err(WireError::UnexpectedEnd);
+                    return Err(DecodeError::UnexpectedEnd);
                 }
                 Frame::Crypto {
                     offset,
@@ -598,30 +609,28 @@ impl Frame {
             FrameType::AddAddress => {
                 let address_id = decode_varint(buf)?;
                 if buf.remaining() < 1 {
-                    return Err(WireError::UnexpectedEnd);
+                    return Err(DecodeError::UnexpectedEnd);
                 }
                 let version = buf.get_u8();
-                let ip: IpAddr = match version {
-                    4 => {
-                        if buf.remaining() < 4 {
-                            return Err(WireError::UnexpectedEnd);
-                        }
-                        let mut octets = [0u8; 4];
-                        buf.copy_to_slice(&mut octets);
-                        IpAddr::V4(Ipv4Addr::from(octets))
+                let ip: IpAddr = if version == 4 {
+                    if buf.remaining() < 4 {
+                        return Err(DecodeError::UnexpectedEnd);
                     }
-                    6 => {
-                        if buf.remaining() < 16 {
-                            return Err(WireError::UnexpectedEnd);
-                        }
-                        let mut octets = [0u8; 16];
-                        buf.copy_to_slice(&mut octets);
-                        IpAddr::V6(Ipv6Addr::from(octets))
+                    let mut octets = [0u8; 4];
+                    buf.copy_to_slice(&mut octets);
+                    IpAddr::V4(Ipv4Addr::from(octets))
+                } else if version == 6 {
+                    if buf.remaining() < 16 {
+                        return Err(DecodeError::UnexpectedEnd);
                     }
-                    _ => return Err(WireError::Invalid("address version")),
+                    let mut octets = [0u8; 16];
+                    buf.copy_to_slice(&mut octets);
+                    IpAddr::V6(Ipv6Addr::from(octets))
+                } else {
+                    return Err(DecodeError::Invalid("address version"));
                 };
                 if buf.remaining() < 2 {
-                    return Err(WireError::UnexpectedEnd);
+                    return Err(DecodeError::UnexpectedEnd);
                 }
                 let port = buf.get_u16();
                 Frame::AddAddress(AddressInfo {
@@ -632,19 +641,19 @@ impl Frame {
             FrameType::Paths => {
                 let count = decode_varint(buf)? as usize;
                 if count > MAX_PATHS_ENTRIES {
-                    return Err(WireError::LimitExceeded("paths entry count"));
+                    return Err(DecodeError::LimitExceeded("paths entry count"));
                 }
                 let mut paths = Vec::with_capacity(count);
                 for _ in 0..count {
                     let raw_id = decode_varint(buf)?;
                     let path_id = PathId(
-                        u32::try_from(raw_id).map_err(|_| WireError::LimitExceeded("path id"))?,
+                        u32::try_from(raw_id).map_err(|_| DecodeError::LimitExceeded("path id"))?,
                     );
                     if buf.remaining() < 1 {
-                        return Err(WireError::UnexpectedEnd);
+                        return Err(DecodeError::UnexpectedEnd);
                     }
                     let status = PathStatus::from_u8(buf.get_u8())
-                        .ok_or(WireError::Invalid("path status"))?;
+                        .ok_or(DecodeError::Invalid("path status"))?;
                     let srtt_micros = decode_varint(buf)?;
                     paths.push(PathInfo {
                         path_id,
@@ -658,7 +667,7 @@ impl Frame {
     }
 
     /// Decodes all frames in a payload buffer.
-    pub fn decode_all(mut payload: &[u8]) -> Result<Vec<Frame>, WireError> {
+    pub fn decode_all(mut payload: &[u8]) -> Result<Vec<Frame>, DecodeError> {
         let mut frames = Vec::new();
         while payload.remaining() > 0 {
             frames.push(Frame::decode(&mut payload)?);
@@ -838,7 +847,10 @@ mod tests {
     #[test]
     fn unknown_frame_type_rejected() {
         let mut buf: &[u8] = &[0xFF];
-        assert_eq!(Frame::decode(&mut buf), Err(WireError::UnknownFrame(0xFF)));
+        assert_eq!(
+            Frame::decode(&mut buf),
+            Err(DecodeError::UnknownFrame(0xFF))
+        );
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! and so that per-path state survives NAT rebinding.
 
 use bytes::{Buf, BufMut};
-use mpquic_util::varint::{decode_varint, encode_varint, varint_size};
+use mpquic_util::varint::{decode_varint, varint_size};
 
-use crate::WireError;
+use crate::{put_varint, DecodeError};
 
 /// Identifier of one path within a connection.
 ///
@@ -104,29 +104,29 @@ impl PublicHeader {
         buf.put_u8(flags);
         buf.put_u64(self.connection_id);
         if self.path_id != PathId::INITIAL {
-            encode_varint(buf, u64::from(self.path_id.0)).expect("path id fits varint");
+            put_varint(buf, u64::from(self.path_id.0));
         }
-        encode_varint(buf, self.packet_number).expect("packet number fits varint");
+        put_varint(buf, self.packet_number);
     }
 
     /// Decodes a header from the front of `buf`.
-    pub fn decode<B: Buf>(buf: &mut B) -> Result<PublicHeader, WireError> {
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<PublicHeader, DecodeError> {
         if buf.remaining() < 1 {
-            return Err(WireError::UnexpectedEnd);
+            return Err(DecodeError::UnexpectedEnd);
         }
         let flags = buf.get_u8();
         if flags & FLAG_FIXED == 0 || flags & FLAG_RESERVED_MASK != 0 {
-            return Err(WireError::UnknownPacketType(flags));
+            return Err(DecodeError::UnknownPacketType(flags));
         }
         if buf.remaining() < 8 {
-            return Err(WireError::UnexpectedEnd);
+            return Err(DecodeError::UnexpectedEnd);
         }
         let connection_id = buf.get_u64();
         let path_id = if flags & FLAG_HAS_PATH_ID != 0 {
             let raw = decode_varint(buf)?;
-            let id = u32::try_from(raw).map_err(|_| WireError::LimitExceeded("path id"))?;
+            let id = u32::try_from(raw).map_err(|_| DecodeError::LimitExceeded("path id"))?;
             if id == 0 {
-                return Err(WireError::Invalid("explicit path id 0"));
+                return Err(DecodeError::Invalid("explicit path id 0"));
             }
             PathId(id)
         } else {
@@ -213,13 +213,13 @@ mod tests {
         let mut buf: &[u8] = &[0x00, 0, 0, 0, 0, 0, 0, 0, 0, 0];
         assert!(matches!(
             PublicHeader::decode(&mut buf),
-            Err(WireError::UnknownPacketType(_))
+            Err(DecodeError::UnknownPacketType(_))
         ));
         // Reserved bit set.
         let mut buf2: &[u8] = &[0xC0, 0, 0, 0, 0, 0, 0, 0, 0, 0];
         assert!(matches!(
             PublicHeader::decode(&mut buf2),
-            Err(WireError::UnknownPacketType(_))
+            Err(DecodeError::UnknownPacketType(_))
         ));
     }
 
@@ -234,7 +234,7 @@ mod tests {
         let mut read = buf.freeze();
         assert_eq!(
             PublicHeader::decode(&mut read),
-            Err(WireError::Invalid("explicit path id 0"))
+            Err(DecodeError::Invalid("explicit path id 0"))
         );
     }
 

@@ -31,8 +31,12 @@ pub use header::{PacketType, PathId, PublicHeader};
 pub use packet::{Packet, PacketBuilder};
 
 /// Errors produced while decoding wire data.
+///
+/// Every decode path in this crate is total: malformed or truncated input
+/// yields a `DecodeError`, never a panic. The `cargo xtask lint` no-panic
+/// pass enforces this at the source level.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum WireError {
+pub enum DecodeError {
     /// Buffer ended before a complete field was read.
     UnexpectedEnd,
     /// Unknown frame type byte.
@@ -45,29 +49,45 @@ pub enum WireError {
     Invalid(&'static str),
 }
 
-impl std::fmt::Display for WireError {
+/// Former name of [`DecodeError`], kept for downstream compatibility.
+pub type WireError = DecodeError;
+
+impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            WireError::UnexpectedEnd => write!(f, "unexpected end of buffer"),
-            WireError::UnknownFrame(t) => write!(f, "unknown frame type {t:#x}"),
-            WireError::UnknownPacketType(t) => write!(f, "unknown packet type {t:#x}"),
-            WireError::LimitExceeded(what) => write!(f, "limit exceeded: {what}"),
-            WireError::Invalid(what) => write!(f, "invalid field: {what}"),
+            DecodeError::UnexpectedEnd => write!(f, "unexpected end of buffer"),
+            DecodeError::UnknownFrame(t) => write!(f, "unknown frame type {t:#x}"),
+            DecodeError::UnknownPacketType(t) => write!(f, "unknown packet type {t:#x}"),
+            DecodeError::LimitExceeded(what) => write!(f, "limit exceeded: {what}"),
+            DecodeError::Invalid(what) => write!(f, "invalid field: {what}"),
         }
     }
 }
 
-impl std::error::Error for WireError {}
+impl std::error::Error for DecodeError {}
 
-impl From<mpquic_util::varint::VarintError> for WireError {
+impl From<mpquic_util::varint::VarintError> for DecodeError {
     fn from(e: mpquic_util::varint::VarintError) -> Self {
         match e {
-            mpquic_util::varint::VarintError::UnexpectedEnd => WireError::UnexpectedEnd,
+            mpquic_util::varint::VarintError::UnexpectedEnd => DecodeError::UnexpectedEnd,
             mpquic_util::varint::VarintError::ValueTooLarge => {
-                WireError::LimitExceeded("varint value")
+                DecodeError::LimitExceeded("varint value")
             }
         }
     }
+}
+
+/// Writes `value` as a varint, assuming the caller has respected the
+/// `MAX_VARINT` range contract (all protocol fields — packet numbers,
+/// offsets, lengths — are bounded well below `2^62`). Debug builds assert
+/// the contract; release builds clamp rather than panic, because encode
+/// paths run in the packetizer hot loop of a long-lived process.
+pub(crate) fn put_varint<B: bytes::BufMut>(buf: &mut B, value: u64) {
+    use mpquic_util::varint::{encode_varint, MAX_VARINT};
+    debug_assert!(value <= MAX_VARINT, "varint out of range: {value}");
+    let clamped = value.min(MAX_VARINT);
+    // Infallible after clamping; the Err arm is unreachable by construction.
+    let _ = encode_varint(buf, clamped);
 }
 
 /// Maximum UDP datagram payload we produce (conservative Internet-safe MTU

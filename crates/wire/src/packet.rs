@@ -9,7 +9,7 @@ use bytes::BytesMut;
 
 use crate::frame::Frame;
 use crate::header::PublicHeader;
-use crate::{WireError, AEAD_TAG_SIZE, MAX_DATAGRAM_SIZE};
+use crate::{DecodeError, AEAD_TAG_SIZE, MAX_DATAGRAM_SIZE};
 
 /// A fully assembled (but not yet encrypted) packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,7 +35,7 @@ impl Packet {
     }
 
     /// Parses a plaintext payload back into frames, given its decoded header.
-    pub fn from_parts(header: PublicHeader, payload: &[u8]) -> Result<Packet, WireError> {
+    pub fn from_parts(header: PublicHeader, payload: &[u8]) -> Result<Packet, DecodeError> {
         Ok(Packet {
             header,
             frames: Frame::decode_all(payload)?,

@@ -1,0 +1,486 @@
+//! Lexical source scanning: comment/string stripping, brace matching and
+//! function-body extraction.
+//!
+//! The lints in this workspace are *structural* (which tokens appear in
+//! which function body), so a full parse is unnecessary — and the offline
+//! build environment rules out `syn`. Instead every file is first
+//! *stripped*: comments, string literals and char literals are replaced by
+//! spaces, byte-for-byte, so that byte offsets and line numbers in the
+//! stripped text map 1:1 onto the original file. All downstream matching
+//! runs on the stripped text, which makes naive substring searches sound:
+//! an `unwrap` inside a doc comment or a `"next_pn"` inside a string
+//! literal can no longer produce a false positive.
+
+/// Replaces the *contents* of comments, string literals (including raw
+/// strings) and char literals with spaces. Newlines are preserved so line
+/// numbers survive; total length is unchanged so byte offsets survive.
+pub fn strip(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |out: &mut Vec<u8>, bytes: &[u8]| {
+        for &c in bytes {
+            out.push(if c == b'\n' { b'\n' } else { b' ' });
+        }
+    };
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let end = memchr_newline(b, i);
+            blank(&mut out, &b[i..end]);
+            i = end;
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < b.len() && depth > 0 {
+                if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            blank(&mut out, &b[i..j]);
+            i = j;
+            continue;
+        }
+        // Raw string: r"..." / r#"..."# / br#"..."#, not preceded by an
+        // identifier character (so `for`, `var` etc. don't trigger).
+        if (c == b'r' || (c == b'b' && b.get(i + 1) == Some(&b'r'))) && !prev_is_ident(b, i) {
+            let r_at = if c == b'b' { i + 1 } else { i };
+            let mut hashes = 0;
+            let mut j = r_at + 1;
+            while b.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&b'"') {
+                // Find closing quote followed by `hashes` hashes.
+                let mut k = j + 1;
+                'outer: while k < b.len() {
+                    if b[k] == b'"' {
+                        let mut h = 0;
+                        while h < hashes {
+                            if b.get(k + 1 + h) != Some(&b'#') {
+                                break;
+                            }
+                            h += 1;
+                        }
+                        if h == hashes {
+                            k += 1 + hashes;
+                            break 'outer;
+                        }
+                    }
+                    k += 1;
+                }
+                blank(&mut out, &b[i..k]);
+                i = k;
+                continue;
+            }
+        }
+        // Ordinary (or byte) string.
+        if c == b'"' {
+            let mut j = i + 1;
+            while j < b.len() {
+                match b[j] {
+                    b'\\' => j += 2,
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            blank(&mut out, &b[i..j.min(b.len())]);
+            i = j.min(b.len());
+            continue;
+        }
+        // Char literal vs lifetime. After a `'`, it is a char literal when
+        // the next char is an escape, or when the char after next is the
+        // closing quote (`'a'`); otherwise it is a lifetime/label.
+        if c == b'\'' {
+            let is_char = match b.get(i + 1) {
+                Some(b'\\') => true,
+                Some(_) => b.get(i + 2) == Some(&b'\''),
+                None => false,
+            };
+            if is_char {
+                let mut j = i + 1;
+                while j < b.len() {
+                    match b[j] {
+                        b'\\' => j += 2,
+                        b'\'' => {
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                blank(&mut out, &b[i..j.min(b.len())]);
+                i = j.min(b.len());
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    // Stripping only substitutes bytes, so this cannot produce invalid
+    // UTF-8 from valid input (multi-byte chars only occur inside the
+    // comments/strings being blanked, or pass through untouched).
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn memchr_newline(b: &[u8], from: usize) -> usize {
+    let mut i = from;
+    while i < b.len() && b[i] != b'\n' {
+        i += 1;
+    }
+    i
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
+}
+
+/// 1-based line number of a byte offset.
+pub fn line_of(text: &str, offset: usize) -> usize {
+    text.as_bytes()
+        .iter()
+        .take(offset)
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+/// The source line (trimmed) containing `offset`, from the *original* text.
+pub fn line_text(text: &str, offset: usize) -> &str {
+    let start = text[..offset.min(text.len())]
+        .rfind('\n')
+        .map_or(0, |p| p + 1);
+    let end = text[start..].find('\n').map_or(text.len(), |p| start + p);
+    text[start..end].trim()
+}
+
+/// Given the offset of a `{`, returns the offset one past its matching
+/// `}` (or `text.len()` if unbalanced). Call on *stripped* text only.
+pub fn match_brace(stripped: &str, open: usize) -> usize {
+    let b = stripped.as_bytes();
+    debug_assert_eq!(b.get(open), Some(&b'{'));
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < b.len() {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+/// True if the identifier-like token starting at `at` is a standalone word
+/// (not part of a longer identifier).
+fn is_word_at(b: &[u8], at: usize, word: &str) -> bool {
+    let w = word.as_bytes();
+    if at + w.len() > b.len() || &b[at..at + w.len()] != w {
+        return false;
+    }
+    let before_ok = at == 0 || !(b[at - 1].is_ascii_alphanumeric() || b[at - 1] == b'_');
+    let after = at + w.len();
+    let after_ok = after >= b.len() || !(b[after].is_ascii_alphanumeric() || b[after] == b'_');
+    before_ok && after_ok
+}
+
+/// All offsets where `word` appears as a standalone token in `stripped`.
+pub fn word_offsets(stripped: &str, word: &str) -> Vec<usize> {
+    let b = stripped.as_bytes();
+    let mut found = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = stripped[from..].find(word) {
+        let at = from + pos;
+        if is_word_at(b, at, word) {
+            found.push(at);
+        }
+        from = at + 1;
+    }
+    found
+}
+
+/// Byte ranges of items gated behind `#[cfg(test)]` (test modules and test
+/// helper items). The range covers the `{ ... }` body; items declared as
+/// `mod name;` contribute nothing.
+pub fn test_item_ranges(stripped: &str) -> Vec<std::ops::Range<usize>> {
+    let b = stripped.as_bytes();
+    let mut ranges = Vec::new();
+    let needle = "#[cfg(test)]";
+    let mut from = 0;
+    while let Some(pos) = stripped[from..].find(needle) {
+        let attr_at = from + pos;
+        let mut j = attr_at + needle.len();
+        // Skip whitespace and further attributes to the item itself.
+        loop {
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if b.get(j) == Some(&b'#') && b.get(j + 1) == Some(&b'[') {
+                // Skip a whole `#[...]` attribute (bracket matched).
+                let mut depth = 0;
+                while j < b.len() {
+                    match b[j] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // Find the body brace, unless a `;` ends the item first.
+        let mut k = j;
+        while k < b.len() && b[k] != b'{' && b[k] != b';' {
+            k += 1;
+        }
+        if b.get(k) == Some(&b'{') {
+            let end = match_brace(stripped, k);
+            ranges.push(attr_at..end);
+            from = end;
+        } else {
+            from = k.min(b.len() - 1).max(attr_at + 1);
+        }
+        if from >= stripped.len() {
+            break;
+        }
+    }
+    ranges
+}
+
+/// Extracts the body range of `fn fn_name` inside `impl type_name { .. }`
+/// (or anywhere in the file when `type_name` is `None`). Returns the byte
+/// range of the body including its braces, against the stripped text.
+pub fn fn_body(
+    stripped: &str,
+    type_name: Option<&str>,
+    fn_name: &str,
+) -> Option<std::ops::Range<usize>> {
+    let search_range = match type_name {
+        Some(ty) => impl_body(stripped, ty)?,
+        None => 0..stripped.len(),
+    };
+    let region = &stripped[search_range.clone()];
+    let b = region.as_bytes();
+    for at in word_offsets(region, "fn") {
+        // Token after `fn` must be the name.
+        let mut j = at + 2;
+        while j < b.len() && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if !is_word_at(b, j, fn_name) {
+            continue;
+        }
+        // Body starts at the first `{` after the signature.
+        let mut k = j + fn_name.len();
+        while k < b.len() && b[k] != b'{' && b[k] != b';' {
+            k += 1;
+        }
+        if b.get(k) == Some(&b'{') {
+            let end = match_brace(region, k);
+            return Some(search_range.start + k..search_range.start + end);
+        }
+    }
+    None
+}
+
+/// Body range (inside the braces) of `impl type_name { ... }`.
+fn impl_body(stripped: &str, type_name: &str) -> Option<std::ops::Range<usize>> {
+    let b = stripped.as_bytes();
+    for at in word_offsets(stripped, "impl") {
+        let mut j = at + 4;
+        while j < b.len() && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if !is_word_at(b, j, type_name) {
+            continue;
+        }
+        let mut k = j + type_name.len();
+        while k < b.len() && b[k] != b'{' {
+            // A `for` before the brace means this is a trait impl
+            // (`impl Display for Frame`) — still fine: we matched the
+            // type name directly after `impl`, so only inherent impls of
+            // `type_name` reach here.
+            k += 1;
+        }
+        if b.get(k) == Some(&b'{') {
+            let end = match_brace(stripped, k);
+            return Some(k..end);
+        }
+    }
+    None
+}
+
+/// Variant names of `pub enum name { ... }`.
+pub fn enum_variants(stripped: &str, name: &str) -> Vec<String> {
+    let b = stripped.as_bytes();
+    let mut variants = Vec::new();
+    for at in word_offsets(stripped, "enum") {
+        let mut j = at + 4;
+        while j < b.len() && b[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if !is_word_at(b, j, name) {
+            continue;
+        }
+        let mut k = j + name.len();
+        while k < b.len() && b[k] != b'{' {
+            k += 1;
+        }
+        if b.get(k) != Some(&b'{') {
+            continue;
+        }
+        let end = match_brace(stripped, k);
+        let body = &b[k + 1..end.saturating_sub(1)];
+        // At nesting depth 0 of the enum body, each variant is an
+        // identifier that starts an item (start of body or after a `,`).
+        let mut depth = 0usize;
+        let mut expect_ident = true;
+        let mut m = 0;
+        while m < body.len() {
+            match body[m] {
+                b'{' | b'(' | b'[' | b'<' => {
+                    depth += 1;
+                    m += 1;
+                }
+                b'}' | b')' | b']' | b'>' => {
+                    depth = depth.saturating_sub(1);
+                    m += 1;
+                }
+                b',' if depth == 0 => {
+                    expect_ident = true;
+                    m += 1;
+                }
+                b'=' if depth == 0 => {
+                    // Discriminant (`Padding = 0x00`): skip to comma.
+                    while m < body.len() && body[m] != b',' {
+                        m += 1;
+                    }
+                }
+                c if c.is_ascii_whitespace() => m += 1,
+                b'#' if depth == 0 => {
+                    // Attribute on a variant: skip `#[...]`.
+                    while m < body.len() && body[m] != b']' {
+                        m += 1;
+                    }
+                    m += 1;
+                }
+                c if (c.is_ascii_alphabetic() || c == b'_') && depth == 0 && expect_ident => {
+                    let start = m;
+                    while m < body.len() && (body[m].is_ascii_alphanumeric() || body[m] == b'_') {
+                        m += 1;
+                    }
+                    variants.push(String::from_utf8_lossy(&body[start..m]).into_owned());
+                    expect_ident = false;
+                }
+                _ => m += 1,
+            }
+        }
+        return variants;
+    }
+    variants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_removes_comments_and_strings() {
+        let src = "let a = \"unwrap()\"; // .unwrap()\nlet b = 'x'; /* panic! */ f(a);";
+        let s = strip(src);
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("panic"));
+        assert!(s.contains("let a ="));
+        assert!(s.contains("f(a);"));
+        assert_eq!(s.len(), src.len());
+    }
+
+    #[test]
+    fn strip_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\"has \"quotes\" and unwrap()\"#; g(r); }";
+        let s = strip(src);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("fn f<'a>(x: &'a str)"));
+        assert!(s.contains("g(r);"));
+    }
+
+    #[test]
+    fn strip_handles_escaped_quotes() {
+        let src = r#"let q = "a\"b.unwrap()"; h();"#;
+        let s = strip(src);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("h();"));
+    }
+
+    #[test]
+    fn test_mod_ranges_cover_cfg_test() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        let s = strip(src);
+        let ranges = test_item_ranges(&s);
+        assert_eq!(ranges.len(), 1);
+        let covered = &s[ranges[0].clone()];
+        assert!(covered.contains("unwrap"));
+        assert!(!covered.contains("real"));
+    }
+
+    #[test]
+    fn fn_body_extraction_scopes_to_impl() {
+        let src = "impl FrameType { fn encode(&self) { a(); } }\n\
+                   impl Frame { fn encode(&self) { b(); } fn other(&self) { c(); } }";
+        let s = strip(src);
+        let range = fn_body(&s, Some("Frame"), "encode").unwrap();
+        let body = &s[range];
+        assert!(body.contains("b()"));
+        assert!(!body.contains("a()"));
+        assert!(!body.contains("c()"));
+    }
+
+    #[test]
+    fn enum_variant_listing() {
+        let src = "pub enum Frame { Padding { len: usize }, Ping, Ack(AckFrame), \
+                   WindowUpdate { a: u64, b: u64 }, Paths(Vec<PathInfo>), }";
+        let s = strip(src);
+        assert_eq!(
+            enum_variants(&s, "Frame"),
+            vec!["Padding", "Ping", "Ack", "WindowUpdate", "Paths"]
+        );
+    }
+
+    #[test]
+    fn enum_variants_skip_discriminants() {
+        let src = "enum FrameType { Padding = 0x00, Ping = 0x01, Paths = 0x11 }";
+        let s = strip(src);
+        assert_eq!(
+            enum_variants(&s, "FrameType"),
+            vec!["Padding", "Ping", "Paths"]
+        );
+    }
+}
