@@ -56,6 +56,11 @@ pub struct Config {
     /// Record a qlog-style structured event log
     /// ([`crate::Connection::qlog`]).
     pub enable_qlog: bool,
+    /// Maximum events retained by the in-memory qlog; once full, further
+    /// events are counted ([`crate::Qlog::dropped`]) but not stored, so a
+    /// long transfer cannot grow the log without bound. Use the streaming
+    /// subscriber ([`mpquic_telemetry::StreamingQlog`]) for full traces.
+    pub qlog_event_limit: usize,
 }
 
 impl Default for Config {
@@ -76,6 +81,7 @@ impl Default for Config {
             max_ack_ranges: mpquic_wire::MAX_ACK_RANGES,
             quic_version: mpquic_crypto::handshake::SUPPORTED_VERSION,
             enable_qlog: false,
+            qlog_event_limit: crate::qlog::DEFAULT_EVENT_LIMIT,
         }
     }
 }

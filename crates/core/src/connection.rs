@@ -35,13 +35,15 @@ use mpquic_wire::{
 use std::collections::{BTreeMap, VecDeque};
 use std::net::SocketAddr;
 
+use mpquic_telemetry::{self as telemetry, Subscriber};
+
 use crate::config::{Config, ConnStats, Event, Role, Transmit};
 use crate::flow::ConnFlowControl;
 use crate::invariant::InvariantChecker;
 use crate::path::{Path, PathState};
-use crate::qlog::{Qlog, QlogEvent};
+use crate::qlog::Qlog;
 use crate::recovery::SentPacket;
-use crate::scheduler::{PathView, Scheduler};
+use crate::scheduler::{PathView, Scheduler, SchedulerReason};
 use crate::stream::{RecvStream, SendStream, StreamId};
 
 /// Transport-level error codes used in CONNECTION_CLOSE.
@@ -131,6 +133,10 @@ pub struct Connection {
     last_activity: Option<SimTime>,
     /// Structured event log (enabled via `Config::enable_qlog`).
     qlog: Qlog,
+    /// Telemetry subscriber stack ([`Connection::set_subscriber`]). Every
+    /// instrumentation point emits a [`mpquic_telemetry::Event`] through
+    /// it; the default `()` stack discards everything.
+    subscriber: Box<dyn telemetry::Subscriber>,
     events: VecDeque<Event>,
     close_pending: Option<(u64, String)>,
     close_sent: bool,
@@ -181,7 +187,7 @@ impl Connection {
         conn.client_hs = Some(hs);
         conn.crypto_queue = crypto_queue;
         let local = conn.local_addrs[initial_local_index];
-        conn.create_path(PathId::INITIAL, local, remote_addr, true);
+        conn.create_path(SimTime::ZERO, PathId::INITIAL, local, remote_addr, true);
         conn
     }
 
@@ -208,7 +214,7 @@ impl Connection {
         let flow = ConnFlowControl::new(config.conn_recv_window, config.conn_recv_window);
         let scheduler = Scheduler::new(config.scheduler);
         let qlog = if config.enable_qlog {
-            Qlog::enabled()
+            Qlog::with_limit(config.qlog_event_limit)
         } else {
             Qlog::disabled()
         };
@@ -216,6 +222,7 @@ impl Connection {
             role,
             cid,
             qlog,
+            subscriber: Box::new(()),
             client_hs: None,
             server_hs: None,
             session_keys: None,
@@ -310,6 +317,30 @@ impl Connection {
     /// The structured event log (empty unless `Config::enable_qlog`).
     pub fn qlog(&self) -> &Qlog {
         &self.qlog
+    }
+
+    /// Installs a telemetry subscriber stack, replacing the current one.
+    ///
+    /// Compose subscribers with tuples —
+    /// `Box::new((metrics, (streaming_qlog, stats)))` — per
+    /// [`mpquic_telemetry::Subscriber`]. Events emitted before the call
+    /// are not replayed, so install the stack before driving the
+    /// connection.
+    pub fn set_subscriber(&mut self, subscriber: Box<dyn telemetry::Subscriber>) {
+        self.subscriber = subscriber;
+    }
+
+    /// True when anything is listening: the legacy qlog or an installed
+    /// subscriber. Emission points that must *allocate* to describe an
+    /// event (candidate lists, path vectors) check this first.
+    fn telemetry_enabled(&self) -> bool {
+        Subscriber::is_enabled(&self.qlog) || self.subscriber.is_enabled()
+    }
+
+    /// Delivers one event to the legacy qlog and the subscriber stack.
+    fn emit(&mut self, event: telemetry::Event) {
+        self.qlog.on_event(&event);
+        self.subscriber.on_event(&event);
     }
 
     // ------------------------------------------------------------------
@@ -443,7 +474,7 @@ impl Connection {
             if !valid_initiator {
                 return;
             }
-            self.create_path(header.path_id, local, remote, false);
+            self.create_path(now, header.path_id, local, remote, false);
             self.events.push_back(Event::PathActive(header.path_id));
         } else if let Some(path) = self.paths.get_mut(&header.path_id) {
             // NAT rebinding: the explicit Path ID lets us keep all path
@@ -470,12 +501,14 @@ impl Connection {
         self.stats.packets_received += 1;
         self.stats.bytes_received += data.len() as u64;
         self.last_activity = Some(now);
-        self.qlog.push(QlogEvent::PacketReceived {
-            time: now,
-            path: header.path_id,
-            packet_number: header.packet_number,
-            size: data.len(),
-        });
+        self.emit(telemetry::Event::PacketReceived(
+            telemetry::PacketReceived {
+                time: now,
+                path: header.path_id,
+                packet_number: header.packet_number,
+                size: data.len(),
+            },
+        ));
 
         for frame in packet.frames {
             self.handle_frame(now, header.path_id, frame);
@@ -497,7 +530,7 @@ impl Connection {
                 // Decode enforces the cap/layout; this asserts that
                 // postcondition actually held (paper: ≤256 ranges).
                 self.invariants.check_ack_frame(&ack, "received");
-                self.handle_ack(now, ack);
+                self.handle_ack(now, on_path, ack);
             }
             Frame::Stream(f) => self.handle_stream_frame(now, f),
             Frame::WindowUpdate {
@@ -530,6 +563,7 @@ impl Connection {
                 self.addresses_dirty = true;
             }
             Frame::Paths(infos) => {
+                let mut changes: Vec<(PathId, telemetry::PathState)> = Vec::new();
                 for info in &infos {
                     match info.status {
                         PathStatus::PotentiallyFailed => {
@@ -538,6 +572,10 @@ impl Connection {
                                     path.mark_potentially_failed(now);
                                     self.events
                                         .push_back(Event::PathPotentiallyFailed(info.path_id));
+                                    changes.push((
+                                        info.path_id,
+                                        telemetry::PathState::PotentiallyFailed,
+                                    ));
                                 }
                             }
                         }
@@ -547,6 +585,7 @@ impl Connection {
                                     path.state = PathState::Closed;
                                     path.probe_at = None;
                                     self.events.push_back(Event::PathClosed(info.path_id));
+                                    changes.push((info.path_id, telemetry::PathState::Closed));
                                 }
                             }
                         }
@@ -554,11 +593,17 @@ impl Connection {
                     }
                 }
                 self.peer_paths = infos;
+                for (path, state) in changes {
+                    self.emit(telemetry::Event::PathStateChanged(
+                        telemetry::PathStateChanged {
+                            time: now,
+                            path,
+                            state,
+                        },
+                    ));
+                }
             }
         }
-        // ACK frames carry their own path id by design; the arrival path
-        // only matters for packet-number accounting, done by the caller.
-        let _ = on_path;
     }
 
     fn handle_crypto(&mut self, now: SimTime, data: &[u8]) {
@@ -614,7 +659,7 @@ impl Connection {
         }
     }
 
-    fn handle_ack(&mut self, now: SimTime, ack: AckFrame) {
+    fn handle_ack(&mut self, now: SimTime, on_path: PathId, ack: AckFrame) {
         // Coupled congestion control needs a snapshot of every path.
         let snapshots: Vec<_> = self.paths.values().map(Path::snapshot).collect();
         let self_index = self
@@ -629,38 +674,73 @@ impl Connection {
         let outcome =
             path.recovery
                 .on_ack(now, ack.iter_ranges_ascending(), ack_delay, &mut path.rtt);
+        // Telemetry payloads are gathered while the path borrow is live
+        // and emitted once it ends.
+        let mut metrics = None;
+        let mut recovered = false;
         if outcome.newly_acked_bytes > 0 {
             let rtt = path.rtt.latest();
             path.cc
                 .on_ack(now, outcome.newly_acked_bytes, rtt, &snapshots, self_index);
-            let was_pf = path.state == PathState::PotentiallyFailed;
+            recovered = path.state == PathState::PotentiallyFailed;
             path.mark_recovered();
-            if was_pf {
-                self.events.push_back(Event::PathActive(ack.path_id));
-            }
+            metrics = Some(telemetry::MetricsUpdated {
+                time: now,
+                path: ack.path_id,
+                srtt_us: path.rtt.srtt().as_micros() as u64,
+                rttvar_us: path.rtt.rttvar().as_micros() as u64,
+                cwnd: path.cc.window(),
+                bytes_in_flight: path.recovery.bytes_in_flight(),
+            });
         }
+        let mut window_after = None;
         if outcome.congestion_event {
             path.cc.on_congestion_event(now);
             self.stats.congestion_events += 1;
-            let window_after = path.cc.window();
-            self.qlog.push(QlogEvent::CongestionEvent {
-                time: now,
-                path: ack.path_id,
-                window_after,
-            });
+            window_after = Some(path.cc.window());
+        }
+        self.emit(telemetry::Event::AckReceived(telemetry::AckReceived {
+            time: now,
+            on_path,
+            acks_path: ack.path_id,
+            largest_acked: ack.largest_acked,
+            newly_acked_bytes: outcome.newly_acked_bytes,
+        }));
+        if let Some(m) = metrics {
+            self.emit(telemetry::Event::MetricsUpdated(m));
+        }
+        if recovered {
+            self.events.push_back(Event::PathActive(ack.path_id));
+            self.emit(telemetry::Event::PathStateChanged(
+                telemetry::PathStateChanged {
+                    time: now,
+                    path: ack.path_id,
+                    state: telemetry::PathState::Active,
+                },
+            ));
+        }
+        if let Some(window_after) = window_after {
+            self.emit(telemetry::Event::CongestionEvent(
+                telemetry::CongestionEvent {
+                    time: now,
+                    path: ack.path_id,
+                    window_after,
+                },
+            ));
         }
         if outcome.lost_bytes > 0 {
-            self.qlog.push(QlogEvent::PacketsLost {
+            self.emit(telemetry::Event::FramesLost(telemetry::FramesLost {
                 time: now,
                 path: ack.path_id,
+                frames: outcome.lost_frames.len(),
                 bytes: outcome.lost_bytes,
-            });
+            }));
         }
         for frame in outcome.acked_frames {
             self.on_frame_acked(frame);
         }
         if !outcome.lost_frames.is_empty() {
-            self.requeue_lost_frames(outcome.lost_frames);
+            self.requeue_lost_frames(now, ack.path_id, outcome.lost_frames);
         }
     }
 
@@ -751,6 +831,7 @@ impl Connection {
 
     fn create_path(
         &mut self,
+        now: SimTime,
         id: PathId,
         local: SocketAddr,
         remote: SocketAddr,
@@ -761,13 +842,20 @@ impl Connection {
         let cc = self.config.cc.build(self.config.max_datagram_size as u64);
         let path = Path::new(id, local, remote, self.config.initial_rtt, cc);
         self.paths.insert(id, path);
+        self.emit(telemetry::Event::PathStateChanged(
+            telemetry::PathStateChanged {
+                time: now,
+                path: id,
+                state: telemetry::PathState::Active,
+            },
+        ));
     }
 
     /// Client-side: opens additional paths once the handshake is complete
     /// and the server's addresses are known. Local interface `i` pairs
     /// with the server address advertised under address ID `i`; if the
     /// server advertised a single address, every interface pairs with it.
-    fn maybe_open_paths(&mut self, _now: SimTime) {
+    fn maybe_open_paths(&mut self, now: SimTime) {
         if self.role != Role::Client || !self.config.multipath || !self.handshake_complete {
             return;
         }
@@ -789,7 +877,7 @@ impl Connection {
             let Some(remote) = remote else { continue };
             let id = PathId(self.next_path_id);
             self.next_path_id += 2;
-            self.create_path(id, local, remote, true);
+            self.create_path(now, id, local, remote, true);
             // Exercise the path immediately: the first packet tells the
             // peer the path exists (so *its* scheduler can use it — vital
             // when the server is the bulk sender) and samples the RTT.
@@ -826,14 +914,20 @@ impl Connection {
         // Everything in flight went out on the old network; surrender it
         // for retransmission on the new one.
         let frames = path.recovery.surrender_all();
-        self.requeue_lost_frames(frames);
+        self.requeue_lost_frames(now, id, frames);
         // Probe the new network immediately.
         self.per_path_queue
             .entry(id)
             .or_default()
             .push_back(Frame::Ping);
         self.events.push_back(Event::PathActive(id));
-        let _ = now;
+        self.emit(telemetry::Event::PathStateChanged(
+            telemetry::PathStateChanged {
+                time: now,
+                path: id,
+                state: telemetry::PathState::Active,
+            },
+        ));
     }
 
     /// Closes a path: the paper's path manager controls "the creation
@@ -851,8 +945,7 @@ impl Connection {
         path.probe_at = None;
         // Surrender everything in flight on the dying path.
         let frames = path.recovery.surrender_all();
-        let _ = now;
-        self.requeue_lost_frames(frames);
+        self.requeue_lost_frames(now, id, frames);
         // Reroute its queued control frames.
         if let Some(queue) = self.per_path_queue.get_mut(&id) {
             let frames: Vec<Frame> = queue.drain(..).collect();
@@ -867,6 +960,13 @@ impl Connection {
         }
         self.queue_paths_frame();
         self.events.push_back(Event::PathClosed(id));
+        self.emit(telemetry::Event::PathStateChanged(
+            telemetry::PathStateChanged {
+                time: now,
+                path: id,
+                state: telemetry::PathState::Closed,
+            },
+        ));
     }
 
     fn queue_paths_frame(&mut self) {
@@ -889,9 +989,15 @@ impl Connection {
         self.control_queue.push_back(Frame::Paths(infos));
     }
 
-    fn requeue_lost_frames(&mut self, frames: Vec<Frame>) {
+    /// Routes reliable frames from lost (or surrendered) packets back to
+    /// their retransmission queues. `from_path` is the path the frames
+    /// originally travelled on — recorded in the `frame_retransmitted`
+    /// telemetry event; the retransmission itself is rescheduled and may
+    /// leave on any path.
+    fn requeue_lost_frames(&mut self, now: SimTime, from_path: PathId, frames: Vec<Frame>) {
         for frame in frames {
             self.stats.frames_retransmitted += 1;
+            let kind = frame.frame_type().name();
             match frame {
                 Frame::Stream(f) => {
                     if let Some(s) = self.send_streams.get_mut(&f.stream_id) {
@@ -908,6 +1014,13 @@ impl Connection {
                 | Frame::ConnectionClose { .. } => self.control_queue.push_back(frame),
                 Frame::Ack(_) | Frame::Padding { .. } => {}
             }
+            self.emit(telemetry::Event::FrameRetransmitted(
+                telemetry::FrameRetransmitted {
+                    time: now,
+                    from_path,
+                    kind,
+                },
+            ));
         }
     }
 
@@ -980,27 +1093,50 @@ impl Connection {
             };
             if outcome.rto_fired {
                 self.stats.rtos += 1;
-                self.qlog.push(QlogEvent::Rto {
+                self.emit(telemetry::Event::Rto(telemetry::Rto {
                     time: now,
                     path: id,
-                });
-                let path = self.paths.get_mut(&id).expect("listed");
-                path.cc.on_rto(now);
-                // The paper's §4.3 behaviour: the path is only *potentially*
-                // failed; the scheduler ignores it until data is acked on it.
-                path.mark_potentially_failed(now);
+                }));
+                {
+                    let path = self.paths.get_mut(&id).expect("listed");
+                    path.cc.on_rto(now);
+                    // The paper's §4.3 behaviour: the path is only
+                    // *potentially* failed; the scheduler ignores it until
+                    // data is acked on it.
+                    path.mark_potentially_failed(now);
+                }
                 if was_active {
                     self.events.push_back(Event::PathPotentiallyFailed(id));
-                    self.qlog.push(QlogEvent::PathStateChanged {
-                        time: now,
-                        path: id,
-                        state: crate::qlog::PathStateKind::PotentiallyFailed,
-                    });
+                    self.emit(telemetry::Event::PathStateChanged(
+                        telemetry::PathStateChanged {
+                            time: now,
+                            path: id,
+                            state: telemetry::PathState::PotentiallyFailed,
+                        },
+                    ));
                 }
                 // Tell the peer which path failed so it does not have to
                 // discover it through its own RTO (Fig. 11).
                 if self.paths.len() > 1 {
                     self.queue_paths_frame();
+                    if was_active {
+                        // Traffic moves to the best remaining usable path
+                        // (§4.3 handover). `None` means no healthy path is
+                        // left and the connection rides the fallback.
+                        let to_path = {
+                            let views: Vec<PathView> = self
+                                .path_views()
+                                .into_iter()
+                                .filter(|v| v.id != id)
+                                .collect();
+                            self.scheduler.select_for_control(&views)
+                        };
+                        self.emit(telemetry::Event::Handover(telemetry::Handover {
+                            time: now,
+                            from_path: id,
+                            to_path,
+                        }));
+                    }
                 }
             } else if outcome.congestion_event {
                 let path = self.paths.get_mut(&id).expect("listed");
@@ -1008,7 +1144,7 @@ impl Connection {
                 self.stats.congestion_events += 1;
             }
             if !outcome.lost_frames.is_empty() {
-                self.requeue_lost_frames(outcome.lost_frames);
+                self.requeue_lost_frames(now, id, outcome.lost_frames);
             }
         }
     }
@@ -1035,7 +1171,7 @@ impl Connection {
             return None;
         }
         // 1. Generate window updates (duplicated on all paths).
-        self.flush_window_updates();
+        self.flush_window_updates(now);
         // 2. Handshake packets (initial path, initial keys).
         if !self.crypto_queue.is_empty() {
             if let Some(t) = self.emit_handshake(now) {
@@ -1121,7 +1257,7 @@ impl Connection {
         None
     }
 
-    fn flush_window_updates(&mut self) {
+    fn flush_window_updates(&mut self, now: SimTime) {
         let mut updates: Vec<Frame> = Vec::new();
         if let Some(limit) = self.flow.poll_window_update() {
             updates.push(Frame::WindowUpdate {
@@ -1148,9 +1284,28 @@ impl Connection {
                 .filter(|p| p.state == PathState::Active)
                 .map(|p| p.id)
                 .collect();
-            for id in active {
+            for &id in &active {
                 let queue = self.per_path_queue.entry(id).or_default();
                 queue.extend(updates.iter().cloned());
+            }
+            if self.telemetry_enabled() {
+                for update in &updates {
+                    if let Frame::WindowUpdate {
+                        stream_id,
+                        max_data,
+                    } = update
+                    {
+                        let (stream_id, max_data) = (*stream_id, *max_data);
+                        self.emit(telemetry::Event::WindowUpdateDuplicated(
+                            telemetry::WindowUpdateDuplicated {
+                                time: now,
+                                stream_id,
+                                max_data,
+                                paths: active.clone(),
+                            },
+                        ));
+                    }
+                }
             }
         } else {
             self.control_queue.extend(updates);
@@ -1223,11 +1378,19 @@ impl Connection {
                     .map(Frame::Ack)
             };
             if let Some(frame) = frame {
+                let mut largest_acked = 0;
                 if let Frame::Ack(ack) = &frame {
                     self.invariants.check_ack_frame(ack, "built");
+                    largest_acked = ack.largest_acked;
                 }
                 if builder.try_push(frame) {
                     self.paths.get_mut(&id).expect("listed").note_ack_sent();
+                    self.emit(telemetry::Event::AckSent(telemetry::AckSent {
+                        time: now,
+                        on_path: packet_path,
+                        acks_path: id,
+                        largest_acked,
+                    }));
                 }
             }
         }
@@ -1274,18 +1437,19 @@ impl Connection {
         }
         self.invariants.on_packet_sent(path_id, pn, &path.recovery);
         path.bytes_sent += wire.len() as u64;
+        let (local, remote) = (path.local, path.remote);
         self.stats.packets_sent += 1;
         self.stats.bytes_sent += wire.len() as u64;
-        self.qlog.push(QlogEvent::PacketSent {
+        self.emit(telemetry::Event::PacketSent(telemetry::PacketSent {
             time: now,
             path: path_id,
             packet_number: pn,
             size: wire.len(),
             ack_eliciting,
-        });
+        }));
         Some(Transmit {
-            local: path.local,
-            remote: path.remote,
+            local,
+            remote,
             payload: wire,
         })
     }
@@ -1379,6 +1543,7 @@ impl Connection {
             crate::scheduler::Decision {
                 path: id,
                 duplicate_on: None,
+                reason: SchedulerReason::DuplicateQueue,
             }
         } else {
             self.scheduler
@@ -1466,7 +1631,27 @@ impl Connection {
         if !builder.has_retransmittable() {
             return None;
         }
-        self.finalize(now, builder, path_id, PacketType::OneRtt)
+        let transmit = self.finalize(now, builder, path_id, PacketType::OneRtt);
+        // Record the decision only for packets that actually left, so the
+        // scheduler-share statistic matches bytes on the wire.
+        if transmit.is_some() && self.telemetry_enabled() {
+            let min_space = self.config.max_datagram_size as u64;
+            let candidates: Vec<PathId> = views
+                .iter()
+                .filter(|v| v.usable && v.cwnd_available >= min_space)
+                .map(|v| v.id)
+                .collect();
+            self.emit(telemetry::Event::SchedulerDecision(
+                telemetry::SchedulerDecision {
+                    time: now,
+                    chosen_path: decision.path,
+                    candidates,
+                    duplicate_on: decision.duplicate_on,
+                    reason: decision.reason,
+                },
+            ));
+        }
+        transmit
     }
 
     fn emit_ack_only(&mut self, now: SimTime, path_id: PathId) -> Option<Transmit> {

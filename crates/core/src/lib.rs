@@ -63,3 +63,8 @@ pub use stream::StreamId;
 // Re-export the pieces callers commonly need alongside the connection.
 pub use mpquic_cc::CcAlgorithm;
 pub use mpquic_wire::PathId;
+
+/// The telemetry crate, re-exported so subscribers can be built without a
+/// separate dependency: `mpquic_core::telemetry::StreamingQlog`, etc.
+/// Install a stack with [`Connection::set_subscriber`].
+pub use mpquic_telemetry as telemetry;

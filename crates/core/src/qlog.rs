@@ -6,13 +6,27 @@
 //! (`Config::enable_qlog`), the connection records every packet sent and
 //! received, loss-recovery activity and path state changes. The log is a
 //! plain in-memory vector — cheap to query in tests and experiments, and
-//! serializable for external tooling.
+//! serializable for external tooling. Its size is capped
+//! ([`Qlog::with_limit`]); for unbounded traces use the streaming
+//! subscriber, [`mpquic_telemetry::StreamingQlog`].
+//!
+//! `Qlog` is itself a [`mpquic_telemetry::Subscriber`]: the connection
+//! emits every event through its subscriber stack and this type records
+//! the subset it historically captured, so code and tests written against
+//! the legacy log keep working unchanged.
 
+use mpquic_telemetry::{self as telemetry, Subscriber};
 use mpquic_util::SimTime;
 use mpquic_wire::PathId;
 use serde::Serialize;
 
 use crate::path::PathState;
+
+/// Default cap on in-memory events (see [`Qlog::with_limit`]). Generous
+/// for tests and experiment-length transfers, small enough that a runaway
+/// connection cannot exhaust memory: the struct is ~48 bytes, so the cap
+/// bounds the log at a few megabytes.
+pub const DEFAULT_EVENT_LIMIT: usize = 65_536;
 
 /// One logged protocol event.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -99,18 +113,44 @@ impl From<PathState> for PathStateKind {
 }
 
 /// The event log.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Qlog {
     events: Vec<QlogEvent>,
     enabled: bool,
+    /// Maximum events retained; pushes beyond it are counted in
+    /// `dropped` instead of stored.
+    limit: usize,
+    dropped: u64,
+}
+
+impl Default for Qlog {
+    fn default() -> Qlog {
+        Qlog {
+            events: Vec::new(),
+            enabled: false,
+            limit: DEFAULT_EVENT_LIMIT,
+            dropped: 0,
+        }
+    }
 }
 
 impl Qlog {
-    /// An enabled, empty log.
+    /// An enabled, empty log capped at [`DEFAULT_EVENT_LIMIT`] events.
     pub fn enabled() -> Qlog {
         Qlog {
-            events: Vec::new(),
             enabled: true,
+            ..Qlog::default()
+        }
+    }
+
+    /// An enabled, empty log retaining at most `limit` events
+    /// (`Config::qlog_event_limit`). Events past the cap are dropped and
+    /// counted, never stored — the log's memory is bounded up front.
+    pub fn with_limit(limit: usize) -> Qlog {
+        Qlog {
+            enabled: true,
+            limit,
+            ..Qlog::default()
         }
     }
 
@@ -119,11 +159,21 @@ impl Qlog {
         Qlog::default()
     }
 
-    /// Appends an event if enabled.
+    /// Appends an event if enabled and below the cap.
     pub fn push(&mut self, event: QlogEvent) {
-        if self.enabled {
-            self.events.push(event);
+        if !self.enabled {
+            return;
         }
+        if self.events.len() < self.limit {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Events discarded because the log was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// All events, in order.
@@ -164,17 +214,23 @@ impl Qlog {
     }
 
     /// Serializes the whole log as JSON lines (one event per line).
+    ///
+    /// Infallible: [`QlogEvent`] serialization cannot fail by
+    /// construction (plain structs, string keys), and should a serializer
+    /// ever disagree the offending event is skipped rather than
+    /// panicking — the log is diagnostics, not protocol state.
     pub fn to_json_lines(&self) -> String {
         self.events
             .iter()
-            .map(|e| serde_json::to_string(e).expect("events serialize"))
+            .filter_map(|e| serde_json::to_string(e).ok())
             .collect::<Vec<_>>()
             .join("\n")
     }
 
-    /// Serializes the whole log as one JSON array.
+    /// Serializes the whole log as one JSON array (same never-panics
+    /// contract as [`Qlog::to_json_lines`]).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(&self.events).expect("events serialize")
+        serde_json::to_string(&self.events).unwrap_or_else(|_| String::from("[]"))
     }
 
     /// Writes the log to `path` as JSON lines — the format the
@@ -186,6 +242,78 @@ impl Qlog {
             out.push('\n');
         }
         std::fs::write(path, out)
+    }
+}
+
+impl From<telemetry::PathState> for PathStateKind {
+    fn from(s: telemetry::PathState) -> Self {
+        match s {
+            telemetry::PathState::Active => PathStateKind::Active,
+            telemetry::PathState::PotentiallyFailed => PathStateKind::PotentiallyFailed,
+            telemetry::PathState::Closed => PathStateKind::Closed,
+        }
+    }
+}
+
+/// Compatibility bridge: the connection emits [`mpquic_telemetry::Event`]s
+/// through its subscriber stack, and this impl records the subset the
+/// legacy log always captured (packets, losses, congestion, RTOs, path
+/// states) in the legacy [`QlogEvent`] shape. Richer events
+/// (`scheduler_decision`, `ack_sent`, …) flow only to real telemetry
+/// subscribers.
+impl Subscriber for Qlog {
+    fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn on_packet_sent(&mut self, e: &telemetry::PacketSent) {
+        self.push(QlogEvent::PacketSent {
+            time: e.time,
+            path: e.path,
+            packet_number: e.packet_number,
+            size: e.size,
+            ack_eliciting: e.ack_eliciting,
+        });
+    }
+
+    fn on_packet_received(&mut self, e: &telemetry::PacketReceived) {
+        self.push(QlogEvent::PacketReceived {
+            time: e.time,
+            path: e.path,
+            packet_number: e.packet_number,
+            size: e.size,
+        });
+    }
+
+    fn on_frames_lost(&mut self, e: &telemetry::FramesLost) {
+        self.push(QlogEvent::PacketsLost {
+            time: e.time,
+            path: e.path,
+            bytes: e.bytes,
+        });
+    }
+
+    fn on_congestion_event(&mut self, e: &telemetry::CongestionEvent) {
+        self.push(QlogEvent::CongestionEvent {
+            time: e.time,
+            path: e.path,
+            window_after: e.window_after,
+        });
+    }
+
+    fn on_rto(&mut self, e: &telemetry::Rto) {
+        self.push(QlogEvent::Rto {
+            time: e.time,
+            path: e.path,
+        });
+    }
+
+    fn on_path_state_changed(&mut self, e: &telemetry::PathStateChanged) {
+        self.push(QlogEvent::PathStateChanged {
+            time: e.time,
+            path: e.path,
+            state: e.state.into(),
+        });
     }
 }
 
@@ -223,6 +351,53 @@ mod tests {
         assert_eq!(log.for_path(PathId(0)).count(), 2);
         assert_eq!(log.for_path(PathId(1)).count(), 1);
         assert_eq!(log.bytes_sent_on(PathId(0)), 100);
+    }
+
+    #[test]
+    fn event_limit_caps_memory_and_counts_drops() {
+        let mut log = Qlog::with_limit(3);
+        for pn in 0..10 {
+            log.push(sent(0, pn));
+        }
+        assert_eq!(log.len(), 3, "stores at most the cap");
+        assert_eq!(log.dropped(), 7, "overflow is counted");
+        // The retained prefix is the oldest events, in order.
+        assert!(matches!(
+            log.events()[2],
+            QlogEvent::PacketSent {
+                packet_number: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn subscriber_bridge_records_legacy_events() {
+        use mpquic_telemetry as telemetry;
+        let mut log = Qlog::enabled();
+        assert!(Subscriber::is_enabled(&log));
+        assert!(!Subscriber::is_enabled(&Qlog::disabled()));
+        log.on_event(&telemetry::Event::PacketSent(telemetry::PacketSent {
+            time: SimTime::from_millis(1),
+            path: PathId(1),
+            packet_number: 4,
+            size: 500,
+            ack_eliciting: true,
+        }));
+        log.on_event(&telemetry::Event::Rto(telemetry::Rto {
+            time: SimTime::from_millis(2),
+            path: PathId(1),
+        }));
+        // Events outside the legacy vocabulary are ignored, not recorded.
+        log.on_event(&telemetry::Event::AckSent(telemetry::AckSent {
+            time: SimTime::from_millis(3),
+            on_path: PathId(0),
+            acks_path: PathId(1),
+            largest_acked: 4,
+        }));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.bytes_sent_on(PathId(1)), 500);
+        assert!(matches!(log.events()[1], QlogEvent::Rto { .. }));
     }
 
     #[test]

@@ -91,6 +91,13 @@ impl RttEstimator {
         self.latest
     }
 
+    /// RTT mean deviation (the RTO's variance term), exposed for
+    /// telemetry ([`mpquic_telemetry::MetricsUpdated`] reports it
+    /// alongside the smoothed RTT).
+    pub fn rttvar(&self) -> Duration {
+        self.rttvar
+    }
+
     /// Smallest observed RTT, or the initial RTT before any sample.
     pub fn min_rtt(&self) -> Duration {
         if self.min_rtt == Duration::MAX {

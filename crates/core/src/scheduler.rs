@@ -19,6 +19,8 @@
 use mpquic_wire::PathId;
 use std::time::Duration;
 
+pub use mpquic_telemetry::SchedulerReason;
+
 /// A compact view of one path, extracted by the connection for the
 /// scheduling decision.
 #[derive(Debug, Clone, Copy)]
@@ -59,6 +61,9 @@ pub struct Decision {
     /// If set, stream frames in the packet should also be queued for this
     /// path (the duplicate-while-unknown phase).
     pub duplicate_on: Option<PathId>,
+    /// Why this path won — recorded in the telemetry
+    /// `scheduler_decision` event so traces explain the scheduler.
+    pub reason: SchedulerReason,
 }
 
 /// Packet scheduler state.
@@ -87,6 +92,7 @@ impl Scheduler {
             .iter()
             .filter(|p| p.usable && p.cwnd_available >= min_space)
             .collect();
+        let mut fallback = false;
         if candidates.is_empty() {
             // Potentially-failed paths are only *temporarily ignored*: if
             // no active path remains, fall back to the least-bad option
@@ -95,17 +101,26 @@ impl Scheduler {
                 .iter()
                 .filter(|p| p.cwnd_available >= min_space)
                 .collect();
+            fallback = true;
         }
         if candidates.is_empty() {
             return None;
         }
+        // "Only available" covers both the potentially-failed fallback and
+        // the degenerate single-candidate pick: neither is a real ranking.
+        let only = fallback || candidates.len() == 1;
         match self.kind {
             SchedulerKind::RoundRobin => {
-                let pick = candidates[self.rr_cursor % candidates.len()];
+                let pick = candidates.get(self.rr_cursor % candidates.len())?;
                 self.rr_cursor = self.rr_cursor.wrapping_add(1);
                 Some(Decision {
                     path: pick.id,
                     duplicate_on: None,
+                    reason: if only {
+                        SchedulerReason::OnlyAvailable
+                    } else {
+                        SchedulerReason::RoundRobin
+                    },
                 })
             }
             SchedulerKind::LowestRtt | SchedulerKind::LowestRttNoDuplicate => {
@@ -123,15 +138,22 @@ impl Scheduler {
                     return Some(Decision {
                         path: unknown.id,
                         duplicate_on: if duplicate { backup } else { None },
+                        reason: if only {
+                            SchedulerReason::OnlyAvailable
+                        } else {
+                            SchedulerReason::RttUnknownDuplicate
+                        },
                     });
                 }
-                let best = candidates
-                    .iter()
-                    .min_by_key(|p| p.srtt)
-                    .expect("candidates nonempty");
+                let best = candidates.iter().min_by_key(|p| p.srtt)?;
                 Some(Decision {
                     path: best.id,
                     duplicate_on: None,
+                    reason: if only {
+                        SchedulerReason::OnlyAvailable
+                    } else {
+                        SchedulerReason::LowestRtt
+                    },
                 })
             }
         }
@@ -250,6 +272,37 @@ mod tests {
         let third = s.select_for_data(&paths, 1350).unwrap().path;
         assert_ne!(first, second);
         assert_eq!(first, third);
+    }
+
+    #[test]
+    fn decision_reasons_explain_the_pick() {
+        let mut s = Scheduler::new(SchedulerKind::LowestRtt);
+        let two_known = [
+            view(0, 50, true, 10_000, true),
+            view(1, 20, true, 10_000, true),
+        ];
+        let d = s.select_for_data(&two_known, 1350).unwrap();
+        assert_eq!(d.reason, SchedulerReason::LowestRtt);
+
+        let fresh = [
+            view(0, 30, true, 10_000, true),
+            view(1, 100, false, 10_000, true),
+        ];
+        let d = s.select_for_data(&fresh, 1350).unwrap();
+        assert_eq!(d.reason, SchedulerReason::RttUnknownDuplicate);
+
+        // All paths potentially failed: the fallback pick is OnlyAvailable.
+        let all_failed = [
+            view(0, 10, true, 10_000, false),
+            view(1, 99, true, 10_000, false),
+        ];
+        let d = s.select_for_data(&all_failed, 1350).unwrap();
+        assert_eq!(d.reason, SchedulerReason::OnlyAvailable);
+
+        // A single remaining candidate is OnlyAvailable, not a ranking.
+        let single = [view(0, 50, true, 10_000, true)];
+        let d = s.select_for_data(&single, 1350).unwrap();
+        assert_eq!(d.reason, SchedulerReason::OnlyAvailable);
     }
 
     #[test]

@@ -6,11 +6,12 @@
 //! and tells the server via a PATHS frame, so the server answers on the
 //! working path without its own RTO.
 
-use mpquic_harness::{run_handover, HandoverConfig};
+use mpquic_harness::report::print_path_metrics;
+use mpquic_harness::{run_handover_instrumented, HandoverConfig};
 
 fn main() {
     let config = HandoverConfig::default();
-    let delays = run_handover(&config, 42);
+    let (delays, metrics) = run_handover_instrumented(&config, 42);
     println!("== Fig. 11 — network handover (MPQUIC) ==");
     println!(
         "initial path RTT {:?} fails at {:?}; second path RTT {:?}",
@@ -31,4 +32,7 @@ fn main() {
     println!(
         "# paper:    one request sees the RTO spike; connection continues on the functional path"
     );
+    if let Some(snapshot) = metrics {
+        print_path_metrics(&snapshot);
+    }
 }

@@ -39,7 +39,7 @@ pub use fairness::{run_shared_bottleneck, FairnessOutcome};
 pub use metrics::aggregation_benefit;
 pub use protocol::{build_pair, Overrides, ProtoEndpoint, Protocol};
 pub use runner::{
-    run_file_transfer, run_file_transfer_median, run_handover, HandoverConfig, TransferOutcome,
-    REQUEST_SIZE,
+    run_file_transfer, run_file_transfer_instrumented, run_file_transfer_median, run_handover,
+    run_handover_instrumented, HandoverConfig, TransferOutcome, REQUEST_SIZE,
 };
 pub use transport::{AnyTransport, QuicTransport, TcpTransport, Transport};

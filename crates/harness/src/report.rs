@@ -2,6 +2,7 @@
 //! machine-readable series each paper figure plots, and a tiny CLI
 //! parser shared by all binaries.
 
+use mpquic_telemetry::MetricsSnapshot;
 use mpquic_util::stats::{Cdf, FiveNumber};
 use std::time::Duration;
 
@@ -85,6 +86,30 @@ impl CliArgs {
             config.time_cap = Duration::from_secs(cap);
         }
         config
+    }
+}
+
+/// Prints one comment line per path from a telemetry snapshot: the
+/// per-path evidence (srtt, cwnd, bytes, loss, scheduler share) behind a
+/// figure's headline numbers.
+pub fn print_path_metrics(snapshot: &MetricsSnapshot) {
+    println!("# per-path telemetry ({} events)", snapshot.events_seen);
+    for p in &snapshot.paths {
+        println!(
+            "# path {}: srtt {:.2} ms, cwnd {} B, sent {} B / {} pkts, \
+             loss {:.2}%, sched share {:.1}%, {} RTOs",
+            p.path.0,
+            p.srtt_us as f64 / 1e3,
+            p.cwnd,
+            p.bytes_sent,
+            p.packets_sent,
+            p.loss_percent,
+            p.sched_share * 100.0,
+            p.rtos,
+        );
+    }
+    if snapshot.handovers > 0 {
+        println!("# handovers: {}", snapshot.handovers);
     }
 }
 

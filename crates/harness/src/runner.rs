@@ -2,11 +2,12 @@
 //! over the network simulator.
 
 use mpquic_netsim::{LinkChange, NetworkPlan, PathSpec, Simulation};
+use mpquic_telemetry::{MetricsHandle, MetricsSnapshot, MetricsSubscriber};
 use mpquic_util::{stats::median_run_index, SimTime};
 use std::time::Duration;
 
 use crate::app::App;
-use crate::protocol::{build_pair, Overrides, Protocol};
+use crate::protocol::{build_pair, Overrides, ProtoEndpoint, Protocol};
 
 /// Request size for the file-download workload (a GET line).
 pub const REQUEST_SIZE: usize = 100;
@@ -28,6 +29,15 @@ pub struct TransferOutcome {
 /// Duration assigned to a transfer that moved no data at all.
 const FAILED_DURATION_SECS: f64 = 1e6;
 
+/// Installs a telemetry metrics registry on the endpoint's connection
+/// when it is QUIC-family; TCP endpoints have no subscriber hook.
+fn attach_metrics(endpoint: &mut ProtoEndpoint) -> Option<MetricsHandle> {
+    let conn = endpoint.transport.quic_mut()?;
+    let (subscriber, handle) = MetricsSubscriber::new();
+    conn.set_subscriber(Box::new(subscriber));
+    Some(handle)
+}
+
 /// Runs one file transfer of `response_size` bytes over `specs`
 /// (path 0 = initial path), capped at `time_cap` of simulated time.
 ///
@@ -43,8 +53,22 @@ pub fn run_file_transfer(
     time_cap: Duration,
     overrides: &Overrides,
 ) -> TransferOutcome {
+    run_file_transfer_instrumented(specs, protocol, response_size, seed, time_cap, overrides).0
+}
+
+/// [`run_file_transfer`] plus the client's per-path telemetry snapshot
+/// (srtt, cwnd, loss, scheduler share, ...) — `None` for the TCP family,
+/// which has no subscriber hook.
+pub fn run_file_transfer_instrumented(
+    specs: &[PathSpec],
+    protocol: Protocol,
+    response_size: usize,
+    seed: u64,
+    time_cap: Duration,
+    overrides: &Overrides,
+) -> (TransferOutcome, Option<MetricsSnapshot>) {
     let plan = NetworkPlan::two_host(specs);
-    let (client, server) = build_pair(
+    let (mut client, server) = build_pair(
         protocol,
         &plan,
         seed,
@@ -52,12 +76,13 @@ pub fn run_file_transfer(
         App::file_server(REQUEST_SIZE, response_size),
         overrides,
     );
+    let metrics = attach_metrics(&mut client);
     let mut sim = Simulation::new(client, server, plan, seed);
     let deadline = SimTime::ZERO + time_cap;
     sim.run_until(deadline, |client, _, _| client.app.done_at().is_some());
     let done_at = sim.a.app.done_at();
     let bytes = sim.a.app.bytes_received();
-    match done_at {
+    let outcome = match done_at {
         Some(at) => {
             let secs = at.as_secs_f64().max(1e-9);
             TransferOutcome {
@@ -82,7 +107,8 @@ pub fn run_file_transfer(
                 bytes_received: bytes,
             }
         }
-    }
+    };
+    (outcome, metrics.map(|handle| handle.snapshot()))
 }
 
 /// Runs `repeats` transfers with distinct seeds and returns the
@@ -154,6 +180,16 @@ impl Default for HandoverConfig {
 /// Runs the handover experiment; returns `(request send time [s],
 /// response delay [ms])` per answered request — the Fig. 11 series.
 pub fn run_handover(config: &HandoverConfig, seed: u64) -> Vec<(f64, f64)> {
+    run_handover_instrumented(config, seed).0
+}
+
+/// [`run_handover`] plus the client's per-path telemetry snapshot —
+/// shows the RTO, handover and per-path scheduler-share evidence behind
+/// the delay series. `None` for the TCP family.
+pub fn run_handover_instrumented(
+    config: &HandoverConfig,
+    seed: u64,
+) -> (Vec<(f64, f64)>, Option<MetricsSnapshot>) {
     let specs = [
         PathSpec {
             capacity_mbps: config.capacity_mbps,
@@ -169,7 +205,7 @@ pub fn run_handover(config: &HandoverConfig, seed: u64) -> Vec<(f64, f64)> {
         },
     ];
     let plan = NetworkPlan::two_host(&specs);
-    let (client, server) = build_pair(
+    let (mut client, server) = build_pair(
         config.protocol,
         &plan,
         seed,
@@ -177,6 +213,7 @@ pub fn run_handover(config: &HandoverConfig, seed: u64) -> Vec<(f64, f64)> {
         App::ping_server(),
         &config.overrides,
     );
+    let metrics = attach_metrics(&mut client);
     let mut sim = Simulation::new(client, server, plan, seed);
     sim.schedule_change(LinkChange {
         at: config.fail_at,
@@ -187,10 +224,12 @@ pub fn run_handover(config: &HandoverConfig, seed: u64) -> Vec<(f64, f64)> {
     let deadline = SimTime::ZERO + config.interval * config.count as u32 + Duration::from_secs(10);
     let target = config.count;
     sim.run_until(deadline, |client, _, _| client.app.delays().len() >= target);
-    sim.a
+    let delays = sim
+        .a
         .app
         .delays()
         .iter()
         .map(|(sent, delay)| (sent.as_secs_f64(), delay.as_secs_f64() * 1e3))
-        .collect()
+        .collect();
+    (delays, metrics.map(|handle| handle.snapshot()))
 }

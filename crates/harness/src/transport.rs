@@ -206,6 +206,15 @@ impl AnyTransport {
         }
     }
 
+    /// Mutable access to the QUIC connection, e.g. to install a
+    /// telemetry subscriber before the simulation starts.
+    pub fn quic_mut(&mut self) -> Option<&mut Connection> {
+        match self {
+            AnyTransport::Quic(q) => Some(&mut q.conn),
+            AnyTransport::Tcp(_) => None,
+        }
+    }
+
     /// The TCP stack, when this is a TCP transport.
     pub fn tcp(&self) -> Option<&TcpStack> {
         match self {

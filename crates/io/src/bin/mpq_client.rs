@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! mpq-client --connect ADDR [--local ADDR]... [--file PATH | --size BYTES]
-//!            [--single-path | --multipath] [--qlog FILE] [--name NAME]
-//!            [--seed N] [--timeout SECS]
+//!            [--single-path | --multipath] [--qlog FILE]
+//!            [--stats-interval SECS] [--name NAME] [--seed N] [--timeout SECS]
 //! ```
 //!
 //! Binds one UDP socket per `--local` address (defaults: two ephemeral
@@ -16,7 +16,7 @@
 //! how the lowest-RTT scheduler split the transfer.
 
 use mpquic_core::Config;
-use mpquic_io::cli::{entropy_seed, print_report, Args};
+use mpquic_io::cli::{entropy_seed, install_telemetry, print_report, stats_interval, Args};
 use mpquic_io::{quic_client, transfer, BlockingStream};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -33,7 +33,8 @@ fn run() -> Result<(), String> {
     if args.has("help") {
         println!(
             "usage: mpq-client --connect ADDR [--local ADDR]... [--file PATH | --size BYTES] \
-             [--single-path|--multipath] [--qlog FILE] [--name NAME] [--seed N] [--timeout SECS]"
+             [--single-path|--multipath] [--qlog FILE] [--stats-interval SECS] [--name NAME] \
+             [--seed N] [--timeout SECS]"
         );
         return Ok(());
     }
@@ -53,6 +54,7 @@ fn run() -> Result<(), String> {
         }
     }
     let qlog_path = args.value("qlog").map(str::to_string);
+    let stats_every = stats_interval(&args)?;
     let seed = match args.value("seed") {
         Some(raw) => raw
             .parse()
@@ -79,14 +81,21 @@ fn run() -> Result<(), String> {
         }
     };
 
-    let mut config = if single_path {
+    let config = if single_path {
         Config::single_path()
     } else {
         Config::multipath()
     };
-    config.enable_qlog = qlog_path.is_some();
 
-    let driver = quic_client(config, &locals, remote, seed).map_err(|e| format!("bind: {e}"))?;
+    let mut driver =
+        quic_client(config, &locals, remote, seed).map_err(|e| format!("bind: {e}"))?;
+    // Streaming telemetry: the qlog is written incrementally and flushed
+    // when the connection drops, so a timeout or error exit still leaves
+    // the trace on disk.
+    let metrics = install_telemetry(driver.connection_mut(), qlog_path.as_deref(), stats_every)?;
+    if let Some(path) = &qlog_path {
+        println!("qlog streaming to {path}");
+    }
     println!(
         "dialing {remote} from {:?} ({})",
         driver.local_addrs(),
@@ -120,15 +129,13 @@ fn run() -> Result<(), String> {
     driver.connection_mut().close(0, "transfer complete");
     let _ = driver.run_for(Duration::from_millis(100));
 
-    print_report("mpq-client", driver.connection(), &driver.stats(), elapsed);
-    if let Some(path) = qlog_path {
-        driver
-            .connection()
-            .qlog()
-            .write_json(&path)
-            .map_err(|e| format!("qlog: {e}"))?;
-        println!("qlog written to {path}");
-    }
+    print_report(
+        "mpq-client",
+        driver.connection(),
+        &driver.stats(),
+        elapsed,
+        Some(&metrics.snapshot()),
+    );
 
     if !verified || server_checksum != checksum {
         return Err(format!(

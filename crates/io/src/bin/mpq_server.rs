@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! mpq-server [--listen ADDR]... [--single-path | --multipath]
-//!            [--qlog FILE] [--out DIR] [--seed N] [--timeout SECS]
+//!            [--qlog FILE] [--stats-interval SECS] [--out DIR]
+//!            [--seed N] [--timeout SECS]
 //! ```
 //!
 //! Binds one UDP socket per `--listen` address (default `127.0.0.1:4433`),
@@ -13,7 +14,7 @@
 //! local interface.
 
 use mpquic_core::Config;
-use mpquic_io::cli::{entropy_seed, print_report, Args};
+use mpquic_io::cli::{entropy_seed, install_telemetry, print_report, stats_interval, Args};
 use mpquic_io::{quic_server, transfer, BlockingStream};
 use std::net::SocketAddr;
 use std::path::Path;
@@ -31,7 +32,7 @@ fn run() -> Result<(), String> {
     if args.has("help") {
         println!(
             "usage: mpq-server [--listen ADDR]... [--single-path|--multipath] \
-             [--qlog FILE] [--out DIR] [--seed N] [--timeout SECS]"
+             [--qlog FILE] [--stats-interval SECS] [--out DIR] [--seed N] [--timeout SECS]"
         );
         return Ok(());
     }
@@ -42,6 +43,7 @@ fn run() -> Result<(), String> {
     }
     let single_path = args.has("single-path");
     let qlog_path = args.value("qlog").map(str::to_string);
+    let stats_every = stats_interval(&args)?;
     let out_dir = args.value("out").map(str::to_string);
     let seed = match args.value("seed") {
         Some(raw) => raw
@@ -56,14 +58,20 @@ fn run() -> Result<(), String> {
         None => 600,
     });
 
-    let mut config = if single_path {
+    let config = if single_path {
         Config::single_path()
     } else {
         Config::multipath()
     };
-    config.enable_qlog = qlog_path.is_some();
 
-    let driver = quic_server(config, &listen, seed).map_err(|e| format!("bind: {e}"))?;
+    let mut driver = quic_server(config, &listen, seed).map_err(|e| format!("bind: {e}"))?;
+    // Streaming telemetry: the qlog is written incrementally and flushed
+    // when the connection drops, so a timeout or error exit still leaves
+    // the trace on disk.
+    let metrics = install_telemetry(driver.connection_mut(), qlog_path.as_deref(), stats_every)?;
+    if let Some(path) = &qlog_path {
+        println!("qlog streaming to {path}");
+    }
     println!(
         "listening on {:?} ({})",
         driver.local_addrs(),
@@ -114,15 +122,13 @@ fn run() -> Result<(), String> {
     });
 
     let elapsed = started.elapsed().as_secs_f64();
-    print_report("mpq-server", driver.connection(), &driver.stats(), elapsed);
-    if let Some(path) = qlog_path {
-        driver
-            .connection()
-            .qlog()
-            .write_json(&path)
-            .map_err(|e| format!("qlog: {e}"))?;
-        println!("qlog written to {path}");
-    }
+    print_report(
+        "mpq-server",
+        driver.connection(),
+        &driver.stats(),
+        elapsed,
+        Some(&metrics.snapshot()),
+    );
     if !verdict {
         return Err("upload did not verify".into());
     }

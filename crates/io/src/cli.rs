@@ -1,8 +1,12 @@
 //! Minimal flag parsing and reporting shared by `mpq-server` and
 //! `mpq-client` (std-only; no argument-parsing dependency).
 
+use mpquic_core::telemetry::{
+    MetricsHandle, MetricsSnapshot, MetricsSubscriber, StatsReporter, StreamingQlog,
+};
 use mpquic_core::Connection;
 use std::net::SocketAddr;
+use std::time::Duration;
 
 use crate::driver::IoStats;
 
@@ -87,9 +91,59 @@ pub fn entropy_seed() -> u64 {
     nanos ^ (std::process::id() as u64).rotate_left(32)
 }
 
+/// Parses the binaries' `--stats-interval SECS` flag (fractional seconds
+/// allowed); `None` when the flag was not given.
+pub fn stats_interval(args: &Args) -> Result<Option<Duration>, String> {
+    let Some(raw) = args.value("stats-interval") else {
+        return Ok(None);
+    };
+    let secs: f64 = raw
+        .parse()
+        .map_err(|_| "--stats-interval: not a number".to_string())?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err("--stats-interval: must be positive".to_string());
+    }
+    Ok(Some(Duration::from_secs_f64(secs)))
+}
+
+/// Installs the binaries' telemetry stack on a connection:
+///
+/// * a metrics registry (always — feeds the per-path section of
+///   [`print_report`]);
+/// * a streaming qlog writer when `qlog_path` is given. Events are
+///   written as they happen and the buffer is flushed when the
+///   connection drops, so error and timeout exits still leave a trace —
+///   unlike the old write-on-success-only behaviour;
+/// * a periodic stats reporter (`--stats-interval`) printing one
+///   summary line per path to stdout.
+///
+/// Returns the handle to snapshot the metrics at the end of the run.
+pub fn install_telemetry(
+    conn: &mut Connection,
+    qlog_path: Option<&str>,
+    stats_every: Option<Duration>,
+) -> Result<MetricsHandle, String> {
+    let (metrics, handle) = MetricsSubscriber::new();
+    let qlog = match qlog_path {
+        Some(path) => Some(StreamingQlog::create(path).map_err(|e| format!("--qlog: {e}"))?),
+        None => None,
+    };
+    let stats = stats_every.map(|every| StatsReporter::new(every, std::io::stdout()));
+    conn.set_subscriber(Box::new((metrics, (qlog, stats))));
+    Ok(handle)
+}
+
 /// Prints the end-of-run report both binaries share: per-path byte
-/// counts and smoothed RTTs, connection totals, and socket-level counters.
-pub fn print_report(label: &str, conn: &Connection, io: &IoStats, elapsed_secs: f64) {
+/// counts and smoothed RTTs (with loss and scheduler share when a
+/// metrics snapshot is supplied), connection totals, and socket-level
+/// counters.
+pub fn print_report(
+    label: &str,
+    conn: &Connection,
+    io: &IoStats,
+    elapsed_secs: f64,
+    metrics: Option<&MetricsSnapshot>,
+) {
     let stats = conn.stats();
     println!("--- {label} ---");
     for id in conn.path_ids() {
@@ -103,6 +157,19 @@ pub fn print_report(label: &str, conn: &Connection, io: &IoStats, elapsed_secs: 
             path.bytes_received,
             path.rtt.srtt().as_secs_f64() * 1e3,
         );
+        if let Some(p) = metrics.and_then(|m| m.path(id)) {
+            println!(
+                "        rtt p50/p99 {:.2}/{:.2} ms, cwnd {} (max {}), \
+                 loss {:.2}%, sched share {:.1}%, {} retransmits",
+                p.rtt_p50_us as f64 / 1e3,
+                p.rtt_p99_us as f64 / 1e3,
+                p.cwnd,
+                p.cwnd_max,
+                p.loss_percent,
+                p.sched_share * 100.0,
+                p.frames_retransmitted,
+            );
+        }
     }
     println!(
         "totals: {} pkts / {} B sent, {} pkts / {} B received, {} retransmitted frames, {} RTOs",

@@ -31,6 +31,24 @@ fn run_transfer(
     client_interfaces: usize,
     size: usize,
 ) -> (Driver<QuicTransport>, Vec<u8>) {
+    run_transfer_with(
+        client_config,
+        server_config,
+        client_interfaces,
+        size,
+        |_| {},
+    )
+}
+
+/// [`run_transfer`] with a hook over the client connection before the
+/// handshake — used to install telemetry subscribers.
+fn run_transfer_with(
+    client_config: Config,
+    server_config: Config,
+    client_interfaces: usize,
+    size: usize,
+    setup: impl FnOnce(&mut mpquic_core::Connection),
+) -> (Driver<QuicTransport>, Vec<u8>) {
     let (addr_tx, addr_rx) = mpsc::channel();
     let (payload_tx, payload_rx) = mpsc::channel();
 
@@ -54,7 +72,9 @@ fn run_transfer(
         .recv_timeout(Duration::from_secs(10))
         .expect("server came up");
     let locals: Vec<SocketAddr> = (0..client_interfaces).map(|_| loopback0()).collect();
-    let driver = quic_client(client_config, &locals, server_addr, 0xC0FFEE).expect("bind client");
+    let mut driver =
+        quic_client(client_config, &locals, server_addr, 0xC0FFEE).expect("bind client");
+    setup(driver.connection_mut());
     let mut stream = BlockingStream::with_timeout(driver, OP_TIMEOUT);
     stream.wait_established().expect("client handshake");
 
@@ -136,6 +156,101 @@ fn multipath_loopback_transfer_uses_both_paths() {
             id.0
         );
     }
+}
+
+#[test]
+fn scheduler_decision_share_matches_bytes_on_wire() {
+    const SIZE: usize = 2 * MIB;
+    let (metrics, handle) = mpquic_core::telemetry::MetricsSubscriber::new();
+    let (driver, payload) =
+        run_transfer_with(Config::multipath(), Config::multipath(), 2, SIZE, |conn| {
+            conn.set_subscriber(Box::new(metrics));
+        });
+    assert_eq!(payload.len(), SIZE);
+
+    let conn = driver.connection();
+    let ids = conn.path_ids();
+    assert!(ids.len() >= 2, "second path opened (paths: {ids:?})");
+    let snapshot = handle.snapshot();
+
+    let total_bytes: u64 = ids
+        .iter()
+        .map(|&id| conn.path(id).unwrap().bytes_sent)
+        .sum();
+    for &id in &ids {
+        let summary = snapshot
+            .path(id)
+            .unwrap_or_else(|| panic!("telemetry saw path {}", id.0));
+        // scheduler_decision events were emitted for this path, and
+        // metrics_updated filled in its RTT gauge.
+        assert!(
+            summary.sched_decisions > 0,
+            "scheduler decisions recorded for path {}",
+            id.0
+        );
+        assert!(
+            summary.srtt_us > 0,
+            "metrics_updated seen for path {}",
+            id.0
+        );
+
+        // The scheduler-share statistic (fraction of scheduler picks)
+        // tracks the fraction of wire bytes the path carried: data
+        // packets dominate and are near-uniform in size, so the two
+        // shares agree within a loose tolerance.
+        let byte_share = conn.path(id).unwrap().bytes_sent as f64 / total_bytes.max(1) as f64;
+        assert!(
+            (summary.sched_share - byte_share).abs() < 0.15,
+            "path {}: sched share {:.3} vs byte share {:.3}",
+            id.0,
+            summary.sched_share,
+            byte_share
+        );
+    }
+}
+
+#[test]
+fn timed_out_transfer_still_leaves_a_qlog_file() {
+    // A "server" that never answers: the handshake times out and the
+    // client exits through its error path. The streaming qlog writer
+    // flushes on drop, so the trace must still be on disk afterwards.
+    let black_hole = std::net::UdpSocket::bind("127.0.0.1:0").expect("bind black hole");
+    let server_addr = black_hole.local_addr().expect("black hole addr");
+
+    let qlog_path = std::env::temp_dir().join(format!("mpq-crash-{}.qlog", std::process::id()));
+    let _ = std::fs::remove_file(&qlog_path);
+    {
+        let mut driver = quic_client(
+            Config::multipath(),
+            &[loopback0(), loopback0()],
+            server_addr,
+            7,
+        )
+        .expect("bind client");
+        let qlog = mpquic_core::telemetry::StreamingQlog::create(&qlog_path).expect("create qlog");
+        driver.connection_mut().set_subscriber(Box::new(qlog));
+        let mut stream = BlockingStream::with_timeout(driver, Duration::from_millis(500));
+        assert!(
+            stream.wait_established().is_err(),
+            "handshake against a black hole must time out"
+        );
+        // `stream` (and the connection holding the subscriber) drops here,
+        // exactly like the binaries' error exit.
+    }
+
+    let trace = std::fs::read_to_string(&qlog_path).expect("qlog file exists");
+    assert!(
+        !trace.trim().is_empty(),
+        "timed-out transfer left an empty qlog"
+    );
+    // At least the client's handshake packet was recorded.
+    let lower = trace.to_ascii_lowercase();
+    assert!(
+        lower.contains("packet"),
+        "trace records packet events: {}",
+        &trace[..trace.len().min(200)]
+    );
+    let _ = std::fs::remove_file(&qlog_path);
 }
 
 #[test]

@@ -1,0 +1,291 @@
+//! The typed, path-aware event vocabulary.
+//!
+//! Every event carries the time it happened and the path(s) it concerns,
+//! because the paper's whole evaluation (§4–§5) attributes behaviour to
+//! individual paths: which path the lowest-RTT scheduler picked (§3,
+//! *Packet Scheduling*), when a path was declared potentially failed
+//! (§4.3), how the coupled congestion controller moved each window (§3,
+//! *Congestion Control*). Events serialize as qlog-style JSON objects
+//! (`{"name": "...", "data": {...}}`), one per line when written through
+//! [`crate::StreamingQlog`].
+
+use mpquic_util::SimTime;
+use mpquic_wire::PathId;
+use serde::Serialize;
+
+/// Liveness of a path, as reported by [`PathStateChanged`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PathState {
+    /// Usable for data.
+    Active,
+    /// An RTO fired without progress; the scheduler avoids it (§4.3).
+    PotentiallyFailed,
+    /// Abandoned.
+    Closed,
+}
+
+/// Why the scheduler picked the path it did (§3, *Packet Scheduling*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum SchedulerReason {
+    /// Lowest smoothed RTT among paths with congestion window space.
+    LowestRtt,
+    /// Every active path was full or potentially failed; this was the
+    /// only remaining option (includes the potentially-failed fallback).
+    OnlyAvailable,
+    /// The path has no RTT sample yet, so data is sent on it eagerly and
+    /// duplicated on the best known path.
+    RttUnknownDuplicate,
+    /// Round-robin rotation (ablation scheduler).
+    RoundRobin,
+    /// The packet drains the duplicate queue of the duplicate-while
+    /// -RTT-unknown phase: it repeats data already sent elsewhere.
+    DuplicateQueue,
+}
+
+/// A packet left the connection.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PacketSent {
+    /// When.
+    pub time: SimTime,
+    /// On which path.
+    pub path: PathId,
+    /// Its per-path packet number.
+    pub packet_number: u64,
+    /// Wire size, bytes.
+    pub size: usize,
+    /// Whether loss recovery tracks it.
+    pub ack_eliciting: bool,
+}
+
+/// An authenticated packet was accepted.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PacketReceived {
+    /// When.
+    pub time: SimTime,
+    /// On which path.
+    pub path: PathId,
+    /// Its per-path packet number.
+    pub packet_number: u64,
+    /// Wire size, bytes.
+    pub size: usize,
+}
+
+/// An ACK frame was bundled into an outgoing packet.
+///
+/// With per-path packet-number spaces, the path an ACK travels on is
+/// independent of the path it acknowledges (§3, cross-path ACKs) — both
+/// are recorded.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AckSent {
+    /// When.
+    pub time: SimTime,
+    /// The path the ACK frame travels on.
+    pub on_path: PathId,
+    /// The path whose packet-number space it acknowledges.
+    pub acks_path: PathId,
+    /// Largest packet number acknowledged.
+    pub largest_acked: u64,
+}
+
+/// An ACK frame arrived and was processed.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AckReceived {
+    /// When.
+    pub time: SimTime,
+    /// The path the ACK frame arrived on.
+    pub on_path: PathId,
+    /// The path whose packet-number space it acknowledges.
+    pub acks_path: PathId,
+    /// Largest packet number acknowledged.
+    pub largest_acked: u64,
+    /// Bytes newly acknowledged by this frame.
+    pub newly_acked_bytes: u64,
+}
+
+/// Loss recovery declared frames lost on a path.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FramesLost {
+    /// When.
+    pub time: SimTime,
+    /// The path the lost packets were sent on.
+    pub path: PathId,
+    /// Number of frames the lost packets carried.
+    pub frames: usize,
+    /// Bytes declared lost.
+    pub bytes: u64,
+}
+
+/// A reliable frame from a lost packet was queued for retransmission.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FrameRetransmitted {
+    /// When.
+    pub time: SimTime,
+    /// The path the frame was originally sent on. Retransmissions are
+    /// rescheduled, so the frame may leave on any path.
+    pub from_path: PathId,
+    /// Wire frame kind (e.g. `"STREAM"`, `"WINDOW_UPDATE"`).
+    pub kind: &'static str,
+}
+
+/// The scheduler picked a path for a data-bearing packet.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SchedulerDecision {
+    /// When.
+    pub time: SimTime,
+    /// The chosen path.
+    pub chosen_path: PathId,
+    /// Paths that were usable with window space at decision time.
+    pub candidates: Vec<PathId>,
+    /// Path the data is also duplicated onto, if any.
+    pub duplicate_on: Option<PathId>,
+    /// Why this path won.
+    pub reason: SchedulerReason,
+}
+
+/// Per-path transport metrics after an ACK updated RTT and the
+/// congestion controller.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsUpdated {
+    /// When.
+    pub time: SimTime,
+    /// The path.
+    pub path: PathId,
+    /// Smoothed RTT, microseconds.
+    pub srtt_us: u64,
+    /// RTT variance, microseconds.
+    pub rttvar_us: u64,
+    /// Congestion window, bytes.
+    pub cwnd: u64,
+    /// Bytes in flight on the path.
+    pub bytes_in_flight: u64,
+}
+
+/// The congestion controller applied a multiplicative decrease.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CongestionEvent {
+    /// When.
+    pub time: SimTime,
+    /// On which path.
+    pub path: PathId,
+    /// The window after the decrease.
+    pub window_after: u64,
+}
+
+/// A path changed liveness state.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PathStateChanged {
+    /// When.
+    pub time: SimTime,
+    /// The path.
+    pub path: PathId,
+    /// Its new state.
+    pub state: PathState,
+}
+
+/// A retransmission timeout fired on a path.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Rto {
+    /// When.
+    pub time: SimTime,
+    /// On which path.
+    pub path: PathId,
+}
+
+/// A path failure triggered handover: traffic moves off the failed path
+/// and a PATHS frame tells the peer (§4.3, handover acceleration).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Handover {
+    /// When.
+    pub time: SimTime,
+    /// The path that failed.
+    pub from_path: PathId,
+    /// The best remaining usable path, if any.
+    pub to_path: Option<PathId>,
+}
+
+/// A WINDOW_UPDATE was duplicated across every active path so that
+/// flow-control credit survives the loss of any single path (§3, *the
+/// scheduler duplicates these on all paths*).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WindowUpdateDuplicated {
+    /// When.
+    pub time: SimTime,
+    /// Stream the credit applies to; 0 for the connection window.
+    pub stream_id: u64,
+    /// The advertised absolute limit.
+    pub max_data: u64,
+    /// Paths the advertisement was queued on.
+    pub paths: Vec<PathId>,
+}
+
+/// One telemetry event. Serializes as `{"name": "...", "data": {...}}`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+#[serde(tag = "name", content = "data", rename_all = "snake_case")]
+pub enum Event {
+    /// See [`PacketSent`].
+    PacketSent(PacketSent),
+    /// See [`PacketReceived`].
+    PacketReceived(PacketReceived),
+    /// See [`AckSent`].
+    AckSent(AckSent),
+    /// See [`AckReceived`].
+    AckReceived(AckReceived),
+    /// See [`FramesLost`].
+    FramesLost(FramesLost),
+    /// See [`FrameRetransmitted`].
+    FrameRetransmitted(FrameRetransmitted),
+    /// See [`SchedulerDecision`].
+    SchedulerDecision(SchedulerDecision),
+    /// See [`MetricsUpdated`].
+    MetricsUpdated(MetricsUpdated),
+    /// See [`CongestionEvent`].
+    CongestionEvent(CongestionEvent),
+    /// See [`PathStateChanged`].
+    PathStateChanged(PathStateChanged),
+    /// See [`Rto`].
+    Rto(Rto),
+    /// See [`Handover`].
+    Handover(Handover),
+    /// See [`WindowUpdateDuplicated`].
+    WindowUpdateDuplicated(WindowUpdateDuplicated),
+}
+
+impl Event {
+    /// When the event happened.
+    pub fn time(&self) -> SimTime {
+        match self {
+            Event::PacketSent(e) => e.time,
+            Event::PacketReceived(e) => e.time,
+            Event::AckSent(e) => e.time,
+            Event::AckReceived(e) => e.time,
+            Event::FramesLost(e) => e.time,
+            Event::FrameRetransmitted(e) => e.time,
+            Event::SchedulerDecision(e) => e.time,
+            Event::MetricsUpdated(e) => e.time,
+            Event::CongestionEvent(e) => e.time,
+            Event::PathStateChanged(e) => e.time,
+            Event::Rto(e) => e.time,
+            Event::Handover(e) => e.time,
+            Event::WindowUpdateDuplicated(e) => e.time,
+        }
+    }
+
+    /// The qlog `name` this event serializes under.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::PacketSent(_) => "packet_sent",
+            Event::PacketReceived(_) => "packet_received",
+            Event::AckSent(_) => "ack_sent",
+            Event::AckReceived(_) => "ack_received",
+            Event::FramesLost(_) => "frames_lost",
+            Event::FrameRetransmitted(_) => "frame_retransmitted",
+            Event::SchedulerDecision(_) => "scheduler_decision",
+            Event::MetricsUpdated(_) => "metrics_updated",
+            Event::CongestionEvent(_) => "congestion_event",
+            Event::PathStateChanged(_) => "path_state_changed",
+            Event::Rto(_) => "rto",
+            Event::Handover(_) => "handover",
+            Event::WindowUpdateDuplicated(_) => "window_update_duplicated",
+        }
+    }
+}

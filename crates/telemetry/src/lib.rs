@@ -1,0 +1,49 @@
+//! # mpquic-telemetry — typed, path-aware observability
+//!
+//! An s2n-quic-style event framework for the Multipath QUIC stack. The
+//! connection emits typed events ([`Event`]) at every instrumentation
+//! point the paper's evaluation reasons about — scheduler decisions
+//! (§3), per-path RTT/cwnd trajectories (§3, congestion control),
+//! path-failure detection and handover (§4.3) — and anything
+//! implementing [`Subscriber`] consumes them.
+//!
+//! Three built-in subscribers cover the common needs:
+//!
+//! * [`MetricsRegistry`] / [`MetricsSubscriber`] — per-path counters,
+//!   gauges and fixed-memory log-bucketed histograms, snapshot-able at
+//!   any time ([`MetricsSnapshot`]);
+//! * [`StreamingQlog`] — incremental JSON-lines traces to any
+//!   `io::Write`, bounded memory, flushed on drop so crashes and
+//!   timeouts still leave a trace;
+//! * [`StatsReporter`] — a periodic per-path summary line (srtt, cwnd,
+//!   bytes, loss%, scheduler share) for live monitoring.
+//!
+//! Subscribers compose structurally: `(metrics, (qlog, stats))` fans
+//! each event out left to right; `()` is the no-op; `Option<S>` lifts a
+//! subscriber configured at runtime.
+//!
+//! This crate sits below `mpquic-core` (it knows times, path IDs and
+//! event shapes — not connections), so every layer of the stack can
+//! depend on it without cycles. Event emission is on the protocol hot
+//! path and is covered by the `cargo xtask lint` no-panic pass.
+
+#![deny(missing_docs)]
+
+mod event;
+mod metrics;
+mod qlog;
+mod stats;
+mod subscriber;
+
+pub use event::{
+    AckReceived, AckSent, CongestionEvent, Event, FrameRetransmitted, FramesLost, Handover,
+    MetricsUpdated, PacketReceived, PacketSent, PathState, PathStateChanged, Rto,
+    SchedulerDecision, SchedulerReason, WindowUpdateDuplicated,
+};
+pub use metrics::{
+    LogHistogram, MetricsHandle, MetricsRegistry, MetricsSnapshot, MetricsSubscriber, PathMetrics,
+    PathSummary,
+};
+pub use qlog::StreamingQlog;
+pub use stats::{format_path_line, StatsReporter};
+pub use subscriber::Subscriber;

@@ -1,0 +1,526 @@
+//! The metrics-registry subscriber: per-path counters, gauges and
+//! log-bucketed histograms with fixed memory.
+//!
+//! The registry is the always-on telemetry backend the ROADMAP's
+//! production goal needs: every update is O(1), the memory cost is a
+//! fixed-size struct per path (no per-event allocation, no growth with
+//! transfer length), and a [`MetricsSnapshot`] can be taken at any time
+//! — e.g. by the periodic stats reporter, the harness report, or the
+//! `mpq-*` binaries' final summary.
+
+use crate::event::*;
+use crate::subscriber::Subscriber;
+use mpquic_wire::PathId;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Number of power-of-two buckets; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`, bucket 0 holds zero. 2^62 ns ≈ 146 years — wide
+/// enough for any latency or window value.
+const BUCKETS: usize = 63;
+
+/// A fixed-memory histogram over `u64` values with power-of-two buckets.
+///
+/// Recording is O(1) (a `leading_zeros` and an increment); quantiles are
+/// resolved to the upper bound of the containing bucket, i.e. with at
+/// most 2× relative error — plenty for "is the RTT 10 ms or 400 ms"
+/// questions, at 504 bytes per histogram.
+#[derive(Debug, Clone, Serialize)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// The bucket index holding `value`.
+    pub fn bucket_index(value: u64) -> usize {
+        let bits = (u64::BITS - value.leading_zeros()) as usize;
+        bits.min(BUCKETS - 1)
+    }
+
+    /// The half-open value range `[lower, upper)` of bucket `index`
+    /// (the last bucket is unbounded above).
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        match index {
+            0 => (0, 1),
+            i if i >= BUCKETS - 1 => (1u64 << (BUCKETS - 2), u64::MAX),
+            i => (1u64 << (i - 1), 1u64 << i),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        if let Some(slot) = self.buckets.get_mut(Self::bucket_index(value)) {
+            *slot += 1;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, resolved to the upper
+    /// bound of the containing bucket (0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (_, upper) = Self::bucket_bounds(i);
+                // Never report beyond the observed maximum.
+                return upper.saturating_sub(1).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Counters, gauges and histograms for one path.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PathMetrics {
+    /// Packets sent on the path.
+    pub packets_sent: u64,
+    /// Bytes sent on the path (wire bytes, all packets).
+    pub bytes_sent: u64,
+    /// Packets received on the path.
+    pub packets_received: u64,
+    /// Bytes received on the path.
+    pub bytes_received: u64,
+    /// ACK frames sent that travelled on this path.
+    pub acks_sent: u64,
+    /// ACK frames received that acknowledged this path's packets.
+    pub acks_received: u64,
+    /// Bytes newly acknowledged on this path.
+    pub acked_bytes: u64,
+    /// Frames declared lost from packets sent on this path.
+    pub frames_lost: u64,
+    /// Bytes declared lost on this path.
+    pub lost_bytes: u64,
+    /// Reliable frames requeued after loss on this path.
+    pub frames_retransmitted: u64,
+    /// Congestion-window decreases.
+    pub congestion_events: u64,
+    /// Retransmission timeouts.
+    pub rtos: u64,
+    /// Times the scheduler chose this path for a data packet.
+    pub sched_decisions: u64,
+    /// Times this path was the duplication target of an unknown-RTT send.
+    pub sched_duplicates: u64,
+    /// WINDOW_UPDATE advertisements duplicated onto this path.
+    pub window_updates_duplicated: u64,
+    /// Latest smoothed RTT, microseconds (gauge).
+    pub srtt_us: u64,
+    /// Latest RTT variance, microseconds (gauge).
+    pub rttvar_us: u64,
+    /// Latest congestion window, bytes (gauge).
+    pub cwnd: u64,
+    /// Latest bytes in flight (gauge).
+    pub bytes_in_flight: u64,
+    /// Latest liveness state.
+    pub state: Option<PathState>,
+    /// Smoothed-RTT distribution, microseconds.
+    pub rtt_histogram: LogHistogram,
+    /// Congestion-window distribution, bytes.
+    pub cwnd_histogram: LogHistogram,
+}
+
+/// The registry: per-path [`PathMetrics`] plus connection-wide counters.
+///
+/// Usable directly as a [`Subscriber`], or shared across threads through
+/// [`MetricsSubscriber`]/[`MetricsHandle`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    paths: BTreeMap<PathId, PathMetrics>,
+    handovers: u64,
+    events_seen: u64,
+}
+
+impl MetricsRegistry {
+    /// Per-path metrics, creating the entry on first touch.
+    fn path(&mut self, id: PathId) -> &mut PathMetrics {
+        self.paths.entry(id).or_default()
+    }
+
+    /// Metrics for one path, if any event mentioned it.
+    pub fn get(&self, id: PathId) -> Option<&PathMetrics> {
+        self.paths.get(&id)
+    }
+
+    /// All per-path metrics in path order.
+    pub fn paths(&self) -> impl Iterator<Item = (&PathId, &PathMetrics)> {
+        self.paths.iter()
+    }
+
+    /// Total events observed.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// A point-in-time summary of everything the registry has seen.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let total_decisions: u64 = self.paths.values().map(|p| p.sched_decisions).sum();
+        let paths = self
+            .paths
+            .iter()
+            .map(|(id, m)| PathSummary {
+                path: *id,
+                state: m.state,
+                srtt_us: m.srtt_us,
+                rttvar_us: m.rttvar_us,
+                cwnd: m.cwnd,
+                bytes_in_flight: m.bytes_in_flight,
+                packets_sent: m.packets_sent,
+                bytes_sent: m.bytes_sent,
+                packets_received: m.packets_received,
+                bytes_received: m.bytes_received,
+                lost_bytes: m.lost_bytes,
+                frames_retransmitted: m.frames_retransmitted,
+                rtos: m.rtos,
+                sched_decisions: m.sched_decisions,
+                sched_share: if total_decisions == 0 {
+                    0.0
+                } else {
+                    m.sched_decisions as f64 / total_decisions as f64
+                },
+                loss_percent: if m.bytes_sent == 0 {
+                    0.0
+                } else {
+                    100.0 * m.lost_bytes as f64 / m.bytes_sent as f64
+                },
+                rtt_p50_us: m.rtt_histogram.quantile(0.50),
+                rtt_p99_us: m.rtt_histogram.quantile(0.99),
+                cwnd_max: m.cwnd_histogram.max(),
+            })
+            .collect();
+        MetricsSnapshot {
+            paths,
+            handovers: self.handovers,
+            events_seen: self.events_seen,
+        }
+    }
+}
+
+impl Subscriber for MetricsRegistry {
+    fn on_event(&mut self, event: &Event) {
+        self.events_seen += 1;
+        match event {
+            Event::PacketSent(e) => {
+                let p = self.path(e.path);
+                p.packets_sent += 1;
+                p.bytes_sent += e.size as u64;
+            }
+            Event::PacketReceived(e) => {
+                let p = self.path(e.path);
+                p.packets_received += 1;
+                p.bytes_received += e.size as u64;
+            }
+            Event::AckSent(e) => self.path(e.on_path).acks_sent += 1,
+            Event::AckReceived(e) => {
+                let p = self.path(e.acks_path);
+                p.acks_received += 1;
+                p.acked_bytes += e.newly_acked_bytes;
+            }
+            Event::FramesLost(e) => {
+                let p = self.path(e.path);
+                p.frames_lost += e.frames as u64;
+                p.lost_bytes += e.bytes;
+            }
+            Event::FrameRetransmitted(e) => self.path(e.from_path).frames_retransmitted += 1,
+            Event::SchedulerDecision(e) => {
+                self.path(e.chosen_path).sched_decisions += 1;
+                if let Some(dup) = e.duplicate_on {
+                    self.path(dup).sched_duplicates += 1;
+                }
+            }
+            Event::MetricsUpdated(e) => {
+                let p = self.path(e.path);
+                p.srtt_us = e.srtt_us;
+                p.rttvar_us = e.rttvar_us;
+                p.cwnd = e.cwnd;
+                p.bytes_in_flight = e.bytes_in_flight;
+                p.rtt_histogram.record(e.srtt_us);
+                p.cwnd_histogram.record(e.cwnd);
+            }
+            Event::CongestionEvent(e) => {
+                let p = self.path(e.path);
+                p.congestion_events += 1;
+                p.cwnd = e.window_after;
+            }
+            Event::PathStateChanged(e) => self.path(e.path).state = Some(e.state),
+            Event::Rto(e) => self.path(e.path).rtos += 1,
+            Event::Handover(e) => {
+                self.handovers += 1;
+                // Make sure the failed path exists in the map even if it
+                // never carried data.
+                self.path(e.from_path);
+            }
+            Event::WindowUpdateDuplicated(e) => {
+                for path in &e.paths {
+                    self.path(*path).window_updates_duplicated += 1;
+                }
+            }
+        }
+    }
+}
+
+/// One path's line in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, Serialize)]
+pub struct PathSummary {
+    /// The path.
+    pub path: PathId,
+    /// Last reported liveness state.
+    pub state: Option<PathState>,
+    /// Latest smoothed RTT, microseconds.
+    pub srtt_us: u64,
+    /// Latest RTT variance, microseconds.
+    pub rttvar_us: u64,
+    /// Latest congestion window, bytes.
+    pub cwnd: u64,
+    /// Latest bytes in flight.
+    pub bytes_in_flight: u64,
+    /// Packets sent.
+    pub packets_sent: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Packets received.
+    pub packets_received: u64,
+    /// Bytes received.
+    pub bytes_received: u64,
+    /// Bytes declared lost.
+    pub lost_bytes: u64,
+    /// Frames requeued after loss.
+    pub frames_retransmitted: u64,
+    /// Retransmission timeouts.
+    pub rtos: u64,
+    /// Data packets the scheduler placed on this path.
+    pub sched_decisions: u64,
+    /// This path's fraction of all scheduler decisions, in `[0, 1]`.
+    pub sched_share: f64,
+    /// Lost bytes as a percentage of sent bytes.
+    pub loss_percent: f64,
+    /// Median smoothed RTT, microseconds.
+    pub rtt_p50_us: u64,
+    /// 99th-percentile smoothed RTT, microseconds.
+    pub rtt_p99_us: u64,
+    /// Largest congestion window observed.
+    pub cwnd_max: u64,
+}
+
+/// A point-in-time, serializable summary of a [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MetricsSnapshot {
+    /// Per-path summaries, in path order.
+    pub paths: Vec<PathSummary>,
+    /// Handover events observed.
+    pub handovers: u64,
+    /// Total telemetry events observed.
+    pub events_seen: u64,
+}
+
+impl MetricsSnapshot {
+    /// The summary for one path, if present.
+    pub fn path(&self, id: PathId) -> Option<&PathSummary> {
+        self.paths.iter().find(|p| p.path == id)
+    }
+}
+
+/// A cloneable, thread-safe view onto a shared [`MetricsRegistry`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsHandle {
+    shared: Arc<Mutex<MetricsRegistry>>,
+}
+
+impl MetricsHandle {
+    /// Snapshots the registry. Returns the default (empty) snapshot if
+    /// the writer panicked while holding the lock.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.shared
+            .lock()
+            .map(|registry| registry.snapshot())
+            .unwrap_or_default()
+    }
+}
+
+/// The registry as an installable subscriber: feeds a shared
+/// [`MetricsRegistry`] that stays readable (through the paired
+/// [`MetricsHandle`]) after the connection has consumed the subscriber.
+#[derive(Debug, Default)]
+pub struct MetricsSubscriber {
+    shared: Arc<Mutex<MetricsRegistry>>,
+}
+
+impl MetricsSubscriber {
+    /// Creates a subscriber plus the handle used to read it later.
+    pub fn new() -> (MetricsSubscriber, MetricsHandle) {
+        let shared: Arc<Mutex<MetricsRegistry>> = Arc::default();
+        let handle = MetricsHandle {
+            shared: shared.clone(),
+        };
+        (MetricsSubscriber { shared }, handle)
+    }
+}
+
+impl Subscriber for MetricsSubscriber {
+    fn on_event(&mut self, event: &Event) {
+        if let Ok(mut registry) = self.shared.lock() {
+            registry.on_event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpquic_util::SimTime;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Exact boundary values land in the bucket whose lower bound they
+        // are; value-1 lands one bucket below.
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        for bit in 1..62 {
+            let v = 1u64 << bit;
+            assert_eq!(LogHistogram::bucket_index(v), bit as usize + 1, "2^{bit}");
+            assert_eq!(LogHistogram::bucket_index(v - 1), bit as usize, "2^{bit}-1");
+            let (lower, upper) = LogHistogram::bucket_bounds(LogHistogram::bucket_index(v));
+            assert!(lower <= v && v < upper, "2^{bit} within its bucket bounds");
+        }
+        // Values beyond the last bucket's lower bound saturate into it.
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_u64_range() {
+        let mut expected_lower = 0;
+        for i in 0..BUCKETS {
+            let (lower, upper) = LogHistogram::bucket_bounds(i);
+            assert_eq!(lower, expected_lower, "bucket {i} starts where {} ended", i);
+            assert!(upper > lower);
+            expected_lower = upper;
+        }
+        assert_eq!(LogHistogram::bucket_bounds(BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_upper_bounds() {
+        let mut h = LogHistogram::default();
+        for v in [10, 10, 10, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 1000);
+        // p50 falls in 10's bucket [8, 16); reported as upper-1 = 15.
+        assert_eq!(h.quantile(0.5), 15);
+        // p100 falls in 1000's bucket [512, 1024) but is clamped to max.
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(LogHistogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_memory_is_fixed() {
+        // The whole point: no growth with sample count.
+        let before = std::mem::size_of::<LogHistogram>();
+        let mut h = LogHistogram::default();
+        for v in 0..100_000u64 {
+            h.record(v);
+        }
+        assert_eq!(std::mem::size_of_val(&h), before);
+        assert_eq!(h.count(), 100_000);
+    }
+
+    #[test]
+    fn registry_attributes_acks_to_the_acknowledged_path() {
+        let mut r = MetricsRegistry::default();
+        r.on_event(&Event::AckReceived(AckReceived {
+            time: SimTime::from_millis(1),
+            on_path: PathId(0),
+            acks_path: PathId(1),
+            largest_acked: 7,
+            newly_acked_bytes: 1350,
+        }));
+        assert_eq!(r.get(PathId(1)).map(|p| p.acks_received), Some(1));
+        assert_eq!(r.get(PathId(1)).map(|p| p.acked_bytes), Some(1350));
+        assert!(r.get(PathId(0)).is_none(), "travel path not charged");
+    }
+
+    #[test]
+    fn snapshot_computes_shares_and_loss() {
+        let mut r = MetricsRegistry::default();
+        for (path, n) in [(0u32, 3u64), (1, 1)] {
+            for _ in 0..n {
+                r.on_event(&Event::SchedulerDecision(SchedulerDecision {
+                    time: SimTime::ZERO,
+                    chosen_path: PathId(path),
+                    candidates: vec![PathId(0), PathId(1)],
+                    duplicate_on: None,
+                    reason: SchedulerReason::LowestRtt,
+                }));
+            }
+        }
+        r.on_event(&Event::PacketSent(PacketSent {
+            time: SimTime::ZERO,
+            path: PathId(0),
+            packet_number: 0,
+            size: 1000,
+            ack_eliciting: true,
+        }));
+        r.on_event(&Event::FramesLost(FramesLost {
+            time: SimTime::ZERO,
+            path: PathId(0),
+            frames: 1,
+            bytes: 250,
+        }));
+        let snap = r.snapshot();
+        let p0 = snap.path(PathId(0)).expect("path 0");
+        let p1 = snap.path(PathId(1)).expect("path 1");
+        assert!((p0.sched_share - 0.75).abs() < 1e-9);
+        assert!((p1.sched_share - 0.25).abs() < 1e-9);
+        assert!((p0.loss_percent - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_handle_reads_after_subscriber_moved() {
+        let (mut sub, handle) = MetricsSubscriber::new();
+        sub.on_event(&Event::Rto(Rto {
+            time: SimTime::ZERO,
+            path: PathId(2),
+        }));
+        drop(sub); // the connection consumed and dropped it
+        let snap = handle.snapshot();
+        assert_eq!(snap.path(PathId(2)).map(|p| p.rtos), Some(1));
+        assert_eq!(snap.events_seen, 1);
+    }
+}

@@ -1,0 +1,251 @@
+//! The [`Subscriber`] trait and its combinators.
+//!
+//! Modelled on s2n-quic's event framework: the connection calls
+//! [`Subscriber::on_event`] at each instrumentation point, the default
+//! implementation dispatches to a typed per-event method, and every
+//! method defaults to a no-op so subscribers implement only what they
+//! care about. Subscribers compose structurally: `(A, B)` fans every
+//! event out to `A` then `B`, `()` is the always-disabled no-op, and
+//! `Option<S>`/`Box<S>` lift subscribers built conditionally at runtime.
+
+use crate::event::*;
+
+/// Receives telemetry events from a connection.
+///
+/// `Send` is required because connections are driven from worker
+/// threads in the experiment harness and the real-socket runtime.
+pub trait Subscriber: Send {
+    /// False if the subscriber ignores everything. Emitters may use this
+    /// to skip building allocation-carrying events (candidate lists,
+    /// path vectors) when nobody listens.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Receives every event; the default dispatches to the typed methods
+    /// below.
+    fn on_event(&mut self, event: &Event) {
+        match event {
+            Event::PacketSent(e) => self.on_packet_sent(e),
+            Event::PacketReceived(e) => self.on_packet_received(e),
+            Event::AckSent(e) => self.on_ack_sent(e),
+            Event::AckReceived(e) => self.on_ack_received(e),
+            Event::FramesLost(e) => self.on_frames_lost(e),
+            Event::FrameRetransmitted(e) => self.on_frame_retransmitted(e),
+            Event::SchedulerDecision(e) => self.on_scheduler_decision(e),
+            Event::MetricsUpdated(e) => self.on_metrics_updated(e),
+            Event::CongestionEvent(e) => self.on_congestion_event(e),
+            Event::PathStateChanged(e) => self.on_path_state_changed(e),
+            Event::Rto(e) => self.on_rto(e),
+            Event::Handover(e) => self.on_handover(e),
+            Event::WindowUpdateDuplicated(e) => self.on_window_update_duplicated(e),
+        }
+    }
+
+    /// A packet left the connection.
+    fn on_packet_sent(&mut self, _event: &PacketSent) {}
+    /// An authenticated packet was accepted.
+    fn on_packet_received(&mut self, _event: &PacketReceived) {}
+    /// An ACK frame was bundled into an outgoing packet.
+    fn on_ack_sent(&mut self, _event: &AckSent) {}
+    /// An ACK frame arrived and was processed.
+    fn on_ack_received(&mut self, _event: &AckReceived) {}
+    /// Loss recovery declared frames lost.
+    fn on_frames_lost(&mut self, _event: &FramesLost) {}
+    /// A reliable frame was queued for retransmission.
+    fn on_frame_retransmitted(&mut self, _event: &FrameRetransmitted) {}
+    /// The scheduler picked a path for a data packet.
+    fn on_scheduler_decision(&mut self, _event: &SchedulerDecision) {}
+    /// RTT / congestion-controller state changed on a path.
+    fn on_metrics_updated(&mut self, _event: &MetricsUpdated) {}
+    /// The congestion controller applied a decrease.
+    fn on_congestion_event(&mut self, _event: &CongestionEvent) {}
+    /// A path changed liveness state.
+    fn on_path_state_changed(&mut self, _event: &PathStateChanged) {}
+    /// A retransmission timeout fired.
+    fn on_rto(&mut self, _event: &Rto) {}
+    /// Traffic moved off a failed path.
+    fn on_handover(&mut self, _event: &Handover) {}
+    /// A WINDOW_UPDATE was duplicated across paths.
+    fn on_window_update_duplicated(&mut self, _event: &WindowUpdateDuplicated) {}
+}
+
+/// The no-op subscriber: reports itself disabled and ignores everything.
+impl Subscriber for () {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn on_event(&mut self, _event: &Event) {}
+}
+
+/// Fan-out composition: every event reaches `A` first, then `B`. Nest
+/// tuples — `(A, (B, C))` — for deeper stacks.
+impl<A: Subscriber, B: Subscriber> Subscriber for (A, B) {
+    fn is_enabled(&self) -> bool {
+        self.0.is_enabled() || self.1.is_enabled()
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        self.0.on_event(event);
+        self.1.on_event(event);
+    }
+}
+
+/// A subscriber configured at runtime: `None` is the no-op.
+impl<S: Subscriber> Subscriber for Option<S> {
+    fn is_enabled(&self) -> bool {
+        self.as_ref().map(Subscriber::is_enabled).unwrap_or(false)
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        if let Some(inner) = self.as_mut() {
+            inner.on_event(event);
+        }
+    }
+}
+
+impl<S: Subscriber + ?Sized> Subscriber for Box<S> {
+    fn is_enabled(&self) -> bool {
+        (**self).is_enabled()
+    }
+
+    fn on_event(&mut self, event: &Event) {
+        (**self).on_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpquic_util::SimTime;
+    use mpquic_wire::PathId;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn rto(ms: u64) -> Event {
+        Event::Rto(Rto {
+            time: SimTime::from_millis(ms),
+            path: PathId(0),
+        })
+    }
+
+    /// Records the order in which it saw events, against a shared clock.
+    struct Tracer {
+        label: &'static str,
+        clock: Arc<AtomicUsize>,
+        seen: Vec<(usize, &'static str, SimTime)>,
+    }
+
+    impl Tracer {
+        fn new(label: &'static str, clock: &Arc<AtomicUsize>) -> Tracer {
+            Tracer {
+                label,
+                clock: clock.clone(),
+                seen: Vec::new(),
+            }
+        }
+    }
+
+    impl Subscriber for Tracer {
+        fn on_event(&mut self, event: &Event) {
+            let tick = self.clock.fetch_add(1, Ordering::SeqCst);
+            self.seen.push((tick, self.label, event.time()));
+        }
+    }
+
+    #[test]
+    fn unit_subscriber_is_disabled() {
+        assert!(!().is_enabled());
+        ().on_event(&rto(1));
+    }
+
+    #[test]
+    fn tuple_fans_out_in_order() {
+        let clock = Arc::new(AtomicUsize::new(0));
+        let mut stack = (Tracer::new("a", &clock), Tracer::new("b", &clock));
+        stack.on_event(&rto(1));
+        stack.on_event(&rto(2));
+        // A sees each event strictly before B does.
+        assert_eq!(stack.0.seen.len(), 2);
+        assert_eq!(stack.1.seen.len(), 2);
+        for (a, b) in stack.0.seen.iter().zip(stack.1.seen.iter()) {
+            assert_eq!(a.2, b.2, "same event");
+            assert!(a.0 < b.0, "left element first: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn nested_tuples_preserve_depth_first_order() {
+        let clock = Arc::new(AtomicUsize::new(0));
+        let mut stack = (
+            Tracer::new("a", &clock),
+            (Tracer::new("b", &clock), Tracer::new("c", &clock)),
+        );
+        stack.on_event(&rto(1));
+        let order = [
+            stack.0.seen.first().map(|s| s.0),
+            stack.1 .0.seen.first().map(|s| s.0),
+            stack.1 .1.seen.first().map(|s| s.0),
+        ];
+        assert_eq!(order, [Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn subscriber_order_is_events_order() {
+        let clock = Arc::new(AtomicUsize::new(0));
+        let mut t = Tracer::new("a", &clock);
+        for ms in [5, 1, 9] {
+            t.on_event(&rto(ms));
+        }
+        let times: Vec<u64> = t.seen.iter().map(|s| s.2.as_millis()).collect();
+        assert_eq!(times, vec![5, 1, 9], "delivery order, not timestamp order");
+    }
+
+    #[test]
+    fn option_and_box_lift() {
+        let clock = Arc::new(AtomicUsize::new(0));
+        assert!(!None::<Tracer>.is_enabled());
+        let mut some = Some(Tracer::new("a", &clock));
+        some.on_event(&rto(1));
+        assert_eq!(some.as_ref().map(|t| t.seen.len()), Some(1));
+
+        let mut boxed: Box<dyn Subscriber> = Box::new(Tracer::new("b", &clock));
+        assert!(boxed.is_enabled());
+        boxed.on_event(&rto(2));
+    }
+
+    #[test]
+    fn tuple_enabled_if_either_side_is() {
+        let clock = Arc::new(AtomicUsize::new(0));
+        assert!(((), Tracer::new("a", &clock)).is_enabled());
+        assert!(!((), ()).is_enabled());
+    }
+
+    #[test]
+    fn typed_dispatch_reaches_the_right_method() {
+        #[derive(Default)]
+        struct Counter {
+            rtos: usize,
+            others: usize,
+        }
+        impl Subscriber for Counter {
+            fn on_rto(&mut self, _event: &Rto) {
+                self.rtos += 1;
+            }
+            fn on_packet_sent(&mut self, _event: &PacketSent) {
+                self.others += 1;
+            }
+        }
+        let mut c = Counter::default();
+        c.on_event(&rto(1));
+        c.on_event(&Event::PacketSent(PacketSent {
+            time: SimTime::from_millis(2),
+            path: PathId(1),
+            packet_number: 0,
+            size: 100,
+            ack_eliciting: true,
+        }));
+        assert_eq!((c.rtos, c.others), (1, 1));
+    }
+}

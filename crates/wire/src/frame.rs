@@ -73,6 +73,25 @@ impl FrameType {
             _ => return None,
         })
     }
+
+    /// The frame kind's wire-format name (telemetry's
+    /// `frame_retransmitted.kind` field and log output).
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameType::Padding => "PADDING",
+            FrameType::Ping => "PING",
+            FrameType::Ack => "ACK",
+            FrameType::WindowUpdate => "WINDOW_UPDATE",
+            FrameType::Blocked => "BLOCKED",
+            FrameType::RstStream => "RST_STREAM",
+            FrameType::ConnectionClose => "CONNECTION_CLOSE",
+            FrameType::Crypto => "CRYPTO",
+            FrameType::Stream => "STREAM",
+            FrameType::StreamFin => "STREAM_FIN",
+            FrameType::AddAddress => "ADD_ADDRESS",
+            FrameType::Paths => "PATHS",
+        }
+    }
 }
 
 /// Stream data frame: `(stream id, offset, data, fin)` — everything a

@@ -8,6 +8,7 @@
 //! so CI can gate on it directly.
 
 mod lints;
+mod qlog_check;
 mod scan;
 
 use lints::SourceFile;
@@ -15,7 +16,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Directories whose `.rs` files are scanned by the no-panic lint.
-const NO_PANIC_SCOPE: &[&str] = &["crates/wire/src", "crates/io/src"];
+const NO_PANIC_SCOPE: &[&str] = &["crates/wire/src", "crates/io/src", "crates/telemetry/src"];
 /// Individual extra files in no-panic scope.
 const NO_PANIC_FILES: &[&str] = &["crates/util/src/varint.rs"];
 /// Directories scanned by the pn-discipline lint (xtask itself excluded —
@@ -171,21 +172,45 @@ fn run_lint(root: &Path, verbose: bool) -> ExitCode {
     }
 }
 
+fn run_qlog_check(file: Option<&str>) -> ExitCode {
+    let Some(file) = file else {
+        eprintln!("usage: cargo xtask qlog-check FILE");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(file) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("xtask qlog-check: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match qlog_check::validate_lines(&text) {
+        Ok(events) => {
+            println!("xtask qlog-check: {file}: {events} event line(s), all valid JSON objects");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask qlog-check: {file}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "Tasks:\n  lint              run the MPQUIC protocol-invariant lints\n  qlog-check FILE   validate a streaming qlog trace (one JSON object per line)";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let verbose = args.iter().any(|a| a == "--verbose" || a == "-v");
-    match args
-        .iter()
-        .find(|a| !a.starts_with('-'))
-        .map(String::as_str)
-    {
+    let mut positional = args.iter().filter(|a| !a.starts_with('-'));
+    match positional.next().map(String::as_str) {
         Some("lint") => run_lint(&workspace_root(), verbose),
+        Some("qlog-check") => run_qlog_check(positional.next().map(String::as_str)),
         Some(other) => {
-            eprintln!("xtask: unknown task `{other}`\n\nTasks:\n  lint   run the MPQUIC protocol-invariant lints");
+            eprintln!("xtask: unknown task `{other}`\n\n{USAGE}");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo xtask <task>\n\nTasks:\n  lint   run the MPQUIC protocol-invariant lints");
+            eprintln!("usage: cargo xtask <task>\n\n{USAGE}");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,258 @@
+//! `cargo xtask qlog-check FILE` — validates a streaming qlog trace.
+//!
+//! The streaming writer (`mpquic_telemetry::StreamingQlog`) emits one
+//! self-contained JSON object per line. This checker verifies exactly
+//! that, with a dependency-free recursive-descent JSON parser: any
+//! truncated, interleaved or malformed line fails the check, so CI can
+//! gate on trace integrity after running the loopback example.
+
+/// Validates every non-empty line of `text` as a standalone JSON object.
+/// Returns the number of event lines, or the first failure with its
+/// 1-based line number. An entirely empty trace is an error: the writer
+/// always records at least the first packet.
+pub fn validate_lines(text: &str) -> Result<usize, String> {
+    let mut events = 0usize;
+    for (index, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        validate_object(line).map_err(|e| format!("line {}: {e}", index + 1))?;
+        events += 1;
+    }
+    if events == 0 {
+        return Err("trace contains no event lines".to_string());
+    }
+    Ok(events)
+}
+
+/// Validates one line as a single JSON object with nothing after it.
+fn validate_object(line: &str) -> Result<(), String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    if p.peek() != Some(b'{') {
+        return Err("does not start with a JSON object".to_string());
+    }
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at column {}", p.pos + 1));
+    }
+    Ok(())
+}
+
+/// Minimal JSON syntax parser (validation only, nothing is built).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.bump() == Some(byte) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at column {}",
+                byte as char, self.pos
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!(
+                "unexpected {:?} at column {}",
+                other as char,
+                self.pos + 1
+            )),
+            None => Err("unexpected end of line".to_string()),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(()),
+                _ => return Err(format!("expected ',' or '}}' at column {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(()),
+                _ => return Err(format!("expected ',' or ']' at column {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(()),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {}
+                    Some(b'u') => {
+                        for _ in 0..4 {
+                            if !self.bump().is_some_and(|b| b.is_ascii_hexdigit()) {
+                                return Err(format!("bad \\u escape at column {}", self.pos));
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at column {}", self.pos)),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control byte in string at column {}", self.pos))
+                }
+                Some(_) => {}
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(format!("expected digits at column {}", self.pos + 1));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(format!(
+                    "expected fraction digits at column {}",
+                    self.pos + 1
+                ));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(format!(
+                    "expected exponent digits at column {}",
+                    self.pos + 1
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at column {}", self.pos + 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_real_trace_shape() {
+        let trace = concat!(
+            r#"{"name":"packet_sent","data":{"time":0.001,"path":0,"packet_number":0,"size":66,"ack_eliciting":true}}"#,
+            "\n",
+            r#"{"name":"scheduler_decision","data":{"chosen_path":1,"candidates":[0,1],"duplicate_on":null,"reason":"lowest_rtt"}}"#,
+            "\n\n",
+            r#"{"name":"metrics_updated","data":{"path":1,"srtt_us":1402,"rttvar_us":-3,"cwnd":1.5e4}}"#,
+            "\n",
+        );
+        assert_eq!(validate_lines(trace), Ok(3));
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_garbage() {
+        assert!(validate_lines(r#"{"name":"rto","data":{"path":0"#).is_err());
+        assert!(validate_lines("{\"a\":1}}\n").is_err());
+        assert!(
+            validate_lines("[1,2,3]\n").is_err(),
+            "arrays are not events"
+        );
+        assert!(validate_lines("\n  \n").is_err(), "empty trace");
+    }
+
+    #[test]
+    fn validates_strings_numbers_and_escapes() {
+        assert_eq!(
+            validate_lines("{\"s\":\"a\\n\\u00e9\",\"n\":-0.5e-2}\n"),
+            Ok(1)
+        );
+        assert!(validate_lines("{\"s\":\"bad\\x\"}\n").is_err());
+        assert!(validate_lines("{\"n\":1.}\n").is_err());
+        assert!(validate_lines("{\"n\":+1}\n").is_err());
+    }
+}

@@ -7,8 +7,14 @@
 //! in a thread, standing in for a separate process; `mpq-server` and
 //! `mpq-client` are the two halves as real binaries.
 //!
-//! Run with: `cargo run --release --example loopback_transfer -- [size_mb]`
+//! Run with:
+//! `cargo run --release --example loopback_transfer -- [size_mb] [--qlog FILE]`
+//!
+//! With `--qlog FILE` the client connection streams its telemetry events
+//! (scheduler decisions, per-path metrics updates, ...) to FILE as JSON
+//! lines while the transfer runs.
 
+use mpquic_core::telemetry::{MetricsSubscriber, StreamingQlog};
 use mpquic_core::Config;
 use mpquic_io::{quic_client, quic_server, transfer, BlockingStream};
 use std::io::Read;
@@ -17,10 +23,16 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 fn main() {
-    let size_mb: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4.0);
+    let mut size_mb = 4.0f64;
+    let mut qlog_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--qlog" {
+            qlog_path = args.next();
+        } else if let Ok(v) = arg.parse() {
+            size_mb = v;
+        }
+    }
     let size = (size_mb * 1024.0 * 1024.0) as usize;
     let loopback: SocketAddr = "127.0.0.1:0".parse().unwrap();
 
@@ -44,8 +56,15 @@ fn main() {
 
     // The "client host": two loopback ports play the role of two
     // interfaces (say, Wi-Fi and LTE on a smartphone).
-    let driver = quic_client(Config::multipath(), &[loopback, loopback], server_addr, 1)
+    let mut driver = quic_client(Config::multipath(), &[loopback, loopback], server_addr, 1)
         .expect("bind client");
+    let (metrics, metrics_handle) = MetricsSubscriber::new();
+    let qlog = qlog_path.as_deref().map(|path| {
+        StreamingQlog::create(path).unwrap_or_else(|e| panic!("create qlog {path}: {e}"))
+    });
+    driver
+        .connection_mut()
+        .set_subscriber(Box::new((metrics, qlog)));
     println!(
         "client {:?} -> server {server_addr} ({:.1} MB over real UDP sockets)",
         driver.local_addrs(),
@@ -82,10 +101,16 @@ fn main() {
         .iter()
         .map(|&id| conn.path(id).unwrap().bytes_sent)
         .sum();
+    let snapshot = metrics_handle.snapshot();
     for id in conn.path_ids() {
         let path = conn.path(id).unwrap();
+        let share = snapshot
+            .path(id)
+            .map(|p| p.sched_share * 100.0)
+            .unwrap_or(0.0);
         println!(
-            "path {}: {} -> {}  {} B sent ({:.1}% of wire bytes), srtt {:.2} ms",
+            "path {}: {} -> {}  {} B sent ({:.1}% of wire bytes, {share:.1}% of \
+             scheduler picks), srtt {:.2} ms",
             id.0,
             path.local,
             path.remote,
@@ -93,5 +118,11 @@ fn main() {
             path.bytes_sent as f64 * 100.0 / total.max(1) as f64,
             path.rtt.srtt().as_secs_f64() * 1e3,
         );
+    }
+    if let Some(path) = &qlog_path {
+        // The streaming writer flushed when the connection dropped the
+        // subscriber stack; the trace is complete on disk by now.
+        drop(driver);
+        println!("qlog written to {path}");
     }
 }
