@@ -1,0 +1,267 @@
+//! `mpquic-bench` — loopback datapath throughput benchmark.
+//!
+//! Measures what the batched datapath (DESIGN.md §11) buys over the
+//! one-datagram-per-syscall path on this machine's loopback: a sender
+//! registry pushes fixed-size datagrams at a draining receiver thread,
+//! once via [`SocketRegistry::send_from`] (one syscall per datagram) and
+//! once via [`SocketRegistry::send_train`] (one `sendmmsg` per
+//! 16-segment train on Linux). Steady-state allocations on the sender
+//! thread are counted by the workspace's counting global allocator.
+//!
+//! ```text
+//! mpquic-bench [--smoke] [--out PATH] [--baseline PATH]
+//! ```
+//!
+//! Results go to `BENCH_datapath.json` (override with `--out`). With
+//! `--baseline PATH` the run fails (exit 1) if the batched datagram
+//! rate regressed more than 30% below the baseline file's.
+
+use mpquic_io::{RecvBatch, SocketRegistry};
+use mpquic_util::alloc_count::{self, CountingAlloc};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Wire datagram size: the workspace's default QUIC MTU budget.
+const SEGMENT: usize = 1200;
+/// Segments per batched train (capped by the core's GSO train length).
+const TRAIN: usize = 16;
+
+struct ModeResult {
+    datagrams: u64,
+    bytes: u64,
+    syscalls: u64,
+    elapsed: f64,
+    allocs_per_sec: f64,
+}
+
+impl ModeResult {
+    fn datagrams_per_sec(&self) -> f64 {
+        self.datagrams as f64 / self.elapsed
+    }
+
+    fn bytes_per_sec(&self) -> f64 {
+        self.bytes as f64 / self.elapsed
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_datapath.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--baseline" => {
+                baseline_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--baseline needs a path")),
+                )
+            }
+            "--help" => {
+                println!("usage: mpquic-bench [--smoke] [--out PATH] [--baseline PATH]");
+                return;
+            }
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    let measure = if smoke {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs(2)
+    };
+    let warmup = measure / 4;
+
+    println!(
+        "datapath benchmark: {SEGMENT} B datagrams, {TRAIN}-segment trains, \
+         {:.1} s per mode{}",
+        measure.as_secs_f64(),
+        if smoke { " (smoke)" } else { "" },
+    );
+
+    let single = run_mode(false, warmup, measure);
+    println!(
+        "  single : {:>12.0} datagrams/s  {:>7.1} MB/s  {} syscalls",
+        single.datagrams_per_sec(),
+        single.bytes_per_sec() / 1e6,
+        single.syscalls,
+    );
+    let batched = run_mode(true, warmup, measure);
+    println!(
+        "  batched: {:>12.0} datagrams/s  {:>7.1} MB/s  {} syscalls  \
+         {:.1} allocs/s steady-state",
+        batched.datagrams_per_sec(),
+        batched.bytes_per_sec() / 1e6,
+        batched.syscalls,
+        batched.allocs_per_sec,
+    );
+
+    let speedup = batched.datagrams_per_sec() / single.datagrams_per_sec().max(1.0);
+    let saved = batched.datagrams.saturating_sub(batched.syscalls);
+    println!("  speedup: {speedup:.2}x  ({saved} syscalls saved in batched mode)");
+
+    let json = render_json(&single, &batched, speedup, smoke);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("mpquic-bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("  wrote {out_path}");
+
+    if let Some(path) = baseline_path {
+        check_baseline(&path, batched.datagrams_per_sec());
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("mpquic-bench: {message}");
+    eprintln!("usage: mpquic-bench [--smoke] [--out PATH] [--baseline PATH]");
+    std::process::exit(1)
+}
+
+/// Runs one mode: a receiver thread drains its registry while the main
+/// thread sends as fast as the sockets accept, then reports accepted
+/// datagrams over the measured window.
+fn run_mode(batched: bool, warmup: Duration, measure: Duration) -> ModeResult {
+    let loopback: SocketAddr = "127.0.0.1:0".parse().expect("loopback literal");
+    let mut sender = SocketRegistry::bind(&[loopback]).expect("bind sender");
+    let mut receiver = SocketRegistry::bind(&[loopback]).expect("bind receiver");
+    let from = sender.local_addrs()[0];
+    let to = receiver.local_addrs()[0];
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let drain_stop = stop.clone();
+    let drain = std::thread::spawn(move || {
+        let mut batch = RecvBatch::new(64);
+        let mut received: u64 = 0;
+        while !drain_stop.load(Ordering::Relaxed) {
+            match receiver.poll_recv_batch(&mut batch) {
+                Ok(0) => std::thread::yield_now(),
+                Ok(n) => received += n as u64,
+                Err(_) => std::thread::yield_now(),
+            }
+        }
+        received
+    });
+
+    let payload = vec![0xa5u8; SEGMENT * TRAIN];
+    let mut datagrams: u64 = 0;
+
+    // Warm-up: reach steady state (socket buffers sized, scratch arrays
+    // at high-water capacity), then reset the counters.
+    let warm_until = Instant::now() + warmup;
+    while Instant::now() < warm_until {
+        send_once(&mut sender, from, to, &payload, batched);
+    }
+    alloc_count::reset_thread_counts();
+    let syscalls_before = sender.batch_stats().send_syscalls;
+    let started = Instant::now();
+
+    let until = started + measure;
+    while Instant::now() < until {
+        datagrams += send_once(&mut sender, from, to, &payload, batched);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let allocs = alloc_count::thread_counts().allocs;
+    let syscalls = sender.batch_stats().send_syscalls - syscalls_before;
+
+    stop.store(true, Ordering::Relaxed);
+    let _ = drain.join();
+
+    ModeResult {
+        datagrams,
+        bytes: datagrams * SEGMENT as u64,
+        syscalls,
+        elapsed,
+        allocs_per_sec: allocs as f64 / elapsed,
+    }
+}
+
+fn send_once(
+    sender: &mut SocketRegistry,
+    from: SocketAddr,
+    to: SocketAddr,
+    payload: &[u8],
+    batched: bool,
+) -> u64 {
+    if batched {
+        sender
+            .send_train(from, to, payload, Some(SEGMENT))
+            .unwrap_or(0) as u64
+    } else {
+        let mut sent = 0;
+        for chunk in payload.chunks(SEGMENT) {
+            if sender.send_from(from, to, chunk).unwrap_or(false) {
+                sent += 1;
+            }
+        }
+        sent
+    }
+}
+
+fn render_json(single: &ModeResult, batched: &ModeResult, speedup: f64, smoke: bool) -> String {
+    format!(
+        "{{\n  \"benchmark\": \"datapath_loopback\",\n  \"smoke\": {smoke},\n  \
+         \"segment_bytes\": {SEGMENT},\n  \"train_segments\": {TRAIN},\n  \
+         \"single\": {{\n    \"datagrams_per_sec\": {:.0},\n    \
+         \"bytes_per_sec\": {:.0},\n    \"syscalls\": {}\n  }},\n  \
+         \"batched\": {{\n    \"datagrams_per_sec\": {:.0},\n    \
+         \"bytes_per_sec\": {:.0},\n    \"syscalls\": {},\n    \
+         \"allocs_steady_state_per_sec\": {:.1},\n    \
+         \"syscalls_saved\": {}\n  }},\n  \
+         \"batched_datagrams_per_sec\": {:.0},\n  \"speedup\": {speedup:.3}\n}}\n",
+        single.datagrams_per_sec(),
+        single.bytes_per_sec(),
+        single.syscalls,
+        batched.datagrams_per_sec(),
+        batched.bytes_per_sec(),
+        batched.syscalls,
+        batched.allocs_per_sec,
+        batched.datagrams.saturating_sub(batched.syscalls),
+        batched.datagrams_per_sec(),
+    )
+}
+
+/// Reads `batched_datagrams_per_sec` out of a previous run's JSON (flat
+/// key, no JSON dependency needed) and fails the run on a >30%
+/// regression.
+fn check_baseline(path: &str, current: f64) {
+    let baseline = match std::fs::read_to_string(path) {
+        Ok(text) => parse_flat_key(&text, "batched_datagrams_per_sec"),
+        Err(e) => {
+            eprintln!("mpquic-bench: cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let Some(baseline) = baseline else {
+        eprintln!("mpquic-bench: no batched_datagrams_per_sec in {path}");
+        std::process::exit(1);
+    };
+    let floor = baseline * 0.7;
+    if current < floor {
+        eprintln!(
+            "mpquic-bench: REGRESSION: batched rate {current:.0}/s is below \
+             70% of baseline {baseline:.0}/s"
+        );
+        std::process::exit(1);
+    }
+    println!("  baseline check ok: {current:.0}/s vs {baseline:.0}/s baseline");
+}
+
+fn parse_flat_key(text: &str, key: &str) -> Option<f64> {
+    let pattern = format!("\"{key}\":");
+    let start = text.find(&pattern)? + pattern.len();
+    let rest = &text[start..];
+    let value: String = rest
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    value.parse().ok()
+}

@@ -1,0 +1,413 @@
+//! Pooled datagram buffers for the batched egress datapath.
+//!
+//! The batched datapath ([`crate::Connection::poll_transmit_batch`])
+//! produces many datagrams per call. Allocating a fresh `Vec<u8>` per
+//! datagram would make allocator pressure scale with throughput, so the
+//! buffers cycle through a [`BufferPool`]: taken when a datagram is
+//! built, handed to the socket layer inside a [`crate::Transmit`], and
+//! returned once the bytes are on the wire. After a short warm-up the
+//! pool reaches a steady state where the hot path performs no heap
+//! allocation at all (buffers keep whatever capacity they grew to).
+//!
+//! [`TransmitQueue`] owns a pool plus the queue of pending
+//! [`crate::Transmit`]s and implements GSO-shaped coalescing: runs of
+//! equal-size datagrams for the same `(local, remote)` pair are appended
+//! into a single buffer whose [`crate::Transmit::segment_size`] records
+//! the segment boundary, the way Linux `UDP_SEGMENT` describes a
+//! segment train. The socket layer then fans the train out with one
+//! `sendmmsg` call instead of one syscall per datagram.
+//!
+//! This module is inside the no-panic lint scope (`cargo xtask lint`):
+//! nothing here may index, unwrap or panic.
+
+use std::collections::VecDeque;
+use std::net::SocketAddr;
+
+use crate::config::Transmit;
+
+/// Default number of datagrams a [`TransmitQueue`] accepts per batch.
+pub const DEFAULT_BATCH: usize = 64;
+
+/// Largest number of segments coalesced into one GSO-shaped
+/// [`crate::Transmit`] (Linux caps `UDP_SEGMENT` trains at 64; we stay
+/// well below so a lost train never costs a full flight).
+pub const MAX_GSO_SEGMENTS: usize = 16;
+
+/// Counters describing pool behaviour, for telemetry and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers handed out over the pool's lifetime.
+    pub taken: u64,
+    /// Buffers returned over the pool's lifetime.
+    pub returned: u64,
+    /// `take` calls that had to allocate because the free list was empty
+    /// (a steady-state datapath stops incrementing this after warm-up).
+    pub misses: u64,
+}
+
+/// A fixed-capacity pool of reusable byte buffers.
+///
+/// `take` pops a cleared buffer (allocating only when the pool is
+/// empty); `put` returns one. In debug builds the pool is leak-checked:
+/// dropping it while buffers are still outstanding trips a
+/// `debug_assert`, so a datapath that forgets to recycle fails loudly in
+/// tests instead of silently degrading to per-datagram allocation.
+#[derive(Debug)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+    buf_capacity: usize,
+    max_buffers: usize,
+    outstanding: usize,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// Creates a pool of `max_buffers` buffers, each preallocated with
+    /// `buf_capacity` bytes of capacity.
+    pub fn new(max_buffers: usize, buf_capacity: usize) -> BufferPool {
+        let max_buffers = max_buffers.max(1);
+        let mut free = Vec::with_capacity(max_buffers);
+        for _ in 0..max_buffers {
+            free.push(Vec::with_capacity(buf_capacity));
+        }
+        BufferPool {
+            free,
+            buf_capacity,
+            max_buffers,
+            outstanding: 0,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Pops a cleared buffer, allocating a fresh one only when the pool
+    /// has run dry (counted in [`PoolStats::misses`]).
+    pub fn take(&mut self) -> Vec<u8> {
+        self.outstanding += 1;
+        self.stats.taken += 1;
+        match self.free.pop() {
+            Some(buf) => buf,
+            None => {
+                self.stats.misses += 1;
+                Vec::with_capacity(self.buf_capacity)
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool. The buffer is cleared but keeps its
+    /// capacity; buffers beyond the pool's fixed size are dropped.
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+        self.stats.returned += 1;
+        if self.free.len() < self.max_buffers {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    /// Buffers currently taken and not yet returned.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        // Leak check (debug builds): every taken buffer must have been
+        // returned by the time the pool goes away. Skipped during panics
+        // so a failing test reports its own assertion, not this one.
+        if cfg!(debug_assertions) && !std::thread::panicking() {
+            debug_assert_eq!(
+                self.outstanding, 0,
+                "BufferPool dropped with {} leaked buffer(s)",
+                self.outstanding
+            );
+        }
+    }
+}
+
+/// A bounded queue of pool-backed [`Transmit`]s with GSO-shaped
+/// coalescing, filled by [`crate::Connection::poll_transmit_batch`] and
+/// drained by the socket layer.
+///
+/// Capacity is counted in *segments* (individual datagrams on the
+/// wire), not queue entries, so coalescing never lets a batch outgrow
+/// what the socket layer sized its syscall arrays for.
+#[derive(Debug)]
+pub struct TransmitQueue {
+    pool: BufferPool,
+    items: VecDeque<Transmit>,
+    max_segments: usize,
+    queued_segments: usize,
+    coalesced: u64,
+}
+
+impl TransmitQueue {
+    /// A queue accepting up to `max_segments` datagrams per batch, each
+    /// up to `buf_capacity` bytes.
+    pub fn new(max_segments: usize, buf_capacity: usize) -> TransmitQueue {
+        let max_segments = max_segments.max(1);
+        TransmitQueue {
+            pool: BufferPool::new(max_segments, buf_capacity),
+            items: VecDeque::with_capacity(max_segments),
+            max_segments,
+            queued_segments: 0,
+            coalesced: 0,
+        }
+    }
+
+    /// A queue sized for `config`: [`DEFAULT_BATCH`] datagrams of the
+    /// configured maximum datagram size.
+    pub fn for_config(config: &crate::Config) -> TransmitQueue {
+        TransmitQueue::new(DEFAULT_BATCH, config.max_datagram_size)
+    }
+
+    /// True while the queue can accept at least one more datagram.
+    pub fn has_capacity(&self) -> bool {
+        self.queued_segments < self.max_segments
+    }
+
+    /// Takes a buffer from the pool for the caller to fill.
+    pub fn take_buf(&mut self) -> Vec<u8> {
+        self.pool.take()
+    }
+
+    /// Returns a buffer (e.g. one popped inside a [`Transmit`], or one
+    /// taken but never filled) to the pool.
+    pub fn recycle(&mut self, buf: Vec<u8>) {
+        self.pool.put(buf);
+    }
+
+    /// Enqueues one datagram held in a pool buffer, coalescing it into
+    /// the previous entry's GSO train when shapes allow (same addresses,
+    /// prior segments all full-size, train below [`MAX_GSO_SEGMENTS`]).
+    pub fn push_segment(&mut self, local: SocketAddr, remote: SocketAddr, buf: Vec<u8>) {
+        self.queued_segments += 1;
+        if !buf.is_empty() {
+            if let Some(last) = self.items.back_mut() {
+                if Self::can_coalesce(last, local, remote, buf.len()) {
+                    if last.segment_size.is_none() {
+                        last.segment_size = Some(last.payload.len());
+                    }
+                    last.payload.extend_from_slice(&buf);
+                    self.pool.put(buf);
+                    self.coalesced += 1;
+                    return;
+                }
+            }
+        }
+        self.items.push_back(Transmit {
+            local,
+            remote,
+            payload: buf,
+            segment_size: None,
+        });
+    }
+
+    /// Enqueues an externally built [`Transmit`] (not pool-backed; used
+    /// by the generic one-at-a-time shims). No coalescing is attempted —
+    /// the payload's allocation is owned by the caller.
+    pub fn push(&mut self, transmit: Transmit) {
+        self.queued_segments += transmit.segment_count();
+        self.items.push_back(transmit);
+    }
+
+    /// Dequeues the next transmit. Its payload buffer should come back
+    /// via [`TransmitQueue::recycle`] once sent (pool-backed payloads
+    /// that are dropped instead trip the debug leak check).
+    pub fn pop(&mut self) -> Option<Transmit> {
+        let transmit = self.items.pop_front()?;
+        self.queued_segments = self
+            .queued_segments
+            .saturating_sub(transmit.segment_count());
+        Some(transmit)
+    }
+
+    /// Queue entries (GSO trains count once).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Datagrams queued (each train segment counts).
+    pub fn segments(&self) -> usize {
+        self.queued_segments
+    }
+
+    /// Segments appended to an existing train over the queue's lifetime.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    fn can_coalesce(last: &Transmit, local: SocketAddr, remote: SocketAddr, len: usize) -> bool {
+        if last.local != local || last.remote != remote || last.payload.is_empty() {
+            return false;
+        }
+        // The segment size of the train is fixed by its first datagram.
+        let seg = match last.segment_size {
+            Some(seg) => seg,
+            None => last.payload.len(),
+        };
+        if seg == 0 || len > seg {
+            return false;
+        }
+        // Only the final segment may be short: a train whose byte count
+        // is not a multiple of its segment size is closed. This also
+        // means appending a short segment closes the train.
+        if !last.payload.len().is_multiple_of(seg) {
+            return false;
+        }
+        last.payload.len() / seg < MAX_GSO_SEGMENTS
+    }
+}
+
+impl Drop for TransmitQueue {
+    fn drop(&mut self) {
+        // Return queued payloads so the pool's leak check only fires for
+        // buffers the *caller* popped and failed to recycle.
+        while let Some(transmit) = self.items.pop_front() {
+            self.pool.put(transmit.payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(port: u16) -> SocketAddr {
+        SocketAddr::from(([127, 0, 0, 1], port))
+    }
+
+    #[test]
+    fn pool_reuses_buffers_without_allocating() {
+        let mut pool = BufferPool::new(4, 1500);
+        let mut bufs: Vec<Vec<u8>> = (0..4).map(|_| pool.take()).collect();
+        assert_eq!(pool.outstanding(), 4);
+        assert_eq!(pool.stats().misses, 0, "preallocated buffers suffice");
+        for buf in &mut bufs {
+            buf.extend_from_slice(&[0xAB; 100]);
+        }
+        for buf in bufs {
+            pool.put(buf);
+        }
+        assert_eq!(pool.outstanding(), 0);
+        let again = pool.take();
+        assert!(again.is_empty(), "returned buffers are cleared");
+        assert!(again.capacity() >= 1500, "capacity is retained");
+        pool.put(again);
+        assert_eq!(pool.stats().misses, 0);
+    }
+
+    #[test]
+    fn pool_overflow_allocates_and_counts_misses() {
+        let mut pool = BufferPool::new(1, 64);
+        let a = pool.take();
+        let b = pool.take();
+        assert_eq!(pool.stats().misses, 1);
+        pool.put(a);
+        pool.put(b); // beyond max_buffers: dropped, not pooled
+        assert_eq!(pool.outstanding(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaked buffer")]
+    #[cfg(debug_assertions)]
+    fn pool_leak_check_fires_in_debug() {
+        let mut pool = BufferPool::new(2, 64);
+        let leaked = pool.take();
+        std::mem::forget(leaked);
+        drop(pool); // panics: 1 outstanding
+    }
+
+    #[test]
+    fn queue_coalesces_equal_size_same_path_runs() {
+        let mut q = TransmitQueue::new(16, 1500);
+        for _ in 0..3 {
+            let mut buf = q.take_buf();
+            buf.extend_from_slice(&[1u8; 100]);
+            q.push_segment(addr(1), addr(2), buf);
+        }
+        assert_eq!(q.len(), 1, "three equal segments form one train");
+        assert_eq!(q.segments(), 3);
+        assert_eq!(q.coalesced(), 2);
+        let t = q.pop().expect("queued");
+        assert_eq!(t.segment_size, Some(100));
+        assert_eq!(t.payload.len(), 300);
+        assert_eq!(t.segment_count(), 3);
+        q.recycle(t.payload);
+    }
+
+    #[test]
+    fn queue_does_not_coalesce_across_paths_or_after_short_segment() {
+        let mut q = TransmitQueue::new(16, 1500);
+        let mut full = q.take_buf();
+        full.extend_from_slice(&[1u8; 100]);
+        q.push_segment(addr(1), addr(2), full);
+        // Different remote: new entry.
+        let mut other = q.take_buf();
+        other.extend_from_slice(&[2u8; 100]);
+        q.push_segment(addr(1), addr(3), other);
+        assert_eq!(q.len(), 2);
+        // Short segment joins its train but closes it...
+        let mut short = q.take_buf();
+        short.extend_from_slice(&[3u8; 40]);
+        q.push_segment(addr(1), addr(3), short);
+        assert_eq!(q.len(), 2);
+        // ...so the next full-size datagram starts a fresh entry.
+        let mut next = q.take_buf();
+        next.extend_from_slice(&[4u8; 100]);
+        q.push_segment(addr(1), addr(3), next);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.segments(), 4);
+        while let Some(t) = q.pop() {
+            q.recycle(t.payload);
+        }
+    }
+
+    #[test]
+    fn queue_capacity_counts_segments_not_entries() {
+        let mut q = TransmitQueue::new(3, 1500);
+        for _ in 0..3 {
+            assert!(q.has_capacity());
+            let mut buf = q.take_buf();
+            buf.extend_from_slice(&[9u8; 50]);
+            q.push_segment(addr(1), addr(2), buf);
+        }
+        assert!(!q.has_capacity(), "3 segments fill a 3-segment queue");
+        assert_eq!(q.len(), 1, "even though they coalesced into one entry");
+        let t = q.pop().expect("queued");
+        assert!(q.has_capacity());
+        q.recycle(t.payload);
+    }
+
+    #[test]
+    fn train_segments_iterate_in_order() {
+        let mut q = TransmitQueue::new(8, 1500);
+        for fill in [10u8, 20, 30] {
+            let mut buf = q.take_buf();
+            buf.extend_from_slice(&[fill; 64]);
+            q.push_segment(addr(7), addr(8), buf);
+        }
+        let t = q.pop().expect("queued");
+        let segs: Vec<&[u8]> = t.segments().collect();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0], &[10u8; 64][..]);
+        assert_eq!(segs[1], &[20u8; 64][..]);
+        assert_eq!(segs[2], &[30u8; 64][..]);
+        q.recycle(t.payload);
+    }
+}

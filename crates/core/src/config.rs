@@ -16,6 +16,12 @@ use crate::stream::StreamId;
 /// congestion control, lowest-RTT scheduling with duplication on
 /// unknown-RTT paths, 16 MB receive windows, WINDOW_UPDATE duplication on
 /// all paths, and Path-ID-mixed packet-protection nonces.
+///
+/// Build one with [`Config::builder`], which validates the combination
+/// before the connection ever sees it. Constructing or mutating the
+/// struct field-by-field (`Config { .. }`) still works for this release
+/// but is **deprecated**: it skips validation and will lose `pub` field
+/// access in a future release.
 #[derive(Debug, Clone)]
 pub struct Config {
     /// Enable the multipath extension. `false` yields plain single-path
@@ -100,17 +106,309 @@ impl Config {
     pub fn multipath() -> Config {
         Config::default()
     }
+
+    /// Starts a validated builder from the multipath defaults.
+    pub fn builder() -> ConfigBuilder {
+        ConfigBuilder {
+            config: Config::default(),
+        }
+    }
+
+    /// Starts a validated builder from this configuration.
+    pub fn into_builder(self) -> ConfigBuilder {
+        ConfigBuilder { config: self }
+    }
+
+    /// Checks the configuration's internal consistency; called by
+    /// [`ConfigBuilder::build`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        const MIN_DATAGRAM_SIZE: usize = 64;
+        const MAX_UDP_PAYLOAD: usize = 65_507;
+        if self.max_datagram_size < MIN_DATAGRAM_SIZE || self.max_datagram_size > MAX_UDP_PAYLOAD {
+            return Err(ConfigError::DatagramSizeOutOfRange {
+                got: self.max_datagram_size,
+                min: MIN_DATAGRAM_SIZE,
+                max: MAX_UDP_PAYLOAD,
+            });
+        }
+        if self.conn_recv_window == 0 {
+            return Err(ConfigError::ZeroWindow("conn_recv_window"));
+        }
+        if self.stream_recv_window == 0 {
+            return Err(ConfigError::ZeroWindow("stream_recv_window"));
+        }
+        if self.stream_recv_window > self.conn_recv_window {
+            return Err(ConfigError::StreamWindowExceedsConnWindow {
+                stream: self.stream_recv_window,
+                conn: self.conn_recv_window,
+            });
+        }
+        if self.max_ack_ranges == 0 || self.max_ack_ranges > mpquic_wire::MAX_ACK_RANGES {
+            return Err(ConfigError::AckRangesOutOfRange {
+                got: self.max_ack_ranges,
+                max: mpquic_wire::MAX_ACK_RANGES,
+            });
+        }
+        if self.initial_rtt.is_zero() {
+            return Err(ConfigError::ZeroDuration("initial_rtt"));
+        }
+        if self.idle_timeout.is_some_and(|t| t.is_zero()) {
+            return Err(ConfigError::ZeroDuration("idle_timeout"));
+        }
+        if self.enable_qlog && self.qlog_event_limit == 0 {
+            return Err(ConfigError::ZeroQlogLimit);
+        }
+        Ok(())
+    }
 }
 
-/// A datagram to hand to the network.
+/// Why a [`ConfigBuilder`] rejected a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `max_datagram_size` is outside the sendable UDP payload range.
+    DatagramSizeOutOfRange {
+        /// Rejected value.
+        got: usize,
+        /// Smallest accepted datagram size.
+        min: usize,
+        /// Largest accepted datagram size (UDP/IPv4 payload maximum).
+        max: usize,
+    },
+    /// A receive window (named field) is zero, which would deadlock the
+    /// transfer before the first byte.
+    ZeroWindow(&'static str),
+    /// The per-stream window exceeds the connection window, so a single
+    /// stream could never actually use its advertised credit.
+    StreamWindowExceedsConnWindow {
+        /// Per-stream window.
+        stream: u64,
+        /// Connection window.
+        conn: u64,
+    },
+    /// `max_ack_ranges` is zero or exceeds the wire format's cap.
+    AckRangesOutOfRange {
+        /// Rejected value.
+        got: usize,
+        /// Wire-format maximum.
+        max: usize,
+    },
+    /// A duration (named field) is zero.
+    ZeroDuration(&'static str),
+    /// qlog is enabled with a zero event limit: every event would be
+    /// dropped, which is never what the caller meant.
+    ZeroQlogLimit,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::DatagramSizeOutOfRange { got, min, max } => {
+                write!(f, "max_datagram_size {got} outside [{min}, {max}]")
+            }
+            ConfigError::ZeroWindow(field) => write!(f, "{field} must be > 0"),
+            ConfigError::StreamWindowExceedsConnWindow { stream, conn } => write!(
+                f,
+                "stream_recv_window {stream} exceeds conn_recv_window {conn}"
+            ),
+            ConfigError::AckRangesOutOfRange { got, max } => {
+                write!(f, "max_ack_ranges {got} outside [1, {max}]")
+            }
+            ConfigError::ZeroDuration(field) => write!(f, "{field} must be > 0"),
+            ConfigError::ZeroQlogLimit => {
+                write!(f, "enable_qlog with qlog_event_limit 0 drops every event")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builds a validated [`Config`].
+///
+/// ```
+/// use mpquic_core::Config;
+/// let config = Config::builder()
+///     .single_path()
+///     .recv_windows(8 << 20)
+///     .build()
+///     .expect("valid configuration");
+/// assert!(!config.multipath);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConfigBuilder {
+    config: Config,
+}
+
+impl Default for ConfigBuilder {
+    fn default() -> Self {
+        Config::builder()
+    }
+}
+
+impl ConfigBuilder {
+    /// Applies the paper's single-path baseline preset (no multipath,
+    /// CUBIC congestion control).
+    pub fn single_path(mut self) -> Self {
+        self.config.multipath = false;
+        self.config.cc = CcAlgorithm::Cubic;
+        self
+    }
+
+    /// Applies the paper's multipath preset (the defaults: multipath on,
+    /// OLIA congestion control).
+    pub fn multipath(mut self) -> Self {
+        self.config.multipath = true;
+        self.config.cc = CcAlgorithm::Olia;
+        self
+    }
+
+    /// Enables or disables the multipath extension without touching the
+    /// congestion controller.
+    pub fn multipath_enabled(mut self, on: bool) -> Self {
+        self.config.multipath = on;
+        self
+    }
+
+    /// Congestion control algorithm for every path.
+    pub fn cc(mut self, cc: CcAlgorithm) -> Self {
+        self.config.cc = cc;
+        self
+    }
+
+    /// Packet scheduler policy.
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.config.scheduler = scheduler;
+        self
+    }
+
+    /// Maximum UDP datagram size produced.
+    pub fn max_datagram_size(mut self, size: usize) -> Self {
+        self.config.max_datagram_size = size;
+        self
+    }
+
+    /// Connection-level receive window.
+    pub fn conn_recv_window(mut self, window: u64) -> Self {
+        self.config.conn_recv_window = window;
+        self
+    }
+
+    /// Per-stream receive window.
+    pub fn stream_recv_window(mut self, window: u64) -> Self {
+        self.config.stream_recv_window = window;
+        self
+    }
+
+    /// Sets the connection and per-stream receive windows together (the
+    /// paper always configures them equal).
+    pub fn recv_windows(mut self, window: u64) -> Self {
+        self.config.conn_recv_window = window;
+        self.config.stream_recv_window = window;
+        self
+    }
+
+    /// Maximum time an ACK may be delayed.
+    pub fn max_ack_delay(mut self, delay: Duration) -> Self {
+        self.config.max_ack_delay = delay;
+        self
+    }
+
+    /// RTT assumed for a path before its first sample.
+    pub fn initial_rtt(mut self, rtt: Duration) -> Self {
+        self.config.initial_rtt = rtt;
+        self
+    }
+
+    /// Packet-protection nonce construction.
+    pub fn nonce_mode(mut self, mode: NonceMode) -> Self {
+        self.config.nonce_mode = mode;
+        self
+    }
+
+    /// Duplicate WINDOW_UPDATE frames on all active paths.
+    pub fn duplicate_window_updates(mut self, on: bool) -> Self {
+        self.config.duplicate_window_updates = on;
+        self
+    }
+
+    /// Send a PATHS frame alongside retransmissions after an RTO.
+    pub fn send_paths_frames(mut self, on: bool) -> Self {
+        self.config.send_paths_frames = on;
+        self
+    }
+
+    /// Idle timeout (`None` disables the idle timer).
+    pub fn idle_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.config.idle_timeout = timeout;
+        self
+    }
+
+    /// Maximum ACK ranges reported per ACK frame.
+    pub fn max_ack_ranges(mut self, ranges: usize) -> Self {
+        self.config.max_ack_ranges = ranges;
+        self
+    }
+
+    /// Protocol version the client proposes in its CHLO.
+    pub fn quic_version(mut self, version: u32) -> Self {
+        self.config.quic_version = version;
+        self
+    }
+
+    /// Record a qlog-style structured event log.
+    pub fn enable_qlog(mut self, on: bool) -> Self {
+        self.config.enable_qlog = on;
+        self
+    }
+
+    /// Maximum events retained by the in-memory qlog.
+    pub fn qlog_event_limit(mut self, limit: usize) -> Self {
+        self.config.qlog_event_limit = limit;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<Config, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// A datagram (or GSO-shaped train of datagrams) to hand to the network.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Transmit {
     /// Source address (selects the local interface / path).
     pub local: SocketAddr,
     /// Destination address.
     pub remote: SocketAddr,
-    /// UDP payload.
+    /// UDP payload. When `segment_size` is set this holds several
+    /// wire datagrams back to back (a GSO segment train).
     pub payload: Vec<u8>,
+    /// `None`: `payload` is one datagram. `Some(s)`: `payload` is a
+    /// train of datagrams of `s` bytes each (only the last may be
+    /// shorter), produced by the batched egress path
+    /// ([`crate::Connection::poll_transmit_batch`]); the socket layer
+    /// must send each segment as its own UDP datagram.
+    pub segment_size: Option<usize>,
+}
+
+impl Transmit {
+    /// The wire datagrams this transmit expands to, in send order.
+    pub fn segments(&self) -> impl Iterator<Item = &[u8]> {
+        let seg = match self.segment_size {
+            Some(seg) if seg > 0 => seg,
+            _ => self.payload.len().max(1),
+        };
+        self.payload.chunks(seg)
+    }
+
+    /// Number of wire datagrams this transmit expands to.
+    pub fn segment_count(&self) -> usize {
+        match self.segment_size {
+            Some(seg) if seg > 0 => self.payload.len().div_ceil(seg).max(1),
+            _ => 1,
+        }
+    }
 }
 
 /// Which end of the connection this is.

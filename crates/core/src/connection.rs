@@ -22,7 +22,7 @@
 //!   and — the §4.3 handover accelerator — attaches a `PATHS` frame so the
 //!   peer learns about the failure without waiting for its own RTO.
 
-use bytes::Bytes;
+use bytes::{Bytes, BytesMut};
 use mpquic_crypto::nonce_for;
 use mpquic_crypto::{
     handshake::initial_key, Aead, ClientHandshake, HandshakeEvent, ServerHandshake, SessionKeys,
@@ -37,6 +37,7 @@ use std::net::SocketAddr;
 
 use mpquic_telemetry::{self as telemetry, Subscriber};
 
+use crate::buffer::TransmitQueue;
 use crate::config::{Config, ConnStats, Event, Role, Transmit};
 use crate::flow::ConnFlowControl;
 use crate::invariant::InvariantChecker;
@@ -145,6 +146,10 @@ pub struct Connection {
     /// Runtime protocol invariants (zero-sized no-op in plain release
     /// builds; see [`crate::invariant`]).
     invariants: InvariantChecker,
+    /// Reusable encode scratch for the egress path (header bytes and
+    /// plaintext payload); spares two allocations per packet sealed.
+    scratch_header: BytesMut,
+    scratch_payload: BytesMut,
 }
 
 impl std::fmt::Debug for Connection {
@@ -255,6 +260,8 @@ impl Connection {
             closed: false,
             stats: ConnStats::default(),
             invariants: InvariantChecker::new(),
+            scratch_header: BytesMut::new(),
+            scratch_payload: BytesMut::new(),
             config,
         }
     }
@@ -358,40 +365,58 @@ impl Connection {
         id
     }
 
+    /// Returns a handle bundling all per-stream operations for `id` —
+    /// the preferred stream API. The handle borrows the connection, so
+    /// drive it in its own statement:
+    ///
+    /// ```ignore
+    /// conn.stream(id).write(data)?;
+    /// let chunk = conn.stream(id).read(4096);
+    /// ```
+    pub fn stream(&mut self, id: StreamId) -> StreamHandle<'_> {
+        StreamHandle { conn: self, id }
+    }
+
     /// Appends data to a stream's send buffer.
+    ///
+    /// Thin shim over [`StreamHandle::write`]; prefer
+    /// `conn.stream(id).write(data)`.
     pub fn stream_write(
         &mut self,
         id: StreamId,
         data: Bytes,
     ) -> Result<(), crate::stream::StreamError> {
-        self.send_streams
-            .get_mut(&id)
-            .expect("unknown stream")
-            .write(data)
+        self.stream(id).write(data)
     }
 
     /// Marks a stream finished at its current write offset.
+    ///
+    /// Thin shim over [`StreamHandle::finish`]; prefer
+    /// `conn.stream(id).finish()`.
     pub fn stream_finish(&mut self, id: StreamId) {
-        self.send_streams
-            .get_mut(&id)
-            .expect("unknown stream")
-            .finish();
+        self.stream(id).finish();
     }
 
     /// Reads up to `max` in-order bytes from a stream.
+    ///
+    /// Thin shim over [`StreamHandle::read`]; prefer
+    /// `conn.stream(id).read(max)`.
     pub fn stream_read(&mut self, id: StreamId, max: usize) -> Option<Bytes> {
-        let stream = self.recv_streams.get_mut(&id)?;
-        let data = stream.read(max)?;
-        self.flow.on_data_consumed(data.len() as u64);
-        Some(data)
+        self.stream(id).read(max)
     }
 
     /// True once the peer's FIN and all stream data have been read.
+    ///
+    /// Thin shim over [`StreamHandle::is_finished`]; prefer
+    /// `conn.stream(id).is_finished()`.
     pub fn stream_is_finished(&self, id: StreamId) -> bool {
         self.recv_streams.get(&id).is_some_and(|s| s.is_finished())
     }
 
     /// True once everything written (and the FIN) was acknowledged.
+    ///
+    /// Thin shim over [`StreamHandle::is_fully_acked`]; prefer
+    /// `conn.stream(id).is_fully_acked()`.
     pub fn stream_fully_acked(&self, id: StreamId) -> bool {
         self.send_streams
             .get(&id)
@@ -1155,7 +1180,55 @@ impl Connection {
 
     /// Produces the next outgoing datagram, if any. Call repeatedly until
     /// it returns `None`.
+    ///
+    /// One-shot shim over the batched egress path: each call allocates
+    /// its own payload. Hot loops should prefer
+    /// [`Connection::poll_transmit_batch`], which fills pool-backed
+    /// buffers and coalesces same-path runs GSO-style.
     pub fn poll_transmit(&mut self, now: SimTime) -> Option<Transmit> {
+        let mut payload = Vec::new();
+        let (local, remote) = self.poll_transmit_into(now, &mut payload)?;
+        Some(Transmit {
+            local,
+            remote,
+            payload,
+            segment_size: None,
+        })
+    }
+
+    /// Fills `queue` with as many datagrams as the congestion window,
+    /// the scheduler and the queue's capacity allow, writing each into a
+    /// buffer from the queue's pool. Consecutive datagrams for the same
+    /// `(local, remote)` pair coalesce into GSO-shaped segment trains
+    /// (see [`Transmit::segment_size`]). Returns the number of wire
+    /// datagrams produced.
+    pub fn poll_transmit_batch(&mut self, now: SimTime, queue: &mut TransmitQueue) -> usize {
+        let mut produced = 0;
+        while queue.has_capacity() {
+            let mut buf = queue.take_buf();
+            match self.poll_transmit_into(now, &mut buf) {
+                Some((local, remote)) => {
+                    queue.push_segment(local, remote, buf);
+                    produced += 1;
+                }
+                None => {
+                    queue.recycle(buf);
+                    break;
+                }
+            }
+        }
+        produced
+    }
+
+    /// Builds the next outgoing datagram directly into `out` (cleared
+    /// first) and returns its `(local, remote)` addressing, or `None`
+    /// when there is nothing to send.
+    fn poll_transmit_into(
+        &mut self,
+        now: SimTime,
+        out: &mut Vec<u8>,
+    ) -> Option<(SocketAddr, SocketAddr)> {
+        out.clear();
         if self.closed && !self.close_sent {
             // We process a received close by going silent; nothing to send.
             return None;
@@ -1163,10 +1236,10 @@ impl Connection {
         // 0. Pending CONNECTION_CLOSE.
         if let Some((code, reason)) = self.close_pending.clone() {
             if !self.close_sent {
-                let transmit = self.emit_close(now, code, reason);
+                let meta = self.emit_close(now, code, reason, out);
                 self.close_sent = true;
                 self.closed = true;
-                return transmit;
+                return meta;
             }
             return None;
         }
@@ -1174,7 +1247,7 @@ impl Connection {
         self.flush_window_updates(now);
         // 2. Handshake packets (initial path, initial keys).
         if !self.crypto_queue.is_empty() {
-            if let Some(t) = self.emit_handshake(now) {
+            if let Some(t) = self.emit_handshake(now, out) {
                 return Some(t);
             }
         }
@@ -1206,13 +1279,13 @@ impl Connection {
             .find(|(_, q)| !q.is_empty())
             .map(|(&id, _)| id);
         if let Some(id) = path_with_control {
-            if let Some(t) = self.emit_control(now, id) {
+            if let Some(t) = self.emit_control(now, id, out) {
                 return Some(t);
             }
         }
         // 4. Data packets, scheduled per the paper.
         if self.session_keys.is_some() {
-            if let Some(t) = self.emit_data(now) {
+            if let Some(t) = self.emit_data(now, out) {
                 return Some(t);
             }
         }
@@ -1238,7 +1311,7 @@ impl Connection {
                     .or(Some(due_path))
             };
             if let Some(id) = send_on {
-                if let Some(t) = self.emit_ack_only(now, id) {
+                if let Some(t) = self.emit_ack_only(now, id, out) {
                     return Some(t);
                 }
             }
@@ -1250,7 +1323,7 @@ impl Connection {
             .find(|p| p.probe_at.is_some_and(|at| at <= now))
             .map(|p| p.id);
         if let Some(id) = probe_path {
-            if let Some(t) = self.emit_probe(now, id) {
+            if let Some(t) = self.emit_probe(now, id, out) {
                 return Some(t);
             }
         }
@@ -1396,27 +1469,38 @@ impl Connection {
         }
     }
 
-    /// Seals a finished builder, records it with recovery and congestion
-    /// control, and produces the datagram.
+    /// Seals a finished builder into `out` (cleared first) and records
+    /// the packet with recovery and congestion control. Returns the
+    /// datagram's `(local, remote)` addressing.
+    ///
+    /// Encoding reuses the connection's two scratch buffers and seals
+    /// straight into `out`, so a warm egress path allocates nothing
+    /// per packet here.
     fn finalize(
         &mut self,
         now: SimTime,
         builder: PacketBuilder,
         path_id: PathId,
         packet_type: PacketType,
-    ) -> Option<Transmit> {
+        out: &mut Vec<u8>,
+    ) -> Option<(SocketAddr, SocketAddr)> {
         let packet = builder.finish()?;
         let aead = self.send_aead(packet_type)?;
         let ack_eliciting = packet.is_ack_eliciting();
-        let (header_bytes, payload) = packet.encode_parts();
+        let mut header_buf = std::mem::take(&mut self.scratch_header);
+        let mut payload_buf = std::mem::take(&mut self.scratch_payload);
+        packet.encode_parts_into(&mut header_buf, &mut payload_buf);
         let nonce = nonce_for(
             self.config.nonce_mode,
             path_id.0,
             packet.header.packet_number,
         );
-        let sealed = aead.seal(&nonce, &header_bytes, &payload);
-        let mut wire = header_bytes;
-        wire.extend_from_slice(&sealed);
+        out.clear();
+        out.extend_from_slice(&header_buf);
+        aead.seal_into(&nonce, &header_buf, &payload_buf, out);
+        self.scratch_header = header_buf;
+        self.scratch_payload = payload_buf;
+        let wire_len = out.len() as u64;
 
         let path = self.paths.get_mut(&path_id).expect("path exists");
         let pn = path.recovery.next_packet_number();
@@ -1425,7 +1509,7 @@ impl Connection {
             path.recovery.on_packet_sent(SentPacket {
                 packet_number: pn,
                 time_sent: now,
-                size: wire.len() as u64,
+                size: wire_len,
                 ack_eliciting,
                 frames: packet
                     .frames
@@ -1433,28 +1517,30 @@ impl Connection {
                     .filter(Frame::is_retransmittable)
                     .collect(),
             });
-            path.cc.on_packet_sent(now, wire.len() as u64);
+            path.cc.on_packet_sent(now, wire_len);
         }
         self.invariants.on_packet_sent(path_id, pn, &path.recovery);
-        path.bytes_sent += wire.len() as u64;
+        path.bytes_sent += wire_len;
         let (local, remote) = (path.local, path.remote);
         self.stats.packets_sent += 1;
-        self.stats.bytes_sent += wire.len() as u64;
+        self.stats.bytes_sent += wire_len;
         self.emit(telemetry::Event::PacketSent(telemetry::PacketSent {
             time: now,
             path: path_id,
             packet_number: pn,
-            size: wire.len(),
+            size: wire_len as usize,
             ack_eliciting,
         }));
-        Some(Transmit {
-            local,
-            remote,
-            payload: wire,
-        })
+        Some((local, remote))
     }
 
-    fn emit_close(&mut self, now: SimTime, code: u64, reason: String) -> Option<Transmit> {
+    fn emit_close(
+        &mut self,
+        now: SimTime,
+        code: u64,
+        reason: String,
+        out: &mut Vec<u8>,
+    ) -> Option<(SocketAddr, SocketAddr)> {
         let packet_type = if self.session_keys.is_some() {
             PacketType::OneRtt
         } else {
@@ -1473,10 +1559,14 @@ impl Connection {
             error_code: code,
             reason,
         });
-        self.finalize(now, builder, path_id, packet_type)
+        self.finalize(now, builder, path_id, packet_type, out)
     }
 
-    fn emit_handshake(&mut self, now: SimTime) -> Option<Transmit> {
+    fn emit_handshake(
+        &mut self,
+        now: SimTime,
+        out: &mut Vec<u8>,
+    ) -> Option<(SocketAddr, SocketAddr)> {
         let path_id = PathId::INITIAL;
         if !self.paths.contains_key(&path_id) {
             return None;
@@ -1491,10 +1581,15 @@ impl Connection {
             let frame = self.crypto_queue.pop_front().expect("checked");
             builder.try_push(frame);
         }
-        self.finalize(now, builder, path_id, PacketType::Handshake)
+        self.finalize(now, builder, path_id, PacketType::Handshake, out)
     }
 
-    fn emit_control(&mut self, now: SimTime, path_id: PathId) -> Option<Transmit> {
+    fn emit_control(
+        &mut self,
+        now: SimTime,
+        path_id: PathId,
+        out: &mut Vec<u8>,
+    ) -> Option<(SocketAddr, SocketAddr)> {
         let header = self.provisional_header(path_id, PacketType::OneRtt);
         self.session_keys?;
         let mut builder = PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
@@ -1512,10 +1607,10 @@ impl Connection {
             // Nothing but ACKs would go out; leave those to emit_ack_only.
             return None;
         }
-        self.finalize(now, builder, path_id, PacketType::OneRtt)
+        self.finalize(now, builder, path_id, PacketType::OneRtt, out)
     }
 
-    fn emit_data(&mut self, now: SimTime) -> Option<Transmit> {
+    fn emit_data(&mut self, now: SimTime, out: &mut Vec<u8>) -> Option<(SocketAddr, SocketAddr)> {
         // Does anyone want to send?
         let has_dup = self.duplicate_queue.values().any(|q| !q.is_empty());
         let has_stream_data = self.send_streams.values().any(SendStream::wants_to_send);
@@ -1631,7 +1726,7 @@ impl Connection {
         if !builder.has_retransmittable() {
             return None;
         }
-        let transmit = self.finalize(now, builder, path_id, PacketType::OneRtt);
+        let transmit = self.finalize(now, builder, path_id, PacketType::OneRtt, out);
         // Record the decision only for packets that actually left, so the
         // scheduler-share statistic matches bytes on the wire.
         if transmit.is_some() && self.telemetry_enabled() {
@@ -1654,7 +1749,12 @@ impl Connection {
         transmit
     }
 
-    fn emit_ack_only(&mut self, now: SimTime, path_id: PathId) -> Option<Transmit> {
+    fn emit_ack_only(
+        &mut self,
+        now: SimTime,
+        path_id: PathId,
+        out: &mut Vec<u8>,
+    ) -> Option<(SocketAddr, SocketAddr)> {
         let packet_type = if self.session_keys.is_some() {
             PacketType::OneRtt
         } else {
@@ -1666,10 +1766,15 @@ impl Connection {
         if builder.is_empty() {
             return None;
         }
-        self.finalize(now, builder, path_id, packet_type)
+        self.finalize(now, builder, path_id, packet_type, out)
     }
 
-    fn emit_probe(&mut self, now: SimTime, path_id: PathId) -> Option<Transmit> {
+    fn emit_probe(
+        &mut self,
+        now: SimTime,
+        path_id: PathId,
+        out: &mut Vec<u8>,
+    ) -> Option<(SocketAddr, SocketAddr)> {
         {
             let path = self.paths.get_mut(&path_id)?;
             // One probe per backoff period; the probe's own RTO (or its
@@ -1681,7 +1786,7 @@ impl Connection {
         let mut builder = PacketBuilder::with_datagram_size(header, self.config.max_datagram_size);
         self.push_acks(now, &mut builder, path_id);
         builder.try_push(Frame::Ping);
-        self.finalize(now, builder, path_id, PacketType::OneRtt)
+        self.finalize(now, builder, path_id, PacketType::OneRtt, out)
     }
 
     fn path_views(&self) -> Vec<PathView> {
@@ -1696,6 +1801,67 @@ impl Connection {
                 usable: p.usable_for_data() && (self.handshake_complete || p.id == PathId::INITIAL),
             })
             .collect()
+    }
+}
+
+/// All per-stream operations for one stream, obtained from
+/// [`Connection::stream`].
+///
+/// Consolidates the historical `stream_write`/`stream_read`/
+/// `stream_finish`/`stream_is_finished`/`stream_fully_acked` method
+/// family; those methods still exist as thin shims over this handle.
+pub struct StreamHandle<'a> {
+    conn: &'a mut Connection,
+    id: StreamId,
+}
+
+impl StreamHandle<'_> {
+    /// The stream this handle operates on.
+    pub fn id(&self) -> StreamId {
+        self.id
+    }
+
+    /// Appends data to the stream's send buffer.
+    ///
+    /// # Panics
+    /// Panics if the stream is unknown (the historical `stream_write`
+    /// contract; open streams with [`Connection::open_stream`]).
+    pub fn write(&mut self, data: Bytes) -> Result<(), crate::stream::StreamError> {
+        self.conn
+            .send_streams
+            .get_mut(&self.id)
+            .expect("unknown stream")
+            .write(data)
+    }
+
+    /// Marks the stream finished at its current write offset.
+    ///
+    /// # Panics
+    /// Panics if the stream is unknown.
+    pub fn finish(&mut self) {
+        self.conn
+            .send_streams
+            .get_mut(&self.id)
+            .expect("unknown stream")
+            .finish();
+    }
+
+    /// Reads up to `max` in-order bytes from the stream.
+    pub fn read(&mut self, max: usize) -> Option<Bytes> {
+        let stream = self.conn.recv_streams.get_mut(&self.id)?;
+        let data = stream.read(max)?;
+        self.conn.flow.on_data_consumed(data.len() as u64);
+        Some(data)
+    }
+
+    /// True once the peer's FIN and all stream data have been read.
+    pub fn is_finished(&self) -> bool {
+        self.conn.stream_is_finished(self.id)
+    }
+
+    /// True once everything written (and the FIN) was acknowledged.
+    pub fn is_fully_acked(&self) -> bool {
+        self.conn.stream_fully_acked(self.id)
     }
 }
 

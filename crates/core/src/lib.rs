@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buffer;
 pub mod config;
 pub mod connection;
 pub mod flow;
@@ -53,8 +54,9 @@ pub mod rtt;
 pub mod scheduler;
 pub mod stream;
 
-pub use config::{Config, ConnStats, Event, Role, Transmit};
-pub use connection::{error_codes, Connection};
+pub use buffer::{BufferPool, PoolStats, TransmitQueue};
+pub use config::{Config, ConfigBuilder, ConfigError, ConnStats, Event, Role, Transmit};
+pub use connection::{error_codes, Connection, StreamHandle};
 pub use path::{Path, PathState};
 pub use qlog::{Qlog, QlogEvent};
 pub use scheduler::SchedulerKind;

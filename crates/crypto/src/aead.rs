@@ -68,10 +68,16 @@ impl Aead {
 
     fn keystream_xor(&self, nonce: &[u8; 12], data: &mut [u8]) {
         let mut rng = DetRng::new(stream_seed(&self.key, nonce, 0x5EA1));
-        let mut ks = vec![0u8; data.len()];
-        rng.fill_bytes(&mut ks);
-        for (d, k) in data.iter_mut().zip(ks) {
-            *d ^= k;
+        // Fixed-size stack buffer: 64 is a multiple of the RNG's 8-byte
+        // word, so chunking produces the same keystream as one big fill
+        // — and the hot path never touches the allocator.
+        let mut ks = [0u8; 64];
+        for chunk in data.chunks_mut(64) {
+            let ks = &mut ks[..chunk.len()];
+            rng.fill_bytes(ks);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= k;
+            }
         }
     }
 
@@ -87,11 +93,28 @@ impl Aead {
     /// Encrypts `plaintext`, authenticating it together with `aad`.
     /// Returns `ciphertext || tag`.
     pub fn seal(&self, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
-        let mut out = plaintext.to_vec();
-        self.keystream_xor(nonce, &mut out);
-        let tag = self.mac(nonce, aad, &out);
-        out.extend_from_slice(&tag);
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_SIZE);
+        self.seal_into(nonce, aad, plaintext, &mut out);
         out
+    }
+
+    /// Like [`Aead::seal`], but appends `ciphertext || tag` to `out` —
+    /// the batched egress path uses this to seal straight into a pooled
+    /// datagram buffer without intermediate allocation.
+    pub fn seal_into(&self, nonce: &[u8; 12], aad: &[u8], plaintext: &[u8], out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(plaintext);
+        let Some(ciphertext) = out.get_mut(start..) else {
+            return;
+        };
+        self.keystream_xor(nonce, ciphertext);
+        let tag = {
+            let Some(ciphertext) = out.get(start..) else {
+                return;
+            };
+            self.mac(nonce, aad, ciphertext)
+        };
+        out.extend_from_slice(&tag);
     }
 
     /// Verifies and decrypts `ciphertext || tag`. Returns the plaintext.

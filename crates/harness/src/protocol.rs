@@ -115,31 +115,32 @@ impl NetEndpoint for ProtoEndpoint {
 }
 
 fn quic_config(multipath: bool, overrides: &Overrides) -> QuicConfig {
-    let mut config = if multipath {
-        QuicConfig::multipath()
+    let mut builder = if multipath {
+        QuicConfig::builder().multipath()
     } else {
-        QuicConfig::single_path()
+        QuicConfig::builder().single_path()
     };
     if let Some(s) = overrides.scheduler {
-        config.scheduler = s;
+        builder = builder.scheduler(s);
     }
     if let Some(d) = overrides.duplicate_window_updates {
-        config.duplicate_window_updates = d;
+        builder = builder.duplicate_window_updates(d);
     }
     if let Some(p) = overrides.send_paths_frames {
-        config.send_paths_frames = p;
+        builder = builder.send_paths_frames(p);
     }
     if let Some(cc) = overrides.cc {
-        config.cc = cc;
+        builder = builder.cc(cc);
     }
     if let Some(w) = overrides.quic_recv_window {
-        config.conn_recv_window = w;
-        config.stream_recv_window = w;
+        builder = builder.recv_windows(w);
     }
     if let Some(r) = overrides.quic_ack_ranges {
-        config.max_ack_ranges = r;
+        builder = builder.max_ack_ranges(r);
     }
-    config
+    builder
+        .build()
+        .expect("experiment overrides form a valid configuration")
 }
 
 fn tcp_config(multipath: bool, overrides: &Overrides) -> TcpConfig {

@@ -10,7 +10,7 @@
 //! (`mpquic-netsim`) or by real UDP sockets (`mpquic-io`).
 
 use bytes::Bytes;
-use mpquic_core::{Connection, StreamId};
+use mpquic_core::{Connection, StreamId, Transmit, TransmitQueue};
 use mpquic_tcp::TcpStack;
 use mpquic_util::{Datagram, SimTime};
 use std::net::SocketAddr;
@@ -39,6 +39,28 @@ pub trait Transport {
     );
     /// Produces the next outgoing datagram.
     fn poll_transmit(&mut self, now: SimTime) -> Option<Datagram>;
+    /// Fills `queue` with as many outgoing datagrams as it accepts,
+    /// returning how many wire datagrams were produced.
+    ///
+    /// The default implementation loops [`Transport::poll_transmit`]
+    /// (one allocation per datagram, no coalescing); transports with a
+    /// native batched egress path override it.
+    fn poll_transmit_batch(&mut self, now: SimTime, queue: &mut TransmitQueue) -> usize {
+        let mut produced = 0;
+        while queue.has_capacity() {
+            let Some(datagram) = self.poll_transmit(now) else {
+                break;
+            };
+            queue.push(Transmit {
+                local: datagram.local,
+                remote: datagram.remote,
+                payload: datagram.payload,
+                segment_size: None,
+            });
+            produced += 1;
+        }
+        produced
+    }
     /// Earliest pending protocol timer.
     fn next_timeout(&self) -> Option<SimTime>;
     /// Fires due protocol timers.
@@ -115,6 +137,11 @@ impl Transport for QuicTransport {
             remote: t.remote,
             payload: t.payload,
         })
+    }
+
+    fn poll_transmit_batch(&mut self, now: SimTime, queue: &mut TransmitQueue) -> usize {
+        // Native batched egress: pool-backed buffers, GSO coalescing.
+        self.conn.poll_transmit_batch(now, queue)
     }
 
     fn next_timeout(&self) -> Option<SimTime> {
@@ -260,6 +287,9 @@ impl Transport for AnyTransport {
     }
     fn poll_transmit(&mut self, now: SimTime) -> Option<Datagram> {
         dispatch!(self, t => t.poll_transmit(now))
+    }
+    fn poll_transmit_batch(&mut self, now: SimTime, queue: &mut TransmitQueue) -> usize {
+        dispatch!(self, t => t.poll_transmit_batch(now, queue))
     }
     fn next_timeout(&self) -> Option<SimTime> {
         dispatch!(self, t => t.next_timeout())

@@ -82,10 +82,12 @@ fn run() -> Result<(), String> {
     };
 
     let config = if single_path {
-        Config::single_path()
+        Config::builder().single_path()
     } else {
-        Config::multipath()
-    };
+        Config::builder().multipath()
+    }
+    .build()
+    .map_err(|e| format!("config: {e}"))?;
 
     let mut driver =
         quic_client(config, &locals, remote, seed).map_err(|e| format!("bind: {e}"))?;
@@ -133,6 +135,8 @@ fn run() -> Result<(), String> {
         "mpq-client",
         driver.connection(),
         &driver.stats(),
+        &driver.socket_drops(),
+        driver.batch_stats(),
         elapsed,
         Some(&metrics.snapshot()),
     );

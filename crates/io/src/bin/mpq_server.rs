@@ -59,10 +59,12 @@ fn run() -> Result<(), String> {
     });
 
     let config = if single_path {
-        Config::single_path()
+        Config::builder().single_path()
     } else {
-        Config::multipath()
-    };
+        Config::builder().multipath()
+    }
+    .build()
+    .map_err(|e| format!("config: {e}"))?;
 
     let mut driver = quic_server(config, &listen, seed).map_err(|e| format!("bind: {e}"))?;
     // Streaming telemetry: the qlog is written incrementally and flushed
@@ -126,6 +128,8 @@ fn run() -> Result<(), String> {
         "mpq-server",
         driver.connection(),
         &driver.stats(),
+        &driver.socket_drops(),
+        driver.batch_stats(),
         elapsed,
         Some(&metrics.snapshot()),
     );

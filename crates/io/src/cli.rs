@@ -9,6 +9,7 @@ use std::net::SocketAddr;
 use std::time::Duration;
 
 use crate::driver::IoStats;
+use crate::socket::BatchStats;
 
 /// A parsed command line: flags with optional values, in order.
 #[derive(Debug, Default)]
@@ -135,12 +136,15 @@ pub fn install_telemetry(
 
 /// Prints the end-of-run report both binaries share: per-path byte
 /// counts and smoothed RTTs (with loss and scheduler share when a
-/// metrics snapshot is supplied), connection totals, and socket-level
-/// counters.
+/// metrics snapshot is supplied), connection totals, socket-level
+/// counters with per-socket send drops, and a datapath batching
+/// summary (datagrams per syscall, syscalls saved).
 pub fn print_report(
     label: &str,
     conn: &Connection,
     io: &IoStats,
+    socket_drops: &[(SocketAddr, u64)],
+    batch: &BatchStats,
     elapsed_secs: f64,
     metrics: Option<&MetricsSnapshot>,
 ) {
@@ -184,6 +188,24 @@ pub fn print_report(
         "sockets: {} datagrams out ({} dropped at socket), {} in, {} timer fires",
         io.datagrams_sent, io.send_drops, io.datagrams_received, io.timer_fires,
     );
+    for (local, drops) in socket_drops {
+        if *drops > 0 {
+            println!("        {local}: {drops} datagrams dropped (send buffer full)");
+        }
+    }
+    if batch.send_syscalls > 0 {
+        println!(
+            "batching: {} send syscalls ({:.2} datagrams/syscall mean, {} max, \
+             p99 {}), {} recv syscalls ({:.2} mean), {} syscalls saved",
+            batch.send_syscalls,
+            batch.send_batch_size.mean(),
+            batch.send_batch_size.max(),
+            batch.send_batch_size.quantile(0.99),
+            batch.recv_syscalls,
+            batch.recv_batch_size.mean(),
+            batch.syscalls_saved,
+        );
+    }
     if elapsed_secs > 0.0 {
         let goodput = stats.bytes_sent.max(stats.bytes_received) as f64 * 8.0 / elapsed_secs / 1e6;
         println!("elapsed: {elapsed_secs:.3} s ({goodput:.2} Mbit/s on the busier direction)");

@@ -6,10 +6,19 @@
 //! [`Transport`] implementation through the canonical sans-IO cycle:
 //!
 //! ```text
-//! ingress:  socket.recv  ─→ transport.handle_datagram(now, ...)
-//! timers:   next_timeout ─→ transport.on_timeout(now) when due
-//! egress:   transport.poll_transmit(now) ─→ socket.send (by local addr)
+//! ingress:  recvmmsg batch ─→ transport.handle_datagram(now, ...) × n
+//! timers:   next_timeout   ─→ transport.on_timeout(now) when due
+//! egress:   transport.poll_transmit_batch(now, queue)
+//!               ─→ sendmmsg per GSO train (by local addr)
 //! ```
+//!
+//! Both halves of the datapath are *batched*: egress drains the
+//! transport into a pool-backed [`TransmitQueue`] (coalescing same-path
+//! packets into GSO-shaped trains) and fans each train out with one
+//! syscall; ingress fills a [`RecvBatch`] with one syscall per socket.
+//! After warm-up the cycle performs no per-datagram heap allocation —
+//! buffers cycle through the queue's [`mpquic_core::BufferPool`] and
+//! the syscall arrays are reused (see DESIGN.md §11).
 //!
 //! The same cycle drives the discrete-event simulator
 //! (`mpquic_netsim::Simulation`); this module is its real-network twin, so
@@ -17,20 +26,28 @@
 //! lowest-RTT scheduler, per-path packet-number spaces, PATHS-frame
 //! handover — runs unchanged over the OS network stack.
 
-use mpquic_core::{Config, Connection};
+use mpquic_core::{Config, Connection, TransmitQueue};
 use mpquic_harness::{QuicTransport, Transport};
-use std::io;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 use crate::clock::Clock;
-use crate::socket::{RecvMeta, SocketRegistry, MAX_DATAGRAM};
+use crate::error::{Error, Result};
+use crate::socket::{BatchStats, RecvBatch, SocketRegistry};
 use crate::timer::Timer;
 
 /// Per-step caps so a flood on one side of the cycle cannot starve the
 /// other (or the timers) indefinitely.
 const MAX_RECV_PER_STEP: usize = 256;
 const MAX_SEND_PER_STEP: usize = 256;
+
+/// Datagrams per transmit batch (the egress queue's segment capacity)
+/// and per receive poll.
+const BATCH_SEGMENTS: usize = 64;
+
+/// Egress pool buffer pre-allocation: comfortably above any configured
+/// MTU, so pool buffers never grow after the first use.
+const SEND_BUF_CAPACITY: usize = 2048;
 
 /// Counters describing what the event loop did (socket-level view; the
 /// transport's own `ConnStats` counts the protocol-level view).
@@ -48,6 +65,12 @@ pub struct IoStats {
     pub send_drops: u64,
     /// Times a due protocol deadline was fired.
     pub timer_fires: u64,
+    /// Batched send syscalls issued.
+    pub send_syscalls: u64,
+    /// Batched receive syscalls that returned data.
+    pub recv_syscalls: u64,
+    /// Syscalls avoided versus a one-datagram-per-syscall loop.
+    pub syscalls_saved: u64,
 }
 
 /// Drives one sans-IO [`Transport`] over real UDP sockets.
@@ -57,7 +80,10 @@ pub struct Driver<T: Transport> {
     sockets: SocketRegistry,
     clock: Clock,
     timer: Timer,
-    buf: Vec<u8>,
+    /// Pool-backed egress queue, filled by `poll_transmit_batch`.
+    queue: TransmitQueue,
+    /// Reusable ingress batch, filled by `poll_recv_batch`.
+    recv: RecvBatch,
     stats: IoStats,
 }
 
@@ -72,7 +98,8 @@ impl<T: Transport> Driver<T> {
             sockets,
             clock: Clock::new(),
             timer: Timer::new(),
-            buf: vec![0u8; MAX_DATAGRAM],
+            queue: TransmitQueue::new(BATCH_SEGMENTS, SEND_BUF_CAPACITY),
+            recv: RecvBatch::new(BATCH_SEGMENTS),
             stats: IoStats::default(),
         }
     }
@@ -107,7 +134,21 @@ impl<T: Transport> Driver<T> {
     pub fn stats(&self) -> IoStats {
         let mut stats = self.stats;
         stats.send_drops = self.sockets.send_drops();
+        let batch = self.sockets.batch_stats();
+        stats.send_syscalls = batch.send_syscalls;
+        stats.recv_syscalls = batch.recv_syscalls;
+        stats.syscalls_saved = batch.syscalls_saved;
         stats
+    }
+
+    /// Datapath batching telemetry (datagrams-per-syscall histograms).
+    pub fn batch_stats(&self) -> &BatchStats {
+        self.sockets.batch_stats()
+    }
+
+    /// Send-buffer drops broken down by local socket, in bind order.
+    pub fn socket_drops(&self) -> Vec<(SocketAddr, u64)> {
+        self.sockets.send_drops_per_socket()
     }
 
     /// Runs one non-sleeping iteration of the event loop: fires due
@@ -115,7 +156,7 @@ impl<T: Transport> Driver<T> {
     /// egress to the sockets. Returns `true` if anything happened —
     /// callers sleep (see [`Timer::sleep_for`]) only when it returns
     /// `false`.
-    pub fn step(&mut self) -> io::Result<bool> {
+    pub fn step(&mut self) -> Result<bool> {
         let mut progressed = false;
 
         // 1. Protocol timers.
@@ -127,34 +168,60 @@ impl<T: Transport> Driver<T> {
         }
 
         // 2. Ingress first: ACKs open congestion window that egress below
-        //    can immediately use.
-        for _ in 0..MAX_RECV_PER_STEP {
-            let Some(RecvMeta { local, remote, len }) = self.sockets.poll_recv(&mut self.buf)?
-            else {
+        //    can immediately use. One syscall brings in a whole batch.
+        let mut received = 0;
+        while received < MAX_RECV_PER_STEP {
+            let got = self.sockets.poll_recv_batch(&mut self.recv)?;
+            if got == 0 {
                 break;
-            };
+            }
             let now = self.clock.now();
-            self.transport
-                .handle_datagram(now, local, remote, &self.buf[..len]);
-            self.stats.datagrams_received += 1;
-            self.stats.bytes_received += len as u64;
+            for (meta, payload) in self.recv.iter() {
+                self.transport
+                    .handle_datagram(now, meta.local, meta.remote, payload);
+                self.stats.datagrams_received += 1;
+                self.stats.bytes_received += meta.len as u64;
+            }
+            received += got;
             progressed = true;
         }
 
-        // 3. Egress: each datagram goes out the socket bound to the local
-        //    address the scheduler chose — that *is* the path selection.
-        for _ in 0..MAX_SEND_PER_STEP {
-            let Some(datagram) = self.transport.poll_transmit(self.clock.now()) else {
+        // 3. Egress: fill the pool-backed queue (coalescing same-path
+        //    packets into GSO trains), then fan each train out with one
+        //    batched syscall on the socket bound to its local address —
+        //    that *is* the path selection.
+        let mut sent = 0;
+        while sent < MAX_SEND_PER_STEP {
+            let produced = self
+                .transport
+                .poll_transmit_batch(self.clock.now(), &mut self.queue);
+            if self.queue.is_empty() {
                 break;
-            };
-            let sent =
-                self.sockets
-                    .send_from(datagram.local, datagram.remote, &datagram.payload)?;
-            if sent {
-                self.stats.datagrams_sent += 1;
-                self.stats.bytes_sent += datagram.payload.len() as u64;
             }
-            progressed = true;
+            while let Some(transmit) = self.queue.pop() {
+                let result = self.sockets.send_train(
+                    transmit.local,
+                    transmit.remote,
+                    &transmit.payload,
+                    transmit.segment_size,
+                );
+                let accepted = match &result {
+                    Ok(n) => *n,
+                    Err(_) => 0,
+                };
+                let bytes: usize = transmit.segments().take(accepted).map(<[u8]>::len).sum();
+                sent += transmit.segment_count();
+                // Recycle before surfacing any error: pool buffers must
+                // go back even on a failed send.
+                self.queue.recycle(transmit.payload);
+                result?;
+                self.stats.datagrams_sent += accepted as u64;
+                self.stats.bytes_sent += bytes as u64;
+                progressed = true;
+            }
+            if produced == 0 {
+                break;
+            }
         }
 
         Ok(progressed)
@@ -168,7 +235,7 @@ impl<T: Transport> Driver<T> {
         &mut self,
         timeout: Duration,
         mut done: impl FnMut(&mut T) -> bool,
-    ) -> io::Result<bool> {
+    ) -> Result<bool> {
         let deadline = Instant::now() + timeout;
         loop {
             if done(&mut self.transport) {
@@ -191,7 +258,7 @@ impl<T: Transport> Driver<T> {
     /// Pumps the loop for (at least) `duration` of wall time — useful to
     /// flush final packets (a CONNECTION_CLOSE, the last ACKs) before
     /// dropping the driver.
-    pub fn run_for(&mut self, duration: Duration) -> io::Result<()> {
+    pub fn run_for(&mut self, duration: Duration) -> Result<()> {
         self.run_until(duration, |_| false).map(|_| ())
     }
 }
@@ -218,8 +285,8 @@ pub fn quic_client(
     local_addrs: &[SocketAddr],
     remote: SocketAddr,
     seed: u64,
-) -> io::Result<Driver<QuicTransport>> {
-    let sockets = SocketRegistry::bind(local_addrs)?;
+) -> Result<Driver<QuicTransport>> {
+    let sockets = SocketRegistry::bind(local_addrs).map_err(Error::Io)?;
     let bound = sockets.local_addrs();
     let conn = Connection::client(config, bound, 0, remote, seed);
     Ok(Driver::new(QuicTransport::client(conn), sockets))
@@ -233,8 +300,8 @@ pub fn quic_server(
     config: Config,
     local_addrs: &[SocketAddr],
     seed: u64,
-) -> io::Result<Driver<QuicTransport>> {
-    let sockets = SocketRegistry::bind(local_addrs)?;
+) -> Result<Driver<QuicTransport>> {
+    let sockets = SocketRegistry::bind(local_addrs).map_err(Error::Io)?;
     let bound = sockets.local_addrs();
     let conn = Connection::server(config, bound, seed);
     Ok(Driver::new(QuicTransport::server(conn), sockets))

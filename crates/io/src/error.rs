@@ -1,0 +1,123 @@
+//! The runtime's single error surface.
+//!
+//! Before this module, the io crate leaked three error vocabularies at
+//! its callers: raw `std::io::Error` from the sockets, stringly
+//! `InvalidData` errors from the transfer protocol, and `TimedOut` from
+//! the blocking stream. [`Error`] folds them into one enum with four
+//! meaningful cases, so a binary (or a test) can match on *what went
+//! wrong* instead of parsing error strings:
+//!
+//! * [`Error::Io`] — the OS refused a socket operation;
+//! * [`Error::Protocol`] — the peer (or the bytes on the stream)
+//!   violated a protocol rule;
+//! * [`Error::Timeout`] — a blocking operation exceeded its deadline;
+//! * [`Error::Auth`] — an end-to-end integrity or authentication check
+//!   failed (e.g. the transfer checksum).
+//!
+//! `Error` converts to `std::io::Error` (and from it), so the
+//! `std::io::Read`/`Write` impls on [`crate::BlockingStream`] keep
+//! their standard signatures while everything underneath speaks the
+//! typed enum.
+
+use std::fmt;
+use std::io;
+
+/// Shorthand for results across the io crate's public surface.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Any failure the real-socket runtime can surface.
+#[derive(Debug)]
+pub enum Error {
+    /// An OS-level socket or file failure.
+    Io(io::Error),
+    /// A protocol violation: malformed framing, an illegal value, or a
+    /// peer-announced error code.
+    Protocol {
+        /// Numeric error code (application- or transport-defined).
+        code: u64,
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A blocking operation did not complete within its deadline.
+    Timeout {
+        /// The operation that timed out (e.g. `"handshake"`, `"read"`).
+        op: &'static str,
+    },
+    /// An end-to-end integrity or authentication check failed.
+    Auth(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Protocol { code, reason } => {
+                write!(f, "protocol error {code:#x}: {reason}")
+            }
+            Error::Timeout { op } => write!(f, "{op} timed out"),
+            Error::Auth(reason) => write!(f, "authentication failure: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+impl From<Error> for io::Error {
+    fn from(e: Error) -> io::Error {
+        match e {
+            Error::Io(e) => e,
+            Error::Timeout { op } => {
+                io::Error::new(io::ErrorKind::TimedOut, format!("{op} timed out"))
+            }
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_specific() {
+        let e = Error::Protocol {
+            code: 0x2,
+            reason: "bad transfer magic".into(),
+        };
+        assert!(e.to_string().contains("0x2"));
+        assert!(e.to_string().contains("bad transfer magic"));
+        assert_eq!(
+            Error::Timeout { op: "handshake" }.to_string(),
+            "handshake timed out"
+        );
+    }
+
+    #[test]
+    fn io_round_trip_preserves_kind() {
+        let original = io::Error::new(io::ErrorKind::AddrInUse, "busy");
+        let wrapped = Error::from(original);
+        let back = io::Error::from(wrapped);
+        assert_eq!(back.kind(), io::ErrorKind::AddrInUse);
+    }
+
+    #[test]
+    fn timeout_maps_to_timed_out_kind() {
+        let back = io::Error::from(Error::Timeout { op: "read" });
+        assert_eq!(back.kind(), io::ErrorKind::TimedOut);
+        let auth = io::Error::from(Error::Auth("checksum mismatch".into()));
+        assert_eq!(auth.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -12,7 +12,9 @@
 //! * [`socket::SocketRegistry`] — one non-blocking UDP socket per local
 //!   interface address; outgoing datagrams are routed to the socket bound
 //!   to their source address, which is how the scheduler's path choice
-//!   reaches the OS.
+//!   reaches the OS. Send and receive are batched (`sendmmsg`/`recvmmsg`
+//!   on Linux, see [`mmsg`]), and GSO-shaped segment trains from the
+//!   core's pool-backed egress fan out in one syscall.
 //! * [`clock::Clock`] — maps the monotonic wall clock onto the
 //!   `SimTime` time line the protocol speaks.
 //! * [`timer::Timer`] — deadline arithmetic: sleep exactly until the
@@ -35,7 +37,7 @@
 //! // Two local interfaces (here: two loopback ports) — the path manager
 //! // opens the second path automatically after the handshake.
 //! let driver = quic_client(
-//!     Config::multipath(),
+//!     Config::builder().multipath().build().unwrap(),
 //!     &["127.0.0.1:0".parse().unwrap(), "127.0.0.1:0".parse().unwrap()],
 //!     "127.0.0.1:4433".parse().unwrap(),
 //!     7,
@@ -46,12 +48,16 @@
 //! stream.finish().unwrap();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the batched datapath's `sendmmsg`/`recvmmsg`
+// FFI lives behind one scoped `#[allow(unsafe_code)]` in [`mmsg`].
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cli;
 pub mod clock;
 pub mod driver;
+pub mod error;
+pub mod mmsg;
 pub mod socket;
 pub mod stream;
 pub mod timer;
@@ -59,7 +65,8 @@ pub mod transfer;
 
 pub use clock::Clock;
 pub use driver::{quic_client, quic_server, Driver, IoStats};
-pub use socket::SocketRegistry;
+pub use error::Error;
+pub use socket::{BatchStats, RecvBatch, SocketRegistry};
 pub use stream::BlockingStream;
 pub use timer::Timer;
 

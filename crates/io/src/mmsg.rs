@@ -1,0 +1,646 @@
+//! Batched UDP send/receive: `sendmmsg`/`recvmmsg` on Linux, a portable
+//! one-at-a-time fallback elsewhere.
+//!
+//! The syscall is the unit of datapath cost: at loopback rates the
+//! kernel crossing dominates per-datagram work, so handing the kernel
+//! *vectors* of datagrams is what turns the pool-backed egress
+//! ([`mpquic_core::Connection::poll_transmit_batch`]) into wire
+//! throughput. This module is the platform seam:
+//!
+//! * [`send_segments`] fans one GSO-shaped segment train (a payload
+//!   split at `segment_size` boundaries, see
+//!   [`mpquic_core::Transmit::segment_size`]) out to the kernel. On
+//!   Linux it first tries real UDP GSO (`UDP_SEGMENT`): one `sendmsg`
+//!   carries the whole train and the kernel segments it *once*, below
+//!   the per-datagram send path — this is where most of the speedup
+//!   lives, since on loopback the per-datagram kernel work dominates
+//!   the bare syscall cost. Kernels or paths without GSO fall back to
+//!   one `sendmmsg` per train, and non-Linux platforms to one
+//!   `send_to` per segment.
+//! * [`recv_batch`] fills many caller buffers per call — one `recvmmsg`
+//!   on Linux, repeated `recv_from` elsewhere.
+//!
+//! Both return `(datagrams, syscalls)` so the caller's telemetry
+//! (batch-size histogram, syscalls saved) reflects what actually
+//! happened on the running platform rather than an assumed one.
+//!
+//! The standard library exposes neither syscall and the workspace is
+//! dependency-free, so the Linux half carries its own `extern "C"`
+//! declarations and `#[repr(C)]` layouts (matching `struct msghdr`,
+//! `struct mmsghdr`, `struct iovec` and the `sockaddr` family on glibc
+//! and musl). All unsafe code in the crate lives behind this module's
+//! scoped `#[allow(unsafe_code)]`.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+
+/// Most datagrams a single batched syscall will carry (the syscall
+/// arrays in [`MmsgScratch`] are sized to this; `IOV_MAX` is far
+/// larger).
+pub const MAX_BATCH: usize = 64;
+
+/// True when the running platform batches natively (one syscall per
+/// batch) rather than falling back to one syscall per datagram.
+pub const NATIVE_BATCH: bool = cfg!(target_os = "linux");
+
+/// Reusable syscall-argument arrays. One lives in the
+/// [`crate::socket::SocketRegistry`]; after the first few calls its
+/// vectors reach their high-water capacity and the datapath stops
+/// allocating.
+#[derive(Debug, Default)]
+pub struct MmsgScratch {
+    inner: imp::Scratch,
+}
+
+/// Sends the segments of `payload` (chunks of `segment_size` bytes; the
+/// final one may be short) from `socket` to `remote`.
+///
+/// Returns `(datagrams_sent, syscalls_used)`. A partial send (the
+/// kernel accepted only a prefix) returns the short count; the caller
+/// retries the remainder. An immediately-full socket buffer surfaces as
+/// `WouldBlock`.
+pub fn send_segments(
+    socket: &UdpSocket,
+    remote: &SocketAddr,
+    payload: &[u8],
+    segment_size: usize,
+    scratch: &mut MmsgScratch,
+) -> io::Result<(usize, usize)> {
+    if payload.is_empty() {
+        return Ok((0, 0));
+    }
+    let segment_size = if segment_size == 0 {
+        payload.len()
+    } else {
+        segment_size
+    };
+    imp::send_segments(socket, remote, payload, segment_size, &mut scratch.inner)
+}
+
+/// Receives up to `bufs.len()` datagrams from `socket`, one per buffer
+/// (each buffer must be pre-sized to the largest acceptable datagram;
+/// its length is not changed). Appends `(remote, len)` to `out` for
+/// each datagram, in buffer order.
+///
+/// Returns `(datagrams_received, syscalls_used)`; an empty socket
+/// surfaces as `WouldBlock`.
+pub fn recv_batch(
+    socket: &UdpSocket,
+    bufs: &mut [Vec<u8>],
+    out: &mut Vec<(SocketAddr, usize)>,
+    scratch: &mut MmsgScratch,
+) -> io::Result<(usize, usize)> {
+    if bufs.is_empty() {
+        return Ok((0, 0));
+    }
+    imp::recv_batch(socket, bufs, out, &mut scratch.inner)
+}
+
+/// Linux: real `sendmmsg`/`recvmmsg` through hand-declared FFI.
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod imp {
+    use super::{SocketAddr, UdpSocket, MAX_BATCH};
+    use std::io;
+    use std::net::{Ipv6Addr, SocketAddrV6};
+    use std::os::fd::AsRawFd;
+
+    const AF_INET: u16 = 2;
+    const AF_INET6: u16 = 10;
+
+    /// `SOL_UDP` / `UDP_SEGMENT`: socket-level UDP GSO (Linux ≥ 4.18).
+    const SOL_UDP: i32 = 17;
+    const UDP_SEGMENT: i32 = 103;
+    /// The kernel refuses GSO trains beyond these bounds.
+    const UDP_MAX_SEGMENTS: usize = 64;
+    const MAX_GSO_BYTES: usize = 65_507;
+
+    /// `struct iovec`.
+    #[repr(C)]
+    #[derive(Debug)]
+    pub(super) struct IoVec {
+        base: *mut std::ffi::c_void,
+        len: usize,
+    }
+
+    /// `struct msghdr` (glibc/musl layout; the compiler inserts the
+    /// same padding after `namelen` and `flags` that the C definition
+    /// carries on 64-bit targets).
+    #[repr(C)]
+    #[derive(Debug)]
+    pub(super) struct MsgHdr {
+        name: *mut std::ffi::c_void,
+        namelen: u32,
+        iov: *mut IoVec,
+        iovlen: usize,
+        control: *mut std::ffi::c_void,
+        controllen: usize,
+        flags: i32,
+    }
+
+    /// `struct mmsghdr`.
+    #[repr(C)]
+    #[derive(Debug)]
+    pub(super) struct MMsgHdr {
+        hdr: MsgHdr,
+        len: u32,
+    }
+
+    /// `struct sockaddr_storage`: opaque bytes, 8-byte aligned, large
+    /// enough for any address family.
+    #[repr(C, align(8))]
+    #[derive(Debug, Clone, Copy)]
+    pub(super) struct SockaddrStorage {
+        data: [u8; 128],
+    }
+
+    impl Default for SockaddrStorage {
+        fn default() -> SockaddrStorage {
+            SockaddrStorage { data: [0; 128] }
+        }
+    }
+
+    extern "C" {
+        fn sendmmsg(sockfd: i32, msgvec: *mut MMsgHdr, vlen: u32, flags: i32) -> i32;
+        fn recvmmsg(
+            sockfd: i32,
+            msgvec: *mut MMsgHdr,
+            vlen: u32,
+            flags: i32,
+            timeout: *mut std::ffi::c_void,
+        ) -> i32;
+        fn sendmsg(sockfd: i32, msg: *const MsgHdr, flags: i32) -> isize;
+        fn setsockopt(
+            sockfd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const std::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+
+    #[derive(Debug, Default)]
+    pub(super) struct Scratch {
+        hdrs: Vec<MMsgHdr>,
+        iovs: Vec<IoVec>,
+        addrs: Vec<SockaddrStorage>,
+        /// `true` once `UDP_SEGMENT` proved unavailable; sticks for the
+        /// scratch's lifetime so every later train goes via `sendmmsg`.
+        gso_unsupported: bool,
+        /// Last `UDP_SEGMENT` value set per socket fd (0 = off), so the
+        /// `setsockopt` is only re-issued when the segment size changes.
+        gso_set: Vec<(i32, usize)>,
+    }
+
+    /// Sets `UDP_SEGMENT` on `fd` to `seg` (0 disables) if it is not
+    /// already at that value. Returns `false` when the kernel rejects
+    /// the option (no UDP GSO support).
+    fn ensure_gso(fd: i32, seg: usize, s: &mut Scratch) -> bool {
+        let cached = s
+            .gso_set
+            .iter()
+            .find(|(cached_fd, _)| *cached_fd == fd)
+            .map(|(_, value)| *value);
+        if cached == Some(seg) || (cached.is_none() && seg == 0) {
+            return true;
+        }
+        let value = seg as i32;
+        // SAFETY: passes a valid pointer to a live i32 and its size.
+        let ret = unsafe {
+            setsockopt(
+                fd,
+                SOL_UDP,
+                UDP_SEGMENT,
+                &value as *const i32 as *const std::ffi::c_void,
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        if ret < 0 {
+            return false;
+        }
+        match s.gso_set.iter_mut().find(|(cached_fd, _)| *cached_fd == fd) {
+            Some(slot) => slot.1 = seg,
+            None => s.gso_set.push((fd, seg)),
+        }
+        true
+    }
+
+    /// One GSO send: the whole train in a single `sendmsg`, segmented
+    /// once inside the kernel. `Ok(None)` means GSO is unusable here
+    /// and the caller should fall back to `sendmmsg`.
+    fn send_gso(
+        socket: &UdpSocket,
+        remote: &SocketAddr,
+        payload: &[u8],
+        segment_size: usize,
+        segments: usize,
+        s: &mut Scratch,
+    ) -> io::Result<Option<(usize, usize)>> {
+        let fd = socket.as_raw_fd();
+        if !ensure_gso(fd, segment_size, s) {
+            s.gso_unsupported = true;
+            return Ok(None);
+        }
+        let mut addr = SockaddrStorage::default();
+        let namelen = encode_sockaddr(remote, &mut addr);
+        let mut iov = IoVec {
+            base: payload.as_ptr() as *mut std::ffi::c_void,
+            len: payload.len(),
+        };
+        let hdr = MsgHdr {
+            name: &mut addr as *mut SockaddrStorage as *mut std::ffi::c_void,
+            namelen,
+            iov: &mut iov as *mut IoVec,
+            iovlen: 1,
+            control: std::ptr::null_mut(),
+            controllen: 0,
+            flags: 0,
+        };
+        // SAFETY: `addr`, `iov` and `payload` all outlive the call.
+        let ret = unsafe { sendmsg(fd, &hdr, 0) };
+        if ret >= 0 {
+            // UDP sends are atomic: success means the whole train went.
+            return Ok(Some((segments, 1)));
+        }
+        let e = io::Error::last_os_error();
+        match e.raw_os_error() {
+            // EINVAL/EIO/EMSGSIZE/EOPNOTSUPP: this socket or device
+            // cannot GSO. Turn the option back off and let the caller
+            // use the sendmmsg path from now on.
+            Some(5) | Some(22) | Some(90) | Some(95) => {
+                s.gso_unsupported = true;
+                let _ = ensure_gso(fd, 0, s);
+                Ok(None)
+            }
+            _ => Err(e),
+        }
+    }
+
+    // SAFETY: the raw pointers inside the scratch arrays point into the
+    // scratch itself or into a caller's payload, and only within one
+    // `send_segments`/`recv_batch` call — every call clears and rebuilds
+    // them before the syscall reads them. Between calls they are dead
+    // values, so moving the scratch to another thread aliases nothing.
+    unsafe impl Send for Scratch {}
+
+    /// Writes `addr` into `out` in kernel wire layout; returns the
+    /// `sockaddr` length to pass as `msg_namelen`.
+    fn encode_sockaddr(addr: &SocketAddr, out: &mut SockaddrStorage) -> u32 {
+        out.data = [0; 128];
+        match addr {
+            SocketAddr::V4(v4) => {
+                // sockaddr_in: family, port (BE), addr (BE), zero pad.
+                let family = AF_INET.to_ne_bytes();
+                let port = v4.port().to_be_bytes();
+                let ip = v4.ip().octets();
+                let src = family.iter().chain(port.iter()).chain(ip.iter());
+                for (dst, byte) in out.data.iter_mut().zip(src) {
+                    *dst = *byte;
+                }
+                16
+            }
+            SocketAddr::V6(v6) => {
+                // sockaddr_in6: family, port (BE), flowinfo, addr, scope.
+                let family = AF_INET6.to_ne_bytes();
+                let port = v6.port().to_be_bytes();
+                let flow = v6.flowinfo().to_be_bytes();
+                let ip = v6.ip().octets();
+                let scope = v6.scope_id().to_ne_bytes();
+                let src = family
+                    .iter()
+                    .chain(port.iter())
+                    .chain(flow.iter())
+                    .chain(ip.iter())
+                    .chain(scope.iter());
+                for (dst, byte) in out.data.iter_mut().zip(src) {
+                    *dst = *byte;
+                }
+                28
+            }
+        }
+    }
+
+    /// Parses a kernel-written `sockaddr` back into a `SocketAddr`.
+    fn decode_sockaddr(storage: &SockaddrStorage) -> Option<SocketAddr> {
+        let mut it = storage.data.iter().copied();
+        let family = u16::from_ne_bytes([it.next()?, it.next()?]);
+        match family {
+            AF_INET => {
+                let port = u16::from_be_bytes([it.next()?, it.next()?]);
+                let ip = [it.next()?, it.next()?, it.next()?, it.next()?];
+                Some(SocketAddr::from((ip, port)))
+            }
+            AF_INET6 => {
+                let port = u16::from_be_bytes([it.next()?, it.next()?]);
+                let flow = u32::from_be_bytes([it.next()?, it.next()?, it.next()?, it.next()?]);
+                let mut ip = [0u8; 16];
+                for slot in ip.iter_mut() {
+                    *slot = it.next()?;
+                }
+                let scope = u32::from_ne_bytes([it.next()?, it.next()?, it.next()?, it.next()?]);
+                Some(SocketAddr::V6(SocketAddrV6::new(
+                    Ipv6Addr::from(ip),
+                    port,
+                    flow,
+                    scope,
+                )))
+            }
+            _ => None,
+        }
+    }
+
+    pub(super) fn send_segments(
+        socket: &UdpSocket,
+        remote: &SocketAddr,
+        payload: &[u8],
+        segment_size: usize,
+        s: &mut Scratch,
+    ) -> io::Result<(usize, usize)> {
+        let segments = payload.len().div_ceil(segment_size);
+        if segments > 1
+            && !s.gso_unsupported
+            && segments <= UDP_MAX_SEGMENTS
+            && payload.len() <= MAX_GSO_BYTES
+        {
+            if let Some(result) = send_gso(socket, remote, payload, segment_size, segments, s)? {
+                return Ok(result);
+            }
+        }
+        // sendmmsg fallback (also the single-datagram path). If this
+        // socket previously carried a GSO train, switch the option off
+        // so the kernel does not re-segment these exact-sized chunks.
+        if !ensure_gso(socket.as_raw_fd(), 0, s) {
+            s.gso_unsupported = true;
+        }
+        s.addrs.clear();
+        s.addrs.push(SockaddrStorage::default());
+        let namelen = match s.addrs.first_mut() {
+            Some(slot) => encode_sockaddr(remote, slot),
+            None => 0,
+        };
+        // Phase 1: one iovec per segment (pointers into `payload`).
+        s.iovs.clear();
+        for chunk in payload.chunks(segment_size).take(MAX_BATCH) {
+            s.iovs.push(IoVec {
+                base: chunk.as_ptr() as *mut std::ffi::c_void,
+                len: chunk.len(),
+            });
+        }
+        // Phase 2: headers, after the iovec vector stopped moving.
+        let count = s.iovs.len();
+        let name = s
+            .addrs
+            .first_mut()
+            .map(|slot| slot as *mut SockaddrStorage as *mut std::ffi::c_void)
+            .unwrap_or(std::ptr::null_mut());
+        s.hdrs.clear();
+        for iov in s.iovs.iter_mut() {
+            s.hdrs.push(MMsgHdr {
+                hdr: MsgHdr {
+                    name,
+                    namelen,
+                    iov: iov as *mut IoVec,
+                    iovlen: 1,
+                    control: std::ptr::null_mut(),
+                    controllen: 0,
+                    flags: 0,
+                },
+                len: 0,
+            });
+        }
+        // SAFETY: every pointer in `hdrs` refers into `s` or `payload`,
+        // both live across the call; `count` matches the array length.
+        let ret = unsafe { sendmmsg(socket.as_raw_fd(), s.hdrs.as_mut_ptr(), count as u32, 0) };
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok((ret as usize, 1))
+        }
+    }
+
+    pub(super) fn recv_batch(
+        socket: &UdpSocket,
+        bufs: &mut [Vec<u8>],
+        out: &mut Vec<(SocketAddr, usize)>,
+        s: &mut Scratch,
+    ) -> io::Result<(usize, usize)> {
+        let count = bufs.len().min(MAX_BATCH);
+        s.addrs.clear();
+        s.addrs.resize(count, SockaddrStorage::default());
+        s.iovs.clear();
+        for buf in bufs.iter_mut().take(count) {
+            s.iovs.push(IoVec {
+                base: buf.as_mut_ptr() as *mut std::ffi::c_void,
+                len: buf.len(),
+            });
+        }
+        s.hdrs.clear();
+        for (addr, iov) in s.addrs.iter_mut().zip(s.iovs.iter_mut()) {
+            s.hdrs.push(MMsgHdr {
+                hdr: MsgHdr {
+                    name: addr as *mut SockaddrStorage as *mut std::ffi::c_void,
+                    namelen: 128,
+                    iov: iov as *mut IoVec,
+                    iovlen: 1,
+                    control: std::ptr::null_mut(),
+                    controllen: 0,
+                    flags: 0,
+                },
+                len: 0,
+            });
+        }
+        // SAFETY: as in `send_segments`; the null timeout means "do not
+        // wait" is governed by the socket's non-blocking mode.
+        let ret = unsafe {
+            recvmmsg(
+                socket.as_raw_fd(),
+                s.hdrs.as_mut_ptr(),
+                count as u32,
+                0,
+                std::ptr::null_mut(),
+            )
+        };
+        if ret < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let received = ret as usize;
+        for (hdr, addr) in s.hdrs.iter().zip(s.addrs.iter()).take(received) {
+            // An undecodable source address (never seen for UDP in
+            // practice) degrades to the unspecified address; the
+            // transport discards unauthenticated datagrams anyway.
+            let remote =
+                decode_sockaddr(addr).unwrap_or_else(|| SocketAddr::from(([0, 0, 0, 0], 0)));
+            out.push((remote, hdr.len as usize));
+        }
+        Ok((received, 1))
+    }
+}
+
+/// Portable fallback: the same contract, one syscall per datagram.
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::{SocketAddr, UdpSocket, MAX_BATCH};
+    use std::io;
+
+    #[derive(Debug, Default)]
+    pub(super) struct Scratch;
+
+    pub(super) fn send_segments(
+        socket: &UdpSocket,
+        remote: &SocketAddr,
+        payload: &[u8],
+        segment_size: usize,
+        _s: &mut Scratch,
+    ) -> io::Result<(usize, usize)> {
+        let mut sent = 0;
+        for chunk in payload.chunks(segment_size).take(MAX_BATCH) {
+            match socket.send_to(chunk, *remote) {
+                Ok(_) => sent += 1,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => return Ok((sent, sent.max(1))),
+                Err(e) if sent == 0 => return Err(e),
+                // Partial train: report what went out; the caller
+                // retries the rest.
+                Err(_) => break,
+            }
+        }
+        Ok((sent, sent.max(1)))
+    }
+
+    pub(super) fn recv_batch(
+        socket: &UdpSocket,
+        bufs: &mut [Vec<u8>],
+        out: &mut Vec<(SocketAddr, usize)>,
+        _s: &mut Scratch,
+    ) -> io::Result<(usize, usize)> {
+        let mut received = 0;
+        for buf in bufs.iter_mut().take(MAX_BATCH) {
+            match socket.recv_from(buf) {
+                Ok((len, remote)) => {
+                    out.push((remote, len));
+                    received += 1;
+                }
+                Err(e) if received == 0 => return Err(e),
+                Err(_) => break,
+            }
+        }
+        Ok((received, received.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (UdpSocket, UdpSocket, SocketAddr) {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let b_addr = b.local_addr().unwrap();
+        (a, b, b_addr)
+    }
+
+    #[test]
+    fn segment_train_round_trips() {
+        let (a, b, b_addr) = pair();
+        let mut scratch = MmsgScratch::default();
+
+        // 3 full segments + 1 short one.
+        let payload: Vec<u8> = (0..350).map(|i| i as u8).collect();
+        let (sent, syscalls) = send_segments(&a, &b_addr, &payload, 100, &mut scratch).unwrap();
+        assert_eq!(sent, 4);
+        assert!(syscalls >= 1);
+        if NATIVE_BATCH {
+            assert_eq!(syscalls, 1, "Linux sends the train in one syscall");
+        }
+
+        let mut bufs: Vec<Vec<u8>> = (0..8).map(|_| vec![0u8; 2048]).collect();
+        let mut metas = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        let mut got = 0;
+        while got < 4 && std::time::Instant::now() < deadline {
+            match recv_batch(&b, &mut bufs[got..], &mut metas, &mut scratch) {
+                Ok((k, _)) => got += k,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_micros(200))
+                }
+                Err(e) => panic!("recv: {e}"),
+            }
+        }
+        assert_eq!(got, 4, "all four segments arrive");
+        let lens: Vec<usize> = metas.iter().map(|(_, len)| *len).collect();
+        assert_eq!(lens, [100, 100, 100, 50]);
+        let a_addr = a.local_addr().unwrap();
+        for (remote, _) in &metas {
+            assert_eq!(*remote, a_addr, "source address survives the batch path");
+        }
+        // Byte-for-byte reassembly across the buffers.
+        let mut rejoined = Vec::new();
+        for (buf, (_, len)) in bufs.iter().zip(metas.iter()) {
+            rejoined.extend_from_slice(&buf[..*len]);
+        }
+        assert_eq!(rejoined, payload);
+    }
+
+    #[test]
+    fn empty_socket_reports_would_block() {
+        let (_a, b, _b_addr) = pair();
+        let mut scratch = MmsgScratch::default();
+        let mut bufs: Vec<Vec<u8>> = vec![vec![0u8; 128]];
+        let mut metas = Vec::new();
+        let err = recv_batch(&b, &mut bufs, &mut metas, &mut scratch).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn zero_segment_size_means_one_datagram() {
+        let (a, b, b_addr) = pair();
+        let mut scratch = MmsgScratch::default();
+        let (sent, _) = send_segments(&a, &b_addr, b"hello", 0, &mut scratch).unwrap();
+        assert_eq!(sent, 1);
+        let mut bufs: Vec<Vec<u8>> = vec![vec![0u8; 128]];
+        let mut metas = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            match recv_batch(&b, &mut bufs, &mut metas, &mut scratch) {
+                Ok((1, _)) => break,
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    assert!(std::time::Instant::now() < deadline, "datagram arrives");
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                Err(e) => panic!("recv: {e}"),
+            }
+        }
+        assert_eq!(metas[0].1, 5);
+        assert_eq!(&bufs[0][..5], b"hello");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn ipv6_addresses_round_trip() {
+        let a = UdpSocket::bind("[::1]:0").unwrap();
+        let b = UdpSocket::bind("[::1]:0").unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let b_addr = b.local_addr().unwrap();
+        let mut scratch = MmsgScratch::default();
+        let (sent, _) = send_segments(&a, &b_addr, b"v6", 0, &mut scratch).unwrap();
+        assert_eq!(sent, 1);
+        let mut bufs: Vec<Vec<u8>> = vec![vec![0u8; 128]];
+        let mut metas = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            match recv_batch(&b, &mut bufs, &mut metas, &mut scratch) {
+                Ok((1, _)) => break,
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    assert!(std::time::Instant::now() < deadline, "datagram arrives");
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                Err(e) => panic!("recv: {e}"),
+            }
+        }
+        assert_eq!(metas[0].0, a.local_addr().unwrap());
+    }
+}

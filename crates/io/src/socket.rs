@@ -1,26 +1,41 @@
-//! The socket registry: one non-blocking UDP socket per local address.
+//! The socket registry: one non-blocking UDP socket per local address,
+//! with a batched datapath.
 //!
 //! A multipath endpoint is multihomed by definition — the client in the
 //! paper's Fig. 2 owns a WiFi and an LTE interface. The registry binds one
 //! `std::net::UdpSocket` per local address, keeps them all in non-blocking
-//! mode, and routes each outgoing [`mpquic_util::Datagram`] to the socket
-//! bound to the datagram's source address (that is how a `Transmit`
-//! selects its path at the OS level).
+//! mode, and routes each outgoing datagram to the socket bound to its
+//! source address (that is how a `Transmit` selects its path at the OS
+//! level).
 //!
-//! Receive is poll-based: [`SocketRegistry::poll_recv`] round-robins over
-//! the sockets so a busy path cannot starve a quiet one. The event loop in
-//! [`crate::driver`] owns the cadence (it sleeps until the next protocol
-//! deadline between polls).
+//! The hot paths are *batched* (see [`crate::mmsg`]): [`send_train`]
+//! fans a GSO-shaped segment train out in one `sendmmsg` call and
+//! [`poll_recv_batch`] fills a [`RecvBatch`] with one `recvmmsg` call
+//! per socket, round-robining so a busy path cannot starve a quiet one.
+//! Per-batch telemetry ([`BatchStats`]) records the datagrams-per-
+//! syscall histogram and the syscalls saved versus a one-at-a-time
+//! loop. The one-at-a-time [`SocketRegistry::send_from`] /
+//! [`SocketRegistry::poll_recv`] remain as thin shims.
+//!
+//! Send-buffer drops are counted **per socket** so a report can show
+//! *which* interface was overwhelmed, not just that one was.
+//!
+//! [`send_train`]: SocketRegistry::send_train
+//! [`poll_recv_batch`]: SocketRegistry::poll_recv_batch
 
+use mpquic_telemetry::LogHistogram;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
+
+use crate::mmsg::{self, MmsgScratch};
 
 /// Largest datagram the registry can receive (UDP's theoretical maximum;
 /// the connection itself never sends more than its configured MTU).
 pub const MAX_DATAGRAM: usize = 65_535;
 
 /// How many times a send that hit a full socket buffer is retried before
-/// the datagram is treated as dropped (loss recovery retransmits it).
+/// the remaining datagrams are treated as dropped (loss recovery
+/// retransmits them).
 const SEND_RETRIES: u32 = 3;
 
 /// One received datagram's addressing, paired with a caller buffer.
@@ -35,14 +50,88 @@ pub struct RecvMeta {
     pub len: usize,
 }
 
+/// Per-batch datapath telemetry: how well the syscall batching works.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Batched send syscalls issued.
+    pub send_syscalls: u64,
+    /// Batched receive syscalls that returned at least one datagram.
+    pub recv_syscalls: u64,
+    /// Syscalls avoided versus a one-datagram-per-syscall loop
+    /// (`datagrams - syscalls`, summed; 0 on platforms without native
+    /// batching).
+    pub syscalls_saved: u64,
+    /// Datagrams handed to the OS per send syscall.
+    pub send_batch_size: LogHistogram,
+    /// Datagrams returned per productive receive syscall.
+    pub recv_batch_size: LogHistogram,
+}
+
+/// One bound socket plus its local counters.
+#[derive(Debug)]
+struct Entry {
+    local: SocketAddr,
+    socket: UdpSocket,
+    /// Datagrams abandoned after repeated `WouldBlock` on send — kept
+    /// per socket so reports can name the overwhelmed interface.
+    send_drops: u64,
+}
+
+/// A reusable receive batch: fixed buffers plus the metadata of the
+/// datagrams the last [`SocketRegistry::poll_recv_batch`] call filled
+/// them with. Buffer `i` pairs with meta `i`; after warm-up the batch
+/// performs no allocation.
+#[derive(Debug)]
+pub struct RecvBatch {
+    bufs: Vec<Vec<u8>>,
+    metas: Vec<RecvMeta>,
+}
+
+impl RecvBatch {
+    /// A batch accepting up to `capacity` datagrams per poll, each up
+    /// to [`MAX_DATAGRAM`] bytes.
+    pub fn new(capacity: usize) -> RecvBatch {
+        let capacity = capacity.max(1);
+        RecvBatch {
+            bufs: (0..capacity).map(|_| vec![0u8; MAX_DATAGRAM]).collect(),
+            metas: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Datagrams held from the last poll.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// True when the last poll returned nothing.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// The received datagrams, in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = (RecvMeta, &[u8])> {
+        self.metas
+            .iter()
+            .zip(self.bufs.iter())
+            .map(|(meta, buf)| (*meta, buf.get(..meta.len).unwrap_or(&[])))
+    }
+
+    fn clear(&mut self) {
+        self.metas.clear();
+    }
+}
+
 /// A set of non-blocking UDP sockets, one per local interface address.
 #[derive(Debug)]
 pub struct SocketRegistry {
-    sockets: Vec<(SocketAddr, UdpSocket)>,
-    /// Round-robin cursor so `poll_recv` serves interfaces fairly.
+    sockets: Vec<Entry>,
+    /// Round-robin cursor so receive polls serve interfaces fairly.
     cursor: usize,
-    /// Datagrams abandoned after repeated `WouldBlock` on send.
-    send_drops: u64,
+    /// Reusable syscall-argument arrays (see [`crate::mmsg`]).
+    scratch: MmsgScratch,
+    /// Scratch for `(remote, len)` pairs coming back from a batch recv.
+    pairs: Vec<(SocketAddr, usize)>,
+    batch: BatchStats,
 }
 
 impl SocketRegistry {
@@ -57,18 +146,24 @@ impl SocketRegistry {
             let socket = UdpSocket::bind(addr)?;
             socket.set_nonblocking(true)?;
             let local = socket.local_addr()?;
-            sockets.push((local, socket));
+            sockets.push(Entry {
+                local,
+                socket,
+                send_drops: 0,
+            });
         }
         Ok(SocketRegistry {
             sockets,
             cursor: 0,
-            send_drops: 0,
+            scratch: MmsgScratch::default(),
+            pairs: Vec::with_capacity(mmsg::MAX_BATCH),
+            batch: BatchStats::default(),
         })
     }
 
     /// The bound local addresses, in bind order.
     pub fn local_addrs(&self) -> Vec<SocketAddr> {
-        self.sockets.iter().map(|(addr, _)| *addr).collect()
+        self.sockets.iter().map(|entry| entry.local).collect()
     }
 
     /// Number of sockets in the registry.
@@ -81,49 +176,164 @@ impl SocketRegistry {
         self.sockets.is_empty()
     }
 
-    /// Datagrams abandoned because the socket buffer stayed full.
+    /// Total datagrams abandoned because a socket buffer stayed full.
     pub fn send_drops(&self) -> u64 {
-        self.send_drops
+        self.sockets.iter().map(|entry| entry.send_drops).sum()
     }
 
-    /// Sends `payload` from the socket bound to `local` to `remote`.
+    /// Send drops broken down by local address, in bind order.
+    pub fn send_drops_per_socket(&self) -> Vec<(SocketAddr, u64)> {
+        self.sockets
+            .iter()
+            .map(|entry| (entry.local, entry.send_drops))
+            .collect()
+    }
+
+    /// Datapath batching telemetry.
+    pub fn batch_stats(&self) -> &BatchStats {
+        &self.batch
+    }
+
+    /// Sends a segment train — `payload` split at `segment_size`
+    /// boundaries (`None`: a single datagram) — from the socket bound
+    /// to `local` to `remote`, batching all segments into one syscall
+    /// where the platform allows.
     ///
-    /// Returns `Ok(true)` if handed to the OS, `Ok(false)` if the socket
-    /// buffer stayed full and the datagram was dropped — which to the
-    /// transport is indistinguishable from network loss, and is recovered
-    /// the same way.
-    pub fn send_from(
+    /// Returns the number of datagrams handed to the OS. Segments the
+    /// socket buffer would not take after retries are counted in the
+    /// socket's drop counter — to the transport that is
+    /// indistinguishable from network loss, and is recovered the same
+    /// way.
+    pub fn send_train(
         &mut self,
         local: SocketAddr,
         remote: SocketAddr,
         payload: &[u8],
-    ) -> io::Result<bool> {
-        let socket = self
+        segment_size: Option<usize>,
+    ) -> io::Result<usize> {
+        let index = self
             .sockets
             .iter()
-            .find(|(addr, _)| *addr == local)
-            .map(|(_, socket)| socket)
+            .position(|entry| entry.local == local)
             .ok_or_else(|| {
                 io::Error::new(
                     io::ErrorKind::NotFound,
                     format!("no socket bound to {local}"),
                 )
             })?;
-        for attempt in 0..=SEND_RETRIES {
-            match socket.send_to(payload, remote) {
-                Ok(_) => return Ok(true),
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    if attempt < SEND_RETRIES {
-                        // Give the kernel a moment to drain the buffer.
-                        std::thread::sleep(std::time::Duration::from_micros(50));
-                    }
+        let seg = match segment_size {
+            Some(seg) if seg > 0 => seg,
+            _ => payload.len().max(1),
+        };
+        let total = payload.len().div_ceil(seg);
+        let mut sent = 0;
+        let mut attempt = 0;
+        while sent < total {
+            let rest = payload.get(sent * seg..).unwrap_or(&[]);
+            let Some(entry) = self.sockets.get_mut(index) else {
+                break;
+            };
+            match mmsg::send_segments(&entry.socket, &remote, rest, seg, &mut self.scratch) {
+                Ok((accepted, syscalls)) if accepted > 0 => {
+                    sent += accepted;
+                    self.batch.send_syscalls += syscalls as u64;
+                    self.batch.send_batch_size.record(accepted as u64);
+                    self.batch.syscalls_saved += accepted.saturating_sub(syscalls) as u64;
                 }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Ok(_) => {
+                    // The kernel accepted nothing without erroring:
+                    // treat like a full buffer.
+                    attempt += 1;
+                    if attempt > SEND_RETRIES {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    attempt += 1;
+                    if attempt > SEND_RETRIES {
+                        break;
+                    }
+                    // Give the kernel a moment to drain the buffer.
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
         }
-        self.send_drops += 1;
-        Ok(false)
+        if sent < total {
+            if let Some(entry) = self.sockets.get_mut(index) {
+                entry.send_drops += (total - sent) as u64;
+            }
+        }
+        Ok(sent)
+    }
+
+    /// Sends a single datagram from the socket bound to `local` to
+    /// `remote` (a one-segment [`SocketRegistry::send_train`]).
+    ///
+    /// Returns `Ok(true)` if handed to the OS, `Ok(false)` if the socket
+    /// buffer stayed full and the datagram was dropped.
+    pub fn send_from(
+        &mut self,
+        local: SocketAddr,
+        remote: SocketAddr,
+        payload: &[u8],
+    ) -> io::Result<bool> {
+        let sent = self.send_train(local, remote, payload, None)?;
+        Ok(sent > 0)
+    }
+
+    /// Fills `batch` with as many pending datagrams as one pass over
+    /// the sockets yields (one batched receive syscall per socket,
+    /// starting after the socket served last). Returns how many
+    /// datagrams were received; 0 means all sockets were dry.
+    pub fn poll_recv_batch(&mut self, batch: &mut RecvBatch) -> io::Result<usize> {
+        batch.clear();
+        let n = self.sockets.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        let mut total = 0;
+        for i in 0..n {
+            let index = (self.cursor + i) % n;
+            let filled = batch.metas.len();
+            let Some(slots) = batch.bufs.get_mut(filled..) else {
+                break;
+            };
+            if slots.is_empty() {
+                break;
+            }
+            let Some(entry) = self.sockets.get(index) else {
+                continue;
+            };
+            let local = entry.local;
+            self.pairs.clear();
+            match mmsg::recv_batch(&entry.socket, slots, &mut self.pairs, &mut self.scratch) {
+                Ok((received, syscalls)) if received > 0 => {
+                    self.batch.recv_syscalls += syscalls as u64;
+                    self.batch.recv_batch_size.record(received as u64);
+                    self.batch.syscalls_saved += received.saturating_sub(syscalls) as u64;
+                    for &(remote, len) in &self.pairs {
+                        batch.metas.push(RecvMeta { local, remote, len });
+                    }
+                    total += received;
+                    self.cursor = (index + 1) % n;
+                }
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                    ) => {}
+                // A previous send to an unreachable port surfaces here on
+                // some platforms (Linux ICMP errors); treat as no-data,
+                // the transport's own timers handle the unreachable peer.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total)
     }
 
     /// Polls every socket once (starting after the last one served) and
@@ -133,26 +343,20 @@ impl SocketRegistry {
         let n = self.sockets.len();
         for i in 0..n {
             let index = (self.cursor + i) % n;
-            let Some((local, socket)) = self.sockets.get(index) else {
+            let Some(entry) = self.sockets.get(index) else {
                 continue;
             };
-            match socket.recv_from(buf) {
+            match entry.socket.recv_from(buf) {
                 Ok((len, remote)) => {
+                    let local = entry.local;
                     self.cursor = (index + 1) % n;
-                    return Ok(Some(RecvMeta {
-                        local: *local,
-                        remote,
-                        len,
-                    }));
+                    return Ok(Some(RecvMeta { local, remote, len }));
                 }
                 Err(e)
                     if matches!(
                         e.kind(),
                         io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
                     ) => {}
-                // A previous send to an unreachable port surfaces here on
-                // some platforms (Linux ICMP errors); treat as no-data,
-                // the transport's own timers handle the unreachable peer.
                 Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {}
                 Err(e) => return Err(e),
             }
@@ -215,5 +419,59 @@ mod tests {
         let bogus = loopback(9); // not bound by us
         let err = a.send_from(bogus, loopback(10), b"x").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn train_fans_out_and_batch_recv_collects() {
+        let mut a = SocketRegistry::bind(&[loopback(0)]).unwrap();
+        let mut b = SocketRegistry::bind(&[loopback(0)]).unwrap();
+        let a_addr = a.local_addrs()[0];
+        let b_addr = b.local_addrs()[0];
+
+        // A 5-segment train: 4 × 100 B + 1 × 60 B.
+        let payload: Vec<u8> = (0..460).map(|i| (i % 251) as u8).collect();
+        let sent = a.send_train(a_addr, b_addr, &payload, Some(100)).unwrap();
+        assert_eq!(sent, 5);
+        assert_eq!(a.send_drops(), 0);
+        assert!(a.batch_stats().send_syscalls >= 1);
+        if mmsg::NATIVE_BATCH {
+            assert_eq!(a.batch_stats().send_syscalls, 1);
+            assert_eq!(a.batch_stats().syscalls_saved, 4);
+            assert_eq!(a.batch_stats().send_batch_size.max(), 5);
+        }
+
+        let mut batch = RecvBatch::new(16);
+        let mut rejoined = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while rejoined.len() < payload.len() && std::time::Instant::now() < deadline {
+            if b.poll_recv_batch(&mut batch).unwrap() == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                continue;
+            }
+            for (meta, bytes) in batch.iter() {
+                assert_eq!(meta.local, b_addr);
+                assert_eq!(meta.remote, a_addr);
+                rejoined.extend_from_slice(bytes);
+            }
+        }
+        assert_eq!(rejoined, payload, "segments reassemble byte-for-byte");
+        assert!(b.batch_stats().recv_syscalls >= 1);
+        if mmsg::NATIVE_BATCH {
+            assert!(
+                b.batch_stats().recv_batch_size.max() > 1,
+                "recvmmsg returned more than one datagram in a call"
+            );
+        }
+    }
+
+    #[test]
+    fn drops_are_counted_per_socket() {
+        let a = SocketRegistry::bind(&[loopback(0), loopback(0)]).unwrap();
+        let addrs = a.local_addrs();
+        let per_socket = a.send_drops_per_socket();
+        assert_eq!(per_socket.len(), 2);
+        assert_eq!(per_socket[0], (addrs[0], 0));
+        assert_eq!(per_socket[1], (addrs[1], 0));
+        assert_eq!(a.send_drops(), 0);
     }
 }

@@ -18,6 +18,7 @@ use std::io;
 use std::time::{Duration, Instant};
 
 use crate::driver::Driver;
+use crate::error::{Error, Result};
 
 /// Default per-operation timeout: generous enough for multi-megabyte
 /// loopback transfers under RTO backoff, small enough that a dead peer
@@ -66,24 +67,22 @@ impl<T: Transport> BlockingStream<T> {
         self.driver
     }
 
-    /// Blocks until the secure handshake completes (`TimedOut` on expiry).
-    pub fn wait_established(&mut self) -> io::Result<()> {
+    /// Blocks until the secure handshake completes
+    /// ([`Error::Timeout`] on expiry).
+    pub fn wait_established(&mut self) -> Result<()> {
         let reached = self
             .driver
             .run_until(self.timeout, |t| t.is_established())?;
         if reached {
             Ok(())
         } else {
-            Err(io::Error::new(
-                io::ErrorKind::TimedOut,
-                "handshake did not complete in time",
-            ))
+            Err(Error::Timeout { op: "handshake" })
         }
     }
 
     /// Ends the outgoing stream (the QUIC FIN travels with the last data)
     /// and flushes whatever the congestion window allows right now.
-    pub fn finish(&mut self) -> io::Result<()> {
+    pub fn finish(&mut self) -> Result<()> {
         self.driver.transport_mut().finish();
         self.pump()?;
         Ok(())
@@ -96,7 +95,7 @@ impl<T: Transport> BlockingStream<T> {
 
     /// Runs the event loop until it goes idle (everything sendable now is
     /// on the wire, everything received is processed).
-    fn pump(&mut self) -> io::Result<()> {
+    fn pump(&mut self) -> Result<()> {
         while self.driver.step()? {}
         Ok(())
     }
@@ -110,7 +109,7 @@ impl<T: Transport> io::Write for BlockingStream<T> {
         self.driver
             .transport_mut()
             .write(Bytes::copy_from_slice(buf));
-        self.pump()?;
+        self.pump().map_err(io::Error::from)?;
         Ok(buf.len())
     }
 
@@ -118,7 +117,7 @@ impl<T: Transport> io::Write for BlockingStream<T> {
     /// handed to the OS. (Data beyond the congestion window necessarily
     /// remains queued — `flush` cannot wait for ACKs.)
     fn flush(&mut self) -> io::Result<()> {
-        self.pump()
+        self.pump().map_err(io::Error::from)
     }
 }
 
@@ -158,12 +157,9 @@ impl<T: Transport> io::Read for BlockingStream<T> {
             }
             // 4. Nothing yet: drive the loop, sleeping only when idle.
             if Instant::now() >= deadline {
-                return Err(io::Error::new(
-                    io::ErrorKind::TimedOut,
-                    "no stream data arrived in time",
-                ));
+                return Err(Error::Timeout { op: "read" }.into());
             }
-            if !self.driver.step()? {
+            if !self.driver.step().map_err(io::Error::from)? {
                 std::thread::sleep(Duration::from_micros(200));
             }
         }

@@ -16,10 +16,21 @@
 //! multipath reassembly (two packet-number spaces, one stream) delivered
 //! every byte in order.
 
-use std::io::{self, Read, Write};
+use std::io::{Read, Write};
+
+use crate::error::{Error, Result};
 
 /// Protocol magic, version 1.
 pub const MAGIC: &[u8; 4] = b"MPQ1";
+
+/// [`Error::Protocol`] code: the stream did not start with [`MAGIC`].
+pub const ERR_BAD_MAGIC: u64 = 0x1;
+/// [`Error::Protocol`] code: announced file name exceeds [`MAX_NAME_LEN`].
+pub const ERR_NAME_TOO_LONG: u64 = 0x2;
+/// [`Error::Protocol`] code: file name is not valid UTF-8.
+pub const ERR_NAME_NOT_UTF8: u64 = 0x3;
+/// [`Error::Protocol`] code: announced payload size does not fit memory.
+pub const ERR_SIZE_OVERFLOW: u64 = 0x4;
 
 /// Server verdict: payload arrived intact.
 pub const STATUS_OK: u8 = 1;
@@ -76,28 +87,30 @@ impl TransferHeader {
     }
 
     /// Reads and parses a header from a blocking reader.
-    pub fn decode<R: Read>(reader: &mut R) -> io::Result<TransferHeader> {
+    pub fn decode<R: Read>(reader: &mut R) -> Result<TransferHeader> {
         let mut magic = [0u8; 4];
         reader.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "bad transfer magic",
-            ));
+            return Err(Error::Protocol {
+                code: ERR_BAD_MAGIC,
+                reason: "bad transfer magic".into(),
+            });
         }
         let mut len = [0u8; 2];
         reader.read_exact(&mut len)?;
         let name_len = usize::from(u16::from_be_bytes(len));
         if name_len > MAX_NAME_LEN {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "file name too long",
-            ));
+            return Err(Error::Protocol {
+                code: ERR_NAME_TOO_LONG,
+                reason: "file name too long".into(),
+            });
         }
         let mut name = vec![0u8; name_len];
         reader.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file name not UTF-8"))?;
+        let name = String::from_utf8(name).map_err(|_| Error::Protocol {
+            code: ERR_NAME_NOT_UTF8,
+            reason: "file name not UTF-8".into(),
+        })?;
         let mut size = [0u8; 8];
         reader.read_exact(&mut size)?;
         let mut checksum = [0u8; 8];
@@ -112,41 +125,42 @@ impl TransferHeader {
 
 /// Writes a complete transfer request (header + payload) to `writer`.
 /// The caller ends the stream afterwards (`BlockingStream::finish`).
-pub fn send_request<W: Write>(writer: &mut W, name: &str, data: &[u8]) -> io::Result<()> {
+pub fn send_request<W: Write>(writer: &mut W, name: &str, data: &[u8]) -> Result<()> {
     let header = TransferHeader::for_data(name, data);
     writer.write_all(&header.encode())?;
     writer.write_all(data)?;
-    writer.flush()
+    writer.flush()?;
+    Ok(())
 }
 
 /// Reads a complete transfer request. Returns the header and payload;
-/// fails with `InvalidData` if the payload does not match the announced
-/// checksum.
-pub fn recv_request<R: Read>(reader: &mut R) -> io::Result<(TransferHeader, Vec<u8>)> {
+/// fails with [`Error::Auth`] if the payload does not match the
+/// announced checksum.
+pub fn recv_request<R: Read>(reader: &mut R) -> Result<(TransferHeader, Vec<u8>)> {
     let header = TransferHeader::decode(reader)?;
-    let size = usize::try_from(header.size)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large"))?;
+    let size = usize::try_from(header.size).map_err(|_| Error::Protocol {
+        code: ERR_SIZE_OVERFLOW,
+        reason: "file too large".into(),
+    })?;
     let mut payload = vec![0u8; size];
     reader.read_exact(&mut payload)?;
     if fnv1a64(&payload) != header.checksum {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "payload checksum mismatch",
-        ));
+        return Err(Error::Auth("payload checksum mismatch".into()));
     }
     Ok((header, payload))
 }
 
 /// Writes the server's verdict.
-pub fn send_response<W: Write>(writer: &mut W, ok: bool, checksum: u64) -> io::Result<()> {
+pub fn send_response<W: Write>(writer: &mut W, ok: bool, checksum: u64) -> Result<()> {
     let status = if ok { STATUS_OK } else { STATUS_CORRUPT };
     writer.write_all(&[status])?;
     writer.write_all(&checksum.to_be_bytes())?;
-    writer.flush()
+    writer.flush()?;
+    Ok(())
 }
 
 /// Reads the server's verdict: `(verified, checksum as computed there)`.
-pub fn recv_response<R: Read>(reader: &mut R) -> io::Result<(bool, u64)> {
+pub fn recv_response<R: Read>(reader: &mut R) -> Result<(bool, u64)> {
     let mut status = [0u8; 1];
     reader.read_exact(&mut status)?;
     let mut checksum = [0u8; 8];
@@ -189,14 +203,14 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_payload_is_rejected() {
+    fn corrupted_payload_is_rejected_as_auth_failure() {
         let data = pattern(1000);
         let mut wire = Vec::new();
         send_request(&mut wire, "blob", &data).unwrap();
         let last = wire.len() - 1;
         wire[last] ^= 0xff;
         let err = recv_request(&mut &wire[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, Error::Auth(_)), "got {err:?}");
     }
 
     #[test]
@@ -209,10 +223,19 @@ mod tests {
     }
 
     #[test]
-    fn bad_magic_is_rejected() {
+    fn bad_magic_is_rejected_as_protocol_error() {
         let wire = b"NOPE\x00\x00";
         let err = TransferHeader::decode(&mut &wire[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            matches!(
+                err,
+                Error::Protocol {
+                    code: ERR_BAD_MAGIC,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
     }
 
     #[test]

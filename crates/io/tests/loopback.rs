@@ -107,9 +107,13 @@ fn run_transfer_with(
 #[test]
 fn multipath_loopback_transfer_uses_both_paths() {
     const SIZE: usize = 2 * MIB;
-    let mut client_config = Config::multipath();
-    client_config.enable_qlog = true;
-    let (driver, payload) = run_transfer(client_config, Config::multipath(), 2, SIZE);
+    let client_config = Config::builder()
+        .multipath()
+        .enable_qlog(true)
+        .build()
+        .expect("valid config");
+    let server_config = Config::builder().multipath().build().expect("valid config");
+    let (driver, payload) = run_transfer(client_config, server_config, 2, SIZE);
 
     // In-order, verified delivery of every byte over real sockets.
     assert_eq!(payload.len(), SIZE);
@@ -142,6 +146,24 @@ fn multipath_loopback_transfer_uses_both_paths() {
         assert!(
             bytes * 10 >= total,
             "path {id} carried only {bytes} of {total} wire bytes (< 10%): {per_path:?}"
+        );
+    }
+
+    // The batched datapath actually batched: a bulk transfer must have
+    // coalesced multiple datagrams into single syscalls somewhere, and
+    // the telemetry histograms must show it.
+    let io = driver.stats();
+    assert!(io.datagrams_sent > 0);
+    #[cfg(target_os = "linux")]
+    {
+        let batch = driver.batch_stats();
+        assert!(
+            batch.send_batch_size.max() >= 2,
+            "no send syscall ever carried more than one datagram: {batch:?}"
+        );
+        assert!(
+            io.syscalls_saved > 0,
+            "batching saved no syscalls on a 2 MiB multipath transfer"
         );
     }
 

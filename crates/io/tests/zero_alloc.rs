@@ -1,0 +1,98 @@
+//! Steady-state zero-allocation check for the batched socket datapath.
+//!
+//! DESIGN.md §11 claims that after warm-up the send/receive cycle
+//! performs no heap allocation: sendmmsg scratch arrays, the receive
+//! batch buffers and the address-decoding scratch all reach their
+//! high-water capacity and are reused. This test installs the counting
+//! global allocator from `mpquic_util::alloc_count`, runs a
+//! registry-to-registry loopback exchange, resets the counters once the
+//! path is warm, and asserts the remaining rounds allocate nothing.
+
+use mpquic_io::{RecvBatch, SocketRegistry};
+use mpquic_util::alloc_count::{self, CountingAlloc};
+use std::net::SocketAddr;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const WARMUP_ROUNDS: usize = 10;
+const MEASURED_ROUNDS: usize = 40;
+const SEGMENT: usize = 1200;
+const SEGMENTS_PER_TRAIN: usize = 8;
+
+fn loopback0() -> SocketAddr {
+    "127.0.0.1:0".parse().unwrap()
+}
+
+/// One round: A fans an 8-segment train out to B, then B drains its
+/// socket with batched receives until the train has fully arrived.
+fn round(
+    a: &mut SocketRegistry,
+    a_local: SocketAddr,
+    b: &mut SocketRegistry,
+    b_local: SocketAddr,
+    payload: &[u8],
+    batch: &mut RecvBatch,
+) -> usize {
+    let sent = a
+        .send_train(a_local, b_local, payload, Some(SEGMENT))
+        .expect("loopback send");
+    let mut received = 0;
+    let mut spins = 0;
+    while received < sent {
+        let got = b.poll_recv_batch(batch).expect("loopback recv");
+        received += got;
+        if got == 0 {
+            spins += 1;
+            assert!(spins < 10_000, "train never arrived on loopback");
+            std::thread::yield_now();
+        }
+    }
+    received
+}
+
+#[test]
+fn steady_state_datapath_does_not_allocate() {
+    let mut a = SocketRegistry::bind(&[loopback0()]).expect("bind a");
+    let mut b = SocketRegistry::bind(&[loopback0()]).expect("bind b");
+    let a_local = a.local_addrs()[0];
+    let b_local = b.local_addrs()[0];
+
+    let payload = vec![0x5au8; SEGMENT * SEGMENTS_PER_TRAIN];
+    let mut batch = RecvBatch::new(64);
+
+    for _ in 0..WARMUP_ROUNDS {
+        round(&mut a, a_local, &mut b, b_local, &payload, &mut batch);
+    }
+
+    alloc_count::reset_thread_counts();
+    let mut datagrams = 0;
+    for _ in 0..MEASURED_ROUNDS {
+        datagrams += round(&mut a, a_local, &mut b, b_local, &payload, &mut batch);
+    }
+    let counts = alloc_count::thread_counts();
+
+    assert_eq!(datagrams, MEASURED_ROUNDS * SEGMENTS_PER_TRAIN);
+    assert_eq!(
+        counts.allocs, 0,
+        "steady-state datapath allocated: {counts:?} over {MEASURED_ROUNDS} \
+         rounds ({datagrams} datagrams)"
+    );
+
+    // On Linux the rounds above must actually have batched: one sendmmsg
+    // per 8-segment train, and multi-datagram receives.
+    #[cfg(target_os = "linux")]
+    {
+        let stats = a.batch_stats();
+        assert!(
+            stats.syscalls_saved > 0,
+            "no syscalls saved on the send side: {stats:?}"
+        );
+        assert_eq!(stats.send_batch_size.max(), SEGMENTS_PER_TRAIN as u64);
+        let recv = b.batch_stats();
+        assert!(
+            recv.recv_batch_size.max() >= 1,
+            "receive side recorded no batches: {recv:?}"
+        );
+    }
+}

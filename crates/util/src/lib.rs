@@ -18,10 +18,16 @@
 //!   stream reassembly bookkeeping.
 //! * [`stats`] — the statistics the paper's figures report: CDFs, medians,
 //!   percentiles and box-plot five-number summaries.
+//! * [`alloc_count`] — a counting global allocator so tests and benches
+//!   can assert the batched datapath's zero-allocation steady state.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the counting allocator needs one scoped
+// `#[allow(unsafe_code)]` for its `GlobalAlloc` impl (which only
+// forwards to `std::alloc::System`). Everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc_count;
 pub mod datagram;
 pub mod ranges;
 pub mod rng;

@@ -25,13 +25,22 @@ impl Packet {
     /// layer seals the payload using the header bytes as associated data.
     pub fn encode_parts(&self) -> (Vec<u8>, Vec<u8>) {
         let mut header = BytesMut::with_capacity(self.header.wire_size());
-        self.header.encode(&mut header);
         let payload_size: usize = self.frames.iter().map(Frame::wire_size).sum();
         let mut payload = BytesMut::with_capacity(payload_size);
-        for frame in &self.frames {
-            frame.encode(&mut payload);
-        }
+        self.encode_parts_into(&mut header, &mut payload);
         (header.to_vec(), payload.to_vec())
+    }
+
+    /// Like [`Packet::encode_parts`], but writes into caller-provided
+    /// buffers (cleared first). The batched egress path reuses two scratch
+    /// buffers across packets so encoding allocates nothing once warm.
+    pub fn encode_parts_into(&self, header: &mut BytesMut, payload: &mut BytesMut) {
+        header.clear();
+        self.header.encode(header);
+        payload.clear();
+        for frame in &self.frames {
+            frame.encode(payload);
+        }
     }
 
     /// Parses a plaintext payload back into frames, given its decoded header.

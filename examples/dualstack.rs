@@ -58,13 +58,17 @@ fn main() {
     };
 
     let mut client = Connection::client(
-        Config::multipath(),
+        Config::builder().build().expect("defaults are valid"),
         plan.client_addrs.clone(),
         0, // dial over IPv4
         plan.server_addrs[0],
         0xD0A1,
     );
-    let server = Connection::server(Config::multipath(), plan.server_addrs.clone(), 0xD0A2);
+    let server = Connection::server(
+        Config::builder().build().expect("defaults are valid"),
+        plan.server_addrs.clone(),
+        0xD0A2,
+    );
 
     let stream = client.open_stream();
     client

@@ -40,7 +40,12 @@ fn main() {
     // ADD_ADDRESS during the handshake.
     let (addr_tx, addr_rx) = mpsc::channel();
     let server = std::thread::spawn(move || {
-        let driver = quic_server(Config::multipath(), &[loopback], 2).expect("bind server");
+        let driver = quic_server(
+            Config::builder().build().expect("defaults are valid"),
+            &[loopback],
+            2,
+        )
+        .expect("bind server");
         addr_tx.send(driver.local_addrs()[0]).unwrap();
         let mut stream = BlockingStream::new(driver);
         stream.wait_established().expect("server handshake");
@@ -56,8 +61,13 @@ fn main() {
 
     // The "client host": two loopback ports play the role of two
     // interfaces (say, Wi-Fi and LTE on a smartphone).
-    let mut driver = quic_client(Config::multipath(), &[loopback, loopback], server_addr, 1)
-        .expect("bind client");
+    let mut driver = quic_client(
+        Config::builder().build().expect("defaults are valid"),
+        &[loopback, loopback],
+        server_addr,
+        1,
+    )
+    .expect("bind client");
     let (metrics, metrics_handle) = MetricsSubscriber::new();
     let qlog = qlog_path.as_deref().map(|path| {
         StreamingQlog::create(path).unwrap_or_else(|e| panic!("create qlog {path}: {e}"))

@@ -45,13 +45,17 @@ fn main() {
         PathSpec::new(6.0, 90, 100, 0.0),
     ]);
     let mut client = Connection::client(
-        Config::multipath(),
+        Config::builder().build().expect("defaults are valid"),
         plan.client_addrs.clone(),
         0,
         plan.server_addrs[0],
         0x7ACE,
     );
-    let server = Connection::server(Config::multipath(), plan.server_addrs.clone(), 0x7ACF);
+    let server = Connection::server(
+        Config::builder().build().expect("defaults are valid"),
+        plan.server_addrs.clone(),
+        0x7ACF,
+    );
 
     // Server-push style: client requests, server sends 6 MB back.
     let stream = client.open_stream();

@@ -48,13 +48,17 @@ fn main() {
     // manager opens the second path automatically after the handshake,
     // using the addresses the server advertises via ADD_ADDRESS frames.
     let mut client = Connection::client(
-        Config::multipath(),
+        Config::builder().build().expect("defaults are valid"),
         plan.client_addrs.clone(),
         0,
         plan.server_addrs[0],
         0xC0FFEE,
     );
-    let server = Connection::server(Config::multipath(), plan.server_addrs.clone(), 0xBEEF);
+    let server = Connection::server(
+        Config::builder().build().expect("defaults are valid"),
+        plan.server_addrs.clone(),
+        0xBEEF,
+    );
 
     // Queue 4 MB of application data on one stream before the handshake
     // even starts — it will flow as soon as keys are established.
