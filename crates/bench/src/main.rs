@@ -1,22 +1,34 @@
-//! `mpquic-bench` — loopback datapath throughput benchmark.
+//! `mpquic-bench` — loopback benchmarks: datapath and endpoint.
 //!
-//! Measures what the batched datapath (DESIGN.md §11) buys over the
-//! one-datagram-per-syscall path on this machine's loopback: a sender
-//! registry pushes fixed-size datagrams at a draining receiver thread,
-//! once via [`SocketRegistry::send_from`] (one syscall per datagram) and
-//! once via [`SocketRegistry::send_train`] (one `sendmmsg` per
-//! 16-segment train on Linux). Steady-state allocations on the sender
-//! thread are counted by the workspace's counting global allocator.
+//! **`datapath` mode (default)** measures what the batched datapath
+//! (DESIGN.md §11) buys over the one-datagram-per-syscall path on this
+//! machine's loopback: a sender registry pushes fixed-size datagrams at
+//! a draining receiver thread, once via [`SocketRegistry::send_from`]
+//! (one syscall per datagram) and once via
+//! [`SocketRegistry::send_train`] (one `sendmmsg` per 16-segment train
+//! on Linux). Steady-state allocations on the sender thread are counted
+//! by the workspace's counting global allocator.
+//!
+//! **`conns` mode** measures connection scaling through the sharded
+//! [`Endpoint`] (DESIGN.md §12): M concurrent clients each push one
+//! file transfer at a multi-worker endpoint, against a 1-connection
+//! run of the same transfer — aggregate connections/sec, goodput and
+//! endpoint datagram rate go to `BENCH_endpoint.json`.
 //!
 //! ```text
-//! mpquic-bench [--smoke] [--out PATH] [--baseline PATH]
+//! mpquic-bench [conns] [--smoke] [--out PATH] [--baseline PATH]
+//!              [--conns M] [--workers N]
 //! ```
 //!
-//! Results go to `BENCH_datapath.json` (override with `--out`). With
-//! `--baseline PATH` the run fails (exit 1) if the batched datagram
-//! rate regressed more than 30% below the baseline file's.
+//! Results go to `BENCH_datapath.json` / `BENCH_endpoint.json`
+//! (override with `--out`). With `--baseline PATH` the run fails
+//! (exit 1) if the gated rate (`batched_datagrams_per_sec` /
+//! `aggregate_datagrams_per_sec`) regressed more than 30% below the
+//! baseline file's.
 
-use mpquic_io::{RecvBatch, SocketRegistry};
+use mpquic_core::Config;
+use mpquic_io::transfer;
+use mpquic_io::{quic_client, BlockingStream, Endpoint, RecvBatch, SocketRegistry, TransferApp};
 use mpquic_util::alloc_count::{self, CountingAlloc};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -30,6 +42,13 @@ static ALLOC: CountingAlloc = CountingAlloc;
 const SEGMENT: usize = 1200;
 /// Segments per batched train (capped by the core's GSO train length).
 const TRAIN: usize = 16;
+
+/// `conns` mode defaults: concurrent client connections, endpoint
+/// worker shards, and per-connection transfer size.
+const CONNS_DEFAULT: usize = 8;
+const WORKERS_DEFAULT: usize = 4;
+const TRANSFER_BYTES: usize = 2 << 20;
+const TRANSFER_BYTES_SMOKE: usize = 128 << 10;
 
 struct ModeResult {
     datagrams: u64,
@@ -50,28 +69,66 @@ impl ModeResult {
 }
 
 fn main() {
+    let mut mode = "datapath".to_string();
     let mut smoke = false;
-    let mut out_path = "BENCH_datapath.json".to_string();
+    let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
+    let mut conns = CONNS_DEFAULT;
+    let mut workers = WORKERS_DEFAULT;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
-            "--out" => out_path = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--out" => out_path = Some(args.next().unwrap_or_else(|| usage("--out needs a path"))),
             "--baseline" => {
                 baseline_path = Some(
                     args.next()
                         .unwrap_or_else(|| usage("--baseline needs a path")),
                 )
             }
+            "--conns" => {
+                conns = args
+                    .next()
+                    .and_then(|raw| raw.parse().ok())
+                    .unwrap_or_else(|| usage("--conns needs a number"))
+            }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|raw| raw.parse().ok())
+                    .unwrap_or_else(|| usage("--workers needs a number"))
+            }
             "--help" => {
-                println!("usage: mpquic-bench [--smoke] [--out PATH] [--baseline PATH]");
+                println!(
+                    "usage: mpquic-bench [conns] [--smoke] [--out PATH] [--baseline PATH] \
+                     [--conns M] [--workers N]"
+                );
                 return;
             }
+            "datapath" | "conns" => mode = arg,
             other => usage(&format!("unknown flag {other:?}")),
         }
     }
 
+    match mode.as_str() {
+        "conns" => run_conns_bench(
+            smoke,
+            conns.max(1),
+            workers.max(1),
+            &out_path.unwrap_or_else(|| "BENCH_endpoint.json".to_string()),
+            baseline_path.as_deref(),
+        ),
+        _ => run_datapath_bench(
+            smoke,
+            &out_path.unwrap_or_else(|| "BENCH_datapath.json".to_string()),
+            baseline_path.as_deref(),
+        ),
+    }
+}
+
+/// The PR-4 datapath benchmark: raw registry throughput, single
+/// syscalls versus batched trains.
+fn run_datapath_bench(smoke: bool, out_path: &str, baseline_path: Option<&str>) {
     let measure = if smoke {
         Duration::from_millis(300)
     } else {
@@ -108,20 +165,225 @@ fn main() {
     println!("  speedup: {speedup:.2}x  ({saved} syscalls saved in batched mode)");
 
     let json = render_json(&single, &batched, speedup, smoke);
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+    std::fs::write(out_path, &json).unwrap_or_else(|e| {
         eprintln!("mpquic-bench: cannot write {out_path}: {e}");
         std::process::exit(1);
     });
     println!("  wrote {out_path}");
 
     if let Some(path) = baseline_path {
-        check_baseline(&path, batched.datagrams_per_sec());
+        check_baseline(
+            path,
+            "batched_datagrams_per_sec",
+            batched.datagrams_per_sec(),
+        );
+    }
+}
+
+/// One phase of the `conns` benchmark: M concurrent transfers.
+struct ConnsResult {
+    conns: usize,
+    bytes: u64,
+    datagrams: u64,
+    elapsed: f64,
+}
+
+impl ConnsResult {
+    fn datagrams_per_sec(&self) -> f64 {
+        self.datagrams as f64 / self.elapsed.max(1e-9)
+    }
+
+    fn goodput_bytes_per_sec(&self) -> f64 {
+        self.bytes as f64 / self.elapsed.max(1e-9)
+    }
+
+    fn conns_per_sec(&self) -> f64 {
+        self.conns as f64 / self.elapsed.max(1e-9)
+    }
+}
+
+/// The endpoint benchmark: one sharded server endpoint, first 1 then M
+/// concurrent client connections, each a full `mpq` transfer.
+fn run_conns_bench(
+    smoke: bool,
+    conns: usize,
+    workers: usize,
+    out_path: &str,
+    baseline_path: Option<&str>,
+) {
+    let size = if smoke {
+        TRANSFER_BYTES_SMOKE
+    } else {
+        TRANSFER_BYTES
+    };
+    let config = Config::builder()
+        .single_path()
+        .max_incoming_connections(conns + 1)
+        .worker_shards(workers)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("mpquic-bench: config: {e}");
+            std::process::exit(1);
+        });
+    let listen: SocketAddr = "127.0.0.1:0".parse().expect("loopback literal");
+    let endpoint = Endpoint::bind(
+        &[listen],
+        config,
+        0x5EED,
+        Box::new(|_cid| Box::new(TransferApp::new())),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("mpquic-bench: bind: {e}");
+        std::process::exit(1);
+    });
+    let server = endpoint.local_addrs()[0];
+
+    println!(
+        "endpoint benchmark: {size} B per transfer, {workers} workers{}",
+        if smoke { " (smoke)" } else { "" },
+    );
+
+    // Same total work in both phases — `conns` transfers run one after
+    // another on a single connection at a time, then all concurrently —
+    // so the comparison isolates what concurrency buys.
+    let single = run_conns_phase(&endpoint, server, 1, conns, size, 0x1000);
+    println!(
+        "  single : {:>10.0} datagrams/s  {:>7.2} MB/s goodput  {:.2} conns/s",
+        single.datagrams_per_sec(),
+        single.goodput_bytes_per_sec() / 1e6,
+        single.conns_per_sec(),
+    );
+    let multi = run_conns_phase(&endpoint, server, conns, 1, size, 0x2000);
+    println!(
+        "  x{conns:<5} : {:>10.0} datagrams/s  {:>7.2} MB/s goodput  {:.2} conns/s",
+        multi.datagrams_per_sec(),
+        multi.goodput_bytes_per_sec() / 1e6,
+        multi.conns_per_sec(),
+    );
+
+    let speedup = multi.datagrams_per_sec() / single.datagrams_per_sec().max(1.0);
+    println!("  speedup: {speedup:.2}x aggregate datagram rate over single-connection");
+
+    let report = endpoint.shutdown();
+    if report.totals.failed > 0 {
+        eprintln!(
+            "mpquic-bench: {} transfers failed verification",
+            report.totals.failed
+        );
+        std::process::exit(1);
+    }
+
+    // Record the host's parallelism: the concurrent phase only beats
+    // the serial one when shards actually run on separate cores, so a
+    // sub-1x speedup on a single-core runner is expected, not a bug.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"benchmark\": \"endpoint_conns\",\n  \"smoke\": {smoke},\n  \
+         \"workers\": {workers},\n  \"conns\": {conns},\n  \"cores\": {cores},\n  \
+         \"transfer_bytes\": {size},\n  \
+         \"single\": {{\n    \"datagrams_per_sec\": {:.0},\n    \
+         \"goodput_bytes_per_sec\": {:.0},\n    \"conns_per_sec\": {:.3}\n  }},\n  \
+         \"multi\": {{\n    \"datagrams_per_sec\": {:.0},\n    \
+         \"goodput_bytes_per_sec\": {:.0},\n    \"conns_per_sec\": {:.3}\n  }},\n  \
+         \"aggregate_datagrams_per_sec\": {:.0},\n  \
+         \"aggregate_goodput_bytes_per_sec\": {:.0},\n  \"speedup\": {speedup:.3}\n}}\n",
+        single.datagrams_per_sec(),
+        single.goodput_bytes_per_sec(),
+        single.conns_per_sec(),
+        multi.datagrams_per_sec(),
+        multi.goodput_bytes_per_sec(),
+        multi.conns_per_sec(),
+        multi.datagrams_per_sec(),
+        multi.goodput_bytes_per_sec(),
+    );
+    std::fs::write(out_path, &json).unwrap_or_else(|e| {
+        eprintln!("mpquic-bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("  wrote {out_path}");
+
+    if let Some(path) = baseline_path {
+        check_baseline(
+            path,
+            "aggregate_datagrams_per_sec",
+            multi.datagrams_per_sec(),
+        );
+    }
+}
+
+/// Runs `m` client threads, each performing `rounds` sequential
+/// transfers (a fresh connection per transfer), and returns the
+/// aggregate over the phase's wall time. Datagram counts come from the
+/// endpoint's ingress counter (its side of the load). `seed_base` must
+/// differ between phases: the client seed determines its connection
+/// ID, and a reused CID would hit the endpoint's retired-CID
+/// tombstones from the previous phase.
+fn run_conns_phase(
+    endpoint: &Endpoint,
+    server: SocketAddr,
+    m: usize,
+    rounds: usize,
+    size: usize,
+    seed_base: u64,
+) -> ConnsResult {
+    let before = endpoint.stats();
+    let started = Instant::now();
+    let mut clients = Vec::with_capacity(m);
+    for i in 0..m {
+        clients.push(std::thread::spawn(move || {
+            let mut bytes = 0u64;
+            for round in 0..rounds {
+                let config = Config::builder()
+                    .single_path()
+                    .build()
+                    .expect("client config");
+                let local: SocketAddr = "127.0.0.1:0".parse().expect("loopback literal");
+                let seed = seed_base + (i * rounds + round) as u64;
+                let driver = quic_client(config, &[local], server, seed).expect("client bind");
+                let mut stream = BlockingStream::new(driver);
+                stream.wait_established().expect("handshake");
+                let payload = transfer::pattern(size);
+                transfer::send_request(&mut stream, "bench.bin", &payload).expect("send");
+                stream.finish().expect("finish");
+                let (ok, _checksum) = transfer::recv_response(&mut stream).expect("response");
+                assert!(ok, "server failed to verify transfer");
+                bytes += payload.len() as u64;
+                // Close cleanly so the server retires the connection
+                // now instead of waiting out its idle timer (a pinned
+                // slot would starve the accept limit).
+                let driver = stream.driver_mut();
+                driver.connection_mut().close(0, "transfer complete");
+                let _ = driver.run_until(Duration::from_millis(50), |t| t.conn.is_closed());
+            }
+            bytes
+        }));
+    }
+    let mut bytes = 0u64;
+    for client in clients {
+        match client.join() {
+            Ok(n) => bytes += n,
+            Err(_) => {
+                eprintln!("mpquic-bench: a client thread panicked");
+                std::process::exit(1);
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let after = endpoint.stats();
+    ConnsResult {
+        conns: m * rounds,
+        bytes,
+        datagrams: after.datagrams_in.saturating_sub(before.datagrams_in),
+        elapsed,
     }
 }
 
 fn usage(message: &str) -> ! {
     eprintln!("mpquic-bench: {message}");
-    eprintln!("usage: mpquic-bench [--smoke] [--out PATH] [--baseline PATH]");
+    eprintln!(
+        "usage: mpquic-bench [conns] [--smoke] [--out PATH] [--baseline PATH] \
+         [--conns M] [--workers N]"
+    );
     std::process::exit(1)
 }
 
@@ -228,25 +490,25 @@ fn render_json(single: &ModeResult, batched: &ModeResult, speedup: f64, smoke: b
     )
 }
 
-/// Reads `batched_datagrams_per_sec` out of a previous run's JSON (flat
+/// Reads the gated rate (`key`) out of a previous run's JSON (flat
 /// key, no JSON dependency needed) and fails the run on a >30%
 /// regression.
-fn check_baseline(path: &str, current: f64) {
+fn check_baseline(path: &str, key: &str, current: f64) {
     let baseline = match std::fs::read_to_string(path) {
-        Ok(text) => parse_flat_key(&text, "batched_datagrams_per_sec"),
+        Ok(text) => parse_flat_key(&text, key),
         Err(e) => {
             eprintln!("mpquic-bench: cannot read baseline {path}: {e}");
             std::process::exit(1);
         }
     };
     let Some(baseline) = baseline else {
-        eprintln!("mpquic-bench: no batched_datagrams_per_sec in {path}");
+        eprintln!("mpquic-bench: no {key} in {path}");
         std::process::exit(1);
     };
     let floor = baseline * 0.7;
     if current < floor {
         eprintln!(
-            "mpquic-bench: REGRESSION: batched rate {current:.0}/s is below \
+            "mpquic-bench: REGRESSION: {key} {current:.0}/s is below \
              70% of baseline {baseline:.0}/s"
         );
         std::process::exit(1);

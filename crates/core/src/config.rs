@@ -67,6 +67,14 @@ pub struct Config {
     /// long transfer cannot grow the log without bound. Use the streaming
     /// subscriber ([`mpquic_telemetry::StreamingQlog`]) for full traces.
     pub qlog_event_limit: usize,
+    /// Maximum concurrently accepted server-side connections. An
+    /// endpoint's demux drops (and counts) datagrams carrying unknown
+    /// CIDs once this many connections are live. Ignored by clients.
+    pub max_incoming_connections: usize,
+    /// Worker shards an endpoint spreads accepted connections over.
+    /// `0` means auto (`std::thread::available_parallelism`). Ignored by
+    /// the single-connection `Driver` loop.
+    pub worker_shards: usize,
 }
 
 impl Default for Config {
@@ -88,6 +96,8 @@ impl Default for Config {
             quic_version: mpquic_crypto::handshake::SUPPORTED_VERSION,
             enable_qlog: false,
             qlog_event_limit: crate::qlog::DEFAULT_EVENT_LIMIT,
+            max_incoming_connections: 64,
+            worker_shards: 0,
         }
     }
 }
@@ -158,6 +168,9 @@ impl Config {
         if self.enable_qlog && self.qlog_event_limit == 0 {
             return Err(ConfigError::ZeroQlogLimit);
         }
+        if self.max_incoming_connections == 0 {
+            return Err(ConfigError::ZeroAcceptLimit);
+        }
         Ok(())
     }
 }
@@ -197,6 +210,9 @@ pub enum ConfigError {
     /// qlog is enabled with a zero event limit: every event would be
     /// dropped, which is never what the caller meant.
     ZeroQlogLimit,
+    /// `max_incoming_connections` is zero: the endpoint could never
+    /// accept anything, which is never what a server meant.
+    ZeroAcceptLimit,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -216,6 +232,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroDuration(field) => write!(f, "{field} must be > 0"),
             ConfigError::ZeroQlogLimit => {
                 write!(f, "enable_qlog with qlog_event_limit 0 drops every event")
+            }
+            ConfigError::ZeroAcceptLimit => {
+                write!(f, "max_incoming_connections must be > 0")
             }
         }
     }
@@ -364,6 +383,18 @@ impl ConfigBuilder {
     /// Maximum events retained by the in-memory qlog.
     pub fn qlog_event_limit(mut self, limit: usize) -> Self {
         self.config.qlog_event_limit = limit;
+        self
+    }
+
+    /// Maximum concurrently accepted server-side connections.
+    pub fn max_incoming_connections(mut self, limit: usize) -> Self {
+        self.config.max_incoming_connections = limit;
+        self
+    }
+
+    /// Worker shards an endpoint spreads connections over (0 = auto).
+    pub fn worker_shards(mut self, shards: usize) -> Self {
+        self.config.worker_shards = shards;
         self
     }
 

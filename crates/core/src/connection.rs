@@ -178,7 +178,13 @@ impl Connection {
     ) -> Connection {
         assert!(initial_local_index < local_addrs.len());
         let mut rng = DetRng::new(seed);
-        let cid = rng.next_u64();
+        // CID 0 is the server's "not yet adopted" sentinel, so the client
+        // must never choose it (a DetRng word is 0 with probability 2⁻⁶⁴,
+        // but seeds are caller-controlled, so guard anyway).
+        let mut cid = rng.next_u64();
+        while cid == 0 {
+            cid = rng.next_u64();
+        }
         let mut hs = ClientHandshake::with_version(cid, &mut rng, config.quic_version);
         let mut crypto_queue = VecDeque::new();
         if let Some(HandshakeEvent::Send(bytes)) = hs.poll() {
@@ -696,7 +702,7 @@ impl Connection {
             return;
         };
         let ack_delay = std::time::Duration::from_micros(ack.ack_delay_micros);
-        let outcome =
+        let mut outcome =
             path.recovery
                 .on_ack(now, ack.iter_ranges_ascending(), ack_delay, &mut path.rtt);
         // Telemetry payloads are gathered while the path borrow is live
@@ -761,11 +767,17 @@ impl Connection {
                 bytes: outcome.lost_bytes,
             }));
         }
-        for frame in outcome.acked_frames {
+        for frame in outcome.acked_frames.drain(..) {
             self.on_frame_acked(frame);
         }
-        if !outcome.lost_frames.is_empty() {
-            self.requeue_lost_frames(now, ack.path_id, outcome.lost_frames);
+        let lost_frames = std::mem::take(&mut outcome.lost_frames);
+        if !lost_frames.is_empty() {
+            self.requeue_lost_frames(now, ack.path_id, lost_frames);
+        }
+        // Hand the outcome's spent buffers back so the next ACK on this
+        // path reuses their capacity (the steady-state zero-alloc claim).
+        if let Some(path) = self.paths.get_mut(&ack.path_id) {
+            path.recovery.reclaim(outcome);
         }
     }
 

@@ -119,6 +119,17 @@ pub struct Recovery {
     /// First packet number of the current congestion epoch: losses of
     /// packets sent before this do not trigger another window reduction.
     congestion_epoch_start: u64,
+    /// Reusable packet-number scratch for ACK processing and loss
+    /// detection: collecting pns before removal needs a buffer (the map
+    /// cannot be mutated mid-iteration), and reusing one keeps the ACK
+    /// path allocation-free at steady state like the egress side.
+    scratch: Vec<u64>,
+    /// Reusable backing store for [`AckOutcome::acked_frames`]: the
+    /// outcome borrows it via `mem::take` and the connection hands it
+    /// back through [`Recovery::reclaim`] once the frames are consumed,
+    /// so steady-state ACKs reuse one high-water allocation instead of
+    /// growing a fresh vector per ACK.
+    frames_buf: Vec<Frame>,
 }
 
 impl Recovery {
@@ -133,6 +144,8 @@ impl Recovery {
             rto_count: 0,
             rto_reference: None,
             congestion_epoch_start: 0,
+            scratch: Vec::new(),
+            frames_buf: Vec::new(),
         }
     }
 
@@ -188,16 +201,26 @@ impl Recovery {
         ack_delay: Duration,
         rtt: &mut RttEstimator,
     ) -> AckOutcome {
-        let mut outcome = AckOutcome::default();
+        // Acked frames accumulate into the reusable buffer; the caller
+        // returns it via [`Recovery::reclaim`] after consuming them.
+        let mut acked_frames = std::mem::take(&mut self.frames_buf);
+        acked_frames.clear();
+        let mut outcome = AckOutcome {
+            acked_frames,
+            ..AckOutcome::default()
+        };
         let mut largest_newly_acked: Option<(u64, SimTime, bool)> = None;
         for (start, end) in ranges {
             if end >= self.next_pn {
                 // Acking packets we never sent: ignore the bogus range.
                 continue;
             }
-            // Collect outstanding pns within the range.
-            let pns: Vec<u64> = self.sent.range(start..=end).map(|(&pn, _)| pn).collect();
-            for pn in pns {
+            // Collect outstanding pns within the range into the reusable
+            // scratch (taken out of `self` so the map stays borrowable).
+            let mut pns = std::mem::take(&mut self.scratch);
+            pns.clear();
+            pns.extend(self.sent.range(start..=end).map(|(&pn, _)| pn));
+            for &pn in &pns {
                 let packet = self.sent.remove(&pn).expect("pn listed");
                 if packet.ack_eliciting {
                     self.bytes_in_flight = self.bytes_in_flight.saturating_sub(packet.size);
@@ -209,6 +232,7 @@ impl Recovery {
                 }
                 outcome.acked_frames.extend(packet.frames);
             }
+            self.scratch = pns;
             self.largest_acked = Some(self.largest_acked.map_or(end, |l| l.max(end)));
         }
         if let Some((pn, time_sent, ack_eliciting)) = largest_newly_acked {
@@ -236,6 +260,15 @@ impl Recovery {
         outcome
     }
 
+    /// Takes an [`AckOutcome`] back once its frames are consumed, so the
+    /// next [`Recovery::on_ack`] reuses its `acked_frames` capacity
+    /// instead of allocating. Optional — dropping the outcome is
+    /// harmless, it just costs the next ACK one fresh allocation.
+    pub fn reclaim(&mut self, mut outcome: AckOutcome) {
+        outcome.acked_frames.clear();
+        self.frames_buf = outcome.acked_frames;
+    }
+
     /// Declares packets lost by packet threshold or time threshold and
     /// re-arms the loss timer. Returns `(frames, bytes, congestion_event)`.
     fn detect_lost(&mut self, now: SimTime, rtt: &RttEstimator) -> (Vec<Frame>, u64, bool) {
@@ -247,7 +280,8 @@ impl Recovery {
         let mut lost_frames = Vec::new();
         let mut lost_bytes = 0;
         let mut congestion_event = false;
-        let mut lost_pns = Vec::new();
+        let mut lost_pns = std::mem::take(&mut self.scratch);
+        lost_pns.clear();
         for (&pn, packet) in self.sent.range(..largest_acked) {
             let by_count = pn + PACKET_THRESHOLD <= largest_acked;
             let deadline = packet.time_sent + threshold;
@@ -259,7 +293,7 @@ impl Recovery {
                 self.loss_time = Some(self.loss_time.map_or(deadline, |t| t.min(deadline)));
             }
         }
-        for pn in lost_pns {
+        for &pn in &lost_pns {
             let packet = self.sent.remove(&pn).expect("pn listed");
             if packet.ack_eliciting {
                 self.bytes_in_flight = self.bytes_in_flight.saturating_sub(packet.size);
@@ -270,6 +304,7 @@ impl Recovery {
             }
             lost_frames.extend(packet.frames);
         }
+        self.scratch = lost_pns;
         if congestion_event {
             // Start a new epoch: further losses of already-sent packets
             // belong to this same event.
@@ -318,8 +353,10 @@ impl Recovery {
                     outcome.rto_fired = true;
                     outcome.congestion_event = true;
                     self.congestion_epoch_start = self.next_pn;
-                    let pns: Vec<u64> = self.sent.keys().copied().collect();
-                    for pn in pns {
+                    let mut pns = std::mem::take(&mut self.scratch);
+                    pns.clear();
+                    pns.extend(self.sent.keys().copied());
+                    for &pn in &pns {
                         let packet = self.sent.remove(&pn).expect("listed");
                         if packet.ack_eliciting {
                             self.bytes_in_flight = self.bytes_in_flight.saturating_sub(packet.size);
@@ -327,6 +364,7 @@ impl Recovery {
                         outcome.lost_bytes += packet.size;
                         outcome.lost_frames.extend(packet.frames);
                     }
+                    self.scratch = pns;
                 }
             }
         }

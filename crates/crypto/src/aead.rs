@@ -75,7 +75,23 @@ impl Aead {
         for chunk in data.chunks_mut(64) {
             let ks = &mut ks[..chunk.len()];
             rng.fill_bytes(ks);
-            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+            // XOR a word at a time; the byte tail covers non-multiple-of-8
+            // chunk lengths. Byte-for-byte identical to the scalar loop —
+            // the keystream bytes are the same, only the XOR widens.
+            let mut data_words = chunk.chunks_exact_mut(8);
+            let mut ks_words = ks.chunks_exact(8);
+            for (d, k) in data_words.by_ref().zip(ks_words.by_ref()) {
+                let mut word = [0u8; 8];
+                word.copy_from_slice(d);
+                let mixed =
+                    u64::from_ne_bytes(word) ^ u64::from_ne_bytes(k.try_into().unwrap_or([0; 8]));
+                d.copy_from_slice(&mixed.to_ne_bytes());
+            }
+            for (d, k) in data_words
+                .into_remainder()
+                .iter_mut()
+                .zip(ks_words.remainder())
+            {
                 *d ^= k;
             }
         }
@@ -237,7 +253,65 @@ mod tests {
         assert_eq!(xored, expected);
     }
 
+    /// The original byte-at-a-time keystream XOR, kept verbatim as the
+    /// compatibility oracle for the word-at-a-time rewrite.
+    fn keystream_xor_bytewise(k: &Key, nonce: &[u8; 12], data: &mut [u8]) {
+        let mut rng = mpquic_util::DetRng::new(stream_seed(k, nonce, 0x5EA1));
+        let mut ks = [0u8; 64];
+        for chunk in data.chunks_mut(64) {
+            let ks = &mut ks[..chunk.len()];
+            rng.fill_bytes(ks);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= k;
+            }
+        }
+    }
+
+    #[test]
+    fn word_xor_keystream_is_byte_exact_with_old_impl() {
+        // Every length across several 64-byte chunk boundaries, including
+        // the 1..7-byte tails the word loop leaves to the remainder path.
+        let k = key(0x5A);
+        let aead = Aead::new(k);
+        let nonce = [0x42u8; 12];
+        for len in 0..=200usize {
+            let plain: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(31)).collect();
+            let mut via_new = plain.clone();
+            aead.keystream_xor(&nonce, &mut via_new);
+            let mut via_old = plain.clone();
+            keystream_xor_bytewise(&k, &nonce, &mut via_old);
+            assert_eq!(via_new, via_old, "keystream diverged at len {len}");
+        }
+    }
+
+    #[test]
+    fn sealed_wire_bytes_unchanged_by_word_xor() {
+        // Pin actual wire output: ciphertexts sealed before the rewrite
+        // must still open, i.e. seal(open(x)) is stable across lengths.
+        let aead = Aead::new(key(9));
+        let nonce = [3u8; 12];
+        let plaintext: Vec<u8> = (0..130u8).collect();
+        let sealed = aead.seal(&nonce, b"hdr", &plaintext);
+        let mut expected = plaintext.clone();
+        keystream_xor_bytewise(&key(9), &nonce, &mut expected);
+        assert_eq!(&sealed[..plaintext.len()], &expected[..]);
+        assert_eq!(aead.open(&nonce, b"hdr", &sealed).unwrap(), plaintext);
+    }
+
     proptest! {
+        #[test]
+        fn prop_word_xor_matches_bytewise(
+            k in any::<[u8; 32]>(),
+            nonce in any::<[u8; 12]>(),
+            data in proptest::collection::vec(any::<u8>(), 0..300),
+        ) {
+            let mut data = data;
+            let mut oracle = data.clone();
+            Aead::new(k).keystream_xor(&nonce, &mut data);
+            keystream_xor_bytewise(&k, &nonce, &mut oracle);
+            prop_assert_eq!(data, oracle);
+        }
+
         #[test]
         fn prop_round_trip(
             k in any::<[u8; 32]>(),

@@ -1,0 +1,116 @@
+//! Graduated waiting for transient socket conditions.
+//!
+//! The datapath meets two kinds of "not right now": a full send buffer
+//! (`WouldBlock` on send) and a dry socket (nothing to receive). Both
+//! clear on their own — usually within microseconds under load — so a
+//! fixed `thread::sleep` either wastes latency (sleeping through the
+//! moment the condition clears) or burns a core (spinning long after
+//! it was worth it). [`Backoff`] graduates through the cheap options
+//! first: a few busy spins with the CPU's pause hint, then scheduler
+//! yields, then exponentially growing sleeps capped at the timer
+//! granularity, so a stalled socket costs latency proportional to how
+//! stalled it actually is.
+
+use std::time::Duration;
+
+/// Busy-spin steps before the first yield.
+const SPIN_STEPS: u32 = 4;
+/// `yield_now` steps before the first sleep.
+const YIELD_STEPS: u32 = 4;
+/// First sleep length; doubles per step up to [`MAX_SLEEP`].
+const FIRST_SLEEP: Duration = Duration::from_micros(10);
+/// Sleep cap — matches the timer wheel's granularity
+/// ([`crate::timer::Timer`]), past which a shard would rather run its
+/// timers than wait longer.
+const MAX_SLEEP: Duration = Duration::from_micros(500);
+
+/// Spin → yield → capped-sleep waiter for transient `WouldBlock`s.
+///
+/// Call [`Backoff::wait`] each time the transient condition is observed
+/// and [`Backoff::reset`] whenever progress is made; the next stall
+/// then starts back at the cheap spinning end of the ladder.
+#[derive(Debug, Clone, Default)]
+pub struct Backoff {
+    step: u32,
+}
+
+impl Backoff {
+    /// A fresh waiter, starting at the spin stage.
+    pub fn new() -> Backoff {
+        Backoff::default()
+    }
+
+    /// Forgets accumulated steps; the next [`Backoff::wait`] spins.
+    pub fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    /// Number of waits since the last reset.
+    pub fn steps(&self) -> u32 {
+        self.step
+    }
+
+    /// The sleep the next [`Backoff::wait`] would take: `None` during
+    /// the spin/yield stages, `Some(duration)` once sleeping.
+    pub fn next_sleep(&self) -> Option<Duration> {
+        if self.step < SPIN_STEPS + YIELD_STEPS {
+            return None;
+        }
+        let exp = (self.step - SPIN_STEPS - YIELD_STEPS).min(16);
+        Some((FIRST_SLEEP * 2u32.saturating_pow(exp)).min(MAX_SLEEP))
+    }
+
+    /// Waits one step: spins with the CPU pause hint, yields the
+    /// scheduler slot, or sleeps (doubling up to the cap), depending on
+    /// how many waits have accumulated since the last reset.
+    pub fn wait(&mut self) {
+        if self.step < SPIN_STEPS {
+            // A short burst of pause-hinted spins: cheapest, and wins
+            // when the kernel drains the buffer within microseconds.
+            for _ in 0..(1 << self.step.min(6)) {
+                std::hint::spin_loop();
+            }
+        } else if let Some(sleep) = self.next_sleep() {
+            std::thread::sleep(sleep);
+        } else {
+            std::thread::yield_now();
+        }
+        self.step = self.step.saturating_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_spins_then_yields_then_sleeps() {
+        let mut b = Backoff::new();
+        // Spin and yield stages report no sleep.
+        for _ in 0..(SPIN_STEPS + YIELD_STEPS) {
+            assert_eq!(b.next_sleep(), None);
+            b.wait();
+        }
+        // First sleep is the base, then doubles.
+        assert_eq!(b.next_sleep(), Some(FIRST_SLEEP));
+        b.wait();
+        assert_eq!(b.next_sleep(), Some(FIRST_SLEEP * 2));
+    }
+
+    #[test]
+    fn sleep_is_capped() {
+        let b = Backoff { step: 64 };
+        assert_eq!(b.next_sleep(), Some(MAX_SLEEP));
+        // And the exponent is clamped so the doubling cannot overflow.
+        let b = Backoff { step: u32::MAX };
+        assert_eq!(b.next_sleep(), Some(MAX_SLEEP));
+    }
+
+    #[test]
+    fn reset_returns_to_spinning() {
+        let mut b = Backoff { step: 32 };
+        b.reset();
+        assert_eq!(b.steps(), 0);
+        assert_eq!(b.next_sleep(), None);
+    }
+}

@@ -1,23 +1,33 @@
-//! `mpq-server` — accept one authenticated file transfer over real UDP.
+//! `mpq-server` — serve authenticated file transfers over real UDP.
 //!
 //! ```text
 //! mpq-server [--listen ADDR]... [--single-path | --multipath]
-//!            [--qlog FILE] [--stats-interval SECS] [--out DIR]
+//!            [--max-conns N] [--workers N]
 //!            [--seed N] [--timeout SECS]
 //! ```
 //!
-//! Binds one UDP socket per `--listen` address (default `127.0.0.1:4433`),
-//! waits for an `mpq-client`, receives one file, verifies its checksum,
-//! reports the verdict to the client, prints per-path transfer statistics
-//! and exits. With `--multipath` (the default) every listen address is
-//! advertised to the client via ADD_ADDRESS so it can open one path per
-//! local interface.
+//! Binds one UDP socket per `--listen` address (default `127.0.0.1:4433`)
+//! and serves **many concurrent clients** through an
+//! [`mpquic_io::Endpoint`]: a demux thread routes each datagram by its
+//! connection ID, and `--workers` shards (default: one per core) each
+//! drive a disjoint set of connections. Each connection receives one
+//! file, verifies its checksum and reports the verdict to its client.
+//!
+//! `--max-conns` (default 1, the old single-shot behaviour) is both the
+//! accept limit — datagrams with new connection IDs beyond it are
+//! dropped and counted — and the number of transfers served before the
+//! process prints its per-shard report and exits. The exit status is
+//! non-zero if any transfer failed verification or `--timeout` expired
+//! first.
+//!
+//! With `--multipath` (the default) every listen address is advertised
+//! to each client via ADD_ADDRESS so it can open one path per local
+//! interface.
 
 use mpquic_core::Config;
-use mpquic_io::cli::{entropy_seed, install_telemetry, print_report, stats_interval, Args};
-use mpquic_io::{quic_server, transfer, BlockingStream};
+use mpquic_io::cli::{entropy_seed, print_endpoint_report, Args};
+use mpquic_io::{Endpoint, TransferApp};
 use std::net::SocketAddr;
-use std::path::Path;
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -32,7 +42,7 @@ fn run() -> Result<(), String> {
     if args.has("help") {
         println!(
             "usage: mpq-server [--listen ADDR]... [--single-path|--multipath] \
-             [--qlog FILE] [--stats-interval SECS] [--out DIR] [--seed N] [--timeout SECS]"
+             [--max-conns N] [--workers N] [--seed N] [--timeout SECS]"
         );
         return Ok(());
     }
@@ -42,9 +52,18 @@ fn run() -> Result<(), String> {
         listen.push(SocketAddr::from(([127, 0, 0, 1], 4433)));
     }
     let single_path = args.has("single-path");
-    let qlog_path = args.value("qlog").map(str::to_string);
-    let stats_every = stats_interval(&args)?;
-    let out_dir = args.value("out").map(str::to_string);
+    let max_conns: usize = match args.value("max-conns") {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| "--max-conns: not a number".to_string())?,
+        None => 1,
+    };
+    let workers: usize = match args.value("workers") {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| "--workers: not a number".to_string())?,
+        None => 0, // auto: one shard per core
+    };
     let seed = match args.value("seed") {
         Some(raw) => raw
             .parse()
@@ -63,92 +82,64 @@ fn run() -> Result<(), String> {
     } else {
         Config::builder().multipath()
     }
+    .max_incoming_connections(max_conns)
+    .worker_shards(workers)
     .build()
     .map_err(|e| format!("config: {e}"))?;
 
-    let mut driver = quic_server(config, &listen, seed).map_err(|e| format!("bind: {e}"))?;
-    // Streaming telemetry: the qlog is written incrementally and flushed
-    // when the connection drops, so a timeout or error exit still leaves
-    // the trace on disk.
-    let metrics = install_telemetry(driver.connection_mut(), qlog_path.as_deref(), stats_every)?;
-    if let Some(path) = &qlog_path {
-        println!("qlog streaming to {path}");
-    }
+    let endpoint = Endpoint::bind(
+        &listen,
+        config,
+        seed,
+        Box::new(|_cid| Box::new(TransferApp::new())),
+    )
+    .map_err(|e| format!("bind: {e}"))?;
     println!(
-        "listening on {:?} ({})",
-        driver.local_addrs(),
+        "listening on {:?} ({}, {} workers, up to {} connections)",
+        endpoint.local_addrs(),
         if single_path {
             "single-path"
         } else {
             "multipath"
-        }
+        },
+        endpoint.workers(),
+        max_conns,
     );
 
-    let mut stream = BlockingStream::with_timeout(driver, timeout);
-    stream
-        .wait_established()
-        .map_err(|e| format!("handshake: {e}"))?;
+    // Serve until `--max-conns` transfers have finished (counting
+    // failures, so a misbehaving client cannot pin the process) or the
+    // deadline passes.
     let started = Instant::now();
-
-    let received = transfer::recv_request(&mut stream);
-    let (verdict, checksum, saved) = match &received {
-        Ok((header, payload)) => {
-            println!(
-                "received {:?}: {} bytes, checksum {:#018x} verified",
-                header.name, header.size, header.checksum
-            );
-            let saved = match &out_dir {
-                Some(dir) => save_upload(dir, &header.name, payload).map(Some)?,
-                None => None,
-            };
-            (true, header.checksum, saved)
+    let deadline = started + timeout;
+    let timed_out = loop {
+        let snap = endpoint.stats();
+        if (snap.completed + snap.failed) as usize >= max_conns {
+            break false;
         }
-        Err(e) => {
-            eprintln!("transfer failed verification: {e}");
-            (false, 0, None)
+        if Instant::now() >= deadline {
+            break true;
         }
+        std::thread::sleep(Duration::from_millis(5));
     };
-    if let Some(path) = saved {
-        println!("saved to {path}");
-    }
-
-    transfer::send_response(&mut stream, verdict, checksum)
-        .map_err(|e| format!("response: {e}"))?;
-    stream.finish().map_err(|e| format!("finish: {e}"))?;
-
-    // Linger until the client has acknowledged the response (stream 1 is
-    // the single application stream) or a short grace period passes.
-    let driver = stream.driver_mut();
-    let _ = driver.run_until(Duration::from_secs(2), |t| {
-        t.conn.stream_fully_acked(1) || t.conn.is_closed()
-    });
-
     let elapsed = started.elapsed().as_secs_f64();
-    print_report(
-        "mpq-server",
-        driver.connection(),
-        &driver.stats(),
-        &driver.socket_drops(),
-        driver.batch_stats(),
-        elapsed,
-        Some(&metrics.snapshot()),
-    );
-    if !verdict {
-        return Err("upload did not verify".into());
+
+    let report = endpoint.shutdown();
+    print_endpoint_report("mpq-server", &report, elapsed);
+
+    if timed_out {
+        return Err(format!(
+            "timed out after {:.0}s with {}/{} transfers done",
+            timeout.as_secs_f64(),
+            report.totals.completed + report.totals.failed,
+            max_conns,
+        ));
+    }
+    if report.totals.failed > 0 {
+        return Err(format!(
+            "{} of {} transfers failed verification",
+            report.totals.failed,
+            report.totals.completed + report.totals.failed,
+        ));
     }
     Ok(())
-}
-
-/// Stores an upload under `dir`, keeping only the name's final component
-/// so a client cannot traverse outside the directory.
-fn save_upload(dir: &str, name: &str, payload: &[u8]) -> Result<String, String> {
-    let base = Path::new(name)
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .filter(|n| n != "..")
-        .unwrap_or_else(|| "upload.bin".to_string());
-    std::fs::create_dir_all(dir).map_err(|e| format!("--out: {e}"))?;
-    let path = Path::new(dir).join(base);
-    std::fs::write(&path, payload).map_err(|e| format!("--out: {e}"))?;
-    Ok(path.display().to_string())
 }

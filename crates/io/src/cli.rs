@@ -212,6 +212,65 @@ pub fn print_report(
     }
 }
 
+/// Prints a multi-connection endpoint's end-of-run report: one line per
+/// worker shard, the merged socket/batching counters (folded with
+/// [`IoStats::merge`] / [`BatchStats::merge`]), and the endpoint-level
+/// accept/verdict totals.
+pub fn print_endpoint_report(label: &str, report: &crate::EndpointReport, elapsed_secs: f64) {
+    let totals = &report.totals;
+    println!("--- {label} ---");
+    for shard in &report.shards {
+        println!(
+            "shard {}: {} conns, {} datagrams out / {} in, {} B out / {} B in, \
+             {} timer fires, {} send drops",
+            shard.shard,
+            shard.conns_served,
+            shard.io.datagrams_sent,
+            shard.io.datagrams_received,
+            shard.io.bytes_sent,
+            shard.io.bytes_received,
+            shard.io.timer_fires,
+            shard.io.send_drops,
+        );
+    }
+    let io = report.merged_io();
+    let batch = report.merged_batch();
+    println!(
+        "sockets: {} datagrams out ({} dropped at socket), {} in across {} shards",
+        io.datagrams_sent,
+        io.send_drops,
+        io.datagrams_received,
+        report.shards.len(),
+    );
+    if batch.send_syscalls > 0 {
+        println!(
+            "batching: {} send syscalls ({:.2} datagrams/syscall mean, {} max), \
+             {} syscalls saved",
+            batch.send_syscalls,
+            batch.send_batch_size.mean(),
+            batch.send_batch_size.max(),
+            batch.syscalls_saved,
+        );
+    }
+    println!(
+        "connections: {} accepted, {} completed, {} failed, {} rejected at limit, \
+         {} malformed, {} backpressure drops",
+        totals.accepted,
+        totals.completed,
+        totals.failed,
+        totals.rejected,
+        totals.malformed,
+        totals.backpressure_drops,
+    );
+    if elapsed_secs > 0.0 && totals.completed > 0 {
+        println!(
+            "elapsed: {elapsed_secs:.3} s ({:.1} connections/s, {:.2} Mbit/s aggregate in)",
+            totals.completed as f64 / elapsed_secs,
+            io.bytes_received as f64 * 8.0 / elapsed_secs / 1e6,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -73,6 +73,22 @@ pub struct IoStats {
     pub syscalls_saved: u64,
 }
 
+impl IoStats {
+    /// Sums another loop's counters into this one — used to fold the
+    /// per-shard loops of an [`crate::Endpoint`] into one report.
+    pub fn merge(&mut self, other: &IoStats) {
+        self.datagrams_sent += other.datagrams_sent;
+        self.datagrams_received += other.datagrams_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.send_drops += other.send_drops;
+        self.timer_fires += other.timer_fires;
+        self.send_syscalls += other.send_syscalls;
+        self.recv_syscalls += other.recv_syscalls;
+        self.syscalls_saved += other.syscalls_saved;
+    }
+}
+
 /// Drives one sans-IO [`Transport`] over real UDP sockets.
 #[derive(Debug)]
 pub struct Driver<T: Transport> {

@@ -1,0 +1,542 @@
+//! The multi-connection endpoint: CID demultiplexing across worker
+//! shards.
+//!
+//! A [`crate::Driver`] serves exactly one connection; an [`Endpoint`]
+//! serves many over the same listen sockets, the way deployed QUIC
+//! stacks do. The split (DESIGN.md §12):
+//!
+//! * a **demux thread** owns ingress on the listen
+//!   [`SocketRegistry`]: one `recvmmsg` batch at a time, each datagram
+//!   routed by the connection ID read straight off the public header
+//!   ([`mpquic_wire::PublicHeader::connection_id_of`] — no full decode,
+//!   no crypto). Unknown CIDs create a server-side connection (up to
+//!   [`mpquic_core::Config::max_incoming_connections`]); known CIDs
+//!   forward to the owning shard over a bounded channel, with copies
+//!   staged in a demux-owned [`BufferPool`] so the steady state
+//!   allocates nothing.
+//! * N **worker shards** ([`crate::shard`]) each run a `Driver`-style
+//!   loop over a disjoint connection set, chosen by CID hash
+//!   ([`shard_for_cid`]), with their own egress queue and a `dup`ed
+//!   send handle on the listen sockets. A connection's packets never
+//!   cross shards, so the packet path needs no locks.
+//!
+//! The application each accepted connection runs is pluggable
+//! ([`ConnApp`]); [`TransferApp`] implements the `mpq` file-transfer
+//! server the binaries speak.
+
+use mpquic_core::{BufferPool, Config};
+use mpquic_harness::{QuicTransport, Transport};
+use mpquic_util::DetRng;
+use mpquic_wire::PublicHeader;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::backoff::Backoff;
+use crate::driver::IoStats;
+use crate::error::{Error, Result};
+use crate::shard::{run_shard, shard_for_cid, DemuxCtl, ShardMsg, ShardReport};
+use crate::socket::{RecvBatch, SocketRegistry};
+use crate::transfer;
+
+/// Datagrams pulled per demux iteration (one batched syscall's worth).
+const DEMUX_BATCH: usize = 64;
+
+/// Depth of each shard's bounded ingress channel: enough to absorb a
+/// syscall batch per connection burst; beyond it the demux drops (and
+/// counts) rather than let one slow shard stall ingress for the rest.
+const SHARD_QUEUE_DEPTH: usize = 512;
+
+/// Demux pool shape: buffers retained when idle, and per-buffer
+/// pre-allocation (a full-size datagram; receive buffers, unlike the
+/// egress queue's, must take `MAX_DATAGRAM`).
+const POOL_BUFFERS: usize = 1024;
+const POOL_BUF_CAPACITY: usize = 2048;
+
+/// Retired-CID tombstones kept before the oldest is forgotten.
+const MAX_TOMBSTONES: usize = 4096;
+
+/// What a [`ConnApp::poll`] reports back to its shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppStatus {
+    /// Still working; poll again after the next loop iteration.
+    Pending,
+    /// Finished. The shard closes the connection and counts the verdict
+    /// in [`EndpointSnapshot::completed`] / [`EndpointSnapshot::failed`].
+    Done {
+        /// Whether the application's job succeeded.
+        ok: bool,
+    },
+}
+
+/// The application served on one accepted connection.
+///
+/// Polled by the owning shard on every loop iteration, between ingress
+/// and egress — so data read here was fed by the freshest datagrams,
+/// and data written flushes in the same iteration. Implementations must
+/// never block: return [`AppStatus::Pending`] and wait to be polled
+/// again.
+pub trait ConnApp: Send {
+    /// Advances the application one non-blocking step.
+    fn poll(&mut self, transport: &mut QuicTransport) -> AppStatus;
+}
+
+/// Builds the [`ConnApp`] for each accepted connection, given its CID.
+pub type AppFactory = Box<dyn Fn(u64) -> Box<dyn ConnApp> + Send + Sync>;
+
+/// The application stream both binaries use (the client's first
+/// stream; mirrors `mpquic_harness`'s `APP_STREAM`).
+const APP_STREAM: mpquic_core::StreamId = 1;
+
+/// The `mpq` file-transfer server as a [`ConnApp`]: receive one
+/// request, verify its checksum, answer with the verdict, and report
+/// success once the client has acknowledged the response.
+#[derive(Debug, Default)]
+pub struct TransferApp {
+    /// Request bytes accumulated until the client's FIN.
+    buf: Vec<u8>,
+    state: TransferState,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+enum TransferState {
+    /// Accumulating the request stream until the client's FIN.
+    #[default]
+    Receiving,
+    /// Response written; waiting for it to be fully acknowledged.
+    Flushing { ok: bool },
+    /// Verdict delivered to the shard.
+    Finished { ok: bool },
+}
+
+impl TransferApp {
+    /// A fresh transfer server. The [`AppFactory`] form is
+    /// `Box::new(|_| Box::new(TransferApp::new()))`.
+    pub fn new() -> TransferApp {
+        TransferApp::default()
+    }
+}
+
+impl ConnApp for TransferApp {
+    fn poll(&mut self, transport: &mut QuicTransport) -> AppStatus {
+        match self.state {
+            TransferState::Receiving => {
+                while let Some(chunk) = transport.read_chunk() {
+                    self.buf.extend_from_slice(&chunk);
+                }
+                if !transport.recv_finished() {
+                    return AppStatus::Pending;
+                }
+                let mut reader: &[u8] = &self.buf;
+                let (ok, checksum) = match transfer::recv_request(&mut reader) {
+                    Ok((header, _payload)) => (true, header.checksum),
+                    Err(_) => (false, 0),
+                };
+                let mut response = Vec::new();
+                let _ = transfer::send_response(&mut response, ok, checksum);
+                transport.write(bytes::Bytes::from(response));
+                transport.finish();
+                // Release the payload memory now; only the verdict is
+                // still in flight.
+                self.buf = Vec::new();
+                self.state = TransferState::Flushing { ok };
+                AppStatus::Pending
+            }
+            TransferState::Flushing { ok } => {
+                if transport.conn.stream_fully_acked(APP_STREAM) || transport.conn.is_closed() {
+                    self.state = TransferState::Finished { ok };
+                    return AppStatus::Done { ok };
+                }
+                AppStatus::Pending
+            }
+            // The shard stops polling after the first `Done`; repeat
+            // the verdict if it asks again anyway.
+            TransferState::Finished { ok } => AppStatus::Done { ok },
+        }
+    }
+}
+
+/// Live counters shared by the demux thread, every shard, and the
+/// endpoint handle. All relaxed: they are telemetry, not
+/// synchronisation.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    /// Connections created for a first-seen CID.
+    pub accepted: AtomicU64,
+    /// Currently live (accepted minus retired).
+    pub active: AtomicU64,
+    /// Applications that finished successfully.
+    pub completed: AtomicU64,
+    /// Applications that failed, or connections lost before a verdict.
+    pub failed: AtomicU64,
+    /// New-CID datagrams dropped because the accept limit was reached.
+    pub rejected: AtomicU64,
+    /// Datagrams whose public header yielded no CID.
+    pub malformed: AtomicU64,
+    /// Datagrams dropped because the owning shard's queue was full.
+    pub backpressure_drops: AtomicU64,
+    /// Every datagram the demux pulled off the listen sockets.
+    pub datagrams_in: AtomicU64,
+}
+
+/// A point-in-time copy of [`EndpointStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointSnapshot {
+    /// Connections created for a first-seen CID.
+    pub accepted: u64,
+    /// Currently live (accepted minus retired).
+    pub active: u64,
+    /// Applications that finished successfully.
+    pub completed: u64,
+    /// Applications that failed, or connections lost before a verdict.
+    pub failed: u64,
+    /// New-CID datagrams dropped because the accept limit was reached.
+    pub rejected: u64,
+    /// Datagrams whose public header yielded no CID.
+    pub malformed: u64,
+    /// Datagrams dropped because the owning shard's queue was full.
+    pub backpressure_drops: u64,
+    /// Every datagram the demux pulled off the listen sockets.
+    pub datagrams_in: u64,
+}
+
+impl EndpointStats {
+    /// Copies the live counters.
+    pub fn snapshot(&self) -> EndpointSnapshot {
+        EndpointSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            backpressure_drops: self.backpressure_drops.load(Ordering::Relaxed),
+            datagrams_in: self.datagrams_in.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// End-of-run report: every shard's counters plus the endpoint totals.
+#[derive(Debug, Clone, Default)]
+pub struct EndpointReport {
+    /// Per-shard loop counters, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// Final endpoint-level counters.
+    pub totals: EndpointSnapshot,
+}
+
+impl EndpointReport {
+    /// All shards' socket-level counters folded into one [`IoStats`].
+    pub fn merged_io(&self) -> IoStats {
+        let mut io = IoStats::default();
+        for shard in &self.shards {
+            io.merge(&shard.io);
+        }
+        io
+    }
+
+    /// All shards' batching telemetry folded into one
+    /// [`crate::BatchStats`].
+    pub fn merged_batch(&self) -> crate::BatchStats {
+        let mut batch = crate::BatchStats::default();
+        for shard in &self.shards {
+            batch.merge(&shard.batch);
+        }
+        batch
+    }
+}
+
+/// A multi-connection server endpoint: shared listen sockets, a demux
+/// thread, and N worker shards.
+pub struct Endpoint {
+    demux: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<ShardReport>>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<EndpointStats>,
+    local: Vec<SocketAddr>,
+}
+
+impl Endpoint {
+    /// Binds `listen` and starts serving: every accepted connection
+    /// runs the app built by `factory`. Worker count comes from
+    /// [`Config::worker_shards`] (`0` = `available_parallelism`), the
+    /// accept limit from [`Config::max_incoming_connections`].
+    pub fn bind(
+        listen: &[SocketAddr],
+        config: Config,
+        seed: u64,
+        factory: AppFactory,
+    ) -> Result<Endpoint> {
+        let sockets = SocketRegistry::bind(listen).map_err(Error::Io)?;
+        let local = sockets.local_addrs();
+        let workers = resolve_workers(config.worker_shards);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(EndpointStats::default());
+
+        let (ctl_tx, ctl_rx) = std::sync::mpsc::channel::<DemuxCtl>();
+        let mut shard_txs = Vec::with_capacity(workers);
+        let mut shards = Vec::with_capacity(workers);
+        for shard in 0..workers {
+            let (tx, rx) = sync_channel::<ShardMsg>(SHARD_QUEUE_DEPTH);
+            shard_txs.push(tx);
+            let send_handle = sockets.try_clone().map_err(Error::Io)?;
+            let ctl = ctl_tx.clone();
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            shards.push(
+                std::thread::Builder::new()
+                    .name(format!("mpq-shard-{shard}"))
+                    .spawn(move || run_shard(shard, rx, ctl, send_handle, stats, stop))
+                    .map_err(Error::Io)?,
+            );
+        }
+        drop(ctl_tx);
+
+        let demux = {
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let local = local.clone();
+            std::thread::Builder::new()
+                .name("mpq-demux".to_string())
+                .spawn(move || {
+                    run_demux(DemuxState {
+                        sockets,
+                        local,
+                        config,
+                        seed,
+                        factory,
+                        shard_txs,
+                        ctl_rx,
+                        stats,
+                        stop,
+                    })
+                })
+                .map_err(Error::Io)?
+        };
+
+        Ok(Endpoint {
+            demux: Some(demux),
+            shards,
+            stop,
+            stats,
+            local,
+        })
+    }
+
+    /// The bound listen addresses, in bind order.
+    pub fn local_addrs(&self) -> Vec<SocketAddr> {
+        self.local.clone()
+    }
+
+    /// Number of worker shards serving connections.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live endpoint counters (lock-free; safe to poll while serving).
+    pub fn stats(&self) -> EndpointSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stops the demux and every shard, joins them, and returns the
+    /// final per-shard and endpoint-level counters.
+    pub fn shutdown(mut self) -> EndpointReport {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(demux) = self.demux.take() {
+            let _ = demux.join();
+        }
+        let mut shards: Vec<ShardReport> = Vec::with_capacity(self.shards.len());
+        for handle in self.shards.drain(..) {
+            if let Ok(report) = handle.join() {
+                shards.push(report);
+            }
+        }
+        shards.sort_by_key(|r| r.shard);
+        EndpointReport {
+            shards,
+            totals: self.stats.snapshot(),
+        }
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(demux) = self.demux.take() {
+            let _ = demux.join();
+        }
+        for handle in self.shards.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Resolves the configured shard count (`0` = auto).
+fn resolve_workers(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Everything the demux thread owns.
+struct DemuxState {
+    sockets: SocketRegistry,
+    local: Vec<SocketAddr>,
+    config: Config,
+    seed: u64,
+    factory: AppFactory,
+    shard_txs: Vec<SyncSender<ShardMsg>>,
+    ctl_rx: Receiver<DemuxCtl>,
+    stats: Arc<EndpointStats>,
+    stop: Arc<AtomicBool>,
+}
+
+/// The demux thread body: route datagrams by CID, accept unknown CIDs
+/// up to the configured limit, recycle buffers and CIDs the shards
+/// hand back.
+fn run_demux(mut state: DemuxState) {
+    let mut batch = RecvBatch::new(DEMUX_BATCH);
+    let mut pool = BufferPool::new(POOL_BUFFERS, POOL_BUF_CAPACITY);
+    // CID → owning shard. Entries retire when the shard reports the
+    // connection closed, freeing the accept slot.
+    let mut known: HashMap<u64, usize> = HashMap::new();
+    // Tombstones: a straggler datagram for a just-retired CID (the
+    // client ACKing our CONNECTION_CLOSE, say) must not re-trigger the
+    // accept path and pin a zombie connection in a shard. Bounded FIFO
+    // eviction keeps the set small.
+    let mut retired: HashSet<u64> = HashSet::new();
+    let mut retired_order: VecDeque<u64> = VecDeque::new();
+    let mut backoff = Backoff::new();
+
+    loop {
+        let mut progressed = false;
+
+        // 1. Feedback from the shards: recycled buffers, retired CIDs.
+        while let Ok(ctl) = state.ctl_rx.try_recv() {
+            match ctl {
+                DemuxCtl::Return(buf) => pool.put(buf),
+                DemuxCtl::Retire { cid } => {
+                    if known.remove(&cid).is_some() {
+                        state.stats.active.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    if retired.insert(cid) {
+                        retired_order.push_back(cid);
+                        if retired_order.len() > MAX_TOMBSTONES {
+                            if let Some(old) = retired_order.pop_front() {
+                                retired.remove(&old);
+                            }
+                        }
+                    }
+                }
+            }
+            progressed = true;
+        }
+
+        // 2. Ingress: one batched receive, each datagram routed by the
+        //    CID read off its public header.
+        let received = state.sockets.poll_recv_batch(&mut batch).unwrap_or(0);
+        if received > 0 {
+            progressed = true;
+            // Collect routing first: forwarding needs `&mut` channels
+            // while `batch` borrows are live, so stage (shard, meta)
+            // per datagram, then move payloads out.
+            for (meta, payload) in batch.iter() {
+                state.stats.datagrams_in.fetch_add(1, Ordering::Relaxed);
+                let Some(cid) = PublicHeader::connection_id_of(payload) else {
+                    state.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+                let shard = match known.get(&cid) {
+                    Some(&shard) => shard,
+                    None if retired.contains(&cid) => {
+                        // Straggler for a finished connection: drop.
+                        continue;
+                    }
+                    None => {
+                        let Some(shard) = try_accept(&mut state, &mut known, cid) else {
+                            continue;
+                        };
+                        shard
+                    }
+                };
+                let mut buf = pool.take();
+                buf.clear();
+                buf.extend_from_slice(payload);
+                let Some(tx) = state.shard_txs.get(shard) else {
+                    pool.put(buf);
+                    continue;
+                };
+                match tx.try_send(ShardMsg::Datagram { cid, meta, buf }) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(msg)) => {
+                        state
+                            .stats
+                            .backpressure_drops
+                            .fetch_add(1, Ordering::Relaxed);
+                        if let ShardMsg::Datagram { buf, .. } = msg {
+                            pool.put(buf);
+                        }
+                    }
+                    Err(TrySendError::Disconnected(msg)) => {
+                        if let ShardMsg::Datagram { buf, .. } = msg {
+                            pool.put(buf);
+                        }
+                    }
+                }
+            }
+        }
+
+        if state.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if progressed {
+            backoff.reset();
+        } else {
+            backoff.wait();
+        }
+    }
+}
+
+/// Accepts a first-seen CID: creates the server-side connection and
+/// hands it to its CID-hash shard. Returns the owning shard, or `None`
+/// if the accept limit is reached (the datagram is dropped and
+/// counted) or the shard hung up.
+fn try_accept(state: &mut DemuxState, known: &mut HashMap<u64, usize>, cid: u64) -> Option<usize> {
+    if known.len() >= state.config.max_incoming_connections {
+        state.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        return None;
+    }
+    let shard = shard_for_cid(cid, state.shard_txs.len());
+    // Each connection gets an independent deterministic RNG stream:
+    // the endpoint seed advanced by the (client-chosen) CID.
+    let conn_seed = DetRng::new(state.seed ^ cid).next_u64();
+    let conn =
+        mpquic_core::Connection::server(state.config.clone(), state.local.clone(), conn_seed);
+    let transport = Box::new(QuicTransport::server(conn));
+    let app = (state.factory)(cid);
+    let tx = state.shard_txs.get(shard)?;
+    // Accept-time handoff may block briefly on a full shard queue —
+    // this is the bounded cross-thread channel the design allows, and
+    // ordering with the follow-up datagram on the same channel is what
+    // guarantees the shard sees Accept first.
+    if tx
+        .send(ShardMsg::Accept {
+            cid,
+            transport,
+            app,
+        })
+        .is_err()
+    {
+        return None;
+    }
+    known.insert(cid, shard);
+    state.stats.accepted.fetch_add(1, Ordering::Relaxed);
+    state.stats.active.fetch_add(1, Ordering::Relaxed);
+    Some(shard)
+}

@@ -24,6 +24,12 @@
 //!   through the ingress → timers → egress cycle.
 //! * [`stream::BlockingStream`] — `std::io::Read`/`Write` over the
 //!   transport's byte stream, for ordinary blocking application code.
+//! * [`endpoint::Endpoint`] + [`shard`] — the multi-connection server:
+//!   a demux thread routing datagrams by connection ID to worker
+//!   shards, each running a `Driver`-style loop over a disjoint
+//!   connection set (DESIGN.md §12).
+//! * [`backoff::Backoff`] — graduated spin → yield → sleep waiting for
+//!   transient socket stalls, shared by every loop above.
 //! * [`transfer`] — the tiny authenticated file-transfer protocol the
 //!   `mpq-server` / `mpq-client` binaries speak.
 //!
@@ -53,19 +59,28 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod cli;
 pub mod clock;
 pub mod driver;
+pub mod endpoint;
 pub mod error;
 pub mod mmsg;
+pub mod shard;
 pub mod socket;
 pub mod stream;
 pub mod timer;
 pub mod transfer;
 
+pub use backoff::Backoff;
 pub use clock::Clock;
 pub use driver::{quic_client, quic_server, Driver, IoStats};
+pub use endpoint::{
+    AppFactory, AppStatus, ConnApp, Endpoint, EndpointReport, EndpointSnapshot, EndpointStats,
+    TransferApp,
+};
 pub use error::Error;
+pub use shard::{shard_for_cid, ShardReport};
 pub use socket::{BatchStats, RecvBatch, SocketRegistry};
 pub use stream::BlockingStream;
 pub use timer::Timer;

@@ -96,6 +96,18 @@ pub fn recv_batch(
     imp::recv_batch(socket, bufs, out, &mut scratch.inner)
 }
 
+/// Grows `socket`'s kernel send and receive buffers toward `bytes`,
+/// best-effort. A multi-connection endpoint funnels every client's
+/// traffic through one listen socket; at the default ~208 KiB receive
+/// buffer a brief demux-thread stall (a scheduling quantum on a loaded
+/// box) overflows it and converts a healthy burst into mass loss and
+/// RTO backoff. The kernel clamps the request to `rmem_max`/`wmem_max`,
+/// so a refusal or an unprivileged clamp is not an error — the socket
+/// simply keeps the size the kernel allows.
+pub fn set_buffer_sizes(socket: &UdpSocket, bytes: usize) {
+    imp::set_buffer_sizes(socket, bytes);
+}
+
 /// Linux: real `sendmmsg`/`recvmmsg` through hand-declared FFI.
 #[cfg(target_os = "linux")]
 #[allow(unsafe_code)]
@@ -160,6 +172,11 @@ mod imp {
         }
     }
 
+    /// `SOL_SOCKET` / `SO_SNDBUF` / `SO_RCVBUF` for the buffer-size knob.
+    const SOL_SOCKET: i32 = 1;
+    const SO_SNDBUF: i32 = 7;
+    const SO_RCVBUF: i32 = 8;
+
     extern "C" {
         fn sendmmsg(sockfd: i32, msgvec: *mut MMsgHdr, vlen: u32, flags: i32) -> i32;
         fn recvmmsg(
@@ -179,6 +196,25 @@ mod imp {
         ) -> i32;
     }
 
+    pub(super) fn set_buffer_sizes(socket: &UdpSocket, bytes: usize) {
+        let fd = socket.as_raw_fd();
+        let value = bytes.min(i32::MAX as usize) as i32;
+        for opt in [SO_RCVBUF, SO_SNDBUF] {
+            // SAFETY: `value` lives across the call and `optlen` matches
+            // its size. Failure (e.g. a tightened rmem_max) is ignored:
+            // the socket keeps whatever size the kernel granted.
+            let _ = unsafe {
+                setsockopt(
+                    fd,
+                    SOL_SOCKET,
+                    opt,
+                    &value as *const i32 as *const std::ffi::c_void,
+                    std::mem::size_of::<i32>() as u32,
+                )
+            };
+        }
+    }
+
     #[derive(Debug, Default)]
     pub(super) struct Scratch {
         hdrs: Vec<MMsgHdr>,
@@ -187,47 +223,53 @@ mod imp {
         /// `true` once `UDP_SEGMENT` proved unavailable; sticks for the
         /// scratch's lifetime so every later train goes via `sendmmsg`.
         gso_unsupported: bool,
-        /// Last `UDP_SEGMENT` value set per socket fd (0 = off), so the
-        /// `setsockopt` is only re-issued when the segment size changes.
-        gso_set: Vec<(i32, usize)>,
     }
 
-    /// Sets `UDP_SEGMENT` on `fd` to `seg` (0 disables) if it is not
-    /// already at that value. Returns `false` when the kernel rejects
-    /// the option (no UDP GSO support).
-    fn ensure_gso(fd: i32, seg: usize, s: &mut Scratch) -> bool {
-        let cached = s
-            .gso_set
-            .iter()
-            .find(|(cached_fd, _)| *cached_fd == fd)
-            .map(|(_, value)| *value);
-        if cached == Some(seg) || (cached.is_none() && seg == 0) {
-            return true;
-        }
-        let value = seg as i32;
-        // SAFETY: passes a valid pointer to a live i32 and its size.
-        let ret = unsafe {
-            setsockopt(
-                fd,
-                SOL_UDP,
-                UDP_SEGMENT,
-                &value as *const i32 as *const std::ffi::c_void,
-                std::mem::size_of::<i32>() as u32,
-            )
-        };
-        if ret < 0 {
-            return false;
-        }
-        match s.gso_set.iter_mut().find(|(cached_fd, _)| *cached_fd == fd) {
-            Some(slot) => slot.1 = seg,
-            None => s.gso_set.push((fd, seg)),
-        }
-        true
+    /// `struct cmsghdr` (64-bit glibc/musl layout).
+    #[repr(C)]
+    struct CmsgHdr {
+        len: usize,
+        level: i32,
+        ty: i32,
     }
 
-    /// One GSO send: the whole train in a single `sendmsg`, segmented
-    /// once inside the kernel. `Ok(None)` means GSO is unusable here
-    /// and the caller should fall back to `sendmmsg`.
+    /// A control buffer carrying exactly one `UDP_SEGMENT` cmsg:
+    /// `CMSG_SPACE(sizeof(u16))` = 24 bytes on 64-bit, header followed
+    /// by the segment size and alignment padding.
+    ///
+    /// Carrying the segment size per *call* (instead of `setsockopt` on
+    /// the fd) keeps the option off the socket itself, which matters
+    /// once several shards send through `try_clone`d handles of one
+    /// socket: fd-level state set by one thread would silently
+    /// re-segment (or un-segment) another thread's in-flight train.
+    #[repr(C, align(8))]
+    struct GsoControl {
+        hdr: CmsgHdr,
+        seg: u16,
+        _pad: [u8; 6],
+    }
+
+    impl GsoControl {
+        /// `CMSG_LEN(sizeof(u16))`: header plus payload, no tail pad.
+        const CMSG_LEN: usize = std::mem::size_of::<CmsgHdr>() + std::mem::size_of::<u16>();
+
+        fn new(segment_size: usize) -> GsoControl {
+            GsoControl {
+                hdr: CmsgHdr {
+                    len: GsoControl::CMSG_LEN,
+                    level: SOL_UDP,
+                    ty: UDP_SEGMENT,
+                },
+                seg: segment_size as u16,
+                _pad: [0; 6],
+            }
+        }
+    }
+
+    /// One GSO send: the whole train in a single `sendmsg` with a
+    /// `UDP_SEGMENT` control message, segmented once inside the kernel.
+    /// `Ok(None)` means GSO is unusable here and the caller should fall
+    /// back to `sendmmsg`.
     fn send_gso(
         socket: &UdpSocket,
         remote: &SocketAddr,
@@ -237,26 +279,24 @@ mod imp {
         s: &mut Scratch,
     ) -> io::Result<Option<(usize, usize)>> {
         let fd = socket.as_raw_fd();
-        if !ensure_gso(fd, segment_size, s) {
-            s.gso_unsupported = true;
-            return Ok(None);
-        }
         let mut addr = SockaddrStorage::default();
         let namelen = encode_sockaddr(remote, &mut addr);
         let mut iov = IoVec {
             base: payload.as_ptr() as *mut std::ffi::c_void,
             len: payload.len(),
         };
+        let mut control = GsoControl::new(segment_size);
         let hdr = MsgHdr {
             name: &mut addr as *mut SockaddrStorage as *mut std::ffi::c_void,
             namelen,
             iov: &mut iov as *mut IoVec,
             iovlen: 1,
-            control: std::ptr::null_mut(),
-            controllen: 0,
+            control: &mut control as *mut GsoControl as *mut std::ffi::c_void,
+            controllen: std::mem::size_of::<GsoControl>(),
             flags: 0,
         };
-        // SAFETY: `addr`, `iov` and `payload` all outlive the call.
+        // SAFETY: `addr`, `iov`, `control` and `payload` all outlive
+        // the call, and `controllen` matches the control buffer's size.
         let ret = unsafe { sendmsg(fd, &hdr, 0) };
         if ret >= 0 {
             // UDP sends are atomic: success means the whole train went.
@@ -265,11 +305,10 @@ mod imp {
         let e = io::Error::last_os_error();
         match e.raw_os_error() {
             // EINVAL/EIO/EMSGSIZE/EOPNOTSUPP: this socket or device
-            // cannot GSO. Turn the option back off and let the caller
-            // use the sendmmsg path from now on.
+            // cannot GSO. Let the caller use the sendmmsg path from now
+            // on; nothing to undo since the fd itself was never touched.
             Some(5) | Some(22) | Some(90) | Some(95) => {
                 s.gso_unsupported = true;
-                let _ = ensure_gso(fd, 0, s);
                 Ok(None)
             }
             _ => Err(e),
@@ -366,12 +405,9 @@ mod imp {
                 return Ok(result);
             }
         }
-        // sendmmsg fallback (also the single-datagram path). If this
-        // socket previously carried a GSO train, switch the option off
-        // so the kernel does not re-segment these exact-sized chunks.
-        if !ensure_gso(socket.as_raw_fd(), 0, s) {
-            s.gso_unsupported = true;
-        }
+        // sendmmsg fallback (also the single-datagram path). The GSO
+        // segment size travels as a per-call cmsg, so there is no
+        // fd-level option to switch off here.
         s.addrs.clear();
         s.addrs.push(SockaddrStorage::default());
         let namelen = match s.addrs.first_mut() {
@@ -484,6 +520,12 @@ mod imp {
 
     #[derive(Debug, Default)]
     pub(super) struct Scratch;
+
+    pub(super) fn set_buffer_sizes(_socket: &UdpSocket, _bytes: usize) {
+        // No portable std API for SO_RCVBUF/SO_SNDBUF; platform defaults
+        // stand. The batched endpoint still works, just with less burst
+        // absorption.
+    }
 
     pub(super) fn send_segments(
         socket: &UdpSocket,

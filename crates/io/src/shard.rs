@@ -1,0 +1,352 @@
+//! Worker shards: per-core event loops over disjoint connection sets.
+//!
+//! An [`crate::Endpoint`] splits its accepted connections across N
+//! worker threads by CID hash ([`shard_for_cid`]). Each shard owns a
+//! `Driver`-style loop — its own clock, timer, pool-backed
+//! [`TransmitQueue`] and a `dup`ed send handle over the shared listen
+//! sockets ([`crate::SocketRegistry::try_clone`]) — so after accept
+//! time no lock, channel or shared cache line sits on a connection's
+//! packet path. The only cross-thread traffic is:
+//!
+//! * ingress: the demux thread hands each shard its datagrams through a
+//!   bounded [`std::sync::mpsc::sync_channel`] ([`ShardMsg`]);
+//! * feedback: shards return pool buffers and retire finished CIDs
+//!   through one shared unbounded channel back to the demux
+//!   ([`DemuxCtl`]).
+//!
+//! The loop body mirrors [`crate::Driver::step`] — timers, ingress,
+//! application poll, batched egress — generalised over a map of
+//! connections instead of exactly one.
+
+use mpquic_core::TransmitQueue;
+use mpquic_harness::{QuicTransport, Transport};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+
+use crate::backoff::Backoff;
+use crate::clock::Clock;
+use crate::driver::IoStats;
+use crate::endpoint::{AppStatus, ConnApp, EndpointStats};
+use crate::socket::{BatchStats, RecvMeta, SocketRegistry};
+use crate::timer::Timer;
+
+/// Messages per loop iteration drained from the demux channel, so a
+/// connection flood cannot starve timers and egress.
+const MAX_MSGS_PER_STEP: usize = 256;
+
+/// Wire datagrams per connection per egress pass (matches the driver's
+/// `MAX_SEND_PER_STEP` so one bulk sender cannot monopolise the shard).
+const MAX_SEND_PER_CONN: usize = 256;
+
+/// Egress queue shape — same as the single-connection driver: segments
+/// per GSO train, and per-buffer pre-allocation comfortably above the
+/// MTU.
+const BATCH_SEGMENTS: usize = 64;
+const SEND_BUF_CAPACITY: usize = 2048;
+
+/// Application error code a shard closes with when the app layer
+/// reports failure (checksum mismatch, protocol violation).
+const APP_ERROR_CODE: u64 = 0x1;
+
+/// What the demux thread sends a worker shard.
+pub enum ShardMsg {
+    /// A newly accepted connection, handed over exactly once; after
+    /// this the CID's datagrams follow on the same (ordered) channel.
+    Accept {
+        /// The connection ID the demux routes on.
+        cid: u64,
+        /// The freshly created server-side transport (boxed: the
+        /// transport dwarfs the per-datagram variant, and boxing keeps
+        /// every queued message small).
+        transport: Box<QuicTransport>,
+        /// The application serving this connection.
+        app: Box<dyn ConnApp>,
+    },
+    /// One received datagram for a connection this shard owns. The
+    /// buffer comes from the demux thread's pool and must go back via
+    /// [`DemuxCtl::Return`].
+    Datagram {
+        /// Routing key (also [`ShardMsg::Accept`]'s `cid`).
+        cid: u64,
+        /// Receive addressing; `meta.len` bytes of `buf` are payload.
+        meta: RecvMeta,
+        /// Pool buffer holding the datagram payload.
+        buf: Vec<u8>,
+    },
+}
+
+/// What a worker shard sends back to the demux thread.
+pub enum DemuxCtl {
+    /// A datagram buffer, done with, for the demux pool.
+    Return(Vec<u8>),
+    /// A connection fully closed: forget its CID so the slot frees up
+    /// (a later datagram with this CID would be treated as new).
+    Retire {
+        /// The CID to drop from the demux table.
+        cid: u64,
+    },
+}
+
+/// End-of-run counters for one worker shard.
+#[derive(Debug, Clone, Default)]
+pub struct ShardReport {
+    /// Which shard (0-based, stable for the endpoint's lifetime).
+    pub shard: usize,
+    /// Socket-level counters for this shard's loop.
+    pub io: IoStats,
+    /// Datapath batching telemetry for this shard's send handle.
+    pub batch: BatchStats,
+    /// Connections this shard ever owned.
+    pub conns_served: u64,
+}
+
+/// Maps a connection ID to its owning shard.
+///
+/// Runs the CID through a [SplitMix64](https://prng.di.unimi.it/splitmix64.c)
+/// finalizer before reducing modulo `shards`: client CIDs are
+/// DetRng-random, but sequential or adversarial CIDs must not pile onto
+/// one shard, and the avalanche makes every input bit flip about half
+/// of the output bits. Deterministic — a CID's shard never changes, so
+/// a connection's packets never cross shards.
+pub fn shard_for_cid(cid: u64, shards: usize) -> usize {
+    let mut z = cid.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % shards.max(1) as u64) as usize
+}
+
+/// One connection owned by a shard.
+struct ConnEntry {
+    transport: Box<QuicTransport>,
+    app: Box<dyn ConnApp>,
+    /// The app finished (its verdict is counted); the connection is
+    /// only reaped once the CONNECTION_CLOSE has gone to the wire.
+    done: bool,
+}
+
+/// The shard thread body: loops until `stop` (or the demux hangs up),
+/// then reports its counters.
+///
+/// `sockets` must be a send handle (a [`SocketRegistry::try_clone`] of
+/// the listen registry) — the shard never receives from it; ingress
+/// arrives pre-routed on `rx`.
+pub(crate) fn run_shard(
+    shard: usize,
+    rx: Receiver<ShardMsg>,
+    ctl: Sender<DemuxCtl>,
+    mut sockets: SocketRegistry,
+    stats: Arc<EndpointStats>,
+    stop: Arc<AtomicBool>,
+) -> ShardReport {
+    let clock = Clock::new();
+    let timer = Timer::new();
+    let mut queue = TransmitQueue::new(BATCH_SEGMENTS, SEND_BUF_CAPACITY);
+    let mut io = IoStats::default();
+    let mut conns: HashMap<u64, ConnEntry> = HashMap::new();
+    let mut reap: Vec<u64> = Vec::new();
+    let mut backoff = Backoff::new();
+    let mut conns_served: u64 = 0;
+    let mut disconnected = false;
+
+    loop {
+        let mut progressed = false;
+
+        // 1. Ingress: drain pre-routed messages from the demux.
+        for _ in 0..MAX_MSGS_PER_STEP {
+            match rx.try_recv() {
+                Ok(ShardMsg::Accept {
+                    cid,
+                    transport,
+                    app,
+                }) => {
+                    conns.insert(
+                        cid,
+                        ConnEntry {
+                            transport,
+                            app,
+                            done: false,
+                        },
+                    );
+                    conns_served += 1;
+                    progressed = true;
+                }
+                Ok(ShardMsg::Datagram { cid, meta, buf }) => {
+                    if let Some(entry) = conns.get_mut(&cid) {
+                        let payload = buf.get(..meta.len).unwrap_or(&[]);
+                        entry.transport.handle_datagram(
+                            clock.now(),
+                            meta.local,
+                            meta.remote,
+                            payload,
+                        );
+                        io.datagrams_received += 1;
+                        io.bytes_received += meta.len as u64;
+                    }
+                    // Buffer back to the demux pool either way; a
+                    // race with retirement just drops the datagram,
+                    // which to the peer is ordinary loss.
+                    let _ = ctl.send(DemuxCtl::Return(buf));
+                    progressed = true;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+
+        // 2. Per connection: timers, application progress, egress.
+        for (&cid, entry) in conns.iter_mut() {
+            let now = clock.now();
+            if timer.is_due(now, entry.transport.next_timeout()) {
+                entry.transport.on_timeout(now);
+                io.timer_fires += 1;
+                progressed = true;
+            }
+
+            if !entry.done {
+                match entry.app.poll(&mut entry.transport) {
+                    AppStatus::Pending => {}
+                    AppStatus::Done { ok } => {
+                        if ok {
+                            stats.completed.fetch_add(1, Ordering::Relaxed);
+                            entry.transport.conn.close(0, "transfer complete");
+                        } else {
+                            stats.failed.fetch_add(1, Ordering::Relaxed);
+                            entry
+                                .transport
+                                .conn
+                                .close(APP_ERROR_CODE, "transfer failed");
+                        }
+                        entry.done = true;
+                        progressed = true;
+                    }
+                }
+                // A peer-initiated (or error) close without an app
+                // verdict counts as a failure.
+                if !entry.done && entry.transport.conn.is_closed() {
+                    stats.failed.fetch_add(1, Ordering::Relaxed);
+                    entry.done = true;
+                }
+            }
+
+            // Egress, mirroring Driver::step: fill the pool-backed
+            // queue (GSO coalescing), fan each train out in one
+            // batched syscall on the socket bound to its local
+            // address.
+            let mut sent = 0;
+            while sent < MAX_SEND_PER_CONN {
+                let produced = entry.transport.poll_transmit_batch(clock.now(), &mut queue);
+                if queue.is_empty() {
+                    break;
+                }
+                while let Some(transmit) = queue.pop() {
+                    let result = sockets.send_train(
+                        transmit.local,
+                        transmit.remote,
+                        &transmit.payload,
+                        transmit.segment_size,
+                    );
+                    let accepted = match &result {
+                        Ok(n) => *n,
+                        Err(_) => 0,
+                    };
+                    let bytes: usize = transmit.segments().take(accepted).map(<[u8]>::len).sum();
+                    sent += transmit.segment_count();
+                    // Recycle before acting on any error: pool
+                    // buffers must go back even on a failed send.
+                    queue.recycle(transmit.payload);
+                    if result.is_err() {
+                        // A socket-level refusal is fatal for this
+                        // connection only — close it; the shard and
+                        // its other connections keep running.
+                        if !entry.done {
+                            stats.failed.fetch_add(1, Ordering::Relaxed);
+                            entry.done = true;
+                        }
+                        entry.transport.conn.close(APP_ERROR_CODE, "socket error");
+                    }
+                    io.datagrams_sent += accepted as u64;
+                    io.bytes_sent += bytes as u64;
+                    progressed = true;
+                }
+                if produced == 0 {
+                    break;
+                }
+            }
+
+            // Reap once the close frame has hit the wire.
+            if entry.done && entry.transport.conn.is_closed() {
+                reap.push(cid);
+            }
+        }
+
+        for cid in reap.drain(..) {
+            conns.remove(&cid);
+            let _ = ctl.send(DemuxCtl::Retire { cid });
+            progressed = true;
+        }
+
+        if stop.load(Ordering::Relaxed) || disconnected {
+            break;
+        }
+        if progressed {
+            backoff.reset();
+        } else {
+            backoff.wait();
+        }
+    }
+
+    io.send_drops = sockets.send_drops();
+    let batch = sockets.batch_stats();
+    io.send_syscalls = batch.send_syscalls;
+    io.recv_syscalls = batch.recv_syscalls;
+    io.syscalls_saved = batch.syscalls_saved;
+    ShardReport {
+        shard,
+        io,
+        batch: batch.clone(),
+        conns_served,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for shards in 1..=16 {
+            for cid in [0u64, 1, 2, 0xABCD, u64::MAX] {
+                let first = shard_for_cid(cid, shards);
+                assert!(first < shards);
+                assert_eq!(first, shard_for_cid(cid, shards), "stable");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_does_not_divide_by_zero() {
+        assert_eq!(shard_for_cid(42, 0), 0);
+    }
+
+    #[test]
+    fn sequential_cids_spread_across_shards() {
+        // The avalanche must break up worst-case sequential CIDs.
+        let shards = 8;
+        let mut counts = vec![0usize; shards];
+        for cid in 0..800u64 {
+            counts[shard_for_cid(cid, shards)] += 1;
+        }
+        for (shard, &n) in counts.iter().enumerate() {
+            assert!(
+                n > 50 && n < 150,
+                "shard {shard} got {n}/800 sequential CIDs"
+            );
+        }
+    }
+}

@@ -17,6 +17,7 @@ use mpquic_harness::Transport;
 use std::io;
 use std::time::{Duration, Instant};
 
+use crate::backoff::Backoff;
 use crate::driver::Driver;
 use crate::error::{Error, Result};
 
@@ -130,6 +131,7 @@ impl<T: Transport> io::Read for BlockingStream<T> {
             return Ok(0);
         }
         let deadline = Instant::now() + self.timeout;
+        let mut backoff = Backoff::new();
         loop {
             // 1. Staged bytes from an earlier oversized chunk.
             if self.cursor < self.pending.len() {
@@ -155,12 +157,16 @@ impl<T: Transport> io::Read for BlockingStream<T> {
             if self.driver.transport().recv_finished() {
                 return Ok(0);
             }
-            // 4. Nothing yet: drive the loop, sleeping only when idle.
+            // 4. Nothing yet: drive the loop, backing off only while it
+            // stays idle (spin → yield → capped sleep) so a chunk that
+            // arrives moments later is not stuck behind a fixed sleep.
             if Instant::now() >= deadline {
                 return Err(Error::Timeout { op: "read" }.into());
             }
-            if !self.driver.step().map_err(io::Error::from)? {
-                std::thread::sleep(Duration::from_micros(200));
+            if self.driver.step().map_err(io::Error::from)? {
+                backoff.reset();
+            } else {
+                backoff.wait();
             }
         }
     }

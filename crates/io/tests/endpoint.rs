@@ -1,0 +1,283 @@
+//! Multi-connection endpoint integration: demux correctness over real
+//! sockets.
+//!
+//! These tests are the acceptance gate for the sharded endpoint
+//! (DESIGN.md §12): several concurrent clients transfer *distinct*
+//! payloads through one `Endpoint` and each gets exactly its own file
+//! verified back (per-CID stream isolation); datagrams with unknown
+//! connection IDs beyond `--max-conns` are dropped and counted; the
+//! CID-hash shard assignment is stable and balanced over random CIDs;
+//! and one `mpq-server` *process* completes eight concurrent
+//! `mpq-client` transfers.
+
+use mpquic_core::Config;
+use mpquic_io::{quic_client, shard_for_cid, transfer, BlockingStream, Endpoint, TransferApp};
+use mpquic_util::DetRng;
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const OP_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn loopback0() -> SocketAddr {
+    "127.0.0.1:0".parse().unwrap()
+}
+
+/// A per-client payload no other client sends: content depends on `tag`,
+/// so two clients' checksums never collide by construction.
+fn distinct_payload(tag: u64, size: usize) -> Vec<u8> {
+    (0..size)
+        .map(|i| {
+            ((i as u64)
+                .wrapping_mul(31)
+                .wrapping_add(tag.wrapping_mul(17))) as u8
+        })
+        .collect()
+}
+
+/// One complete client transfer against a running endpoint: handshake,
+/// upload `payload`, and assert the server's verdict echoes *our*
+/// checksum — the isolation proof. Closes cleanly so the server retires
+/// the connection promptly.
+fn run_client(server: SocketAddr, seed: u64, payload: &[u8]) {
+    let config = Config::builder()
+        .single_path()
+        .build()
+        .expect("client config");
+    let driver = quic_client(config, &[loopback0()], server, seed).expect("client bind");
+    let mut stream = BlockingStream::with_timeout(driver, OP_TIMEOUT);
+    stream.wait_established().expect("handshake");
+
+    let checksum = transfer::fnv1a64(payload);
+    transfer::send_request(&mut stream, "mine.bin", payload).expect("send");
+    stream.finish().expect("finish");
+    let (ok, server_checksum) = transfer::recv_response(&mut stream).expect("verdict");
+    assert!(ok, "server failed to verify the transfer");
+    assert_eq!(
+        server_checksum, checksum,
+        "server verified someone else's bytes (seed {seed})"
+    );
+
+    let driver = stream.driver_mut();
+    driver.connection_mut().close(0, "transfer complete");
+    let _ = driver.run_until(Duration::from_millis(50), |t| t.conn.is_closed());
+}
+
+#[test]
+fn concurrent_clients_get_their_own_files_back() {
+    const CLIENTS: usize = 3;
+    let config = Config::builder()
+        .single_path()
+        .max_incoming_connections(CLIENTS)
+        .worker_shards(2)
+        .build()
+        .expect("server config");
+    let endpoint = Endpoint::bind(
+        &[loopback0()],
+        config,
+        0x15011,
+        Box::new(|_cid| Box::new(TransferApp::new())),
+    )
+    .expect("bind endpoint");
+    let server = endpoint.local_addrs()[0];
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                // Distinct seed (→ distinct CID) and distinct payload
+                // (→ distinct checksum) per client.
+                let payload = distinct_payload(i as u64, 24 * 1024 + i * 8 * 1024);
+                run_client(server, 0xC0DE + i as u64, &payload);
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    // Every transfer completed server-side too, and the accept path saw
+    // exactly one connection per client.
+    let deadline = Instant::now() + OP_TIMEOUT;
+    while (endpoint.stats().completed as usize) < CLIENTS && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let report = endpoint.shutdown();
+    assert_eq!(report.totals.accepted as usize, CLIENTS);
+    assert_eq!(report.totals.completed as usize, CLIENTS);
+    assert_eq!(report.totals.failed, 0, "no transfer failed verification");
+    assert_eq!(report.totals.rejected, 0, "accept limit never hit");
+    let served: u64 = report.shards.iter().map(|s| s.conns_served).sum();
+    assert_eq!(served as usize, CLIENTS, "shards served every connection");
+}
+
+#[test]
+fn clients_beyond_the_accept_limit_are_rejected_and_counted() {
+    let config = Config::builder()
+        .single_path()
+        .max_incoming_connections(1)
+        .worker_shards(1)
+        .build()
+        .expect("server config");
+    let endpoint = Endpoint::bind(
+        &[loopback0()],
+        config,
+        0x7E57,
+        Box::new(|_cid| Box::new(TransferApp::new())),
+    )
+    .expect("bind endpoint");
+    let server = endpoint.local_addrs()[0];
+
+    // First client takes the only slot and holds it.
+    let holder = quic_client(
+        Config::builder().single_path().build().expect("config"),
+        &[loopback0()],
+        server,
+        0xAAAA,
+    )
+    .expect("holder bind");
+    let mut holder = BlockingStream::with_timeout(holder, OP_TIMEOUT);
+    holder.wait_established().expect("holder handshake");
+    assert_eq!(endpoint.stats().accepted, 1);
+
+    // Second client's unknown CID arrives past the limit: every one of
+    // its datagrams is dropped and counted, so its handshake times out.
+    let rejected = quic_client(
+        Config::builder().single_path().build().expect("config"),
+        &[loopback0()],
+        server,
+        0xBBBB,
+    )
+    .expect("rejected bind");
+    let mut rejected = BlockingStream::with_timeout(rejected, Duration::from_millis(700));
+    assert!(
+        rejected.wait_established().is_err(),
+        "second connection must not get through a --max-conns 1 endpoint"
+    );
+    assert!(
+        endpoint.stats().rejected >= 1,
+        "rejected datagrams were counted: {:?}",
+        endpoint.stats()
+    );
+
+    let driver = holder.driver_mut();
+    driver.connection_mut().close(0, "done");
+    let _ = driver.run_until(Duration::from_millis(50), |t| t.conn.is_closed());
+    let report = endpoint.shutdown();
+    assert_eq!(report.totals.accepted, 1, "only the holder was accepted");
+    assert!(report.totals.rejected >= 1);
+}
+
+/// Property test over the repo's deterministic RNG: shard assignment is
+/// a pure function of the CID (stable) and spreads uniformly random
+/// CIDs evenly (balanced) — every shard receives at least half and at
+/// most twice its fair share.
+#[test]
+fn shard_assignment_is_stable_and_balanced_over_random_cids() {
+    const CIDS: u64 = 4_000;
+    let mut rng = DetRng::new(0x51A4D);
+    for shards in [1usize, 2, 3, 4, 8] {
+        let mut counts = vec![0u64; shards];
+        for _ in 0..CIDS {
+            let cid = rng.next_u64();
+            let shard = shard_for_cid(cid, shards);
+            assert!(shard < shards, "assignment in range");
+            assert_eq!(
+                shard,
+                shard_for_cid(cid, shards),
+                "assignment is stable for cid {cid:#x}"
+            );
+            counts[shard] += 1;
+        }
+        let fair = CIDS / shards as u64;
+        for (shard, &count) in counts.iter().enumerate() {
+            assert!(
+                count >= fair / 2 && count <= fair * 2,
+                "shard {shard} of {shards} got {count} of {CIDS} \
+                 (fair share {fair}): {counts:?}"
+            );
+        }
+    }
+}
+
+/// The acceptance run: one `mpq-server` process serves eight concurrent
+/// `mpq-client` processes, every transfer verifies, and the server
+/// exits cleanly once all eight are done.
+#[test]
+fn one_server_process_completes_eight_concurrent_client_transfers() {
+    const CLIENTS: usize = 8;
+    let mut server = std::process::Command::new(env!("CARGO_BIN_EXE_mpq-server"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--single-path",
+            "--max-conns",
+            "8",
+            "--workers",
+            "4",
+            "--timeout",
+            "120",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn mpq-server");
+
+    // The server prints `listening on [127.0.0.1:PORT] (...)` once its
+    // sockets are bound; the port is all the clients need.
+    let stdout = server.stdout.take().expect("server stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr: SocketAddr = loop {
+        let line = lines
+            .next()
+            .expect("server printed its listen line")
+            .expect("read server stdout");
+        if let Some(rest) = line.strip_prefix("listening on [") {
+            let addr = rest.split(']').next().expect("closing bracket");
+            break addr.parse().expect("listen address parses");
+        }
+    };
+    // Keep draining stdout so the server never blocks on a full pipe.
+    let drain = std::thread::spawn(move || {
+        let mut tail = Vec::new();
+        for line in lines.map_while(Result::ok) {
+            tail.push(line);
+        }
+        tail
+    });
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            std::process::Command::new(env!("CARGO_BIN_EXE_mpq-client"))
+                .args([
+                    "--connect",
+                    &addr.to_string(),
+                    "--single-path",
+                    "--size",
+                    "64k",
+                    "--seed",
+                    &(0xD1A1 + i as u64).to_string(),
+                    "--timeout",
+                    "90",
+                ])
+                .stdout(std::process::Stdio::null())
+                .spawn()
+                .expect("spawn mpq-client")
+        })
+        .collect();
+
+    for (i, mut client) in clients.into_iter().enumerate() {
+        let status = client.wait().expect("wait for client");
+        assert!(status.success(), "client {i} failed: {status}");
+    }
+    let status = server.wait().expect("wait for server");
+    let tail = drain.join().expect("drain thread");
+    assert!(
+        status.success(),
+        "server exited with {status}; report:\n{}",
+        tail.join("\n")
+    );
+    let report = tail.join("\n");
+    assert!(
+        report.contains("8 completed"),
+        "server report counts all eight transfers:\n{report}"
+    );
+}

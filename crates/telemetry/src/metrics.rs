@@ -87,6 +87,18 @@ impl LogHistogram {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
+    /// Folds another histogram into this one (bucket-wise sum). Used to
+    /// aggregate per-shard datapath histograms into one endpoint-wide
+    /// view without losing the distribution.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// The value at quantile `q` in `[0, 1]`, resolved to the upper
     /// bound of the containing bucket (0 when empty).
     pub fn quantile(&self, q: f64) -> u64 {
@@ -447,6 +459,25 @@ mod tests {
         // p100 falls in 1000's bucket [512, 1024) but is clamped to max.
         assert_eq!(h.quantile(1.0), 1000);
         assert_eq!(LogHistogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_folds_counts_sum_and_max() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        for v in [1, 2, 3] {
+            a.record(v);
+        }
+        for v in [100, 200] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max(), 200);
+        assert_eq!(a.mean(), (1 + 2 + 3 + 100 + 200) / 5);
+        // The distribution survives: p20 still resolves to the small
+        // values' bucket, not the merged mean.
+        assert!(a.quantile(0.2) <= 3);
     }
 
     #[test]

@@ -146,6 +146,28 @@ impl PublicHeader {
         })
     }
 
+    /// Extracts the Connection ID from the front of a datagram without
+    /// decoding the rest of the header — the endpoint demux fast path.
+    ///
+    /// Validates only what routing needs: the fixed bit set, the
+    /// reserved bits clear, and enough bytes for the CID field. Returns
+    /// `None` for garbage, which the demux drops without ever touching a
+    /// connection. The full [`PublicHeader::decode`] (and packet
+    /// authentication) still runs inside the owning connection, so this
+    /// shortcut routes but never *trusts* a datagram.
+    pub fn connection_id_of(datagram: &[u8]) -> Option<u64> {
+        let &flags = datagram.first()?;
+        if flags & FLAG_FIXED == 0 || flags & FLAG_RESERVED_MASK != 0 {
+            return None;
+        }
+        let cid = datagram.get(1..9)?;
+        let mut bytes = [0u8; 8];
+        for (dst, src) in bytes.iter_mut().zip(cid) {
+            *dst = *src;
+        }
+        Some(u64::from_be_bytes(bytes))
+    }
+
     /// Number of bytes [`PublicHeader::encode`] will write.
     pub fn wire_size(&self) -> usize {
         let mut size = 1 + 8 + varint_size(self.packet_number);
@@ -254,11 +276,51 @@ mod tests {
         }
     }
 
+    #[test]
+    fn connection_id_fast_path_matches_full_decode() {
+        let h = PublicHeader {
+            connection_id: 0x1122_3344_5566_7788,
+            path_id: PathId(3),
+            packet_number: 99,
+            packet_type: PacketType::OneRtt,
+        };
+        let mut buf = BytesMut::new();
+        h.encode(&mut buf);
+        assert_eq!(
+            PublicHeader::connection_id_of(&buf),
+            Some(h.connection_id),
+            "fast path agrees with the encoder"
+        );
+        // Garbage flags are rejected without reading the CID.
+        assert_eq!(PublicHeader::connection_id_of(&[0x00; 16]), None);
+        assert_eq!(PublicHeader::connection_id_of(&[0xC0; 16]), None);
+        // Too short for a CID.
+        assert_eq!(PublicHeader::connection_id_of(&buf[..8]), None);
+        assert_eq!(PublicHeader::connection_id_of(&[]), None);
+    }
+
     proptest! {
         #[test]
         fn prop_header_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
             let mut read = &bytes[..];
             let _ = PublicHeader::decode(&mut read);
+        }
+
+        #[test]
+        fn prop_cid_fast_path_agrees_with_decode(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+            // Whenever the full decoder accepts a header, the fast path
+            // must extract the same CID; when the fast path rejects, the
+            // decoder must reject too.
+            let mut read = &bytes[..];
+            let decoded = PublicHeader::decode(&mut read);
+            let fast = PublicHeader::connection_id_of(&bytes);
+            match (decoded, fast) {
+                (Ok(h), got) => prop_assert_eq!(got, Some(h.connection_id)),
+                (Err(_), None) => {}
+                // Fast path may accept datagrams the full decoder rejects
+                // (e.g. truncated after the CID) — routing is best-effort.
+                (Err(_), Some(_)) => {}
+            }
         }
 
         #[test]
