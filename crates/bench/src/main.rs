@@ -26,9 +26,10 @@
 //! `aggregate_datagrams_per_sec`) regressed more than 30% below the
 //! baseline file's.
 
+use mpquic_bench::gate::{enforce_baseline, Direction};
 use mpquic_core::Config;
 use mpquic_io::transfer;
-use mpquic_io::{quic_client, BlockingStream, Endpoint, RecvBatch, SocketRegistry, TransferApp};
+use mpquic_io::{quic_client, Endpoint, RecvBatch, SocketRegistry, TransferApp};
 use mpquic_util::alloc_count::{self, CountingAlloc};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -38,15 +39,19 @@ use std::time::{Duration, Instant};
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
 
+/// The client-side application stream (the transport pre-opens it).
+const APP_STREAM: mpquic_core::StreamId = 1;
 /// Wire datagram size: the workspace's default QUIC MTU budget.
 const SEGMENT: usize = 1200;
 /// Segments per batched train (capped by the core's GSO train length).
 const TRAIN: usize = 16;
 
 /// `conns` mode defaults: concurrent client connections, endpoint
-/// worker shards, and per-connection transfer size.
+/// worker shards (0 = auto: `available_parallelism`, which on a 1-core
+/// host selects the endpoint's in-thread fast path), and per-connection
+/// transfer size.
 const CONNS_DEFAULT: usize = 8;
-const WORKERS_DEFAULT: usize = 4;
+const WORKERS_DEFAULT: usize = 0;
 const TRANSFER_BYTES: usize = 2 << 20;
 const TRANSFER_BYTES_SMOKE: usize = 128 << 10;
 
@@ -114,7 +119,7 @@ fn main() {
         "conns" => run_conns_bench(
             smoke,
             conns.max(1),
-            workers.max(1),
+            workers,
             &out_path.unwrap_or_else(|| "BENCH_endpoint.json".to_string()),
             baseline_path.as_deref(),
         ),
@@ -172,10 +177,12 @@ fn run_datapath_bench(smoke: bool, out_path: &str, baseline_path: Option<&str>) 
     println!("  wrote {out_path}");
 
     if let Some(path) = baseline_path {
-        check_baseline(
+        enforce_baseline(
+            "mpquic-bench",
             path,
             "batched_datagrams_per_sec",
             batched.datagrams_per_sec(),
+            Direction::HigherIsBetter,
         );
     }
 }
@@ -237,9 +244,17 @@ fn run_conns_bench(
         std::process::exit(1);
     });
     let server = endpoint.local_addrs()[0];
+    // 0 = auto; report what actually ran (1 worker means the unified
+    // in-thread fast path, no demux thread).
+    let workers = endpoint.workers();
 
     println!(
-        "endpoint benchmark: {size} B per transfer, {workers} workers{}",
+        "endpoint benchmark: {size} B per transfer, {workers} workers{}{}",
+        if workers == 1 {
+            " (unified fast path)"
+        } else {
+            ""
+        },
         if smoke { " (smoke)" } else { "" },
     );
 
@@ -303,17 +318,19 @@ fn run_conns_bench(
     println!("  wrote {out_path}");
 
     if let Some(path) = baseline_path {
-        check_baseline(
+        enforce_baseline(
+            "mpquic-bench",
             path,
             "aggregate_datagrams_per_sec",
             multi.datagrams_per_sec(),
+            Direction::HigherIsBetter,
         );
     }
 }
 
-/// Runs `m` client threads, each performing `rounds` sequential
-/// transfers (a fresh connection per transfer), and returns the
-/// aggregate over the phase's wall time. Datagram counts come from the
+/// Runs `m` concurrent connection slots, each performing `rounds`
+/// sequential transfers (a fresh connection per transfer), and returns
+/// the aggregate over the phase's wall time. Datagram counts come from the
 /// endpoint's ingress counter (its side of the load). `seed_base` must
 /// differ between phases: the client seed determines its connection
 /// ID, and a reused CID would hit the endpoint's retired-CID
@@ -328,34 +345,17 @@ fn run_conns_phase(
 ) -> ConnsResult {
     let before = endpoint.stats();
     let started = Instant::now();
-    let mut clients = Vec::with_capacity(m);
-    for i in 0..m {
+    // Client threads are capped at the core count, each multiplexing
+    // its share of the M connection slots through non-blocking
+    // drivers. M blocking threads on fewer cores would measure the
+    // scheduler's context-switch churn, not the endpoint.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = m.min(cores).max(1);
+    let mut clients = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let slots: Vec<usize> = (t..m).step_by(threads).collect();
         clients.push(std::thread::spawn(move || {
-            let mut bytes = 0u64;
-            for round in 0..rounds {
-                let config = Config::builder()
-                    .single_path()
-                    .build()
-                    .expect("client config");
-                let local: SocketAddr = "127.0.0.1:0".parse().expect("loopback literal");
-                let seed = seed_base + (i * rounds + round) as u64;
-                let driver = quic_client(config, &[local], server, seed).expect("client bind");
-                let mut stream = BlockingStream::new(driver);
-                stream.wait_established().expect("handshake");
-                let payload = transfer::pattern(size);
-                transfer::send_request(&mut stream, "bench.bin", &payload).expect("send");
-                stream.finish().expect("finish");
-                let (ok, _checksum) = transfer::recv_response(&mut stream).expect("response");
-                assert!(ok, "server failed to verify transfer");
-                bytes += payload.len() as u64;
-                // Close cleanly so the server retires the connection
-                // now instead of waiting out its idle timer (a pinned
-                // slot would starve the accept limit).
-                let driver = stream.driver_mut();
-                driver.connection_mut().close(0, "transfer complete");
-                let _ = driver.run_until(Duration::from_millis(50), |t| t.conn.is_closed());
-            }
-            bytes
+            run_client_slots(&slots, server, rounds, size, seed_base)
         }));
     }
     let mut bytes = 0u64;
@@ -376,6 +376,113 @@ fn run_conns_phase(
         datagrams: after.datagrams_in.saturating_sub(before.datagrams_in),
         elapsed,
     }
+}
+
+/// Grace given to a clean close before a slot's driver is dropped; the
+/// server's idle timer reaps anything left hanging.
+const CLOSE_GRACE: Duration = Duration::from_millis(50);
+
+/// Drives this thread's connection slots concurrently through
+/// non-blocking drivers: each slot performs `rounds` sequential `mpq`
+/// transfers (a fresh connection per transfer), all slots interleaved
+/// in one event loop. Returns the payload bytes transferred.
+fn run_client_slots(
+    slots: &[usize],
+    server: SocketAddr,
+    rounds: usize,
+    size: usize,
+    seed_base: u64,
+) -> u64 {
+    enum Phase {
+        /// Request written; accumulating the response.
+        Transfer,
+        /// Clean close sent; waiting for it to land.
+        Closing(Instant),
+    }
+    struct Slot {
+        index: usize,
+        round: usize,
+        driver: mpquic_io::Driver<mpquic_io::QuicTransport>,
+        phase: Phase,
+        resp: Vec<u8>,
+    }
+
+    // One pattern buffer per thread; each transfer clones it into the
+    // send stream (the per-round cost the blocking client also paid).
+    let payload = transfer::pattern(size);
+    let header = transfer::TransferHeader::for_data("bench.bin", &payload).encode();
+    let open = |index: usize, round: usize| -> Slot {
+        let config = Config::builder()
+            .single_path()
+            .build()
+            .expect("client config");
+        let local: SocketAddr = "127.0.0.1:0".parse().expect("loopback literal");
+        let seed = seed_base + (index * rounds + round) as u64;
+        let mut driver = quic_client(config, &[local], server, seed).expect("client bind");
+        // The whole request is buffered into the pre-opened app stream
+        // up front; the core flushes it as the handshake and windows
+        // allow.
+        let conn = driver.connection_mut();
+        let _ = conn.stream_write(APP_STREAM, bytes::Bytes::from(header.clone()));
+        let _ = conn.stream_write(APP_STREAM, bytes::Bytes::from(payload.clone()));
+        conn.stream_finish(APP_STREAM);
+        Slot {
+            index,
+            round,
+            driver,
+            phase: Phase::Transfer,
+            resp: Vec::with_capacity(16),
+        }
+    };
+
+    let mut bytes = 0u64;
+    let mut active: Vec<Slot> = slots.iter().map(|&i| open(i, 0)).collect();
+    while !active.is_empty() {
+        let mut progressed = false;
+        let mut idx = 0;
+        while idx < active.len() {
+            let slot = &mut active[idx];
+            progressed |= slot.driver.step().unwrap_or(false);
+            let conn = slot.driver.connection_mut();
+            match slot.phase {
+                Phase::Transfer => {
+                    while let Some(chunk) = conn.stream_read(APP_STREAM, usize::MAX) {
+                        slot.resp.extend_from_slice(&chunk);
+                    }
+                    if conn.stream_is_finished(APP_STREAM) {
+                        let (ok, _checksum) =
+                            transfer::recv_response(&mut slot.resp.as_slice()).expect("response");
+                        assert!(ok, "server failed to verify transfer");
+                        bytes += size as u64;
+                        // Close cleanly so the server retires the
+                        // connection now instead of waiting out its
+                        // idle timer (a pinned slot would starve the
+                        // accept limit).
+                        conn.close(0, "transfer complete");
+                        slot.phase = Phase::Closing(Instant::now());
+                        progressed = true;
+                    }
+                }
+                Phase::Closing(since) => {
+                    if conn.is_closed() || since.elapsed() > CLOSE_GRACE {
+                        let (index, round) = (slot.index, slot.round + 1);
+                        if round < rounds {
+                            active[idx] = open(index, round);
+                        } else {
+                            active.swap_remove(idx);
+                            continue;
+                        }
+                        progressed = true;
+                    }
+                }
+            }
+            idx += 1;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    bytes
 }
 
 fn usage(message: &str) -> ! {
@@ -488,42 +595,4 @@ fn render_json(single: &ModeResult, batched: &ModeResult, speedup: f64, smoke: b
         batched.datagrams.saturating_sub(batched.syscalls),
         batched.datagrams_per_sec(),
     )
-}
-
-/// Reads the gated rate (`key`) out of a previous run's JSON (flat
-/// key, no JSON dependency needed) and fails the run on a >30%
-/// regression.
-fn check_baseline(path: &str, key: &str, current: f64) {
-    let baseline = match std::fs::read_to_string(path) {
-        Ok(text) => parse_flat_key(&text, key),
-        Err(e) => {
-            eprintln!("mpquic-bench: cannot read baseline {path}: {e}");
-            std::process::exit(1);
-        }
-    };
-    let Some(baseline) = baseline else {
-        eprintln!("mpquic-bench: no {key} in {path}");
-        std::process::exit(1);
-    };
-    let floor = baseline * 0.7;
-    if current < floor {
-        eprintln!(
-            "mpquic-bench: REGRESSION: {key} {current:.0}/s is below \
-             70% of baseline {baseline:.0}/s"
-        );
-        std::process::exit(1);
-    }
-    println!("  baseline check ok: {current:.0}/s vs {baseline:.0}/s baseline");
-}
-
-fn parse_flat_key(text: &str, key: &str) -> Option<f64> {
-    let pattern = format!("\"{key}\":");
-    let start = text.find(&pattern)? + pattern.len();
-    let rest = &text[start..];
-    let value: String = rest
-        .chars()
-        .skip_while(|c| c.is_whitespace())
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-        .collect();
-    value.parse().ok()
 }

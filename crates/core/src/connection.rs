@@ -429,6 +429,23 @@ impl Connection {
             .is_some_and(|s| s.is_fully_acked())
     }
 
+    /// IDs of streams the *peer* opened, in ID order (no allocation).
+    ///
+    /// Peer streams have the opposite ID parity from locally opened
+    /// ones (clients open odd IDs, servers even), so a server
+    /// application can discover new request streams by scanning this
+    /// instead of tracking [`Event::StreamOpened`] events.
+    pub fn peer_stream_ids(&self) -> impl Iterator<Item = StreamId> + '_ {
+        let peer_parity = match self.role {
+            Role::Client => 0,
+            Role::Server => 1,
+        };
+        self.recv_streams
+            .keys()
+            .copied()
+            .filter(move |id| id % 2 == peer_parity)
+    }
+
     /// Begins a clean or error close.
     pub fn close(&mut self, error_code: u64, reason: &str) {
         if self.close_pending.is_none() && !self.closed {

@@ -32,6 +32,9 @@ const MAX_SLEEP: Duration = Duration::from_micros(500);
 #[derive(Debug, Clone, Default)]
 pub struct Backoff {
     step: u32,
+    /// Where [`Backoff::reset`] returns to: 0 for the full ladder,
+    /// [`SPIN_STEPS`] for a [`Backoff::yielding`] waiter.
+    floor: u32,
 }
 
 impl Backoff {
@@ -40,9 +43,23 @@ impl Backoff {
         Backoff::default()
     }
 
-    /// Forgets accumulated steps; the next [`Backoff::wait`] spins.
+    /// A waiter whose ladder starts at the yield stage, and whose
+    /// [`Backoff::reset`] returns there. On a machine where the loop
+    /// shares its only core with the threads feeding it, pause-hinted
+    /// spinning is provably wasted work: nothing can produce data
+    /// until this thread gives up its quantum.
+    pub fn yielding() -> Backoff {
+        Backoff {
+            step: SPIN_STEPS,
+            floor: SPIN_STEPS,
+        }
+    }
+
+    /// Forgets accumulated steps; the next [`Backoff::wait`] restarts
+    /// the ladder at this waiter's cheapest stage (spinning, or
+    /// yielding for a [`Backoff::yielding`] waiter).
     pub fn reset(&mut self) {
-        self.step = 0;
+        self.step = self.floor;
     }
 
     /// Number of waits since the last reset.
@@ -99,18 +116,34 @@ mod tests {
 
     #[test]
     fn sleep_is_capped() {
-        let b = Backoff { step: 64 };
+        let b = Backoff { step: 64, floor: 0 };
         assert_eq!(b.next_sleep(), Some(MAX_SLEEP));
         // And the exponent is clamped so the doubling cannot overflow.
-        let b = Backoff { step: u32::MAX };
+        let b = Backoff {
+            step: u32::MAX,
+            floor: 0,
+        };
         assert_eq!(b.next_sleep(), Some(MAX_SLEEP));
     }
 
     #[test]
     fn reset_returns_to_spinning() {
-        let mut b = Backoff { step: 32 };
+        let mut b = Backoff { step: 32, floor: 0 };
         b.reset();
         assert_eq!(b.steps(), 0);
+        assert_eq!(b.next_sleep(), None);
+    }
+
+    #[test]
+    fn yielding_waiter_never_returns_to_the_spin_stage() {
+        let mut b = Backoff::yielding();
+        assert_eq!(b.steps(), SPIN_STEPS);
+        assert_eq!(b.next_sleep(), None);
+        for _ in 0..32 {
+            b.wait();
+        }
+        b.reset();
+        assert_eq!(b.steps(), SPIN_STEPS, "reset floors at the yield stage");
         assert_eq!(b.next_sleep(), None);
     }
 }

@@ -253,16 +253,25 @@ pub fn print_endpoint_report(label: &str, report: &crate::EndpointReport, elapse
         );
     }
     println!(
-        "connections: {} accepted, {} completed, {} failed, {} rejected at limit, \
-         {} malformed, {} backpressure drops",
+        "connections: {} accepted, {} completed, {} failed, {} closed, \
+         {} rejected at limit, {} malformed, {} backpressure drops",
         totals.accepted,
         totals.completed,
         totals.failed,
+        totals.closed,
         totals.rejected,
         totals.malformed,
         totals.backpressure_drops,
     );
-    if elapsed_secs > 0.0 && totals.completed > 0 {
+    if elapsed_secs > 0.0 && totals.closed > 0 {
+        println!(
+            "elapsed: {elapsed_secs:.3} s ({:.1} accepts/s, {:.1} closes/s, \
+             {:.2} Mbit/s aggregate in)",
+            totals.accepted as f64 / elapsed_secs,
+            totals.closed as f64 / elapsed_secs,
+            io.bytes_received as f64 * 8.0 / elapsed_secs / 1e6,
+        );
+    } else if elapsed_secs > 0.0 && totals.completed > 0 {
         println!(
             "elapsed: {elapsed_secs:.3} s ({:.1} connections/s, {:.2} Mbit/s aggregate in)",
             totals.completed as f64 / elapsed_secs,

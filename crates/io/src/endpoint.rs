@@ -38,7 +38,7 @@ use std::thread::JoinHandle;
 use crate::backoff::Backoff;
 use crate::driver::IoStats;
 use crate::error::{Error, Result};
-use crate::shard::{run_shard, shard_for_cid, DemuxCtl, ShardMsg, ShardReport};
+use crate::shard::{run_shard, shard_for_cid, DemuxCtl, ShardCore, ShardMsg, ShardReport};
 use crate::socket::{RecvBatch, SocketRegistry};
 use crate::transfer;
 
@@ -172,6 +172,11 @@ pub struct EndpointStats {
     pub completed: AtomicU64,
     /// Applications that failed, or connections lost before a verdict.
     pub failed: AtomicU64,
+    /// Connections fully retired: the close went to the wire and the
+    /// CID was released. `accepted - active == closed` once the
+    /// endpoint is quiet, which is the cross-check load harnesses use
+    /// for conns/sec accounting.
+    pub closed: AtomicU64,
     /// New-CID datagrams dropped because the accept limit was reached.
     pub rejected: AtomicU64,
     /// Datagrams whose public header yielded no CID.
@@ -193,6 +198,8 @@ pub struct EndpointSnapshot {
     pub completed: u64,
     /// Applications that failed, or connections lost before a verdict.
     pub failed: u64,
+    /// Connections fully retired (close on the wire, CID released).
+    pub closed: u64,
     /// New-CID datagrams dropped because the accept limit was reached.
     pub rejected: u64,
     /// Datagrams whose public header yielded no CID.
@@ -211,6 +218,7 @@ impl EndpointStats {
             active: self.active.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
             backpressure_drops: self.backpressure_drops.load(Ordering::Relaxed),
@@ -275,6 +283,41 @@ impl Endpoint {
         let workers = resolve_workers(config.worker_shards);
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(EndpointStats::default());
+
+        if workers == 1 {
+            // Single-worker fast path: demux and shard merged into one
+            // thread. Datagrams go straight from the receive batch into
+            // the owning connection — no staging copy into the pool, no
+            // channel round trip, no second thread wakeup. On a 1-core
+            // host this is the difference between the endpoint beating
+            // a bare `Driver` loop and losing to it (ROADMAP item 1).
+            let unified = {
+                let stats = Arc::clone(&stats);
+                let stop = Arc::clone(&stop);
+                let local = local.clone();
+                std::thread::Builder::new()
+                    .name("mpq-unified".to_string())
+                    .spawn(move || {
+                        run_unified(UnifiedState {
+                            sockets,
+                            local,
+                            config,
+                            seed,
+                            factory,
+                            stats,
+                            stop,
+                        })
+                    })
+                    .map_err(Error::Io)?
+            };
+            return Ok(Endpoint {
+                demux: None,
+                shards: vec![unified],
+                stop,
+                stats,
+                local,
+            });
+        }
 
         let (ctl_tx, ctl_rx) = std::sync::mpsc::channel::<DemuxCtl>();
         let mut shard_txs = Vec::with_capacity(workers);
@@ -424,6 +467,7 @@ fn run_demux(mut state: DemuxState) {
                 DemuxCtl::Retire { cid } => {
                     if known.remove(&cid).is_some() {
                         state.stats.active.fetch_sub(1, Ordering::Relaxed);
+                        state.stats.closed.fetch_add(1, Ordering::Relaxed);
                     }
                     if retired.insert(cid) {
                         retired_order.push_back(cid);
@@ -501,6 +545,113 @@ fn run_demux(mut state: DemuxState) {
             backoff.wait();
         }
     }
+}
+
+/// Everything the single-worker fast path owns: the sharded setup
+/// minus the channels, pool and shard map.
+struct UnifiedState {
+    sockets: SocketRegistry,
+    local: Vec<SocketAddr>,
+    config: Config,
+    seed: u64,
+    factory: AppFactory,
+    stats: Arc<EndpointStats>,
+    stop: Arc<AtomicBool>,
+}
+
+/// The single-worker loop: demux and shard fused. Each receive batch
+/// feeds connections directly (accepting first-seen CIDs inline), then
+/// one [`ShardCore::process`] pass runs timers, applications, egress
+/// and reaping — the same machinery the shard threads run, minus every
+/// cross-thread hop.
+fn run_unified(mut state: UnifiedState) -> ShardReport {
+    let mut batch = RecvBatch::new(DEMUX_BATCH);
+    let mut core = ShardCore::new();
+    // Tombstones, same policy as the sharded demux: stragglers for a
+    // retired CID must not re-enter the accept path.
+    let mut retired: HashSet<u64> = HashSet::new();
+    let mut retired_order: VecDeque<u64> = VecDeque::new();
+    // On a true single-core machine the clients feeding this loop can
+    // only run while it waits, so skip the spin stage of the ladder.
+    let single_core = std::thread::available_parallelism()
+        .map(|n| n.get() <= 1)
+        .unwrap_or(false);
+    let mut backoff = if single_core {
+        Backoff::yielding()
+    } else {
+        Backoff::new()
+    };
+
+    loop {
+        let mut progressed = false;
+
+        // 1. Ingress: one batched receive, each datagram routed by CID
+        //    and handed to its connection in place — the payload never
+        //    leaves the receive batch's buffer.
+        let received = state.sockets.poll_recv_batch(&mut batch).unwrap_or(0);
+        if received > 0 {
+            progressed = true;
+            for (meta, payload) in batch.iter() {
+                state.stats.datagrams_in.fetch_add(1, Ordering::Relaxed);
+                let Some(cid) = PublicHeader::connection_id_of(payload) else {
+                    state.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+                if !core.owns(cid) {
+                    if retired.contains(&cid) {
+                        // Straggler for a finished connection: drop.
+                        continue;
+                    }
+                    if core.len() >= state.config.max_incoming_connections {
+                        state.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let conn_seed = DetRng::new(state.seed ^ cid).next_u64();
+                    let conn = mpquic_core::Connection::server(
+                        state.config.clone(),
+                        state.local.clone(),
+                        conn_seed,
+                    );
+                    core.accept(
+                        cid,
+                        Box::new(QuicTransport::server(conn)),
+                        (state.factory)(cid),
+                    );
+                    state.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    state.stats.active.fetch_add(1, Ordering::Relaxed);
+                }
+                core.deliver(cid, meta.local, meta.remote, payload);
+            }
+        }
+
+        // 2. Timers, application progress, egress, reaping.
+        let stats = &state.stats;
+        if core.process(&mut state.sockets, stats, |cid| {
+            stats.active.fetch_sub(1, Ordering::Relaxed);
+            stats.closed.fetch_add(1, Ordering::Relaxed);
+            if retired.insert(cid) {
+                retired_order.push_back(cid);
+                if retired_order.len() > MAX_TOMBSTONES {
+                    if let Some(old) = retired_order.pop_front() {
+                        retired.remove(&old);
+                    }
+                }
+            }
+        }) {
+            progressed = true;
+        }
+
+        if state.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if progressed {
+            backoff.reset();
+        } else {
+            backoff.wait();
+        }
+    }
+
+    core.into_report(0, &state.sockets)
 }
 
 /// Accepts a first-seen CID: creates the server-side connection and

@@ -32,6 +32,9 @@
 //!   transient socket stalls, shared by every loop above.
 //! * [`transfer`] — the tiny authenticated file-transfer protocol the
 //!   `mpq-server` / `mpq-client` binaries speak.
+//! * [`rpc`] — the multi-stream request/response protocol the
+//!   `mpquic-loadgen` harness drives: many concurrent exchanges per
+//!   connection, one per client-opened stream.
 //!
 //! ## A multipath transfer over real sockets
 //!
@@ -66,6 +69,7 @@ pub mod driver;
 pub mod endpoint;
 pub mod error;
 pub mod mmsg;
+pub mod rpc;
 pub mod shard;
 pub mod socket;
 pub mod stream;
@@ -80,6 +84,7 @@ pub use endpoint::{
     TransferApp,
 };
 pub use error::Error;
+pub use rpc::{RpcCall, RpcServerApp, RpcVerdict};
 pub use shard::{shard_for_cid, ShardReport};
 pub use socket::{BatchStats, RecvBatch, SocketRegistry};
 pub use stream::BlockingStream;

@@ -1,0 +1,582 @@
+//! The `mpq-rpc` request/response application protocol.
+//!
+//! Where [`crate::transfer`] speaks one request per connection on one
+//! stream, `mpq-rpc` multiplexes many request/response exchanges over
+//! one connection — one exchange per client-opened bidirectional
+//! stream, the shape every netbench-style load harness needs
+//! (request/response and streaming workloads issue thousands of calls
+//! per connection; connection churn issues one).
+//!
+//! ```text
+//! client → server (per stream):
+//!     "MPQR" · flags:u8 · resp_len:u32 · req_len:u32 · payload · FIN
+//! server → client (same stream):
+//!     "MPQS" · status:u8 · fnv64:u64 · resp_len:u32 · payload · FIN
+//! ```
+//!
+//! All integers big-endian. `flags` bit 0 (`FLAG_FINAL`) marks the last
+//! request on the connection: once its response is flushed the server
+//! app reports success to its shard, so a clean client close is counted
+//! [`crate::EndpointSnapshot::completed`], not `failed`. The FNV-1a
+//! checksum of the request payload is echoed in the response as the
+//! end-to-end integrity witness (same rationale as the transfer
+//! protocol: packet protection authenticates packets, the checksum
+//! proves multi-stream reassembly delivered every byte).
+
+use bytes::Bytes;
+use mpquic_core::{Connection, StreamId};
+use mpquic_harness::QuicTransport;
+use std::collections::{HashMap, HashSet};
+
+use crate::endpoint::{AppStatus, ConnApp};
+use crate::error::{Error, Result};
+use crate::transfer::fnv1a64;
+
+/// Request magic ("MPQ Rpc").
+pub const REQ_MAGIC: &[u8; 4] = b"MPQR";
+/// Response magic ("MPQ reSponse").
+pub const RESP_MAGIC: &[u8; 4] = b"MPQS";
+
+/// Request flag: last request on this connection; the client closes
+/// after the response arrives.
+pub const FLAG_FINAL: u8 = 0x01;
+
+/// Response status: request parsed and payload intact.
+pub const STATUS_OK: u8 = 0;
+/// Response status: request malformed or truncated.
+pub const STATUS_BAD_REQUEST: u8 = 1;
+
+/// Upper bound on either direction's payload, guarding length fields.
+pub const MAX_RPC_PAYLOAD: usize = 64 << 20;
+
+/// Request header length on the wire.
+const REQ_HEADER_LEN: usize = 4 + 1 + 4 + 4;
+/// Response header length on the wire.
+const RESP_HEADER_LEN: usize = 4 + 1 + 8 + 4;
+
+/// [`Error::Protocol`] code: bad rpc magic.
+pub const ERR_RPC_MAGIC: u64 = 0x10;
+/// [`Error::Protocol`] code: length field exceeds [`MAX_RPC_PAYLOAD`].
+pub const ERR_RPC_TOO_LARGE: u64 = 0x11;
+/// [`Error::Protocol`] code: stream ended mid-message.
+pub const ERR_RPC_TRUNCATED: u64 = 0x12;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcRequest {
+    /// Request flags ([`FLAG_FINAL`]).
+    pub flags: u8,
+    /// Response payload bytes the client asks for.
+    pub resp_len: u32,
+    /// Request payload.
+    pub payload: Vec<u8>,
+}
+
+impl RpcRequest {
+    /// True if this is the connection's announced last request.
+    pub fn is_final(&self) -> bool {
+        self.flags & FLAG_FINAL != 0
+    }
+}
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcResponse {
+    /// [`STATUS_OK`] or [`STATUS_BAD_REQUEST`].
+    pub status: u8,
+    /// FNV-1a checksum of the request payload, as the server saw it.
+    pub checksum: u64,
+    /// Response payload.
+    pub payload: Vec<u8>,
+}
+
+/// Encodes a complete request message (the caller FINs the stream).
+pub fn encode_request(flags: u8, resp_len: u32, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_RPC_PAYLOAD,
+        "request payload too large"
+    );
+    assert!(resp_len as usize <= MAX_RPC_PAYLOAD, "response too large");
+    let mut out = Vec::with_capacity(REQ_HEADER_LEN + payload.len());
+    out.extend_from_slice(REQ_MAGIC);
+    out.push(flags);
+    out.extend_from_slice(&resp_len.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes a complete request message (a finished stream's bytes).
+pub fn decode_request(buf: &[u8]) -> Result<RpcRequest> {
+    let (flags, a, b, rest) = split_header(buf, *REQ_MAGIC, ERR_RPC_MAGIC)?;
+    let resp_len = a;
+    let req_len = b as usize;
+    if req_len > MAX_RPC_PAYLOAD || resp_len as usize > MAX_RPC_PAYLOAD {
+        return Err(Error::Protocol {
+            code: ERR_RPC_TOO_LARGE,
+            reason: "rpc length exceeds limit".into(),
+        });
+    }
+    if rest.len() != req_len {
+        return Err(Error::Protocol {
+            code: ERR_RPC_TRUNCATED,
+            reason: "rpc request truncated".into(),
+        });
+    }
+    Ok(RpcRequest {
+        flags,
+        resp_len,
+        payload: rest.to_vec(),
+    })
+}
+
+/// Encodes a complete response message (the caller FINs the stream).
+pub fn encode_response(status: u8, checksum: u64, payload: &[u8]) -> Vec<u8> {
+    assert!(
+        payload.len() <= MAX_RPC_PAYLOAD,
+        "response payload too large"
+    );
+    let mut out = Vec::with_capacity(RESP_HEADER_LEN + payload.len());
+    out.extend_from_slice(RESP_MAGIC);
+    out.push(status);
+    out.extend_from_slice(&checksum.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decodes a complete response message (a finished stream's bytes).
+pub fn decode_response(buf: &[u8]) -> Result<RpcResponse> {
+    if buf.len() < RESP_HEADER_LEN {
+        return Err(Error::Protocol {
+            code: ERR_RPC_TRUNCATED,
+            reason: "rpc response truncated".into(),
+        });
+    }
+    if buf.get(..4) != Some(RESP_MAGIC.as_slice()) {
+        return Err(Error::Protocol {
+            code: ERR_RPC_MAGIC,
+            reason: "bad rpc response magic".into(),
+        });
+    }
+    let status = buf.get(4).copied().unwrap_or(0);
+    let checksum = be_u64(buf.get(5..13).unwrap_or(&[]));
+    let resp_len = be_u32(buf.get(13..17).unwrap_or(&[])) as usize;
+    if resp_len > MAX_RPC_PAYLOAD {
+        return Err(Error::Protocol {
+            code: ERR_RPC_TOO_LARGE,
+            reason: "rpc length exceeds limit".into(),
+        });
+    }
+    let rest = buf.get(RESP_HEADER_LEN..).unwrap_or(&[]);
+    if rest.len() != resp_len {
+        return Err(Error::Protocol {
+            code: ERR_RPC_TRUNCATED,
+            reason: "rpc response truncated".into(),
+        });
+    }
+    Ok(RpcResponse {
+        status,
+        checksum,
+        payload: rest.to_vec(),
+    })
+}
+
+/// Shared request-header split: flags byte, two u32 fields, payload.
+/// `magic` is by value so the one reference input (`buf`) elides the
+/// output lifetime.
+fn split_header(buf: &[u8], magic: [u8; 4], magic_err: u64) -> Result<(u8, u32, u32, &[u8])> {
+    if buf.len() < REQ_HEADER_LEN {
+        return Err(Error::Protocol {
+            code: ERR_RPC_TRUNCATED,
+            reason: "rpc message truncated".into(),
+        });
+    }
+    if buf.get(..4) != Some(magic.as_slice()) {
+        return Err(Error::Protocol {
+            code: magic_err,
+            reason: "bad rpc magic".into(),
+        });
+    }
+    let flags = buf.get(4).copied().unwrap_or(0);
+    let a = be_u32(buf.get(5..9).unwrap_or(&[]));
+    let b = be_u32(buf.get(9..13).unwrap_or(&[]));
+    Ok((flags, a, b, buf.get(REQ_HEADER_LEN..).unwrap_or(&[])))
+}
+
+/// Panic-free fixed-width reads: the callers' header-length guards
+/// make short slices impossible, but these paths decode untrusted
+/// bytes, so missing bytes read as zero rather than trusting that.
+fn be_u32(bytes: &[u8]) -> u32 {
+    let mut out = [0u8; 4];
+    for (dst, src) in out.iter_mut().zip(bytes) {
+        *dst = *src;
+    }
+    u32::from_be_bytes(out)
+}
+
+fn be_u64(bytes: &[u8]) -> u64 {
+    let mut out = [0u8; 8];
+    for (dst, src) in out.iter_mut().zip(bytes) {
+        *dst = *src;
+    }
+    u64::from_be_bytes(out)
+}
+
+/// Deterministic response payload: same generator as
+/// [`crate::transfer::pattern`], offset by the checksum so responses to
+/// different requests differ.
+pub fn response_pattern(len: usize, checksum: u64) -> Vec<u8> {
+    (0..len)
+        .map(|i| {
+            let i = i as u64 ^ checksum;
+            (i.wrapping_mul(31).wrapping_add(i >> 8) & 0xff) as u8
+        })
+        .collect()
+}
+
+/// Per-stream server state.
+enum StreamState {
+    /// Accumulating request bytes until the client's FIN.
+    Receiving { buf: Vec<u8> },
+    /// Response written; waiting for full acknowledgement.
+    Flushing { final_req: bool },
+}
+
+/// The `mpq-rpc` server as a [`crate::ConnApp`]: serves every
+/// client-opened stream as one request/response exchange, concurrently.
+///
+/// Reports [`AppStatus::Done`] once a [`FLAG_FINAL`] request's response
+/// has been flushed and no other exchange is in flight — `ok` unless
+/// some request on the connection was malformed.
+#[derive(Default)]
+pub struct RpcServerApp {
+    streams: HashMap<StreamId, StreamState>,
+    /// Every stream ever adopted (streams leave `streams` when served,
+    /// but must not be re-adopted while the transport still lists them).
+    tracked: HashSet<StreamId>,
+    /// Exchanges fully served (response acknowledged).
+    served: u64,
+    any_bad: bool,
+    final_flushed: bool,
+    finished: bool,
+}
+
+impl RpcServerApp {
+    /// A fresh server. The [`crate::AppFactory`] form is
+    /// `Box::new(|_| Box::new(RpcServerApp::new()))`.
+    pub fn new() -> RpcServerApp {
+        RpcServerApp::default()
+    }
+
+    /// Exchanges fully served so far.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+}
+
+impl ConnApp for RpcServerApp {
+    fn poll(&mut self, transport: &mut QuicTransport) -> AppStatus {
+        if self.finished {
+            return AppStatus::Done { ok: !self.any_bad };
+        }
+
+        // Adopt newly appeared peer streams.
+        let fresh: Vec<StreamId> = transport
+            .conn
+            .peer_stream_ids()
+            .filter(|id| !self.tracked.contains(id))
+            .collect();
+        for id in fresh {
+            self.tracked.insert(id);
+            self.streams
+                .insert(id, StreamState::Receiving { buf: Vec::new() });
+        }
+
+        // Advance every in-flight exchange.
+        let active: Vec<StreamId> = self.streams.keys().copied().collect();
+        for id in active {
+            let Some(state) = self.streams.get_mut(&id) else {
+                continue;
+            };
+            match state {
+                StreamState::Receiving { buf } => {
+                    while let Some(chunk) = transport.conn.stream_read(id, usize::MAX) {
+                        buf.extend_from_slice(&chunk);
+                    }
+                    if !transport.conn.stream_is_finished(id) {
+                        continue;
+                    }
+                    let (response, final_req) = match decode_request(buf) {
+                        Ok(req) => {
+                            let checksum = fnv1a64(&req.payload);
+                            let payload = response_pattern(req.resp_len as usize, checksum);
+                            (
+                                encode_response(STATUS_OK, checksum, &payload),
+                                req.is_final(),
+                            )
+                        }
+                        Err(_) => {
+                            self.any_bad = true;
+                            (encode_response(STATUS_BAD_REQUEST, 0, &[]), false)
+                        }
+                    };
+                    let _ = transport.conn.stream_write(id, Bytes::from(response));
+                    transport.conn.stream_finish(id);
+                    *state = StreamState::Flushing { final_req };
+                }
+                StreamState::Flushing { final_req } => {
+                    if transport.conn.stream_fully_acked(id) || transport.conn.is_closed() {
+                        let final_req = *final_req;
+                        self.streams.remove(&id);
+                        self.served += 1;
+                        if final_req {
+                            self.final_flushed = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        if self.final_flushed && self.streams.is_empty() {
+            self.finished = true;
+            return AppStatus::Done { ok: !self.any_bad };
+        }
+        AppStatus::Pending
+    }
+}
+
+/// One client-side in-flight call: open a stream, send the request,
+/// accumulate the response until the server's FIN.
+pub struct RpcCall {
+    id: StreamId,
+    expect_checksum: u64,
+    expect_resp_len: usize,
+    buf: Vec<u8>,
+}
+
+/// What a completed [`RpcCall`] verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcVerdict {
+    /// Server status byte was [`STATUS_OK`].
+    pub ok: bool,
+    /// Echoed checksum matched and the payload had the requested
+    /// length (implied false when `ok` is false).
+    pub intact: bool,
+}
+
+impl RpcCall {
+    /// Opens a new stream on `conn` and writes a complete request.
+    pub fn start(conn: &mut Connection, payload: &[u8], resp_len: u32, last: bool) -> RpcCall {
+        let id = conn.open_stream();
+        let flags = if last { FLAG_FINAL } else { 0 };
+        let message = encode_request(flags, resp_len, payload);
+        let _ = conn.stream_write(id, Bytes::from(message));
+        conn.stream_finish(id);
+        RpcCall {
+            id,
+            expect_checksum: fnv1a64(payload),
+            expect_resp_len: resp_len as usize,
+            buf: Vec::new(),
+        }
+    }
+
+    /// The call's stream ID.
+    pub fn stream(&self) -> StreamId {
+        self.id
+    }
+
+    /// Drains response bytes; `Some(verdict)` once the response is
+    /// complete. Call on every loop iteration until it completes.
+    pub fn poll(&mut self, conn: &mut Connection) -> Option<RpcVerdict> {
+        while let Some(chunk) = conn.stream_read(self.id, usize::MAX) {
+            self.buf.extend_from_slice(&chunk);
+        }
+        if !conn.stream_is_finished(self.id) {
+            return None;
+        }
+        let verdict = match decode_response(&self.buf) {
+            Ok(resp) => RpcVerdict {
+                ok: resp.status == STATUS_OK,
+                intact: resp.status == STATUS_OK
+                    && resp.checksum == self.expect_checksum
+                    && resp.payload.len() == self.expect_resp_len,
+            },
+            Err(_) => RpcVerdict {
+                ok: false,
+                intact: false,
+            },
+        };
+        Some(verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpquic_core::Config;
+    use mpquic_util::SimTime;
+    use std::net::SocketAddr;
+    use std::time::Duration;
+
+    fn addr(s: &str) -> SocketAddr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn request_round_trips() {
+        let wire = encode_request(FLAG_FINAL, 512, b"hello rpc");
+        let req = decode_request(&wire).unwrap();
+        assert!(req.is_final());
+        assert_eq!(req.resp_len, 512);
+        assert_eq!(req.payload, b"hello rpc");
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let wire = encode_response(STATUS_OK, 0xfeed_f00d, b"payload");
+        let resp = decode_response(&wire).unwrap();
+        assert_eq!(resp.status, STATUS_OK);
+        assert_eq!(resp.checksum, 0xfeed_f00d);
+        assert_eq!(resp.payload, b"payload");
+    }
+
+    #[test]
+    fn truncated_and_bad_magic_are_rejected() {
+        assert!(decode_request(b"MPQ").is_err());
+        assert!(decode_request(&encode_request(0, 0, b"x")[..9]).is_err());
+        let mut wire = encode_response(STATUS_OK, 1, b"y");
+        wire[0] = b'X';
+        assert!(decode_response(&wire).is_err());
+    }
+
+    /// Client connection and server app joined by a zero-delay
+    /// in-memory wire.
+    struct Pair {
+        client: Connection,
+        server: QuicTransport,
+        app: RpcServerApp,
+        now: SimTime,
+    }
+
+    impl Pair {
+        fn new() -> Pair {
+            let config = Config::default();
+            let ca = addr("10.0.0.1:1111");
+            let sa = addr("10.0.0.2:4433");
+            let client = Connection::client(config.clone(), vec![ca], 0, sa, 7);
+            let server = QuicTransport::server(Connection::server(config, vec![sa], 8));
+            Pair {
+                client,
+                server,
+                app: RpcServerApp::new(),
+                now: SimTime::ZERO,
+            }
+        }
+
+        /// One tick: shuttle datagrams both ways, poll the server app.
+        /// Returns the app's status.
+        fn tick(&mut self) -> AppStatus {
+            use mpquic_harness::Transport;
+            self.now += Duration::from_millis(5);
+            while let Some(t) = self.client.poll_transmit(self.now) {
+                self.server
+                    .handle_datagram(self.now, t.remote, t.local, &t.payload);
+            }
+            let status = self.app.poll(&mut self.server);
+            while let Some(t) = self.server.conn.poll_transmit(self.now) {
+                self.client
+                    .handle_datagram(self.now, t.remote, t.local, &t.payload);
+            }
+            while self.client.poll_event().is_some() {}
+            status
+        }
+    }
+
+    #[test]
+    fn serves_concurrent_calls_and_finishes_on_final() {
+        let mut pair = Pair::new();
+        for _ in 0..50 {
+            pair.tick();
+            if pair.client.is_established() {
+                break;
+            }
+        }
+        assert!(pair.client.is_established(), "handshake stalled");
+
+        let mut calls = vec![
+            RpcCall::start(&mut pair.client, b"first", 64, false),
+            RpcCall::start(&mut pair.client, b"second", 256, false),
+        ];
+        let mut verdicts = Vec::new();
+        for _ in 0..200 {
+            pair.tick();
+            calls.retain_mut(|call| match call.poll(&mut pair.client) {
+                Some(v) => {
+                    verdicts.push(v);
+                    false
+                }
+                None => true,
+            });
+            if verdicts.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(verdicts.len(), 2, "calls stalled");
+        assert!(verdicts.iter().all(|v| v.ok && v.intact));
+
+        // The final call drives the app to a success verdict.
+        let mut last = RpcCall::start(&mut pair.client, b"bye", 16, true);
+        let mut last_verdict = None;
+        let mut app_done = false;
+        for _ in 0..200 {
+            let status = pair.tick();
+            if last_verdict.is_none() {
+                last_verdict = last.poll(&mut pair.client);
+            }
+            if status == (AppStatus::Done { ok: true }) {
+                app_done = true;
+            }
+            if app_done && last_verdict.is_some() {
+                break;
+            }
+        }
+        assert_eq!(
+            last_verdict,
+            Some(RpcVerdict {
+                ok: true,
+                intact: true
+            })
+        );
+        assert!(app_done, "server app never reported Done");
+        assert_eq!(pair.app.served(), 3);
+    }
+
+    #[test]
+    fn malformed_request_yields_bad_status() {
+        let mut pair = Pair::new();
+        for _ in 0..50 {
+            pair.tick();
+            if pair.client.is_established() {
+                break;
+            }
+        }
+        // Hand-rolled garbage on a fresh stream.
+        let id = pair.client.open_stream();
+        let _ = pair
+            .client
+            .stream_write(id, Bytes::from(b"not an rpc".to_vec()));
+        pair.client.stream_finish(id);
+        let mut ok = None;
+        for _ in 0..200 {
+            pair.tick();
+            while let Some(_chunk) = pair.client.stream_read(id, usize::MAX) {}
+            if pair.client.stream_is_finished(id) {
+                ok = Some(true);
+                break;
+            }
+        }
+        assert_eq!(ok, Some(true), "no response to malformed request");
+        assert!(pair.app.any_bad, "server accepted garbage");
+    }
+}

@@ -16,11 +16,17 @@
 //!
 //! The loop body mirrors [`crate::Driver::step`] — timers, ingress,
 //! application poll, batched egress — generalised over a map of
-//! connections instead of exactly one.
+//! connections instead of exactly one. That body lives in
+//! [`ShardCore`], shared between the channel-fed shard threads here
+//! and the endpoint's single-worker fast path
+//! (`Endpoint` with `worker_shards = 1` runs demux and shard in one
+//! thread, feeding the core straight from the receive batch with no
+//! channel round trip — see DESIGN.md §13 and ROADMAP item 1).
 
 use mpquic_core::TransmitQueue;
 use mpquic_harness::{QuicTransport, Transport};
 use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::Arc;
@@ -127,84 +133,100 @@ struct ConnEntry {
     done: bool,
 }
 
-/// The shard thread body: loops until `stop` (or the demux hangs up),
-/// then reports its counters.
-///
-/// `sockets` must be a send handle (a [`SocketRegistry::try_clone`] of
-/// the listen registry) — the shard never receives from it; ingress
-/// arrives pre-routed on `rx`.
-pub(crate) fn run_shard(
-    shard: usize,
-    rx: Receiver<ShardMsg>,
-    ctl: Sender<DemuxCtl>,
-    mut sockets: SocketRegistry,
-    stats: Arc<EndpointStats>,
-    stop: Arc<AtomicBool>,
-) -> ShardReport {
-    let clock = Clock::new();
-    let timer = Timer::new();
-    let mut queue = TransmitQueue::new(BATCH_SEGMENTS, SEND_BUF_CAPACITY);
-    let mut io = IoStats::default();
-    let mut conns: HashMap<u64, ConnEntry> = HashMap::new();
-    let mut reap: Vec<u64> = Vec::new();
-    let mut backoff = Backoff::new();
-    let mut conns_served: u64 = 0;
-    let mut disconnected = false;
+/// The shard loop body, factored out of the thread shell so the
+/// endpoint's single-worker fast path can run the *same* per-connection
+/// machinery (timers → app poll → batched egress → reap) in the demux
+/// thread itself, with ingress fed directly instead of through a
+/// channel.
+pub(crate) struct ShardCore {
+    clock: Clock,
+    timer: Timer,
+    queue: TransmitQueue,
+    io: IoStats,
+    conns: HashMap<u64, ConnEntry>,
+    reap: Vec<u64>,
+    conns_served: u64,
+}
 
-    loop {
+impl ShardCore {
+    pub(crate) fn new() -> ShardCore {
+        ShardCore {
+            clock: Clock::new(),
+            timer: Timer::new(),
+            queue: TransmitQueue::new(BATCH_SEGMENTS, SEND_BUF_CAPACITY),
+            io: IoStats::default(),
+            conns: HashMap::new(),
+            reap: Vec::new(),
+            conns_served: 0,
+        }
+    }
+
+    /// Number of connections currently owned.
+    pub(crate) fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True if `cid` is currently owned by this core.
+    pub(crate) fn owns(&self, cid: u64) -> bool {
+        self.conns.contains_key(&cid)
+    }
+
+    /// Takes ownership of a freshly accepted connection.
+    pub(crate) fn accept(
+        &mut self,
+        cid: u64,
+        transport: Box<QuicTransport>,
+        app: Box<dyn ConnApp>,
+    ) {
+        self.conns.insert(
+            cid,
+            ConnEntry {
+                transport,
+                app,
+                done: false,
+            },
+        );
+        self.conns_served += 1;
+    }
+
+    /// Feeds one received datagram to its connection. Returns `true` if
+    /// the CID was owned (a miss is an ordinary race with retirement —
+    /// to the peer it is indistinguishable from loss).
+    pub(crate) fn deliver(
+        &mut self,
+        cid: u64,
+        local: SocketAddr,
+        remote: SocketAddr,
+        payload: &[u8],
+    ) -> bool {
+        let Some(entry) = self.conns.get_mut(&cid) else {
+            return false;
+        };
+        entry
+            .transport
+            .handle_datagram(self.clock.now(), local, remote, payload);
+        self.io.datagrams_received += 1;
+        self.io.bytes_received += payload.len() as u64;
+        true
+    }
+
+    /// One pass over every connection: fire due timers, poll the
+    /// application, drain batched egress, and reap closed connections
+    /// (reporting each retired CID through `on_retire`). Returns `true`
+    /// if anything happened.
+    pub(crate) fn process(
+        &mut self,
+        sockets: &mut SocketRegistry,
+        stats: &EndpointStats,
+        mut on_retire: impl FnMut(u64),
+    ) -> bool {
         let mut progressed = false;
 
-        // 1. Ingress: drain pre-routed messages from the demux.
-        for _ in 0..MAX_MSGS_PER_STEP {
-            match rx.try_recv() {
-                Ok(ShardMsg::Accept {
-                    cid,
-                    transport,
-                    app,
-                }) => {
-                    conns.insert(
-                        cid,
-                        ConnEntry {
-                            transport,
-                            app,
-                            done: false,
-                        },
-                    );
-                    conns_served += 1;
-                    progressed = true;
-                }
-                Ok(ShardMsg::Datagram { cid, meta, buf }) => {
-                    if let Some(entry) = conns.get_mut(&cid) {
-                        let payload = buf.get(..meta.len).unwrap_or(&[]);
-                        entry.transport.handle_datagram(
-                            clock.now(),
-                            meta.local,
-                            meta.remote,
-                            payload,
-                        );
-                        io.datagrams_received += 1;
-                        io.bytes_received += meta.len as u64;
-                    }
-                    // Buffer back to the demux pool either way; a
-                    // race with retirement just drops the datagram,
-                    // which to the peer is ordinary loss.
-                    let _ = ctl.send(DemuxCtl::Return(buf));
-                    progressed = true;
-                }
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => {
-                    disconnected = true;
-                    break;
-                }
-            }
-        }
-
-        // 2. Per connection: timers, application progress, egress.
-        for (&cid, entry) in conns.iter_mut() {
-            let now = clock.now();
-            if timer.is_due(now, entry.transport.next_timeout()) {
+        for (&cid, entry) in self.conns.iter_mut() {
+            let now = self.clock.now();
+            if self.timer.is_due(now, entry.transport.next_timeout()) {
                 entry.transport.on_timeout(now);
-                io.timer_fires += 1;
+                self.io.timer_fires += 1;
                 progressed = true;
             }
 
@@ -240,11 +262,13 @@ pub(crate) fn run_shard(
             // address.
             let mut sent = 0;
             while sent < MAX_SEND_PER_CONN {
-                let produced = entry.transport.poll_transmit_batch(clock.now(), &mut queue);
-                if queue.is_empty() {
+                let produced = entry
+                    .transport
+                    .poll_transmit_batch(self.clock.now(), &mut self.queue);
+                if self.queue.is_empty() {
                     break;
                 }
-                while let Some(transmit) = queue.pop() {
+                while let Some(transmit) = self.queue.pop() {
                     let result = sockets.send_train(
                         transmit.local,
                         transmit.remote,
@@ -259,7 +283,7 @@ pub(crate) fn run_shard(
                     sent += transmit.segment_count();
                     // Recycle before acting on any error: pool
                     // buffers must go back even on a failed send.
-                    queue.recycle(transmit.payload);
+                    self.queue.recycle(transmit.payload);
                     if result.is_err() {
                         // A socket-level refusal is fatal for this
                         // connection only — close it; the shard and
@@ -270,8 +294,8 @@ pub(crate) fn run_shard(
                         }
                         entry.transport.conn.close(APP_ERROR_CODE, "socket error");
                     }
-                    io.datagrams_sent += accepted as u64;
-                    io.bytes_sent += bytes as u64;
+                    self.io.datagrams_sent += accepted as u64;
+                    self.io.bytes_sent += bytes as u64;
                     progressed = true;
                 }
                 if produced == 0 {
@@ -281,13 +305,90 @@ pub(crate) fn run_shard(
 
             // Reap once the close frame has hit the wire.
             if entry.done && entry.transport.conn.is_closed() {
-                reap.push(cid);
+                self.reap.push(cid);
             }
         }
 
-        for cid in reap.drain(..) {
-            conns.remove(&cid);
+        for cid in self.reap.drain(..) {
+            self.conns.remove(&cid);
+            on_retire(cid);
+            progressed = true;
+        }
+
+        progressed
+    }
+
+    /// Consumes the core into its end-of-run report, folding in the
+    /// socket handle's counters.
+    pub(crate) fn into_report(self, shard: usize, sockets: &SocketRegistry) -> ShardReport {
+        let mut io = self.io;
+        io.send_drops = sockets.send_drops();
+        let batch = sockets.batch_stats();
+        io.send_syscalls = batch.send_syscalls;
+        io.recv_syscalls = batch.recv_syscalls;
+        io.syscalls_saved = batch.syscalls_saved;
+        ShardReport {
+            shard,
+            io,
+            batch: batch.clone(),
+            conns_served: self.conns_served,
+        }
+    }
+}
+
+/// The shard thread body: loops until `stop` (or the demux hangs up),
+/// then reports its counters.
+///
+/// `sockets` must be a send handle (a [`SocketRegistry::try_clone`] of
+/// the listen registry) — the shard never receives from it; ingress
+/// arrives pre-routed on `rx`.
+pub(crate) fn run_shard(
+    shard: usize,
+    rx: Receiver<ShardMsg>,
+    ctl: Sender<DemuxCtl>,
+    mut sockets: SocketRegistry,
+    stats: Arc<EndpointStats>,
+    stop: Arc<AtomicBool>,
+) -> ShardReport {
+    let mut core = ShardCore::new();
+    let mut backoff = Backoff::new();
+    let mut disconnected = false;
+
+    loop {
+        let mut progressed = false;
+
+        // 1. Ingress: drain pre-routed messages from the demux.
+        for _ in 0..MAX_MSGS_PER_STEP {
+            match rx.try_recv() {
+                Ok(ShardMsg::Accept {
+                    cid,
+                    transport,
+                    app,
+                }) => {
+                    core.accept(cid, transport, app);
+                    progressed = true;
+                }
+                Ok(ShardMsg::Datagram { cid, meta, buf }) => {
+                    let payload = buf.get(..meta.len).unwrap_or(&[]);
+                    // A miss is a race with retirement: the dropped
+                    // datagram is ordinary loss to the peer.
+                    core.deliver(cid, meta.local, meta.remote, payload);
+                    // Buffer back to the demux pool either way.
+                    let _ = ctl.send(DemuxCtl::Return(buf));
+                    progressed = true;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+
+        // 2. Per connection: timers, application progress, egress.
+        if core.process(&mut sockets, &stats, |cid| {
             let _ = ctl.send(DemuxCtl::Retire { cid });
+        }) {
             progressed = true;
         }
 
@@ -301,17 +402,7 @@ pub(crate) fn run_shard(
         }
     }
 
-    io.send_drops = sockets.send_drops();
-    let batch = sockets.batch_stats();
-    io.send_syscalls = batch.send_syscalls;
-    io.recv_syscalls = batch.recv_syscalls;
-    io.syscalls_saved = batch.syscalls_saved;
-    ShardReport {
-        shard,
-        io,
-        batch: batch.clone(),
-        conns_served,
-    }
+    core.into_report(shard, &sockets)
 }
 
 #[cfg(test)]

@@ -1,0 +1,168 @@
+//! `mpquic-loadgen` binary: run workload scenarios against the real
+//! endpoint and emit a gateable JSON report.
+//!
+//! ```text
+//! mpquic-loadgen [--smoke] [--scenario NAME] [--seed N] [--workers N]
+//!                [--client-threads N] [--out FILE] [--baseline FILE]
+//! ```
+//!
+//! Without `--scenario` the whole catalog runs (request_response,
+//! streaming, incast, churn). `--baseline FILE` gates each scenario's
+//! p99 against the checked-in baseline (`LowerIsBetter`, 30%
+//! tolerance) and churn's conns/sec (`HigherIsBetter`). Exit status is
+//! non-zero on SLO failure or baseline regression.
+
+use mpquic_bench::gate::{enforce_baseline, Direction};
+use mpquic_loadgen::report::{print_summary, render_report};
+use mpquic_loadgen::runner::{run_scenario, RunOptions};
+use mpquic_loadgen::scenario::{by_name, catalog};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mpquic-loadgen [--smoke] [--scenario NAME] [--seed N] [--workers N] \
+         [--client-threads N] [--out FILE] [--baseline FILE]\n\
+         scenarios: request_response streaming incast churn"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut scenario_name: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut opts = RunOptions::default();
+
+    fn value(args: &[String], i: &mut usize, name: &str) -> String {
+        *i += 1;
+        match args.get(*i) {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("mpquic-loadgen: {name} needs a value");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--scenario" => scenario_name = Some(value(&args, &mut i, "--scenario")),
+            "--out" => out_path = Some(value(&args, &mut i, "--out")),
+            "--baseline" => baseline_path = Some(value(&args, &mut i, "--baseline")),
+            "--seed" => {
+                opts.seed = value(&args, &mut i, "--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
+            "--workers" => {
+                opts.workers = value(&args, &mut i, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
+            "--client-threads" => {
+                opts.client_threads = value(&args, &mut i, "--client-threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("mpquic-loadgen: unknown argument {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let scenarios = match &scenario_name {
+        Some(name) => match by_name(name, smoke) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("mpquic-loadgen: unknown scenario {name}");
+                usage();
+            }
+        },
+        None => catalog(smoke),
+    };
+
+    println!(
+        "mpquic-loadgen: {} scenario(s), seed {}, workers {} ({}), {} client thread(s)",
+        scenarios.len(),
+        opts.seed,
+        opts.workers,
+        if opts.workers == 0 { "auto" } else { "fixed" },
+        opts.client_threads,
+    );
+
+    let mut outcomes = Vec::with_capacity(scenarios.len());
+    for scenario in &scenarios {
+        println!("running {} ...", scenario.name);
+        match run_scenario(scenario, &opts) {
+            Ok(outcome) => {
+                print_summary(&outcome);
+                outcomes.push(outcome);
+            }
+            Err(e) => {
+                eprintln!("mpquic-loadgen: {}: {e}", scenario.name);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // The endpoint must never shed load in these scenarios: every
+    // population fits the accept limit and the shard queues.
+    for outcome in &outcomes {
+        if outcome.endpoint.backpressure_drops > 0 || outcome.endpoint.malformed > 0 {
+            eprintln!(
+                "mpquic-loadgen: {}: endpoint shed load ({} backpressure drops, {} malformed)",
+                outcome.name, outcome.endpoint.backpressure_drops, outcome.endpoint.malformed
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let report = render_report(&outcomes, opts.seed, opts.workers, smoke);
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, &report) {
+            eprintln!("mpquic-loadgen: write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("report written to {path}");
+    } else {
+        print!("{report}");
+    }
+
+    if let Some(path) = &baseline_path {
+        for outcome in &outcomes {
+            enforce_baseline(
+                "mpquic-loadgen",
+                path,
+                &format!("{}_p99_us", outcome.name),
+                outcome.p99_us as f64,
+                Direction::LowerIsBetter,
+            );
+            if outcome.name == "churn" {
+                enforce_baseline(
+                    "mpquic-loadgen",
+                    path,
+                    "churn_conns_per_sec",
+                    outcome.conns_per_sec,
+                    Direction::HigherIsBetter,
+                );
+            }
+        }
+    }
+
+    let failed: Vec<&str> = outcomes
+        .iter()
+        .filter(|o| !o.slo_pass)
+        .map(|o| o.name)
+        .collect();
+    if !failed.is_empty() {
+        eprintln!("mpquic-loadgen: SLO FAILED: {}", failed.join(", "));
+        std::process::exit(1);
+    }
+    println!("mpquic-loadgen: all SLOs met");
+}

@@ -1,0 +1,221 @@
+//! Deterministic operation schedules.
+//!
+//! [`build_schedule`] expands a [`Scenario`] into a flat, time-sorted
+//! list of [`Op`]s using only a seeded [`DetRng`]: the same scenario
+//! and seed always yield byte-identical schedules, so two runs differ
+//! only in how the system under test absorbs the load. Arrival times
+//! are *scheduled* (open loop) — the runner charges any lag between
+//! the scheduled instant and actual completion to the operation's
+//! latency, which is what makes tail percentiles honest under
+//! overload.
+
+use crate::scenario::{Scenario, ScenarioKind};
+use mpquic_util::DetRng;
+
+/// One request/response exchange the runner must perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// Scheduled start, µs from run start.
+    pub at_us: u64,
+    /// Logical connection index the op rides on.
+    pub conn: usize,
+    /// Request payload bytes.
+    pub req_bytes: usize,
+    /// Response payload bytes the server must return.
+    pub resp_bytes: usize,
+    /// True on each connection's last op: the request carries
+    /// `FLAG_FINAL` so the server records a clean completion before
+    /// the client closes.
+    pub last: bool,
+}
+
+/// A fully expanded scenario: the op timeline plus derived load
+/// figures.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// All ops, sorted by `at_us` (ties broken by conn index).
+    pub ops: Vec<Op>,
+    /// Number of distinct logical connections referenced.
+    pub conns: usize,
+    /// Offered operation rate over the schedule's span, per second.
+    pub offered_rps: f64,
+    /// Scheduled span, µs (last arrival time).
+    pub span_us: u64,
+}
+
+/// Expands `scenario` into a deterministic schedule.
+pub fn build_schedule(scenario: &Scenario, seed: u64) -> Schedule {
+    let mut rng = DetRng::new(seed).fork(0x10ad);
+    let mut ops: Vec<Op> = Vec::new();
+    let conns;
+
+    match scenario.kind {
+        ScenarioKind::RequestResponse {
+            conns: n,
+            requests_per_conn,
+        } => {
+            conns = n;
+            let mut start_us = 0u64;
+            for conn in 0..n {
+                // Sessions arrive per the arrival process; requests
+                // within a session are separated by think time.
+                start_us += scenario.arrivals.next_gap_us(&mut rng);
+                let mut at = start_us;
+                for req in 0..requests_per_conn {
+                    ops.push(Op {
+                        at_us: at,
+                        conn,
+                        req_bytes: scenario.req_size.sample(&mut rng),
+                        resp_bytes: scenario.resp_size.sample(&mut rng).max(1),
+                        last: req + 1 == requests_per_conn,
+                    });
+                    at += scenario.think.sample(&mut rng);
+                }
+            }
+        }
+        ScenarioKind::Streaming {
+            conns: n,
+            chunks_per_conn,
+        } => {
+            conns = n;
+            let mut start_us = 0u64;
+            for conn in 0..n {
+                start_us += scenario.arrivals.next_gap_us(&mut rng);
+                let mut at = start_us;
+                for chunk in 0..chunks_per_conn {
+                    ops.push(Op {
+                        at_us: at,
+                        conn,
+                        req_bytes: scenario.req_size.sample(&mut rng),
+                        resp_bytes: scenario.resp_size.sample(&mut rng).max(1),
+                        last: chunk + 1 == chunks_per_conn,
+                    });
+                    at += scenario.think.sample(&mut rng);
+                }
+            }
+        }
+        ScenarioKind::Incast {
+            fan_in,
+            waves,
+            wave_interval_us,
+        } => {
+            conns = fan_in;
+            for wave in 0..waves {
+                let at = wave as u64 * wave_interval_us;
+                for conn in 0..fan_in {
+                    // Every sender fires at the same scheduled
+                    // instant — that synchrony is the point.
+                    ops.push(Op {
+                        at_us: at,
+                        conn,
+                        req_bytes: scenario.req_size.sample(&mut rng),
+                        resp_bytes: scenario.resp_size.sample(&mut rng).max(1),
+                        last: wave + 1 == waves,
+                    });
+                }
+            }
+        }
+        ScenarioKind::Churn { conns: n } => {
+            conns = n;
+            let mut at = 0u64;
+            for conn in 0..n {
+                at += scenario.arrivals.next_gap_us(&mut rng);
+                ops.push(Op {
+                    at_us: at,
+                    conn,
+                    req_bytes: scenario.req_size.sample(&mut rng),
+                    resp_bytes: scenario.resp_size.sample(&mut rng).max(1),
+                    last: true,
+                });
+            }
+        }
+    }
+
+    ops.sort_by_key(|op| (op.at_us, op.conn));
+    let span_us = ops.last().map(|op| op.at_us).unwrap_or(0);
+    let offered_rps = if span_us > 0 {
+        ops.len() as f64 / (span_us as f64 / 1e6)
+    } else {
+        ops.len() as f64
+    };
+    Schedule {
+        ops,
+        conns,
+        offered_rps,
+        span_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::catalog;
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        for scenario in catalog(true) {
+            let a = build_schedule(&scenario, 42);
+            let b = build_schedule(&scenario, 42);
+            assert_eq!(a.ops, b.ops, "{}", scenario.name);
+            // Scenarios with stochastic elements must vary with the
+            // seed; streaming/incast are deliberately all-fixed.
+            if matches!(scenario.name, "request_response" | "churn") {
+                let c = build_schedule(&scenario, 43);
+                assert_ne!(a.ops, c.ops, "{} should vary with seed", scenario.name);
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_are_sorted_and_sized() {
+        for scenario in catalog(true) {
+            let sched = build_schedule(&scenario, 7);
+            assert!(!sched.ops.is_empty(), "{}", scenario.name);
+            assert!(
+                sched.ops.windows(2).all(|w| w[0].at_us <= w[1].at_us),
+                "{} not time-sorted",
+                scenario.name
+            );
+            assert!(
+                sched.ops.iter().all(|op| op.conn < sched.conns),
+                "{} conn index out of range",
+                scenario.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_conn_has_exactly_one_final_op() {
+        for scenario in catalog(true) {
+            let sched = build_schedule(&scenario, 9);
+            for conn in 0..sched.conns {
+                let ops: Vec<&Op> = sched.ops.iter().filter(|op| op.conn == conn).collect();
+                assert!(!ops.is_empty(), "{} conn {conn} has no ops", scenario.name);
+                let finals = ops.iter().filter(|op| op.last).count();
+                assert_eq!(finals, 1, "{} conn {conn}", scenario.name);
+                // The final op is the conn's last in time order.
+                let max_at = ops.iter().map(|op| op.at_us).max().unwrap();
+                let last_op = ops.iter().find(|op| op.last).unwrap();
+                assert_eq!(last_op.at_us, max_at, "{} conn {conn}", scenario.name);
+            }
+        }
+    }
+
+    #[test]
+    fn incast_waves_share_an_instant() {
+        let scenario = catalog(true)
+            .into_iter()
+            .find(|s| s.name == "incast")
+            .unwrap();
+        let sched = build_schedule(&scenario, 3);
+        let mut instants: Vec<u64> = sched.ops.iter().map(|op| op.at_us).collect();
+        instants.dedup();
+        // One distinct instant per wave, each fully synchronized.
+        if let ScenarioKind::Incast { fan_in, waves, .. } = scenario.kind {
+            assert_eq!(instants.len(), waves);
+            assert_eq!(sched.ops.len(), fan_in * waves);
+        } else {
+            unreachable!();
+        }
+    }
+}

@@ -117,6 +117,51 @@ impl LogHistogram {
         }
         self.max
     }
+
+    /// Resolves several quantiles in one pass over the buckets —
+    /// what an SLO report wants (p50/p99/p999 from one histogram)
+    /// without re-walking the buckets per quantile. `qs` need not be
+    /// sorted; results come back in the same order. Each value has the
+    /// same bucket-upper-bound resolution as [`LogHistogram::quantile`].
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<u64> {
+        let mut out = vec![0u64; qs.len()];
+        if self.count == 0 {
+            return out;
+        }
+        // (rank, position) sorted by rank, then one cumulative walk.
+        let mut ranks: Vec<(u64, usize)> = qs
+            .iter()
+            .enumerate()
+            .map(|(pos, q)| {
+                let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+                (rank, pos)
+            })
+            .collect();
+        ranks.sort_unstable();
+        let mut pending = ranks.into_iter().peekable();
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            let (_, upper) = Self::bucket_bounds(i);
+            let value = upper.saturating_sub(1).min(self.max);
+            while let Some((_, pos)) = pending.next_if(|&(rank, _)| seen >= rank) {
+                if let Some(slot) = out.get_mut(pos) {
+                    *slot = value;
+                }
+            }
+            if pending.peek().is_none() {
+                break;
+            }
+        }
+        // Ranks beyond the walk (can't happen while counts are
+        // consistent, but keep the fallback total): the maximum.
+        for (_, pos) in pending {
+            if let Some(slot) = out.get_mut(pos) {
+                *slot = self.max;
+            }
+        }
+        out
+    }
 }
 
 /// Counters, gauges and histograms for one path.
@@ -478,6 +523,41 @@ mod tests {
         // The distribution survives: p20 still resolves to the small
         // values' bucket, not the merged mean.
         assert!(a.quantile(0.2) <= 3);
+    }
+
+    #[test]
+    fn batch_quantiles_match_single_quantile() {
+        let mut h = LogHistogram::default();
+        for v in 0..1000u64 {
+            h.record(v * 7 % 509);
+        }
+        let qs = [0.999, 0.5, 0.99, 0.0, 1.0];
+        let batch = h.quantiles(&qs);
+        for (&q, &got) in qs.iter().zip(batch.iter()) {
+            assert_eq!(got, h.quantile(q), "q={q}");
+        }
+        // Empty histogram: all zeros, order preserved.
+        assert_eq!(LogHistogram::default().quantiles(&qs), vec![0; 5]);
+    }
+
+    #[test]
+    fn batch_quantiles_survive_merge() {
+        // SLO aggregation path: per-worker histograms merged, then
+        // p50/p99/p999 read in one pass.
+        let mut merged = LogHistogram::default();
+        for worker in 0..4u64 {
+            let mut h = LogHistogram::default();
+            for i in 0..250u64 {
+                h.record(100 + worker * 1000 + i);
+            }
+            merged.merge(&h);
+        }
+        assert_eq!(merged.count(), 1000);
+        let q = merged.quantiles(&[0.5, 0.99, 0.999]);
+        assert!(q[0] <= q[1] && q[1] <= q[2], "quantiles monotone: {q:?}");
+        assert!(q[2] <= merged.max());
+        // p99 of 1000 samples must come from the top worker's band.
+        assert!(q[1] >= 2048, "p99 {q:?} below the top band's bucket");
     }
 
     #[test]
