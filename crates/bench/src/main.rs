@@ -509,7 +509,8 @@ fn run_mode(batched: bool, warmup: Duration, measure: Duration) -> ModeResult {
     let drain = std::thread::spawn(move || {
         let mut batch = RecvBatch::new(64);
         let mut received: u64 = 0;
-        while !drain_stop.load(Ordering::Relaxed) {
+        // Acquire pairs with the main thread's Release store below.
+        while !drain_stop.load(Ordering::Acquire) {
             match receiver.poll_recv_batch(&mut batch) {
                 Ok(0) => std::thread::yield_now(),
                 Ok(n) => received += n as u64,
@@ -540,7 +541,9 @@ fn run_mode(batched: bool, warmup: Duration, measure: Duration) -> ModeResult {
     let allocs = alloc_count::thread_counts().allocs;
     let syscalls = sender.batch_stats().send_syscalls - syscalls_before;
 
-    stop.store(true, Ordering::Relaxed);
+    // Release pairs with the drain thread's Acquire load: everything
+    // sent before the stop is visible to its final accounting.
+    stop.store(true, Ordering::Release);
     let _ = drain.join();
 
     ModeResult {

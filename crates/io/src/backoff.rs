@@ -10,7 +10,14 @@
 //! yields, then exponentially growing sleeps capped at the timer
 //! granularity, so a stalled socket costs latency proportional to how
 //! stalled it actually is.
+//!
+//! The ladder's primitives come from [`mpquic_util::sync`], so under
+//! `--cfg loom` every wait is a scheduling point for the interleaving
+//! explorer (sleeps become yields — model time does not advance) and
+//! the no-lost-wakeup property of loops built on [`Backoff`] can be
+//! checked exhaustively.
 
+use mpquic_util::sync;
 use std::time::Duration;
 
 /// Busy-spin steps before the first yield.
@@ -85,12 +92,12 @@ impl Backoff {
             // A short burst of pause-hinted spins: cheapest, and wins
             // when the kernel drains the buffer within microseconds.
             for _ in 0..(1 << self.step.min(6)) {
-                std::hint::spin_loop();
+                sync::hint::spin_loop();
             }
         } else if let Some(sleep) = self.next_sleep() {
-            std::thread::sleep(sleep);
+            sync::thread::sleep(sleep);
         } else {
-            std::thread::yield_now();
+            sync::thread::yield_now();
         }
         self.step = self.step.saturating_add(1);
     }

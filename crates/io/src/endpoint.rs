@@ -26,20 +26,20 @@
 
 use mpquic_core::{BufferPool, Config};
 use mpquic_harness::{QuicTransport, Transport};
+use mpquic_util::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use mpquic_util::sync::mpsc::{channel, sync_channel, Receiver, SyncSender, TrySendError};
+use mpquic_util::sync::Arc;
 use mpquic_util::DetRng;
 use mpquic_wire::PublicHeader;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::backoff::Backoff;
 use crate::driver::IoStats;
 use crate::error::{Error, Result};
 use crate::shard::{run_shard, shard_for_cid, DemuxCtl, ShardCore, ShardMsg, ShardReport};
-use crate::socket::{RecvBatch, SocketRegistry};
+use crate::socket::{RecvBatch, RecvMeta, SocketRegistry};
 use crate::transfer;
 
 /// Datagrams pulled per demux iteration (one batched syscall's worth).
@@ -160,8 +160,10 @@ impl ConnApp for TransferApp {
 }
 
 /// Live counters shared by the demux thread, every shard, and the
-/// endpoint handle. All relaxed: they are telemetry, not
-/// synchronisation.
+/// endpoint handle. All accesses are `Relaxed`: these are commutative
+/// telemetry tallies, never synchronisation — the atomics registry
+/// (`crates/xtask/atomics.toml`) records each with role `counter`, and
+/// the atomic-ordering lint rejects anything stronger.
 #[derive(Debug, Default)]
 pub struct EndpointStats {
     /// Connections created for a first-seen CID.
@@ -319,7 +321,7 @@ impl Endpoint {
             });
         }
 
-        let (ctl_tx, ctl_rx) = std::sync::mpsc::channel::<DemuxCtl>();
+        let (ctl_tx, ctl_rx) = channel::<DemuxCtl>();
         let mut shard_txs = Vec::with_capacity(workers);
         let mut shards = Vec::with_capacity(workers);
         for shard in 0..workers {
@@ -339,24 +341,18 @@ impl Endpoint {
         drop(ctl_tx);
 
         let demux = {
-            let stats = Arc::clone(&stats);
+            let core = DemuxCore::new(
+                config,
+                seed,
+                local.clone(),
+                factory,
+                shard_txs,
+                Arc::clone(&stats),
+            );
             let stop = Arc::clone(&stop);
-            let local = local.clone();
             std::thread::Builder::new()
                 .name("mpq-demux".to_string())
-                .spawn(move || {
-                    run_demux(DemuxState {
-                        sockets,
-                        local,
-                        config,
-                        seed,
-                        factory,
-                        shard_txs,
-                        ctl_rx,
-                        stats,
-                        stop,
-                    })
-                })
+                .spawn(move || run_demux(sockets, core, ctl_rx, stop))
                 .map_err(Error::Io)?
         };
 
@@ -387,7 +383,10 @@ impl Endpoint {
     /// Stops the demux and every shard, joins them, and returns the
     /// final per-shard and endpoint-level counters.
     pub fn shutdown(mut self) -> EndpointReport {
-        self.stop.store(true, Ordering::Relaxed);
+        // Release pairs with the workers' Acquire loads: everything the
+        // closing thread wrote before asking for shutdown is visible to
+        // the workers' final iterations.
+        self.stop.store(true, Ordering::Release);
         if let Some(demux) = self.demux.take() {
             let _ = demux.join();
         }
@@ -407,7 +406,8 @@ impl Endpoint {
 
 impl Drop for Endpoint {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        // Same Release/Acquire pairing as `shutdown`.
+        self.stop.store(true, Ordering::Release);
         if let Some(demux) = self.demux.take() {
             let _ = demux.join();
         }
@@ -427,116 +427,272 @@ fn resolve_workers(configured: usize) -> usize {
         .unwrap_or(1)
 }
 
-/// Everything the demux thread owns.
-struct DemuxState {
-    sockets: SocketRegistry,
-    local: Vec<SocketAddr>,
+/// Bounded FIFO set of retired connection IDs.
+///
+/// A straggler datagram for a just-retired CID (the client ACKing our
+/// CONNECTION_CLOSE, say) must not re-trigger the accept path and pin
+/// a zombie connection in a shard. Bounded FIFO eviction keeps the set
+/// small; forgetting the oldest tombstone is safe (the straggler would
+/// merely open — and immediately starve — a throwaway connection).
+#[derive(Debug, Default)]
+pub struct Tombstones {
+    set: HashSet<u64>,
+    order: VecDeque<u64>,
+}
+
+impl Tombstones {
+    /// An empty tombstone set with the endpoint's standard capacity.
+    pub fn new() -> Tombstones {
+        Tombstones::default()
+    }
+
+    /// Records `cid` as retired, evicting the oldest tombstone past
+    /// the cap.
+    pub fn insert(&mut self, cid: u64) {
+        if self.set.insert(cid) {
+            self.order.push_back(cid);
+            if self.order.len() > MAX_TOMBSTONES {
+                if let Some(old) = self.order.pop_front() {
+                    self.set.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// True if `cid` retired recently enough to still be remembered.
+    pub fn contains(&self, cid: u64) -> bool {
+        self.set.contains(&cid)
+    }
+}
+
+/// The demux loop body — routing, accepting, buffer recycling, CID
+/// retirement — factored out of the thread shell.
+///
+/// Two consumers: [`run_demux`] wraps it in the socket-polling thread
+/// loop, and the model-checked protocol tests (`tests/loom.rs`) drive
+/// it directly against model channels, so every interleaving of the
+/// *production* routing/recycling/accounting code against the shard
+/// side can be explored exhaustively without binding sockets.
+pub struct DemuxCore {
+    pool: BufferPool,
+    /// CID → owning shard. Entries retire when the shard reports the
+    /// connection closed, freeing the accept slot.
+    known: HashMap<u64, usize>,
+    tombstones: Tombstones,
+    shard_txs: Vec<SyncSender<ShardMsg>>,
+    stats: Arc<EndpointStats>,
     config: Config,
     seed: u64,
+    local: Vec<SocketAddr>,
     factory: AppFactory,
-    shard_txs: Vec<SyncSender<ShardMsg>>,
-    ctl_rx: Receiver<DemuxCtl>,
-    stats: Arc<EndpointStats>,
-    stop: Arc<AtomicBool>,
+}
+
+impl DemuxCore {
+    /// A demux core feeding `shard_txs`; connections are built from
+    /// `config`/`seed`/`local` and serve the app `factory` builds.
+    pub fn new(
+        config: Config,
+        seed: u64,
+        local: Vec<SocketAddr>,
+        factory: AppFactory,
+        shard_txs: Vec<SyncSender<ShardMsg>>,
+        stats: Arc<EndpointStats>,
+    ) -> DemuxCore {
+        DemuxCore {
+            pool: BufferPool::new(POOL_BUFFERS, POOL_BUF_CAPACITY),
+            known: HashMap::new(),
+            tombstones: Tombstones::new(),
+            shard_txs,
+            stats,
+            config,
+            seed,
+            local,
+            factory,
+        }
+    }
+
+    /// Buffers currently loaned out to shard queues (or in flight on
+    /// the control channel back). Exposed so protocol tests can assert
+    /// the recycling invariant — zero once the endpoint is quiet.
+    pub fn outstanding_buffers(&self) -> usize {
+        self.pool.outstanding()
+    }
+
+    /// Drains shard feedback: recycled buffers, retired CIDs. Returns
+    /// `true` if anything was drained.
+    pub fn drain_ctl(&mut self, ctl_rx: &Receiver<DemuxCtl>) -> bool {
+        let mut progressed = false;
+        while let Ok(ctl) = ctl_rx.try_recv() {
+            self.apply_ctl(ctl);
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// Applies one piece of shard feedback. Public so model tests can
+    /// block on `ctl_rx.recv()` themselves (polling `drain_ctl` in a
+    /// loop explodes the model's schedule space).
+    pub fn apply_ctl(&mut self, ctl: DemuxCtl) {
+        match ctl {
+            DemuxCtl::Return(buf) => self.pool.put(buf),
+            DemuxCtl::Retire { cid } => {
+                if self.known.remove(&cid).is_some() {
+                    self.stats.active.fetch_sub(1, Ordering::Relaxed);
+                    self.stats.closed.fetch_add(1, Ordering::Relaxed);
+                }
+                self.tombstones.insert(cid);
+            }
+        }
+    }
+
+    /// Routes one received datagram by the CID read off its public
+    /// header: forward to the owning shard, accept a first-seen CID,
+    /// or drop (counted) if malformed, over limit, or backpressured.
+    pub fn route(&mut self, meta: RecvMeta, payload: &[u8]) {
+        self.stats.datagrams_in.fetch_add(1, Ordering::Relaxed);
+        let Some(cid) = PublicHeader::connection_id_of(payload) else {
+            self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let shard = match self.known.get(&cid) {
+            Some(&shard) => shard,
+            None if self.tombstones.contains(cid) => {
+                // Straggler for a finished connection: drop.
+                return;
+            }
+            None => {
+                let Some(shard) = self.try_accept(cid) else {
+                    return;
+                };
+                shard
+            }
+        };
+        let mut buf = self.pool.take();
+        buf.clear();
+        buf.extend_from_slice(payload);
+        let Some(tx) = self.shard_txs.get(shard) else {
+            self.pool.put(buf);
+            return;
+        };
+        match tx.try_send(ShardMsg::Datagram { cid, meta, buf }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(msg)) => {
+                self.stats
+                    .backpressure_drops
+                    .fetch_add(1, Ordering::Relaxed);
+                if let ShardMsg::Datagram { buf, .. } = msg {
+                    self.pool.put(buf);
+                }
+            }
+            Err(TrySendError::Disconnected(msg)) => {
+                if let ShardMsg::Datagram { buf, .. } = msg {
+                    self.pool.put(buf);
+                }
+            }
+        }
+    }
+
+    /// Accepts a first-seen CID: creates the server-side connection
+    /// and hands it to its CID-hash shard. Returns the owning shard,
+    /// or `None` if the accept limit is reached, the shard's queue is
+    /// full, or the shard hung up — in every case the datagram is
+    /// dropped (and counted).
+    fn try_accept(&mut self, cid: u64) -> Option<usize> {
+        if self.known.len() >= self.config.max_incoming_connections {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let shard = shard_for_cid(cid, self.shard_txs.len());
+        // Each connection gets an independent deterministic RNG stream:
+        // the endpoint seed advanced by the (client-chosen) CID.
+        let conn_seed = DetRng::new(self.seed ^ cid).next_u64();
+        let conn =
+            mpquic_core::Connection::server(self.config.clone(), self.local.clone(), conn_seed);
+        let transport = Box::new(QuicTransport::server(conn));
+        let app = (self.factory)(cid);
+        let tx = self.shard_txs.get(shard)?;
+        // The handoff must not block: a blocking send on this bounded
+        // channel would stall ingress for every other shard behind one
+        // slow one (and is exactly what the channel-topology lint
+        // rejects inside the demux loop). On a full queue the accept —
+        // and its datagram — are dropped; the client's retransmission
+        // re-enters the accept path once the shard has drained.
+        match tx.try_send(ShardMsg::Accept {
+            cid,
+            transport,
+            app,
+        }) {
+            Ok(()) => {
+                self.known.insert(cid, shard);
+                self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                self.stats.active.fetch_add(1, Ordering::Relaxed);
+                Some(shard)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.stats
+                    .backpressure_drops
+                    .fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(TrySendError::Disconnected(_)) => None,
+        }
+    }
+
+    /// Teardown: severs the shard queues and drains the control
+    /// channel until every shard has hung up, so each loaned buffer is
+    /// back in the pool (whose drop asserts exactly that) and every
+    /// queued-but-unowned accept is retired before the core drops.
+    ///
+    /// Blocking `recv` here is safe by construction: shards never
+    /// block on their ingress channel, so they always reach their own
+    /// stop check, flush, and drop their control sender — there is no
+    /// send→recv cycle back to this thread (the channel-topology lint
+    /// checks the declared graph stays acyclic).
+    pub fn finish(mut self, ctl_rx: &Receiver<DemuxCtl>) {
+        // Dropping the senders makes every shard's next try_recv
+        // return Disconnected, a second shutdown signal alongside the
+        // stop flag.
+        self.shard_txs.clear();
+        while let Ok(ctl) = ctl_rx.recv() {
+            self.apply_ctl(ctl);
+        }
+        debug_assert_eq!(
+            self.pool.outstanding(),
+            0,
+            "demux teardown left pool buffers in flight"
+        );
+    }
 }
 
 /// The demux thread body: route datagrams by CID, accept unknown CIDs
 /// up to the configured limit, recycle buffers and CIDs the shards
-/// hand back.
-fn run_demux(mut state: DemuxState) {
+/// hand back, and on shutdown drain the control channel so nothing the
+/// shards still hold is leaked.
+fn run_demux(
+    mut sockets: SocketRegistry,
+    mut core: DemuxCore,
+    ctl_rx: Receiver<DemuxCtl>,
+    stop: Arc<AtomicBool>,
+) {
     let mut batch = RecvBatch::new(DEMUX_BATCH);
-    let mut pool = BufferPool::new(POOL_BUFFERS, POOL_BUF_CAPACITY);
-    // CID → owning shard. Entries retire when the shard reports the
-    // connection closed, freeing the accept slot.
-    let mut known: HashMap<u64, usize> = HashMap::new();
-    // Tombstones: a straggler datagram for a just-retired CID (the
-    // client ACKing our CONNECTION_CLOSE, say) must not re-trigger the
-    // accept path and pin a zombie connection in a shard. Bounded FIFO
-    // eviction keeps the set small.
-    let mut retired: HashSet<u64> = HashSet::new();
-    let mut retired_order: VecDeque<u64> = VecDeque::new();
     let mut backoff = Backoff::new();
 
     loop {
-        let mut progressed = false;
-
         // 1. Feedback from the shards: recycled buffers, retired CIDs.
-        while let Ok(ctl) = state.ctl_rx.try_recv() {
-            match ctl {
-                DemuxCtl::Return(buf) => pool.put(buf),
-                DemuxCtl::Retire { cid } => {
-                    if known.remove(&cid).is_some() {
-                        state.stats.active.fetch_sub(1, Ordering::Relaxed);
-                        state.stats.closed.fetch_add(1, Ordering::Relaxed);
-                    }
-                    if retired.insert(cid) {
-                        retired_order.push_back(cid);
-                        if retired_order.len() > MAX_TOMBSTONES {
-                            if let Some(old) = retired_order.pop_front() {
-                                retired.remove(&old);
-                            }
-                        }
-                    }
-                }
-            }
-            progressed = true;
-        }
+        let mut progressed = core.drain_ctl(&ctl_rx);
 
         // 2. Ingress: one batched receive, each datagram routed by the
         //    CID read off its public header.
-        let received = state.sockets.poll_recv_batch(&mut batch).unwrap_or(0);
+        let received = sockets.poll_recv_batch(&mut batch).unwrap_or(0);
         if received > 0 {
             progressed = true;
-            // Collect routing first: forwarding needs `&mut` channels
-            // while `batch` borrows are live, so stage (shard, meta)
-            // per datagram, then move payloads out.
             for (meta, payload) in batch.iter() {
-                state.stats.datagrams_in.fetch_add(1, Ordering::Relaxed);
-                let Some(cid) = PublicHeader::connection_id_of(payload) else {
-                    state.stats.malformed.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                };
-                let shard = match known.get(&cid) {
-                    Some(&shard) => shard,
-                    None if retired.contains(&cid) => {
-                        // Straggler for a finished connection: drop.
-                        continue;
-                    }
-                    None => {
-                        let Some(shard) = try_accept(&mut state, &mut known, cid) else {
-                            continue;
-                        };
-                        shard
-                    }
-                };
-                let mut buf = pool.take();
-                buf.clear();
-                buf.extend_from_slice(payload);
-                let Some(tx) = state.shard_txs.get(shard) else {
-                    pool.put(buf);
-                    continue;
-                };
-                match tx.try_send(ShardMsg::Datagram { cid, meta, buf }) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(msg)) => {
-                        state
-                            .stats
-                            .backpressure_drops
-                            .fetch_add(1, Ordering::Relaxed);
-                        if let ShardMsg::Datagram { buf, .. } = msg {
-                            pool.put(buf);
-                        }
-                    }
-                    Err(TrySendError::Disconnected(msg)) => {
-                        if let ShardMsg::Datagram { buf, .. } = msg {
-                            pool.put(buf);
-                        }
-                    }
-                }
+                core.route(meta, payload);
             }
         }
 
-        if state.stop.load(Ordering::Relaxed) {
+        // Acquire pairs with the Release store in `Endpoint::shutdown`.
+        if stop.load(Ordering::Acquire) {
             break;
         }
         if progressed {
@@ -545,6 +701,8 @@ fn run_demux(mut state: DemuxState) {
             backoff.wait();
         }
     }
+
+    core.finish(&ctl_rx);
 }
 
 /// Everything the single-worker fast path owns: the sharded setup
@@ -569,8 +727,7 @@ fn run_unified(mut state: UnifiedState) -> ShardReport {
     let mut core = ShardCore::new();
     // Tombstones, same policy as the sharded demux: stragglers for a
     // retired CID must not re-enter the accept path.
-    let mut retired: HashSet<u64> = HashSet::new();
-    let mut retired_order: VecDeque<u64> = VecDeque::new();
+    let mut retired = Tombstones::new();
     // On a true single-core machine the clients feeding this loop can
     // only run while it waits, so skip the spin stage of the ladder.
     let single_core = std::thread::available_parallelism()
@@ -598,7 +755,7 @@ fn run_unified(mut state: UnifiedState) -> ShardReport {
                     continue;
                 };
                 if !core.owns(cid) {
-                    if retired.contains(&cid) {
+                    if retired.contains(cid) {
                         // Straggler for a finished connection: drop.
                         continue;
                     }
@@ -629,19 +786,13 @@ fn run_unified(mut state: UnifiedState) -> ShardReport {
         if core.process(&mut state.sockets, stats, |cid| {
             stats.active.fetch_sub(1, Ordering::Relaxed);
             stats.closed.fetch_add(1, Ordering::Relaxed);
-            if retired.insert(cid) {
-                retired_order.push_back(cid);
-                if retired_order.len() > MAX_TOMBSTONES {
-                    if let Some(old) = retired_order.pop_front() {
-                        retired.remove(&old);
-                    }
-                }
-            }
+            retired.insert(cid);
         }) {
             progressed = true;
         }
 
-        if state.stop.load(Ordering::Relaxed) {
+        // Acquire pairs with the Release store in `Endpoint::shutdown`.
+        if state.stop.load(Ordering::Acquire) {
             break;
         }
         if progressed {
@@ -652,42 +803,4 @@ fn run_unified(mut state: UnifiedState) -> ShardReport {
     }
 
     core.into_report(0, &state.sockets)
-}
-
-/// Accepts a first-seen CID: creates the server-side connection and
-/// hands it to its CID-hash shard. Returns the owning shard, or `None`
-/// if the accept limit is reached (the datagram is dropped and
-/// counted) or the shard hung up.
-fn try_accept(state: &mut DemuxState, known: &mut HashMap<u64, usize>, cid: u64) -> Option<usize> {
-    if known.len() >= state.config.max_incoming_connections {
-        state.stats.rejected.fetch_add(1, Ordering::Relaxed);
-        return None;
-    }
-    let shard = shard_for_cid(cid, state.shard_txs.len());
-    // Each connection gets an independent deterministic RNG stream:
-    // the endpoint seed advanced by the (client-chosen) CID.
-    let conn_seed = DetRng::new(state.seed ^ cid).next_u64();
-    let conn =
-        mpquic_core::Connection::server(state.config.clone(), state.local.clone(), conn_seed);
-    let transport = Box::new(QuicTransport::server(conn));
-    let app = (state.factory)(cid);
-    let tx = state.shard_txs.get(shard)?;
-    // Accept-time handoff may block briefly on a full shard queue —
-    // this is the bounded cross-thread channel the design allows, and
-    // ordering with the follow-up datagram on the same channel is what
-    // guarantees the shard sees Accept first.
-    if tx
-        .send(ShardMsg::Accept {
-            cid,
-            transport,
-            app,
-        })
-        .is_err()
-    {
-        return None;
-    }
-    known.insert(cid, shard);
-    state.stats.accepted.fetch_add(1, Ordering::Relaxed);
-    state.stats.active.fetch_add(1, Ordering::Relaxed);
-    Some(shard)
 }

@@ -80,12 +80,15 @@ pub use backoff::Backoff;
 pub use clock::Clock;
 pub use driver::{quic_client, quic_server, Driver, IoStats};
 pub use endpoint::{
-    AppFactory, AppStatus, ConnApp, Endpoint, EndpointReport, EndpointSnapshot, EndpointStats,
-    TransferApp,
+    AppFactory, AppStatus, ConnApp, DemuxCore, Endpoint, EndpointReport, EndpointSnapshot,
+    EndpointStats, Tombstones, TransferApp,
 };
 pub use error::Error;
 pub use rpc::{RpcCall, RpcServerApp, RpcVerdict};
-pub use shard::{shard_for_cid, ShardReport};
+pub use shard::{
+    drain_shard_ingress, flush_shard_ingress, shard_for_cid, DemuxCtl, IngressDrain, ShardMsg,
+    ShardReport, ShardSink,
+};
 pub use socket::{BatchStats, RecvBatch, SocketRegistry};
 pub use stream::BlockingStream;
 pub use timer::Timer;

@@ -25,11 +25,11 @@
 
 use mpquic_core::TransmitQueue;
 use mpquic_harness::{QuicTransport, Transport};
+use mpquic_util::sync::atomic::{AtomicBool, Ordering};
+use mpquic_util::sync::mpsc::{Receiver, Sender, TryRecvError};
+use mpquic_util::sync::Arc;
 use std::collections::HashMap;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
-use std::sync::Arc;
 
 use crate::backoff::Backoff;
 use crate::clock::Clock;
@@ -122,6 +122,96 @@ pub fn shard_for_cid(cid: u64, shards: usize) -> usize {
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
     (z % shards.max(1) as u64) as usize
+}
+
+/// Where drained shard ingress lands.
+///
+/// Implemented by the production [`ShardCore`] (datagrams feed real
+/// connections) and by the protocol doubles the model-checked tests in
+/// `tests/loom.rs` use, so [`drain_shard_ingress`] — the exact code the
+/// shard threads run against the demux channels — can be exercised
+/// under exhaustive interleaving without binding sockets.
+pub trait ShardSink {
+    /// Takes ownership of a newly accepted connection.
+    fn accept(&mut self, cid: u64, transport: Box<QuicTransport>, app: Box<dyn ConnApp>);
+
+    /// Feeds one received datagram (already trimmed to its wire
+    /// length) to the connection owning `cid`. A miss is an ordinary
+    /// race with retirement and must be tolerated.
+    fn deliver(&mut self, cid: u64, meta: &RecvMeta, payload: &[u8]);
+}
+
+/// Outcome of one [`drain_shard_ingress`] pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngressDrain {
+    /// At least one message was drained.
+    pub progressed: bool,
+    /// The demux hung up; the shard should flush and exit.
+    pub disconnected: bool,
+}
+
+/// Drains up to `max_msgs` pre-routed messages from the demux channel
+/// into `sink`, returning every datagram buffer to the demux pool via
+/// `ctl`.
+///
+/// This is stage 1 of the shard loop, factored out so the loom tests
+/// interleave the *production* drain code against the demux. The
+/// buffer-recycling contract lives here: a [`ShardMsg::Datagram`]'s
+/// buffer goes back through [`DemuxCtl::Return`] exactly once, whether
+/// or not its connection still exists.
+pub fn drain_shard_ingress(
+    rx: &Receiver<ShardMsg>,
+    ctl: &Sender<DemuxCtl>,
+    sink: &mut impl ShardSink,
+    max_msgs: usize,
+) -> IngressDrain {
+    let mut out = IngressDrain::default();
+    for _ in 0..max_msgs {
+        match rx.try_recv() {
+            Ok(ShardMsg::Accept {
+                cid,
+                transport,
+                app,
+            }) => {
+                sink.accept(cid, transport, app);
+                out.progressed = true;
+            }
+            Ok(ShardMsg::Datagram { cid, meta, buf }) => {
+                let payload = buf.get(..meta.len).unwrap_or(&[]);
+                // A miss is a race with retirement: the dropped
+                // datagram is ordinary loss to the peer.
+                sink.deliver(cid, &meta, payload);
+                // Buffer back to the demux pool either way.
+                let _ = ctl.send(DemuxCtl::Return(buf));
+                out.progressed = true;
+            }
+            Err(TryRecvError::Empty) => break,
+            Err(TryRecvError::Disconnected) => {
+                out.disconnected = true;
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Final drain after the shard decides to exit: queued datagram
+/// buffers go back to the demux pool and queued-but-never-owned
+/// accepts are retired, so shutdown neither leaks pool buffers nor
+/// strands the accept/close accounting (`accepted == closed + active`
+/// stays an invariant through teardown).
+pub fn flush_shard_ingress(rx: &Receiver<ShardMsg>, ctl: &Sender<DemuxCtl>) {
+    loop {
+        match rx.try_recv() {
+            Ok(ShardMsg::Accept { cid, .. }) => {
+                let _ = ctl.send(DemuxCtl::Retire { cid });
+            }
+            Ok(ShardMsg::Datagram { buf, .. }) => {
+                let _ = ctl.send(DemuxCtl::Return(buf));
+            }
+            Err(_) => break,
+        }
+    }
 }
 
 /// One connection owned by a shard.
@@ -336,6 +426,16 @@ impl ShardCore {
     }
 }
 
+impl ShardSink for ShardCore {
+    fn accept(&mut self, cid: u64, transport: Box<QuicTransport>, app: Box<dyn ConnApp>) {
+        ShardCore::accept(self, cid, transport, app);
+    }
+
+    fn deliver(&mut self, cid: u64, meta: &RecvMeta, payload: &[u8]) {
+        ShardCore::deliver(self, cid, meta.local, meta.remote, payload);
+    }
+}
+
 /// The shard thread body: loops until `stop` (or the demux hangs up),
 /// then reports its counters.
 ///
@@ -355,35 +455,10 @@ pub(crate) fn run_shard(
     let mut disconnected = false;
 
     loop {
-        let mut progressed = false;
-
         // 1. Ingress: drain pre-routed messages from the demux.
-        for _ in 0..MAX_MSGS_PER_STEP {
-            match rx.try_recv() {
-                Ok(ShardMsg::Accept {
-                    cid,
-                    transport,
-                    app,
-                }) => {
-                    core.accept(cid, transport, app);
-                    progressed = true;
-                }
-                Ok(ShardMsg::Datagram { cid, meta, buf }) => {
-                    let payload = buf.get(..meta.len).unwrap_or(&[]);
-                    // A miss is a race with retirement: the dropped
-                    // datagram is ordinary loss to the peer.
-                    core.deliver(cid, meta.local, meta.remote, payload);
-                    // Buffer back to the demux pool either way.
-                    let _ = ctl.send(DemuxCtl::Return(buf));
-                    progressed = true;
-                }
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => {
-                    disconnected = true;
-                    break;
-                }
-            }
-        }
+        let drained = drain_shard_ingress(&rx, &ctl, &mut core, MAX_MSGS_PER_STEP);
+        let mut progressed = drained.progressed;
+        disconnected |= drained.disconnected;
 
         // 2. Per connection: timers, application progress, egress.
         if core.process(&mut sockets, &stats, |cid| {
@@ -392,7 +467,10 @@ pub(crate) fn run_shard(
             progressed = true;
         }
 
-        if stop.load(Ordering::Relaxed) || disconnected {
+        // Acquire pairs with the Release store in `Endpoint::shutdown`:
+        // whatever the closer wrote before raising the flag is visible
+        // to this final iteration.
+        if stop.load(Ordering::Acquire) || disconnected {
             break;
         }
         if progressed {
@@ -402,6 +480,9 @@ pub(crate) fn run_shard(
         }
     }
 
+    // Nothing queued may outlive the shard: buffers go back to the
+    // pool, undrained accepts are retired (see `flush_shard_ingress`).
+    flush_shard_ingress(&rx, &ctl);
     core.into_report(shard, &sockets)
 }
 

@@ -73,20 +73,29 @@ impl CountingAlloc {
 // effect on the returned memory.
 #[allow(unsafe_code)]
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds GlobalAlloc's contract (`layout` has
+    // non-zero size); the same `layout` is forwarded to `System`
+    // unchanged, and counting does not touch the returned memory.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         Self::charge(layout);
         System.alloc(layout)
     }
 
+    // SAFETY: as `alloc` — the contract is forwarded verbatim.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         Self::charge(layout);
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: caller guarantees `ptr` came from this allocator with
+    // this `layout`; since every allocation path forwards to `System`,
+    // handing the pair back to `System` is exactly its contract.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: as `dealloc` for the (`ptr`, `layout`) pair; `new_size`
+    // passes through to `System`, which checks its own layout math.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // A grow/shrink is one allocator round-trip; charge the new size.
         if let Ok(new_layout) = Layout::from_size_align(new_size, layout.align()) {

@@ -20,6 +20,11 @@
 //!   percentiles and box-plot five-number summaries.
 //! * [`alloc_count`] — a counting global allocator so tests and benches
 //!   can assert the batched datapath's zero-allocation steady state.
+//! * [`model`] — an in-tree exhaustive interleaving explorer (a small
+//!   `loom`) for model-checking cross-thread protocols.
+//! * [`sync`] — switchable concurrency primitives: `std` types
+//!   normally, [`model`] types under `--cfg loom`, so the endpoint's
+//!   channels and atomics can be model-checked unmodified.
 
 // `deny`, not `forbid`: the counting allocator needs one scoped
 // `#[allow(unsafe_code)]` for its `GlobalAlloc` impl (which only
@@ -29,9 +34,11 @@
 
 pub mod alloc_count;
 pub mod datagram;
+pub mod model;
 pub mod ranges;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod time;
 pub mod varint;
 

@@ -7,6 +7,7 @@
 //! Exit status is non-zero when any violation survives the allowlist,
 //! so CI can gate on it directly.
 
+mod concurrency;
 mod lints;
 mod qlog_check;
 mod scan;
@@ -30,6 +31,13 @@ const PN_SCOPE: &[&str] = &[
     "crates/crypto/src",
     "crates/netsim/src",
 ];
+/// Directory scanned by the channel-topology lint: the only crate with
+/// cross-thread channels on a datapath.
+const CHANNEL_SCOPE: &str = "crates/io/src";
+/// Files exempt from the atomic-ordering lint: the model checker
+/// deliberately executes modelled atomics at SeqCst (the scheduler, not
+/// the hardware, supplies weak behaviours).
+const ATOMIC_EXEMPT: &[&str] = &["crates/util/src/model.rs"];
 
 fn workspace_root() -> PathBuf {
     // crates/xtask/ -> crates/ -> workspace root
@@ -135,6 +143,90 @@ fn run_lint(root: &Path, verbose: bool) -> ExitCode {
             scanned += 1;
         }
     }
+
+    // Lints 4–6: concurrency (DESIGN.md §14). Scope: every crate's src
+    // tree except xtask itself (its fixtures spell the forbidden tokens).
+    let concurrency_files: Vec<SourceFile> = rust_files(&root.join("crates"))
+        .into_iter()
+        .filter_map(|p| load(root, &p))
+        .filter(|f| f.path.contains("/src/") && !f.path.starts_with("crates/xtask"))
+        .collect();
+
+    // Lint 4: atomic-ordering against the checked registry.
+    let atomics_path = root.join("crates/xtask/atomics.toml");
+    let atomics = match std::fs::read_to_string(&atomics_path)
+        .map_err(|e| format!("cannot read {}: {e}", atomics_path.display()))
+        .and_then(|t| concurrency::parse_atomics_registry(&t, "crates/xtask/atomics.toml"))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask: error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if verbose {
+        eprintln!(
+            "xtask: atomic-ordering: {} registered atomics",
+            atomics.len()
+        );
+        for a in &atomics {
+            eprintln!(
+                "xtask: atomics.toml: {} ({:?}): {}",
+                a.name, a.role, a.justification
+            );
+        }
+    }
+    for file in &concurrency_files {
+        if ATOMIC_EXEMPT.iter().any(|e| file.path.ends_with(e)) {
+            continue;
+        }
+        violations.extend(concurrency::check_atomic_ordering(file, &atomics));
+        scanned += 1;
+    }
+    violations.extend(concurrency::check_atomic_registry_live(
+        &atomics,
+        &concurrency_files,
+    ));
+
+    // Lint 5: unsafe-audit.
+    for file in &concurrency_files {
+        violations.extend(concurrency::check_unsafe_audit(file));
+    }
+
+    // Lint 6: channel-topology against the declared topology.
+    let channels_path = root.join("crates/xtask/channels.toml");
+    let (channels, sites) = match std::fs::read_to_string(&channels_path)
+        .map_err(|e| format!("cannot read {}: {e}", channels_path.display()))
+        .and_then(|t| concurrency::parse_channels_registry(&t, "crates/xtask/channels.toml"))
+    {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask: error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if verbose {
+        eprintln!(
+            "xtask: channel-topology: {} channels, {} declared sites",
+            channels.len(),
+            sites.len()
+        );
+    }
+    let mut seen = vec![false; sites.len()];
+    for file in concurrency_files
+        .iter()
+        .filter(|f| f.path.starts_with(CHANNEL_SCOPE))
+    {
+        violations.extend(concurrency::check_channel_topology(
+            file, &channels, &sites, &mut seen,
+        ));
+    }
+    violations.extend(concurrency::finish_channel_topology(
+        &channels,
+        &sites,
+        &seen,
+        "crates/xtask/channels.toml",
+    ));
 
     // Allowlist (no-panic only).
     let allow_path = root.join("crates/xtask/allowlist.txt");
