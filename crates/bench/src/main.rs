@@ -15,9 +15,17 @@
 //! run of the same transfer — aggregate connections/sec, goodput and
 //! endpoint datagram rate go to `BENCH_endpoint.json`.
 //!
+//! `datapath` mode also runs the batched sender a third time with a
+//! live [`EndpointPlane`] wired into the hot loop — the same Relaxed
+//! counters and log2 histograms every shard updates per iteration
+//! (DESIGN.md §15) — and reports `metrics_overhead_ratio` (metered
+//! rate / plain batched rate). `--gate-overhead` fails the run if the
+//! ratio drops below 0.97 or the metered arm allocates in steady
+//! state.
+//!
 //! ```text
 //! mpquic-bench [conns] [--smoke] [--out PATH] [--baseline PATH]
-//!              [--conns M] [--workers N]
+//!              [--conns M] [--workers N] [--gate-overhead]
 //! ```
 //!
 //! Results go to `BENCH_datapath.json` / `BENCH_endpoint.json`
@@ -30,6 +38,7 @@ use mpquic_bench::gate::{enforce_baseline, Direction};
 use mpquic_core::Config;
 use mpquic_io::transfer;
 use mpquic_io::{quic_client, Endpoint, RecvBatch, SocketRegistry, TransferApp};
+use mpquic_telemetry::endpoint::EndpointPlane;
 use mpquic_util::alloc_count::{self, CountingAlloc};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -80,6 +89,7 @@ fn main() {
     let mut baseline_path: Option<String> = None;
     let mut conns = CONNS_DEFAULT;
     let mut workers = WORKERS_DEFAULT;
+    let mut gate_overhead = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -103,10 +113,11 @@ fn main() {
                     .and_then(|raw| raw.parse().ok())
                     .unwrap_or_else(|| usage("--workers needs a number"))
             }
+            "--gate-overhead" => gate_overhead = true,
             "--help" => {
                 println!(
                     "usage: mpquic-bench [conns] [--smoke] [--out PATH] [--baseline PATH] \
-                     [--conns M] [--workers N]"
+                     [--conns M] [--workers N] [--gate-overhead]"
                 );
                 return;
             }
@@ -127,13 +138,19 @@ fn main() {
             smoke,
             &out_path.unwrap_or_else(|| "BENCH_datapath.json".to_string()),
             baseline_path.as_deref(),
+            gate_overhead,
         ),
     }
 }
 
+/// Fail `--gate-overhead` when the metered arm runs slower than this
+/// fraction of the plain batched arm (ISSUE budget: within 3%).
+const OVERHEAD_FLOOR: f64 = 0.97;
+
 /// The PR-4 datapath benchmark: raw registry throughput, single
-/// syscalls versus batched trains.
-fn run_datapath_bench(smoke: bool, out_path: &str, baseline_path: Option<&str>) {
+/// syscalls versus batched trains, plus a metered arm that prices the
+/// endpoint metrics plane on the same hot loop.
+fn run_datapath_bench(smoke: bool, out_path: &str, baseline_path: Option<&str>, gate: bool) {
     let measure = if smoke {
         Duration::from_millis(300)
     } else {
@@ -148,14 +165,14 @@ fn run_datapath_bench(smoke: bool, out_path: &str, baseline_path: Option<&str>) 
         if smoke { " (smoke)" } else { "" },
     );
 
-    let single = run_mode(false, warmup, measure);
+    let single = run_mode(false, warmup, measure, None);
     println!(
         "  single : {:>12.0} datagrams/s  {:>7.1} MB/s  {} syscalls",
         single.datagrams_per_sec(),
         single.bytes_per_sec() / 1e6,
         single.syscalls,
     );
-    let batched = run_mode(true, warmup, measure);
+    let batched = run_mode(true, warmup, measure, None);
     println!(
         "  batched: {:>12.0} datagrams/s  {:>7.1} MB/s  {} syscalls  \
          {:.1} allocs/s steady-state",
@@ -164,12 +181,28 @@ fn run_datapath_bench(smoke: bool, out_path: &str, baseline_path: Option<&str>) 
         batched.syscalls,
         batched.allocs_per_sec,
     );
+    // Third arm: the identical batched loop, now feeding a live
+    // metrics plane the way a worker shard does (per-iteration
+    // counters + loop-time histogram). Its cost relative to `batched`
+    // is exactly what turning metrics on costs the datapath.
+    let plane = EndpointPlane::new(1);
+    let metered = run_mode(true, warmup, measure, Some(&plane));
+    let overhead = metered.datagrams_per_sec() / batched.datagrams_per_sec().max(1.0);
+    println!(
+        "  metered: {:>12.0} datagrams/s  {:>7.1} MB/s  {} syscalls  \
+         {:.1} allocs/s steady-state  ({:.3}x of batched)",
+        metered.datagrams_per_sec(),
+        metered.bytes_per_sec() / 1e6,
+        metered.syscalls,
+        metered.allocs_per_sec,
+        overhead,
+    );
 
     let speedup = batched.datagrams_per_sec() / single.datagrams_per_sec().max(1.0);
     let saved = batched.datagrams.saturating_sub(batched.syscalls);
     println!("  speedup: {speedup:.2}x  ({saved} syscalls saved in batched mode)");
 
-    let json = render_json(&single, &batched, speedup, smoke);
+    let json = render_json(&single, &batched, &metered, speedup, overhead, smoke);
     std::fs::write(out_path, &json).unwrap_or_else(|e| {
         eprintln!("mpquic-bench: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -184,6 +217,25 @@ fn run_datapath_bench(smoke: bool, out_path: &str, baseline_path: Option<&str>) 
             batched.datagrams_per_sec(),
             Direction::HigherIsBetter,
         );
+    }
+
+    if gate {
+        if overhead < OVERHEAD_FLOOR {
+            eprintln!(
+                "mpquic-bench: metrics overhead gate FAILED: metered/batched ratio \
+                 {overhead:.3} < {OVERHEAD_FLOOR}"
+            );
+            std::process::exit(1);
+        }
+        if metered.allocs_per_sec > 0.0 {
+            eprintln!(
+                "mpquic-bench: metrics overhead gate FAILED: metered arm allocated \
+                 in steady state ({:.1} allocs/s; the plane must be allocation-free)",
+                metered.allocs_per_sec,
+            );
+            std::process::exit(1);
+        }
+        println!("  metrics overhead gate passed ({overhead:.3} >= {OVERHEAD_FLOOR}, 0 allocs/s)");
     }
 }
 
@@ -489,15 +541,24 @@ fn usage(message: &str) -> ! {
     eprintln!("mpquic-bench: {message}");
     eprintln!(
         "usage: mpquic-bench [conns] [--smoke] [--out PATH] [--baseline PATH] \
-         [--conns M] [--workers N]"
+         [--conns M] [--workers N] [--gate-overhead]"
     );
     std::process::exit(1)
 }
 
 /// Runs one mode: a receiver thread drains its registry while the main
 /// thread sends as fast as the sockets accept, then reports accepted
-/// datagrams over the measured window.
-fn run_mode(batched: bool, warmup: Duration, measure: Duration) -> ModeResult {
+/// datagrams over the measured window. With `plane`, every send
+/// iteration also updates the endpoint metrics plane the way a worker
+/// shard's loop does — Relaxed counter bumps plus a log2 histogram
+/// record of the iteration time — so the metered arm prices exactly
+/// the per-iteration instrumentation the real datapath carries.
+fn run_mode(
+    batched: bool,
+    warmup: Duration,
+    measure: Duration,
+    plane: Option<&EndpointPlane>,
+) -> ModeResult {
     let loopback: SocketAddr = "127.0.0.1:0".parse().expect("loopback literal");
     let mut sender = SocketRegistry::bind(&[loopback]).expect("bind sender");
     let mut receiver = SocketRegistry::bind(&[loopback]).expect("bind receiver");
@@ -534,8 +595,29 @@ fn run_mode(batched: bool, warmup: Duration, measure: Duration) -> ModeResult {
     let started = Instant::now();
 
     let until = started + measure;
-    while Instant::now() < until {
-        datagrams += send_once(&mut sender, from, to, &payload, batched);
+    match plane {
+        None => {
+            while Instant::now() < until {
+                datagrams += send_once(&mut sender, from, to, &payload, batched);
+            }
+        }
+        Some(plane) => {
+            let shard = plane.shard(0);
+            loop {
+                let iter_start = Instant::now();
+                if iter_start >= until {
+                    break;
+                }
+                let sent = send_once(&mut sender, from, to, &payload, batched);
+                datagrams += sent;
+                plane.stats.datagrams_in.add(sent);
+                shard.loop_iterations.add(1);
+                if sent > 0 {
+                    shard.busy_iterations.add(1);
+                }
+                shard.loop_ns.record(iter_start.elapsed().as_nanos() as u64);
+            }
+        }
     }
     let elapsed = started.elapsed().as_secs_f64();
     let allocs = alloc_count::thread_counts().allocs;
@@ -577,7 +659,14 @@ fn send_once(
     }
 }
 
-fn render_json(single: &ModeResult, batched: &ModeResult, speedup: f64, smoke: bool) -> String {
+fn render_json(
+    single: &ModeResult,
+    batched: &ModeResult,
+    metered: &ModeResult,
+    speedup: f64,
+    overhead: f64,
+    smoke: bool,
+) -> String {
     format!(
         "{{\n  \"benchmark\": \"datapath_loopback\",\n  \"smoke\": {smoke},\n  \
          \"segment_bytes\": {SEGMENT},\n  \"train_segments\": {TRAIN},\n  \
@@ -587,7 +676,11 @@ fn render_json(single: &ModeResult, batched: &ModeResult, speedup: f64, smoke: b
          \"bytes_per_sec\": {:.0},\n    \"syscalls\": {},\n    \
          \"allocs_steady_state_per_sec\": {:.1},\n    \
          \"syscalls_saved\": {}\n  }},\n  \
-         \"batched_datagrams_per_sec\": {:.0},\n  \"speedup\": {speedup:.3}\n}}\n",
+         \"metered\": {{\n    \"datagrams_per_sec\": {:.0},\n    \
+         \"bytes_per_sec\": {:.0},\n    \"syscalls\": {},\n    \
+         \"allocs_steady_state_per_sec\": {:.1}\n  }},\n  \
+         \"batched_datagrams_per_sec\": {:.0},\n  \
+         \"metrics_overhead_ratio\": {overhead:.3},\n  \"speedup\": {speedup:.3}\n}}\n",
         single.datagrams_per_sec(),
         single.bytes_per_sec(),
         single.syscalls,
@@ -596,6 +689,10 @@ fn render_json(single: &ModeResult, batched: &ModeResult, speedup: f64, smoke: b
         batched.syscalls,
         batched.allocs_per_sec,
         batched.datagrams.saturating_sub(batched.syscalls),
+        metered.datagrams_per_sec(),
+        metered.bytes_per_sec(),
+        metered.syscalls,
+        metered.allocs_per_sec,
         batched.datagrams_per_sec(),
     )
 }

@@ -4,6 +4,8 @@
 //! mpq-server [--listen ADDR]... [--single-path | --multipath]
 //!            [--max-conns N] [--workers N]
 //!            [--seed N] [--timeout SECS]
+//!            [--metrics-addr ADDR] [--metrics-json FILE]
+//!            [--metrics-interval SECS] [--flight-dump FILE]
 //! ```
 //!
 //! Binds one UDP socket per `--listen` address (default `127.0.0.1:4433`)
@@ -23,10 +25,18 @@
 //! With `--multipath` (the default) every listen address is advertised
 //! to each client via ADD_ADDRESS so it can open one path per local
 //! interface.
+//!
+//! The observability flags expose the endpoint's metrics plane
+//! (DESIGN.md §15): `--metrics-addr` serves Prometheus text exposition
+//! on `/metrics` (plus `/snapshot` and `/flight`); `--metrics-json`
+//! appends one JSON snapshot line every `--metrics-interval` seconds
+//! (default 1); `--flight-dump` writes the flight recorder's last
+//! events as JSON lines at exit — the same dump `/flight` serves live.
 
 use mpquic_core::Config;
-use mpquic_io::cli::{entropy_seed, print_endpoint_report, Args};
+use mpquic_io::cli::{entropy_seed, metrics_addr, metrics_interval, print_endpoint_report, Args};
 use mpquic_io::{Endpoint, TransferApp};
+use mpquic_telemetry::endpoint::{MetricsServer, SnapshotWriter};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
@@ -42,7 +52,9 @@ fn run() -> Result<(), String> {
     if args.has("help") {
         println!(
             "usage: mpq-server [--listen ADDR]... [--single-path|--multipath] \
-             [--max-conns N] [--workers N] [--seed N] [--timeout SECS]"
+             [--max-conns N] [--workers N] [--seed N] [--timeout SECS] \
+             [--metrics-addr ADDR] [--metrics-json FILE] \
+             [--metrics-interval SECS] [--flight-dump FILE]"
         );
         return Ok(());
     }
@@ -94,6 +106,23 @@ fn run() -> Result<(), String> {
         Box::new(|_cid| Box::new(TransferApp::new())),
     )
     .map_err(|e| format!("bind: {e}"))?;
+    let plane = endpoint.plane();
+    let _metrics_server = match metrics_addr(&args)? {
+        Some(addr) => {
+            let server = MetricsServer::serve(addr, endpoint.plane())
+                .map_err(|e| format!("--metrics-addr: {e}"))?;
+            println!("metrics on http://{}/metrics", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
+    let _snapshot_writer = match args.value("metrics-json") {
+        Some(path) => Some(
+            SnapshotWriter::spawn(path, endpoint.plane(), metrics_interval(&args)?)
+                .map_err(|e| format!("--metrics-json: {e}"))?,
+        ),
+        None => None,
+    };
     println!(
         "listening on {:?} ({}, {} workers, up to {} connections)",
         endpoint.local_addrs(),
@@ -125,6 +154,12 @@ fn run() -> Result<(), String> {
 
     let report = endpoint.shutdown();
     print_endpoint_report("mpq-server", &report, elapsed);
+
+    if let Some(path) = args.value("flight-dump") {
+        std::fs::write(path, plane.recorder.dump_json_lines())
+            .map_err(|e| format!("--flight-dump: {e}"))?;
+        println!("flight recorder dumped to {path}");
+    }
 
     if timed_out {
         return Err(format!(

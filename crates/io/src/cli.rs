@@ -107,6 +107,35 @@ pub fn stats_interval(args: &Args) -> Result<Option<Duration>, String> {
     Ok(Some(Duration::from_secs_f64(secs)))
 }
 
+/// Parses `mpq-server`'s `--metrics-addr HOST:PORT` flag — where the
+/// [`mpquic_core::telemetry`]-independent scrape server
+/// (`mpquic_telemetry::endpoint::MetricsServer`) should listen; `None`
+/// when the flag was not given.
+pub fn metrics_addr(args: &Args) -> Result<Option<SocketAddr>, String> {
+    let Some(raw) = args.value("metrics-addr") else {
+        return Ok(None);
+    };
+    raw.parse()
+        .map(Some)
+        .map_err(|_| format!("--metrics-addr: invalid address {raw:?}"))
+}
+
+/// Parses `mpq-server`'s `--metrics-interval SECS` flag (fractional
+/// seconds allowed) — the period of the JSON-lines snapshot writer.
+/// Defaults to one second when only `--metrics-json` was given.
+pub fn metrics_interval(args: &Args) -> Result<Duration, String> {
+    let Some(raw) = args.value("metrics-interval") else {
+        return Ok(Duration::from_secs(1));
+    };
+    let secs: f64 = raw
+        .parse()
+        .map_err(|_| "--metrics-interval: not a number".to_string())?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err("--metrics-interval: must be positive".to_string());
+    }
+    Ok(Duration::from_secs_f64(secs))
+}
+
 /// Installs the binaries' telemetry stack on a connection:
 ///
 /// * a metrics registry (always — feeds the per-path section of
@@ -263,6 +292,18 @@ pub fn print_endpoint_report(label: &str, report: &crate::EndpointReport, elapse
         totals.malformed,
         totals.backpressure_drops,
     );
+    let plane = &report.plane;
+    if plane.loop_ns.count() > 0 {
+        println!(
+            "plane: {} wakeups, loop p50/p99 {}/{} ns, queue depth p99 {}, \
+             pool outstanding p99 {}",
+            plane.wakeups,
+            plane.loop_ns.quantile(0.50),
+            plane.loop_ns.quantile(0.99),
+            plane.queue_depth.quantile(0.99),
+            plane.pool_outstanding.quantile(0.99),
+        );
+    }
     if elapsed_secs > 0.0 && totals.closed > 0 {
         println!(
             "elapsed: {elapsed_secs:.3} s ({:.1} accepts/s, {:.1} closes/s, \

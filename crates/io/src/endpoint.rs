@@ -26,7 +26,7 @@
 
 use mpquic_core::{BufferPool, Config};
 use mpquic_harness::{QuicTransport, Transport};
-use mpquic_util::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use mpquic_util::sync::atomic::{AtomicBool, Ordering};
 use mpquic_util::sync::mpsc::{channel, sync_channel, Receiver, SyncSender, TrySendError};
 use mpquic_util::sync::Arc;
 use mpquic_util::DetRng;
@@ -34,6 +34,11 @@ use mpquic_wire::PublicHeader;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::SocketAddr;
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+pub use mpquic_telemetry::endpoint::{
+    EndpointPlane, EndpointSnapshot, EndpointStats, FlightKind, PlaneSnapshot,
+};
 
 use crate::backoff::Backoff;
 use crate::driver::IoStats;
@@ -159,76 +164,6 @@ impl ConnApp for TransferApp {
     }
 }
 
-/// Live counters shared by the demux thread, every shard, and the
-/// endpoint handle. All accesses are `Relaxed`: these are commutative
-/// telemetry tallies, never synchronisation — the atomics registry
-/// (`crates/xtask/atomics.toml`) records each with role `counter`, and
-/// the atomic-ordering lint rejects anything stronger.
-#[derive(Debug, Default)]
-pub struct EndpointStats {
-    /// Connections created for a first-seen CID.
-    pub accepted: AtomicU64,
-    /// Currently live (accepted minus retired).
-    pub active: AtomicU64,
-    /// Applications that finished successfully.
-    pub completed: AtomicU64,
-    /// Applications that failed, or connections lost before a verdict.
-    pub failed: AtomicU64,
-    /// Connections fully retired: the close went to the wire and the
-    /// CID was released. `accepted - active == closed` once the
-    /// endpoint is quiet, which is the cross-check load harnesses use
-    /// for conns/sec accounting.
-    pub closed: AtomicU64,
-    /// New-CID datagrams dropped because the accept limit was reached.
-    pub rejected: AtomicU64,
-    /// Datagrams whose public header yielded no CID.
-    pub malformed: AtomicU64,
-    /// Datagrams dropped because the owning shard's queue was full.
-    pub backpressure_drops: AtomicU64,
-    /// Every datagram the demux pulled off the listen sockets.
-    pub datagrams_in: AtomicU64,
-}
-
-/// A point-in-time copy of [`EndpointStats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct EndpointSnapshot {
-    /// Connections created for a first-seen CID.
-    pub accepted: u64,
-    /// Currently live (accepted minus retired).
-    pub active: u64,
-    /// Applications that finished successfully.
-    pub completed: u64,
-    /// Applications that failed, or connections lost before a verdict.
-    pub failed: u64,
-    /// Connections fully retired (close on the wire, CID released).
-    pub closed: u64,
-    /// New-CID datagrams dropped because the accept limit was reached.
-    pub rejected: u64,
-    /// Datagrams whose public header yielded no CID.
-    pub malformed: u64,
-    /// Datagrams dropped because the owning shard's queue was full.
-    pub backpressure_drops: u64,
-    /// Every datagram the demux pulled off the listen sockets.
-    pub datagrams_in: u64,
-}
-
-impl EndpointStats {
-    /// Copies the live counters.
-    pub fn snapshot(&self) -> EndpointSnapshot {
-        EndpointSnapshot {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            active: self.active.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            closed: self.closed.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            malformed: self.malformed.load(Ordering::Relaxed),
-            backpressure_drops: self.backpressure_drops.load(Ordering::Relaxed),
-            datagrams_in: self.datagrams_in.load(Ordering::Relaxed),
-        }
-    }
-}
-
 /// End-of-run report: every shard's counters plus the endpoint totals.
 #[derive(Debug, Clone, Default)]
 pub struct EndpointReport {
@@ -236,6 +171,9 @@ pub struct EndpointReport {
     pub shards: Vec<ShardReport>,
     /// Final endpoint-level counters.
     pub totals: EndpointSnapshot,
+    /// Final metrics-plane aggregate: per-shard loop telemetry, merged
+    /// histograms, flight-recorder tally (DESIGN.md §15).
+    pub plane: PlaneSnapshot,
 }
 
 impl EndpointReport {
@@ -265,7 +203,7 @@ pub struct Endpoint {
     demux: Option<JoinHandle<()>>,
     shards: Vec<JoinHandle<ShardReport>>,
     stop: Arc<AtomicBool>,
-    stats: Arc<EndpointStats>,
+    plane: Arc<EndpointPlane>,
     local: Vec<SocketAddr>,
 }
 
@@ -284,7 +222,7 @@ impl Endpoint {
         let local = sockets.local_addrs();
         let workers = resolve_workers(config.worker_shards);
         let stop = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(EndpointStats::default());
+        let plane = Arc::new(EndpointPlane::new(workers));
 
         if workers == 1 {
             // Single-worker fast path: demux and shard merged into one
@@ -294,7 +232,7 @@ impl Endpoint {
             // host this is the difference between the endpoint beating
             // a bare `Driver` loop and losing to it (ROADMAP item 1).
             let unified = {
-                let stats = Arc::clone(&stats);
+                let plane = Arc::clone(&plane);
                 let stop = Arc::clone(&stop);
                 let local = local.clone();
                 std::thread::Builder::new()
@@ -306,7 +244,7 @@ impl Endpoint {
                             config,
                             seed,
                             factory,
-                            stats,
+                            plane,
                             stop,
                         })
                     })
@@ -316,7 +254,7 @@ impl Endpoint {
                 demux: None,
                 shards: vec![unified],
                 stop,
-                stats,
+                plane,
                 local,
             });
         }
@@ -329,12 +267,12 @@ impl Endpoint {
             shard_txs.push(tx);
             let send_handle = sockets.try_clone().map_err(Error::Io)?;
             let ctl = ctl_tx.clone();
-            let stats = Arc::clone(&stats);
+            let plane = Arc::clone(&plane);
             let stop = Arc::clone(&stop);
             shards.push(
                 std::thread::Builder::new()
                     .name(format!("mpq-shard-{shard}"))
-                    .spawn(move || run_shard(shard, rx, ctl, send_handle, stats, stop))
+                    .spawn(move || run_shard(shard, rx, ctl, send_handle, plane, stop))
                     .map_err(Error::Io)?,
             );
         }
@@ -347,7 +285,7 @@ impl Endpoint {
                 local.clone(),
                 factory,
                 shard_txs,
-                Arc::clone(&stats),
+                Arc::clone(&plane),
             );
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
@@ -360,7 +298,7 @@ impl Endpoint {
             demux: Some(demux),
             shards,
             stop,
-            stats,
+            plane,
             local,
         })
     }
@@ -377,12 +315,24 @@ impl Endpoint {
 
     /// Live endpoint counters (lock-free; safe to poll while serving).
     pub fn stats(&self) -> EndpointSnapshot {
-        self.stats.snapshot()
+        self.plane.stats.snapshot()
+    }
+
+    /// The endpoint's metrics plane — share it with a
+    /// [`mpquic_telemetry::endpoint::MetricsServer`] /
+    /// [`mpquic_telemetry::endpoint::SnapshotWriter`], or record
+    /// harness-level flight events ([`FlightKind::SloFail`]) against
+    /// it. Outlives the endpoint: it stays readable after `shutdown`.
+    pub fn plane(&self) -> Arc<EndpointPlane> {
+        Arc::clone(&self.plane)
     }
 
     /// Stops the demux and every shard, joins them, and returns the
     /// final per-shard and endpoint-level counters.
     pub fn shutdown(mut self) -> EndpointReport {
+        self.plane
+            .recorder
+            .record(FlightKind::Teardown, 0, 0, self.plane.stats.active.get());
         // Release pairs with the workers' Acquire loads: everything the
         // closing thread wrote before asking for shutdown is visible to
         // the workers' final iterations.
@@ -399,7 +349,8 @@ impl Endpoint {
         shards.sort_by_key(|r| r.shard);
         EndpointReport {
             shards,
-            totals: self.stats.snapshot(),
+            totals: self.plane.stats.snapshot(),
+            plane: self.plane.snapshot(),
         }
     }
 }
@@ -480,7 +431,7 @@ pub struct DemuxCore {
     known: HashMap<u64, usize>,
     tombstones: Tombstones,
     shard_txs: Vec<SyncSender<ShardMsg>>,
-    stats: Arc<EndpointStats>,
+    plane: Arc<EndpointPlane>,
     config: Config,
     seed: u64,
     local: Vec<SocketAddr>,
@@ -496,14 +447,14 @@ impl DemuxCore {
         local: Vec<SocketAddr>,
         factory: AppFactory,
         shard_txs: Vec<SyncSender<ShardMsg>>,
-        stats: Arc<EndpointStats>,
+        plane: Arc<EndpointPlane>,
     ) -> DemuxCore {
         DemuxCore {
             pool: BufferPool::new(POOL_BUFFERS, POOL_BUF_CAPACITY),
             known: HashMap::new(),
             tombstones: Tombstones::new(),
             shard_txs,
-            stats,
+            plane,
             config,
             seed,
             local,
@@ -516,6 +467,25 @@ impl DemuxCore {
     /// the recycling invariant — zero once the endpoint is quiet.
     pub fn outstanding_buffers(&self) -> usize {
         self.pool.outstanding()
+    }
+
+    /// The shared metrics plane.
+    pub fn plane(&self) -> &EndpointPlane {
+        &self.plane
+    }
+
+    /// Samples the occupancy gauges into their histograms: buffers on
+    /// loan from the pool, and each shard's ingress-queue depth. The
+    /// demux calls this once per busy iteration — sampling on progress
+    /// ties the distributions to traffic instead of idle spinning.
+    pub fn sample_occupancy(&self) {
+        self.plane
+            .pool_outstanding
+            .record(self.pool.outstanding() as u64);
+        for shard in 0..self.shard_txs.len() {
+            let plane = self.plane.shard(shard);
+            plane.queue_depth.record(plane.queue_occupancy());
+        }
     }
 
     /// Drains shard feedback: recycled buffers, retired CIDs. Returns
@@ -536,9 +506,12 @@ impl DemuxCore {
         match ctl {
             DemuxCtl::Return(buf) => self.pool.put(buf),
             DemuxCtl::Retire { cid } => {
-                if self.known.remove(&cid).is_some() {
-                    self.stats.active.fetch_sub(1, Ordering::Relaxed);
-                    self.stats.closed.fetch_add(1, Ordering::Relaxed);
+                if let Some(shard) = self.known.remove(&cid) {
+                    self.plane.stats.active.sub(1);
+                    self.plane.stats.closed.add(1);
+                    self.plane
+                        .recorder
+                        .record(FlightKind::Retire, cid, shard as u32, 0);
                 }
                 self.tombstones.insert(cid);
             }
@@ -549,9 +522,10 @@ impl DemuxCore {
     /// header: forward to the owning shard, accept a first-seen CID,
     /// or drop (counted) if malformed, over limit, or backpressured.
     pub fn route(&mut self, meta: RecvMeta, payload: &[u8]) {
-        self.stats.datagrams_in.fetch_add(1, Ordering::Relaxed);
+        self.plane.stats.datagrams_in.add(1);
         let Some(cid) = PublicHeader::connection_id_of(payload) else {
-            self.stats.malformed.fetch_add(1, Ordering::Relaxed);
+            self.plane.stats.malformed.add(1);
+            self.plane.recorder.record(FlightKind::Malformed, 0, 0, 0);
             return;
         };
         let shard = match self.known.get(&cid) {
@@ -575,11 +549,17 @@ impl DemuxCore {
             return;
         };
         match tx.try_send(ShardMsg::Datagram { cid, meta, buf }) {
-            Ok(()) => {}
+            Ok(()) => {
+                self.plane.shard(shard).queue_sent.add(1);
+            }
             Err(TrySendError::Full(msg)) => {
-                self.stats
-                    .backpressure_drops
-                    .fetch_add(1, Ordering::Relaxed);
+                self.plane.stats.backpressure_drops.add(1);
+                self.plane.recorder.record(
+                    FlightKind::Backpressure,
+                    cid,
+                    shard as u32,
+                    self.plane.shard(shard).queue_occupancy(),
+                );
                 if let ShardMsg::Datagram { buf, .. } = msg {
                     self.pool.put(buf);
                 }
@@ -599,7 +579,10 @@ impl DemuxCore {
     /// dropped (and counted).
     fn try_accept(&mut self, cid: u64) -> Option<usize> {
         if self.known.len() >= self.config.max_incoming_connections {
-            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            self.plane.stats.rejected.add(1);
+            self.plane
+                .recorder
+                .record(FlightKind::Shed, cid, 0, self.known.len() as u64);
             return None;
         }
         let shard = shard_for_cid(cid, self.shard_txs.len());
@@ -624,14 +607,22 @@ impl DemuxCore {
         }) {
             Ok(()) => {
                 self.known.insert(cid, shard);
-                self.stats.accepted.fetch_add(1, Ordering::Relaxed);
-                self.stats.active.fetch_add(1, Ordering::Relaxed);
+                self.plane.stats.accepted.add(1);
+                self.plane.stats.active.add(1);
+                self.plane.shard(shard).queue_sent.add(1);
+                self.plane
+                    .recorder
+                    .record(FlightKind::Accept, cid, shard as u32, 0);
                 Some(shard)
             }
             Err(TrySendError::Full(_)) => {
-                self.stats
-                    .backpressure_drops
-                    .fetch_add(1, Ordering::Relaxed);
+                self.plane.stats.backpressure_drops.add(1);
+                self.plane.recorder.record(
+                    FlightKind::Backpressure,
+                    cid,
+                    shard as u32,
+                    self.plane.shard(shard).queue_occupancy(),
+                );
                 None
             }
             Err(TrySendError::Disconnected(_)) => None,
@@ -689,6 +680,7 @@ fn run_demux(
             for (meta, payload) in batch.iter() {
                 core.route(meta, payload);
             }
+            core.sample_occupancy();
         }
 
         // Acquire pairs with the Release store in `Endpoint::shutdown`.
@@ -713,7 +705,7 @@ struct UnifiedState {
     config: Config,
     seed: u64,
     factory: AppFactory,
-    stats: Arc<EndpointStats>,
+    plane: Arc<EndpointPlane>,
     stop: Arc<AtomicBool>,
 }
 
@@ -738,8 +730,13 @@ fn run_unified(mut state: UnifiedState) -> ShardReport {
     } else {
         Backoff::new()
     };
+    // The unified thread is shard 0 of the metrics plane: same loop
+    // telemetry as `run_shard`, minus the channel tallies (there is no
+    // channel on this path).
+    let mut was_idle = true;
 
     loop {
+        let iter_start = Instant::now();
         let mut progressed = false;
 
         // 1. Ingress: one batched receive, each datagram routed by CID
@@ -749,9 +746,10 @@ fn run_unified(mut state: UnifiedState) -> ShardReport {
         if received > 0 {
             progressed = true;
             for (meta, payload) in batch.iter() {
-                state.stats.datagrams_in.fetch_add(1, Ordering::Relaxed);
+                state.plane.stats.datagrams_in.add(1);
                 let Some(cid) = PublicHeader::connection_id_of(payload) else {
-                    state.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                    state.plane.stats.malformed.add(1);
+                    state.plane.recorder.record(FlightKind::Malformed, 0, 0, 0);
                     continue;
                 };
                 if !core.owns(cid) {
@@ -760,7 +758,11 @@ fn run_unified(mut state: UnifiedState) -> ShardReport {
                         continue;
                     }
                     if core.len() >= state.config.max_incoming_connections {
-                        state.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        state.plane.stats.rejected.add(1);
+                        state
+                            .plane
+                            .recorder
+                            .record(FlightKind::Shed, cid, 0, core.len() as u64);
                         continue;
                     }
                     let conn_seed = DetRng::new(state.seed ^ cid).next_u64();
@@ -774,22 +776,38 @@ fn run_unified(mut state: UnifiedState) -> ShardReport {
                         Box::new(QuicTransport::server(conn)),
                         (state.factory)(cid),
                     );
-                    state.stats.accepted.fetch_add(1, Ordering::Relaxed);
-                    state.stats.active.fetch_add(1, Ordering::Relaxed);
+                    state.plane.stats.accepted.add(1);
+                    state.plane.stats.active.add(1);
+                    state.plane.recorder.record(FlightKind::Accept, cid, 0, 0);
                 }
                 core.deliver(cid, meta.local, meta.remote, payload);
             }
         }
 
         // 2. Timers, application progress, egress, reaping.
-        let stats = &state.stats;
-        if core.process(&mut state.sockets, stats, |cid| {
-            stats.active.fetch_sub(1, Ordering::Relaxed);
-            stats.closed.fetch_add(1, Ordering::Relaxed);
+        let plane = &state.plane;
+        if core.process(&mut state.sockets, &plane.stats, |cid| {
+            plane.stats.active.sub(1);
+            plane.stats.closed.add(1);
+            plane.recorder.record(FlightKind::Retire, cid, 0, 0);
             retired.insert(cid);
         }) {
             progressed = true;
         }
+
+        let shard_plane = state.plane.shard(0);
+        shard_plane.loop_iterations.add(1);
+        if progressed {
+            shard_plane.busy_iterations.add(1);
+            if was_idle {
+                shard_plane.wakeups.add(1);
+            }
+            shard_plane
+                .loop_ns
+                .record(iter_start.elapsed().as_nanos() as u64);
+            shard_plane.conns_active.set(core.len() as u64);
+        }
+        was_idle = !progressed;
 
         // Acquire pairs with the Release store in `Endpoint::shutdown`.
         if state.stop.load(Ordering::Acquire) {

@@ -80,8 +80,8 @@ pub use backoff::Backoff;
 pub use clock::Clock;
 pub use driver::{quic_client, quic_server, Driver, IoStats};
 pub use endpoint::{
-    AppFactory, AppStatus, ConnApp, DemuxCore, Endpoint, EndpointReport, EndpointSnapshot,
-    EndpointStats, Tombstones, TransferApp,
+    AppFactory, AppStatus, ConnApp, DemuxCore, Endpoint, EndpointPlane, EndpointReport,
+    EndpointSnapshot, EndpointStats, FlightKind, PlaneSnapshot, Tombstones, TransferApp,
 };
 pub use error::Error;
 pub use rpc::{RpcCall, RpcServerApp, RpcVerdict};

@@ -30,11 +30,12 @@ use mpquic_util::sync::mpsc::{Receiver, Sender, TryRecvError};
 use mpquic_util::sync::Arc;
 use std::collections::HashMap;
 use std::net::SocketAddr;
+use std::time::Instant;
 
 use crate::backoff::Backoff;
 use crate::clock::Clock;
 use crate::driver::IoStats;
-use crate::endpoint::{AppStatus, ConnApp, EndpointStats};
+use crate::endpoint::{AppStatus, ConnApp, EndpointPlane, EndpointStats};
 use crate::socket::{BatchStats, RecvMeta, SocketRegistry};
 use crate::timer::Timer;
 
@@ -148,6 +149,10 @@ pub struct IngressDrain {
     pub progressed: bool,
     /// The demux hung up; the shard should flush and exit.
     pub disconnected: bool,
+    /// How many messages were drained — the shard's side of the
+    /// channel-occupancy accounting (`queue_received` in the metrics
+    /// plane; the demux counts `queue_sent` at `try_send`).
+    pub msgs: usize,
 }
 
 /// Drains up to `max_msgs` pre-routed messages from the demux channel
@@ -175,6 +180,7 @@ pub fn drain_shard_ingress(
             }) => {
                 sink.accept(cid, transport, app);
                 out.progressed = true;
+                out.msgs += 1;
             }
             Ok(ShardMsg::Datagram { cid, meta, buf }) => {
                 let payload = buf.get(..meta.len).unwrap_or(&[]);
@@ -184,6 +190,7 @@ pub fn drain_shard_ingress(
                 // Buffer back to the demux pool either way.
                 let _ = ctl.send(DemuxCtl::Return(buf));
                 out.progressed = true;
+                out.msgs += 1;
             }
             Err(TryRecvError::Empty) => break,
             Err(TryRecvError::Disconnected) => {
@@ -199,19 +206,24 @@ pub fn drain_shard_ingress(
 /// buffers go back to the demux pool and queued-but-never-owned
 /// accepts are retired, so shutdown neither leaks pool buffers nor
 /// strands the accept/close accounting (`accepted == closed + active`
-/// stays an invariant through teardown).
-pub fn flush_shard_ingress(rx: &Receiver<ShardMsg>, ctl: &Sender<DemuxCtl>) {
+/// stays an invariant through teardown). Returns how many messages
+/// were flushed, so the caller can keep `queue_received` honest.
+pub fn flush_shard_ingress(rx: &Receiver<ShardMsg>, ctl: &Sender<DemuxCtl>) -> usize {
+    let mut flushed = 0;
     loop {
         match rx.try_recv() {
             Ok(ShardMsg::Accept { cid, .. }) => {
                 let _ = ctl.send(DemuxCtl::Retire { cid });
+                flushed += 1;
             }
             Ok(ShardMsg::Datagram { buf, .. }) => {
                 let _ = ctl.send(DemuxCtl::Return(buf));
+                flushed += 1;
             }
             Err(_) => break,
         }
     }
+    flushed
 }
 
 /// One connection owned by a shard.
@@ -325,10 +337,10 @@ impl ShardCore {
                     AppStatus::Pending => {}
                     AppStatus::Done { ok } => {
                         if ok {
-                            stats.completed.fetch_add(1, Ordering::Relaxed);
+                            stats.completed.add(1);
                             entry.transport.conn.close(0, "transfer complete");
                         } else {
-                            stats.failed.fetch_add(1, Ordering::Relaxed);
+                            stats.failed.add(1);
                             entry
                                 .transport
                                 .conn
@@ -341,7 +353,7 @@ impl ShardCore {
                 // A peer-initiated (or error) close without an app
                 // verdict counts as a failure.
                 if !entry.done && entry.transport.conn.is_closed() {
-                    stats.failed.fetch_add(1, Ordering::Relaxed);
+                    stats.failed.add(1);
                     entry.done = true;
                 }
             }
@@ -379,7 +391,7 @@ impl ShardCore {
                         // connection only — close it; the shard and
                         // its other connections keep running.
                         if !entry.done {
-                            stats.failed.fetch_add(1, Ordering::Relaxed);
+                            stats.failed.add(1);
                             entry.done = true;
                         }
                         entry.transport.conn.close(APP_ERROR_CODE, "socket error");
@@ -447,25 +459,45 @@ pub(crate) fn run_shard(
     rx: Receiver<ShardMsg>,
     ctl: Sender<DemuxCtl>,
     mut sockets: SocketRegistry,
-    stats: Arc<EndpointStats>,
+    plane: Arc<EndpointPlane>,
     stop: Arc<AtomicBool>,
 ) -> ShardReport {
     let mut core = ShardCore::new();
     let mut backoff = Backoff::new();
     let mut disconnected = false;
+    let shard_plane = plane.shard(shard);
+    let mut was_idle = true;
 
     loop {
+        let iter_start = Instant::now();
+
         // 1. Ingress: drain pre-routed messages from the demux.
         let drained = drain_shard_ingress(&rx, &ctl, &mut core, MAX_MSGS_PER_STEP);
         let mut progressed = drained.progressed;
         disconnected |= drained.disconnected;
+        if drained.msgs > 0 {
+            shard_plane.queue_received.add(drained.msgs as u64);
+        }
 
         // 2. Per connection: timers, application progress, egress.
-        if core.process(&mut sockets, &stats, |cid| {
+        if core.process(&mut sockets, &plane.stats, |cid| {
             let _ = ctl.send(DemuxCtl::Retire { cid });
         }) {
             progressed = true;
         }
+
+        shard_plane.loop_iterations.add(1);
+        if progressed {
+            shard_plane.busy_iterations.add(1);
+            if was_idle {
+                shard_plane.wakeups.add(1);
+            }
+            shard_plane
+                .loop_ns
+                .record(iter_start.elapsed().as_nanos() as u64);
+            shard_plane.conns_active.set(core.len() as u64);
+        }
+        was_idle = !progressed;
 
         // Acquire pairs with the Release store in `Endpoint::shutdown`:
         // whatever the closer wrote before raising the flag is visible
@@ -482,7 +514,10 @@ pub(crate) fn run_shard(
 
     // Nothing queued may outlive the shard: buffers go back to the
     // pool, undrained accepts are retired (see `flush_shard_ingress`).
-    flush_shard_ingress(&rx, &ctl);
+    let flushed = flush_shard_ingress(&rx, &ctl);
+    if flushed > 0 {
+        shard_plane.queue_received.add(flushed as u64);
+    }
     core.into_report(shard, &sockets)
 }
 

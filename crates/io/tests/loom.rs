@@ -22,7 +22,7 @@
 use mpquic_core::Config;
 use mpquic_io::socket::RecvMeta;
 use mpquic_io::{
-    drain_shard_ingress, flush_shard_ingress, Backoff, ConnApp, DemuxCore, DemuxCtl, EndpointStats,
+    drain_shard_ingress, flush_shard_ingress, Backoff, ConnApp, DemuxCore, DemuxCtl, EndpointPlane,
     QuicTransport, ShardMsg, ShardSink, TransferApp,
 };
 use mpquic_util::model;
@@ -54,8 +54,8 @@ fn meta_for(payload: &[u8]) -> RecvMeta {
 
 fn demux_core(
     shard_txs: Vec<mpquic_util::sync::mpsc::SyncSender<ShardMsg>>,
-) -> (DemuxCore, Arc<EndpointStats>) {
-    let stats = Arc::new(EndpointStats::default());
+) -> (DemuxCore, Arc<EndpointPlane>) {
+    let plane = Arc::new(EndpointPlane::new(shard_txs.len()));
     let config = Config::builder().single_path().build().expect("config");
     let core = DemuxCore::new(
         config,
@@ -63,9 +63,9 @@ fn demux_core(
         vec![addr(1000)],
         Box::new(|_cid| Box::new(TransferApp::new())),
         shard_txs,
-        Arc::clone(&stats),
+        Arc::clone(&plane),
     );
-    (core, stats)
+    (core, plane)
 }
 
 /// Shard-side protocol double: records what arrived, drops the
@@ -129,7 +129,7 @@ fn ingress_accept_retire_accounting_holds_on_every_interleaving() {
     model::run(|| {
         let (tx, rx) = sync_channel::<ShardMsg>(4);
         let (ctl_tx, ctl_rx) = channel::<DemuxCtl>();
-        let (mut core, stats) = demux_core(vec![tx]);
+        let (mut core, plane) = demux_core(vec![tx]);
         let stop = Arc::new(AtomicBool::new(false));
 
         let shard = {
@@ -158,7 +158,7 @@ fn ingress_accept_retire_accounting_holds_on_every_interleaving() {
 
         assert_eq!(sink.accepted, vec![cid]);
         assert_eq!(sink.delivered, 2, "both datagrams reached the shard");
-        let snap = stats.snapshot();
+        let snap = plane.stats.snapshot();
         assert_eq!(snap.accepted, 1);
         assert_eq!(snap.closed, 1, "retire must reach the accounting");
         assert_eq!(snap.active, 0);
@@ -180,7 +180,7 @@ fn backpressure_drops_recycle_buffers_on_every_interleaving() {
     model::run(|| {
         let (tx, rx) = sync_channel::<ShardMsg>(1);
         let (ctl_tx, ctl_rx) = channel::<DemuxCtl>();
-        let (mut core, stats) = demux_core(vec![tx]);
+        let (mut core, plane) = demux_core(vec![tx]);
         let stop = Arc::new(AtomicBool::new(false));
 
         let shard = {
@@ -207,7 +207,7 @@ fn backpressure_drops_recycle_buffers_on_every_interleaving() {
         let sink = shard.join().expect("shard thread");
         core.drain_ctl(&ctl_rx);
 
-        let snap = stats.snapshot();
+        let snap = plane.stats.snapshot();
         assert_eq!(snap.accepted, 1, "the queue is empty at accept time");
         assert_eq!(
             sink.delivered as u64 + snap.backpressure_drops,
@@ -231,7 +231,7 @@ fn shutdown_drain_leaks_nothing_on_every_interleaving() {
     model::run(|| {
         let (tx, rx) = sync_channel::<ShardMsg>(4);
         let (ctl_tx, ctl_rx) = channel::<DemuxCtl>();
-        let (mut core, stats) = demux_core(vec![tx]);
+        let (mut core, plane) = demux_core(vec![tx]);
         let stop = Arc::new(AtomicBool::new(false));
 
         let shard = {
@@ -250,7 +250,7 @@ fn shutdown_drain_leaks_nothing_on_every_interleaving() {
         core.finish(&ctl_rx); // asserts the pool drained internally
 
         shard.join().expect("shard thread");
-        let snap = stats.snapshot();
+        let snap = plane.stats.snapshot();
         assert_eq!(snap.accepted, 1);
         assert_eq!(
             snap.accepted,

@@ -4,6 +4,7 @@
 //! ```text
 //! mpquic-loadgen [--smoke] [--scenario NAME] [--seed N] [--workers N]
 //!                [--client-threads N] [--out FILE] [--baseline FILE]
+//!                [--flight-dump FILE]
 //! ```
 //!
 //! Without `--scenario` the whole catalog runs (request_response,
@@ -11,6 +12,12 @@
 //! p99 against the checked-in baseline (`LowerIsBetter`, 30%
 //! tolerance) and churn's conns/sec (`HigherIsBetter`). Exit status is
 //! non-zero on SLO failure or baseline regression.
+//!
+//! `--flight-dump FILE` writes each scenario's flight-recorder dump
+//! (JSON lines, see DESIGN.md §15) to FILE. Even without the flag, a
+//! dump is written to `loadgen-flight.jsonl` whenever the run sheds
+//! load or misses an SLO, so a failing CI run always leaves the last
+//! endpoint events behind for triage.
 
 use mpquic_bench::gate::{enforce_baseline, Direction};
 use mpquic_loadgen::report::{print_summary, render_report};
@@ -20,7 +27,7 @@ use mpquic_loadgen::scenario::{by_name, catalog};
 fn usage() -> ! {
     eprintln!(
         "usage: mpquic-loadgen [--smoke] [--scenario NAME] [--seed N] [--workers N] \
-         [--client-threads N] [--out FILE] [--baseline FILE]\n\
+         [--client-threads N] [--out FILE] [--baseline FILE] [--flight-dump FILE]\n\
          scenarios: request_response streaming incast churn"
     );
     std::process::exit(2);
@@ -32,6 +39,7 @@ fn main() {
     let mut scenario_name: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
+    let mut flight_path: Option<String> = None;
     let mut opts = RunOptions::default();
 
     fn value(args: &[String], i: &mut usize, name: &str) -> String {
@@ -52,6 +60,7 @@ fn main() {
             "--scenario" => scenario_name = Some(value(&args, &mut i, "--scenario")),
             "--out" => out_path = Some(value(&args, &mut i, "--out")),
             "--baseline" => baseline_path = Some(value(&args, &mut i, "--baseline")),
+            "--flight-dump" => flight_path = Some(value(&args, &mut i, "--flight-dump")),
             "--seed" => {
                 opts.seed = value(&args, &mut i, "--seed")
                     .parse()
@@ -106,6 +115,28 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("mpquic-loadgen: {}: {e}", scenario.name);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Dump the flight recorders before any failure exit below, so a
+    // shedding or SLO-failing run always leaves its last endpoint
+    // events behind (DESIGN.md §15).
+    let shed = outcomes
+        .iter()
+        .any(|o| o.endpoint.backpressure_drops > 0 || o.endpoint.malformed > 0);
+    let slo_failed = outcomes.iter().any(|o| !o.slo_pass);
+    if flight_path.is_some() || shed || slo_failed {
+        let path = flight_path.as_deref().unwrap_or("loadgen-flight.jsonl");
+        let mut dump = String::new();
+        for outcome in &outcomes {
+            dump.push_str(&outcome.flight);
+        }
+        match std::fs::write(path, &dump) {
+            Ok(()) => println!("flight recorder dumped to {path}"),
+            Err(e) => {
+                eprintln!("mpquic-loadgen: write {path}: {e}");
                 std::process::exit(1);
             }
         }

@@ -74,6 +74,44 @@ fn scenario_block(o: &ScenarioOutcome) -> String {
         o.endpoint.backpressure_drops
     ));
     s.push_str(&format!("  \"{n}_malformed\": {},\n", o.endpoint.malformed));
+    // What this scenario alone did to the server (after-minus-before
+    // snapshot delta) plus the plane's loop telemetry, so an SLO
+    // failure in the report carries its own context.
+    s.push_str(&format!(
+        "  \"{n}_delta_accepted\": {},\n",
+        o.delta.accepted
+    ));
+    s.push_str(&format!("  \"{n}_delta_closed\": {},\n", o.delta.closed));
+    s.push_str(&format!(
+        "  \"{n}_delta_rejected\": {},\n",
+        o.delta.rejected
+    ));
+    s.push_str(&format!(
+        "  \"{n}_delta_backpressure_drops\": {},\n",
+        o.delta.backpressure_drops
+    ));
+    s.push_str(&format!(
+        "  \"{n}_delta_datagrams_in\": {},\n",
+        o.delta.datagrams_in
+    ));
+    let plane = &o.report.plane;
+    s.push_str(&format!("  \"{n}_wakeups\": {},\n", plane.wakeups));
+    s.push_str(&format!(
+        "  \"{n}_loop_p99_ns\": {},\n",
+        plane.loop_ns.quantile(0.99)
+    ));
+    s.push_str(&format!(
+        "  \"{n}_queue_depth_p99\": {},\n",
+        plane.queue_depth.quantile(0.99)
+    ));
+    s.push_str(&format!(
+        "  \"{n}_pool_outstanding_p99\": {},\n",
+        plane.pool_outstanding.quantile(0.99)
+    ));
+    s.push_str(&format!(
+        "  \"{n}_flight_recorded\": {},\n",
+        plane.flight_recorded
+    ));
     s
 }
 
@@ -103,6 +141,16 @@ pub fn print_summary(o: &ScenarioOutcome) {
         o.endpoint.completed,
         o.endpoint.failed,
         o.endpoint.backpressure_drops
+    );
+    println!(
+        "    plane: Δaccepted {}, Δdrops {}, {} wakeups, loop p99 {} ns, \
+         queue depth p99 {}, {} flight events",
+        o.delta.accepted,
+        o.delta.backpressure_drops,
+        o.report.plane.wakeups,
+        o.report.plane.loop_ns.quantile(0.99),
+        o.report.plane.queue_depth.quantile(0.99),
+        o.report.plane.flight_recorded,
     );
 }
 
@@ -144,7 +192,14 @@ mod tests {
                 completed: 4,
                 ..EndpointSnapshot::default()
             },
+            delta: EndpointSnapshot {
+                accepted: 4,
+                closed: 4,
+                completed: 4,
+                ..EndpointSnapshot::default()
+            },
             report: EndpointReport::default(),
+            flight: String::new(),
         }
     }
 
@@ -157,6 +212,12 @@ mod tests {
         assert_eq!(parse_flat_key(&text, "incast_achieved_rps"), Some(98.5));
         assert_eq!(parse_flat_key(&text, "churn_conns_per_sec"), Some(12.25));
         assert_eq!(parse_flat_key(&text, "churn_errors"), Some(0.0));
+        assert_eq!(parse_flat_key(&text, "churn_delta_accepted"), Some(4.0));
+        assert_eq!(
+            parse_flat_key(&text, "incast_delta_backpressure_drops"),
+            Some(0.0)
+        );
+        assert_eq!(parse_flat_key(&text, "churn_wakeups"), Some(0.0));
         assert!(text.contains("\"slo_pass\": true"));
         // Keys are scenario-prefixed, hence unique.
         assert_eq!(text.matches("\"churn_p99_us\"").count(), 1);

@@ -16,7 +16,7 @@ use crate::schedule::{build_schedule, Op, Schedule};
 use mpquic_core::Config;
 use mpquic_harness::QuicTransport;
 use mpquic_io::rpc::{RpcCall, RpcServerApp};
-use mpquic_io::{quic_client, Driver, Endpoint, EndpointReport, EndpointSnapshot};
+use mpquic_io::{quic_client, Driver, Endpoint, EndpointReport, EndpointSnapshot, FlightKind};
 use mpquic_telemetry::LogHistogram;
 use mpquic_util::DetRng;
 use std::net::SocketAddr;
@@ -91,8 +91,16 @@ pub struct ScenarioOutcome {
     pub slo_pass: bool,
     /// Server-side counters at drain time.
     pub endpoint: EndpointSnapshot,
+    /// What this scenario alone did to the server: counters at drain
+    /// time minus counters at bind time. On a fresh endpoint the two
+    /// agree; the delta is what reports embed so an SLO failure
+    /// arrives with its own drop/backpressure context.
+    pub delta: EndpointSnapshot,
     /// Full per-shard server report.
     pub report: EndpointReport,
+    /// The server's flight-recorder dump (JSON lines) taken at
+    /// shutdown — non-empty context for SLO failures and shed load.
+    pub flight: String,
 }
 
 /// Per-connection client state inside a worker thread.
@@ -153,6 +161,8 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<ScenarioOu
     )
     .map_err(|e| format!("endpoint bind: {e}"))?;
     let server = endpoint.local_addrs()[0];
+    let plane = endpoint.plane();
+    let before = endpoint.stats();
 
     let deadline = Duration::from_micros(schedule.span_us + scenario.timeout_us) + RUN_SLACK;
     let epoch = Instant::now();
@@ -203,12 +213,18 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<ScenarioOu
         }
         std::thread::sleep(Duration::from_millis(5));
     }
-    let report = endpoint.shutdown();
-    let snapshot = report.totals;
-
     let qs = tally.hist.quantiles(&[0.50, 0.99, 0.999]);
     let p99_us = qs[1];
     let slo_pass = p99_us <= scenario.slo_p99_us && tally.errors == 0 && tally.timeouts == 0;
+    if !slo_pass {
+        // The failure lands in the flight recorder before the dump is
+        // taken, so the triage trail starts with the verdict itself.
+        plane.recorder.record(FlightKind::SloFail, 0, 0, p99_us);
+    }
+    let report = endpoint.shutdown();
+    let snapshot = report.totals;
+    let flight = plane.recorder.dump_json_lines();
+
     Ok(ScenarioOutcome {
         name: scenario.name,
         conns: schedule.conns,
@@ -238,7 +254,9 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<ScenarioOu
         slo_p99_us: scenario.slo_p99_us,
         slo_pass,
         endpoint: snapshot,
+        delta: snapshot.delta(&before),
         report,
+        flight,
     })
 }
 

@@ -1,0 +1,1339 @@
+//! The endpoint metrics plane: sharded lock-free counters, atomic log2
+//! histograms, a constant-memory flight recorder, and a dependency-free
+//! scrape surface.
+//!
+//! The sharded endpoint (DESIGN.md §12) runs one demux thread and N
+//! worker shards; ROADMAP item 1 asks for wakeups/sec, channel depths
+//! and per-connection accounting to be *measured*, not guessed. This
+//! module is the fixed-memory, always-on plane those measurements live
+//! on — the s2n-quic shape: cheap enough that it is never turned off.
+//!
+//! * [`EndpointStats`] — the endpoint-level counters (accept, retire,
+//!   shed, backpressure, drop), each a cache-line-padded Relaxed
+//!   atomic so the demux and every shard can hammer their own counters
+//!   without false sharing.
+//! * [`ShardPlane`] — per-worker loop telemetry: iteration counts,
+//!   idle→busy wakeups, channel send/receive tallies (whose difference
+//!   is the live queue occupancy), and [`AtomicHistogram`]s of busy
+//!   loop-iteration time and sampled queue depth.
+//! * [`EndpointPlane`] — one [`EndpointStats`] plus one padded
+//!   [`ShardPlane`] per worker plus the buffer-pool occupancy
+//!   histogram and the [`FlightRecorder`]; aggregated on demand into a
+//!   typed [`PlaneSnapshot`].
+//! * [`FlightRecorder`] — a fixed-capacity ring of the last N
+//!   endpoint-level events (accept, retire, backpressure, shed,
+//!   teardown, …) dumped as JSON lines when an SLO fails, the endpoint
+//!   sheds load, or on demand (`cargo xtask qlog-check` validates the
+//!   dump format).
+//! * [`MetricsServer`] / [`SnapshotWriter`] — the scrape surface:
+//!   Prometheus text exposition plus periodic JSON-lines snapshots,
+//!   on `std::net::TcpListener` alone.
+//!
+//! Every atomic here is role `counter` in `crates/xtask/atomics.toml`
+//! (all operations Relaxed: the values are commutative tallies, never
+//! synchronisation), routed through one receiver name — [`RelaxedCell`]'s
+//! `cell` field — so the atomic-ordering lint checks the whole plane
+//! against a single registry entry. The hot paths (`add`, `record`,
+//! [`FlightRecorder::record`]) allocate nothing after construction;
+//! `crates/telemetry/tests/flight_recorder.rs` pins that with the
+//! counting global allocator, and `mpquic-bench datapath --gate-overhead`
+//! gates the throughput cost at ≤ 3%.
+
+use crate::metrics::LogHistogram;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Pads (and aligns) `T` to a cache line so two adjacent plane fields
+/// updated by different threads never share one. 64 bytes covers
+/// x86-64 and mainstream aarch64; on 128-byte-line parts the cost is
+/// one extra (still private) line per counter, not sharing.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pads `value` to its own cache line.
+    pub fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+}
+
+impl<T> std::ops::Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> std::ops::DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+/// A `u64` statistic cell: every operation is `Ordering::Relaxed`.
+///
+/// The one atomic receiver the whole plane funnels through — the inner
+/// field is deliberately named `cell` so `crates/xtask/atomics.toml`
+/// registers the plane once (role `counter`) and the atomic-ordering
+/// lint rejects any operation stronger than Relaxed on it. Relaxed is
+/// correct by construction here: cells carry commutative tallies and
+/// last-writer-wins gauges, and nothing is published *through* them —
+/// cross-thread hand-off in the endpoint goes over channels and the
+/// Release/Acquire stop flags, never a statistic.
+#[derive(Debug, Default)]
+pub struct RelaxedCell {
+    cell: AtomicU64,
+}
+
+impl RelaxedCell {
+    /// A cell starting at `value`.
+    pub fn new(value: u64) -> RelaxedCell {
+        RelaxedCell {
+            cell: AtomicU64::new(value),
+        }
+    }
+
+    /// Adds `n` (counter use).
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n` (gauge use, e.g. `active` on retire).
+    pub fn sub(&self, n: u64) {
+        self.cell.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value (gauge use).
+    pub fn set(&self, value: u64) {
+        self.cell.store(value, Ordering::Relaxed);
+    }
+
+    /// Reads the current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Raises the cell to `value` if larger (running-maximum gauge).
+    /// A Relaxed CAS loop rather than `fetch_max`: the registry's
+    /// counter role admits exactly the RMW set the lint recognises.
+    pub fn record_max(&self, value: u64) {
+        let mut seen = self.cell.load(Ordering::Relaxed);
+        while value > seen {
+            match self
+                .cell
+                .compare_exchange_weak(seen, value, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(now) => seen = now,
+            }
+        }
+    }
+}
+
+/// A lock-free mirror of [`LogHistogram`]: one Relaxed atomic per
+/// power-of-two bucket, recordable concurrently from any thread,
+/// convertible to a [`LogHistogram`] on demand. Bucket boundaries are
+/// exactly [`LogHistogram::bucket_index`]'s, so merged snapshots and
+/// quantiles come from the existing reporting machinery.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [RelaxedCell; LogHistogram::NUM_BUCKETS],
+    sum: RelaxedCell,
+    max: RelaxedCell,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> AtomicHistogram {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| RelaxedCell::new(0)),
+            sum: RelaxedCell::new(0),
+            max: RelaxedCell::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Records one value: one bucket increment, a sum add and a
+    /// running-max raise — no locks, no allocation.
+    pub fn record(&self, value: u64) {
+        if let Some(slot) = self.buckets.get(LogHistogram::bucket_index(value)) {
+            slot.add(1);
+        }
+        self.sum.add(value);
+        self.max.record_max(value);
+    }
+
+    /// Copies the live buckets into a [`LogHistogram`]. Concurrent
+    /// recording keeps running; the copy is per-bucket atomic, which
+    /// is all a statistics snapshot needs.
+    pub fn snapshot(&self) -> LogHistogram {
+        let counts: [u64; LogHistogram::NUM_BUCKETS] =
+            std::array::from_fn(|i| self.buckets.get(i).map_or(0, RelaxedCell::get));
+        LogHistogram::from_bucket_counts(&counts, self.sum.get(), self.max.get())
+    }
+}
+
+/// Endpoint-level counters shared by the demux thread, every shard and
+/// the endpoint handle. Each cell sits on its own cache line: the demux
+/// bumps `datagrams_in` on every ingress datagram while shards bump
+/// verdict counters, and pre-padding those writes shared lines (the
+/// PR 5 layout packed all nine atomics into two lines).
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    /// Connections created for a first-seen CID.
+    pub accepted: CachePadded<RelaxedCell>,
+    /// Currently live (accepted minus retired).
+    pub active: CachePadded<RelaxedCell>,
+    /// Applications that finished successfully.
+    pub completed: CachePadded<RelaxedCell>,
+    /// Applications that failed, or connections lost before a verdict.
+    pub failed: CachePadded<RelaxedCell>,
+    /// Connections fully retired: the close went to the wire and the
+    /// CID was released. `accepted - active == closed` once the
+    /// endpoint is quiet, which is the cross-check load harnesses use
+    /// for conns/sec accounting.
+    pub closed: CachePadded<RelaxedCell>,
+    /// New-CID datagrams dropped because the accept limit was reached.
+    pub rejected: CachePadded<RelaxedCell>,
+    /// Datagrams whose public header yielded no CID.
+    pub malformed: CachePadded<RelaxedCell>,
+    /// Datagrams dropped because the owning shard's queue was full.
+    pub backpressure_drops: CachePadded<RelaxedCell>,
+    /// Every datagram the demux pulled off the listen sockets.
+    pub datagrams_in: CachePadded<RelaxedCell>,
+}
+
+/// A point-in-time copy of [`EndpointStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointSnapshot {
+    /// Connections created for a first-seen CID.
+    pub accepted: u64,
+    /// Currently live (accepted minus retired).
+    pub active: u64,
+    /// Applications that finished successfully.
+    pub completed: u64,
+    /// Applications that failed, or connections lost before a verdict.
+    pub failed: u64,
+    /// Connections fully retired (close on the wire, CID released).
+    pub closed: u64,
+    /// New-CID datagrams dropped because the accept limit was reached.
+    pub rejected: u64,
+    /// Datagrams whose public header yielded no CID.
+    pub malformed: u64,
+    /// Datagrams dropped because the owning shard's queue was full.
+    pub backpressure_drops: u64,
+    /// Every datagram the demux pulled off the listen sockets.
+    pub datagrams_in: u64,
+}
+
+impl EndpointStats {
+    /// Copies the live counters.
+    pub fn snapshot(&self) -> EndpointSnapshot {
+        EndpointSnapshot {
+            accepted: self.accepted.get(),
+            active: self.active.get(),
+            completed: self.completed.get(),
+            failed: self.failed.get(),
+            closed: self.closed.get(),
+            rejected: self.rejected.get(),
+            malformed: self.malformed.get(),
+            backpressure_drops: self.backpressure_drops.get(),
+            datagrams_in: self.datagrams_in.get(),
+        }
+    }
+}
+
+impl EndpointSnapshot {
+    /// Field-wise `self - before` (saturating): what happened between
+    /// two snapshots. Loadgen embeds one of these per scenario so an
+    /// SLO failure arrives with its drop/backpressure context.
+    pub fn delta(&self, before: &EndpointSnapshot) -> EndpointSnapshot {
+        EndpointSnapshot {
+            accepted: self.accepted.saturating_sub(before.accepted),
+            active: self.active.saturating_sub(before.active),
+            completed: self.completed.saturating_sub(before.completed),
+            failed: self.failed.saturating_sub(before.failed),
+            closed: self.closed.saturating_sub(before.closed),
+            rejected: self.rejected.saturating_sub(before.rejected),
+            malformed: self.malformed.saturating_sub(before.malformed),
+            backpressure_drops: self
+                .backpressure_drops
+                .saturating_sub(before.backpressure_drops),
+            datagrams_in: self.datagrams_in.saturating_sub(before.datagrams_in),
+        }
+    }
+}
+
+/// Per-worker loop telemetry. One of these per shard (the `workers=1`
+/// unified loop uses shard 0's), each padded onto its own cache lines
+/// inside [`EndpointPlane`] so shard A's loop counter never bounces
+/// shard B's.
+#[derive(Debug, Default)]
+pub struct ShardPlane {
+    /// Loop iterations, busy or idle.
+    pub loop_iterations: RelaxedCell,
+    /// Iterations that made progress (drained ingress, moved a
+    /// connection, sent egress).
+    pub busy_iterations: RelaxedCell,
+    /// Idle→busy transitions — the wakeups/sec ROADMAP item 1 asks
+    /// for. A shard that never parks between bursts scores low here
+    /// even at high iteration counts.
+    pub wakeups: RelaxedCell,
+    /// Messages the demux placed on this shard's ingress channel.
+    pub queue_sent: RelaxedCell,
+    /// Messages this shard drained off its ingress channel. The
+    /// difference `queue_sent - queue_received` is the live channel
+    /// occupancy.
+    pub queue_received: RelaxedCell,
+    /// Connections currently owned by the shard (last-writer gauge,
+    /// refreshed each loop iteration).
+    pub conns_active: RelaxedCell,
+    /// Busy loop-iteration wall time, nanoseconds.
+    pub loop_ns: AtomicHistogram,
+    /// Ingress-channel occupancy sampled by the demux each busy
+    /// iteration.
+    pub queue_depth: AtomicHistogram,
+}
+
+impl ShardPlane {
+    /// Live ingress-channel occupancy: sends minus receives
+    /// (saturating — the two cells are read at different instants).
+    pub fn queue_occupancy(&self) -> u64 {
+        self.queue_sent
+            .get()
+            .saturating_sub(self.queue_received.get())
+    }
+}
+
+/// A point-in-time copy of one [`ShardPlane`].
+#[derive(Debug, Clone, Default)]
+pub struct ShardPlaneSnapshot {
+    /// Which shard (0-based).
+    pub shard: usize,
+    /// Loop iterations, busy or idle.
+    pub loop_iterations: u64,
+    /// Iterations that made progress.
+    pub busy_iterations: u64,
+    /// Idle→busy transitions.
+    pub wakeups: u64,
+    /// Messages enqueued to this shard.
+    pub queue_sent: u64,
+    /// Messages this shard drained.
+    pub queue_received: u64,
+    /// Live channel occupancy at snapshot time.
+    pub queue_occupancy: u64,
+    /// Connections owned at snapshot time.
+    pub conns_active: u64,
+    /// Busy loop-iteration time distribution, ns.
+    pub loop_ns: LogHistogram,
+    /// Sampled ingress-channel depth distribution.
+    pub queue_depth: LogHistogram,
+}
+
+/// A typed aggregate of the whole plane: endpoint counters, per-shard
+/// snapshots, and the cross-shard merged histograms reports gate on.
+#[derive(Debug, Clone, Default)]
+pub struct PlaneSnapshot {
+    /// Endpoint-level counters.
+    pub stats: EndpointSnapshot,
+    /// Per-shard loop telemetry, in shard order.
+    pub shards: Vec<ShardPlaneSnapshot>,
+    /// Demux buffer-pool occupancy (buffers loaned out), sampled each
+    /// busy demux iteration.
+    pub pool_outstanding: LogHistogram,
+    /// All shards' busy-iteration times merged.
+    pub loop_ns: LogHistogram,
+    /// All shards' sampled queue depths merged.
+    pub queue_depth: LogHistogram,
+    /// Total idle→busy transitions across shards.
+    pub wakeups: u64,
+    /// Events the flight recorder has seen (recorded, not kept).
+    pub flight_recorded: u64,
+}
+
+/// The endpoint's whole metrics plane, shared (`Arc`) by the demux
+/// thread, every shard, the endpoint handle and the scrape surface.
+#[derive(Debug)]
+pub struct EndpointPlane {
+    /// Endpoint-level counters.
+    pub stats: EndpointStats,
+    shards: Box<[CachePadded<ShardPlane>]>,
+    /// Absorbs writes addressed to an out-of-range shard index (cannot
+    /// happen in the endpoint's own wiring, but [`EndpointPlane::shard`]
+    /// stays total either way). Excluded from snapshots.
+    spare: CachePadded<ShardPlane>,
+    /// Demux buffer-pool occupancy, sampled each busy demux iteration.
+    pub pool_outstanding: AtomicHistogram,
+    /// The last-N-events ring (see [`FlightRecorder`]).
+    pub recorder: FlightRecorder,
+}
+
+impl EndpointPlane {
+    /// A plane for `workers` shards (at least one) with the default
+    /// flight-recorder capacity.
+    pub fn new(workers: usize) -> EndpointPlane {
+        EndpointPlane::with_flight_capacity(workers, FLIGHT_CAPACITY)
+    }
+
+    /// A plane for `workers` shards keeping the last `flight_capacity`
+    /// endpoint events.
+    pub fn with_flight_capacity(workers: usize, flight_capacity: usize) -> EndpointPlane {
+        let n = workers.max(1);
+        let shards: Vec<CachePadded<ShardPlane>> = (0..n)
+            .map(|_| CachePadded::new(ShardPlane::default()))
+            .collect();
+        EndpointPlane {
+            stats: EndpointStats::default(),
+            shards: shards.into_boxed_slice(),
+            spare: CachePadded::new(ShardPlane::default()),
+            pool_outstanding: AtomicHistogram::default(),
+            recorder: FlightRecorder::new(flight_capacity),
+        }
+    }
+
+    /// Number of per-shard planes.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard `index`'s plane (total: out-of-range indices land on a
+    /// spare plane excluded from snapshots, rather than panicking on a
+    /// datapath).
+    pub fn shard(&self, index: usize) -> &ShardPlane {
+        match self.shards.get(index) {
+            Some(plane) => plane,
+            None => &self.spare,
+        }
+    }
+
+    /// Aggregates the whole plane into a typed snapshot: per-shard
+    /// copies plus the merged histograms and wakeup totals.
+    pub fn snapshot(&self) -> PlaneSnapshot {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        let mut loop_ns = LogHistogram::default();
+        let mut queue_depth = LogHistogram::default();
+        let mut wakeups = 0u64;
+        for (i, plane) in self.shards.iter().enumerate() {
+            let shard_loop = plane.loop_ns.snapshot();
+            let shard_queue = plane.queue_depth.snapshot();
+            loop_ns.merge(&shard_loop);
+            queue_depth.merge(&shard_queue);
+            wakeups += plane.wakeups.get();
+            shards.push(ShardPlaneSnapshot {
+                shard: i,
+                loop_iterations: plane.loop_iterations.get(),
+                busy_iterations: plane.busy_iterations.get(),
+                wakeups: plane.wakeups.get(),
+                queue_sent: plane.queue_sent.get(),
+                queue_received: plane.queue_received.get(),
+                queue_occupancy: plane.queue_occupancy(),
+                conns_active: plane.conns_active.get(),
+                loop_ns: shard_loop,
+                queue_depth: shard_queue,
+            });
+        }
+        PlaneSnapshot {
+            stats: self.stats.snapshot(),
+            shards,
+            pool_outstanding: self.pool_outstanding.snapshot(),
+            loop_ns,
+            queue_depth,
+            wakeups,
+            flight_recorded: self.recorder.total_recorded(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+/// Default ring capacity: the last 1024 endpoint events, 40 bytes each.
+pub const FLIGHT_CAPACITY: usize = 1024;
+
+/// What happened, endpoint-level. Connection-level detail stays in the
+/// PR 3 event/qlog plane; the flight recorder answers "what was the
+/// *endpoint* doing just before things went wrong".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A first-seen CID became a connection.
+    Accept,
+    /// A connection fully closed and its CID was released.
+    Retire,
+    /// A datagram (or accept) was dropped on a full shard queue.
+    Backpressure,
+    /// A new-CID datagram was shed at the accept limit.
+    Shed,
+    /// A datagram's public header yielded no CID.
+    Malformed,
+    /// The endpoint began shutdown.
+    Teardown,
+    /// A load harness recorded a missed SLO against this endpoint.
+    SloFail,
+}
+
+impl FlightKind {
+    /// Stable lowercase name used in the JSON-lines dump.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FlightKind::Accept => "accept",
+            FlightKind::Retire => "retire",
+            FlightKind::Backpressure => "backpressure",
+            FlightKind::Shed => "shed",
+            FlightKind::Malformed => "malformed",
+            FlightKind::Teardown => "teardown",
+            FlightKind::SloFail => "slo_fail",
+        }
+    }
+}
+
+/// One recorded endpoint event. `Copy` and fixed-size: recording is a
+/// slot overwrite, never an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Microseconds since the recorder was built.
+    pub at_us: u64,
+    /// What happened.
+    pub kind: FlightKind,
+    /// The connection ID involved (0 when not applicable).
+    pub cid: u64,
+    /// The shard involved (0 when not applicable).
+    pub shard: u32,
+    /// Kind-specific detail: occupancy for backpressure, live count
+    /// for shed/teardown, p99 µs for slo_fail.
+    pub value: u64,
+}
+
+/// The ring storage behind the mutex: a pre-reserved `Vec` that never
+/// grows past its construction-time capacity.
+#[derive(Debug)]
+struct FlightRing {
+    slots: Vec<FlightEvent>,
+    capacity: usize,
+    /// Total events ever recorded; `next % capacity` is the write slot.
+    next: u64,
+}
+
+impl FlightRing {
+    fn push(&mut self, event: FlightEvent) {
+        let idx = (self.next % self.capacity as u64) as usize;
+        if idx < self.slots.len() {
+            if let Some(slot) = self.slots.get_mut(idx) {
+                *slot = event;
+            }
+        } else {
+            // Still filling the pre-reserved storage: len < capacity,
+            // so this push never reallocates.
+            self.slots.push(event);
+        }
+        self.next += 1;
+    }
+}
+
+/// A constant-memory ring of the last N endpoint events.
+///
+/// Recording takes an uncontended mutex (the endpoint's event rate —
+/// accepts, retires, drops — is orders of magnitude below the datagram
+/// rate, so a ~20 ns lock on this path costs nothing measurable) and
+/// overwrites a fixed slot; nothing allocates after construction.
+/// Dumping renders oldest→newest as one JSON object per line, the
+/// shape `cargo xtask qlog-check` validates.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    epoch: Instant,
+    ring: Mutex<FlightRing>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` (≥ 1) events.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            epoch: Instant::now(),
+            ring: Mutex::new(FlightRing {
+                slots: Vec::with_capacity(capacity),
+                capacity,
+                next: 0,
+            }),
+        }
+    }
+
+    /// Records one event, overwriting the oldest once the ring is
+    /// full. Alloc-free; tolerates a poisoned lock (a panicking peer
+    /// loses telemetry, not the process).
+    pub fn record(&self, kind: FlightKind, cid: u64, shard: u32, value: u64) {
+        let at_us = self.epoch.elapsed().as_micros() as u64;
+        if let Ok(mut ring) = self.ring.lock() {
+            ring.push(FlightEvent {
+                at_us,
+                kind,
+                cid,
+                shard,
+                value,
+            });
+        }
+    }
+
+    /// Ring capacity (events kept).
+    pub fn capacity(&self) -> usize {
+        self.ring.lock().map_or(0, |r| r.capacity)
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.lock().map_or(0, |r| r.slots.len())
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (kept + overwritten).
+    pub fn total_recorded(&self) -> u64 {
+        self.ring.lock().map_or(0, |r| r.next)
+    }
+
+    /// The kept events, oldest first. Allocates (report path, not
+    /// datapath).
+    pub fn events(&self) -> Vec<FlightEvent> {
+        let Ok(ring) = self.ring.lock() else {
+            return Vec::new();
+        };
+        if ring.next <= ring.capacity as u64 {
+            return ring.slots.clone();
+        }
+        let split = (ring.next % ring.capacity as u64) as usize;
+        let mut out = Vec::with_capacity(ring.slots.len());
+        out.extend(ring.slots.get(split..).unwrap_or(&[]));
+        out.extend(ring.slots.get(..split).unwrap_or(&[]));
+        out
+    }
+
+    /// Renders the ring as JSON lines: one header object (so a dump is
+    /// non-empty and self-describing even before any event), then one
+    /// object per kept event, oldest first. Every line is a standalone
+    /// JSON object — `cargo xtask qlog-check FILE` accepts the dump
+    /// unchanged.
+    pub fn dump_json_lines(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push_str(&format!(
+            "{{\"kind\":\"flight_header\",\"capacity\":{},\"recorded\":{},\"kept\":{}}}\n",
+            self.capacity(),
+            self.total_recorded(),
+            events.len(),
+        ));
+        for e in &events {
+            out.push_str(&format!(
+                "{{\"at_us\":{},\"kind\":\"{}\",\"cid\":{},\"shard\":{},\"value\":{}}}\n",
+                e.at_us,
+                e.kind.as_str(),
+                e.cid,
+                e.shard,
+                e.value,
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Renderers: Prometheus text exposition + JSON snapshot line
+// ---------------------------------------------------------------------
+
+/// Appends one `# HELP`/`# TYPE` header pair.
+fn prom_header(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Appends an unlabelled sample.
+fn prom_value(out: &mut String, name: &str, value: u64) {
+    out.push_str(&format!("{name} {value}\n"));
+}
+
+/// Appends one `{shard="i"}`-labelled sample per shard.
+fn prom_per_shard(
+    out: &mut String,
+    name: &str,
+    snap: &PlaneSnapshot,
+    get: impl Fn(&ShardPlaneSnapshot) -> u64,
+) {
+    for s in &snap.shards {
+        out.push_str(&format!("{name}{{shard=\"{}\"}} {}\n", s.shard, get(s)));
+    }
+}
+
+/// Appends a histogram family: cumulative `_bucket{le=...}` samples
+/// (empty buckets skipped; `le` is the bucket's upper bound), `_sum`
+/// and `_count`.
+fn prom_histogram(out: &mut String, name: &str, h: &LogHistogram) {
+    let mut cumulative = 0u64;
+    for (i, &n) in h.bucket_counts().iter().enumerate() {
+        cumulative += n;
+        if n == 0 {
+            continue;
+        }
+        let (_, upper) = LogHistogram::bucket_bounds(i);
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+            upper.saturating_sub(1),
+        ));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+    out.push_str(&format!("{name}_count {}\n", h.count()));
+}
+
+/// Renders a [`PlaneSnapshot`] as Prometheus text exposition (format
+/// 0.0.4). Metric names are cross-checked against
+/// `crates/xtask/metrics.toml` by the `metrics-registry` lint.
+pub fn render_prometheus(snap: &PlaneSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    let s = &snap.stats;
+
+    prom_header(
+        &mut out,
+        "mpq_endpoint_accepted_total",
+        "counter",
+        "connections created for a first-seen CID",
+    );
+    prom_value(&mut out, "mpq_endpoint_accepted_total", s.accepted);
+    prom_header(
+        &mut out,
+        "mpq_endpoint_completed_total",
+        "counter",
+        "applications finished successfully",
+    );
+    prom_value(&mut out, "mpq_endpoint_completed_total", s.completed);
+    prom_header(
+        &mut out,
+        "mpq_endpoint_failed_total",
+        "counter",
+        "applications failed or lost before a verdict",
+    );
+    prom_value(&mut out, "mpq_endpoint_failed_total", s.failed);
+    prom_header(
+        &mut out,
+        "mpq_endpoint_closed_total",
+        "counter",
+        "connections fully retired",
+    );
+    prom_value(&mut out, "mpq_endpoint_closed_total", s.closed);
+    prom_header(
+        &mut out,
+        "mpq_endpoint_rejected_total",
+        "counter",
+        "new-CID datagrams shed at the accept limit",
+    );
+    prom_value(&mut out, "mpq_endpoint_rejected_total", s.rejected);
+    prom_header(
+        &mut out,
+        "mpq_endpoint_malformed_total",
+        "counter",
+        "datagrams whose public header yielded no CID",
+    );
+    prom_value(&mut out, "mpq_endpoint_malformed_total", s.malformed);
+    prom_header(
+        &mut out,
+        "mpq_endpoint_backpressure_drops_total",
+        "counter",
+        "datagrams dropped on a full shard queue",
+    );
+    prom_value(
+        &mut out,
+        "mpq_endpoint_backpressure_drops_total",
+        s.backpressure_drops,
+    );
+    prom_header(
+        &mut out,
+        "mpq_endpoint_datagrams_in_total",
+        "counter",
+        "datagrams pulled off the listen sockets",
+    );
+    prom_value(&mut out, "mpq_endpoint_datagrams_in_total", s.datagrams_in);
+    prom_header(
+        &mut out,
+        "mpq_endpoint_active",
+        "gauge",
+        "connections currently live",
+    );
+    prom_value(&mut out, "mpq_endpoint_active", s.active);
+    prom_header(
+        &mut out,
+        "mpq_endpoint_worker_shards",
+        "gauge",
+        "worker shards serving connections",
+    );
+    prom_value(
+        &mut out,
+        "mpq_endpoint_worker_shards",
+        snap.shards.len() as u64,
+    );
+    prom_header(
+        &mut out,
+        "mpq_endpoint_flight_events_total",
+        "counter",
+        "events the flight recorder has seen",
+    );
+    prom_value(
+        &mut out,
+        "mpq_endpoint_flight_events_total",
+        snap.flight_recorded,
+    );
+
+    prom_header(
+        &mut out,
+        "mpq_shard_loop_iterations_total",
+        "counter",
+        "shard loop iterations, busy or idle",
+    );
+    prom_per_shard(&mut out, "mpq_shard_loop_iterations_total", snap, |s| {
+        s.loop_iterations
+    });
+    prom_header(
+        &mut out,
+        "mpq_shard_busy_iterations_total",
+        "counter",
+        "shard loop iterations that made progress",
+    );
+    prom_per_shard(&mut out, "mpq_shard_busy_iterations_total", snap, |s| {
+        s.busy_iterations
+    });
+    prom_header(
+        &mut out,
+        "mpq_shard_wakeups_total",
+        "counter",
+        "shard idle-to-busy transitions",
+    );
+    prom_per_shard(&mut out, "mpq_shard_wakeups_total", snap, |s| s.wakeups);
+    prom_header(
+        &mut out,
+        "mpq_shard_queue_sent_total",
+        "counter",
+        "messages enqueued to the shard's ingress channel",
+    );
+    prom_per_shard(&mut out, "mpq_shard_queue_sent_total", snap, |s| {
+        s.queue_sent
+    });
+    prom_header(
+        &mut out,
+        "mpq_shard_queue_received_total",
+        "counter",
+        "messages the shard drained off its ingress channel",
+    );
+    prom_per_shard(&mut out, "mpq_shard_queue_received_total", snap, |s| {
+        s.queue_received
+    });
+    prom_header(
+        &mut out,
+        "mpq_shard_conns_active",
+        "gauge",
+        "connections currently owned by the shard",
+    );
+    prom_per_shard(&mut out, "mpq_shard_conns_active", snap, |s| s.conns_active);
+    prom_header(
+        &mut out,
+        "mpq_shard_queue_occupancy",
+        "gauge",
+        "ingress-channel occupancy (sent minus received)",
+    );
+    prom_per_shard(&mut out, "mpq_shard_queue_occupancy", snap, |s| {
+        s.queue_occupancy
+    });
+
+    prom_header(
+        &mut out,
+        "mpq_shard_loop_ns",
+        "histogram",
+        "busy shard-loop iteration wall time, nanoseconds (all shards)",
+    );
+    prom_histogram(&mut out, "mpq_shard_loop_ns", &snap.loop_ns);
+    prom_header(
+        &mut out,
+        "mpq_shard_queue_depth",
+        "histogram",
+        "sampled ingress-channel depth (all shards)",
+    );
+    prom_histogram(&mut out, "mpq_shard_queue_depth", &snap.queue_depth);
+    prom_header(
+        &mut out,
+        "mpq_endpoint_pool_outstanding",
+        "histogram",
+        "demux buffer-pool buffers loaned out, sampled per busy iteration",
+    );
+    prom_histogram(
+        &mut out,
+        "mpq_endpoint_pool_outstanding",
+        &snap.pool_outstanding,
+    );
+    out
+}
+
+/// Renders a [`PlaneSnapshot`] as one JSON object on one line — the
+/// periodic snapshot-writer format (a file of these is itself valid
+/// `cargo xtask qlog-check` input) and the `/snapshot` HTTP body.
+pub fn render_snapshot_json(snap: &PlaneSnapshot) -> String {
+    let s = &snap.stats;
+    let mut out = String::with_capacity(512);
+    out.push_str(&format!(
+        "{{\"kind\":\"endpoint_snapshot\",\"accepted\":{},\"active\":{},\"completed\":{},\
+         \"failed\":{},\"closed\":{},\"rejected\":{},\"malformed\":{},\
+         \"backpressure_drops\":{},\"datagrams_in\":{},\"wakeups\":{},\
+         \"loop_ns_p50\":{},\"loop_ns_p99\":{},\"queue_depth_p99\":{},\
+         \"pool_outstanding_p99\":{},\"flight_recorded\":{},\"shards\":[",
+        s.accepted,
+        s.active,
+        s.completed,
+        s.failed,
+        s.closed,
+        s.rejected,
+        s.malformed,
+        s.backpressure_drops,
+        s.datagrams_in,
+        snap.wakeups,
+        snap.loop_ns.quantile(0.50),
+        snap.loop_ns.quantile(0.99),
+        snap.queue_depth.quantile(0.99),
+        snap.pool_outstanding.quantile(0.99),
+        snap.flight_recorded,
+    ));
+    for (i, sh) in snap.shards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"shard\":{},\"loop_iterations\":{},\"busy_iterations\":{},\"wakeups\":{},\
+             \"queue_occupancy\":{},\"conns_active\":{},\"loop_ns_p99\":{}}}",
+            sh.shard,
+            sh.loop_iterations,
+            sh.busy_iterations,
+            sh.wakeups,
+            sh.queue_occupancy,
+            sh.conns_active,
+            sh.loop_ns.quantile(0.99),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+// ---------------------------------------------------------------------
+// Scrape surface: HTTP server + periodic JSON-lines snapshot writer
+// ---------------------------------------------------------------------
+
+/// How long an accepted scrape connection may take to send its request.
+const SCRAPE_READ_TIMEOUT: Duration = Duration::from_millis(500);
+/// Accept-loop poll interval while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// A minimal dependency-free scrape server over `std::net`:
+///
+/// * `GET /metrics` — Prometheus text exposition (0.0.4);
+/// * `GET /snapshot` — the one-line JSON snapshot;
+/// * `GET /flight` — the flight recorder as JSON lines, on demand.
+///
+/// One thread, non-blocking accept with a poll interval, one request
+/// per connection (`Connection: close`). It serves *snapshots* of the
+/// lock-free plane; scraping never touches a datapath lock.
+#[derive(Debug)]
+pub struct MetricsServer {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    local: SocketAddr,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (port 0 picks a free port — see
+    /// [`MetricsServer::local_addr`]) and serves `plane` until dropped.
+    pub fn serve(addr: SocketAddr, plane: Arc<EndpointPlane>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("mpq-metrics".to_string())
+                .spawn(move || serve_loop(&listener, &plane, &stop))?
+        };
+        Ok(MetricsServer {
+            stop,
+            handle: Some(handle),
+            local,
+        })
+    }
+
+    /// The bound address (resolves a port-0 bind).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        // Release pairs with the serve loop's Acquire load.
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_loop(listener: &TcpListener, plane: &EndpointPlane, stop: &AtomicBool) {
+    loop {
+        // Acquire pairs with the Release store in `Drop`.
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => handle_scrape(stream, plane),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Reads the request line and answers one route. Any IO error just
+/// drops the connection — a broken scraper must never hurt the server.
+fn handle_scrape(mut stream: TcpStream, plane: &EndpointPlane) {
+    use std::io::Read;
+    let _ = stream.set_read_timeout(Some(SCRAPE_READ_TIMEOUT));
+    let _ = stream.set_nonblocking(false);
+    let mut buf = [0u8; 1024];
+    let mut len = 0usize;
+    // Read until the header terminator (or the buffer/timeout limit);
+    // the request line is all that matters.
+    while len < buf.len() {
+        let Some(free) = buf.get_mut(len..) else {
+            break;
+        };
+        match stream.read(free) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf.get(..len).is_some_and(contains_terminator) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(buf.get(..len).unwrap_or(&[]));
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus(&plane.snapshot()),
+        ),
+        "/snapshot" => {
+            let mut body = render_snapshot_json(&plane.snapshot());
+            body.push('\n');
+            ("200 OK", "application/json", body)
+        }
+        "/flight" => (
+            "200 OK",
+            "application/x-ndjson",
+            plane.recorder.dump_json_lines(),
+        ),
+        "/" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            "mpq metrics endpoints: /metrics /snapshot /flight\n".to_string(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    respond(&mut stream, status, content_type, &body);
+}
+
+fn contains_terminator(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    use std::io::Write;
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len(),
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Stop-check granularity of the snapshot writer's sleep.
+const WRITER_POLL: Duration = Duration::from_millis(50);
+
+/// A periodic JSON-lines snapshot writer: every `interval` it appends
+/// one [`render_snapshot_json`] line for the plane to a file (created
+/// fresh at spawn). A final line is written at drop so short runs
+/// still leave at least one sample. The output file is valid
+/// `cargo xtask qlog-check` input.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl SnapshotWriter {
+    /// Creates `path` and starts sampling `plane` every `interval`.
+    pub fn spawn(
+        path: &str,
+        plane: Arc<EndpointPlane>,
+        interval: Duration,
+    ) -> std::io::Result<SnapshotWriter> {
+        let file = std::fs::File::create(path)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("mpq-snapshots".to_string())
+                .spawn(move || writer_loop(file, &plane, interval, &stop))?
+        };
+        Ok(SnapshotWriter {
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for SnapshotWriter {
+    fn drop(&mut self) {
+        // Release pairs with the writer loop's Acquire load.
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn writer_loop(file: std::fs::File, plane: &EndpointPlane, interval: Duration, stop: &AtomicBool) {
+    use std::io::Write;
+    let mut out = std::io::BufWriter::new(file);
+    let write_line = |out: &mut std::io::BufWriter<std::fs::File>| {
+        let mut line = render_snapshot_json(&plane.snapshot());
+        line.push('\n');
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.flush();
+    };
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            // Acquire pairs with the Release store in `Drop`.
+            if stop.load(Ordering::Acquire) {
+                write_line(&mut out);
+                return;
+            }
+            let step = WRITER_POLL.min(interval - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+        write_line(&mut out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relaxed_cell_ops() {
+        let c = RelaxedCell::new(5);
+        c.add(3);
+        c.sub(2);
+        assert_eq!(c.get(), 6);
+        c.set(100);
+        assert_eq!(c.get(), 100);
+        c.record_max(50);
+        assert_eq!(c.get(), 100, "record_max never lowers");
+        c.record_max(150);
+        assert_eq!(c.get(), 150);
+    }
+
+    #[test]
+    fn atomic_histogram_matches_log_histogram() {
+        let atomic = AtomicHistogram::default();
+        let mut reference = LogHistogram::default();
+        for v in [0u64, 1, 2, 3, 100, 5_000, 1 << 40, u64::MAX] {
+            atomic.record(v);
+            reference.record(v);
+        }
+        let snap = atomic.snapshot();
+        assert_eq!(snap.count(), reference.count());
+        assert_eq!(snap.max(), reference.max());
+        assert_eq!(snap.bucket_counts(), reference.bucket_counts());
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(snap.quantile(q), reference.quantile(q));
+        }
+    }
+
+    #[test]
+    fn snapshot_delta_saturates() {
+        let after = EndpointSnapshot {
+            accepted: 10,
+            closed: 7,
+            ..EndpointSnapshot::default()
+        };
+        let before = EndpointSnapshot {
+            accepted: 4,
+            closed: 9, // out-of-order reads must not underflow
+            ..EndpointSnapshot::default()
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.accepted, 6);
+        assert_eq!(d.closed, 0);
+    }
+
+    #[test]
+    fn plane_shard_is_total_and_snapshot_aggregates() {
+        let plane = EndpointPlane::new(2);
+        plane.shard(0).wakeups.add(2);
+        plane.shard(1).wakeups.add(3);
+        plane.shard(99).wakeups.add(1000); // lands on the spare
+        plane.shard(0).loop_ns.record(500);
+        plane.shard(1).loop_ns.record(700);
+        plane.stats.accepted.add(4);
+        let snap = plane.snapshot();
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.wakeups, 5, "spare plane excluded");
+        assert_eq!(snap.loop_ns.count(), 2, "merged across shards");
+        assert_eq!(snap.stats.accepted, 4);
+    }
+
+    #[test]
+    fn queue_occupancy_is_sent_minus_received() {
+        let plane = ShardPlane::default();
+        plane.queue_sent.add(10);
+        plane.queue_received.add(7);
+        assert_eq!(plane.queue_occupancy(), 3);
+        plane.queue_received.add(5); // racing reads must not underflow
+        assert_eq!(plane.queue_occupancy(), 0);
+    }
+
+    #[test]
+    fn flight_recorder_wraps_keeping_newest() {
+        let r = FlightRecorder::new(4);
+        for i in 0..10u64 {
+            r.record(FlightKind::Accept, i, 0, 0);
+        }
+        let events: Vec<u64> = r.events().iter().map(|e| e.cid).collect();
+        assert_eq!(events, vec![6, 7, 8, 9], "last 4, oldest first");
+        assert_eq!(r.total_recorded(), 10);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn flight_dump_is_json_lines_with_header() {
+        let r = FlightRecorder::new(8);
+        r.record(FlightKind::Backpressure, 0xAB, 2, 511);
+        let dump = r.dump_json_lines();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"kind\":\"flight_header\""));
+        assert!(lines[1].contains("\"kind\":\"backpressure\""));
+        assert!(lines[1].contains("\"cid\":171"));
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn prometheus_render_has_families_and_cumulative_buckets() {
+        let plane = EndpointPlane::new(2);
+        plane.stats.accepted.add(3);
+        plane.shard(0).loop_ns.record(10);
+        plane.shard(0).loop_ns.record(1000);
+        let text = render_prometheus(&plane.snapshot());
+        assert!(text.contains("# TYPE mpq_endpoint_accepted_total counter"));
+        assert!(text.contains("mpq_endpoint_accepted_total 3"));
+        assert!(text.contains("mpq_shard_wakeups_total{shard=\"1\"} 0"));
+        assert!(text.contains("mpq_shard_loop_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("mpq_shard_loop_ns_count 2"));
+        assert!(text.contains("mpq_shard_loop_ns_sum 1010"));
+    }
+
+    #[test]
+    fn snapshot_json_is_one_object_per_line() {
+        let plane = EndpointPlane::new(1);
+        plane.stats.datagrams_in.add(42);
+        let line = render_snapshot_json(&plane.snapshot());
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"kind\":\"endpoint_snapshot\""));
+        assert!(line.contains("\"datagrams_in\":42"));
+        assert!(line.ends_with("]}"));
+    }
+
+    #[test]
+    fn metrics_server_serves_all_routes() {
+        use std::io::{Read, Write};
+        let plane = Arc::new(EndpointPlane::new(1));
+        plane.stats.accepted.add(7);
+        plane.recorder.record(FlightKind::Accept, 1, 0, 0);
+        let addr: SocketAddr = "127.0.0.1:0".parse().unwrap();
+        let server = MetricsServer::serve(addr, Arc::clone(&plane)).expect("bind metrics");
+        let fetch = |path: &str| -> String {
+            let mut conn = TcpStream::connect(server.local_addr()).expect("connect");
+            conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+                .expect("request");
+            let mut body = String::new();
+            conn.read_to_string(&mut body).expect("response");
+            body
+        };
+        let metrics = fetch("/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("mpq_endpoint_accepted_total 7"));
+        let snapshot = fetch("/snapshot");
+        assert!(snapshot.contains("\"accepted\":7"));
+        let flight = fetch("/flight");
+        assert!(flight.contains("\"kind\":\"accept\""));
+        assert!(fetch("/nope").starts_with("HTTP/1.1 404"));
+        drop(server); // stops and joins the serve thread
+    }
+
+    #[test]
+    fn snapshot_writer_leaves_json_lines() {
+        let dir = std::env::temp_dir().join(format!("mpq-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.jsonl");
+        let path_str = path.to_str().unwrap();
+        let plane = Arc::new(EndpointPlane::new(1));
+        plane.stats.accepted.add(1);
+        {
+            let w = SnapshotWriter::spawn(path_str, Arc::clone(&plane), Duration::from_secs(60))
+                .expect("spawn writer");
+            drop(w); // final sample on drop
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            assert!(line.starts_with("{\"kind\":\"endpoint_snapshot\""));
+            assert!(line.ends_with("]}"));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

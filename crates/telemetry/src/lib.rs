@@ -22,6 +22,12 @@
 //! each event out left to right; `()` is the no-op; `Option<S>` lifts a
 //! subscriber configured at runtime.
 //!
+//! Above the per-connection plane, [`endpoint`] hosts the
+//! endpoint-scale metrics plane: sharded lock-free counters and
+//! histograms, a constant-memory flight recorder, and a
+//! dependency-free Prometheus/JSON scrape surface for the sharded
+//! `Endpoint` in `mpquic-io`.
+//!
 //! This crate sits below `mpquic-core` (it knows times, path IDs and
 //! event shapes — not connections), so every layer of the stack can
 //! depend on it without cycles. Event emission is on the protocol hot
@@ -29,6 +35,7 @@
 
 #![deny(missing_docs)]
 
+pub mod endpoint;
 mod event;
 mod metrics;
 mod qlog;

@@ -46,6 +46,11 @@ impl Default for LogHistogram {
 }
 
 impl LogHistogram {
+    /// Number of buckets (one per power of two, plus the zero bucket).
+    /// The atomic mirror in [`crate::endpoint`] sizes itself off this so
+    /// the two histogram families stay bucket-compatible.
+    pub const NUM_BUCKETS: usize = BUCKETS;
+
     /// The bucket index holding `value`.
     pub fn bucket_index(value: u64) -> usize {
         let bits = (u64::BITS - value.leading_zeros()) as usize;
@@ -70,6 +75,37 @@ impl LogHistogram {
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
+    }
+
+    /// Rebuilds a histogram from raw per-bucket counts — how the
+    /// endpoint plane's lock-free [`crate::endpoint::AtomicHistogram`]
+    /// converts its atomics into this crate's reporting type. Extra
+    /// counts beyond [`LogHistogram::NUM_BUCKETS`] are ignored; `count`
+    /// is derived from the buckets so the two can never disagree.
+    pub fn from_bucket_counts(counts: &[u64], sum: u64, max: u64) -> LogHistogram {
+        let mut h = LogHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum,
+            max,
+        };
+        for (mine, theirs) in h.buckets.iter_mut().zip(counts.iter()) {
+            *mine = *theirs;
+            h.count += *theirs;
+        }
+        h
+    }
+
+    /// Raw per-bucket counts, index-aligned with
+    /// [`LogHistogram::bucket_bounds`] — what a Prometheus-style
+    /// cumulative exposition walks.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Sum of all recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
     }
 
     /// Number of recorded values.

@@ -1,0 +1,318 @@
+//! Metrics-registry lint (DESIGN.md §15).
+//!
+//! The endpoint metrics plane exports a fixed set of Prometheus
+//! families from `crates/telemetry/src/endpoint.rs`. This pass keeps
+//! that scrape surface and `metrics.toml` in lockstep, the same way
+//! `atomics.toml` pins the atomic sites:
+//!
+//! * every `mpq_*` name the source mentions must be registered with a
+//!   kind (`counter`|`gauge`|`histogram`) and a help line — dashboards
+//!   break silently when a family is renamed, so renames must show up
+//!   as a registry diff;
+//! * every registered metric must still be mentioned — stale entries
+//!   fail the lint too;
+//! * counter names end in `_total` (Prometheus convention), other
+//!   kinds must not;
+//! * histogram *sample* names (`<base>_bucket`, `<base>_sum`,
+//!   `<base>_count`) attribute to their registered base family.
+//!
+//! Unlike the other passes this one scans the **raw** source, not the
+//! stripped view: the names live inside string literals.
+
+use crate::concurrency::parse_tables;
+use crate::lints::{SourceFile, Violation};
+
+/// The one file allowed to name `mpq_*` metric families.
+pub const PLANE_FILE: &str = "crates/telemetry/src/endpoint.rs";
+
+/// What a metric family is, which fixes its naming rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic count; the name must end in `_total`.
+    Counter,
+    /// Point-in-time level; goes up and down.
+    Gauge,
+    /// Log2-bucketed distribution; rendered as `_bucket`/`_sum`/`_count`
+    /// samples of the registered base name.
+    Histogram,
+}
+
+impl MetricKind {
+    fn parse(s: &str) -> Option<MetricKind> {
+        match s {
+            "counter" => Some(MetricKind::Counter),
+            "gauge" => Some(MetricKind::Gauge),
+            "histogram" => Some(MetricKind::Histogram),
+            _ => None,
+        }
+    }
+}
+
+/// One registered metric family.
+#[derive(Debug)]
+pub struct MetricEntry {
+    /// The full exported family name (`mpq_endpoint_accepted_total`).
+    pub name: String,
+    /// The family kind.
+    pub kind: MetricKind,
+    /// The HELP line served to scrapers.
+    pub help: String,
+}
+
+fn required<'t>(
+    t: &'t crate::concurrency::Table,
+    key: &str,
+    file: &str,
+) -> Result<&'t str, String> {
+    t.entries
+        .get(key)
+        .map(String::as_str)
+        .filter(|v| !v.is_empty())
+        .ok_or_else(|| {
+            format!(
+                "{file}: [[{}]] at line {}: missing or empty `{key}`",
+                t.kind, t.line
+            )
+        })
+}
+
+/// Parses `metrics.toml` and enforces the naming rules that are pure
+/// registry properties (kind-specific suffixes, uniqueness).
+pub fn parse_metrics_registry(text: &str, file: &str) -> Result<Vec<MetricEntry>, String> {
+    let mut out: Vec<MetricEntry> = Vec::new();
+    for t in parse_tables(text).map_err(|e| format!("{file}: {e}"))? {
+        if t.kind != "metric" {
+            return Err(format!(
+                "{file}: unknown table [[{}]] at line {}",
+                t.kind, t.line
+            ));
+        }
+        let name = required(&t, "name", file)?.to_string();
+        let kind_str = required(&t, "kind", file)?;
+        let kind = MetricKind::parse(kind_str).ok_or_else(|| {
+            format!(
+                "{file}: line {}: kind `{kind_str}` is not counter|gauge|histogram",
+                t.line
+            )
+        })?;
+        let help = required(&t, "help", file)?.to_string();
+        if !name.starts_with("mpq_") {
+            return Err(format!(
+                "{file}: line {}: `{name}` must start with the `mpq_` namespace",
+                t.line
+            ));
+        }
+        match kind {
+            MetricKind::Counter => {
+                if !name.ends_with("_total") {
+                    return Err(format!(
+                        "{file}: line {}: counter `{name}` must end in `_total`",
+                        t.line
+                    ));
+                }
+            }
+            MetricKind::Gauge | MetricKind::Histogram => {
+                if name.ends_with("_total") {
+                    return Err(format!(
+                        "{file}: line {}: only counters end in `_total`, \
+                         `{name}` is a {kind_str}",
+                        t.line
+                    ));
+                }
+                if kind == MetricKind::Histogram
+                    && ["_bucket", "_sum", "_count"]
+                        .iter()
+                        .any(|s| name.ends_with(s))
+                {
+                    return Err(format!(
+                        "{file}: line {}: `{name}` looks like a histogram sample \
+                         name; register the base family instead",
+                        t.line
+                    ));
+                }
+            }
+        }
+        if out.iter().any(|e| e.name == name) {
+            return Err(format!(
+                "{file}: line {}: duplicate metric `{name}`",
+                t.line
+            ));
+        }
+        out.push(MetricEntry { name, kind, help });
+    }
+    Ok(out)
+}
+
+/// Extracts `mpq_[a-z0-9_]+` tokens from the raw source, with their
+/// 1-based line numbers. A token must not be preceded by an identifier
+/// character (so `x_mpq_y` is not a hit).
+fn metric_tokens(content: &str) -> Vec<(usize, String)> {
+    let b = content.as_bytes();
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        let boundary = i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+        // Byte-wise match: `i` may sit mid-way through a multi-byte
+        // char (doc comments use µ and Δ), where a str slice panics.
+        if boundary && b.get(i..i + 4) == Some(b"mpq_") {
+            let mut e = i;
+            while e < b.len()
+                && (b[e].is_ascii_lowercase() || b[e].is_ascii_digit() || b[e] == b'_')
+            {
+                e += 1;
+            }
+            out.push((line, content[i..e].to_string()));
+            i = e;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Attributes a source token to a registry entry: the name itself, or
+/// a histogram sample name (`<base>_bucket`/`_sum`/`_count`).
+fn resolve<'r>(registry: &'r [MetricEntry], token: &str) -> Option<&'r MetricEntry> {
+    if let Some(e) = registry.iter().find(|e| e.name == token) {
+        return Some(e);
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = token.strip_suffix(suffix) {
+            if let Some(e) = registry
+                .iter()
+                .find(|e| e.name == base && e.kind == MetricKind::Histogram)
+            {
+                return Some(e);
+            }
+        }
+    }
+    None
+}
+
+/// Checks the plane source against the registry, both directions.
+pub fn check_metrics_coverage(registry: &[MetricEntry], file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut live = vec![false; registry.len()];
+    for (line, token) in metric_tokens(&file.content) {
+        match resolve(registry, &token) {
+            Some(entry) => {
+                if let Some(slot) = registry
+                    .iter()
+                    .position(|e| e.name == entry.name)
+                    .and_then(|i| live.get_mut(i))
+                {
+                    *slot = true;
+                }
+            }
+            None => out.push(Violation {
+                file: file.path.clone(),
+                line,
+                lint: "metrics-registry",
+                message: format!(
+                    "metric `{token}` is not in metrics.toml — register it with a \
+                     kind (counter|gauge|histogram) and a help line"
+                ),
+                line_text: file
+                    .content
+                    .lines()
+                    .nth(line.saturating_sub(1))
+                    .unwrap_or("")
+                    .to_string(),
+            }),
+        }
+    }
+    for (entry, seen) in registry.iter().zip(&live) {
+        if !seen {
+            out.push(Violation {
+                file: file.path.clone(),
+                line: 1,
+                lint: "metrics-registry",
+                message: format!(
+                    "stale metrics.toml entry: `{}` is never mentioned in {}",
+                    entry.name, file.path
+                ),
+                line_text: String::new(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(content: &str) -> SourceFile {
+        SourceFile {
+            path: PLANE_FILE.to_string(),
+            content: content.to_string(),
+        }
+    }
+
+    const GOOD: &str = r#"
+[[metric]]
+name = "mpq_x_total"
+kind = "counter"
+help = "monotonic x"
+
+[[metric]]
+name = "mpq_depth"
+kind = "histogram"
+help = "depth distribution"
+"#;
+
+    #[test]
+    fn parses_and_enforces_kinds() {
+        let reg = parse_metrics_registry(GOOD, "t").expect("good registry");
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg[0].kind, MetricKind::Counter);
+        assert!(parse_metrics_registry(
+            "[[metric]]\nname = \"mpq_x\"\nkind = \"counter\"\nhelp = \"h\"\n",
+            "t"
+        )
+        .is_err()); // counter without _total
+        assert!(parse_metrics_registry(
+            "[[metric]]\nname = \"mpq_x_total\"\nkind = \"gauge\"\nhelp = \"h\"\n",
+            "t"
+        )
+        .is_err()); // gauge with _total
+        assert!(parse_metrics_registry(
+            "[[metric]]\nname = \"x_total\"\nkind = \"counter\"\nhelp = \"h\"\n",
+            "t"
+        )
+        .is_err()); // outside the mpq_ namespace
+    }
+
+    #[test]
+    fn histogram_sample_names_attribute_to_base() {
+        let reg = parse_metrics_registry(GOOD, "t").expect("good registry");
+        let src =
+            file("\"mpq_x_total\" \"mpq_depth_bucket\" \"mpq_depth_sum\" \"mpq_depth_count\"");
+        assert!(check_metrics_coverage(&reg, &src).is_empty());
+    }
+
+    #[test]
+    fn unregistered_and_stale_names_are_flagged() {
+        let reg = parse_metrics_registry(GOOD, "t").expect("good registry");
+        let src = file("let a = \"mpq_x_total\";\nlet b = \"mpq_rogue\";");
+        let violations = check_metrics_coverage(&reg, &src);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].message.contains("mpq_rogue"));
+        assert_eq!(violations[0].line, 2);
+        assert!(violations[1].message.contains("stale"));
+        assert!(violations[1].message.contains("mpq_depth"));
+    }
+
+    #[test]
+    fn tokens_respect_identifier_boundaries() {
+        let tokens = metric_tokens("x_mpq_not_a_hit \"mpq_yes\" MPQ_NO mpq_UPPER_stops");
+        let names: Vec<&str> = tokens.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(names, ["mpq_yes", "mpq_"]);
+    }
+}
