@@ -32,10 +32,41 @@ fn bench_scheduler_ablation(c: &mut Criterion) {
             SchedulerKind::LowestRttNoDuplicate,
         ),
         ("round_robin", SchedulerKind::RoundRobin),
+        ("redundant", SchedulerKind::Redundant),
+        ("blest", SchedulerKind::Blest),
     ] {
         group.bench_function(name, |b| {
             let overrides = Overrides {
                 scheduler: Some(kind),
+                ..Overrides::default()
+            };
+            b.iter(|| {
+                let outcome = run_file_transfer(
+                    &heterogeneous_paths(),
+                    Protocol::Mpquic,
+                    SIZE,
+                    3,
+                    CAP,
+                    black_box(&overrides),
+                );
+                black_box(outcome.duration_secs)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pn_space_ablation(c: &mut Criterion) {
+    // The paper's per-path packet-number spaces (§3.1) vs one shared
+    // space: the shared variant lets slow-path reordering distort
+    // fast-path loss detection, and this pair tracks what the extra
+    // spurious-retransmission work costs.
+    let mut group = c.benchmark_group("ablate_pn_space");
+    group.sample_size(10);
+    for (name, shared) in [("per_path_spaces", false), ("single_shared_space", true)] {
+        group.bench_function(name, |b| {
+            let overrides = Overrides {
+                shared_pn_space: Some(shared),
                 ..Overrides::default()
             };
             b.iter(|| {
@@ -190,6 +221,7 @@ fn bench_ack_ranges_ablation(c: &mut Criterion) {
 criterion_group!(
     ablations,
     bench_scheduler_ablation,
+    bench_pn_space_ablation,
     bench_window_update_ablation,
     bench_paths_frame_ablation,
     bench_cc_ablation,

@@ -7,7 +7,7 @@ use std::net::SocketAddr;
 use std::time::Duration;
 
 use crate::rtt::DEFAULT_INITIAL_RTT;
-use crate::scheduler::SchedulerKind;
+use crate::scheduler::{SchedulePolicy, SchedulerKind};
 use crate::stream::StreamId;
 
 /// Connection configuration.
@@ -29,8 +29,19 @@ pub struct Config {
     pub multipath: bool,
     /// Congestion control algorithm for every path.
     pub cc: CcAlgorithm,
-    /// Packet scheduler policy.
+    /// Packet scheduler policy (one of the built-ins; ignored when
+    /// [`Config::scheduler_policy`] supplies a custom implementation).
     pub scheduler: SchedulerKind,
+    /// Custom scheduling policy. `Some` takes precedence over
+    /// [`Config::scheduler`]; the boxed policy is cloned into each
+    /// connection built from this configuration.
+    pub scheduler_policy: Option<Box<dyn SchedulePolicy>>,
+    /// Ablation: allocate packet numbers from one shared space instead of
+    /// one space per path. Loses the per-path monotonicity that makes
+    /// multipath loss detection robust to cross-path reordering — the
+    /// paper's argument for per-path spaces (§3) — and exists so the
+    /// figure harness can measure exactly that cost.
+    pub shared_pn_space: bool,
     /// Maximum UDP datagram size produced.
     pub max_datagram_size: usize,
     /// Connection-level receive window (the paper sets 16 MB).
@@ -83,6 +94,8 @@ impl Default for Config {
             multipath: true,
             cc: CcAlgorithm::Olia,
             scheduler: SchedulerKind::LowestRtt,
+            scheduler_policy: None,
+            shared_pn_space: false,
             max_datagram_size: MAX_DATAGRAM_SIZE,
             conn_recv_window: 16 << 20,
             stream_recv_window: 16 << 20,
@@ -294,9 +307,25 @@ impl ConfigBuilder {
         self
     }
 
-    /// Packet scheduler policy.
+    /// Packet scheduler policy (a built-in kind). Clears any custom
+    /// policy previously set with [`ConfigBuilder::scheduler_policy`].
     pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.config.scheduler = scheduler;
+        self.config.scheduler_policy = None;
+        self
+    }
+
+    /// Installs a custom scheduling policy, overriding the built-in
+    /// [`ConfigBuilder::scheduler`] kind.
+    pub fn scheduler_policy(mut self, policy: Box<dyn SchedulePolicy>) -> Self {
+        self.config.scheduler_policy = Some(policy);
+        self
+    }
+
+    /// Ablation: one shared packet-number space instead of per-path
+    /// spaces (see [`Config::shared_pn_space`]).
+    pub fn shared_pn_space(mut self, on: bool) -> Self {
+        self.config.shared_pn_space = on;
         self
     }
 

@@ -41,7 +41,7 @@ use crate::buffer::TransmitQueue;
 use crate::config::{Config, ConnStats, Event, Role, Transmit};
 use crate::flow::ConnFlowControl;
 use crate::invariant::InvariantChecker;
-use crate::path::{Path, PathState};
+use crate::path::{ChallengeTimeout, Path, PathState};
 use crate::qlog::Qlog;
 use crate::recovery::SentPacket;
 use crate::scheduler::{PathView, Scheduler, SchedulerReason};
@@ -57,6 +57,30 @@ pub mod error_codes {
     pub const STREAM_STATE_ERROR: u64 = 0x5;
     /// The connection idled out (closed silently, no CONNECTION_CLOSE).
     pub const IDLE_TIMEOUT: u64 = 0x10;
+}
+
+/// Demux-facing operations a connection asks its endpoint to perform,
+/// drained via [`Connection::pop_path_op`] after each batch of work.
+///
+/// CID rotation only works if the endpoint's demux table learns the new
+/// connection ID *before* the peer starts using it — otherwise the first
+/// rotated datagram is dropped on the floor. The connection therefore
+/// publishes routing changes through this queue instead of mutating demux
+/// state it cannot see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathOp {
+    /// Route datagrams carrying this connection ID to this connection (a
+    /// rotation is in progress; the peer may switch at any moment).
+    MapCid(u64),
+    /// Stop routing this connection ID (rotation complete). Endpoints
+    /// should tombstone it so stragglers are counted, not misrouted.
+    UnmapCid(u64),
+    /// A path validation started (an address change quarantined a path).
+    ValidationStarted,
+    /// A path validation completed successfully.
+    ValidationCompleted,
+    /// A path validation exhausted its challenge retries.
+    ValidationAbandoned,
 }
 
 /// A Multipath QUIC connection endpoint.
@@ -86,6 +110,25 @@ pub struct Connection {
     config: Config,
     /// Connection ID (chosen by the client; learned by the server).
     cid: u64,
+    /// Previous connection ID, still accepted inbound after a rotation so
+    /// in-flight datagrams keyed to the old CID are not dropped.
+    prev_cid: Option<u64>,
+    /// A rotation we initiated and are waiting to see retired:
+    /// `(sequence, new CID)`.
+    pending_new_cid: Option<(u64, u64)>,
+    /// Sequence number for the next NEW_CONNECTION_ID we issue.
+    next_cid_seq: u64,
+    /// Lowest NEW_CONNECTION_ID sequence we would still accept from the
+    /// peer (highest adopted + 1).
+    peer_cid_seq: u64,
+    /// Deterministic RNG for path-challenge tokens and rotated CIDs.
+    rng: DetRng,
+    /// Demux-facing operations, drained via [`Connection::pop_path_op`].
+    path_ops: VecDeque<PathOp>,
+    /// Connection-wide packet-number counter, used instead of the
+    /// per-path counters when `Config::shared_pn_space` is set (the
+    /// paper's single-space ablation).
+    shared_pn: u64,
 
     // --- crypto ---
     client_hs: Option<ClientHandshake>,
@@ -193,7 +236,7 @@ impl Connection {
                 data: bytes,
             });
         }
-        let mut conn = Connection::new_common(Role::Client, config, cid, local_addrs);
+        let mut conn = Connection::new_common(Role::Client, config, cid, local_addrs, rng);
         conn.initial_local_index = initial_local_index;
         conn.client_hs = Some(hs);
         conn.crypto_queue = crypto_queue;
@@ -207,7 +250,7 @@ impl Connection {
     pub fn server(config: Config, local_addrs: Vec<SocketAddr>, seed: u64) -> Connection {
         let mut rng = DetRng::new(seed);
         let hs = ServerHandshake::new(&mut rng);
-        let mut conn = Connection::new_common(Role::Server, config, 0, local_addrs);
+        let mut conn = Connection::new_common(Role::Server, config, 0, local_addrs, rng);
         conn.server_hs = Some(hs);
         conn
     }
@@ -217,13 +260,19 @@ impl Connection {
         config: Config,
         cid: u64,
         local_addrs: Vec<SocketAddr>,
+        rng: DetRng,
     ) -> Connection {
         assert!(
             !local_addrs.is_empty(),
             "at least one local address required"
         );
         let flow = ConnFlowControl::new(config.conn_recv_window, config.conn_recv_window);
-        let scheduler = Scheduler::new(config.scheduler);
+        // An installed policy object wins over the named kind; cloning it
+        // keeps `Config` reusable across connections.
+        let scheduler = match &config.scheduler_policy {
+            Some(policy) => Scheduler::from_policy(policy.clone_box()),
+            None => Scheduler::new(config.scheduler),
+        };
         let qlog = if config.enable_qlog {
             Qlog::with_limit(config.qlog_event_limit)
         } else {
@@ -232,6 +281,13 @@ impl Connection {
         Connection {
             role,
             cid,
+            prev_cid: None,
+            pending_new_cid: None,
+            next_cid_seq: 0,
+            peer_cid_seq: 0,
+            rng,
+            path_ops: VecDeque::new(),
+            shared_pn: 0,
             qlog,
             subscriber: Box::new(()),
             client_hs: None,
@@ -477,13 +533,20 @@ impl Connection {
         if self.role == Role::Server && self.cid == 0 {
             self.cid = header.connection_id;
         }
-        if header.connection_id != self.cid {
+        // During a CID rotation, three IDs route here: the current one,
+        // the freshly issued one (the peer may adopt it before our
+        // bookkeeping catches up), and the just-retired one (in-flight
+        // stragglers).
+        let cid_known = header.connection_id == self.cid
+            || self.prev_cid == Some(header.connection_id)
+            || self.pending_new_cid.map(|(_, cid)| cid) == Some(header.connection_id);
+        if !cid_known {
             self.stats.decrypt_failures += 1;
             return;
         }
         // Select keys by packet type and direction.
         let aead = match header.packet_type {
-            PacketType::Handshake => Aead::new(initial_key(self.cid)),
+            PacketType::Handshake => Aead::new(initial_key(header.connection_id)),
             PacketType::OneRtt => {
                 let Some(keys) = self.session_keys else {
                     // Can't decrypt yet (e.g. 1-RTT data racing the SHLO).
@@ -524,11 +587,53 @@ impl Connection {
             }
             self.create_path(now, header.path_id, local, remote, false);
             self.events.push_back(Event::PathActive(header.path_id));
-        } else if let Some(path) = self.paths.get_mut(&header.path_id) {
-            // NAT rebinding: the explicit Path ID lets us keep all path
-            // state while updating the remote address (paper §3).
-            if path.remote != remote {
-                path.remote = remote;
+        } else {
+            // NAT rebinding / handover: the explicit Path ID lets us keep
+            // all path state while the remote address changes (paper §3).
+            // Once the handshake is done, the new address must prove it
+            // can return traffic before any fresh data is scheduled onto
+            // it: the path is quarantined in `Validating` and challenged
+            // (bounded, timer-driven retries); only a PATH_RESPONSE
+            // echoing the token lifts the quarantine. Receiving stays
+            // allowed throughout — the quarantine is outbound-only.
+            let mut validation_started = None;
+            if let Some(path) = self.paths.get_mut(&header.path_id) {
+                if path.remote != remote && path.state != PathState::Closed {
+                    // A still-pending challenge belongs to an address
+                    // the peer has already left: that validation is
+                    // superseded, not completed.
+                    let superseded = path.state == PathState::Validating;
+                    path.remote = remote;
+                    if self.handshake_complete {
+                        let token = self.rng.next_u64();
+                        path.begin_validation(token, now);
+                        self.per_path_queue
+                            .entry(header.path_id)
+                            .or_default()
+                            .push_back(Frame::PathChallenge { token });
+                        validation_started = Some((header.path_id, superseded));
+                    }
+                }
+            }
+            if let Some((path_id, superseded)) = validation_started {
+                if superseded {
+                    self.path_ops.push_back(PathOp::ValidationAbandoned);
+                }
+                self.path_ops.push_back(PathOp::ValidationStarted);
+                self.events.push_back(Event::PathPotentiallyFailed(path_id));
+                self.emit(telemetry::Event::PathValidationStarted(
+                    telemetry::PathValidationStarted {
+                        time: now,
+                        path: path_id,
+                    },
+                ));
+                self.emit(telemetry::Event::PathStateChanged(
+                    telemetry::PathStateChanged {
+                        time: now,
+                        path: path_id,
+                        state: telemetry::PathState::Validating,
+                    },
+                ));
             }
         }
 
@@ -651,7 +756,129 @@ impl Connection {
                     ));
                 }
             }
+            Frame::PathChallenge { token } => {
+                // Echo on the same path: a PATH_RESPONSE only proves the
+                // 4-tuple works if it travels the challenged path.
+                self.per_path_queue
+                    .entry(on_path)
+                    .or_default()
+                    .push_back(Frame::PathResponse { token });
+            }
+            Frame::PathResponse { token } => self.handle_path_response(now, token),
+            Frame::NewConnectionId { sequence, cid } => self.adopt_new_cid(now, sequence, cid),
+            Frame::RetireConnectionId { sequence } => self.complete_cid_rotation(now, sequence),
         }
+    }
+
+    /// A PATH_RESPONSE lifts the quarantine on whichever path issued the
+    /// matching challenge. On the server, a successful migration also
+    /// triggers a CID rotation so on-path observers cannot link the
+    /// client's old and new addresses.
+    fn handle_path_response(&mut self, now: SimTime, token: u64) {
+        let validated = self
+            .paths
+            .values_mut()
+            .find_map(|p| p.complete_validation(token).then_some(p.id));
+        let Some(path_id) = validated else {
+            return;
+        };
+        self.path_ops.push_back(PathOp::ValidationCompleted);
+        self.events.push_back(Event::PathActive(path_id));
+        self.emit(telemetry::Event::PathValidated(telemetry::PathValidated {
+            time: now,
+            path: path_id,
+        }));
+        self.emit(telemetry::Event::PathStateChanged(
+            telemetry::PathStateChanged {
+                time: now,
+                path: path_id,
+                state: telemetry::PathState::Active,
+            },
+        ));
+        if self.role == Role::Server {
+            self.rotate_cid();
+        }
+    }
+
+    /// Initiates a connection-ID rotation: queues NEW_CONNECTION_ID with a
+    /// fresh CID and tells the local demux (via [`Connection::pop_path_op`])
+    /// to route the new CID here *before* the peer can switch to it. The
+    /// rotation completes when the peer retires it back with
+    /// RETIRE_CONNECTION_ID, at which point this endpoint switches its
+    /// outgoing CID and unmaps the old one. No-op while a rotation is
+    /// already pending or before the handshake completes.
+    pub fn rotate_cid(&mut self) {
+        if self.pending_new_cid.is_some() || !self.handshake_complete || self.closed {
+            return;
+        }
+        let mut new_cid = self.rng.next_u64();
+        while new_cid == 0 || new_cid == self.cid || Some(new_cid) == self.prev_cid {
+            new_cid = self.rng.next_u64();
+        }
+        let sequence = self.next_cid_seq;
+        self.next_cid_seq += 1;
+        self.pending_new_cid = Some((sequence, new_cid));
+        self.path_ops.push_back(PathOp::MapCid(new_cid));
+        self.control_queue.push_back(Frame::NewConnectionId {
+            sequence,
+            cid: new_cid,
+        });
+    }
+
+    /// Peer issued us a fresh CID: adopt it for all future sends and
+    /// retire the sequence so the peer can drop its old routing entry.
+    fn adopt_new_cid(&mut self, now: SimTime, sequence: u64, cid: u64) {
+        if sequence < self.peer_cid_seq {
+            // Retransmission of one we already adopted; re-ack the
+            // retirement in case the first RETIRE_CONNECTION_ID was lost.
+            self.control_queue
+                .push_back(Frame::RetireConnectionId { sequence });
+            return;
+        }
+        if cid == 0 || cid == self.cid {
+            return;
+        }
+        self.peer_cid_seq = sequence + 1;
+        let old_cid = self.cid;
+        self.prev_cid = Some(old_cid);
+        self.cid = cid;
+        self.path_ops.push_back(PathOp::MapCid(cid));
+        self.control_queue
+            .push_back(Frame::RetireConnectionId { sequence });
+        self.emit(telemetry::Event::CidRotated(telemetry::CidRotated {
+            time: now,
+            old_cid,
+            new_cid: cid,
+        }));
+    }
+
+    /// Peer confirmed it switched to the CID we issued: cut over our own
+    /// bookkeeping and release the old demux route.
+    fn complete_cid_rotation(&mut self, now: SimTime, sequence: u64) {
+        let Some((pending_seq, new_cid)) = self.pending_new_cid else {
+            return;
+        };
+        if sequence != pending_seq {
+            return;
+        }
+        let old_cid = self.cid;
+        self.prev_cid = Some(old_cid);
+        self.cid = new_cid;
+        self.pending_new_cid = None;
+        self.path_ops.push_back(PathOp::UnmapCid(old_cid));
+        self.emit(telemetry::Event::CidRotated(telemetry::CidRotated {
+            time: now,
+            old_cid,
+            new_cid,
+        }));
+    }
+
+    /// Drains the next demux-facing path operation. Endpoints call this
+    /// after processing a connection so their demux table follows CID
+    /// rotations without dropping a datagram; drivers without a demux may
+    /// drain and discard.
+    pub fn pop_path_op(&mut self) -> Option<PathOp> {
+        self.path_ops.pop_front()
     }
 
     fn handle_crypto(&mut self, now: SimTime, data: &[u8]) {
@@ -825,6 +1052,13 @@ impl Connection {
             | Frame::AddAddress(_)
             | Frame::Paths(_)
             | Frame::Ping => {}
+            // Path-validation and CID-rotation frames are one-shot
+            // signals; their outcomes live in the connection state
+            // machine, not per-frame bookkeeping.
+            Frame::PathChallenge { .. }
+            | Frame::PathResponse { .. }
+            | Frame::NewConnectionId { .. }
+            | Frame::RetireConnectionId { .. } => {}
             // Never tracked by recovery (not retransmittable).
             Frame::Ack(_) | Frame::Padding { .. } => {}
         }
@@ -1066,6 +1300,12 @@ impl Connection {
                 | Frame::Blocked { .. }
                 | Frame::RstStream { .. }
                 | Frame::ConnectionClose { .. } => self.control_queue.push_back(frame),
+                // Challenge retransmission is timer-driven with a bounded
+                // retry budget; a lost copy is simply dropped here.
+                Frame::PathChallenge { .. } => {}
+                Frame::PathResponse { .. }
+                | Frame::NewConnectionId { .. }
+                | Frame::RetireConnectionId { .. } => self.control_queue.push_back(frame),
                 Frame::Ack(_) | Frame::Padding { .. } => {}
             }
             self.emit(telemetry::Event::FrameRetransmitted(
@@ -1103,6 +1343,9 @@ impl Connection {
             }
             if let Some(probe) = path.probe_at {
                 earliest = earliest.min(probe);
+            }
+            if let Some(challenge) = path.challenge_timeout() {
+                earliest = earliest.min(challenge);
             }
         }
         if earliest == SimTime::FAR_FUTURE {
@@ -1201,6 +1444,75 @@ impl Connection {
                 self.requeue_lost_frames(now, id, outcome.lost_frames);
             }
         }
+        // Path-validation timers: retransmit the challenge (bounded
+        // budget) or abandon the rebound path.
+        let ids: Vec<PathId> = self.paths.keys().copied().collect();
+        for id in ids {
+            let action = self
+                .paths
+                .get_mut(&id)
+                .and_then(|p| p.on_challenge_timeout(now));
+            match action {
+                Some(ChallengeTimeout::Retransmit(token)) => {
+                    self.per_path_queue
+                        .entry(id)
+                        .or_default()
+                        .push_back(Frame::PathChallenge { token });
+                }
+                Some(ChallengeTimeout::Abandon) => self.abandon_path_validation(now, id),
+                None => {}
+            }
+        }
+    }
+
+    /// The rebound address never answered its challenges: close the path,
+    /// reroute everything it still held, and tell the peer via PATHS.
+    fn abandon_path_validation(&mut self, now: SimTime, id: PathId) {
+        let surrendered = {
+            let Some(path) = self.paths.get_mut(&id) else {
+                return;
+            };
+            path.abandon_validation();
+            path.recovery.surrender_all()
+        };
+        if !surrendered.is_empty() {
+            self.requeue_lost_frames(now, id, surrendered);
+        }
+        if let Some(queue) = self.per_path_queue.get_mut(&id) {
+            // Stranded challenges/responses die with the path; everything
+            // else reroutes through the path-agnostic queue.
+            let rerouted: Vec<Frame> = queue
+                .drain(..)
+                .filter(|f| !matches!(f, Frame::PathChallenge { .. } | Frame::PathResponse { .. }))
+                .collect();
+            self.control_queue.extend(rerouted);
+        }
+        if let Some(dups) = self.duplicate_queue.get_mut(&id) {
+            let stranded: Vec<StreamFrame> = dups.drain(..).collect();
+            for frame in stranded {
+                if let Some(s) = self.send_streams.get_mut(&frame.stream_id) {
+                    s.on_lost(frame);
+                }
+            }
+        }
+        if self.paths.len() > 1 {
+            self.queue_paths_frame();
+        }
+        self.path_ops.push_back(PathOp::ValidationAbandoned);
+        self.events.push_back(Event::PathClosed(id));
+        self.emit(telemetry::Event::PathValidationFailed(
+            telemetry::PathValidationFailed {
+                time: now,
+                path: id,
+            },
+        ));
+        self.emit(telemetry::Event::PathStateChanged(
+            telemetry::PathStateChanged {
+                time: now,
+                path: id,
+                state: telemetry::PathState::Closed,
+            },
+        ));
     }
 
     // ------------------------------------------------------------------
@@ -1288,11 +1600,12 @@ impl Connection {
             .per_path_queue
             .iter()
             .filter(|(id, q)| {
+                // A Validating path keeps its queue: the PATH_CHALLENGE
+                // must leave on the quarantined 4-tuple to prove it.
                 !q.is_empty()
-                    && self
-                        .paths
-                        .get(id)
-                        .is_none_or(|p| p.state != PathState::Active)
+                    && self.paths.get(id).is_none_or(|p| {
+                        !matches!(p.state, PathState::Active | PathState::Validating)
+                    })
             })
             .map(|(&id, _)| id)
             .collect();
@@ -1429,14 +1742,18 @@ impl Connection {
     }
 
     fn provisional_header(&self, path_id: PathId, packet_type: PacketType) -> PublicHeader {
+        let packet_number = if self.config.shared_pn_space {
+            self.shared_pn
+        } else {
+            self.paths
+                .get(&path_id)
+                .map(|p| p.recovery.next_pn_peek())
+                .unwrap_or(0)
+        };
         PublicHeader {
             connection_id: self.cid,
             path_id,
-            packet_number: self
-                .paths
-                .get(&path_id)
-                .map(|p| p.recovery.next_pn_peek())
-                .unwrap_or(0),
+            packet_number,
             packet_type,
         }
     }
@@ -1532,6 +1849,13 @@ impl Connection {
         let wire_len = out.len() as u64;
 
         let path = self.paths.get_mut(&path_id).expect("path exists");
+        if self.config.shared_pn_space {
+            // Single-space ablation: every path allocates from one
+            // connection-wide counter. Recovery reserves the value so it
+            // still owns the per-path numbering (and stays monotonic).
+            path.recovery.reserve_through(self.shared_pn);
+            self.shared_pn += 1;
+        }
         let pn = path.recovery.next_packet_number();
         debug_assert_eq!(pn, packet.header.packet_number, "provisional pn must match");
         if ack_eliciting {
@@ -1666,7 +1990,7 @@ impl Connection {
         let decision = if let Some(id) = dup_path {
             crate::scheduler::Decision {
                 path: id,
-                duplicate_on: None,
+                duplicate_on: Vec::new(),
                 reason: SchedulerReason::DuplicateQueue,
             }
         } else {
@@ -1730,7 +2054,7 @@ impl Connection {
                     credit -= consumed;
                     self.stream_cursor = sid;
                     self.flow.on_new_data_sent(consumed);
-                    if let Some(dup_target) = decision.duplicate_on {
+                    for &dup_target in &decision.duplicate_on {
                         self.duplicate_queue
                             .entry(dup_target)
                             .or_default()
@@ -1821,12 +2145,17 @@ impl Connection {
     fn path_views(&self) -> Vec<PathView> {
         self.paths
             .values()
-            .filter(|p| p.state != PathState::Closed)
+            // Validating paths are invisible to the scheduler entirely —
+            // not even the control-frame fallback may place traffic on an
+            // unvalidated address (the challenge itself travels through
+            // the per-path queue, which ignores scheduling).
+            .filter(|p| !matches!(p.state, PathState::Closed | PathState::Validating))
             .map(|p| PathView {
                 id: p.id,
                 srtt: p.rtt.srtt(),
                 rtt_known: p.rtt_known(),
                 cwnd_available: p.cwnd_available(),
+                bytes_in_flight: p.recovery.bytes_in_flight(),
                 usable: p.usable_for_data() && (self.handshake_complete || p.id == PathId::INITIAL),
             })
             .collect()
@@ -1898,6 +2227,7 @@ impl StreamHandle<'_> {
 mod tests {
     use super::*;
     use crate::config::Event;
+    use crate::SchedulerKind;
 
     const C0: &str = "10.0.0.1:50000";
     const C1: &str = "10.1.0.1:50000";
@@ -2113,6 +2443,323 @@ mod tests {
         let path = server.path(PathId::INITIAL).unwrap();
         assert_eq!(path.remote, rebound, "remote address follows the rebinding");
         assert_eq!(path.rtt.srtt(), srtt_before, "path state survives");
+    }
+
+    /// Shuttles both ways through a NAT that rewrites the client's
+    /// path-0 source address to `rebound` (return traffic addressed to
+    /// `rebound` is translated back to the client transparently).
+    fn shuttle_nat(
+        client: &mut Connection,
+        server: &mut Connection,
+        rebound: SocketAddr,
+        now: SimTime,
+    ) {
+        for _ in 0..64 {
+            let mut any = false;
+            while let Some(t) = client.poll_transmit(now) {
+                let src = if t.local == addr(C0) {
+                    rebound
+                } else {
+                    t.local
+                };
+                server.handle_datagram(now, t.remote, src, &t.payload);
+                any = true;
+            }
+            while let Some(t) = server.poll_transmit(now) {
+                client.handle_datagram(now, t.remote, t.local, &t.payload);
+                any = true;
+            }
+            if !any {
+                return;
+            }
+        }
+        panic!("shuttle_nat did not quiesce");
+    }
+
+    /// Decrypts one server-to-client datagram back into frames.
+    fn server_frames(server: &Connection, payload: &[u8]) -> (PathId, Vec<Frame>) {
+        let mut cursor = payload;
+        let header = PublicHeader::decode(&mut cursor).unwrap();
+        let keys = server.session_keys.unwrap();
+        let aead = Aead::new(keys.server_to_client);
+        let nonce = nonce_for(
+            NonceMode::PathIdMixed,
+            header.path_id.0,
+            header.packet_number,
+        );
+        let hdr_len = payload.len() - cursor.len();
+        let plain = aead
+            .open(&nonce, &payload[..hdr_len], &payload[hdr_len..])
+            .unwrap();
+        (header.path_id, Frame::decode_all(&plain).unwrap())
+    }
+
+    #[test]
+    fn rebind_triggers_validation_and_cid_rotation() {
+        let mut client = Connection::client(Config::single_path(), vec![addr(C0)], 0, addr(S0), 1);
+        let mut server = Connection::server(Config::single_path(), vec![addr(S0)], 2);
+        shuttle(&mut client, &mut server, SimTime::from_millis(1));
+        assert!(client.is_established());
+        let old_cid = server.connection_id();
+        let stream = client.open_stream();
+        client
+            .stream_write(stream, Bytes::from_static(b"hello"))
+            .unwrap();
+        // First flight after the rebind: the server quarantines path 0
+        // but still accepts the data it carried.
+        let rebound = addr("203.0.113.9:4242");
+        while let Some(t) = client.poll_transmit(SimTime::from_millis(2)) {
+            server.handle_datagram(SimTime::from_millis(2), t.remote, rebound, &t.payload);
+        }
+        assert_eq!(
+            server.path(PathId::INITIAL).unwrap().state,
+            PathState::Validating
+        );
+        assert_eq!(&server.stream_read(stream, 100).unwrap()[..], b"hello");
+        // Challenge/response completes, the path re-activates at its new
+        // address, and the server rotates the connection ID end to end.
+        shuttle_nat(&mut client, &mut server, rebound, SimTime::from_millis(3));
+        let path = server.path(PathId::INITIAL).unwrap();
+        assert_eq!(path.state, PathState::Active);
+        assert_eq!(path.remote, rebound);
+        assert_ne!(server.connection_id(), old_cid, "CID rotated");
+        assert_eq!(client.connection_id(), server.connection_id());
+        // The demux-facing op stream saw the whole story.
+        let mut ops = Vec::new();
+        while let Some(op) = server.pop_path_op() {
+            ops.push(op);
+        }
+        assert!(ops.contains(&PathOp::ValidationStarted));
+        assert!(ops.contains(&PathOp::ValidationCompleted));
+        assert!(ops.iter().any(|o| matches!(o, PathOp::MapCid(_))));
+        assert!(ops.contains(&PathOp::UnmapCid(old_cid)));
+        // Data still flows after the rotation.
+        client
+            .stream_write(stream, Bytes::from_static(b"again"))
+            .unwrap();
+        shuttle_nat(&mut client, &mut server, rebound, SimTime::from_millis(4));
+        assert_eq!(&server.stream_read(stream, 100).unwrap()[..], b"again");
+    }
+
+    #[test]
+    fn validation_timeout_abandons_rebound_path() {
+        let mut client = Connection::client(Config::single_path(), vec![addr(C0)], 0, addr(S0), 1);
+        let mut server = Connection::server(Config::single_path(), vec![addr(S0)], 2);
+        shuttle(&mut client, &mut server, SimTime::from_millis(1));
+        let stream = client.open_stream();
+        client
+            .stream_write(stream, Bytes::from_static(b"x"))
+            .unwrap();
+        let rebound = addr("203.0.113.9:4242");
+        while let Some(t) = client.poll_transmit(SimTime::from_millis(2)) {
+            server.handle_datagram(SimTime::from_millis(2), t.remote, rebound, &t.payload);
+        }
+        assert_eq!(
+            server.path(PathId::INITIAL).unwrap().state,
+            PathState::Validating
+        );
+        // The rebound address black-holes everything: drop all server
+        // output and fire its timers until the challenge budget runs out.
+        let mut fired = 0;
+        while server.path(PathId::INITIAL).unwrap().state == PathState::Validating {
+            let at = server.next_timeout().expect("validation timer armed");
+            server.on_timeout(at);
+            while server.poll_transmit(at).is_some() {}
+            fired += 1;
+            assert!(fired < 64, "validation never resolved");
+        }
+        assert_eq!(
+            server.path(PathId::INITIAL).unwrap().state,
+            PathState::Closed
+        );
+        let mut ops = Vec::new();
+        while let Some(op) = server.pop_path_op() {
+            ops.push(op);
+        }
+        assert!(ops.contains(&PathOp::ValidationStarted));
+        assert!(ops.contains(&PathOp::ValidationAbandoned));
+    }
+
+    #[test]
+    fn quarantined_path_carries_no_data_while_sibling_keeps_flowing() {
+        // Redundant scheduling guarantees both paths carry the client's
+        // data, so the rebind on path 0 is always observed.
+        let config = Config::builder()
+            .scheduler(SchedulerKind::Redundant)
+            .build()
+            .unwrap();
+        let mut client =
+            Connection::client(config.clone(), vec![addr(C0), addr(C1)], 0, addr(S0), 1);
+        let mut server = Connection::server(config, vec![addr(S0), addr(S1)], 2);
+        for step in 1..4 {
+            shuttle(&mut client, &mut server, SimTime::from_millis(step));
+        }
+        assert!(server.path_ids().contains(&PathId(1)));
+        let stream = client.open_stream();
+        client
+            .stream_write(stream, Bytes::from_static(b"payload"))
+            .unwrap();
+        let rebound = addr("203.0.113.9:4242");
+        while let Some(t) = client.poll_transmit(SimTime::from_millis(5)) {
+            let src = if t.local == addr(C0) {
+                rebound
+            } else {
+                t.local
+            };
+            server.handle_datagram(SimTime::from_millis(5), t.remote, src, &t.payload);
+        }
+        assert_eq!(
+            server.path(PathId::INITIAL).unwrap().state,
+            PathState::Validating
+        );
+        // The server responds while path 0 is quarantined: stream data
+        // may only leave on path 1; path-0 datagrams are challenge/ACKs.
+        server
+            .stream_write(stream, Bytes::from_static(b"response"))
+            .unwrap();
+        let mut path1_stream_frames = 0;
+        while let Some(t) = server.poll_transmit(SimTime::from_millis(6)) {
+            let (path_id, frames) = server_frames(&server, &t.payload);
+            let has_stream = frames.iter().any(|f| matches!(f, Frame::Stream(_)));
+            if path_id == PathId::INITIAL {
+                assert!(
+                    !has_stream,
+                    "stream data escaped onto the unvalidated path: {frames:?}"
+                );
+            } else if has_stream {
+                path1_stream_frames += 1;
+            }
+            client.handle_datagram(SimTime::from_millis(6), t.remote, t.local, &t.payload);
+        }
+        assert!(
+            path1_stream_frames > 0,
+            "the healthy sibling path must keep carrying data"
+        );
+        assert_eq!(&client.stream_read(stream, 100).unwrap()[..], b"response");
+    }
+
+    #[test]
+    fn rebind_mid_transfer_never_sends_data_unvalidated() {
+        // DetRng-driven property: wherever the rebind lands in the
+        // transfer, the server never puts stream data on the rebound
+        // address until validation completes — and the transfer still
+        // finishes afterwards.
+        let mut seeds = DetRng::new(0x5EED_A617);
+        for _case in 0..6u64 {
+            let seed = seeds.next_u64();
+            let mut case_rng = DetRng::new(seed);
+            let rebind_step = case_rng.range_u64(4, 16);
+            let mut client =
+                Connection::client(Config::single_path(), vec![addr(C0)], 0, addr(S0), seed);
+            let mut server = Connection::server(Config::single_path(), vec![addr(S0)], seed ^ 0xff);
+            shuttle(&mut client, &mut server, SimTime::from_millis(1));
+            let stream = client.open_stream();
+            client
+                .stream_write(stream, Bytes::from_static(b"want"))
+                .unwrap();
+            shuttle(&mut client, &mut server, SimTime::from_millis(2));
+            assert_eq!(&server.stream_read(stream, 100).unwrap()[..], b"want");
+            server
+                .stream_write(stream, Bytes::from(vec![7u8; 40_000]))
+                .unwrap();
+            server.stream_finish(stream);
+            let rebound = addr("198.51.100.7:9999");
+            let mut rebound_active = false;
+            let mut received = 0usize;
+            for step in 3..200u64 {
+                let now = SimTime::from_millis(step * 10);
+                if step == rebind_step + 3 {
+                    rebound_active = true;
+                }
+                for conn in [&mut client, &mut server] {
+                    if conn.next_timeout().is_some_and(|t| t <= now) {
+                        conn.on_timeout(now);
+                    }
+                }
+                for _ in 0..8 {
+                    let mut any = false;
+                    while let Some(t) = client.poll_transmit(now) {
+                        let src = if rebound_active && t.local == addr(C0) {
+                            rebound
+                        } else {
+                            t.local
+                        };
+                        server.handle_datagram(now, t.remote, src, &t.payload);
+                        any = true;
+                    }
+                    while let Some(t) = server.poll_transmit(now) {
+                        if server.path(PathId::INITIAL).unwrap().state == PathState::Validating {
+                            let (_, frames) = server_frames(&server, &t.payload);
+                            assert!(
+                                !frames.iter().any(|f| matches!(f, Frame::Stream(_))),
+                                "seed {seed:#x}: stream data sent while path \
+                                 unvalidated"
+                            );
+                        }
+                        client.handle_datagram(now, t.remote, t.local, &t.payload);
+                        any = true;
+                    }
+                    if !any {
+                        break;
+                    }
+                }
+                while let Some(chunk) = client.stream_read(stream, usize::MAX) {
+                    received += chunk.len();
+                }
+                if client.stream_is_finished(stream) {
+                    break;
+                }
+            }
+            assert!(
+                client.stream_is_finished(stream),
+                "seed {seed:#x}: transfer did not complete after rebind"
+            );
+            assert_eq!(received, 40_000, "seed {seed:#x}: byte count");
+            assert_eq!(
+                server.path(PathId::INITIAL).unwrap().state,
+                PathState::Active,
+                "seed {seed:#x}: path re-validated"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_pn_space_ablation_still_transfers() {
+        // The per-path vs single packet-number-space ablation: with one
+        // shared counter, packet numbers interleave across paths but the
+        // transfer must still complete (per-path sequences stay strictly
+        // monotonic, so loss detection keeps working).
+        let config = Config::builder().shared_pn_space(true).build().unwrap();
+        let mut client =
+            Connection::client(config.clone(), vec![addr(C0), addr(C1)], 0, addr(S0), 1);
+        let mut server = Connection::server(config, vec![addr(S0), addr(S1)], 2);
+        for step in 1..4 {
+            shuttle(&mut client, &mut server, SimTime::from_millis(step));
+        }
+        assert!(server.path_ids().contains(&PathId(1)));
+        let stream = client.open_stream();
+        client
+            .stream_write(stream, Bytes::from(vec![9u8; 100_000]))
+            .unwrap();
+        client.stream_finish(stream);
+        let mut got = 0usize;
+        for step in 5..60u64 {
+            shuttle(&mut client, &mut server, SimTime::from_millis(step));
+            while let Some(chunk) = server.stream_read(stream, usize::MAX) {
+                got += chunk.len();
+            }
+            if server.stream_is_finished(stream) {
+                break;
+            }
+            let now = SimTime::from_millis(step);
+            for conn in [&mut client, &mut server] {
+                if conn.next_timeout().is_some_and(|t| t <= now) {
+                    conn.on_timeout(now);
+                }
+            }
+        }
+        assert!(server.stream_is_finished(stream));
+        assert_eq!(got, 100_000);
     }
 
     #[test]

@@ -56,10 +56,13 @@ pub mod stream;
 
 pub use buffer::{BufferPool, PoolStats, TransmitQueue};
 pub use config::{Config, ConfigBuilder, ConfigError, ConnStats, Event, Role, Transmit};
-pub use connection::{error_codes, Connection, StreamHandle};
+pub use connection::{error_codes, Connection, PathOp, StreamHandle};
 pub use path::{Path, PathState};
 pub use qlog::{Qlog, QlogEvent};
-pub use scheduler::SchedulerKind;
+pub use scheduler::{
+    Decision, ParseSchedulerError, PathView, SchedulePolicy, Scheduler, SchedulerKind,
+    SCHEDULER_KINDS,
+};
 pub use stream::StreamId;
 
 // Re-export the pieces callers commonly need alongside the connection.

@@ -20,11 +20,40 @@ use crate::rtt::RttEstimator;
 pub enum PathState {
     /// Usable for scheduling.
     Active,
+    /// The remote address changed (NAT rebinding / handover) and the new
+    /// address has not proven it can return traffic: the path is
+    /// quarantined — no new data is scheduled onto it — until the peer
+    /// echoes our PATH_CHALLENGE token back in a PATH_RESPONSE.
+    Validating,
     /// An RTO fired with no traffic acknowledged since: the scheduler
     /// ignores the path until data is acknowledged on it again (§4.3).
     PotentiallyFailed,
     /// Abandoned.
     Closed,
+}
+
+/// Maximum PATH_CHALLENGE (re)transmissions before a rebound path is
+/// declared unreachable and abandoned.
+pub const MAX_CHALLENGE_RETRIES: u32 = 3;
+
+/// In-flight address-validation state for a quarantined path.
+#[derive(Debug, Clone, Copy)]
+pub struct PathChallenge {
+    /// Random token the peer must echo in a PATH_RESPONSE.
+    pub token: u64,
+    /// Challenges sent so far (first transmission included).
+    pub sent: u32,
+    /// When to retransmit the challenge if no response arrived.
+    pub retransmit_at: SimTime,
+}
+
+/// What the connection should do when a validation timer fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChallengeTimeout {
+    /// Send the challenge again (token to put on the wire).
+    Retransmit(u64),
+    /// Retries exhausted: abandon the path.
+    Abandon,
 }
 
 /// One network path of a connection.
@@ -59,6 +88,8 @@ pub struct Path {
     pub unacked_count: u32,
     /// When to probe a potentially-failed path next (PING with backoff).
     pub probe_at: Option<SimTime>,
+    /// Address-validation state while the path is [`PathState::Validating`].
+    pub challenge: Option<PathChallenge>,
     /// Bytes of application payload sent on this path (statistics).
     pub bytes_sent: u64,
     /// Bytes received on this path (statistics).
@@ -88,6 +119,7 @@ impl Path {
             ack_deadline: None,
             unacked_count: 0,
             probe_at: None,
+            challenge: None,
             bytes_sent: 0,
             bytes_received: 0,
         }
@@ -182,13 +214,70 @@ impl Path {
         }
     }
 
-    /// Wire status for PATHS frames.
+    /// Wire status for PATHS frames. A validating path is reported as
+    /// potentially failed: the wire format predates validation, and to
+    /// the peer the distinction is the same — do not expect data here.
     pub fn status(&self) -> PathStatus {
         match self.state {
             PathState::Active => PathStatus::Active,
-            PathState::PotentiallyFailed => PathStatus::PotentiallyFailed,
+            PathState::Validating | PathState::PotentiallyFailed => PathStatus::PotentiallyFailed,
             PathState::Closed => PathStatus::Closed,
         }
+    }
+
+    /// Quarantines the path after an address change and arms the
+    /// challenge timer. The caller supplies the random token (the
+    /// connection owns the RNG) and queues the PATH_CHALLENGE frame.
+    pub fn begin_validation(&mut self, token: u64, now: SimTime) {
+        self.state = PathState::Validating;
+        self.challenge = Some(PathChallenge {
+            token,
+            sent: 1,
+            retransmit_at: now + self.rtt.rto(),
+        });
+        self.probe_at = None;
+    }
+
+    /// The pending challenge's retransmit deadline, if validating.
+    pub fn challenge_timeout(&self) -> Option<SimTime> {
+        self.challenge.map(|c| c.retransmit_at)
+    }
+
+    /// Handles an expired challenge timer: either re-arms for another
+    /// transmission (doubling the timeout, like RTO backoff) or reports
+    /// that the retry budget is spent.
+    pub fn on_challenge_timeout(&mut self, now: SimTime) -> Option<ChallengeTimeout> {
+        let c = self.challenge.as_mut()?;
+        if c.retransmit_at > now {
+            return None;
+        }
+        if c.sent >= MAX_CHALLENGE_RETRIES {
+            return Some(ChallengeTimeout::Abandon);
+        }
+        c.sent += 1;
+        c.retransmit_at = now + self.rtt.rto() * (1 << c.sent.min(6));
+        Some(ChallengeTimeout::Retransmit(c.token))
+    }
+
+    /// Completes validation if `token` matches the outstanding
+    /// challenge: the path returns to [`PathState::Active`]. Returns
+    /// `false` (and changes nothing) on a stale or unsolicited token.
+    pub fn complete_validation(&mut self, token: u64) -> bool {
+        match self.challenge {
+            Some(c) if c.token == token && self.state == PathState::Validating => {
+                self.state = PathState::Active;
+                self.challenge = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Abandons a path whose validation failed.
+    pub fn abandon_validation(&mut self) {
+        self.state = PathState::Closed;
+        self.challenge = None;
+        self.probe_at = None;
     }
 
     /// Marks the path potentially failed (after an RTO) and schedules the
@@ -312,6 +401,55 @@ mod tests {
         assert_eq!(capped.ranges.len(), 3);
         assert_eq!(capped.largest_acked, 27);
         assert_eq!(capped.smallest_acked(), 21);
+    }
+
+    #[test]
+    fn validation_quarantines_until_token_matches() {
+        let mut p = path();
+        p.begin_validation(0xfeed_beef, SimTime::from_millis(10));
+        assert_eq!(p.state, PathState::Validating);
+        assert!(!p.usable_for_data(), "quarantined while validating");
+        assert_eq!(p.status(), PathStatus::PotentiallyFailed);
+        assert!(p.challenge_timeout().is_some());
+        // A wrong token changes nothing.
+        assert!(!p.complete_validation(0xdead_beef));
+        assert_eq!(p.state, PathState::Validating);
+        // The right token restores the path.
+        assert!(p.complete_validation(0xfeed_beef));
+        assert_eq!(p.state, PathState::Active);
+        assert!(p.usable_for_data());
+        assert!(p.challenge.is_none());
+        // A replayed response is rejected once validation completed.
+        assert!(!p.complete_validation(0xfeed_beef));
+    }
+
+    #[test]
+    fn challenge_retries_are_bounded() {
+        let mut p = path();
+        p.begin_validation(7, SimTime::from_millis(0));
+        let mut retransmits = 0;
+        loop {
+            let now = p.challenge_timeout().unwrap();
+            match p.on_challenge_timeout(now).unwrap() {
+                ChallengeTimeout::Retransmit(token) => {
+                    assert_eq!(token, 7);
+                    retransmits += 1;
+                    assert!(retransmits < 10, "retry budget never exhausted");
+                }
+                ChallengeTimeout::Abandon => break,
+            }
+        }
+        assert_eq!(retransmits, MAX_CHALLENGE_RETRIES - 1);
+        p.abandon_validation();
+        assert_eq!(p.state, PathState::Closed);
+        assert!(p.challenge.is_none());
+    }
+
+    #[test]
+    fn challenge_timer_not_due_early() {
+        let mut p = path();
+        p.begin_validation(7, SimTime::from_millis(0));
+        assert_eq!(p.on_challenge_timeout(SimTime::from_millis(1)), None);
     }
 
     #[test]

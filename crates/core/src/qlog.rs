@@ -96,6 +96,8 @@ pub enum QlogEvent {
 pub enum PathStateKind {
     /// Usable.
     Active,
+    /// Quarantined after an address change; awaiting PATH_RESPONSE.
+    Validating,
     /// RTO without progress (scheduler avoids it).
     PotentiallyFailed,
     /// Abandoned.
@@ -106,6 +108,7 @@ impl From<PathState> for PathStateKind {
     fn from(s: PathState) -> Self {
         match s {
             PathState::Active => PathStateKind::Active,
+            PathState::Validating => PathStateKind::Validating,
             PathState::PotentiallyFailed => PathStateKind::PotentiallyFailed,
             PathState::Closed => PathStateKind::Closed,
         }
@@ -249,6 +252,7 @@ impl From<telemetry::PathState> for PathStateKind {
     fn from(s: telemetry::PathState) -> Self {
         match s {
             telemetry::PathState::Active => PathStateKind::Active,
+            telemetry::PathState::Validating => PathStateKind::Validating,
             telemetry::PathState::PotentiallyFailed => PathStateKind::PotentiallyFailed,
             telemetry::PathState::Closed => PathStateKind::Closed,
         }

@@ -161,6 +161,14 @@ impl Recovery {
         self.next_pn
     }
 
+    /// Jumps this space's counter forward so the next allocation returns
+    /// `pn` — the shared-packet-number-space ablation routes every send
+    /// through one connection-wide counter and reserves each value here,
+    /// keeping the numbering owned by recovery. Never moves backwards.
+    pub fn reserve_through(&mut self, pn: u64) {
+        self.next_pn = self.next_pn.max(pn);
+    }
+
     /// Bytes currently in flight.
     pub fn bytes_in_flight(&self) -> u64 {
         self.bytes_in_flight

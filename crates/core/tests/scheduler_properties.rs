@@ -43,6 +43,7 @@ fn random_paths(rng: &mut DetRng, all_known: bool, all_usable: bool) -> Vec<Path
             } else {
                 rng.next_below(MIN_SPACE)
             },
+            bytes_in_flight: rng.next_below(1 << 16),
             usable: all_usable || rng.bool(0.8),
         })
         .collect()
@@ -91,24 +92,25 @@ fn unknown_rtt_path_always_triggers_duplication() {
                  was picked: {decision:?} from {paths:?}"
             );
             // ... and duplicated onto the best known candidate, iff any.
-            let best_known = candidates
+            let best_known: Vec<PathId> = candidates
                 .iter()
                 .filter(|p| p.rtt_known)
                 .min_by_key(|p| p.srtt)
-                .map(|p| p.id);
+                .map(|p| p.id)
+                .into_iter()
+                .collect();
             assert_eq!(
                 decision.duplicate_on, best_known,
                 "case {case}: duplicate target is the lowest-sRTT known \
                  candidate: {decision:?} from {paths:?}"
             );
-            assert_ne!(
-                decision.duplicate_on,
-                Some(decision.path),
+            assert!(
+                !decision.duplicate_on.contains(&decision.path),
                 "case {case}: a packet must not duplicate onto its own path"
             );
         } else {
-            assert_eq!(
-                decision.duplicate_on, None,
+            assert!(
+                decision.duplicate_on.is_empty(),
                 "case {case}: no unknown-RTT path, so no duplication: {paths:?}"
             );
         }
@@ -130,7 +132,7 @@ fn data_goes_to_lowest_srtt_path_with_window_space() {
                 "case {case}: scheduler stalled despite eligible paths {paths:?}"
             ),
             Some(decision) => {
-                assert_eq!(decision.duplicate_on, None);
+                assert!(decision.duplicate_on.is_empty());
                 let best = candidates
                     .iter()
                     .min_by_key(|p| p.srtt)
@@ -159,19 +161,22 @@ fn control_frames_ride_any_active_path() {
         let paths = random_paths(&mut rng, false, false);
         let scheduler = Scheduler::new(SchedulerKind::LowestRtt);
         match scheduler.select_for_control(&paths) {
+            // `None` only when there is literally no path: a connection
+            // whose every path is potentially failed still needs to move
+            // its ACKs/PATHS frames somewhere (the documented fallback).
             None => assert!(
-                paths.iter().all(|p| !p.usable),
-                "case {case}: control traffic refused despite a usable path \
-                 in {paths:?}"
+                paths.is_empty(),
+                "case {case}: control traffic refused despite paths \
+                 existing in {paths:?}"
             ),
             Some(id) => {
                 let picked = paths.iter().find(|p| p.id == id).unwrap();
-                // Any *active* path qualifies — congestion window space is
-                // irrelevant for (small, uncontrolled) control packets.
+                // A usable path always wins over the fallback; the
+                // fallback itself may be any (potentially failed) path.
                 assert!(
-                    picked.usable,
+                    picked.usable || paths.iter().all(|p| !p.usable),
                     "case {case}: control frame scheduled on an unusable \
-                     path: {paths:?}"
+                     path while a usable one existed: {paths:?}"
                 );
                 if picked.cwnd_available < MIN_SPACE {
                     chosen_without_window_space += 1;
@@ -202,10 +207,47 @@ fn every_usable_path_can_carry_control_frames() {
                 srtt: Duration::from_millis(if i == winner { 1 } else { 10 + u64::from(i) }),
                 rtt_known: true,
                 cwnd_available: 0, // window-full: irrelevant for control
+                bytes_in_flight: 0,
                 usable: true,
             })
             .collect();
         let scheduler = Scheduler::new(SchedulerKind::LowestRtt);
         assert_eq!(scheduler.select_for_control(&paths), Some(PathId(winner)));
+    }
+}
+
+#[test]
+fn redundant_policy_duplicates_onto_every_other_eligible_path() {
+    // The redundant policy's contract: every data frame goes out on the
+    // chosen path AND is duplicated onto every other eligible path, so
+    // the union {chosen} ∪ duplicate_on covers the whole eligible set
+    // exactly once.
+    let mut rng = DetRng::new(0x5EED_0004);
+    for case in 0..CASES {
+        let paths = random_paths(&mut rng, false, false);
+        let mut scheduler = Scheduler::new(SchedulerKind::Redundant);
+        let Some(decision) = scheduler.select_for_data(&paths, MIN_SPACE) else {
+            assert!(
+                eligible(&paths).is_empty(),
+                "case {case}: redundant policy stalled despite eligible \
+                 paths {paths:?}"
+            );
+            continue;
+        };
+        let mut covered: Vec<PathId> = decision.duplicate_on.clone();
+        covered.push(decision.path);
+        covered.sort_by_key(|p| p.0);
+        let mut expected: Vec<PathId> = eligible(&paths).iter().map(|p| p.id).collect();
+        expected.sort_by_key(|p| p.0);
+        covered.dedup();
+        assert_eq!(
+            covered, expected,
+            "case {case}: redundant coverage must equal the eligible set \
+             exactly: {decision:?} from {paths:?}"
+        );
+        assert!(
+            !decision.duplicate_on.contains(&decision.path),
+            "case {case}: a frame must not duplicate onto its own path"
+        );
     }
 }

@@ -35,6 +35,8 @@ fn main() {
             SchedulerKind::LowestRttNoDuplicate,
         ),
         ("round-robin", SchedulerKind::RoundRobin),
+        ("redundant (all paths)", SchedulerKind::Redundant),
+        ("BLEST-style HoL-aware", SchedulerKind::Blest),
     ] {
         let overrides = Overrides {
             scheduler: Some(kind),
@@ -49,7 +51,27 @@ fn main() {
         );
     }
 
-    // 2. WINDOW_UPDATE duplication under a tight receive window.
+    // 2. Packet-number spaces: the paper gives every path its own
+    // sequence space (§3.1) so one path's reordering cannot poison
+    // another's loss detection. Collapse them onto a single shared
+    // space and let the 400 ms path's gaps trigger spurious
+    // retransmissions on the 20 ms path.
+    println!("\n-- packet-number spaces (paper §3.1: one space per path) --");
+    for (name, shared) in [("per-path (paper)", false), ("single shared space", true)] {
+        let overrides = Overrides {
+            shared_pn_space: Some(shared),
+            quic_recv_window: Some(1 << 20),
+            ..Overrides::default()
+        };
+        let o = run_file_transfer(&heterogeneous(), Protocol::Mpquic, SIZE, 3, CAP, &overrides);
+        println!(
+            "  {name:<32} {:.3}s  ({:.2} Mbps)",
+            o.duration_secs,
+            o.goodput * 8.0 / 1e6
+        );
+    }
+
+    // 3. WINDOW_UPDATE duplication under a tight receive window.
     println!("\n-- WINDOW_UPDATE duplication (tight 256 kB receive window) --");
     for (name, dup) in [("on all paths (paper)", true), ("single path", false)] {
         let overrides = Overrides {
@@ -66,7 +88,7 @@ fn main() {
         );
     }
 
-    // 3. PATHS frame during handover.
+    // 4. PATHS frame during handover.
     println!("\n-- PATHS frame on RTO (handover acceleration, paper §4.3) --");
     for (name, enabled) in [("enabled (paper)", true), ("disabled", false)] {
         let config = HandoverConfig {
@@ -81,7 +103,7 @@ fn main() {
         println!("  {name:<32} worst request delay {worst:.1} ms");
     }
 
-    // 4. Congestion control coupling.
+    // 5. Congestion control coupling.
     println!("\n-- multipath congestion control --");
     for (name, cc) in [
         ("OLIA (paper)", mpquic_core::CcAlgorithm::Olia),
@@ -101,7 +123,7 @@ fn main() {
         );
     }
 
-    // 5. MPTCP's ORP, in the regime it exists for: a shared receive
+    // 6. MPTCP's ORP, in the regime it exists for: a shared receive
     // window small enough that slow-path data blocks it.
     println!("\n-- MPTCP penalization + opportunistic retransmission (512 kB shared window) --");
     for (name, orp) in [("enabled (Linux default)", true), ("disabled", false)] {
@@ -118,7 +140,7 @@ fn main() {
         );
     }
 
-    // 6. ACK-range richness: the paper credits QUIC's 256 ACK ranges
+    // 7. ACK-range richness: the paper credits QUIC's 256 ACK ranges
     // (vs TCP's 2-3 SACK blocks) for its loss resilience. Cap QUIC at 3
     // ranges and compare on a lossy path, alongside real TCP.
     println!("\n-- ACK-range richness (2.5% loss, 100 ms RTT, 1 MB) --");
@@ -144,7 +166,7 @@ fn main() {
     );
     println!("  {:<32} {:.3}s", "TCP (3 SACK blocks)", o.duration_secs);
 
-    // 7. Shared-bottleneck fairness — the §3 argument for OLIA: a 2-path
+    // 8. Shared-bottleneck fairness — the §3 argument for OLIA: a 2-path
     // MPQUIC download and a single-path QUIC download share an 8 Mbps
     // bottleneck; the competitor's share shows the coupling at work.
     println!("\n-- shared-bottleneck fairness (2-path MPQUIC vs single-path QUIC, 8 Mbps) --");

@@ -59,6 +59,10 @@ impl Protocol {
 pub struct Overrides {
     /// Replace the MPQUIC packet scheduler.
     pub scheduler: Option<SchedulerKind>,
+    /// Collapse every path onto one shared packet-number space (the
+    /// single-PN-space ablation: per-path spaces are the paper's
+    /// design, §3.1).
+    pub shared_pn_space: Option<bool>,
     /// Toggle WINDOW_UPDATE duplication on all paths.
     pub duplicate_window_updates: Option<bool>,
     /// Toggle the PATHS frame on RTO.
@@ -122,6 +126,9 @@ fn quic_config(multipath: bool, overrides: &Overrides) -> QuicConfig {
     };
     if let Some(s) = overrides.scheduler {
         builder = builder.scheduler(s);
+    }
+    if let Some(shared) = overrides.shared_pn_space {
+        builder = builder.shared_pn_space(shared);
     }
     if let Some(d) = overrides.duplicate_window_updates {
         builder = builder.duplicate_window_updates(d);

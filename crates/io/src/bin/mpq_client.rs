@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mpq-client --connect ADDR [--local ADDR]... [--file PATH | --size BYTES]
-//!            [--single-path | --multipath] [--qlog FILE]
+//!            [--single-path | --multipath] [--scheduler NAME] [--qlog FILE]
 //!            [--stats-interval SECS] [--name NAME] [--seed N] [--timeout SECS]
 //! ```
 //!
@@ -16,7 +16,9 @@
 //! how the lowest-RTT scheduler split the transfer.
 
 use mpquic_core::Config;
-use mpquic_io::cli::{entropy_seed, install_telemetry, print_report, stats_interval, Args};
+use mpquic_io::cli::{
+    entropy_seed, install_telemetry, print_report, scheduler_kind, stats_interval, Args,
+};
 use mpquic_io::{quic_client, transfer, BlockingStream};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -33,8 +35,8 @@ fn run() -> Result<(), String> {
     if args.has("help") {
         println!(
             "usage: mpq-client --connect ADDR [--local ADDR]... [--file PATH | --size BYTES] \
-             [--single-path|--multipath] [--qlog FILE] [--stats-interval SECS] [--name NAME] \
-             [--seed N] [--timeout SECS]"
+             [--single-path|--multipath] [--scheduler NAME] [--qlog FILE] \
+             [--stats-interval SECS] [--name NAME] [--seed N] [--timeout SECS]"
         );
         return Ok(());
     }
@@ -81,13 +83,15 @@ fn run() -> Result<(), String> {
         }
     };
 
-    let config = if single_path {
+    let mut builder = if single_path {
         Config::builder().single_path()
     } else {
         Config::builder().multipath()
+    };
+    if let Some(kind) = scheduler_kind(&args)? {
+        builder = builder.scheduler(kind);
     }
-    .build()
-    .map_err(|e| format!("config: {e}"))?;
+    let config = builder.build().map_err(|e| format!("config: {e}"))?;
 
     let mut driver =
         quic_client(config, &locals, remote, seed).map_err(|e| format!("bind: {e}"))?;

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mpq-server [--listen ADDR]... [--single-path | --multipath]
-//!            [--max-conns N] [--workers N]
+//!            [--scheduler NAME] [--max-conns N] [--workers N]
 //!            [--seed N] [--timeout SECS]
 //!            [--metrics-addr ADDR] [--metrics-json FILE]
 //!            [--metrics-interval SECS] [--flight-dump FILE]
@@ -34,7 +34,9 @@
 //! events as JSON lines at exit — the same dump `/flight` serves live.
 
 use mpquic_core::Config;
-use mpquic_io::cli::{entropy_seed, metrics_addr, metrics_interval, print_endpoint_report, Args};
+use mpquic_io::cli::{
+    entropy_seed, metrics_addr, metrics_interval, print_endpoint_report, scheduler_kind, Args,
+};
 use mpquic_io::{Endpoint, TransferApp};
 use mpquic_telemetry::endpoint::{MetricsServer, SnapshotWriter};
 use std::net::SocketAddr;
@@ -52,8 +54,8 @@ fn run() -> Result<(), String> {
     if args.has("help") {
         println!(
             "usage: mpq-server [--listen ADDR]... [--single-path|--multipath] \
-             [--max-conns N] [--workers N] [--seed N] [--timeout SECS] \
-             [--metrics-addr ADDR] [--metrics-json FILE] \
+             [--scheduler NAME] [--max-conns N] [--workers N] [--seed N] \
+             [--timeout SECS] [--metrics-addr ADDR] [--metrics-json FILE] \
              [--metrics-interval SECS] [--flight-dump FILE]"
         );
         return Ok(());
@@ -89,15 +91,17 @@ fn run() -> Result<(), String> {
         None => 600,
     });
 
-    let config = if single_path {
+    let mut builder = if single_path {
         Config::builder().single_path()
     } else {
         Config::builder().multipath()
     }
     .max_incoming_connections(max_conns)
-    .worker_shards(workers)
-    .build()
-    .map_err(|e| format!("config: {e}"))?;
+    .worker_shards(workers);
+    if let Some(kind) = scheduler_kind(&args)? {
+        builder = builder.scheduler(kind);
+    }
+    let config = builder.build().map_err(|e| format!("config: {e}"))?;
 
     let endpoint = Endpoint::bind(
         &listen,

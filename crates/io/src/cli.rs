@@ -4,7 +4,7 @@
 use mpquic_core::telemetry::{
     MetricsHandle, MetricsSnapshot, MetricsSubscriber, StatsReporter, StreamingQlog,
 };
-use mpquic_core::Connection;
+use mpquic_core::{Connection, SchedulerKind};
 use std::net::SocketAddr;
 use std::time::Duration;
 
@@ -105,6 +105,20 @@ pub fn stats_interval(args: &Args) -> Result<Option<Duration>, String> {
         return Err("--stats-interval: must be positive".to_string());
     }
     Ok(Some(Duration::from_secs_f64(secs)))
+}
+
+/// Parses the binaries' `--scheduler NAME` flag into a
+/// [`SchedulerKind`]; `None` when the flag was not given. The shared
+/// `FromStr` impl supplies the error message, which lists every valid
+/// scheduler name.
+pub fn scheduler_kind(args: &Args) -> Result<Option<SchedulerKind>, String> {
+    match args.value("scheduler") {
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("--scheduler: {e}")),
+        None => Ok(None),
+    }
 }
 
 /// Parses `mpq-server`'s `--metrics-addr HOST:PORT` flag — where the
@@ -363,5 +377,24 @@ mod tests {
         let a = args(&["--local", "not-an-addr"]);
         let err = a.addrs("local").unwrap_err();
         assert!(err.contains("--local"));
+    }
+
+    #[test]
+    fn scheduler_flag_parses_every_zoo_member() {
+        for kind in mpquic_core::scheduler::SCHEDULER_KINDS {
+            let a = args(&["--scheduler", kind.name()]);
+            assert_eq!(scheduler_kind(&a).unwrap(), Some(kind));
+        }
+        assert_eq!(scheduler_kind(&args(&[])).unwrap(), None);
+    }
+
+    #[test]
+    fn bad_scheduler_name_lists_the_valid_ones() {
+        let a = args(&["--scheduler", "fastest"]);
+        let err = scheduler_kind(&a).unwrap_err();
+        assert!(err.contains("--scheduler"), "{err}");
+        for kind in mpquic_core::scheduler::SCHEDULER_KINDS {
+            assert!(err.contains(kind.name()), "{err} missing {}", kind.name());
+        }
     }
 }

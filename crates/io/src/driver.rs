@@ -289,6 +289,32 @@ impl Driver<QuicTransport> {
     pub fn connection_mut(&mut self) -> &mut Connection {
         &mut self.transport_mut().conn
     }
+
+    /// Rebinds the socket under path `id`'s local address onto a fresh
+    /// ephemeral port and migrates the path onto it — a client-driven
+    /// NAT rebinding. The very next packets leave from the new source
+    /// port carrying the same CID; the server quarantines the rebound
+    /// address behind a PATH_CHALLENGE and, once validation succeeds,
+    /// rotates the connection ID (NEW_CONNECTION_ID /
+    /// RETIRE_CONNECTION_ID ride this same connection). Returns the
+    /// new local address.
+    pub fn rebind_path(&mut self, id: mpquic_core::PathId) -> Result<SocketAddr> {
+        let old = self
+            .transport
+            .conn
+            .path(id)
+            .map(|path| path.local)
+            .ok_or_else(|| {
+                Error::Io(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    format!("no path {}", id.0),
+                ))
+            })?;
+        let new_local = self.sockets.rebind(old).map_err(Error::Io)?;
+        let now = self.clock.now();
+        self.transport.conn.migrate_path(id, new_local, now);
+        Ok(new_local)
+    }
 }
 
 /// Binds `local_addrs` (port 0 allowed) and dials `remote` from the first

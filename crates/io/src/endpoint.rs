@@ -43,7 +43,9 @@ pub use mpquic_telemetry::endpoint::{
 use crate::backoff::Backoff;
 use crate::driver::IoStats;
 use crate::error::{Error, Result};
-use crate::shard::{run_shard, shard_for_cid, DemuxCtl, ShardCore, ShardMsg, ShardReport};
+use crate::shard::{
+    run_shard, shard_for_cid, CidRouteOp, DemuxCtl, ShardCore, ShardMsg, ShardReport,
+};
 use crate::socket::{RecvBatch, RecvMeta, SocketRegistry};
 use crate::transfer;
 
@@ -429,6 +431,11 @@ pub struct DemuxCore {
     /// CID → owning shard. Entries retire when the shard reports the
     /// connection closed, freeing the accept slot.
     known: HashMap<u64, usize>,
+    /// Rotated on-wire CIDs → the canonical (accept-time) CID. A
+    /// rotation never moves a connection between shards: the alias
+    /// routes to `known[canonical]`, so old and new CIDs land on the
+    /// same shard while both are in flight.
+    aliases: HashMap<u64, u64>,
     tombstones: Tombstones,
     shard_txs: Vec<SyncSender<ShardMsg>>,
     plane: Arc<EndpointPlane>,
@@ -452,6 +459,7 @@ impl DemuxCore {
         DemuxCore {
             pool: BufferPool::new(POOL_BUFFERS, POOL_BUF_CAPACITY),
             known: HashMap::new(),
+            aliases: HashMap::new(),
             tombstones: Tombstones::new(),
             shard_txs,
             plane,
@@ -513,6 +521,31 @@ impl DemuxCore {
                         .recorder
                         .record(FlightKind::Retire, cid, shard as u32, 0);
                 }
+                // Any live aliases of the retired connection die with
+                // it; tombstone them so their stragglers are dropped
+                // instead of re-entering the accept path.
+                let stale: Vec<u64> = self
+                    .aliases
+                    .iter()
+                    .filter(|&(_, &canonical)| canonical == cid)
+                    .map(|(&alias, _)| alias)
+                    .collect();
+                for alias in stale {
+                    self.aliases.remove(&alias);
+                    self.tombstones.insert(alias);
+                }
+                self.tombstones.insert(cid);
+            }
+            DemuxCtl::MapCid { alias, cid } => {
+                // Only alias a connection the demux still routes; a
+                // rotation racing retirement is a no-op (stragglers on
+                // the alias look like loss to the peer, which is gone).
+                if self.known.contains_key(&cid) {
+                    self.aliases.insert(alias, cid);
+                }
+            }
+            DemuxCtl::UnmapCid { cid } => {
+                self.aliases.remove(&cid);
                 self.tombstones.insert(cid);
             }
         }
@@ -528,7 +561,11 @@ impl DemuxCore {
             self.plane.recorder.record(FlightKind::Malformed, 0, 0, 0);
             return;
         };
-        let shard = match self.known.get(&cid) {
+        // A rotated CID routes to its canonical connection's shard —
+        // the shard core resolves the alias again on delivery, so the
+        // message keeps carrying the on-wire CID.
+        let canonical = self.aliases.get(&cid).copied().unwrap_or(cid);
+        let shard = match self.known.get(&canonical) {
             Some(&shard) => shard,
             None if self.tombstones.contains(cid) => {
                 // Straggler for a finished connection: drop.
@@ -720,6 +757,9 @@ fn run_unified(mut state: UnifiedState) -> ShardReport {
     // Tombstones, same policy as the sharded demux: stragglers for a
     // retired CID must not re-enter the accept path.
     let mut retired = Tombstones::new();
+    // Old CIDs unmapped by rotations this iteration; tombstoned after
+    // the process pass (the retire callback already borrows `retired`).
+    let mut unmapped: Vec<u64> = Vec::new();
     // On a true single-core machine the clients feeding this loop can
     // only run while it waits, so skip the spin stage of the ladder.
     let single_core = std::thread::available_parallelism()
@@ -784,15 +824,31 @@ fn run_unified(mut state: UnifiedState) -> ShardReport {
             }
         }
 
-        // 2. Timers, application progress, egress, reaping.
+        // 2. Timers, application progress, egress, reaping. Aliases
+        //    from CID rotations live inside the core (its `owns` /
+        //    `deliver` resolve them); the unified loop only has to
+        //    tombstone unmapped old CIDs so stragglers are dropped
+        //    instead of re-entering the accept path above.
         let plane = &state.plane;
-        if core.process(&mut state.sockets, &plane.stats, |cid| {
-            plane.stats.active.sub(1);
-            plane.stats.closed.add(1);
-            plane.recorder.record(FlightKind::Retire, cid, 0, 0);
-            retired.insert(cid);
-        }) {
+        if core.process(
+            &mut state.sockets,
+            &plane.stats,
+            |cid| {
+                plane.stats.active.sub(1);
+                plane.stats.closed.add(1);
+                plane.recorder.record(FlightKind::Retire, cid, 0, 0);
+                retired.insert(cid);
+            },
+            |route| {
+                if let CidRouteOp::Unmap { cid } = route {
+                    unmapped.push(cid);
+                }
+            },
+        ) {
             progressed = true;
+        }
+        for cid in unmapped.drain(..) {
+            retired.insert(cid);
         }
 
         let shard_plane = state.plane.shard(0);

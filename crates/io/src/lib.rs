@@ -86,8 +86,8 @@ pub use endpoint::{
 pub use error::Error;
 pub use rpc::{RpcCall, RpcServerApp, RpcVerdict};
 pub use shard::{
-    drain_shard_ingress, flush_shard_ingress, shard_for_cid, DemuxCtl, IngressDrain, ShardMsg,
-    ShardReport, ShardSink,
+    drain_shard_ingress, flush_shard_ingress, shard_for_cid, CidRouteOp, DemuxCtl, IngressDrain,
+    ShardMsg, ShardReport, ShardSink,
 };
 pub use socket::{BatchStats, RecvBatch, SocketRegistry};
 pub use stream::BlockingStream;

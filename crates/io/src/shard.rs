@@ -23,7 +23,7 @@
 //! thread, feeding the core straight from the receive batch with no
 //! channel round trip — see DESIGN.md §13 and ROADMAP item 1).
 
-use mpquic_core::TransmitQueue;
+use mpquic_core::{PathOp, TransmitQueue};
 use mpquic_harness::{QuicTransport, Transport};
 use mpquic_util::sync::atomic::{AtomicBool, Ordering};
 use mpquic_util::sync::mpsc::{Receiver, Sender, TryRecvError};
@@ -92,6 +92,45 @@ pub enum DemuxCtl {
     /// (a later datagram with this CID would be treated as new).
     Retire {
         /// The CID to drop from the demux table.
+        cid: u64,
+    },
+    /// A connection issued a NEW_CONNECTION_ID: datagrams carrying
+    /// `alias` belong to the connection the demux knows as `cid`. The
+    /// alias routes to the *same shard* as the canonical CID — a
+    /// connection's packets never cross shards, rotated or not.
+    MapCid {
+        /// The freshly issued connection ID appearing on the wire.
+        alias: u64,
+        /// The canonical CID the demux already routes on.
+        cid: u64,
+    },
+    /// The peer acknowledged a rotation (RETIRE_CONNECTION_ID): the
+    /// old CID is dead. The demux drops its route and tombstones it so
+    /// stragglers are swallowed instead of spawning a ghost accept.
+    UnmapCid {
+        /// The retired connection ID.
+        cid: u64,
+    },
+}
+
+/// A CID-routing change surfaced by [`ShardCore::process`] while
+/// draining connections' [`PathOp`] queues. The caller forwards these
+/// to whatever owns the CID→connection route table: the demux thread
+/// (sharded mode, via [`DemuxCtl`]) or the unified loop's tombstone
+/// set (single-worker mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CidRouteOp {
+    /// Route datagrams carrying `alias` to the connection keyed by
+    /// `canonical`.
+    Map {
+        /// The new on-wire CID.
+        alias: u64,
+        /// The accept-time CID the connection stays keyed under.
+        canonical: u64,
+    },
+    /// Stop routing the retired CID; tombstone it against re-accept.
+    Unmap {
+        /// The retired on-wire CID.
         cid: u64,
     },
 }
@@ -246,7 +285,15 @@ pub(crate) struct ShardCore {
     queue: TransmitQueue,
     io: IoStats,
     conns: HashMap<u64, ConnEntry>,
+    /// Rotated on-wire CIDs → the accept-time CID a connection stays
+    /// keyed under. Connections are never rekeyed: a rotation adds an
+    /// alias here (and in the demux) so demux and shard keep agreeing
+    /// on the owning entry while old and new CIDs overlap in flight.
+    aliases: HashMap<u64, u64>,
     reap: Vec<u64>,
+    /// Scratch for path ops drained mid-iteration (the connection map
+    /// is mutably borrowed there, so alias updates are deferred).
+    path_ops: Vec<(u64, PathOp)>,
     conns_served: u64,
 }
 
@@ -258,7 +305,9 @@ impl ShardCore {
             queue: TransmitQueue::new(BATCH_SEGMENTS, SEND_BUF_CAPACITY),
             io: IoStats::default(),
             conns: HashMap::new(),
+            aliases: HashMap::new(),
             reap: Vec::new(),
+            path_ops: Vec::new(),
             conns_served: 0,
         }
     }
@@ -268,9 +317,10 @@ impl ShardCore {
         self.conns.len()
     }
 
-    /// True if `cid` is currently owned by this core.
+    /// True if `cid` is currently owned by this core, directly or as a
+    /// rotation alias.
     pub(crate) fn owns(&self, cid: u64) -> bool {
-        self.conns.contains_key(&cid)
+        self.conns.contains_key(&cid) || self.aliases.contains_key(&cid)
     }
 
     /// Takes ownership of a freshly accepted connection.
@@ -301,7 +351,8 @@ impl ShardCore {
         remote: SocketAddr,
         payload: &[u8],
     ) -> bool {
-        let Some(entry) = self.conns.get_mut(&cid) else {
+        let key = self.aliases.get(&cid).copied().unwrap_or(cid);
+        let Some(entry) = self.conns.get_mut(&key) else {
             return false;
         };
         entry
@@ -314,13 +365,16 @@ impl ShardCore {
 
     /// One pass over every connection: fire due timers, poll the
     /// application, drain batched egress, and reap closed connections
-    /// (reporting each retired CID through `on_retire`). Returns `true`
-    /// if anything happened.
+    /// (reporting each retired CID through `on_retire`). Path ops the
+    /// connections queued — CID rotations, validation outcomes — bump
+    /// the endpoint counters here and surface routing changes through
+    /// `on_route`. Returns `true` if anything happened.
     pub(crate) fn process(
         &mut self,
         sockets: &mut SocketRegistry,
         stats: &EndpointStats,
         mut on_retire: impl FnMut(u64),
+        mut on_route: impl FnMut(CidRouteOp),
     ) -> bool {
         let mut progressed = false;
 
@@ -329,6 +383,14 @@ impl ShardCore {
             if self.timer.is_due(now, entry.transport.next_timeout()) {
                 entry.transport.on_timeout(now);
                 self.io.timer_fires += 1;
+                progressed = true;
+            }
+
+            // Path ops queue during ingress and timer handling; the
+            // connection map is borrowed here, so alias-table updates
+            // are deferred past the loop.
+            while let Some(op) = entry.transport.conn.pop_path_op() {
+                self.path_ops.push((cid, op));
                 progressed = true;
             }
 
@@ -411,8 +473,29 @@ impl ShardCore {
             }
         }
 
+        let mut ops = std::mem::take(&mut self.path_ops);
+        for (canonical, op) in ops.drain(..) {
+            match op {
+                PathOp::MapCid(alias) => {
+                    stats.cid_rotations_initiated.add(1);
+                    self.aliases.insert(alias, canonical);
+                    on_route(CidRouteOp::Map { alias, canonical });
+                }
+                PathOp::UnmapCid(old) => {
+                    stats.cid_rotations_completed.add(1);
+                    self.aliases.remove(&old);
+                    on_route(CidRouteOp::Unmap { cid: old });
+                }
+                PathOp::ValidationStarted => stats.path_validations_started.add(1),
+                PathOp::ValidationCompleted => stats.path_validations_validated.add(1),
+                PathOp::ValidationAbandoned => stats.path_validations_abandoned.add(1),
+            }
+        }
+        self.path_ops = ops;
+
         for cid in self.reap.drain(..) {
             self.conns.remove(&cid);
+            self.aliases.retain(|_, canonical| *canonical != cid);
             on_retire(cid);
             progressed = true;
         }
@@ -480,9 +563,22 @@ pub(crate) fn run_shard(
         }
 
         // 2. Per connection: timers, application progress, egress.
-        if core.process(&mut sockets, &plane.stats, |cid| {
-            let _ = ctl.send(DemuxCtl::Retire { cid });
-        }) {
+        if core.process(
+            &mut sockets,
+            &plane.stats,
+            |cid| {
+                let _ = ctl.send(DemuxCtl::Retire { cid });
+            },
+            |route| {
+                let _ = ctl.send(match route {
+                    CidRouteOp::Map { alias, canonical } => DemuxCtl::MapCid {
+                        alias,
+                        cid: canonical,
+                    },
+                    CidRouteOp::Unmap { cid } => DemuxCtl::UnmapCid { cid },
+                });
+            },
+        ) {
             progressed = true;
         }
 

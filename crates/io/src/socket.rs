@@ -221,6 +221,37 @@ impl SocketRegistry {
         self.sockets.iter().map(|entry| entry.local).collect()
     }
 
+    /// Rebinds the socket bound to `old_local` onto a fresh ephemeral
+    /// port on the same interface, returning the new local address —
+    /// the client half of a NAT rebinding / connection migration.
+    /// Subsequent sends routed to the returned address leave from the
+    /// new source port; anything still in the old socket's receive
+    /// buffer is abandoned with it (to the transport that is loss, and
+    /// is recovered the same way).
+    pub fn rebind(&mut self, old_local: SocketAddr) -> io::Result<SocketAddr> {
+        let index = self
+            .sockets
+            .iter()
+            .position(|entry| entry.local == old_local)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no socket bound to {old_local}"),
+                )
+            })?;
+        let mut fresh = old_local;
+        fresh.set_port(0);
+        let socket = UdpSocket::bind(fresh)?;
+        socket.set_nonblocking(true)?;
+        mmsg::set_buffer_sizes(&socket, SOCKET_BUFFER_BYTES);
+        let local = socket.local_addr()?;
+        if let Some(entry) = self.sockets.get_mut(index) {
+            entry.socket = socket;
+            entry.local = local;
+        }
+        Ok(local)
+    }
+
     /// Number of sockets in the registry.
     pub fn len(&self) -> usize {
         self.sockets.len()

@@ -3,12 +3,15 @@
 //!
 //! ```text
 //! mpquic-loadgen [--smoke] [--scenario NAME] [--seed N] [--workers N]
-//!                [--client-threads N] [--out FILE] [--baseline FILE]
-//!                [--flight-dump FILE]
+//!                [--client-threads N] [--scheduler NAME] [--out FILE]
+//!                [--baseline FILE] [--flight-dump FILE]
 //! ```
 //!
 //! Without `--scenario` the whole catalog runs (request_response,
-//! streaming, incast, churn). `--baseline FILE` gates each scenario's
+//! streaming, incast, churn, mobility). `--scheduler NAME` selects a
+//! policy from the scheduler zoo (lowest-rtt, no-duplicate,
+//! round-robin, redundant, blest) for the server endpoint and every
+//! client connection. `--baseline FILE` gates each scenario's
 //! p99 against the checked-in baseline (`LowerIsBetter`, 30%
 //! tolerance) and churn's conns/sec (`HigherIsBetter`). Exit status is
 //! non-zero on SLO failure or baseline regression.
@@ -27,8 +30,9 @@ use mpquic_loadgen::scenario::{by_name, catalog};
 fn usage() -> ! {
     eprintln!(
         "usage: mpquic-loadgen [--smoke] [--scenario NAME] [--seed N] [--workers N] \
-         [--client-threads N] [--out FILE] [--baseline FILE] [--flight-dump FILE]\n\
-         scenarios: request_response streaming incast churn"
+         [--client-threads N] [--scheduler NAME] [--out FILE] [--baseline FILE] \
+         [--flight-dump FILE]\n\
+         scenarios: request_response streaming incast churn mobility"
     );
     std::process::exit(2);
 }
@@ -75,6 +79,16 @@ fn main() {
                 opts.client_threads = value(&args, &mut i, "--client-threads")
                     .parse()
                     .unwrap_or_else(|_| usage());
+            }
+            "--scheduler" => {
+                let raw = value(&args, &mut i, "--scheduler");
+                opts.scheduler = match raw.parse() {
+                    Ok(kind) => Some(kind),
+                    Err(e) => {
+                        eprintln!("mpquic-loadgen: --scheduler: {e}");
+                        std::process::exit(2);
+                    }
+                };
             }
             "--help" | "-h" => usage(),
             other => {

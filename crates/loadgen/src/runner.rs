@@ -13,7 +13,7 @@
 
 use crate::scenario::Scenario;
 use crate::schedule::{build_schedule, Op, Schedule};
-use mpquic_core::Config;
+use mpquic_core::{Config, PathId, SchedulerKind};
 use mpquic_harness::QuicTransport;
 use mpquic_io::rpc::{RpcCall, RpcServerApp};
 use mpquic_io::{quic_client, Driver, Endpoint, EndpointReport, EndpointSnapshot, FlightKind};
@@ -34,6 +34,9 @@ pub struct RunOptions {
     /// Client driver threads; logical connections are partitioned
     /// round-robin across them.
     pub client_threads: usize,
+    /// Scheduler policy applied to both the server endpoint and every
+    /// client connection; `None` keeps the config default.
+    pub scheduler: Option<SchedulerKind>,
 }
 
 impl Default for RunOptions {
@@ -42,6 +45,7 @@ impl Default for RunOptions {
             seed: 1,
             workers: 0,
             client_threads: 2,
+            scheduler: None,
         }
     }
 }
@@ -146,12 +150,14 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<ScenarioOu
     let schedule = build_schedule(scenario, opts.seed);
     let threads = opts.client_threads.max(1).min(schedule.conns.max(1));
 
-    let config = Config::builder()
+    let mut builder = Config::builder()
         .single_path()
         .max_incoming_connections(schedule.conns + 8)
-        .worker_shards(opts.workers)
-        .build()
-        .map_err(|e| format!("server config: {e}"))?;
+        .worker_shards(opts.workers);
+    if let Some(kind) = opts.scheduler {
+        builder = builder.scheduler(kind);
+    }
+    let config = builder.build().map_err(|e| format!("server config: {e}"))?;
     let listen: SocketAddr = "127.0.0.1:0".parse().expect("loopback literal");
     let endpoint = Endpoint::bind(
         &[listen],
@@ -176,8 +182,9 @@ pub fn run_scenario(scenario: &Scenario, opts: &RunOptions) -> Result<ScenarioOu
             .collect();
         let timeout_us = scenario.timeout_us;
         let seed = opts.seed;
+        let scheduler = opts.scheduler;
         handles.push(std::thread::spawn(move || {
-            run_client_thread(ops, server, epoch, deadline, timeout_us, seed)
+            run_client_thread(ops, server, epoch, deadline, timeout_us, seed, scheduler)
         }));
     }
 
@@ -273,6 +280,7 @@ fn run_client_thread(
     deadline: Duration,
     timeout_us: u64,
     seed: u64,
+    scheduler: Option<SchedulerKind>,
 ) -> ThreadTally {
     let mut tally = ThreadTally {
         hist: LogHistogram::default(),
@@ -325,10 +333,11 @@ fn run_client_thread(
                 continue;
             }
             if state.driver.is_none() {
-                let config = Config::builder()
-                    .single_path()
-                    .build()
-                    .expect("client config");
+                let mut builder = Config::builder().single_path();
+                if let Some(kind) = scheduler {
+                    builder = builder.scheduler(kind);
+                }
+                let config = builder.build().expect("client config");
                 let local: SocketAddr = "127.0.0.1:0".parse().expect("loopback literal");
                 let conn_seed = DetRng::new(seed ^ 0x00c1_1e47)
                     .fork(op.conn as u64)
@@ -344,6 +353,21 @@ fn run_client_thread(
                 }
             }
             let driver = state.driver.as_mut().expect("driver just ensured");
+            if op.rebind {
+                // NAT-rebinding injection: drop the socket, bind a
+                // fresh ephemeral port, and migrate the path onto it.
+                // The server must re-validate the new address before
+                // this op's response can flow — that quarantine is
+                // exactly what the mobility SLO measures.
+                if driver.rebind_path(PathId::INITIAL).is_err() {
+                    state.failed = true;
+                    tally.errors += 1 + state.inflight.len();
+                    state.inflight.clear();
+                    tally.conns_failed += 1;
+                    state.driver = None;
+                    continue;
+                }
+            }
             let call = RpcCall::start(
                 driver.connection_mut(),
                 &payload_buf[..op.req_bytes.min(payload_buf.len())],

@@ -183,6 +183,20 @@ pub enum ScenarioKind {
         /// Total connections over the run.
         conns: usize,
     },
+    /// Mobile clients: a request/response session whose connection
+    /// rebinds its local address mid-session (NAT rebinding / WiFi→LTE
+    /// handover), `rebinds` times at evenly spaced points. The server
+    /// must quarantine and validate each rebound path and rotate the
+    /// connection ID without dropping the connection — zero lost
+    /// connections and a bounded p99 across rebinds is the SLO.
+    Mobility {
+        /// Concurrent client connections.
+        conns: usize,
+        /// Requests per connection.
+        requests_per_conn: usize,
+        /// Address rebinds per connection over its session.
+        rebinds: usize,
+    },
 }
 
 impl ScenarioKind {
@@ -193,6 +207,7 @@ impl ScenarioKind {
             ScenarioKind::Streaming { .. } => "streaming",
             ScenarioKind::Incast { .. } => "incast",
             ScenarioKind::Churn { .. } => "churn",
+            ScenarioKind::Mobility { .. } => "mobility",
         }
     }
 }
@@ -222,7 +237,7 @@ pub struct Scenario {
     pub timeout_us: u64,
 }
 
-/// The built-in catalog: the four workload shapes at full or smoke
+/// The built-in catalog: the five workload shapes at full or smoke
 /// scale. Smoke keeps every shape but cuts the population so the whole
 /// suite finishes in seconds on a 1-core CI runner.
 pub fn catalog(smoke: bool) -> Vec<Scenario> {
@@ -285,6 +300,20 @@ pub fn catalog(smoke: bool) -> Vec<Scenario> {
                 slo_p99_us: 250_000,
                 timeout_us: 5_000_000,
             },
+            Scenario {
+                name: "mobility",
+                kind: ScenarioKind::Mobility {
+                    conns: 4,
+                    requests_per_conn: 12,
+                    rebinds: 2,
+                },
+                arrivals: Arrivals::Poisson { per_sec: 16.0 },
+                req_size: SizeDist::Fixed(512),
+                resp_size: SizeDist::Fixed(4096),
+                think: TimeDist::Exp { mean_us: 2_000 },
+                slo_p99_us: 500_000,
+                timeout_us: 5_000_000,
+            },
         ]
     } else {
         vec![
@@ -345,6 +374,20 @@ pub fn catalog(smoke: bool) -> Vec<Scenario> {
                 slo_p99_us: 150_000,
                 timeout_us: 10_000_000,
             },
+            Scenario {
+                name: "mobility",
+                kind: ScenarioKind::Mobility {
+                    conns: 16,
+                    requests_per_conn: 24,
+                    rebinds: 2,
+                },
+                arrivals: Arrivals::Poisson { per_sec: 32.0 },
+                req_size: SizeDist::Fixed(512),
+                resp_size: SizeDist::Fixed(4096),
+                think: TimeDist::Exp { mean_us: 2_000 },
+                slo_p99_us: 250_000,
+                timeout_us: 10_000_000,
+            },
         ]
     }
 }
@@ -388,16 +431,23 @@ mod tests {
     }
 
     #[test]
-    fn catalog_has_all_four_kinds_in_both_scales() {
+    fn catalog_has_all_five_kinds_in_both_scales() {
         for smoke in [false, true] {
             let names: Vec<&str> = catalog(smoke).iter().map(|s| s.name).collect();
             assert_eq!(
                 names,
-                ["request_response", "streaming", "incast", "churn"],
+                [
+                    "request_response",
+                    "streaming",
+                    "incast",
+                    "churn",
+                    "mobility"
+                ],
                 "smoke={smoke}"
             );
         }
         assert!(by_name("churn", true).is_some());
+        assert!(by_name("mobility", true).is_some());
         assert!(by_name("nope", true).is_none());
     }
 }

@@ -27,6 +27,10 @@ pub struct Op {
     /// `FLAG_FINAL` so the server records a clean completion before
     /// the client closes.
     pub last: bool,
+    /// The client rebinds its local address (fresh ephemeral port)
+    /// immediately before issuing this op — the mobility scenario's
+    /// NAT-rebinding injection; always false elsewhere.
+    pub rebind: bool,
 }
 
 /// A fully expanded scenario: the op timeline plus derived load
@@ -68,6 +72,7 @@ pub fn build_schedule(scenario: &Scenario, seed: u64) -> Schedule {
                         req_bytes: scenario.req_size.sample(&mut rng),
                         resp_bytes: scenario.resp_size.sample(&mut rng).max(1),
                         last: req + 1 == requests_per_conn,
+                        rebind: false,
                     });
                     at += scenario.think.sample(&mut rng);
                 }
@@ -89,6 +94,7 @@ pub fn build_schedule(scenario: &Scenario, seed: u64) -> Schedule {
                         req_bytes: scenario.req_size.sample(&mut rng),
                         resp_bytes: scenario.resp_size.sample(&mut rng).max(1),
                         last: chunk + 1 == chunks_per_conn,
+                        rebind: false,
                     });
                     at += scenario.think.sample(&mut rng);
                 }
@@ -111,7 +117,37 @@ pub fn build_schedule(scenario: &Scenario, seed: u64) -> Schedule {
                         req_bytes: scenario.req_size.sample(&mut rng),
                         resp_bytes: scenario.resp_size.sample(&mut rng).max(1),
                         last: wave + 1 == waves,
+                        rebind: false,
                     });
+                }
+            }
+        }
+        ScenarioKind::Mobility {
+            conns: n,
+            requests_per_conn,
+            rebinds,
+        } => {
+            conns = n;
+            let mut start_us = 0u64;
+            for conn in 0..n {
+                start_us += scenario.arrivals.next_gap_us(&mut rng);
+                let mut at = start_us;
+                for req in 0..requests_per_conn {
+                    // Rebind markers sit at the evenly spaced interior
+                    // points of the request sequence (thirds for two
+                    // rebinds), so every migration happens with the
+                    // transfer mid-flight rather than at the edges.
+                    let rebind = (1..=rebinds)
+                        .any(|k| req > 0 && req == k * requests_per_conn / (rebinds + 1));
+                    ops.push(Op {
+                        at_us: at,
+                        conn,
+                        req_bytes: scenario.req_size.sample(&mut rng),
+                        resp_bytes: scenario.resp_size.sample(&mut rng).max(1),
+                        last: req + 1 == requests_per_conn,
+                        rebind,
+                    });
+                    at += scenario.think.sample(&mut rng);
                 }
             }
         }
@@ -126,6 +162,7 @@ pub fn build_schedule(scenario: &Scenario, seed: u64) -> Schedule {
                     req_bytes: scenario.req_size.sample(&mut rng),
                     resp_bytes: scenario.resp_size.sample(&mut rng).max(1),
                     last: true,
+                    rebind: false,
                 });
             }
         }
@@ -198,6 +235,39 @@ mod tests {
                 let last_op = ops.iter().find(|op| op.last).unwrap();
                 assert_eq!(last_op.at_us, max_at, "{} conn {conn}", scenario.name);
             }
+        }
+    }
+
+    #[test]
+    fn mobility_plants_exactly_the_requested_rebinds() {
+        let scenario = catalog(true)
+            .into_iter()
+            .find(|s| s.name == "mobility")
+            .unwrap();
+        let ScenarioKind::Mobility { rebinds, .. } = scenario.kind else {
+            unreachable!();
+        };
+        let sched = build_schedule(&scenario, 11);
+        for conn in 0..sched.conns {
+            let ops: Vec<&Op> = sched.ops.iter().filter(|op| op.conn == conn).collect();
+            let marked = ops.iter().filter(|op| op.rebind).count();
+            assert_eq!(marked, rebinds, "conn {conn}");
+            // Never on the first or last op: a migration needs traffic
+            // on both sides to prove the path survived it.
+            assert!(!ops.first().unwrap().rebind, "conn {conn}");
+            assert!(!ops.last().unwrap().rebind, "conn {conn}");
+        }
+        // Every other scenario stays rebind-free.
+        for scenario in catalog(true) {
+            if scenario.name == "mobility" {
+                continue;
+            }
+            let sched = build_schedule(&scenario, 11);
+            assert!(
+                sched.ops.iter().all(|op| !op.rebind),
+                "{} must not rebind",
+                scenario.name
+            );
         }
     }
 

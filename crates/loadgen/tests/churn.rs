@@ -29,6 +29,7 @@ fn churn_over_loopback_drops_nothing_and_retires_every_connection() {
         seed: 11,
         workers: 1,
         client_threads: 2,
+        ..RunOptions::default()
     };
     let outcome = run_scenario(&scenario, &opts).expect("churn run");
 

@@ -208,6 +208,16 @@ pub struct EndpointStats {
     pub backpressure_drops: CachePadded<RelaxedCell>,
     /// Every datagram the demux pulled off the listen sockets.
     pub datagrams_in: CachePadded<RelaxedCell>,
+    /// Path validations started (rebound addresses quarantined).
+    pub path_validations_started: CachePadded<RelaxedCell>,
+    /// Path validations completed (PATH_RESPONSE matched).
+    pub path_validations_validated: CachePadded<RelaxedCell>,
+    /// Path validations abandoned after bounded retries.
+    pub path_validations_abandoned: CachePadded<RelaxedCell>,
+    /// CID rotations initiated (NEW_CONNECTION_ID issued / received).
+    pub cid_rotations_initiated: CachePadded<RelaxedCell>,
+    /// CID rotations completed (demux now follows the new CID).
+    pub cid_rotations_completed: CachePadded<RelaxedCell>,
 }
 
 /// A point-in-time copy of [`EndpointStats`].
@@ -231,6 +241,16 @@ pub struct EndpointSnapshot {
     pub backpressure_drops: u64,
     /// Every datagram the demux pulled off the listen sockets.
     pub datagrams_in: u64,
+    /// Path validations started (rebound addresses quarantined).
+    pub path_validations_started: u64,
+    /// Path validations completed (PATH_RESPONSE matched).
+    pub path_validations_validated: u64,
+    /// Path validations abandoned after bounded retries.
+    pub path_validations_abandoned: u64,
+    /// CID rotations initiated (NEW_CONNECTION_ID issued / received).
+    pub cid_rotations_initiated: u64,
+    /// CID rotations completed (demux now follows the new CID).
+    pub cid_rotations_completed: u64,
 }
 
 impl EndpointStats {
@@ -246,6 +266,11 @@ impl EndpointStats {
             malformed: self.malformed.get(),
             backpressure_drops: self.backpressure_drops.get(),
             datagrams_in: self.datagrams_in.get(),
+            path_validations_started: self.path_validations_started.get(),
+            path_validations_validated: self.path_validations_validated.get(),
+            path_validations_abandoned: self.path_validations_abandoned.get(),
+            cid_rotations_initiated: self.cid_rotations_initiated.get(),
+            cid_rotations_completed: self.cid_rotations_completed.get(),
         }
     }
 }
@@ -267,6 +292,21 @@ impl EndpointSnapshot {
                 .backpressure_drops
                 .saturating_sub(before.backpressure_drops),
             datagrams_in: self.datagrams_in.saturating_sub(before.datagrams_in),
+            path_validations_started: self
+                .path_validations_started
+                .saturating_sub(before.path_validations_started),
+            path_validations_validated: self
+                .path_validations_validated
+                .saturating_sub(before.path_validations_validated),
+            path_validations_abandoned: self
+                .path_validations_abandoned
+                .saturating_sub(before.path_validations_abandoned),
+            cid_rotations_initiated: self
+                .cid_rotations_initiated
+                .saturating_sub(before.cid_rotations_initiated),
+            cid_rotations_completed: self
+                .cid_rotations_completed
+                .saturating_sub(before.cid_rotations_completed),
         }
     }
 }
@@ -765,6 +805,61 @@ pub fn render_prometheus(snap: &PlaneSnapshot) -> String {
         "datagrams pulled off the listen sockets",
     );
     prom_value(&mut out, "mpq_endpoint_datagrams_in_total", s.datagrams_in);
+    prom_header(
+        &mut out,
+        "mpq_path_validation_started_total",
+        "counter",
+        "path validations started after an address rebind",
+    );
+    prom_value(
+        &mut out,
+        "mpq_path_validation_started_total",
+        s.path_validations_started,
+    );
+    prom_header(
+        &mut out,
+        "mpq_path_validation_validated_total",
+        "counter",
+        "path validations completed by a matching PATH_RESPONSE",
+    );
+    prom_value(
+        &mut out,
+        "mpq_path_validation_validated_total",
+        s.path_validations_validated,
+    );
+    prom_header(
+        &mut out,
+        "mpq_path_validation_abandoned_total",
+        "counter",
+        "path validations abandoned after bounded retries",
+    );
+    prom_value(
+        &mut out,
+        "mpq_path_validation_abandoned_total",
+        s.path_validations_abandoned,
+    );
+    prom_header(
+        &mut out,
+        "mpq_cid_rotation_initiated_total",
+        "counter",
+        "connection-ID rotations initiated",
+    );
+    prom_value(
+        &mut out,
+        "mpq_cid_rotation_initiated_total",
+        s.cid_rotations_initiated,
+    );
+    prom_header(
+        &mut out,
+        "mpq_cid_rotation_completed_total",
+        "counter",
+        "connection-ID rotations the demux completed",
+    );
+    prom_value(
+        &mut out,
+        "mpq_cid_rotation_completed_total",
+        s.cid_rotations_completed,
+    );
     prom_header(
         &mut out,
         "mpq_endpoint_active",

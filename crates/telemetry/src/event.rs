@@ -18,6 +18,9 @@ use serde::Serialize;
 pub enum PathState {
     /// Usable for data.
     Active,
+    /// The path's remote address changed and a PATH_CHALLENGE is
+    /// outstanding; no new data until validation completes.
+    Validating,
     /// An RTO fired without progress; the scheduler avoids it (§4.3).
     PotentiallyFailed,
     /// Abandoned.
@@ -40,6 +43,12 @@ pub enum SchedulerReason {
     /// The packet drains the duplicate queue of the duplicate-while
     /// -RTT-unknown phase: it repeats data already sent elsewhere.
     DuplicateQueue,
+    /// The redundant policy: data rides the primary pick and is
+    /// duplicated onto every other usable path.
+    Redundant,
+    /// The BLEST/ECF-style pick: lowest estimated head-of-line cost
+    /// from srtt, window headroom and bytes in flight.
+    HolAware,
 }
 
 /// A packet left the connection.
@@ -136,8 +145,8 @@ pub struct SchedulerDecision {
     pub chosen_path: PathId,
     /// Paths that were usable with window space at decision time.
     pub candidates: Vec<PathId>,
-    /// Path the data is also duplicated onto, if any.
-    pub duplicate_on: Option<PathId>,
+    /// Paths the data is also duplicated onto (empty when none).
+    pub duplicate_on: Vec<PathId>,
     /// Why this path won.
     pub reason: SchedulerReason,
 }
@@ -218,6 +227,49 @@ pub struct WindowUpdateDuplicated {
     pub paths: Vec<PathId>,
 }
 
+/// A path's remote address changed (NAT rebind / migration) and a
+/// PATH_CHALLENGE was queued: the path is quarantined until the peer
+/// echoes the token.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PathValidationStarted {
+    /// When.
+    pub time: SimTime,
+    /// The path being validated.
+    pub path: PathId,
+}
+
+/// A PATH_RESPONSE matched the outstanding challenge: the rebound
+/// address is proven reachable and the path returns to active.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PathValidated {
+    /// When.
+    pub time: SimTime,
+    /// The validated path.
+    pub path: PathId,
+}
+
+/// Path validation gave up: the challenge timed out after its bounded
+/// retries and the path was abandoned.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PathValidationFailed {
+    /// When.
+    pub time: SimTime,
+    /// The abandoned path.
+    pub path: PathId,
+}
+
+/// The connection switched to a rotated connection ID (NEW/RETIRE
+/// semantics after a validated migration).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CidRotated {
+    /// When.
+    pub time: SimTime,
+    /// The connection ID being retired.
+    pub old_cid: u64,
+    /// The connection ID now in use.
+    pub new_cid: u64,
+}
+
 /// One telemetry event. Serializes as `{"name": "...", "data": {...}}`.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 #[serde(tag = "name", content = "data", rename_all = "snake_case")]
@@ -248,6 +300,14 @@ pub enum Event {
     Handover(Handover),
     /// See [`WindowUpdateDuplicated`].
     WindowUpdateDuplicated(WindowUpdateDuplicated),
+    /// See [`PathValidationStarted`].
+    PathValidationStarted(PathValidationStarted),
+    /// See [`PathValidated`].
+    PathValidated(PathValidated),
+    /// See [`PathValidationFailed`].
+    PathValidationFailed(PathValidationFailed),
+    /// See [`CidRotated`].
+    CidRotated(CidRotated),
 }
 
 impl Event {
@@ -267,6 +327,10 @@ impl Event {
             Event::Rto(e) => e.time,
             Event::Handover(e) => e.time,
             Event::WindowUpdateDuplicated(e) => e.time,
+            Event::PathValidationStarted(e) => e.time,
+            Event::PathValidated(e) => e.time,
+            Event::PathValidationFailed(e) => e.time,
+            Event::CidRotated(e) => e.time,
         }
     }
 
@@ -286,6 +350,10 @@ impl Event {
             Event::Rto(_) => "rto",
             Event::Handover(_) => "handover",
             Event::WindowUpdateDuplicated(_) => "window_update_duplicated",
+            Event::PathValidationStarted(_) => "path_validation_started",
+            Event::PathValidated(_) => "path_validated",
+            Event::PathValidationFailed(_) => "path_validation_failed",
+            Event::CidRotated(_) => "cid_rotated",
         }
     }
 }

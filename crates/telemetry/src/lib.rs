@@ -43,9 +43,10 @@ mod stats;
 mod subscriber;
 
 pub use event::{
-    AckReceived, AckSent, CongestionEvent, Event, FrameRetransmitted, FramesLost, Handover,
-    MetricsUpdated, PacketReceived, PacketSent, PathState, PathStateChanged, Rto,
-    SchedulerDecision, SchedulerReason, WindowUpdateDuplicated,
+    AckReceived, AckSent, CidRotated, CongestionEvent, Event, FrameRetransmitted, FramesLost,
+    Handover, MetricsUpdated, PacketReceived, PacketSent, PathState, PathStateChanged,
+    PathValidated, PathValidationFailed, PathValidationStarted, Rto, SchedulerDecision,
+    SchedulerReason, WindowUpdateDuplicated,
 };
 pub use metrics::{
     LogHistogram, MetricsHandle, MetricsRegistry, MetricsSnapshot, MetricsSubscriber, PathMetrics,

@@ -257,6 +257,10 @@ pub struct PathMetrics {
 pub struct MetricsRegistry {
     paths: BTreeMap<PathId, PathMetrics>,
     handovers: u64,
+    path_validations_started: u64,
+    path_validations_ok: u64,
+    path_validations_failed: u64,
+    cid_rotations: u64,
     events_seen: u64,
 }
 
@@ -320,6 +324,10 @@ impl MetricsRegistry {
         MetricsSnapshot {
             paths,
             handovers: self.handovers,
+            path_validations_started: self.path_validations_started,
+            path_validations_ok: self.path_validations_ok,
+            path_validations_failed: self.path_validations_failed,
+            cid_rotations: self.cid_rotations,
             events_seen: self.events_seen,
         }
     }
@@ -353,8 +361,8 @@ impl Subscriber for MetricsRegistry {
             Event::FrameRetransmitted(e) => self.path(e.from_path).frames_retransmitted += 1,
             Event::SchedulerDecision(e) => {
                 self.path(e.chosen_path).sched_decisions += 1;
-                if let Some(dup) = e.duplicate_on {
-                    self.path(dup).sched_duplicates += 1;
+                for dup in &e.duplicate_on {
+                    self.path(*dup).sched_duplicates += 1;
                 }
             }
             Event::MetricsUpdated(e) => {
@@ -384,6 +392,19 @@ impl Subscriber for MetricsRegistry {
                     self.path(*path).window_updates_duplicated += 1;
                 }
             }
+            Event::PathValidationStarted(e) => {
+                self.path_validations_started += 1;
+                self.path(e.path);
+            }
+            Event::PathValidated(e) => {
+                self.path_validations_ok += 1;
+                self.path(e.path);
+            }
+            Event::PathValidationFailed(e) => {
+                self.path_validations_failed += 1;
+                self.path(e.path);
+            }
+            Event::CidRotated(_) => self.cid_rotations += 1,
         }
     }
 }
@@ -438,6 +459,14 @@ pub struct MetricsSnapshot {
     pub paths: Vec<PathSummary>,
     /// Handover events observed.
     pub handovers: u64,
+    /// Path validations started (rebinds quarantined).
+    pub path_validations_started: u64,
+    /// Path validations that completed successfully.
+    pub path_validations_ok: u64,
+    /// Path validations that timed out and abandoned the path.
+    pub path_validations_failed: u64,
+    /// Connection-ID rotations completed.
+    pub cid_rotations: u64,
     /// Total telemetry events observed.
     pub events_seen: u64,
 }
@@ -632,7 +661,7 @@ mod tests {
                     time: SimTime::ZERO,
                     chosen_path: PathId(path),
                     candidates: vec![PathId(0), PathId(1)],
-                    duplicate_on: None,
+                    duplicate_on: Vec::new(),
                     reason: SchedulerReason::LowestRtt,
                 }));
             }

@@ -39,6 +39,10 @@ pub trait Subscriber: Send {
             Event::Rto(e) => self.on_rto(e),
             Event::Handover(e) => self.on_handover(e),
             Event::WindowUpdateDuplicated(e) => self.on_window_update_duplicated(e),
+            Event::PathValidationStarted(e) => self.on_path_validation_started(e),
+            Event::PathValidated(e) => self.on_path_validated(e),
+            Event::PathValidationFailed(e) => self.on_path_validation_failed(e),
+            Event::CidRotated(e) => self.on_cid_rotated(e),
         }
     }
 
@@ -68,6 +72,14 @@ pub trait Subscriber: Send {
     fn on_handover(&mut self, _event: &Handover) {}
     /// A WINDOW_UPDATE was duplicated across paths.
     fn on_window_update_duplicated(&mut self, _event: &WindowUpdateDuplicated) {}
+    /// A rebound path was quarantined and a PATH_CHALLENGE queued.
+    fn on_path_validation_started(&mut self, _event: &PathValidationStarted) {}
+    /// A PATH_RESPONSE validated a rebound path.
+    fn on_path_validated(&mut self, _event: &PathValidated) {}
+    /// Path validation timed out and the path was abandoned.
+    fn on_path_validation_failed(&mut self, _event: &PathValidationFailed) {}
+    /// The connection switched to a rotated connection ID.
+    fn on_cid_rotated(&mut self, _event: &CidRotated) {}
 }
 
 /// The no-op subscriber: reports itself disabled and ignores everything.

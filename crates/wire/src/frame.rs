@@ -53,6 +53,14 @@ pub enum FrameType {
     AddAddress = 0x10,
     /// Share active-path statistics (paper §3 / §4.3 handover).
     Paths = 0x11,
+    /// Probe a (possibly rebound) path with an unguessable token.
+    PathChallenge = 0x12,
+    /// Echo a PATH_CHALLENGE token, proving the address can receive.
+    PathResponse = 0x13,
+    /// Issue a fresh connection ID the peer may switch to.
+    NewConnectionId = 0x14,
+    /// Retire a previously issued connection ID.
+    RetireConnectionId = 0x15,
 }
 
 impl FrameType {
@@ -70,6 +78,10 @@ impl FrameType {
             0x09 => FrameType::StreamFin,
             0x10 => FrameType::AddAddress,
             0x11 => FrameType::Paths,
+            0x12 => FrameType::PathChallenge,
+            0x13 => FrameType::PathResponse,
+            0x14 => FrameType::NewConnectionId,
+            0x15 => FrameType::RetireConnectionId,
             _ => return None,
         })
     }
@@ -90,6 +102,10 @@ impl FrameType {
             FrameType::StreamFin => "STREAM_FIN",
             FrameType::AddAddress => "ADD_ADDRESS",
             FrameType::Paths => "PATHS",
+            FrameType::PathChallenge => "PATH_CHALLENGE",
+            FrameType::PathResponse => "PATH_RESPONSE",
+            FrameType::NewConnectionId => "NEW_CONNECTION_ID",
+            FrameType::RetireConnectionId => "RETIRE_CONNECTION_ID",
         }
     }
 }
@@ -397,6 +413,31 @@ pub enum Frame {
         /// Entries, one per path the sender considers part of the connection.
         Vec<PathInfo>,
     ),
+    /// Probe a rebound path: the receiver must echo `token` in a
+    /// PATH_RESPONSE before the sender resumes data on that address.
+    PathChallenge {
+        /// Unguessable 64-bit token (fixed 8 bytes on the wire).
+        token: u64,
+    },
+    /// Echo of a PATH_CHALLENGE token. May ride any path; what it
+    /// validates is the address the challenge was sent to.
+    PathResponse {
+        /// The token being echoed.
+        token: u64,
+    },
+    /// Issue a fresh connection ID the peer should migrate to (CID
+    /// rotation after a validated migration).
+    NewConnectionId {
+        /// Monotonic issue sequence number.
+        sequence: u64,
+        /// The new connection ID (fixed 8 bytes on the wire).
+        cid: u64,
+    },
+    /// Tell the issuer a connection ID is no longer in use.
+    RetireConnectionId {
+        /// The issue sequence number being retired.
+        sequence: u64,
+    },
 }
 
 impl Frame {
@@ -415,6 +456,10 @@ impl Frame {
             Frame::Crypto { .. } => FrameType::Crypto,
             Frame::AddAddress(_) => FrameType::AddAddress,
             Frame::Paths(_) => FrameType::Paths,
+            Frame::PathChallenge { .. } => FrameType::PathChallenge,
+            Frame::PathResponse { .. } => FrameType::PathResponse,
+            Frame::NewConnectionId { .. } => FrameType::NewConnectionId,
+            Frame::RetireConnectionId { .. } => FrameType::RetireConnectionId,
         }
     }
 
@@ -466,6 +511,9 @@ impl Frame {
                         })
                         .sum::<usize>()
             }
+            Frame::PathChallenge { .. } | Frame::PathResponse { .. } => 1 + 8,
+            Frame::NewConnectionId { sequence, .. } => 1 + varint_size(*sequence) + 8,
+            Frame::RetireConnectionId { sequence } => 1 + varint_size(*sequence),
         }
     }
 
@@ -548,6 +596,23 @@ impl Frame {
                     buf.put_u8(p.status as u8);
                     put_varint(buf, p.srtt_micros);
                 }
+            }
+            Frame::PathChallenge { token } => {
+                buf.put_u8(FrameType::PathChallenge as u8);
+                buf.put_u64(*token);
+            }
+            Frame::PathResponse { token } => {
+                buf.put_u8(FrameType::PathResponse as u8);
+                buf.put_u64(*token);
+            }
+            Frame::NewConnectionId { sequence, cid } => {
+                buf.put_u8(FrameType::NewConnectionId as u8);
+                put_varint(buf, *sequence);
+                buf.put_u64(*cid);
+            }
+            Frame::RetireConnectionId { sequence } => {
+                buf.put_u8(FrameType::RetireConnectionId as u8);
+                put_varint(buf, *sequence);
             }
         }
     }
@@ -682,6 +747,35 @@ impl Frame {
                 }
                 Frame::Paths(paths)
             }
+            FrameType::PathChallenge => {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError::UnexpectedEnd);
+                }
+                Frame::PathChallenge {
+                    token: buf.get_u64(),
+                }
+            }
+            FrameType::PathResponse => {
+                if buf.remaining() < 8 {
+                    return Err(DecodeError::UnexpectedEnd);
+                }
+                Frame::PathResponse {
+                    token: buf.get_u64(),
+                }
+            }
+            FrameType::NewConnectionId => {
+                let sequence = decode_varint(buf)?;
+                if buf.remaining() < 8 {
+                    return Err(DecodeError::UnexpectedEnd);
+                }
+                Frame::NewConnectionId {
+                    sequence,
+                    cid: buf.get_u64(),
+                }
+            }
+            FrameType::RetireConnectionId => Frame::RetireConnectionId {
+                sequence: decode_varint(buf)?,
+            },
         })
     }
 
@@ -846,6 +940,31 @@ mod tests {
     }
 
     #[test]
+    fn path_challenge_and_response() {
+        let ch = Frame::PathChallenge {
+            token: 0xDEAD_BEEF_CAFE_F00D,
+        };
+        assert_eq!(round_trip(&ch), ch);
+        let resp = Frame::PathResponse { token: u64::MAX };
+        assert_eq!(round_trip(&resp), resp);
+        assert!(ch.is_retransmittable());
+        assert!(resp.is_retransmittable());
+    }
+
+    #[test]
+    fn cid_rotation_frames() {
+        let issue = Frame::NewConnectionId {
+            sequence: 3,
+            cid: 0x1234_5678_9ABC_DEF0,
+        };
+        assert_eq!(round_trip(&issue), issue);
+        let retire = Frame::RetireConnectionId { sequence: 3 };
+        assert_eq!(round_trip(&retire), retire);
+        assert!(issue.is_retransmittable());
+        assert!(retire.is_retransmittable());
+    }
+
+    #[test]
     fn retransmittability() {
         assert!(!Frame::Padding { len: 1 }.is_retransmittable());
         assert!(!Frame::Ack(AckFrame {
@@ -913,6 +1032,17 @@ mod tests {
                 status: PathStatus::Active,
                 srtt_micros: 1000,
             }]),
+            Frame::PathChallenge {
+                token: 0x0123_4567_89AB_CDEF,
+            },
+            Frame::PathResponse {
+                token: 0xFEDC_BA98_7654_3210,
+            },
+            Frame::NewConnectionId {
+                sequence: 300,
+                cid: 0xAAAA_BBBB_CCCC_DDDD,
+            },
+            Frame::RetireConnectionId { sequence: 300 },
         ];
         for frame in samples {
             let mut buf = BytesMut::new();
@@ -969,7 +1099,26 @@ mod tests {
                             .collect(),
                     )
                 });
-        prop_oneof![Just(Frame::Ping), stream, ack, wu, paths,]
+        let challenge = any::<u64>().prop_map(|token| Frame::PathChallenge { token });
+        let response = any::<u64>().prop_map(|token| Frame::PathResponse { token });
+        let new_cid = (any::<u64>(), any::<u64>()).prop_map(|(seq, cid)| Frame::NewConnectionId {
+            sequence: seq & 0x3FFF_FFFF,
+            cid,
+        });
+        let retire_cid = any::<u64>().prop_map(|seq| Frame::RetireConnectionId {
+            sequence: seq & 0x3FFF_FFFF,
+        });
+        prop_oneof![
+            Just(Frame::Ping),
+            stream,
+            ack,
+            wu,
+            paths,
+            challenge,
+            response,
+            new_cid,
+            retire_cid,
+        ]
     }
 
     proptest! {

@@ -165,6 +165,23 @@ fn arb_paths() -> impl Strategy<Value = Frame> {
     })
 }
 
+fn arb_path_challenge() -> impl Strategy<Value = Frame> {
+    proptest::prelude::any::<u64>().prop_map(|token| Frame::PathChallenge { token })
+}
+
+fn arb_path_response() -> impl Strategy<Value = Frame> {
+    proptest::prelude::any::<u64>().prop_map(|token| Frame::PathResponse { token })
+}
+
+fn arb_new_connection_id() -> impl Strategy<Value = Frame> {
+    (0u64..(1 << 40), proptest::prelude::any::<u64>())
+        .prop_map(|(sequence, cid)| Frame::NewConnectionId { sequence, cid })
+}
+
+fn arb_retire_connection_id() -> impl Strategy<Value = Frame> {
+    (0u64..(1 << 40)).prop_map(|sequence| Frame::RetireConnectionId { sequence })
+}
+
 /// Names the variant of a frame. The match is deliberately exhaustive and
 /// wildcard-free: adding a variant to `Frame` without updating this suite
 /// (and thus `arb_any_frame`) is a compile error here.
@@ -181,6 +198,10 @@ fn variant_name(frame: &Frame) -> &'static str {
         Frame::Crypto { .. } => "Crypto",
         Frame::AddAddress(_) => "AddAddress",
         Frame::Paths(_) => "Paths",
+        Frame::PathChallenge { .. } => "PathChallenge",
+        Frame::PathResponse { .. } => "PathResponse",
+        Frame::NewConnectionId { .. } => "NewConnectionId",
+        Frame::RetireConnectionId { .. } => "RetireConnectionId",
     }
 }
 
@@ -197,6 +218,10 @@ fn arb_any_frame() -> impl Strategy<Value = Frame> {
         arb_crypto(),
         arb_add_address(),
         arb_paths(),
+        arb_path_challenge(),
+        arb_path_response(),
+        arb_new_connection_id(),
+        arb_retire_connection_id(),
     ]
 }
 
@@ -257,6 +282,26 @@ proptest! {
     #[test]
     fn prop_gen_paths(f in arb_paths()) {
         prop_assert_eq!(variant_name(&f), "Paths");
+        prop_assert_eq!(round_trip(&f), f);
+    }
+    #[test]
+    fn prop_gen_path_challenge(f in arb_path_challenge()) {
+        prop_assert_eq!(variant_name(&f), "PathChallenge");
+        prop_assert_eq!(round_trip(&f), f);
+    }
+    #[test]
+    fn prop_gen_path_response(f in arb_path_response()) {
+        prop_assert_eq!(variant_name(&f), "PathResponse");
+        prop_assert_eq!(round_trip(&f), f);
+    }
+    #[test]
+    fn prop_gen_new_connection_id(f in arb_new_connection_id()) {
+        prop_assert_eq!(variant_name(&f), "NewConnectionId");
+        prop_assert_eq!(round_trip(&f), f);
+    }
+    #[test]
+    fn prop_gen_retire_connection_id(f in arb_retire_connection_id()) {
+        prop_assert_eq!(variant_name(&f), "RetireConnectionId");
         prop_assert_eq!(round_trip(&f), f);
     }
 

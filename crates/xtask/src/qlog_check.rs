@@ -226,7 +226,7 @@ mod tests {
         let trace = concat!(
             r#"{"name":"packet_sent","data":{"time":0.001,"path":0,"packet_number":0,"size":66,"ack_eliciting":true}}"#,
             "\n",
-            r#"{"name":"scheduler_decision","data":{"chosen_path":1,"candidates":[0,1],"duplicate_on":null,"reason":"lowest_rtt"}}"#,
+            r#"{"name":"scheduler_decision","data":{"chosen_path":1,"candidates":[0,1],"duplicate_on":[],"reason":"lowest_rtt"}}"#,
             "\n\n",
             r#"{"name":"metrics_updated","data":{"path":1,"srtt_us":1402,"rttvar_us":-3,"cwnd":1.5e4}}"#,
             "\n",
