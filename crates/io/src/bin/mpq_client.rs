@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! mpq-client --connect ADDR [--local ADDR]... [--file PATH | --size BYTES]
-//!            [--single-path | --multipath] [--scheduler NAME] [--qlog FILE]
+//!            [--single-path | --multipath] [--scheduler NAME]
+//!            [--backend auto|uring|mmsg|portable] [--qlog FILE]
 //!            [--stats-interval SECS] [--name NAME] [--seed N] [--timeout SECS]
 //! ```
 //!
@@ -17,7 +18,8 @@
 
 use mpquic_core::Config;
 use mpquic_io::cli::{
-    entropy_seed, install_telemetry, print_report, scheduler_kind, stats_interval, Args,
+    backend_choice, entropy_seed, install_telemetry, print_report, scheduler_kind, stats_interval,
+    Args,
 };
 use mpquic_io::{quic_client, transfer, BlockingStream};
 use std::net::SocketAddr;
@@ -35,11 +37,13 @@ fn run() -> Result<(), String> {
     if args.has("help") {
         println!(
             "usage: mpq-client --connect ADDR [--local ADDR]... [--file PATH | --size BYTES] \
-             [--single-path|--multipath] [--scheduler NAME] [--qlog FILE] \
+             [--single-path|--multipath] [--scheduler NAME] \
+             [--backend auto|uring|mmsg|portable] [--qlog FILE] \
              [--stats-interval SECS] [--name NAME] [--seed N] [--timeout SECS]"
         );
         return Ok(());
     }
+    mpquic_io::backend::set_default_choice(backend_choice(&args)?);
 
     let remote: SocketAddr = args
         .value("connect")
@@ -141,6 +145,7 @@ fn run() -> Result<(), String> {
         &driver.stats(),
         &driver.socket_drops(),
         driver.batch_stats(),
+        (driver.backend_kind(), &driver.backend_stats()),
         elapsed,
         Some(&metrics.snapshot()),
     );

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! mpq-server [--listen ADDR]... [--single-path | --multipath]
-//!            [--scheduler NAME] [--max-conns N] [--workers N]
+//!            [--scheduler NAME] [--backend auto|uring|mmsg|portable]
+//!            [--max-conns N] [--workers N]
 //!            [--seed N] [--timeout SECS]
 //!            [--metrics-addr ADDR] [--metrics-json FILE]
 //!            [--metrics-interval SECS] [--flight-dump FILE]
@@ -35,7 +36,8 @@
 
 use mpquic_core::Config;
 use mpquic_io::cli::{
-    entropy_seed, metrics_addr, metrics_interval, print_endpoint_report, scheduler_kind, Args,
+    backend_choice, entropy_seed, metrics_addr, metrics_interval, print_endpoint_report,
+    scheduler_kind, Args,
 };
 use mpquic_io::{Endpoint, TransferApp};
 use mpquic_telemetry::endpoint::{MetricsServer, SnapshotWriter};
@@ -54,12 +56,16 @@ fn run() -> Result<(), String> {
     if args.has("help") {
         println!(
             "usage: mpq-server [--listen ADDR]... [--single-path|--multipath] \
-             [--scheduler NAME] [--max-conns N] [--workers N] [--seed N] \
+             [--scheduler NAME] [--backend auto|uring|mmsg|portable] \
+             [--max-conns N] [--workers N] [--seed N] \
              [--timeout SECS] [--metrics-addr ADDR] [--metrics-json FILE] \
              [--metrics-interval SECS] [--flight-dump FILE]"
         );
         return Ok(());
     }
+    // Every socket registry this process binds (listen registry and the
+    // per-shard send handles alike) follows the chosen backend.
+    mpquic_io::backend::set_default_choice(backend_choice(&args)?);
 
     let mut listen = args.addrs("listen")?;
     if listen.is_empty() {

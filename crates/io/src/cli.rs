@@ -8,6 +8,7 @@ use mpquic_core::{Connection, SchedulerKind};
 use std::net::SocketAddr;
 use std::time::Duration;
 
+use crate::backend::{BackendChoice, BackendKind, BackendStats};
 use crate::driver::IoStats;
 use crate::socket::BatchStats;
 
@@ -121,6 +122,17 @@ pub fn scheduler_kind(args: &Args) -> Result<Option<SchedulerKind>, String> {
     }
 }
 
+/// Parses the binaries' `--backend NAME` flag into a
+/// [`BackendChoice`]; [`BackendChoice::Auto`] (probe the ladder) when
+/// the flag was not given. The shared `FromStr` impl supplies the
+/// error message, which lists every valid backend name.
+pub fn backend_choice(args: &Args) -> Result<BackendChoice, String> {
+    match args.value("backend") {
+        Some(raw) => raw.parse().map_err(|e| format!("--backend: {e}")),
+        None => Ok(BackendChoice::Auto),
+    }
+}
+
 /// Parses `mpq-server`'s `--metrics-addr HOST:PORT` flag — where the
 /// [`mpquic_core::telemetry`]-independent scrape server
 /// (`mpquic_telemetry::endpoint::MetricsServer`) should listen; `None`
@@ -188,6 +200,7 @@ pub fn print_report(
     io: &IoStats,
     socket_drops: &[(SocketAddr, u64)],
     batch: &BatchStats,
+    backend: (BackendKind, &BackendStats),
     elapsed_secs: f64,
     metrics: Option<&MetricsSnapshot>,
 ) {
@@ -249,6 +262,19 @@ pub fn print_report(
             batch.syscalls_saved,
         );
     }
+    let (backend_kind, backend) = backend;
+    if backend.submissions > 0 || backend.fallbacks > 0 {
+        println!(
+            "backend: {} — {} submissions, {} completions, {} fallbacks \
+             (batch mean {}, max {})",
+            backend_kind,
+            backend.submissions,
+            backend.completions,
+            backend.fallbacks,
+            backend.sqe_batch.mean(),
+            backend.sqe_batch.max(),
+        );
+    }
     if elapsed_secs > 0.0 {
         let goodput = stats.bytes_sent.max(stats.bytes_received) as f64 * 8.0 / elapsed_secs / 1e6;
         println!("elapsed: {elapsed_secs:.3} s ({goodput:.2} Mbit/s on the busier direction)");
@@ -293,6 +319,18 @@ pub fn print_endpoint_report(label: &str, report: &crate::EndpointReport, elapse
             batch.send_batch_size.mean(),
             batch.send_batch_size.max(),
             batch.syscalls_saved,
+        );
+    }
+    let backend = report.merged_backend();
+    if backend.submissions > 0 || backend.fallbacks > 0 {
+        println!(
+            "backend: {} submissions, {} completions, {} fallbacks \
+             (batch mean {}, max {})",
+            backend.submissions,
+            backend.completions,
+            backend.fallbacks,
+            backend.sqe_batch.mean(),
+            backend.sqe_batch.max(),
         );
     }
     println!(
@@ -386,6 +424,25 @@ mod tests {
             assert_eq!(scheduler_kind(&a).unwrap(), Some(kind));
         }
         assert_eq!(scheduler_kind(&args(&[])).unwrap(), None);
+    }
+
+    #[test]
+    fn backend_flag_parses_every_arm() {
+        for name in BackendChoice::NAMES {
+            let a = args(&["--backend", name]);
+            assert_eq!(backend_choice(&a).unwrap().to_string(), name);
+        }
+        assert_eq!(backend_choice(&args(&[])).unwrap(), BackendChoice::Auto);
+    }
+
+    #[test]
+    fn bad_backend_name_lists_the_valid_ones() {
+        let a = args(&["--backend", "dpdk"]);
+        let err = backend_choice(&a).unwrap_err();
+        assert!(err.contains("--backend"), "{err}");
+        for name in BackendChoice::NAMES {
+            assert!(err.contains(name), "{err} missing {name}");
+        }
     }
 
     #[test]

@@ -162,6 +162,17 @@ impl<T: Transport> Driver<T> {
         self.sockets.batch_stats()
     }
 
+    /// Which datapath backend the socket registry is running on.
+    pub fn backend_kind(&self) -> crate::BackendKind {
+        self.sockets.backend_kind()
+    }
+
+    /// Datapath backend telemetry (submissions, completions,
+    /// batch-size histogram, fallbacks).
+    pub fn backend_stats(&self) -> crate::BackendStats {
+        self.sockets.backend_stats()
+    }
+
     /// Send-buffer drops broken down by local socket, in bind order.
     pub fn socket_drops(&self) -> Vec<(SocketAddr, u64)> {
         self.sockets.send_drops_per_socket()

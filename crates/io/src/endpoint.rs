@@ -197,6 +197,16 @@ impl EndpointReport {
         }
         batch
     }
+
+    /// All shards' datapath-backend telemetry folded into one
+    /// [`crate::BackendStats`].
+    pub fn merged_backend(&self) -> crate::BackendStats {
+        let mut backend = crate::BackendStats::default();
+        for shard in &self.shards {
+            backend.merge(&shard.backend);
+        }
+        backend
+    }
 }
 
 /// A multi-connection server endpoint: shared listen sockets, a demux
@@ -704,6 +714,9 @@ fn run_demux(
 ) {
     let mut batch = RecvBatch::new(DEMUX_BATCH);
     let mut backoff = Backoff::new();
+    // The listen registry's ingress-side backend counters, published
+    // as deltas like each shard's egress-side ones.
+    let mut prev_backend = crate::BackendStats::default();
 
     loop {
         // 1. Feedback from the shards: recycled buffers, retired CIDs.
@@ -718,6 +731,7 @@ fn run_demux(
                 core.route(meta, payload);
             }
             core.sample_occupancy();
+            crate::shard::publish_backend_delta(&core.plane, &mut prev_backend, &sockets);
         }
 
         // Acquire pairs with the Release store in `Endpoint::shutdown`.
@@ -731,6 +745,7 @@ fn run_demux(
         }
     }
 
+    crate::shard::publish_backend_delta(&core.plane, &mut prev_backend, &sockets);
     core.finish(&ctl_rx);
 }
 
@@ -774,6 +789,7 @@ fn run_unified(mut state: UnifiedState) -> ShardReport {
     // telemetry as `run_shard`, minus the channel tallies (there is no
     // channel on this path).
     let mut was_idle = true;
+    let mut prev_backend = crate::BackendStats::default();
 
     loop {
         let iter_start = Instant::now();
@@ -862,6 +878,7 @@ fn run_unified(mut state: UnifiedState) -> ShardReport {
                 .loop_ns
                 .record(iter_start.elapsed().as_nanos() as u64);
             shard_plane.conns_active.set(core.len() as u64);
+            crate::shard::publish_backend_delta(&state.plane, &mut prev_backend, &state.sockets);
         }
         was_idle = !progressed;
 
@@ -876,5 +893,6 @@ fn run_unified(mut state: UnifiedState) -> ShardReport {
         }
     }
 
+    crate::shard::publish_backend_delta(&state.plane, &mut prev_backend, &state.sockets);
     core.into_report(0, &state.sockets)
 }

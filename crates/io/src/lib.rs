@@ -58,10 +58,12 @@
 //! ```
 
 // `deny`, not `forbid`: the batched datapath's `sendmmsg`/`recvmmsg`
-// FFI lives behind one scoped `#[allow(unsafe_code)]` in [`mmsg`].
+// FFI lives behind one scoped `#[allow(unsafe_code)]` in [`mmsg`], and
+// the io_uring ring FFI behind another in [`uring`].
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod backoff;
 pub mod cli;
 pub mod clock;
@@ -69,13 +71,17 @@ pub mod driver;
 pub mod endpoint;
 pub mod error;
 pub mod mmsg;
+pub mod probe;
 pub mod rpc;
 pub mod shard;
 pub mod socket;
 pub mod stream;
 pub mod timer;
 pub mod transfer;
+#[cfg(target_os = "linux")]
+pub mod uring;
 
+pub use backend::{Backend, BackendChoice, BackendKind, BackendStats};
 pub use backoff::Backoff;
 pub use clock::Clock;
 pub use driver::{quic_client, quic_server, Driver, IoStats};

@@ -28,8 +28,14 @@
 //! dependency-free, so the Linux half carries its own `extern "C"`
 //! declarations and `#[repr(C)]` layouts (matching `struct msghdr`,
 //! `struct mmsghdr`, `struct iovec` and the `sockaddr` family on glibc
-//! and musl). All unsafe code in the crate lives behind this module's
-//! scoped `#[allow(unsafe_code)]`.
+//! and musl). Those layouts are shared with the io_uring backend
+//! ([`crate::uring`]), which submits the same `msghdr` shapes through
+//! SQEs instead of direct syscalls. All unsafe code in the crate lives
+//! behind the scoped `#[allow(unsafe_code)]` here and in `uring`.
+//!
+//! This module is also the middle rung of the backend ladder: the
+//! [`crate::backend::MmsgBackend`] wraps these functions behind the
+//! [`crate::backend::Backend`] trait.
 
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
@@ -108,11 +114,29 @@ pub fn set_buffer_sizes(socket: &UdpSocket, bytes: usize) {
     imp::set_buffer_sizes(socket, bytes);
 }
 
+impl MmsgScratch {
+    /// True once this scratch's GSO probe flipped to unsupported (the
+    /// sticky `UDP_SEGMENT` fallback; always `false` off-Linux). The
+    /// [`crate::backend::MmsgBackend`] watches this to count rung drops.
+    pub fn gso_unsupported(&self) -> bool {
+        self.inner.gso_unsupported()
+    }
+}
+
+/// The kernel `msghdr`/`sockaddr` layouts, shared with the io_uring
+/// backend which builds the same structures for its SQEs.
+#[cfg(target_os = "linux")]
+pub(crate) use imp::{
+    decode_sockaddr, encode_sockaddr, GsoControl, IoVec, MsgHdr, SockaddrStorage, MAX_GSO_BYTES,
+    UDP_MAX_SEGMENTS,
+};
+
 /// Linux: real `sendmmsg`/`recvmmsg` through hand-declared FFI.
 #[cfg(target_os = "linux")]
 #[allow(unsafe_code)]
 mod imp {
     use super::{SocketAddr, UdpSocket, MAX_BATCH};
+    use crate::probe::ProbeState;
     use std::io;
     use std::net::{Ipv6Addr, SocketAddrV6};
     use std::os::fd::AsRawFd;
@@ -124,15 +148,15 @@ mod imp {
     const SOL_UDP: i32 = 17;
     const UDP_SEGMENT: i32 = 103;
     /// The kernel refuses GSO trains beyond these bounds.
-    const UDP_MAX_SEGMENTS: usize = 64;
-    const MAX_GSO_BYTES: usize = 65_507;
+    pub(crate) const UDP_MAX_SEGMENTS: usize = 64;
+    pub(crate) const MAX_GSO_BYTES: usize = 65_507;
 
     /// `struct iovec`.
     #[repr(C)]
     #[derive(Debug)]
-    pub(super) struct IoVec {
-        base: *mut std::ffi::c_void,
-        len: usize,
+    pub(crate) struct IoVec {
+        pub(crate) base: *mut std::ffi::c_void,
+        pub(crate) len: usize,
     }
 
     /// `struct msghdr` (glibc/musl layout; the compiler inserts the
@@ -140,14 +164,14 @@ mod imp {
     /// carries on 64-bit targets).
     #[repr(C)]
     #[derive(Debug)]
-    pub(super) struct MsgHdr {
-        name: *mut std::ffi::c_void,
-        namelen: u32,
-        iov: *mut IoVec,
-        iovlen: usize,
-        control: *mut std::ffi::c_void,
-        controllen: usize,
-        flags: i32,
+    pub(crate) struct MsgHdr {
+        pub(crate) name: *mut std::ffi::c_void,
+        pub(crate) namelen: u32,
+        pub(crate) iov: *mut IoVec,
+        pub(crate) iovlen: usize,
+        pub(crate) control: *mut std::ffi::c_void,
+        pub(crate) controllen: usize,
+        pub(crate) flags: i32,
     }
 
     /// `struct mmsghdr`.
@@ -162,7 +186,7 @@ mod imp {
     /// enough for any address family.
     #[repr(C, align(8))]
     #[derive(Debug, Clone, Copy)]
-    pub(super) struct SockaddrStorage {
+    pub(crate) struct SockaddrStorage {
         data: [u8; 128],
     }
 
@@ -215,19 +239,38 @@ mod imp {
         }
     }
 
-    #[derive(Debug, Default)]
+    #[derive(Debug)]
     pub(super) struct Scratch {
         hdrs: Vec<MMsgHdr>,
         iovs: Vec<IoVec>,
         addrs: Vec<SockaddrStorage>,
-        /// `true` once `UDP_SEGMENT` proved unavailable; sticks for the
-        /// scratch's lifetime so every later train goes via `sendmmsg`.
-        gso_unsupported: bool,
+        /// Sticky `UDP_SEGMENT` probe: once unsupported, every later
+        /// train goes via `sendmmsg` (shared fallback machinery with
+        /// the backend ladder, see [`crate::probe`]).
+        gso: ProbeState,
+    }
+
+    impl Default for Scratch {
+        fn default() -> Scratch {
+            Scratch {
+                hdrs: Vec::new(),
+                iovs: Vec::new(),
+                addrs: Vec::new(),
+                gso: ProbeState::new("UDP GSO"),
+            }
+        }
+    }
+
+    impl Scratch {
+        pub(super) fn gso_unsupported(&self) -> bool {
+            self.gso.is_unsupported()
+        }
     }
 
     /// `struct cmsghdr` (64-bit glibc/musl layout).
     #[repr(C)]
-    struct CmsgHdr {
+    #[derive(Debug)]
+    pub(crate) struct CmsgHdr {
         len: usize,
         level: i32,
         ty: i32,
@@ -243,7 +286,8 @@ mod imp {
     /// socket: fd-level state set by one thread would silently
     /// re-segment (or un-segment) another thread's in-flight train.
     #[repr(C, align(8))]
-    struct GsoControl {
+    #[derive(Debug)]
+    pub(crate) struct GsoControl {
         hdr: CmsgHdr,
         seg: u16,
         _pad: [u8; 6],
@@ -253,7 +297,7 @@ mod imp {
         /// `CMSG_LEN(sizeof(u16))`: header plus payload, no tail pad.
         const CMSG_LEN: usize = std::mem::size_of::<CmsgHdr>() + std::mem::size_of::<u16>();
 
-        fn new(segment_size: usize) -> GsoControl {
+        pub(crate) fn new(segment_size: usize) -> GsoControl {
             GsoControl {
                 hdr: CmsgHdr {
                     len: GsoControl::CMSG_LEN,
@@ -303,15 +347,14 @@ mod imp {
             return Ok(Some((segments, 1)));
         }
         let e = io::Error::last_os_error();
-        match e.raw_os_error() {
-            // EINVAL/EIO/EMSGSIZE/EOPNOTSUPP: this socket or device
-            // cannot GSO. Let the caller use the sendmmsg path from now
-            // on; nothing to undo since the fd itself was never touched.
-            Some(5) | Some(22) | Some(90) | Some(95) => {
-                s.gso_unsupported = true;
-                Ok(None)
-            }
-            _ => Err(e),
+        // EINVAL/EIO/EMSGSIZE/EOPNOTSUPP (see `probe::UNSUPPORTED_ERRNOS`):
+        // this socket or device cannot GSO. Let the caller use the
+        // sendmmsg path from now on; nothing to undo since the fd itself
+        // was never touched.
+        if s.gso.observe(&e, "sendmmsg") {
+            Ok(None)
+        } else {
+            Err(e)
         }
     }
 
@@ -324,7 +367,7 @@ mod imp {
 
     /// Writes `addr` into `out` in kernel wire layout; returns the
     /// `sockaddr` length to pass as `msg_namelen`.
-    fn encode_sockaddr(addr: &SocketAddr, out: &mut SockaddrStorage) -> u32 {
+    pub(crate) fn encode_sockaddr(addr: &SocketAddr, out: &mut SockaddrStorage) -> u32 {
         out.data = [0; 128];
         match addr {
             SocketAddr::V4(v4) => {
@@ -360,7 +403,7 @@ mod imp {
     }
 
     /// Parses a kernel-written `sockaddr` back into a `SocketAddr`.
-    fn decode_sockaddr(storage: &SockaddrStorage) -> Option<SocketAddr> {
+    pub(crate) fn decode_sockaddr(storage: &SockaddrStorage) -> Option<SocketAddr> {
         let mut it = storage.data.iter().copied();
         let family = u16::from_ne_bytes([it.next()?, it.next()?]);
         match family {
@@ -397,7 +440,7 @@ mod imp {
     ) -> io::Result<(usize, usize)> {
         let segments = payload.len().div_ceil(segment_size);
         if segments > 1
-            && !s.gso_unsupported
+            && !s.gso.is_unsupported()
             && segments <= UDP_MAX_SEGMENTS
             && payload.len() <= MAX_GSO_BYTES
         {
@@ -520,6 +563,12 @@ mod imp {
 
     #[derive(Debug, Default)]
     pub(super) struct Scratch;
+
+    impl Scratch {
+        pub(super) fn gso_unsupported(&self) -> bool {
+            false
+        }
+    }
 
     pub(super) fn set_buffer_sizes(_socket: &UdpSocket, _bytes: usize) {
         // No portable std API for SO_RCVBUF/SO_SNDBUF; platform defaults

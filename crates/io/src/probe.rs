@@ -1,0 +1,130 @@
+//! Sticky feature probes: "tried it once, the kernel said no, stop
+//! asking".
+//!
+//! Two datapath features degrade this way instead of erroring: UDP GSO
+//! (`UDP_SEGMENT` refused with `EINVAL`/`EIO`/`EMSGSIZE`/`EOPNOTSUPP`
+//! on sockets or devices that cannot segment) and whole IO backends
+//! (`io_uring_setup` refused with `ENOSYS` on old kernels or `EPERM`
+//! under the `io_uring_disabled` sysctl). Both share [`ProbeState`]:
+//! one sticky `unsupported` bit per probed thing, flipped by the first
+//! refusal, plus a rate-limited warning so a fleet log shows *one* line
+//! per fallback, not one per train.
+//!
+//! The state is deliberately per-instance (per socket-registry clone,
+//! matching the old `gso_unsupported` flag in `mmsg.rs`): a shard that
+//! rebinds onto a device with different offloads re-probes with its own
+//! state instead of inheriting a stale verdict.
+
+use std::io;
+
+/// Errnos that mean "this feature does not exist here" rather than
+/// "this call was wrong": `EPERM`, `EIO`, `EINVAL`, `ENOSYS`,
+/// `EMSGSIZE`, `EOPNOTSUPP`. First refusal with one of these flips the
+/// probe to unsupported; anything else stays an ordinary error.
+pub const UNSUPPORTED_ERRNOS: [i32; 6] = [1, 5, 22, 38, 90, 95];
+
+/// True when `err` carries an errno from [`UNSUPPORTED_ERRNOS`] — the
+/// classification both the GSO fallback and the backend ladder use.
+pub fn is_unsupported(err: &io::Error) -> bool {
+    err.raw_os_error()
+        .is_some_and(|errno| UNSUPPORTED_ERRNOS.contains(&errno))
+}
+
+/// One probed feature's sticky verdict.
+#[derive(Debug)]
+pub struct ProbeState {
+    /// What is being probed, for the one-line warning ("UDP GSO",
+    /// "io_uring backend").
+    feature: &'static str,
+    unsupported: bool,
+    /// The warning fired (rate limit: once per state, i.e. once per
+    /// registry clone, not once per datagram train).
+    warned: bool,
+}
+
+impl ProbeState {
+    /// A fresh probe: optimistic until the kernel refuses.
+    pub fn new(feature: &'static str) -> ProbeState {
+        ProbeState {
+            feature,
+            unsupported: false,
+            warned: false,
+        }
+    }
+
+    /// True once the feature proved unavailable; callers skip it from
+    /// then on (the sticky half of the fallback ladder).
+    pub fn is_unsupported(&self) -> bool {
+        self.unsupported
+    }
+
+    /// Classifies `err`. An [`UNSUPPORTED_ERRNOS`] errno marks the
+    /// feature unsupported (sticky), logs the one rate-limited warning,
+    /// and returns `true` — the caller falls back and retries, losing
+    /// nothing. Any other error returns `false` and stays the caller's
+    /// problem.
+    pub fn observe(&mut self, err: &io::Error, fallback: &'static str) -> bool {
+        if !is_unsupported(err) {
+            return false;
+        }
+        self.unsupported = true;
+        self.warn(err, fallback);
+        true
+    }
+
+    /// Marks the feature unsupported without an errno in hand (e.g. a
+    /// forced arm that failed construction), with the same one-shot
+    /// warning.
+    pub fn mark_unsupported(&mut self, err: &io::Error, fallback: &'static str) {
+        self.unsupported = true;
+        self.warn(err, fallback);
+    }
+
+    fn warn(&mut self, err: &io::Error, fallback: &'static str) {
+        if self.warned {
+            return;
+        }
+        self.warned = true;
+        eprintln!(
+            "warn: {} unavailable ({err}); falling back to {fallback}",
+            self.feature
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsupported_errnos_flip_sticky_bit() {
+        for errno in UNSUPPORTED_ERRNOS {
+            let mut probe = ProbeState::new("test feature");
+            let err = io::Error::from_raw_os_error(errno);
+            assert!(probe.observe(&err, "next rung"), "errno {errno}");
+            assert!(probe.is_unsupported());
+        }
+    }
+
+    #[test]
+    fn ordinary_errors_do_not_flip() {
+        let mut probe = ProbeState::new("test feature");
+        let err = io::Error::from_raw_os_error(11); // EAGAIN
+        assert!(!probe.observe(&err, "next rung"));
+        assert!(!probe.is_unsupported());
+        let err = io::Error::new(io::ErrorKind::Other, "no errno at all");
+        assert!(!probe.observe(&err, "next rung"));
+        assert!(!probe.is_unsupported());
+    }
+
+    #[test]
+    fn verdict_is_sticky() {
+        let mut probe = ProbeState::new("test feature");
+        let err = io::Error::from_raw_os_error(38); // ENOSYS
+        assert!(probe.observe(&err, "next rung"));
+        assert!(probe.is_unsupported());
+        // A later success path never un-marks; callers simply stop
+        // trying the feature.
+        assert!(probe.is_unsupported());
+    }
+}

@@ -32,6 +32,7 @@ use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::time::Instant;
 
+use crate::backend::BackendStats;
 use crate::backoff::Backoff;
 use crate::clock::Clock;
 use crate::driver::IoStats;
@@ -144,6 +145,9 @@ pub struct ShardReport {
     pub io: IoStats,
     /// Datapath batching telemetry for this shard's send handle.
     pub batch: BatchStats,
+    /// Datapath backend telemetry (submissions/completions/fallbacks)
+    /// for this shard's send handle.
+    pub backend: BackendStats,
     /// Connections this shard ever owned.
     pub conns_served: u64,
 }
@@ -495,7 +499,18 @@ impl ShardCore {
 
         for cid in self.reap.drain(..) {
             self.conns.remove(&cid);
-            self.aliases.retain(|_, canonical| *canonical != cid);
+            // Any live aliases of the reaped connection die with it;
+            // surface each as an unmap so the routing layer tombstones
+            // them — a straggler carrying a rotated CID must be dropped,
+            // not re-enter the accept path as a phantom connection.
+            self.aliases.retain(|&alias, &mut canonical| {
+                if canonical == cid {
+                    on_route(CidRouteOp::Unmap { cid: alias });
+                    false
+                } else {
+                    true
+                }
+            });
             on_retire(cid);
             progressed = true;
         }
@@ -516,6 +531,7 @@ impl ShardCore {
             shard,
             io,
             batch: batch.clone(),
+            backend: sockets.backend_stats(),
             conns_served: self.conns_served,
         }
     }
@@ -550,6 +566,10 @@ pub(crate) fn run_shard(
     let mut disconnected = false;
     let shard_plane = plane.shard(shard);
     let mut was_idle = true;
+    // Last-published backend counters: each busy iteration folds only
+    // the delta into the shared plane (the copy is a fixed-size struct,
+    // so the fold allocates nothing on the datapath).
+    let mut prev_backend = BackendStats::default();
 
     loop {
         let iter_start = Instant::now();
@@ -592,6 +612,7 @@ pub(crate) fn run_shard(
                 .loop_ns
                 .record(iter_start.elapsed().as_nanos() as u64);
             shard_plane.conns_active.set(core.len() as u64);
+            publish_backend_delta(&plane, &mut prev_backend, &sockets);
         }
         was_idle = !progressed;
 
@@ -614,7 +635,36 @@ pub(crate) fn run_shard(
     if flushed > 0 {
         shard_plane.queue_received.add(flushed as u64);
     }
+    publish_backend_delta(&plane, &mut prev_backend, &sockets);
     core.into_report(shard, &sockets)
+}
+
+/// Folds the registry's backend counters since the last publish into
+/// the shared plane's `mpq_backend_*` family. Delta-based so the loop
+/// can call it every busy iteration without double counting, and
+/// allocation-free (the stats copy is a fixed-size struct).
+pub(crate) fn publish_backend_delta(
+    plane: &EndpointPlane,
+    prev: &mut BackendStats,
+    sockets: &SocketRegistry,
+) {
+    let cur = sockets.backend_stats();
+    plane
+        .stats
+        .backend_submissions
+        .add(cur.submissions.saturating_sub(prev.submissions));
+    plane
+        .stats
+        .backend_completions
+        .add(cur.completions.saturating_sub(prev.completions));
+    plane
+        .stats
+        .backend_fallbacks
+        .add(cur.fallbacks.saturating_sub(prev.fallbacks));
+    plane
+        .backend_sqe_batch
+        .merge_delta(&cur.sqe_batch, &prev.sqe_batch);
+    *prev = cur;
 }
 
 #[cfg(test)]

@@ -8,10 +8,16 @@
 //! source address (that is how a `Transmit` selects its path at the OS
 //! level).
 //!
-//! The hot paths are *batched* (see [`crate::mmsg`]): [`send_train`]
-//! fans a GSO-shaped segment train out in one `sendmmsg` call and
-//! [`poll_recv_batch`] fills a [`RecvBatch`] with one `recvmmsg` call
-//! per socket, round-robining so a busy path cannot starve a quiet one.
+//! The hot paths are *batched* and run through a pluggable
+//! [`Backend`] (see [`crate::backend`]): [`send_train`] fans a
+//! GSO-shaped segment train out in one submission (an io_uring SQE
+//! chain, a `sendmmsg` call, or a portable loop, whichever the ladder
+//! probed into) and [`poll_recv_batch`] fills a [`RecvBatch`] with one
+//! batched receive per socket, round-robining so a busy path cannot
+//! starve a quiet one. A backend that turns out unsupported at runtime
+//! (`ENOSYS`/`EPERM`, see [`crate::probe`]) is swapped for the next
+//! rung down *mid-train*: the registry retries the unsent suffix on
+//! the replacement, so a probe failure never loses queued datagrams.
 //! Per-batch telemetry ([`BatchStats`]) records the datagrams-per-
 //! syscall histogram and the syscalls saved versus a one-at-a-time
 //! loop. The one-at-a-time [`SocketRegistry::send_from`] /
@@ -27,8 +33,10 @@ use mpquic_telemetry::LogHistogram;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 
+use crate::backend::{self, Backend, BackendChoice, BackendKind, BackendStats};
 use crate::backoff::Backoff;
-use crate::mmsg::{self, MmsgScratch};
+use crate::mmsg;
+use crate::probe;
 
 /// Largest datagram the registry can receive (UDP's theoretical maximum;
 /// the connection itself never sends more than its configured MTU).
@@ -152,8 +160,14 @@ pub struct SocketRegistry {
     sockets: Vec<Entry>,
     /// Round-robin cursor so receive polls serve interfaces fairly.
     cursor: usize,
-    /// Reusable syscall-argument arrays (see [`crate::mmsg`]).
-    scratch: MmsgScratch,
+    /// The datapath implementation the probe ladder selected (see
+    /// [`crate::backend`]); swapped in place for the next rung when a
+    /// runtime refusal proves it unsupported.
+    backend: Box<dyn Backend>,
+    /// Ladder descents taken by *this* registry (a backend swap after a
+    /// runtime refusal) — merged into [`SocketRegistry::backend_stats`]
+    /// on top of the backend's own intra-rung fallback count.
+    backend_fallbacks: u64,
     /// Scratch for `(remote, len)` pairs coming back from a batch recv.
     pairs: Vec<(SocketAddr, usize)>,
     batch: BatchStats,
@@ -165,7 +179,18 @@ impl SocketRegistry {
     /// reports the addresses actually bound — those are what must be
     /// handed to `Connection::client`/`Connection::server`.
     pub fn bind(addrs: &[SocketAddr]) -> io::Result<SocketRegistry> {
+        Self::bind_with(addrs, backend::default_choice())
+    }
+
+    /// [`SocketRegistry::bind`] with an explicit datapath backend choice
+    /// instead of the process default. [`BackendChoice::Auto`] probes
+    /// down the ladder and cannot fail on the backend's account; a
+    /// forced arm (`--backend uring` on a kernel without io_uring)
+    /// returns the probe error so the caller can refuse honestly
+    /// rather than silently running a different datapath than asked.
+    pub fn bind_with(addrs: &[SocketAddr], choice: BackendChoice) -> io::Result<SocketRegistry> {
         assert!(!addrs.is_empty(), "at least one local address required");
+        let backend = backend::create(choice)?;
         let mut sockets = Vec::with_capacity(addrs.len());
         for &addr in addrs {
             let socket = UdpSocket::bind(addr)?;
@@ -181,7 +206,8 @@ impl SocketRegistry {
         Ok(SocketRegistry {
             sockets,
             cursor: 0,
-            scratch: MmsgScratch::default(),
+            backend,
+            backend_fallbacks: 0,
             pairs: Vec::with_capacity(mmsg::MAX_BATCH),
             batch: BatchStats::default(),
         })
@@ -210,7 +236,11 @@ impl SocketRegistry {
         Ok(SocketRegistry {
             sockets,
             cursor: 0,
-            scratch: MmsgScratch::default(),
+            // Rings and registered buffers are per-instance state, so a
+            // clone builds its own backend of the same kind (degrading
+            // a rung if, say, a uring setup now hits a ulimit).
+            backend: backend::create_like(self.backend.kind()),
+            backend_fallbacks: 0,
             pairs: Vec::with_capacity(mmsg::MAX_BATCH),
             batch: BatchStats::default(),
         })
@@ -280,6 +310,48 @@ impl SocketRegistry {
         &self.batch
     }
 
+    /// Which datapath backend this registry is currently running on
+    /// (may be a lower rung than originally probed, after a runtime
+    /// fallback).
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
+    }
+
+    /// Backend telemetry: submissions/completions/batch-size from the
+    /// live backend, plus the ladder descents this registry took on top
+    /// of the backend's own intra-rung (GSO → per-segment) fallbacks.
+    pub fn backend_stats(&self) -> BackendStats {
+        let mut stats = self.backend.stats().clone();
+        stats.fallbacks += self.backend_fallbacks;
+        stats
+    }
+
+    /// Swaps the live backend out — test hook for simulating a runtime
+    /// probe failure (e.g. a backend that starts returning `ENOSYS`).
+    #[cfg(test)]
+    pub(crate) fn set_backend_for_tests(&mut self, backend: Box<dyn Backend>) {
+        self.backend = backend;
+    }
+
+    /// Drops to the next rung of the backend ladder after `err` proved
+    /// the current one unsupported. Returns `false` when already on the
+    /// floor (the error then surfaces to the caller).
+    fn descend_ladder(&mut self, err: &io::Error) -> bool {
+        match backend::next_fallback(self.backend.kind()) {
+            Some(next) => {
+                eprintln!(
+                    "warn: {} backend refused at runtime ({err}); falling back to {}",
+                    self.backend.kind(),
+                    next.kind()
+                );
+                self.backend = next;
+                self.backend_fallbacks += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Sends a segment train — `payload` split at `segment_size`
     /// boundaries (`None`: a single datagram) — from the socket bound
     /// to `local` to `remote`, batching all segments into one syscall
@@ -317,10 +389,13 @@ impl SocketRegistry {
         let mut backoff = Backoff::new();
         while sent < total {
             let rest = payload.get(sent * seg..).unwrap_or(&[]);
-            let Some(entry) = self.sockets.get_mut(index) else {
+            let Some(entry) = self.sockets.get(index) else {
                 break;
             };
-            match mmsg::send_segments(&entry.socket, &remote, rest, seg, &mut self.scratch) {
+            match self
+                .backend
+                .send_segments(&entry.socket, &remote, rest, seg)
+            {
                 Ok((accepted, syscalls)) if accepted > 0 => {
                     sent += accepted;
                     self.batch.send_syscalls += syscalls as u64;
@@ -347,6 +422,11 @@ impl SocketRegistry {
                     backoff.wait();
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                // The backend itself proved unsupported (ENOSYS/EPERM
+                // class): descend the ladder and retry the *same*
+                // unsent suffix on the replacement — a probe failure
+                // must not lose the queued train.
+                Err(e) if probe::is_unsupported(&e) && self.descend_ladder(&e) => {}
                 Err(e) => return Err(e),
             }
         }
@@ -398,7 +478,10 @@ impl SocketRegistry {
             };
             let local = entry.local;
             self.pairs.clear();
-            match mmsg::recv_batch(&entry.socket, slots, &mut self.pairs, &mut self.scratch) {
+            match self
+                .backend
+                .recv_batch(&entry.socket, slots, &mut self.pairs)
+            {
                 Ok((received, syscalls)) if received > 0 => {
                     self.batch.recv_syscalls += syscalls as u64;
                     self.batch.recv_batch_size.record(received as u64);
@@ -419,6 +502,11 @@ impl SocketRegistry {
                 // some platforms (Linux ICMP errors); treat as no-data,
                 // the transport's own timers handle the unreachable peer.
                 Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {}
+                // Unsupported-class refusal: descend the ladder; the
+                // datagrams are still in the kernel buffer, so the next
+                // poll (on the replacement rung) drains them — nothing
+                // is lost by treating this pass as dry.
+                Err(e) if probe::is_unsupported(&e) && self.descend_ladder(&e) => {}
                 Err(e) => return Err(e),
             }
         }
@@ -551,6 +639,109 @@ mod tests {
                 "recvmmsg returned more than one datagram in a call"
             );
         }
+    }
+
+    /// A backend whose kernel support "disappears" at runtime: every
+    /// submit is refused with `ENOSYS`, the way a forced uring arm
+    /// behaves once `io_uring_disabled` flips mid-run.
+    #[derive(Debug, Default)]
+    struct FailingBackend {
+        stats: BackendStats,
+    }
+
+    impl Backend for FailingBackend {
+        fn kind(&self) -> BackendKind {
+            BackendKind::Uring
+        }
+
+        fn send_segments(
+            &mut self,
+            _socket: &UdpSocket,
+            _remote: &SocketAddr,
+            _payload: &[u8],
+            _segment_size: usize,
+        ) -> io::Result<(usize, usize)> {
+            Err(io::Error::from_raw_os_error(38)) // ENOSYS
+        }
+
+        fn recv_batch(
+            &mut self,
+            _socket: &UdpSocket,
+            _bufs: &mut [Vec<u8>],
+            _out: &mut Vec<(SocketAddr, usize)>,
+        ) -> io::Result<(usize, usize)> {
+            Err(io::Error::from_raw_os_error(38))
+        }
+
+        fn stats(&self) -> &BackendStats {
+            &self.stats
+        }
+    }
+
+    #[test]
+    fn probe_failure_falls_back_without_losing_the_train() {
+        let mut a = SocketRegistry::bind(&[loopback(0)]).unwrap();
+        let mut b = SocketRegistry::bind(&[loopback(0)]).unwrap();
+        let a_addr = a.local_addrs()[0];
+        let b_addr = b.local_addrs()[0];
+
+        a.set_backend_for_tests(Box::new(FailingBackend::default()));
+        assert_eq!(a.backend_kind(), BackendKind::Uring);
+
+        // The first submit hits ENOSYS; the registry must descend the
+        // ladder and resend the same train, losing nothing.
+        let payload: Vec<u8> = (0..460).map(|i| (i % 251) as u8).collect();
+        let sent = a.send_train(a_addr, b_addr, &payload, Some(100)).unwrap();
+        assert_eq!(sent, 5, "whole train handed to the fallback backend");
+        assert_eq!(a.send_drops(), 0);
+        assert_eq!(
+            a.backend_kind(),
+            BackendKind::Mmsg,
+            "ladder descended one rung"
+        );
+        assert_eq!(a.backend_stats().fallbacks, 1);
+
+        let mut batch = RecvBatch::new(16);
+        let mut rejoined = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while rejoined.len() < payload.len() && std::time::Instant::now() < deadline {
+            if b.poll_recv_batch(&mut batch).unwrap() == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                continue;
+            }
+            for (_, bytes) in batch.iter() {
+                rejoined.extend_from_slice(bytes);
+            }
+        }
+        assert_eq!(rejoined, payload, "queued train survived the fallback");
+    }
+
+    #[test]
+    fn recv_probe_failure_descends_ladder_and_next_poll_drains() {
+        let mut a = SocketRegistry::bind(&[loopback(0)]).unwrap();
+        let mut b = SocketRegistry::bind(&[loopback(0)]).unwrap();
+        let a_addr = a.local_addrs()[0];
+        let b_addr = b.local_addrs()[0];
+        assert!(a
+            .send_from(a_addr, b_addr, b"held in kernel buffer")
+            .unwrap());
+
+        b.set_backend_for_tests(Box::new(FailingBackend::default()));
+        let mut batch = RecvBatch::new(4);
+        // The refused pass reports dry but swaps the backend…
+        assert_eq!(b.poll_recv_batch(&mut batch).unwrap(), 0);
+        assert_eq!(b.backend_kind(), BackendKind::Mmsg);
+        // …and the datagram is still in the kernel buffer for the next
+        // poll on the replacement rung.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        let mut got = 0;
+        while got == 0 && std::time::Instant::now() < deadline {
+            got = b.poll_recv_batch(&mut batch).unwrap();
+            if got == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        assert_eq!(got, 1, "nothing lost across the recv-side fallback");
     }
 
     #[test]

@@ -1,0 +1,1004 @@
+//! Completion-based IO: a hand-rolled `io_uring` backend.
+//!
+//! The top rung of the backend ladder (see [`crate::backend`]). Instead
+//! of one direct syscall per batch, work is described as *submission
+//! queue entries* (SQEs) in a ring of memory shared with the kernel,
+//! handed over with one `io_uring_enter`, and harvested as *completion
+//! queue entries* (CQEs) from a second shared ring:
+//!
+//! * **Egress** — a GSO-shaped train becomes a single `IORING_OP_SENDMSG`
+//!   SQE carrying the `UDP_SEGMENT` cmsg (the kernel segments once, as in
+//!   the mmsg backend's GSO path). Sockets or devices that refuse GSO
+//!   drop — via the same sticky [`crate::probe::ProbeState`] machinery —
+//!   to one `SENDMSG` SQE *per segment*, chained with `IOSQE_IO_LINK` so
+//!   a refused segment cancels the rest of the chain and the accepted
+//!   prefix mirrors `sendmmsg`'s partial-send contract.
+//! * **Ingress** — one batch of `IORING_OP_RECVMSG` SQEs, each targeting
+//!   a slot of the backend's *receive slab*: buffers taken from a
+//!   [`mpquic_core::BufferPool`] at construction and held for the
+//!   backend's lifetime. Pool buffers never move or shrink, which is
+//!   exactly the stability `IORING_REGISTER_BUFFERS` demands — the
+//!   kernel pins those pages once instead of faulting them per call —
+//!   and what makes it safe for SQEs to reference slab memory while the
+//!   kernel still owns them.
+//!
+//! Every SQE carries `MSG_DONTWAIT` (see the constant's doc: io_uring
+//! would otherwise arm an internal poll on would-block instead of
+//! completing), so an empty socket completes immediately with
+//! `-EAGAIN` (surfaced as `WouldBlock`, preserving the polling-loop
+//! contract), and a single `io_uring_enter(submit, wait)` both submits
+//! and reaps a whole batch — one syscall per train or ingress poll,
+//! matching `sendmmsg`/`recvmmsg` in syscall count while keeping every
+//! per-datagram branch of the direct-syscall path out of the kernel
+//! crossing.
+//!
+//! The workspace is dependency-free, so everything here is hand-rolled:
+//! `io_uring_setup`/`io_uring_enter`/`io_uring_register` through the
+//! variadic `syscall(2)` wrapper and the ring mappings through `mmap`,
+//! with `#[repr(C)]` layouts matching `linux/io_uring.h`. The SQ/CQ
+//! head/tail words are kernel-shared memory: loads of the other side's
+//! index are `Acquire` and stores of our own are `Release` (registered
+//! with those roles in `crates/xtask/atomics.toml`; Relaxed would let
+//! the CPU reorder ring-entry writes past the index publication).
+#![allow(unsafe_code)]
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use mpquic_core::BufferPool;
+
+use crate::backend::{Backend, BackendKind, BackendStats};
+use crate::mmsg::{
+    self, decode_sockaddr, encode_sockaddr, GsoControl, IoVec, MsgHdr, SockaddrStorage,
+    MAX_GSO_BYTES, UDP_MAX_SEGMENTS,
+};
+use crate::probe::ProbeState;
+use crate::socket::MAX_DATAGRAM;
+
+/// `io_uring` syscall numbers (identical across 64-bit architectures —
+/// the ABI landed after the asm-generic unification).
+const SYS_IO_URING_SETUP: i64 = 425;
+const SYS_IO_URING_ENTER: i64 = 426;
+const SYS_IO_URING_REGISTER: i64 = 427;
+
+/// SQ ring slots. Must cover the largest batch either direction submits
+/// in one call ([`mmsg::MAX_BATCH`] = 64); 128 leaves headroom without
+/// bloating the mapping.
+const SQ_ENTRIES: u32 = 128;
+
+/// `struct io_sqring_offsets`.
+#[repr(C)]
+#[derive(Debug, Default, Clone, Copy)]
+struct SqringOffsets {
+    head: u32,
+    tail: u32,
+    ring_mask: u32,
+    ring_entries: u32,
+    flags: u32,
+    dropped: u32,
+    array: u32,
+    resv1: u32,
+    user_addr: u64,
+}
+
+/// `struct io_cqring_offsets`.
+#[repr(C)]
+#[derive(Debug, Default, Clone, Copy)]
+struct CqringOffsets {
+    head: u32,
+    tail: u32,
+    ring_mask: u32,
+    ring_entries: u32,
+    overflow: u32,
+    cqes: u32,
+    flags: u32,
+    resv1: u32,
+    user_addr: u64,
+}
+
+/// `struct io_uring_params` (setup in/out contract).
+#[repr(C)]
+#[derive(Debug, Default, Clone, Copy)]
+struct UringParams {
+    sq_entries: u32,
+    cq_entries: u32,
+    flags: u32,
+    sq_thread_cpu: u32,
+    sq_thread_idle: u32,
+    features: u32,
+    wq_fd: u32,
+    resv: [u32; 3],
+    sq_off: SqringOffsets,
+    cq_off: CqringOffsets,
+}
+
+/// `struct io_uring_sqe` (64 bytes; the non-union layout every 5.x+
+/// kernel accepts).
+#[repr(C)]
+#[derive(Debug, Default, Clone, Copy)]
+struct Sqe {
+    opcode: u8,
+    flags: u8,
+    ioprio: u16,
+    fd: i32,
+    off: u64,
+    addr: u64,
+    len: u32,
+    msg_flags: u32,
+    user_data: u64,
+    buf_index: u16,
+    personality: u16,
+    splice_fd_in: i32,
+    addr3: u64,
+    pad2: u64,
+}
+
+/// `struct io_uring_cqe`.
+#[repr(C)]
+#[derive(Debug, Default, Clone, Copy)]
+struct Cqe {
+    user_data: u64,
+    res: i32,
+    flags: u32,
+}
+
+const IORING_OFF_SQ_RING: i64 = 0;
+const IORING_OFF_CQ_RING: i64 = 0x0800_0000;
+const IORING_OFF_SQES: i64 = 0x1000_0000;
+
+const IORING_FEAT_SINGLE_MMAP: u32 = 1 << 0;
+const IORING_ENTER_GETEVENTS: u32 = 1 << 0;
+
+const IORING_OP_SENDMSG: u8 = 9;
+const IORING_OP_RECVMSG: u8 = 10;
+const IOSQE_IO_LINK: u8 = 1 << 2;
+
+/// Every SENDMSG/RECVMSG SQE carries `MSG_DONTWAIT`. Without it a
+/// would-block op on a pollable fd does NOT complete with `-EAGAIN`:
+/// io_uring arms an internal poll and holds the CQE until the socket
+/// is ready, which would deadlock this backend's synchronous
+/// submit-and-reap cycle (`io_uring_enter` waiting on completions
+/// that only a future send could produce). The flag sets the
+/// kernel-side `REQ_F_NOWAIT`, making `-EAGAIN` a final, inline
+/// completion — the exact non-blocking contract the mmsg backend gets
+/// from `O_NONBLOCK`.
+const MSG_DONTWAIT: u32 = 0x40;
+
+const IORING_REGISTER_BUFFERS: u32 = 0;
+
+const PROT_READ: i32 = 1;
+const PROT_WRITE: i32 = 2;
+const MAP_SHARED: i32 = 0x1;
+const MAP_POPULATE: i32 = 0x8000;
+
+const EAGAIN: i32 = 11;
+const EINTR: i32 = 4;
+const ECANCELED: i32 = 125;
+
+extern "C" {
+    /// The glibc/musl variadic syscall wrapper: returns -1 and sets
+    /// errno on failure, so `io::Error::last_os_error()` works.
+    fn syscall(num: i64, ...) -> i64;
+    fn mmap(
+        addr: *mut std::ffi::c_void,
+        length: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut std::ffi::c_void;
+    fn munmap(addr: *mut std::ffi::c_void, length: usize) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// One kernel mapping, unmapped on drop.
+#[derive(Debug)]
+struct Mapping {
+    ptr: *mut u8,
+    len: usize,
+}
+
+impl Mapping {
+    fn new(fd: i32, len: usize, offset: i64) -> io::Result<Mapping> {
+        // SAFETY: mapping a fresh region chosen by the kernel (addr
+        // NULL); the io_uring fd defines the region's contents. The
+        // result is checked against MAP_FAILED before use.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED | MAP_POPULATE,
+                fd,
+                offset,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mapping {
+            ptr: ptr as *mut u8,
+            len,
+        })
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` describe exactly the region mmap returned;
+        // after this the mapping is never touched again.
+        unsafe {
+            munmap(self.ptr as *mut std::ffi::c_void, self.len);
+        }
+    }
+}
+
+/// The mmap'd submission/completion rings plus our cached (userspace-
+/// private) copies of the indices we own.
+#[derive(Debug)]
+struct Ring {
+    fd: i32,
+    /// SQ ring mapping (with `IORING_FEAT_SINGLE_MMAP` it carries the
+    /// CQ ring too).
+    sq_map: Mapping,
+    /// Separate CQ ring mapping on pre-5.4 kernels.
+    cq_map: Option<Mapping>,
+    /// The SQE array mapping.
+    sqe_map: Mapping,
+    // Byte offsets of the shared index words inside the ring mappings.
+    sq_head_off: usize,
+    sq_tail_off: usize,
+    sq_mask: u32,
+    sq_array_off: usize,
+    cq_head_off: usize,
+    cq_tail_off: usize,
+    cq_mask: u32,
+    cqes_off: usize,
+    /// Our private copy of the SQ tail (only we advance it; published
+    /// with a Release store at submit time).
+    sq_tail_cache: u32,
+    /// Our private copy of the CQ head (only we advance it).
+    cq_head_cache: u32,
+}
+
+impl Ring {
+    /// `io_uring_setup` + the two or three ring mappings.
+    fn new(entries: u32) -> io::Result<Ring> {
+        let mut params = UringParams::default();
+        // SAFETY: `params` is a properly-sized, zeroed io_uring_params
+        // the kernel fills in; it lives across the call.
+        let fd = unsafe {
+            syscall(
+                SYS_IO_URING_SETUP,
+                entries as i64,
+                &mut params as *mut UringParams as i64,
+            )
+        };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fd = fd as i32;
+
+        let sq_ring_len =
+            params.sq_off.array as usize + params.sq_entries as usize * std::mem::size_of::<u32>();
+        let cq_ring_len =
+            params.cq_off.cqes as usize + params.cq_entries as usize * std::mem::size_of::<Cqe>();
+        let single = params.features & IORING_FEAT_SINGLE_MMAP != 0;
+        let sq_map_len = if single {
+            sq_ring_len.max(cq_ring_len)
+        } else {
+            sq_ring_len
+        };
+
+        let close_on_err = |e: io::Error| {
+            // SAFETY: `fd` came from io_uring_setup above and is closed
+            // exactly once on this early-exit path.
+            unsafe {
+                close(fd);
+            }
+            e
+        };
+        let sq_map = Mapping::new(fd, sq_map_len, IORING_OFF_SQ_RING).map_err(close_on_err)?;
+        let cq_map = if single {
+            None
+        } else {
+            Some(Mapping::new(fd, cq_ring_len, IORING_OFF_CQ_RING).map_err(close_on_err)?)
+        };
+        let sqe_map = Mapping::new(
+            fd,
+            params.sq_entries as usize * std::mem::size_of::<Sqe>(),
+            IORING_OFF_SQES,
+        )
+        .map_err(close_on_err)?;
+
+        // SAFETY: the offsets the kernel reported lie inside the ring
+        // mappings; reading the masks once is a plain load of constants
+        // the kernel wrote before setup returned.
+        let (sq_mask, cq_mask) = unsafe {
+            let sq_mask = *(sq_map.ptr.add(params.sq_off.ring_mask as usize) as *const u32);
+            let cq_base = cq_map.as_ref().map_or(sq_map.ptr, |m| m.ptr);
+            let cq_mask = *(cq_base.add(params.cq_off.ring_mask as usize) as *const u32);
+            (sq_mask, cq_mask)
+        };
+
+        Ok(Ring {
+            fd,
+            sq_map,
+            cq_map,
+            sqe_map,
+            sq_head_off: params.sq_off.head as usize,
+            sq_tail_off: params.sq_off.tail as usize,
+            sq_mask,
+            sq_array_off: params.sq_off.array as usize,
+            cq_head_off: params.cq_off.head as usize,
+            cq_tail_off: params.cq_off.tail as usize,
+            cq_mask,
+            cqes_off: params.cq_off.cqes as usize,
+            sq_tail_cache: 0,
+            cq_head_cache: 0,
+        })
+    }
+
+    /// Base of the CQ ring (the SQ mapping when the kernel granted
+    /// `IORING_FEAT_SINGLE_MMAP`).
+    fn cq_base(&self) -> *mut u8 {
+        self.cq_map.as_ref().map_or(self.sq_map.ptr, |m| m.ptr)
+    }
+
+    /// The kernel-shared SQ head word (kernel-written consumer index).
+    fn sq_head_word(&self) -> &AtomicU32 {
+        // SAFETY: the offset is inside the SQ mapping, 4-aligned per the
+        // kernel ABI, and the word is only ever accessed atomically on
+        // both sides — that is the io_uring ring contract.
+        unsafe { &*(self.sq_map.ptr.add(self.sq_head_off) as *const AtomicU32) }
+    }
+
+    /// The kernel-shared SQ tail word (our producer index).
+    fn sq_tail_word(&self) -> &AtomicU32 {
+        // SAFETY: as in `sq_head_word`, for the tail offset.
+        unsafe { &*(self.sq_map.ptr.add(self.sq_tail_off) as *const AtomicU32) }
+    }
+
+    /// The kernel-shared CQ head word (our consumer index).
+    fn cq_head_word(&self) -> &AtomicU32 {
+        // SAFETY: as in `sq_head_word`, inside the CQ ring mapping.
+        unsafe { &*(self.cq_base().add(self.cq_head_off) as *const AtomicU32) }
+    }
+
+    /// The kernel-shared CQ tail word (kernel-written producer index).
+    fn cq_tail_word(&self) -> &AtomicU32 {
+        // SAFETY: as in `sq_head_word`, inside the CQ ring mapping.
+        unsafe { &*(self.cq_base().add(self.cq_tail_off) as *const AtomicU32) }
+    }
+
+    /// Stages one SQE at the next free slot. Returns `false` when the
+    /// ring is full (never happens for this backend's ≤ 64-entry
+    /// batches against a 128-slot ring, but checked anyway).
+    fn push_sqe(&mut self, sqe: Sqe) -> bool {
+        let sq_head = self.sq_head_word();
+        // Acquire pairs with the kernel's Release of the head after it
+        // consumed entries: slots before `head` are free for reuse.
+        let head = sq_head.load(Ordering::Acquire);
+        if self.sq_tail_cache.wrapping_sub(head) >= SQ_ENTRIES {
+            return false;
+        }
+        let index = self.sq_tail_cache & self.sq_mask;
+        // SAFETY: `index` is masked into the SQE array and the index
+        // array, both sized `sq_entries` by the kernel; the slot is free
+        // because `tail - head < entries` was just checked.
+        unsafe {
+            *(self.sqe_map.ptr as *mut Sqe).add(index as usize) = sqe;
+            *(self.sq_map.ptr.add(self.sq_array_off) as *mut u32).add(index as usize) = index;
+        }
+        self.sq_tail_cache = self.sq_tail_cache.wrapping_add(1);
+        true
+    }
+
+    /// Publishes staged SQEs and performs one `io_uring_enter`,
+    /// waiting until `wait_for` completions are available. Returns the
+    /// number of SQEs the kernel consumed.
+    fn submit_and_wait(&mut self, to_submit: u32, wait_for: u32) -> io::Result<u32> {
+        let sq_tail = self.sq_tail_word();
+        // Release publishes the SQE and index-array writes above to the
+        // kernel, which Acquire-loads the tail.
+        sq_tail.store(self.sq_tail_cache, Ordering::Release);
+        loop {
+            // SAFETY: plain integer arguments; the fd is our ring. The
+            // NULL sigmask (arg 5, size 0) means no signal-mask swap.
+            let ret = unsafe {
+                syscall(
+                    SYS_IO_URING_ENTER,
+                    self.fd as i64,
+                    to_submit as i64,
+                    wait_for as i64,
+                    IORING_ENTER_GETEVENTS as i64,
+                    0i64,
+                    0i64,
+                )
+            };
+            if ret >= 0 {
+                return Ok(ret as u32);
+            }
+            let e = io::Error::last_os_error();
+            if e.raw_os_error() != Some(EINTR) {
+                return Err(e);
+            }
+        }
+    }
+
+    /// Pops one completion, if any.
+    fn pop_cqe(&mut self) -> Option<Cqe> {
+        let cq_tail = self.cq_tail_word();
+        // Acquire pairs with the kernel's Release of the tail after it
+        // wrote the CQE: the entry read below is fully visible.
+        let tail = cq_tail.load(Ordering::Acquire);
+        if self.cq_head_cache == tail {
+            return None;
+        }
+        let index = (self.cq_head_cache & self.cq_mask) as usize;
+        // SAFETY: `index` is masked into the CQE array (sized
+        // `cq_entries`); the Acquire above guarantees the kernel's
+        // write of this entry happened-before this read.
+        let cqe = unsafe { *(self.cq_base().add(self.cqes_off) as *const Cqe).add(index) };
+        self.cq_head_cache = self.cq_head_cache.wrapping_add(1);
+        let cq_head = self.cq_head_word();
+        // Release hands the slot back: the kernel may overwrite it only
+        // after seeing our head advance.
+        cq_head.store(self.cq_head_cache, Ordering::Release);
+        Some(cqe)
+    }
+
+    /// `io_uring_register(REGISTER_BUFFERS)` over `iovecs`. Best-effort:
+    /// registration pins the pages (subject to `RLIMIT_MEMLOCK`), so a
+    /// refusal just means per-call page faults, not a broken backend.
+    fn register_buffers(&mut self, iovecs: &[IoVec]) -> bool {
+        // SAFETY: `iovecs` points at live, stable slab buffers and the
+        // length matches; the kernel copies the table before returning.
+        let ret = unsafe {
+            syscall(
+                SYS_IO_URING_REGISTER,
+                self.fd as i64,
+                IORING_REGISTER_BUFFERS as i64,
+                iovecs.as_ptr() as i64,
+                iovecs.len() as i64,
+            )
+        };
+        ret == 0
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        // SAFETY: closing the setup fd exactly once; the kernel tears
+        // down the rings when the last reference (fd + mappings) goes.
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+/// The io_uring [`Backend`]: one ring per instance (so every registry
+/// clone — one per shard — owns its rings and no submission path takes
+/// a lock), plus stable staging memory for `msghdr`s and the receive
+/// slab.
+#[derive(Debug)]
+pub struct UringBackend {
+    ring: Ring,
+    stats: BackendStats,
+    /// Sticky `UDP_SEGMENT` probe for the single-SQE GSO path, same
+    /// machinery as the mmsg backend's.
+    gso: ProbeState,
+    /// Heap-stable staging for egress: the SQEs reference these, so
+    /// they live in the backend (not the stack) and are pre-sized so a
+    /// steady-state send allocates nothing and never reallocates while
+    /// SQEs are in flight.
+    send_addr: Box<SockaddrStorage>,
+    send_gso: Box<GsoControl>,
+    send_iovs: Vec<IoVec>,
+    send_hdrs: Vec<MsgHdr>,
+    /// Ingress staging: `recvmsg` headers plus per-slot source
+    /// addresses.
+    recv_addrs: Vec<SockaddrStorage>,
+    recv_iovs: Vec<IoVec>,
+    recv_hdrs: Vec<MsgHdr>,
+    /// The receive slab: pool buffers held for the backend's lifetime.
+    /// Their heap blocks never move or shrink (the pool hands back the
+    /// same allocations), which is what lets the kernel keep iovecs
+    /// into them across `IORING_REGISTER_BUFFERS` and in-flight SQEs.
+    recv_slab: Vec<Vec<u8>>,
+    slab_pool: BufferPool,
+    /// Whether `IORING_REGISTER_BUFFERS` succeeded (telemetry only; the
+    /// datapath works either way).
+    buffers_registered: bool,
+    /// Adaptive ingress window: how many `RECVMSG` SQEs the next poll
+    /// stages. Unlike `recvmmsg` — where an empty socket costs one
+    /// syscall regardless of `vlen` — every staged SQE runs its own
+    /// kernel-side receive attempt, so polling an idle socket with a
+    /// full 64-entry batch would pay 64 `-EAGAIN` completions per call.
+    /// The window doubles while polls fill completely and collapses to
+    /// 1 when one comes up empty, so idle polling costs one SQE and
+    /// bursts still reach the full batch within a few calls.
+    recv_window: usize,
+}
+
+// SAFETY: the raw ring pointers target mappings owned exclusively by
+// this instance (every registry clone builds its own ring), and the
+// staging pointers inside `send_hdrs`/`recv_hdrs` only point into the
+// same instance or into a caller's payload during one call. Moving the
+// backend to another thread moves sole ownership of all of it.
+unsafe impl Send for UringBackend {}
+
+impl UringBackend {
+    /// Builds a ring and its receive slab. Fails with `ENOSYS` on
+    /// kernels without io_uring and `EPERM` where the
+    /// `io_uring_disabled` sysctl forbids it — the ladder's cue to fall
+    /// back to mmsg.
+    pub fn new() -> io::Result<UringBackend> {
+        let mut ring = Ring::new(SQ_ENTRIES)?;
+
+        // The slab: one full-size datagram per batch slot, taken from a
+        // pool and held forever so the allocations stay put.
+        let mut slab_pool = BufferPool::new(mmsg::MAX_BATCH, MAX_DATAGRAM);
+        let mut recv_slab = Vec::with_capacity(mmsg::MAX_BATCH);
+        for _ in 0..mmsg::MAX_BATCH {
+            let mut buf = slab_pool.take();
+            buf.resize(MAX_DATAGRAM, 0);
+            recv_slab.push(buf);
+        }
+
+        let mut recv_iovs: Vec<IoVec> = recv_slab
+            .iter_mut()
+            .map(|buf| IoVec {
+                base: buf.as_mut_ptr() as *mut std::ffi::c_void,
+                len: buf.len(),
+            })
+            .collect();
+        let buffers_registered = ring.register_buffers(&recv_iovs);
+        recv_iovs.clear();
+
+        Ok(UringBackend {
+            ring,
+            stats: BackendStats::default(),
+            gso: ProbeState::new("io_uring UDP GSO"),
+            send_addr: Box::new(SockaddrStorage::default()),
+            send_gso: Box::new(GsoControl::new(0)),
+            send_iovs: Vec::with_capacity(mmsg::MAX_BATCH),
+            send_hdrs: Vec::with_capacity(mmsg::MAX_BATCH),
+            recv_addrs: vec![SockaddrStorage::default(); mmsg::MAX_BATCH],
+            recv_iovs,
+            recv_hdrs: Vec::with_capacity(mmsg::MAX_BATCH),
+            recv_slab,
+            slab_pool,
+            buffers_registered,
+            recv_window: 1,
+        })
+    }
+
+    /// Whether the receive slab's pages are registered (pinned) with
+    /// the kernel.
+    pub fn buffers_registered(&self) -> bool {
+        self.buffers_registered
+    }
+
+    /// Submits `count` staged SQEs, waits for their completions, and
+    /// records the submit-side telemetry.
+    fn submit_batch(&mut self, count: u32) -> io::Result<()> {
+        self.stats.submissions += count as u64;
+        self.stats.sqe_batch.record(count as u64);
+        self.ring.submit_and_wait(count, count)?;
+        Ok(())
+    }
+
+    /// The whole train as one `SENDMSG` SQE with a `UDP_SEGMENT` cmsg.
+    /// `Ok(None)` means the GSO probe flipped and the caller should use
+    /// the linked-SQE path.
+    fn send_gso_sqe(
+        &mut self,
+        socket: &UdpSocket,
+        remote: &SocketAddr,
+        payload: &[u8],
+        segment_size: usize,
+        segments: usize,
+    ) -> io::Result<Option<(usize, usize)>> {
+        let namelen = encode_sockaddr(remote, &mut self.send_addr);
+        *self.send_gso = GsoControl::new(segment_size);
+        self.send_iovs.clear();
+        self.send_iovs.push(IoVec {
+            base: payload.as_ptr() as *mut std::ffi::c_void,
+            len: payload.len(),
+        });
+        self.send_hdrs.clear();
+        self.send_hdrs.push(MsgHdr {
+            name: self.send_addr.as_mut() as *mut SockaddrStorage as *mut std::ffi::c_void,
+            namelen,
+            iov: self.send_iovs.as_mut_ptr(),
+            iovlen: 1,
+            control: self.send_gso.as_mut() as *mut GsoControl as *mut std::ffi::c_void,
+            controllen: std::mem::size_of::<GsoControl>(),
+            flags: 0,
+        });
+        let sqe = Sqe {
+            opcode: IORING_OP_SENDMSG,
+            fd: socket.as_raw_fd(),
+            addr: self.send_hdrs.as_ptr() as u64,
+            len: 1,
+            msg_flags: MSG_DONTWAIT,
+            ..Sqe::default()
+        };
+        if !self.ring.push_sqe(sqe) {
+            return Err(io::Error::new(
+                io::ErrorKind::Other,
+                "io_uring submission queue full",
+            ));
+        }
+        self.submit_batch(1)?;
+        let Some(cqe) = self.ring.pop_cqe() else {
+            return Err(io::Error::new(
+                io::ErrorKind::Other,
+                "io_uring returned no completion",
+            ));
+        };
+        if cqe.res >= 0 {
+            // UDP sends are atomic: success means the whole train went.
+            self.stats.completions += 1;
+            return Ok(Some((segments, 1)));
+        }
+        let e = io::Error::from_raw_os_error(-cqe.res);
+        if e.raw_os_error() == Some(EAGAIN) {
+            return Err(e);
+        }
+        if self.gso.observe(&e, "linked per-segment SQEs") {
+            self.stats.fallbacks += 1;
+            Ok(None)
+        } else {
+            Err(e)
+        }
+    }
+
+    /// One `SENDMSG` SQE per segment, chained with `IOSQE_IO_LINK`: a
+    /// refused segment cancels the rest, so successes are exactly the
+    /// accepted prefix (the `sendmmsg` partial-send contract).
+    fn send_linked(
+        &mut self,
+        socket: &UdpSocket,
+        remote: &SocketAddr,
+        payload: &[u8],
+        segment_size: usize,
+    ) -> io::Result<(usize, usize)> {
+        let fd = socket.as_raw_fd();
+        let namelen = encode_sockaddr(remote, &mut self.send_addr);
+        let name = self.send_addr.as_mut() as *mut SockaddrStorage as *mut std::ffi::c_void;
+        // Phase 1: one iovec per segment (pointers into `payload`).
+        self.send_iovs.clear();
+        for chunk in payload.chunks(segment_size).take(mmsg::MAX_BATCH) {
+            self.send_iovs.push(IoVec {
+                base: chunk.as_ptr() as *mut std::ffi::c_void,
+                len: chunk.len(),
+            });
+        }
+        // Phase 2: headers, after the iovec vector stopped moving.
+        let count = self.send_iovs.len();
+        self.send_hdrs.clear();
+        for iov in self.send_iovs.iter_mut() {
+            self.send_hdrs.push(MsgHdr {
+                name,
+                namelen,
+                iov: iov as *mut IoVec,
+                iovlen: 1,
+                control: std::ptr::null_mut(),
+                controllen: 0,
+                flags: 0,
+            });
+        }
+        for (i, hdr) in self.send_hdrs.iter_mut().enumerate() {
+            let sqe = Sqe {
+                opcode: IORING_OP_SENDMSG,
+                // Link all but the last: one refusal cancels the tail.
+                flags: if i + 1 < count { IOSQE_IO_LINK } else { 0 },
+                fd,
+                addr: hdr as *mut MsgHdr as u64,
+                len: 1,
+                msg_flags: MSG_DONTWAIT,
+                user_data: i as u64,
+                ..Sqe::default()
+            };
+            if !self.ring.push_sqe(sqe) {
+                return Err(io::Error::new(
+                    io::ErrorKind::Other,
+                    "io_uring submission queue full",
+                ));
+            }
+        }
+        self.submit_batch(count as u32)?;
+        let mut accepted = 0;
+        let mut first_err: Option<i32> = None;
+        for _ in 0..count {
+            let Some(cqe) = self.ring.pop_cqe() else {
+                break;
+            };
+            if cqe.res >= 0 {
+                accepted += 1;
+            } else if -cqe.res != ECANCELED && first_err.is_none() {
+                first_err = Some(-cqe.res);
+            }
+        }
+        self.stats.completions += accepted as u64;
+        if accepted == 0 {
+            return Err(io::Error::from_raw_os_error(first_err.unwrap_or(EAGAIN)));
+        }
+        Ok((accepted, 1))
+    }
+}
+
+impl Backend for UringBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Uring
+    }
+
+    fn send_segments(
+        &mut self,
+        socket: &UdpSocket,
+        remote: &SocketAddr,
+        payload: &[u8],
+        segment_size: usize,
+    ) -> io::Result<(usize, usize)> {
+        if payload.is_empty() {
+            return Ok((0, 0));
+        }
+        let segment_size = if segment_size == 0 {
+            payload.len()
+        } else {
+            segment_size
+        };
+        let segments = payload.len().div_ceil(segment_size);
+        if segments > 1
+            && !self.gso.is_unsupported()
+            && segments <= UDP_MAX_SEGMENTS
+            && payload.len() <= MAX_GSO_BYTES
+        {
+            if let Some(result) =
+                self.send_gso_sqe(socket, remote, payload, segment_size, segments)?
+            {
+                return Ok(result);
+            }
+        }
+        self.send_linked(socket, remote, payload, segment_size)
+    }
+
+    fn recv_batch(
+        &mut self,
+        socket: &UdpSocket,
+        bufs: &mut [Vec<u8>],
+        out: &mut Vec<(SocketAddr, usize)>,
+    ) -> io::Result<(usize, usize)> {
+        if bufs.is_empty() {
+            return Ok((0, 0));
+        }
+        let fd = socket.as_raw_fd();
+        let count = bufs
+            .len()
+            .min(self.recv_slab.len())
+            .min(self.recv_window.max(1));
+        // Stage one RECVMSG per slab slot: iovec into the slab buffer,
+        // msg_name into the per-slot sockaddr.
+        self.recv_iovs.clear();
+        for buf in self.recv_slab.iter_mut().take(count) {
+            self.recv_iovs.push(IoVec {
+                base: buf.as_mut_ptr() as *mut std::ffi::c_void,
+                len: buf.len(),
+            });
+        }
+        self.recv_hdrs.clear();
+        for (addr, iov) in self
+            .recv_addrs
+            .iter_mut()
+            .zip(self.recv_iovs.iter_mut())
+            .take(count)
+        {
+            self.recv_hdrs.push(MsgHdr {
+                name: addr as *mut SockaddrStorage as *mut std::ffi::c_void,
+                namelen: 128,
+                iov: iov as *mut IoVec,
+                iovlen: 1,
+                control: std::ptr::null_mut(),
+                controllen: 0,
+                flags: 0,
+            });
+        }
+        for (i, hdr) in self.recv_hdrs.iter_mut().enumerate() {
+            let sqe = Sqe {
+                opcode: IORING_OP_RECVMSG,
+                fd,
+                addr: hdr as *mut MsgHdr as u64,
+                len: 1,
+                msg_flags: MSG_DONTWAIT,
+                user_data: i as u64,
+                ..Sqe::default()
+            };
+            if !self.ring.push_sqe(sqe) {
+                return Err(io::Error::new(
+                    io::ErrorKind::Other,
+                    "io_uring submission queue full",
+                ));
+            }
+        }
+        self.submit_batch(count as u32)?;
+        let mut received = 0;
+        let mut first_err: Option<i32> = None;
+        for _ in 0..count {
+            let Some(cqe) = self.ring.pop_cqe() else {
+                break;
+            };
+            if cqe.res < 0 {
+                let errno = -cqe.res;
+                if errno != EAGAIN && errno != ECANCELED && first_err.is_none() {
+                    first_err = Some(errno);
+                }
+                continue;
+            }
+            let slot = cqe.user_data as usize;
+            let len = cqe.res as usize;
+            let (Some(slab), Some(dst)) = (self.recv_slab.get(slot), bufs.get_mut(received)) else {
+                continue;
+            };
+            let copy = len.min(slab.len()).min(dst.len());
+            if let (Some(src), Some(dst)) = (slab.get(..copy), dst.get_mut(..copy)) {
+                dst.copy_from_slice(src);
+            }
+            // An undecodable source address (never seen for UDP in
+            // practice) degrades to the unspecified address; the
+            // transport discards unauthenticated datagrams anyway.
+            let remote = self
+                .recv_addrs
+                .get(slot)
+                .and_then(decode_sockaddr)
+                .unwrap_or_else(|| SocketAddr::from(([0, 0, 0, 0], 0)));
+            out.push((remote, copy));
+            received += 1;
+        }
+        self.stats.completions += received as u64;
+        // Grow the window while batches fill, collapse it when the
+        // socket runs dry (see the `recv_window` field).
+        self.recv_window = if received == count {
+            (count * 2).min(self.recv_slab.len())
+        } else {
+            1
+        };
+        if received == 0 {
+            return Err(io::Error::from_raw_os_error(first_err.unwrap_or(EAGAIN)));
+        }
+        Ok((received, 1))
+    }
+
+    fn stats(&self) -> &BackendStats {
+        &self.stats
+    }
+}
+
+impl Drop for UringBackend {
+    fn drop(&mut self) {
+        // Hand the slab back so the pool's leak check stays honest.
+        for buf in self.recv_slab.drain(..) {
+            self.slab_pool.put(buf);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend_or_skip() -> Option<UringBackend> {
+        match UringBackend::new() {
+            Ok(backend) => Some(backend),
+            Err(e) => {
+                eprintln!("skipping io_uring test: {e}");
+                None
+            }
+        }
+    }
+
+    fn pair() -> (UdpSocket, UdpSocket, SocketAddr) {
+        let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let b_addr = b.local_addr().unwrap();
+        (a, b, b_addr)
+    }
+
+    #[test]
+    fn train_round_trips_through_the_ring() {
+        let Some(mut backend) = backend_or_skip() else {
+            return;
+        };
+        let (a, b, b_addr) = pair();
+        // 3 full segments + 1 short one.
+        let payload: Vec<u8> = (0..350).map(|i| i as u8).collect();
+        let (sent, syscalls) = backend.send_segments(&a, &b_addr, &payload, 100).unwrap();
+        assert_eq!(sent, 4);
+        assert_eq!(syscalls, 1, "one io_uring_enter per train");
+
+        let mut bufs: Vec<Vec<u8>> = (0..8).map(|_| vec![0u8; 2048]).collect();
+        let mut metas = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        let mut got = 0;
+        while got < 4 && std::time::Instant::now() < deadline {
+            match backend.recv_batch(&b, &mut bufs[got..], &mut metas) {
+                Ok((k, _)) => got += k,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_micros(200))
+                }
+                Err(e) => panic!("recv: {e}"),
+            }
+        }
+        assert_eq!(got, 4, "all four segments arrive");
+        let lens: Vec<usize> = metas.iter().map(|(_, len)| *len).collect();
+        assert_eq!(lens, [100, 100, 100, 50]);
+        let a_addr = a.local_addr().unwrap();
+        for (remote, _) in &metas {
+            assert_eq!(*remote, a_addr, "source address survives the ring");
+        }
+        let mut rejoined = Vec::new();
+        for (buf, (_, len)) in bufs.iter().zip(metas.iter()) {
+            rejoined.extend_from_slice(&buf[..*len]);
+        }
+        assert_eq!(rejoined, payload);
+        assert!(backend.stats().submissions >= 1);
+        assert!(backend.stats().completions >= 5);
+    }
+
+    #[test]
+    fn empty_socket_reports_would_block() {
+        let Some(mut backend) = backend_or_skip() else {
+            return;
+        };
+        let (_a, b, _b_addr) = pair();
+        let mut bufs: Vec<Vec<u8>> = vec![vec![0u8; 128]];
+        let mut metas = Vec::new();
+        let err = backend.recv_batch(&b, &mut bufs, &mut metas).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn single_datagram_uses_one_sqe() {
+        let Some(mut backend) = backend_or_skip() else {
+            return;
+        };
+        let (a, _b, b_addr) = pair();
+        let (sent, syscalls) = backend.send_segments(&a, &b_addr, b"hello", 0).unwrap();
+        assert_eq!((sent, syscalls), (1, 1));
+        assert_eq!(backend.stats().sqe_batch.max(), 1);
+    }
+
+    #[test]
+    fn ipv6_addresses_round_trip() {
+        let Some(mut backend) = backend_or_skip() else {
+            return;
+        };
+        let a = UdpSocket::bind("[::1]:0").unwrap();
+        let b = UdpSocket::bind("[::1]:0").unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        let b_addr = b.local_addr().unwrap();
+        let (sent, _) = backend.send_segments(&a, &b_addr, b"v6", 0).unwrap();
+        assert_eq!(sent, 1);
+        let mut bufs: Vec<Vec<u8>> = vec![vec![0u8; 128]];
+        let mut metas = Vec::new();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            match backend.recv_batch(&b, &mut bufs, &mut metas) {
+                Ok((1, _)) => break,
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    assert!(std::time::Instant::now() < deadline, "datagram arrives");
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                Err(e) => panic!("recv: {e}"),
+            }
+        }
+        assert_eq!(metas[0].0, a.local_addr().unwrap());
+    }
+}

@@ -1,0 +1,124 @@
+//! Forced-backend loopback transfers: every datapath backend
+//! (DESIGN.md §17) must carry a complete QUIC transfer over real UDP.
+//!
+//! The three arms — io_uring, sendmmsg, portable — run sequentially in
+//! one test so the process-wide default backend choice is never raced.
+//! A kernel without io_uring support skips that arm with a message
+//! instead of failing; the mmsg and portable arms must always
+//! construct on Linux.
+
+use mpquic_core::Config;
+use mpquic_io::backend::{self, BackendChoice};
+use mpquic_io::{quic_client, quic_server, transfer, BackendKind, BlockingStream, SocketRegistry};
+use std::io::Read;
+use std::net::SocketAddr;
+use std::sync::mpsc;
+use std::time::Duration;
+
+const SIZE: usize = 256 << 10;
+const OP_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn loopback0() -> SocketAddr {
+    "127.0.0.1:0".parse().unwrap()
+}
+
+/// One single-path client→server transfer with the current process
+/// default backend. Returns the client's backend kind/stats plus the
+/// server's, so the caller can assert both ends used the forced arm.
+fn run_transfer(expected: BackendKind) {
+    let (addr_tx, addr_rx) = mpsc::channel();
+    let (server_tx, server_rx) = mpsc::channel();
+
+    let server = std::thread::spawn(move || {
+        let driver =
+            quic_server(Config::single_path(), &[loopback0()], 0xBEEF).expect("bind server");
+        addr_tx.send(driver.local_addrs()[0]).expect("report addr");
+        let mut stream = BlockingStream::with_timeout(driver, OP_TIMEOUT);
+        stream.wait_established().expect("server handshake");
+        let (header, payload) = transfer::recv_request(&mut stream).expect("receive upload");
+        transfer::send_response(&mut stream, true, header.checksum).expect("send verdict");
+        stream.finish().expect("finish response");
+        let driver = stream.driver_mut();
+        let _ = driver.run_until(Duration::from_secs(5), |t| {
+            t.conn.stream_fully_acked(1) || t.conn.is_closed()
+        });
+        server_tx
+            .send((payload, driver.backend_kind(), driver.backend_stats()))
+            .expect("report outcome");
+    });
+
+    let server_addr = addr_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("server came up");
+    let driver = quic_client(Config::single_path(), &[loopback0()], server_addr, 0xC0FFEE)
+        .expect("bind client");
+    let mut stream = BlockingStream::with_timeout(driver, OP_TIMEOUT);
+    stream.wait_established().expect("client handshake");
+
+    let data = transfer::pattern(SIZE);
+    transfer::send_request(&mut stream, "backend.bin", &data).expect("send upload");
+    stream.finish().expect("finish upload");
+    let (verified, checksum) = transfer::recv_response(&mut stream).expect("read verdict");
+    assert!(
+        verified,
+        "{expected:?}: server reported a checksum mismatch"
+    );
+    assert_eq!(checksum, transfer::fnv1a64(&data));
+
+    let mut sink = Vec::new();
+    stream.read_to_end(&mut sink).expect("drain to EOF");
+    let mut driver = stream.into_driver();
+    driver.connection_mut().close(0, "transfer complete");
+    let _ = driver.run_for(Duration::from_millis(100));
+
+    let (payload, server_kind, server_stats) = server_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("server delivered payload");
+    server.join().expect("server thread clean exit");
+
+    assert_eq!(payload, data, "{expected:?}: payload reassembled exactly");
+    assert_eq!(
+        driver.backend_kind(),
+        expected,
+        "client kept the forced backend"
+    );
+    assert_eq!(server_kind, expected, "server kept the forced backend");
+    let client_stats = driver.backend_stats();
+    assert!(
+        client_stats.submissions > 0 && client_stats.completions > 0,
+        "{expected:?}: client backend saw no traffic: {client_stats:?}"
+    );
+    assert!(
+        server_stats.submissions > 0 && server_stats.completions > 0,
+        "{expected:?}: server backend saw no traffic: {server_stats:?}"
+    );
+    assert_eq!(
+        client_stats.fallbacks, 0,
+        "{expected:?}: a forced arm must not fall down the ladder mid-transfer"
+    );
+}
+
+#[test]
+fn every_backend_carries_a_loopback_transfer() {
+    let arms = [
+        (BackendChoice::Uring, BackendKind::Uring),
+        (BackendChoice::Mmsg, BackendKind::Mmsg),
+        (BackendChoice::Portable, BackendKind::Portable),
+    ];
+    for (choice, kind) in arms {
+        // Probe with a throwaway registry first: a kernel without
+        // io_uring skips that arm instead of failing the test.
+        if let Err(e) = SocketRegistry::bind_with(&[loopback0()], choice) {
+            #[cfg(target_os = "linux")]
+            assert!(
+                matches!(choice, BackendChoice::Uring),
+                "{choice} must always construct on Linux: {e}"
+            );
+            eprintln!("skipping {choice} arm: this kernel lacks it ({e})");
+            continue;
+        }
+        backend::set_default_choice(choice);
+        run_transfer(kind);
+    }
+    backend::set_default_choice(BackendChoice::Auto);
+}

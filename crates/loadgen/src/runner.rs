@@ -137,6 +137,12 @@ struct ThreadTally {
 /// server's idle timer reaps anything we abandon.
 const CLOSE_GRACE: Duration = Duration::from_millis(250);
 
+/// How long a rebind op will pump its connection waiting for the
+/// handshake before giving up and condemning the connection (loopback
+/// handshakes finish in microseconds; this only bites when the server
+/// is wedged).
+const REBIND_FLUSH_GRACE: Duration = Duration::from_secs(5);
+
 /// How long after the last scheduled instant plus the op timeout the
 /// whole run may take before the runner bails out.
 const RUN_SLACK: Duration = Duration::from_secs(10);
@@ -359,7 +365,22 @@ fn run_client_thread(
                 // The server must re-validate the new address before
                 // this op's response can flow — that quarantine is
                 // exactly what the mobility SLO measures.
-                if driver.rebind_path(PathId::INITIAL).is_err() {
+                //
+                // A rebind the server never observes is not a
+                // migration: when this worker falls behind the
+                // open-loop schedule, rebind ops can land back to back
+                // before the handshake's first flight (or the previous
+                // migration's PING probe) ever left the current
+                // socket. Pump until the connection is established — a
+                // real client never migrates mid-handshake (RFC 9000
+                // §9) — and give queued egress one flush from the
+                // current address, so the server sees every address
+                // the session visits.
+                let flushed = driver
+                    .run_until(REBIND_FLUSH_GRACE, |t| t.conn.is_established())
+                    .unwrap_or(false)
+                    && driver.step().is_ok();
+                if !flushed || driver.rebind_path(PathId::INITIAL).is_err() {
                     state.failed = true;
                     tally.errors += 1 + state.inflight.len();
                     state.inflight.clear();

@@ -178,6 +178,26 @@ impl AtomicHistogram {
             std::array::from_fn(|i| self.buckets.get(i).map_or(0, RelaxedCell::get));
         LogHistogram::from_bucket_counts(&counts, self.sum.get(), self.max.get())
     }
+
+    /// Folds the bucket-wise difference `cur - prev` into the live
+    /// histogram without allocating — how a shard loop publishes a
+    /// locally-accumulated [`LogHistogram`] (e.g. the datapath
+    /// backend's batch sizes) into the shared plane incrementally:
+    /// keep the previous snapshot, fold the delta, replace it.
+    pub fn merge_delta(&self, cur: &LogHistogram, prev: &LogHistogram) {
+        let cur_counts = cur.bucket_counts();
+        let prev_counts = prev.bucket_counts();
+        for (i, slot) in self.buckets.iter().enumerate() {
+            let was = prev_counts.get(i).copied().unwrap_or(0);
+            let now = cur_counts.get(i).copied().unwrap_or(0);
+            let delta = now.saturating_sub(was);
+            if delta > 0 {
+                slot.add(delta);
+            }
+        }
+        self.sum.add(cur.sum().saturating_sub(prev.sum()));
+        self.max.record_max(cur.max());
+    }
 }
 
 /// Endpoint-level counters shared by the demux thread, every shard and
@@ -218,6 +238,14 @@ pub struct EndpointStats {
     pub cid_rotations_initiated: CachePadded<RelaxedCell>,
     /// CID rotations completed (demux now follows the new CID).
     pub cid_rotations_completed: CachePadded<RelaxedCell>,
+    /// Datapath-backend entries handed to the kernel (SQEs, `mmsghdr`
+    /// slots or portable datagrams).
+    pub backend_submissions: CachePadded<RelaxedCell>,
+    /// Datapath-backend entries the kernel completed successfully.
+    pub backend_completions: CachePadded<RelaxedCell>,
+    /// Datapath fallbacks: intra-backend rungs dropped (GSO →
+    /// per-segment) plus whole-backend ladder descents.
+    pub backend_fallbacks: CachePadded<RelaxedCell>,
 }
 
 /// A point-in-time copy of [`EndpointStats`].
@@ -251,6 +279,12 @@ pub struct EndpointSnapshot {
     pub cid_rotations_initiated: u64,
     /// CID rotations completed (demux now follows the new CID).
     pub cid_rotations_completed: u64,
+    /// Datapath-backend entries handed to the kernel.
+    pub backend_submissions: u64,
+    /// Datapath-backend entries completed successfully.
+    pub backend_completions: u64,
+    /// Datapath fallbacks (GSO rungs dropped plus ladder descents).
+    pub backend_fallbacks: u64,
 }
 
 impl EndpointStats {
@@ -271,6 +305,9 @@ impl EndpointStats {
             path_validations_abandoned: self.path_validations_abandoned.get(),
             cid_rotations_initiated: self.cid_rotations_initiated.get(),
             cid_rotations_completed: self.cid_rotations_completed.get(),
+            backend_submissions: self.backend_submissions.get(),
+            backend_completions: self.backend_completions.get(),
+            backend_fallbacks: self.backend_fallbacks.get(),
         }
     }
 }
@@ -307,6 +344,15 @@ impl EndpointSnapshot {
             cid_rotations_completed: self
                 .cid_rotations_completed
                 .saturating_sub(before.cid_rotations_completed),
+            backend_submissions: self
+                .backend_submissions
+                .saturating_sub(before.backend_submissions),
+            backend_completions: self
+                .backend_completions
+                .saturating_sub(before.backend_completions),
+            backend_fallbacks: self
+                .backend_fallbacks
+                .saturating_sub(before.backend_fallbacks),
         }
     }
 }
@@ -388,6 +434,10 @@ pub struct PlaneSnapshot {
     /// Demux buffer-pool occupancy (buffers loaned out), sampled each
     /// busy demux iteration.
     pub pool_outstanding: LogHistogram,
+    /// Datapath-backend entries per kernel submission boundary (SQE
+    /// batch sizes for io_uring, datagrams per `sendmmsg` otherwise),
+    /// merged across shards.
+    pub backend_sqe_batch: LogHistogram,
     /// All shards' busy-iteration times merged.
     pub loop_ns: LogHistogram,
     /// All shards' sampled queue depths merged.
@@ -411,6 +461,9 @@ pub struct EndpointPlane {
     spare: CachePadded<ShardPlane>,
     /// Demux buffer-pool occupancy, sampled each busy demux iteration.
     pub pool_outstanding: AtomicHistogram,
+    /// Datapath-backend entries per kernel submission boundary, folded
+    /// in by each shard loop as deltas of its registry's counters.
+    pub backend_sqe_batch: AtomicHistogram,
     /// The last-N-events ring (see [`FlightRecorder`]).
     pub recorder: FlightRecorder,
 }
@@ -434,6 +487,7 @@ impl EndpointPlane {
             shards: shards.into_boxed_slice(),
             spare: CachePadded::new(ShardPlane::default()),
             pool_outstanding: AtomicHistogram::default(),
+            backend_sqe_batch: AtomicHistogram::default(),
             recorder: FlightRecorder::new(flight_capacity),
         }
     }
@@ -483,6 +537,7 @@ impl EndpointPlane {
             stats: self.stats.snapshot(),
             shards,
             pool_outstanding: self.pool_outstanding.snapshot(),
+            backend_sqe_batch: self.backend_sqe_batch.snapshot(),
             loop_ns,
             queue_depth,
             wakeups,
@@ -862,6 +917,35 @@ pub fn render_prometheus(snap: &PlaneSnapshot) -> String {
     );
     prom_header(
         &mut out,
+        "mpq_backend_submissions_total",
+        "counter",
+        "datapath-backend entries handed to the kernel",
+    );
+    prom_value(
+        &mut out,
+        "mpq_backend_submissions_total",
+        s.backend_submissions,
+    );
+    prom_header(
+        &mut out,
+        "mpq_backend_completions_total",
+        "counter",
+        "datapath-backend entries completed successfully",
+    );
+    prom_value(
+        &mut out,
+        "mpq_backend_completions_total",
+        s.backend_completions,
+    );
+    prom_header(
+        &mut out,
+        "mpq_backend_fallbacks_total",
+        "counter",
+        "datapath fallbacks: GSO rungs dropped plus backend-ladder descents",
+    );
+    prom_value(&mut out, "mpq_backend_fallbacks_total", s.backend_fallbacks);
+    prom_header(
+        &mut out,
         "mpq_endpoint_active",
         "gauge",
         "connections currently live",
@@ -975,6 +1059,13 @@ pub fn render_prometheus(snap: &PlaneSnapshot) -> String {
         "mpq_endpoint_pool_outstanding",
         &snap.pool_outstanding,
     );
+    prom_header(
+        &mut out,
+        "mpq_backend_sqe_batch",
+        "histogram",
+        "datapath-backend entries per kernel submission boundary (all shards)",
+    );
+    prom_histogram(&mut out, "mpq_backend_sqe_batch", &snap.backend_sqe_batch);
     out
 }
 
@@ -988,6 +1079,8 @@ pub fn render_snapshot_json(snap: &PlaneSnapshot) -> String {
         "{{\"kind\":\"endpoint_snapshot\",\"accepted\":{},\"active\":{},\"completed\":{},\
          \"failed\":{},\"closed\":{},\"rejected\":{},\"malformed\":{},\
          \"backpressure_drops\":{},\"datagrams_in\":{},\"wakeups\":{},\
+         \"backend_submissions\":{},\"backend_completions\":{},\
+         \"backend_fallbacks\":{},\"backend_sqe_batch_p99\":{},\
          \"loop_ns_p50\":{},\"loop_ns_p99\":{},\"queue_depth_p99\":{},\
          \"pool_outstanding_p99\":{},\"flight_recorded\":{},\"shards\":[",
         s.accepted,
@@ -1000,6 +1093,10 @@ pub fn render_snapshot_json(snap: &PlaneSnapshot) -> String {
         s.backpressure_drops,
         s.datagrams_in,
         snap.wakeups,
+        s.backend_submissions,
+        s.backend_completions,
+        s.backend_fallbacks,
+        snap.backend_sqe_batch.quantile(0.99),
         snap.loop_ns.quantile(0.50),
         snap.loop_ns.quantile(0.99),
         snap.queue_depth.quantile(0.99),
